@@ -1,0 +1,204 @@
+//! The Fogaras–Rácz *coupling* optimization of the Monte Carlo method
+//! (mentioned in §3.2 of the SLING paper as the trick that makes classic
+//! MC practical).
+//!
+//! Instead of storing `n·n_w` independent walks, the coupled scheme
+//! derives every walk from shared per-`(walk index, step)` random
+//! functions `σ_{w,ℓ}(v) = a uniform in-neighbor of v`. Any two walks
+//! evolve independently *until they meet* (before meeting, σ is evaluated
+//! at distinct arguments, which are independent uniform draws) and merge
+//! permanently afterwards — so the pairwise first-meeting distribution,
+//! and hence `E[c^τ] = s(u, v)`, is unchanged, while the "index" shrinks
+//! to a single seed: σ is recomputed on demand by hashing
+//! `(seed, w, ℓ, v)`. Preprocessing becomes free and space `O(1)`,
+//! trading query time `O(n_w · t)` per pair.
+
+use sling_graph::{DiGraph, NodeId};
+
+/// Zero-storage coupled Monte Carlo estimator.
+#[derive(Clone, Copy, Debug)]
+pub struct CoupledMc {
+    c: f64,
+    walks: usize,
+    truncation: usize,
+    seed: u64,
+}
+
+#[inline]
+fn mix(seed: u64, w: u64, step: u64, v: u64) -> u64 {
+    // SplitMix64-style avalanche over the tuple.
+    let mut z = seed
+        ^ w.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ step.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+        ^ v.wrapping_mul(0x1656_67b1_9e37_79f9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl CoupledMc {
+    /// New estimator; nothing is precomputed.
+    pub fn new(c: f64, walks: usize, truncation: usize, seed: u64) -> Self {
+        assert!(c > 0.0 && c < 1.0);
+        assert!(walks > 0 && truncation > 0);
+        CoupledMc {
+            c,
+            walks,
+            truncation,
+            seed,
+        }
+    }
+
+    /// The shared random function σ_{w,ℓ}: one coupled reverse-walk step.
+    #[inline]
+    fn sigma(&self, graph: &DiGraph, w: usize, step: usize, v: NodeId) -> Option<NodeId> {
+        let inn = graph.in_neighbors(v);
+        if inn.is_empty() {
+            return None;
+        }
+        let h = mix(self.seed, w as u64, step as u64, v.0 as u64);
+        Some(inn[(h % inn.len() as u64) as usize])
+    }
+
+    /// Single-pair estimate `(1/n_w) Σ_w c^{τ_w}` with walks derived from
+    /// the shared random functions.
+    pub fn single_pair(&self, graph: &DiGraph, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        for w in 0..self.walks {
+            let (mut a, mut b) = (u, v);
+            for step in 0..self.truncation {
+                match (self.sigma(graph, w, step, a), self.sigma(graph, w, step, b)) {
+                    (Some(x), Some(y)) => {
+                        if x == y {
+                            total += self.c.powi(step as i32 + 1);
+                            break;
+                        }
+                        a = x;
+                        b = y;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        total / self.walks as f64
+    }
+
+    /// Single-source estimate: one coupled evolution of *all* n walk
+    /// frontiers per walk index. Because walks merge permanently, each
+    /// step costs at most one σ evaluation per distinct frontier node —
+    /// the storage/work saving the coupling was invented for.
+    pub fn single_source(&self, graph: &DiGraph, u: NodeId) -> Vec<f64> {
+        let n = graph.num_nodes();
+        let mut scores = vec![0.0; n];
+        scores[u.index()] = 1.0;
+        // pos[v] = current node of v's walk (usize::MAX = dead).
+        let mut pos: Vec<u32> = Vec::with_capacity(n);
+        for w in 0..self.walks {
+            pos.clear();
+            pos.extend(0..n as u32);
+            let mut u_pos = u.0;
+            let mut resolved = vec![false; n];
+            resolved[u.index()] = true;
+            for step in 0..self.truncation {
+                u_pos = match self.sigma(graph, w, step, NodeId(u_pos)) {
+                    Some(x) => x.0,
+                    // u's walk died: no pair can meet afterwards.
+                    None => break,
+                };
+                let weight = self.c.powi(step as i32 + 1);
+                for v in 0..n {
+                    if resolved[v] {
+                        continue;
+                    }
+                    let cur = pos[v];
+                    if cur == u32::MAX {
+                        continue;
+                    }
+                    match self.sigma(graph, w, step, NodeId(cur)) {
+                        Some(x) => {
+                            pos[v] = x.0;
+                            if x.0 == u_pos {
+                                scores[v] += weight / self.walks as f64;
+                                resolved[v] = true;
+                            }
+                        }
+                        None => pos[v] = u32::MAX,
+                    }
+                }
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::power_simrank;
+    use sling_graph::generators::{complete_graph, cycle_graph, two_cliques_bridge};
+
+    const C: f64 = 0.6;
+
+    #[test]
+    fn zero_preprocessing_and_deterministic() {
+        let g = two_cliques_bridge(4);
+        let a = CoupledMc::new(C, 200, 10, 9);
+        let b = CoupledMc::new(C, 200, 10, 9);
+        assert_eq!(
+            a.single_pair(&g, NodeId(0), NodeId(1)),
+            b.single_pair(&g, NodeId(0), NodeId(1))
+        );
+        assert_eq!(std::mem::size_of::<CoupledMc>(), 32); // the whole "index"
+    }
+
+    #[test]
+    fn unbiased_on_toy_graphs() {
+        for g in [complete_graph(5), two_cliques_bridge(4)] {
+            let truth = power_simrank(&g, C, 60);
+            let est = CoupledMc::new(C, 6000, 14, 3);
+            for (u, v) in [(0u32, 1u32), (1, 3), (2, 4)] {
+                let s = est.single_pair(&g, NodeId(u), NodeId(v));
+                let t = truth.get(u as usize, v as usize);
+                assert!((s - t).abs() <= 0.05, "({u},{v}): est {s} truth {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_never_meets() {
+        let g = cycle_graph(6);
+        let est = CoupledMc::new(C, 100, 20, 1);
+        assert_eq!(est.single_pair(&g, NodeId(0), NodeId(3)), 0.0);
+        assert_eq!(est.single_pair(&g, NodeId(2), NodeId(2)), 1.0);
+    }
+
+    #[test]
+    fn single_source_matches_pairwise() {
+        let g = two_cliques_bridge(3);
+        let est = CoupledMc::new(C, 500, 10, 7);
+        let row = est.single_source(&g, NodeId(1));
+        for v in 0..g.num_nodes() as u32 {
+            let pair = est.single_pair(&g, NodeId(1), NodeId(v));
+            assert!(
+                (row[v as usize] - pair).abs() < 1e-12,
+                "node {v}: row {} pair {pair}",
+                row[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn merged_walks_stay_merged() {
+        // Once two coupled walks meet, sigma evaluates identically at the
+        // shared position forever: c^tau counts only the FIRST meeting,
+        // and estimates never exceed what independent walks could give on
+        // a graph where meeting implies staying together.
+        let g = complete_graph(4);
+        let est = CoupledMc::new(C, 2000, 12, 5);
+        let s = est.single_pair(&g, NodeId(0), NodeId(1));
+        assert!(s > 0.0 && s < 1.0);
+    }
+}

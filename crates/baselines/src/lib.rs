@@ -1,0 +1,47 @@
+//! # sling-baselines
+//!
+//! The competing SimRank methods the SLING paper evaluates against
+//! (§3 and §7), plus the accuracy metrics of its Figures 5–7:
+//!
+//! * [`power`] — the Jeh–Widom power method (§3.1): exact all-pairs
+//!   SimRank in `O(n·m)` time per iteration and `O(n²)` space. The
+//!   ground-truth oracle for every accuracy experiment.
+//! * [`monte_carlo`] — the Fogaras–Rácz Monte Carlo index (§3.2):
+//!   truncated reverse random walks stored per node.
+//! * [`mc_sqrt`] — the "revised Monte Carlo" of §4.1: the same index
+//!   built from √c-walks, which need no truncation.
+//! * [`linearize`] — Maehara et al.'s linearization (§3.3, Appendix A):
+//!   a sampled diagonal-correction system solved by Gauss–Seidel, with
+//!   `O(mT)` single-pair and single-source queries.
+//! * [`coupled`] — the Fogaras–Rácz *coupling* optimization of MC
+//!   (zero-storage walks derived from shared hash functions).
+//! * [`variants`] — the §8 SimRank variants (P-Rank, PSimRank), the
+//!   paper's stated future-work direction.
+//! * [`matrix`] — the shared dense-matrix / sparse-operator substrate.
+//! * [`metrics`] — max error, S1/S2/S3 grouped errors, top-k precision.
+
+pub mod coupled;
+pub mod implicit_d;
+pub mod linearize;
+pub mod matrix;
+pub mod mc_sqrt;
+pub mod metrics;
+pub mod monte_carlo;
+pub mod naive;
+pub mod power;
+pub mod rolesim;
+pub mod simrank_pp;
+pub mod variants;
+
+pub use coupled::CoupledMc;
+pub use implicit_d::ImplicitD;
+pub use linearize::Linearize;
+pub use matrix::DenseMatrix;
+pub use mc_sqrt::McSqrtIndex;
+pub use metrics::{grouped_errors, max_error, top_k_pairs, top_k_precision, GroupedErrors};
+pub use monte_carlo::McIndex;
+pub use naive::naive_simrank;
+pub use power::{iterations_for_error, power_simrank};
+pub use rolesim::rolesim;
+pub use simrank_pp::{evidence, simrank_pp, spread, weighted_simrank_pp};
+pub use variants::{p_rank, PSimRank};

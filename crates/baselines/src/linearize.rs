@@ -1,0 +1,349 @@
+//! The linearization method of Maehara et al. (§3.3, Appendix A).
+//!
+//! Preprocessing estimates the diagonal correction matrix `D` from the
+//! truncated linear system (Eq. 19)
+//!
+//! ```text
+//! Σ_{ℓ=0}^{T} Σ_i c^ℓ (p̃⁽ℓ⁾_{k,i})² D(i,i) = 1      for all k,
+//! ```
+//!
+//! with the reverse-walk probabilities `p̃` estimated from `R` sampled
+//! walks per node, and solves it with `L` Gauss–Seidel sweeps. Queries
+//! then evaluate the truncated Eq. (10) series in `O(mT)`.
+//!
+//! As the paper's Appendix A details (and our Figure 8 unit test
+//! demonstrates), the coefficient matrix need not be diagonally dominant,
+//! Gauss–Seidel need not converge, and the sampled `p̃` carry unanalyzed
+//! error — so this method offers **no worst-case accuracy guarantee**.
+//! It is reproduced here exactly because the paper's evaluation hinges on
+//! that contrast.
+
+use rand::RngExt;
+use sling_graph::{DiGraph, FxHashMap, NodeId};
+
+use crate::matrix::{apply_p, apply_p_transpose, walk_distributions, DenseMatrix};
+use crate::mc_sqrt::stream_rng;
+
+/// Parameters of the linearization method. Paper defaults (§7.1):
+/// `T = 11`, `R = 100`, `L = 3`.
+#[derive(Clone, Debug)]
+pub struct LinearizeConfig {
+    /// Decay factor `c`.
+    pub c: f64,
+    /// Series truncation `T`.
+    pub t: usize,
+    /// Reverse walks per node `R` used to estimate `p̃`.
+    pub walks: usize,
+    /// Gauss–Seidel sweeps `L`.
+    pub sweeps: usize,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Use exact walk distributions instead of sampling (feasible only on
+    /// small graphs; used by tests and the Figure 8 analysis).
+    pub exact_coefficients: bool,
+}
+
+impl LinearizeConfig {
+    /// The paper's recommended setting.
+    pub fn paper_defaults(c: f64) -> Self {
+        LinearizeConfig {
+            c,
+            t: 11,
+            walks: 100,
+            sweeps: 3,
+            seed: 0x11e4,
+            exact_coefficients: false,
+        }
+    }
+}
+
+/// The linearization index: just the estimated diagonal `D̃` (`O(n)`
+/// space — the method's key advantage in Figure 4).
+#[derive(Clone, Debug)]
+pub struct Linearize {
+    c: f64,
+    t: usize,
+    d: Vec<f64>,
+    num_nodes: usize,
+}
+
+impl Linearize {
+    /// Estimate `D̃` (Appendix A pipeline).
+    pub fn build(graph: &DiGraph, config: &LinearizeConfig) -> Self {
+        assert!(config.c > 0.0 && config.c < 1.0);
+        let n = graph.num_nodes();
+        // Sparse coefficient rows M(k, ·) = Σ_ℓ c^ℓ p̃(ℓ)_{k,·}².
+        let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n);
+        let mut acc: FxHashMap<u32, f64> = FxHashMap::default();
+        for k in graph.nodes() {
+            acc.clear();
+            if config.exact_coefficients {
+                let dists = walk_distributions(graph, k, config.t);
+                for (l, dist) in dists.iter().enumerate() {
+                    let cl = config.c.powi(l as i32);
+                    for (i, &p) in dist.iter().enumerate() {
+                        if p > 0.0 {
+                            *acc.entry(i as u32).or_insert(0.0) += cl * p * p;
+                        }
+                    }
+                }
+            } else {
+                // Empirical p̃ from R truncated reverse walks: count visits
+                // per (step, node), square the frequencies.
+                let mut counts: Vec<FxHashMap<u32, u32>> = vec![FxHashMap::default(); config.t + 1];
+                for w in 0..config.walks {
+                    let mut rng =
+                        stream_rng(config.seed, (k.0 as u64) * config.walks as u64 + w as u64);
+                    let mut cur = k;
+                    *counts[0].entry(cur.0).or_insert(0) += 1;
+                    for step in 1..=config.t {
+                        let inn = graph.in_neighbors(cur);
+                        if inn.is_empty() {
+                            break;
+                        }
+                        cur = inn[rng.random_range(0..inn.len())];
+                        *counts[step].entry(cur.0).or_insert(0) += 1;
+                    }
+                }
+                let r = config.walks as f64;
+                for (l, level) in counts.iter().enumerate() {
+                    let cl = config.c.powi(l as i32);
+                    for (&i, &cnt) in level {
+                        let p = cnt as f64 / r;
+                        *acc.entry(i).or_insert(0.0) += cl * p * p;
+                    }
+                }
+            }
+            let mut row: Vec<(u32, f64)> = acc.iter().map(|(&i, &v)| (i, v)).collect();
+            row.sort_unstable_by_key(|&(i, _)| i);
+            rows.push(row);
+        }
+
+        // Gauss–Seidel on M · diag = 1.
+        let mut d = vec![1.0 - config.c; n];
+        for _ in 0..config.sweeps {
+            for k in 0..n {
+                let mut off = 0.0;
+                let mut diag = 1.0; // p(0)_{k,k} = 1 contributes exactly 1
+                for &(i, m) in &rows[k] {
+                    if i as usize == k {
+                        diag = m;
+                    } else {
+                        off += m * d[i as usize];
+                    }
+                }
+                if diag > 0.0 {
+                    d[k] = (1.0 - off) / diag;
+                }
+            }
+        }
+        Linearize {
+            c: config.c,
+            t: config.t,
+            d,
+            num_nodes: n,
+        }
+    }
+
+    /// The estimated diagonal `D̃`.
+    pub fn diagonal(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Index bytes: the diagonal only.
+    pub fn resident_bytes(&self) -> usize {
+        self.d.len() * 8
+    }
+
+    /// Single-pair query: truncated Eq. (10), `O(mT)`.
+    pub fn single_pair(&self, graph: &DiGraph, u: NodeId, v: NodeId) -> f64 {
+        let n = self.num_nodes;
+        let mut x = vec![0.0; n];
+        x[u.index()] = 1.0;
+        let mut y = vec![0.0; n];
+        y[v.index()] = 1.0;
+        let mut xn = vec![0.0; n];
+        let mut yn = vec![0.0; n];
+        let mut s = 0.0;
+        for l in 0..=self.t {
+            let cl = self.c.powi(l as i32);
+            let dot: f64 = x
+                .iter()
+                .zip(&y)
+                .zip(&self.d)
+                .map(|((&a, &b), &dk)| a * dk * b)
+                .sum();
+            s += cl * dot;
+            if l < self.t {
+                apply_p(graph, &x, &mut xn);
+                std::mem::swap(&mut x, &mut xn);
+                apply_p(graph, &y, &mut yn);
+                std::mem::swap(&mut y, &mut yn);
+            }
+        }
+        s
+    }
+
+    /// Single-source query via the Horner recursion
+    /// `r_ℓ = D x_ℓ + c Pᵀ r_{ℓ+1}` over the stored distributions
+    /// `x_ℓ = P^ℓ e_u`; total `O(mT)` after `O(nT)` buffering.
+    pub fn single_source(&self, graph: &DiGraph, u: NodeId) -> Vec<f64> {
+        let n = self.num_nodes;
+        let mut xs: Vec<Vec<f64>> = Vec::with_capacity(self.t + 1);
+        let mut x = vec![0.0; n];
+        x[u.index()] = 1.0;
+        xs.push(x.clone());
+        let mut next = vec![0.0; n];
+        for _ in 0..self.t {
+            apply_p(graph, &x, &mut next);
+            std::mem::swap(&mut x, &mut next);
+            xs.push(x.clone());
+        }
+        let mut r = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+        for l in (0..=self.t).rev() {
+            // r = D x_l + c Pᵀ r
+            apply_p_transpose(graph, &r, &mut tmp);
+            for i in 0..n {
+                r[i] = self.d[i] * xs[l][i] + self.c * tmp[i];
+            }
+        }
+        r
+    }
+}
+
+/// Exact coefficient matrix `M` of the (truncated) linear system — dense,
+/// for small-graph analysis such as the paper's Figure 8.
+pub fn coefficient_matrix(graph: &DiGraph, c: f64, t: usize) -> DenseMatrix {
+    let n = graph.num_nodes();
+    let mut m = DenseMatrix::zeros(n);
+    for k in graph.nodes() {
+        let dists = walk_distributions(graph, k, t);
+        for (l, dist) in dists.iter().enumerate() {
+            let cl = c.powi(l as i32);
+            for (i, &p) in dist.iter().enumerate() {
+                if p > 0.0 {
+                    let cur = m.get(k.index(), i);
+                    m.set(k.index(), i, cur + cl * p * p);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Row diagonal dominance: `|M(i,i)| ≥ Σ_{j≠i} |M(i,j)|` for every row —
+/// the condition under which Gauss–Seidel is guaranteed to converge.
+pub fn is_diagonally_dominant(m: &DenseMatrix) -> bool {
+    let n = m.n();
+    (0..n).all(|i| {
+        let off: f64 = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| m.get(i, j).abs())
+            .sum();
+        m.get(i, i).abs() >= off
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::power_simrank;
+    use sling_graph::generators::{complete_graph, cycle_graph, two_cliques_bridge};
+
+    const C: f64 = 0.6;
+
+    fn exact_cfg() -> LinearizeConfig {
+        LinearizeConfig {
+            exact_coefficients: true,
+            t: 25,
+            sweeps: 30,
+            ..LinearizeConfig::paper_defaults(C)
+        }
+    }
+
+    #[test]
+    fn exact_mode_recovers_simrank_on_well_conditioned_graphs() {
+        for g in [complete_graph(5), two_cliques_bridge(4)] {
+            let lin = Linearize::build(&g, &exact_cfg());
+            let truth = power_simrank(&g, C, 80);
+            let n = g.num_nodes();
+            for i in 0..n {
+                for j in 0..n {
+                    let est = lin.single_pair(&g, NodeId(i as u32), NodeId(j as u32));
+                    assert!(
+                        (est - truth.get(i, j)).abs() < 0.01,
+                        "({i},{j}) est {est} truth {}",
+                        truth.get(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_mode_is_close_but_unguaranteed() {
+        let g = two_cliques_bridge(4);
+        let lin = Linearize::build(&g, &LinearizeConfig::paper_defaults(C));
+        let truth = power_simrank(&g, C, 60);
+        // Paper-default sampling should land in the right ballpark on an
+        // easy graph (no formal bound — that's the method's weakness).
+        let est = lin.single_pair(&g, NodeId(0), NodeId(1));
+        assert!((est - truth.get(0, 1)).abs() < 0.1);
+    }
+
+    #[test]
+    fn single_source_matches_pairwise_queries() {
+        let g = two_cliques_bridge(4);
+        let lin = Linearize::build(&g, &exact_cfg());
+        for u in [0u32, 3, 7] {
+            let row = lin.single_source(&g, NodeId(u));
+            for v in 0..g.num_nodes() as u32 {
+                let pair = lin.single_pair(&g, NodeId(u), NodeId(v));
+                assert!(
+                    (row[v as usize] - pair).abs() < 1e-10,
+                    "({u},{v}): row {} pair {pair}",
+                    row[v as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure8_cycle_not_diagonally_dominant() {
+        // The paper's Figure 8 adversarial case: a 4-cycle at c = 0.6.
+        // M(k, k-ℓ mod 4) = c^ℓ / (1 - c⁴): off-diagonal mass
+        // (c + c² + c³)/(1-c⁴) ≈ 1.351 exceeds the diagonal 1/(1-c⁴)·1
+        // ≈ 1.149.
+        let g = cycle_graph(4);
+        let m = coefficient_matrix(&g, C, 400);
+        let diag = 1.0 / (1.0 - C.powi(4));
+        assert!((m.get(0, 0) - diag).abs() < 1e-6);
+        assert!((m.get(0, 3) - C * diag).abs() < 1e-6, "{}", m.get(0, 3));
+        assert!(!is_diagonally_dominant(&m));
+        // A complete graph, by contrast, is fine.
+        let m2 = coefficient_matrix(&complete_graph(5), C, 60);
+        assert!(is_diagonally_dominant(&m2));
+    }
+
+    #[test]
+    fn diagonal_stays_finite_even_on_the_adversarial_cycle() {
+        // Gauss-Seidel may converge slowly or oscillate; the implementation
+        // must still terminate and produce finite values.
+        let g = cycle_graph(4);
+        let lin = Linearize::build(&g, &exact_cfg());
+        assert!(lin.diagonal().iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn resident_bytes_is_linear_in_n() {
+        let g = two_cliques_bridge(6);
+        let lin = Linearize::build(&g, &LinearizeConfig::paper_defaults(C));
+        assert_eq!(lin.resident_bytes(), g.num_nodes() * 8);
+    }
+}

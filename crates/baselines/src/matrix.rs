@@ -1,0 +1,197 @@
+//! Dense score matrices and the sparse transition operator `P`.
+//!
+//! `P` is the column-stochastic reverse-walk matrix of Eq. (5):
+//! `P(i, j) = 1/|I(v_j)|` if `v_i ∈ I(v_j)`, else 0 — so `P·e_j` is the
+//! uniform distribution over `I(v_j)`, one step of a reverse random walk.
+//! Columns of dangling nodes are zero (the walk dies), matching the √c-walk
+//! semantics used across the workspace.
+
+use sling_graph::{DiGraph, NodeId};
+
+/// Row-major dense `n × n` matrix of SimRank scores.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Dimension `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Mutable element accessor.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Largest absolute element-wise difference.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// `out += P · x`: one reverse-walk step — every node `j` spreads `x[j]`
+/// uniformly over its in-neighbors. `O(m)`.
+pub fn apply_p(graph: &DiGraph, x: &[f64], out: &mut [f64]) {
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for j in graph.nodes() {
+        let xj = x[j.index()];
+        if xj == 0.0 {
+            continue;
+        }
+        let inn = graph.in_neighbors(j);
+        if inn.is_empty() {
+            continue;
+        }
+        let share = xj / inn.len() as f64;
+        for &i in inn {
+            out[i.index()] += share;
+        }
+    }
+}
+
+/// `out = Pᵀ · x`: `out[j] = (1/|I(j)|) Σ_{i ∈ I(j)} x[i]`. `O(m)`.
+pub fn apply_p_transpose(graph: &DiGraph, x: &[f64], out: &mut [f64]) {
+    for j in graph.nodes() {
+        let inn = graph.in_neighbors(j);
+        out[j.index()] = if inn.is_empty() {
+            0.0
+        } else {
+            inn.iter().map(|&i| x[i.index()]).sum::<f64>() / inn.len() as f64
+        };
+    }
+}
+
+/// Exact reverse-walk occupancy distributions from `v`:
+/// `out[ℓ] = P^ℓ e_v` for `ℓ = 0..=max_step`. Used by the linearization
+/// method's exact-coefficient mode and by tests.
+pub fn walk_distributions(graph: &DiGraph, v: NodeId, max_step: usize) -> Vec<Vec<f64>> {
+    let n = graph.num_nodes();
+    let mut out = Vec::with_capacity(max_step + 1);
+    let mut cur = vec![0.0; n];
+    cur[v.index()] = 1.0;
+    out.push(cur.clone());
+    let mut next = vec![0.0; n];
+    for _ in 0..max_step {
+        apply_p(graph, &cur, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+        out.push(cur.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_graph::generators::{cycle_graph, star_graph};
+
+    #[test]
+    fn dense_matrix_basics() {
+        let mut m = DenseMatrix::identity(3);
+        assert_eq!(m.get(1, 1), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        m.set(0, 2, 0.5);
+        assert_eq!(m.row(0), &[1.0, 0.0, 0.5]);
+        let z = DenseMatrix::zeros(3);
+        assert_eq!(m.max_abs_diff(&z), 1.0);
+    }
+
+    #[test]
+    fn apply_p_spreads_over_in_neighbors() {
+        // Cycle: I(v) = {v-1}; P e_v = e_{v-1}.
+        let g = cycle_graph(4);
+        let mut x = vec![0.0; 4];
+        x[2] = 1.0;
+        let mut out = vec![0.0; 4];
+        apply_p(&g, &x, &mut out);
+        assert_eq!(out, vec![0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn apply_p_kills_dangling_mass() {
+        // Star: I(leaf) = {} — mass on a leaf dies.
+        let g = star_graph(3);
+        let x = vec![0.0, 1.0, 0.0];
+        let mut out = vec![0.0; 3];
+        apply_p(&g, &x, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+        // Mass on the hub spreads to its leaves.
+        let x = vec![1.0, 0.0, 0.0];
+        apply_p(&g, &x, &mut out);
+        assert_eq!(out, vec![0.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn transpose_is_adjoint() {
+        // <P x, y> == <x, Pᵀ y> for arbitrary vectors.
+        let g = star_graph(4);
+        let x = vec![0.3, 0.1, 0.4, 0.2];
+        let y = vec![0.7, 0.2, 0.5, 0.9];
+        let mut px = vec![0.0; 4];
+        apply_p(&g, &x, &mut px);
+        let mut pty = vec![0.0; 4];
+        apply_p_transpose(&g, &y, &mut pty);
+        let lhs: f64 = px.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&pty).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walk_distributions_sum_to_at_most_one() {
+        let g = star_graph(5);
+        let dists = walk_distributions(&g, sling_graph::NodeId(0), 3);
+        assert_eq!(dists.len(), 4);
+        assert_eq!(dists[0][0], 1.0);
+        for d in &dists {
+            let mass: f64 = d.iter().sum();
+            assert!(mass <= 1.0 + 1e-12);
+        }
+        // Step 1: uniform over the 4 leaves; step 2: dead (leaves dangling).
+        assert!((dists[1][1] - 0.25).abs() < 1e-12);
+        assert!(dists[2].iter().all(|&v| v == 0.0));
+    }
+}

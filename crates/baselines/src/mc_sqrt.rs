@@ -1,0 +1,175 @@
+//! The "revised Monte Carlo" method of §4.1: the Fogaras–Rácz index
+//! rebuilt on √c-walks.
+//!
+//! Because a √c-walk halts on its own (expected length `1/(1−√c)`), no
+//! truncation is needed and the `log(1/ε)` walk-length factor disappears
+//! from every bound — the paper presents this as the stepping stone
+//! between classic MC and SLING. A pair of stored walks "meets" if they
+//! share a node at the same step index; the meeting *indicator* (not
+//! `c^τ`) estimates `s(u, v)` directly by Lemma 3.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sling_graph::{DiGraph, NodeId};
+
+/// Deterministic per-(seed, stream) RNG shared by the MC baselines.
+pub(crate) fn stream_rng(seed: u64, stream: u64) -> SmallRng {
+    let mut z = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    SmallRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Index of `n_w` complete √c-walks per node, stored contiguously with a
+/// per-walk offset table (walks have variable length).
+#[derive(Clone, Debug)]
+pub struct McSqrtIndex {
+    walks_per_node: usize,
+    /// Offsets into `steps`; walk `w` of node `v` is
+    /// `steps[offsets[v*n_w + w] .. offsets[v*n_w + w + 1]]`.
+    offsets: Vec<u64>,
+    steps: Vec<u32>,
+    num_nodes: usize,
+}
+
+impl McSqrtIndex {
+    /// Sample and store the walks.
+    pub fn build(graph: &DiGraph, c: f64, walks_per_node: usize, seed: u64) -> Self {
+        assert!(c > 0.0 && c < 1.0);
+        assert!(walks_per_node > 0);
+        let sqrt_c = c.sqrt();
+        let n = graph.num_nodes();
+        let mut offsets = Vec::with_capacity(n * walks_per_node + 1);
+        let mut steps: Vec<u32> = Vec::new();
+        offsets.push(0);
+        for v in graph.nodes() {
+            for w in 0..walks_per_node {
+                let mut rng = stream_rng(seed, (v.0 as u64) * walks_per_node as u64 + w as u64);
+                let mut cur = v;
+                steps.push(cur.0);
+                loop {
+                    if rng.random::<f64>() >= sqrt_c {
+                        break;
+                    }
+                    let inn = graph.in_neighbors(cur);
+                    if inn.is_empty() {
+                        break;
+                    }
+                    cur = inn[rng.random_range(0..inn.len())];
+                    steps.push(cur.0);
+                }
+                offsets.push(steps.len() as u64);
+            }
+        }
+        McSqrtIndex {
+            walks_per_node,
+            offsets,
+            steps,
+            num_nodes: n,
+        }
+    }
+
+    /// Number of nodes indexed.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Index bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.steps.len() * 4
+    }
+
+    /// Average stored walk length (diagnostic; ≈ `1/(1−√c)`).
+    pub fn avg_walk_length(&self) -> f64 {
+        self.steps.len() as f64 / (self.num_nodes * self.walks_per_node) as f64
+    }
+
+    #[inline]
+    fn walk(&self, v: NodeId, w: usize) -> &[u32] {
+        let idx = v.index() * self.walks_per_node + w;
+        &self.steps[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
+    }
+
+    /// Single-pair estimate: fraction of walk pairs that meet (Lemma 3).
+    pub fn single_pair(&self, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            return 1.0;
+        }
+        let mut hits = 0usize;
+        for w in 0..self.walks_per_node {
+            let wu = self.walk(u, w);
+            let wv = self.walk(v, w);
+            let len = wu.len().min(wv.len());
+            if wu[..len].iter().zip(&wv[..len]).any(|(a, b)| a == b) {
+                hits += 1;
+            }
+        }
+        hits as f64 / self.walks_per_node as f64
+    }
+
+    /// Single-source query: `n` single-pair evaluations.
+    pub fn single_source(&self, u: NodeId) -> Vec<f64> {
+        (0..self.num_nodes as u32)
+            .map(|v| self.single_pair(u, NodeId(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::power_simrank;
+    use sling_graph::generators::{complete_graph, cycle_graph, two_cliques_bridge};
+
+    const C: f64 = 0.6;
+
+    #[test]
+    fn walk_lengths_concentrate_around_expectation() {
+        let g = complete_graph(8);
+        let idx = McSqrtIndex::build(&g, C, 200, 3);
+        let expected = 1.0 / (1.0 - C.sqrt());
+        assert!(
+            (idx.avg_walk_length() - expected).abs() < 0.3,
+            "avg {} expected {expected}",
+            idx.avg_walk_length()
+        );
+    }
+
+    #[test]
+    fn accuracy_against_ground_truth() {
+        let g = two_cliques_bridge(4);
+        let truth = power_simrank(&g, C, 60);
+        let idx = McSqrtIndex::build(&g, C, 5000, 17);
+        let n = g.num_nodes();
+        for i in 0..n {
+            for j in 0..n {
+                let est = idx.single_pair(NodeId(i as u32), NodeId(j as u32));
+                assert!(
+                    (est - truth.get(i, j)).abs() <= 0.04,
+                    "({i},{j}) est {est} truth {}",
+                    truth.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_truncation_bias_on_cycle() {
+        let g = cycle_graph(5);
+        let idx = McSqrtIndex::build(&g, C, 300, 5);
+        assert_eq!(idx.single_pair(NodeId(0), NodeId(2)), 0.0);
+        assert_eq!(idx.single_pair(NodeId(1), NodeId(1)), 1.0);
+    }
+
+    #[test]
+    fn deterministic_and_single_source_consistent() {
+        let g = two_cliques_bridge(3);
+        let a = McSqrtIndex::build(&g, C, 64, 9);
+        let b = McSqrtIndex::build(&g, C, 64, 9);
+        assert_eq!(a.steps, b.steps);
+        let row = a.single_source(NodeId(0));
+        for v in 0..g.num_nodes() as u32 {
+            assert_eq!(row[v as usize], a.single_pair(NodeId(0), NodeId(v)));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Accuracy metrics for the paper's Figures 5–7.
+
+use crate::matrix::DenseMatrix;
+
+/// Maximum absolute all-pairs error (Figure 5's metric).
+pub fn max_error(truth: &DenseMatrix, est: &DenseMatrix) -> f64 {
+    truth.max_abs_diff(est)
+}
+
+/// Average absolute errors grouped by the magnitude of the ground-truth
+/// score (Figure 6): S1 = `[0.1, 1]`, S2 = `[0.01, 0.1)`, S3 = `< 0.01`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GroupedErrors {
+    /// Mean error over pairs with truth in `[0.1, 1]`.
+    pub s1: f64,
+    /// Mean error over pairs with truth in `[0.01, 0.1)`.
+    pub s2: f64,
+    /// Mean error over pairs with truth `< 0.01`.
+    pub s3: f64,
+    /// Pair counts per group.
+    pub counts: [usize; 3],
+}
+
+/// Compute [`GroupedErrors`]. `include_diagonal = false` matches the
+/// harness default (diagonal pairs are trivially `s = 1` and the paper's
+/// top-k protocol also excludes identical pairs).
+pub fn grouped_errors(
+    truth: &DenseMatrix,
+    est: &DenseMatrix,
+    include_diagonal: bool,
+) -> GroupedErrors {
+    assert_eq!(truth.n(), est.n());
+    let n = truth.n();
+    let mut sums = [0.0f64; 3];
+    let mut counts = [0usize; 3];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j && !include_diagonal {
+                continue;
+            }
+            let t = truth.get(i, j);
+            let err = (t - est.get(i, j)).abs();
+            let g = if t >= 0.1 {
+                0
+            } else if t >= 0.01 {
+                1
+            } else {
+                2
+            };
+            sums[g] += err;
+            counts[g] += 1;
+        }
+    }
+    let avg = |g: usize| if counts[g] == 0 { 0.0 } else { sums[g] / counts[g] as f64 };
+    GroupedErrors {
+        s1: avg(0),
+        s2: avg(1),
+        s3: avg(2),
+        counts,
+    }
+}
+
+/// The `k` unordered node pairs `(i < j)` with the highest scores,
+/// identical-node pairs excluded (the paper's Figure 7 protocol).
+/// Ties break toward lexicographically smaller pairs for determinism.
+pub fn top_k_pairs(m: &DenseMatrix, k: usize) -> Vec<(u32, u32)> {
+    let n = m.n();
+    let mut pairs: Vec<(f64, u32, u32)> = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = m.get(i, j);
+            if s > 0.0 {
+                pairs.push((s, i as u32, j as u32));
+            }
+        }
+    }
+    let k = k.min(pairs.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let cmp = |a: &(f64, u32, u32), b: &(f64, u32, u32)| {
+        b.0.partial_cmp(&a.0)
+            .unwrap()
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    };
+    if k < pairs.len() {
+        pairs.select_nth_unstable_by(k - 1, cmp);
+        pairs.truncate(k);
+    }
+    pairs.sort_unstable_by(cmp);
+    pairs.into_iter().map(|(_, i, j)| (i, j)).collect()
+}
+
+/// Fraction of the estimated top-k pairs that appear in the ground-truth
+/// top-k (Figure 7's precision metric).
+pub fn top_k_precision(truth: &DenseMatrix, est: &DenseMatrix, k: usize) -> f64 {
+    let t: std::collections::HashSet<(u32, u32)> = top_k_pairs(truth, k).into_iter().collect();
+    if t.is_empty() {
+        return 1.0;
+    }
+    let e = top_k_pairs(est, k);
+    let hits = e.iter().filter(|p| t.contains(p)).count();
+    hits as f64 / t.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(vals: &[&[f64]]) -> DenseMatrix {
+        let n = vals.len();
+        let mut m = DenseMatrix::zeros(n);
+        for (i, row) in vals.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn max_error_is_max_abs_diff() {
+        let a = matrix(&[&[1.0, 0.2], &[0.2, 1.0]]);
+        let b = matrix(&[&[1.0, 0.25], &[0.15, 1.0]]);
+        assert!((max_error(&a, &b) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_errors_bucket_correctly() {
+        // truth: one S1 pair (0.5), one S2 pair (0.05), one S3 pair (0.001)
+        let truth = matrix(&[
+            &[1.0, 0.5, 0.05],
+            &[0.5, 1.0, 0.001],
+            &[0.05, 0.001, 1.0],
+        ]);
+        let mut est = truth.clone();
+        est.set(0, 1, 0.4); // S1 err 0.1 (both orientations)
+        est.set(1, 0, 0.4);
+        est.set(0, 2, 0.06); // S2 err 0.01
+        est.set(2, 0, 0.06);
+        let g = grouped_errors(&truth, &est, false);
+        assert_eq!(g.counts, [2, 2, 2]);
+        assert!((g.s1 - 0.1).abs() < 1e-12);
+        assert!((g.s2 - 0.01).abs() < 1e-12);
+        assert!(g.s3.abs() < 1e-12);
+        // Diagonal inclusion adds 3 exact S1 pairs.
+        let g2 = grouped_errors(&truth, &est, true);
+        assert_eq!(g2.counts[0], 5);
+        assert!(g2.s1 < g.s1);
+    }
+
+    #[test]
+    fn top_k_pairs_excludes_diagonal_and_sorts() {
+        let m = matrix(&[
+            &[1.0, 0.9, 0.1],
+            &[0.9, 1.0, 0.5],
+            &[0.1, 0.5, 1.0],
+        ]);
+        let top = top_k_pairs(&m, 2);
+        assert_eq!(top, vec![(0, 1), (1, 2)]);
+        let all = top_k_pairs(&m, 100);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn precision_full_and_partial() {
+        let truth = matrix(&[
+            &[1.0, 0.9, 0.1],
+            &[0.9, 1.0, 0.5],
+            &[0.1, 0.5, 1.0],
+        ]);
+        assert_eq!(top_k_precision(&truth, &truth, 2), 1.0);
+        // An estimate that swaps the order of the top pairs still has
+        // perfect set precision at k=2, but not at k=1.
+        let mut est = truth.clone();
+        est.set(0, 1, 0.4);
+        est.set(1, 0, 0.4);
+        assert_eq!(top_k_precision(&truth, &est, 2), 1.0);
+        assert_eq!(top_k_precision(&truth, &est, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_edge_cases() {
+        let z = DenseMatrix::zeros(3);
+        assert!(top_k_pairs(&z, 5).is_empty());
+        assert_eq!(top_k_precision(&z, &z, 5), 1.0);
+    }
+}

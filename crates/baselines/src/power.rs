@@ -1,0 +1,182 @@
+//! The power method (§3.1) — exact all-pairs SimRank, the ground-truth
+//! oracle for Figures 5–7.
+//!
+//! Iterates `S ← (c·Pᵀ S P) ∨ I` from `S⁽⁰⁾ = I`. Each iteration is two
+//! sparse-times-dense products costing `O(n·m)` — far better than the
+//! naive `O(m²)` of evaluating Eq. (1) directly — and Lemma 1 gives the
+//! iteration count for a target error: `t ≥ log_c(ε(1−c)) − 1`.
+
+use sling_graph::DiGraph;
+
+use crate::matrix::DenseMatrix;
+
+/// Iterations needed for worst-case error `eps` at decay `c` (Lemma 1).
+pub fn iterations_for_error(c: f64, eps: f64) -> usize {
+    assert!(c > 0.0 && c < 1.0 && eps > 0.0 && eps < 1.0);
+    ((eps * (1.0 - c)).ln() / c.ln() - 1.0).ceil().max(1.0) as usize
+}
+
+/// Run `iterations` of the power method and return the score matrix.
+///
+/// Memory: two dense `n × n` buffers. Intended for ground-truth
+/// computation on small graphs (the paper does the same, capping Figure
+/// 5–7 at its four smallest datasets).
+pub fn power_simrank(graph: &DiGraph, c: f64, iterations: usize) -> DenseMatrix {
+    let n = graph.num_nodes();
+    let mut s = DenseMatrix::identity(n);
+    let mut tmp = DenseMatrix::zeros(n); // T = S · P
+    let mut next = DenseMatrix::zeros(n);
+
+    for _ in 0..iterations {
+        // T(i, j) = (S P)(i, j) = (1/|I(j)|) Σ_{k ∈ I(j)} S(i, k).
+        // Row-local formulation: row T(i,·) accumulates S(i,k)/|I(j)| for
+        // every out-edge k -> j... equivalently spread S(i,k) to columns j
+        // with k ∈ I(j), i.e. j ∈ out(k).
+        for i in 0..n {
+            let srow = s.row(i);
+            let trow = tmp.row_mut(i);
+            trow.iter_mut().for_each(|v| *v = 0.0);
+            for (k, &sik) in srow.iter().enumerate() {
+                if sik == 0.0 {
+                    continue;
+                }
+                for &j in graph.out_neighbors(sling_graph::NodeId::from_index(k)) {
+                    trow[j.index()] += sik / graph.in_degree(j) as f64;
+                }
+            }
+        }
+        // next(i, ·) = c · (1/|I(i)|) Σ_{k ∈ I(i)} T(k, ·); diagonal ∨ 1.
+        for i in 0..n {
+            let inn = graph.in_neighbors(sling_graph::NodeId::from_index(i));
+            // Accumulate into a fresh row without aliasing `tmp`.
+            let row = next.row_mut(i);
+            row.iter_mut().for_each(|v| *v = 0.0);
+            if !inn.is_empty() {
+                let scale = c / inn.len() as f64;
+                for &k in inn {
+                    let trow = tmp.row(k.index());
+                    for (dst, &t) in row.iter_mut().zip(trow) {
+                        *dst += scale * t;
+                    }
+                }
+            }
+            row[i] = 1.0;
+        }
+        std::mem::swap(&mut s, &mut next);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_graph::generators::{complete_graph, cycle_graph, star_graph, two_cliques_bridge};
+    use sling_graph::{DiGraph, GraphBuilder};
+
+    const C: f64 = 0.6;
+
+    /// Direct (slow) evaluation of one Eq. (1) iteration, used to verify
+    /// the optimized sparse formulation.
+    fn naive_iteration(graph: &DiGraph, c: f64, s: &DenseMatrix) -> DenseMatrix {
+        let n = graph.num_nodes();
+        let mut out = DenseMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    out.set(i, j, 1.0);
+                    continue;
+                }
+                let ii = graph.in_neighbors(sling_graph::NodeId::from_index(i));
+                let jj = graph.in_neighbors(sling_graph::NodeId::from_index(j));
+                if ii.is_empty() || jj.is_empty() {
+                    continue;
+                }
+                let mut sum = 0.0;
+                for &a in ii {
+                    for &b in jj {
+                        sum += s.get(a.index(), b.index());
+                    }
+                }
+                out.set(i, j, c * sum / (ii.len() * jj.len()) as f64);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sparse_iteration_matches_naive() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 1), (0, 3), (4, 2)]);
+        let g = b.build().unwrap();
+        let mut s = DenseMatrix::identity(g.num_nodes());
+        for _ in 0..3 {
+            let fast = power_simrank(&g, C, 1);
+            let _ = fast; // one-iteration comparison below drives both
+            let slow = naive_iteration(&g, C, &s);
+            // Drive the optimized path one step from the same state: easiest
+            // is re-running power_simrank from scratch each loop.
+            s = slow;
+        }
+        let fast3 = power_simrank(&g, C, 3);
+        assert!(fast3.max_abs_diff(&s) < 1e-12);
+    }
+
+    #[test]
+    fn matches_complete_graph_closed_form() {
+        let n = 6;
+        let s = power_simrank(&complete_graph(n), C, 60);
+        let closed = C * (n - 2) as f64
+            / ((1.0 - C) * ((n - 1) * (n - 1)) as f64 + C * (n - 2) as f64);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { closed };
+                assert!((s.get(i, j) - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_and_star_degenerate_scores() {
+        let s = power_simrank(&cycle_graph(5), C, 40);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(s.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+        let s = power_simrank(&star_graph(4), C, 40);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(s.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn lemma1_iteration_count() {
+        // c = 0.6, eps = 0.025: t >= log_0.6(0.01) - 1 = 9.01 - 1 -> 9.
+        let t = iterations_for_error(0.6, 0.025);
+        assert!((8..=10).contains(&t), "t = {t}");
+        // Error after t iterations is at most c^(t+1)/(1-c) (Lemma 1
+        // contrapositive): verify convergence empirically.
+        let g = two_cliques_bridge(4);
+        let approx = power_simrank(&g, 0.6, t);
+        let exact = power_simrank(&g, 0.6, 80);
+        assert!(approx.max_abs_diff(&exact) <= 0.025);
+    }
+
+    #[test]
+    fn scores_symmetric_and_monotone_in_iterations() {
+        let g = two_cliques_bridge(4);
+        let s1 = power_simrank(&g, C, 5);
+        let s2 = power_simrank(&g, C, 25);
+        let n = g.num_nodes();
+        for i in 0..n {
+            for j in 0..n {
+                assert!((s2.get(i, j) - s2.get(j, i)).abs() < 1e-12);
+                // Power-method scores increase monotonically to the fixed
+                // point (S^(0) = I underestimates).
+                assert!(s2.get(i, j) + 1e-12 >= s1.get(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! SimRank variants surveyed in §8 of the SLING paper, implemented as
+//! extension features (the paper's stated future work is to "extend
+//! SLING to handle other similarity measures"):
+//!
+//! * [`p_rank`] — P-Rank (Zhao et al., CIKM 2009): blends in-neighbor
+//!   and out-neighbor similarity with a weight λ; SimRank is the λ = 1
+//!   special case.
+//! * [`PSimRank`] — PSimRank (Fogaras & Rácz, WWW 2005): reverse walks
+//!   are *coupled through a shared random priority order*, so that walks
+//!   from nodes with overlapping in-neighborhoods meet with probability
+//!   `|I(u) ∩ I(v)| / |I(u) ∪ I(v)|` per step, rewarding local overlap
+//!   more strongly than SimRank's independent walks.
+
+use sling_graph::{DiGraph, NodeId};
+
+use crate::matrix::DenseMatrix;
+
+/// All-pairs P-Rank by power iteration (dense `O(n²)`; small graphs).
+///
+/// ```text
+/// s(u,v) = λ · c/(|I(u)||I(v)|) Σ s(I(u), I(v))
+///        + (1-λ) · c/(|O(u)||O(v)|) Σ s(O(u), O(v)),   s(v,v) = 1
+/// ```
+///
+/// `lambda = 1` reduces to SimRank; `lambda = 0` to "reverse SimRank".
+pub fn p_rank(graph: &DiGraph, c: f64, lambda: f64, iterations: usize) -> DenseMatrix {
+    assert!((0.0..=1.0).contains(&lambda), "lambda must lie in [0,1]");
+    assert!(c > 0.0 && c < 1.0);
+    let n = graph.num_nodes();
+    let mut s = DenseMatrix::identity(n);
+    let mut next = DenseMatrix::zeros(n);
+    for _ in 0..iterations {
+        for i in 0..n {
+            let vi = NodeId::from_index(i);
+            for j in 0..n {
+                if i == j {
+                    next.set(i, j, 1.0);
+                    continue;
+                }
+                let vj = NodeId::from_index(j);
+                let mut val = 0.0;
+                let (ii, ij) = (graph.in_neighbors(vi), graph.in_neighbors(vj));
+                if lambda > 0.0 && !ii.is_empty() && !ij.is_empty() {
+                    let mut sum = 0.0;
+                    for &a in ii {
+                        for &b in ij {
+                            sum += s.get(a.index(), b.index());
+                        }
+                    }
+                    val += lambda * c * sum / (ii.len() * ij.len()) as f64;
+                }
+                let (oi, oj) = (graph.out_neighbors(vi), graph.out_neighbors(vj));
+                if lambda < 1.0 && !oi.is_empty() && !oj.is_empty() {
+                    let mut sum = 0.0;
+                    for &a in oi {
+                        for &b in oj {
+                            sum += s.get(a.index(), b.index());
+                        }
+                    }
+                    val += (1.0 - lambda) * c * sum / (oi.len() * oj.len()) as f64;
+                }
+                next.set(i, j, val);
+            }
+        }
+        std::mem::swap(&mut s, &mut next);
+    }
+    s
+}
+
+/// Monte-Carlo PSimRank estimator.
+///
+/// Coupling: at each step every walk moves to the in-neighbor with the
+/// smallest value of a shared random priority function over nodes (one
+/// fresh function per `(walk, step)`). Marginally each move is uniform;
+/// jointly, two walks pick the *same* next node exactly when the minimum
+/// over `I(a) ∪ I(b)` lies in `I(a) ∩ I(b)` — probability
+/// `|∩| / |∪|`, the PSimRank coupling.
+#[derive(Clone, Copy, Debug)]
+pub struct PSimRank {
+    c: f64,
+    walks: usize,
+    truncation: usize,
+    seed: u64,
+}
+
+#[inline]
+fn priority(seed: u64, w: u64, step: u64, v: u64) -> u64 {
+    let mut z = seed
+        ^ w.wrapping_mul(0xa076_1d64_78bd_642f)
+        ^ step.wrapping_mul(0xe703_7ed1_a0b4_28db)
+        ^ v.wrapping_mul(0x8ebc_6af0_9c88_c6e3);
+    z = (z ^ (z >> 32)).wrapping_mul(0xd6e8_feb8_6659_fd93);
+    z ^ (z >> 32)
+}
+
+impl PSimRank {
+    /// New estimator (zero preprocessing, like [`crate::CoupledMc`]).
+    pub fn new(c: f64, walks: usize, truncation: usize, seed: u64) -> Self {
+        assert!(c > 0.0 && c < 1.0);
+        assert!(walks > 0 && truncation > 0);
+        PSimRank {
+            c,
+            walks,
+            truncation,
+            seed,
+        }
+    }
+
+    #[inline]
+    fn step(&self, graph: &DiGraph, w: usize, step: usize, v: NodeId) -> Option<NodeId> {
+        graph
+            .in_neighbors(v)
+            .iter()
+            .min_by_key(|x| priority(self.seed, w as u64, step as u64, x.0 as u64))
+            .copied()
+    }
+
+    /// Estimate the PSimRank score of `(u, v)` as `(1/n_w) Σ c^{τ_w}`.
+    pub fn single_pair(&self, graph: &DiGraph, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        for w in 0..self.walks {
+            let (mut a, mut b) = (u, v);
+            for step in 0..self.truncation {
+                match (self.step(graph, w, step, a), self.step(graph, w, step, b)) {
+                    (Some(x), Some(y)) => {
+                        if x == y {
+                            total += self.c.powi(step as i32 + 1);
+                            break;
+                        }
+                        a = x;
+                        b = y;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        total / self.walks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::power_simrank;
+    use sling_graph::generators::{complete_graph, cycle_graph, two_cliques_bridge};
+    use sling_graph::{DiGraph, GraphBuilder};
+
+    const C: f64 = 0.6;
+
+    #[test]
+    fn p_rank_with_lambda_one_is_simrank() {
+        let g = two_cliques_bridge(4);
+        let pr = p_rank(&g, C, 1.0, 40);
+        let sr = power_simrank(&g, C, 40);
+        assert!(pr.max_abs_diff(&sr) < 1e-12);
+    }
+
+    #[test]
+    fn p_rank_blends_directions() {
+        // Directed diamond: 0 -> {1,2} -> 3. Nodes 1 and 2 have identical
+        // in-neighborhoods AND identical out-neighborhoods, so every
+        // lambda gives them high similarity; nodes 0 and 3 share neither.
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let g = b.build().unwrap();
+        for lambda in [0.0, 0.5, 1.0] {
+            let s = p_rank(&g, C, lambda, 40);
+            assert!(s.get(1, 2) >= C - 1e-9, "lambda {lambda}: {}", s.get(1, 2));
+            assert!(s.get(0, 3) <= s.get(1, 2));
+        }
+        // lambda = 0 judges purely by out-neighbors: 0 and 3 share none.
+        let s = p_rank(&g, C, 0.0, 40);
+        assert_eq!(s.get(0, 3), 0.0);
+    }
+
+    #[test]
+    fn p_rank_symmetry_and_bounds() {
+        let g = two_cliques_bridge(3);
+        let s = p_rank(&g, C, 0.4, 30);
+        let n = g.num_nodes();
+        for i in 0..n {
+            for j in 0..n {
+                assert!((s.get(i, j) - s.get(j, i)).abs() < 1e-12);
+                assert!((-1e-12..=1.0 + 1e-12).contains(&s.get(i, j)));
+            }
+        }
+    }
+
+    /// Shared-in-neighborhood pair: PSimRank couples the walks so they
+    /// meet at step 1 with probability |∩|/|∪| = 1, giving exactly c.
+    #[test]
+    fn psimrank_identical_in_neighborhoods_score_c() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (0, 2)]); // I(1) = I(2) = {0}
+        let g = b.build().unwrap();
+        let ps = PSimRank::new(C, 500, 8, 3);
+        let s = ps.single_pair(&g, NodeId(1), NodeId(2));
+        assert!((s - C).abs() < 1e-12, "s = {s}");
+    }
+
+    #[test]
+    fn psimrank_dominates_simrank_on_overlapping_neighborhoods() {
+        // The coupling can only increase meeting probability relative to
+        // independent walks when in-neighborhoods overlap.
+        let g = complete_graph(5);
+        let truth = power_simrank(&g, C, 60);
+        let ps = PSimRank::new(C, 8000, 12, 11);
+        let s = ps.single_pair(&g, NodeId(0), NodeId(1));
+        assert!(
+            s > truth.get(0, 1),
+            "PSimRank {s} should exceed SimRank {}",
+            truth.get(0, 1)
+        );
+    }
+
+    #[test]
+    fn psimrank_degenerate_cases() {
+        let g: DiGraph = cycle_graph(5);
+        let ps = PSimRank::new(C, 200, 10, 1);
+        // Disjoint single in-neighbors: |∩|/|∪| = 0 at every step on a
+        // cycle, and the deterministic positions never collide.
+        assert_eq!(ps.single_pair(&g, NodeId(0), NodeId(2)), 0.0);
+        assert_eq!(ps.single_pair(&g, NodeId(3), NodeId(3)), 1.0);
+    }
+
+    #[test]
+    fn psimrank_marginals_are_uniform() {
+        // Each individual coupled walk must still be a uniform reverse
+        // walk: over many (w, step) pairs the chosen in-neighbor of a
+        // fixed node is uniform.
+        let g = complete_graph(4); // I(0) = {1, 2, 3}
+        let ps = PSimRank::new(C, 1, 1, 99);
+        let mut counts = [0usize; 4];
+        for w in 0..30_000 {
+            let nxt = ps.step(&g, w, 0, NodeId(0)).unwrap();
+            counts[nxt.index()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for &cnt in &counts[1..] {
+            let frac = cnt as f64 / 30_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "frac {frac}");
+        }
+    }
+}

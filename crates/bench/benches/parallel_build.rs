@@ -1,0 +1,28 @@
+//! Criterion benchmark behind Figure 9: multi-threaded index
+//! construction. On hosts with a single core the curve is flat; the
+//! bench still validates that the parallel path carries no pathological
+//! overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sling_bench::{params_for, sling_config};
+use sling_core::SlingIndex;
+use sling_graph::datasets::{by_name, Tier};
+
+fn bench_parallel_build(c: &mut Criterion) {
+    let spec = by_name("as-sim").unwrap();
+    let graph = spec.build();
+    let params = params_for(Tier::Small, Some(0.1));
+
+    let mut group = c.benchmark_group("fig9/build_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let cfg = sling_config(&params, 42).with_threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| SlingIndex::build(&graph, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_build);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark behind Figure 3: preprocessing cost of each
+//! method on one small dataset (ε relaxed to keep iterations quick).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sling_baselines::linearize::Linearize;
+use sling_baselines::monte_carlo::McIndex;
+use sling_bench::{params_for, sling_config, C};
+use sling_core::SlingIndex;
+use sling_graph::datasets::{by_name, Tier};
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let spec = by_name("as-sim").unwrap();
+    let graph = spec.build();
+    let params = params_for(Tier::Small, Some(0.1));
+
+    let mut group = c.benchmark_group("preprocessing/as-sim");
+    group.sample_size(10);
+    group.bench_function("sling_build", |b| {
+        b.iter(|| SlingIndex::build(&graph, &sling_config(&params, 42)).unwrap())
+    });
+    group.bench_function("linearize_build", |b| {
+        b.iter(|| Linearize::build(&graph, &params.lin))
+    });
+    group.bench_function("mc_build_1000_walks", |b| {
+        b.iter(|| McIndex::build(&graph, C, 1000, params.mc_truncation, 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessing);
+criterion_main!(benches);

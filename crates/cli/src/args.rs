@@ -1,0 +1,138 @@
+//! Minimal command-line argument parser.
+//!
+//! No external parsing crate is on the allowed dependency list, and the
+//! CLI's needs are modest: positional arguments, `--flag value` pairs,
+//! and boolean `--switch`es. Unknown flags are an error (typos should
+//! never be silently ignored on a tool that can overwrite files).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals in order, flags by name.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Specification of what a subcommand accepts.
+#[derive(Clone, Copy, Debug)]
+pub struct Spec<'a> {
+    /// Flags that take a value (`--eps 0.025`).
+    pub value_flags: &'a [&'a str],
+    /// Boolean switches (`--degrees`).
+    pub switches: &'a [&'a str],
+}
+
+impl Args {
+    /// Parse `tokens` against `spec`.
+    pub fn parse<I, S>(tokens: I, spec: Spec<'_>) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter().map(Into::into).peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if spec.switches.contains(&name) {
+                    out.switches.push(name.to_string());
+                } else if spec.value_flags.contains(&name) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                    if out.flags.insert(name.to_string(), value).is_some() {
+                        return Err(format!("flag --{name} given twice"));
+                    }
+                } else {
+                    return Err(format!("unknown flag --{name}"));
+                }
+            } else {
+                out.positionals.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument `i`, or an error naming it.
+    pub fn positional(&self, i: usize, name: &str) -> Result<&str, String> {
+        self.positionals
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing <{name}> argument"))
+    }
+
+    /// Raw flag value.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Whether a switch was passed.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Parse a flag into any `FromStr` type, with a default.
+    pub fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse {raw:?}")),
+        }
+    }
+
+    /// Required flag, parsed.
+    pub fn flag_required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let raw = self
+            .flag(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))?;
+        raw.parse()
+            .map_err(|_| format!("flag --{name}: cannot parse {raw:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: Spec<'_> = Spec {
+        value_flags: &["eps", "out", "seed"],
+        switches: &["degrees"],
+    };
+
+    #[test]
+    fn mixes_positionals_flags_switches() {
+        let a = Args::parse(["g.bin", "--eps", "0.05", "--degrees", "idx.bin"], SPEC).unwrap();
+        assert_eq!(a.positional(0, "graph").unwrap(), "g.bin");
+        assert_eq!(a.positional(1, "index").unwrap(), "idx.bin");
+        assert_eq!(a.flag("eps"), Some("0.05"));
+        assert!(a.switch("degrees"));
+        assert!(!a.switch("missing"));
+    }
+
+    #[test]
+    fn rejects_unknown_and_duplicate_flags() {
+        assert!(Args::parse(["--bogus", "1"], SPEC).is_err());
+        assert!(Args::parse(["--eps", "1", "--eps", "2"], SPEC).is_err());
+        assert!(Args::parse(["--eps"], SPEC).is_err(), "value flag without value");
+    }
+
+    #[test]
+    fn typed_flag_parsing() {
+        let a = Args::parse(["--eps", "0.1", "--seed", "42"], SPEC).unwrap();
+        assert_eq!(a.flag_parse("eps", 0.5f64).unwrap(), 0.1);
+        assert_eq!(a.flag_parse("seed", 0u64).unwrap(), 42);
+        assert_eq!(a.flag_parse::<u64>("missingflag", 7).unwrap(), 7);
+        assert!(a.flag_required::<f64>("out").is_err());
+        let bad = Args::parse(["--eps", "abc"], SPEC).unwrap();
+        assert!(bad.flag_parse("eps", 0.0f64).is_err());
+    }
+
+    #[test]
+    fn missing_positional_is_named_in_error() {
+        let a = Args::parse(Vec::<String>::new(), SPEC).unwrap();
+        let err = a.positional(0, "graph").unwrap_err();
+        assert!(err.contains("graph"));
+    }
+}

@@ -1,0 +1,585 @@
+//! Subcommand implementations.
+//!
+//! Every command is a plain function from parsed [`Args`] to a `String`
+//! report (printed by `main`), so the full CLI surface is unit-testable
+//! without spawning processes.
+
+use std::fmt::Write as _;
+
+use sling_core::{SlingConfig, SlingIndex};
+use sling_graph::traversal::double_sweep_diameter;
+use sling_graph::{
+    binfmt, components, datasets, edgelist, generators, DegreeDistribution, DegreeKind, DiGraph,
+    GraphStats, NodeId,
+};
+
+use crate::args::{Args, Spec};
+
+/// Top-level usage text.
+pub const USAGE: &str = "sling — SimRank queries with the SLING index (SIGMOD 2016 reproduction)
+
+USAGE: sling <command> [args]
+
+COMMANDS:
+  datasets                                list the bundled synthetic dataset suite
+  generate --dataset NAME --out FILE      materialize a suite dataset
+  generate --ba N,K | --er N,M | --ws N,K,BETA | --grid R,C [--seed S] --out FILE
+  stats GRAPH [--degrees]                 structural statistics of a graph file
+  build GRAPH --out FILE [--eps E] [--c C] [--seed S] [--threads T]
+  query GRAPH INDEX pair U V              one SimRank score
+  query GRAPH INDEX source U [--top K]    single-source scores / top-k
+  join GRAPH INDEX --tau T [--limit L]    all pairs with score >= T
+  transform GRAPH PASS --out FILE [--k K] largest-wcc | transpose | k-core | peel-dangling
+  ppr GRAPH SOURCE [--alpha A] [--top K]  personalized PageRank ranking
+  audit GRAPH INDEX [--pairs N] [--mc M] [--exact]
+                                          empirically verify the eps guarantee
+
+Graph files may be SNAP-style text edge lists or the binary format
+written by generate (detected by magic bytes).";
+
+/// Load a graph from either the binary format or a text edge list.
+pub fn load_graph(path: &str) -> Result<DiGraph, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.starts_with(b"SLNGGRF1") {
+        binfmt::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))
+    } else {
+        edgelist::parse(bytes.as_slice(), edgelist::ParseOptions::default())
+            .map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn save_graph(g: &DiGraph, path: &str, text: bool) -> Result<(), String> {
+    if text {
+        edgelist::save_path(g, path).map_err(|e| format!("{path}: {e}"))
+    } else {
+        binfmt::save_path(g, path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn parse_tuple<const N: usize>(raw: &str, flag: &str) -> Result<[f64; N], String> {
+    let parts: Vec<&str> = raw.split(',').collect();
+    if parts.len() != N {
+        return Err(format!("--{flag} expects {N} comma-separated values"));
+    }
+    let mut out = [0.0; N];
+    for (dst, part) in out.iter_mut().zip(parts) {
+        *dst = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("--{flag}: cannot parse {part:?}"))?;
+    }
+    Ok(out)
+}
+
+/// `sling datasets`
+pub fn cmd_datasets(_args: &Args) -> Result<String, String> {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<16} {:<12} {:>9} {:>11} {:<9} {}",
+        "name", "stands for", "paper n", "paper m", "type", "tier"
+    )
+    .unwrap();
+    for d in datasets::suite() {
+        writeln!(
+            out,
+            "{:<16} {:<12} {:>9} {:>11} {:<9} {:?}",
+            d.name,
+            d.paper_name,
+            d.paper_n,
+            d.paper_m,
+            if d.directed { "directed" } else { "undirected" },
+            d.tier,
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// `sling generate`
+pub fn cmd_generate(args: &Args) -> Result<String, String> {
+    let out_path: String = args.flag_required("out")?;
+    let seed: u64 = args.flag_parse("seed", 1u64)?;
+    let text = args.switch("text");
+    let g = if let Some(name) = args.flag("dataset") {
+        datasets::by_name(name)
+            .ok_or_else(|| format!("unknown dataset {name:?}; run `sling datasets`"))?
+            .build()
+    } else if let Some(raw) = args.flag("ba") {
+        let [n, k] = parse_tuple::<2>(raw, "ba")?;
+        generators::barabasi_albert(n as usize, k as usize, seed).map_err(|e| e.to_string())?
+    } else if let Some(raw) = args.flag("er") {
+        let [n, m] = parse_tuple::<2>(raw, "er")?;
+        generators::erdos_renyi_directed(n as usize, m as usize, seed)
+            .map_err(|e| e.to_string())?
+    } else if let Some(raw) = args.flag("ws") {
+        let [n, k, beta] = parse_tuple::<3>(raw, "ws")?;
+        generators::watts_strogatz(n as usize, k as usize, beta, seed)
+            .map_err(|e| e.to_string())?
+    } else if let Some(raw) = args.flag("grid") {
+        let [r, c] = parse_tuple::<2>(raw, "grid")?;
+        generators::grid_graph(r as usize, c as usize)
+    } else {
+        return Err("generate needs --dataset, --ba, --er, --ws, or --grid".to_string());
+    };
+    save_graph(&g, &out_path, text)?;
+    Ok(format!(
+        "wrote {} (n = {}, m = {})",
+        out_path,
+        g.num_nodes(),
+        g.num_edges()
+    ))
+}
+
+/// `sling stats`
+pub fn cmd_stats(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "graph")?;
+    let g = load_graph(path)?;
+    let stats = GraphStats::compute(&g);
+    let (wcc_labels, wcc_count) = components::weakly_connected_components(&g);
+    let largest = components::largest_component_size(&wcc_labels, wcc_count);
+    let (_, scc_count) = components::strongly_connected_components(&g);
+    let mut out = String::new();
+    writeln!(out, "{stats}").unwrap();
+    writeln!(
+        out,
+        "wcc={wcc_count} (largest {largest}) scc={scc_count} diameter>={}",
+        double_sweep_diameter(&g, NodeId(0)),
+    )
+    .unwrap();
+    if args.switch("degrees") {
+        for kind in [DegreeKind::In, DegreeKind::Out] {
+            let d = DegreeDistribution::compute(&g, kind);
+            writeln!(
+                out,
+                "{:?}-degree: mean={:.2} median={} p90={} p99={} max={} gini={:.3}",
+                kind,
+                d.mean(),
+                d.median(),
+                d.quantile(0.9),
+                d.quantile(0.99),
+                d.max(),
+                d.gini(),
+            )
+            .unwrap();
+        }
+    }
+    Ok(out)
+}
+
+/// `sling build`
+pub fn cmd_build(args: &Args) -> Result<String, String> {
+    let graph_path = args.positional(0, "graph")?;
+    let out_path: String = args.flag_required("out")?;
+    let c: f64 = args.flag_parse("c", 0.6)?;
+    let eps: f64 = args.flag_parse("eps", 0.025)?;
+    let seed: u64 = args.flag_parse("seed", 1u64)?;
+    let threads: usize = args.flag_parse("threads", 1usize)?;
+    let g = load_graph(graph_path)?;
+    let config = SlingConfig::from_epsilon(c, eps)
+        .with_seed(seed)
+        .with_threads(threads);
+    let start = std::time::Instant::now();
+    let index = SlingIndex::build(&g, &config).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    let bytes = index.to_bytes();
+    std::fs::write(&out_path, &bytes).map_err(|e| format!("{out_path}: {e}"))?;
+    Ok(format!(
+        "built index: n = {}, {} bytes on disk, {:.2?} build time (eps = {eps}, c = {c})",
+        index.num_nodes(),
+        bytes.len(),
+        elapsed,
+    ))
+}
+
+fn load_index(graph: &DiGraph, path: &str) -> Result<SlingIndex, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    SlingIndex::from_bytes(graph, &bytes).map_err(|e| e.to_string())
+}
+
+fn parse_node(raw: &str, n: usize) -> Result<NodeId, String> {
+    let id: u32 = raw.parse().map_err(|_| format!("bad node id {raw:?}"))?;
+    if (id as usize) < n {
+        Ok(NodeId(id))
+    } else {
+        Err(format!("node {id} out of range (n = {n})"))
+    }
+}
+
+/// `sling query`
+pub fn cmd_query(args: &Args) -> Result<String, String> {
+    let graph_path = args.positional(0, "graph")?;
+    let index_path = args.positional(1, "index")?;
+    let mode = args.positional(2, "pair|source")?;
+    let g = load_graph(graph_path)?;
+    let index = load_index(&g, index_path)?;
+    match mode {
+        "pair" => {
+            let u = parse_node(args.positional(3, "u")?, g.num_nodes())?;
+            let v = parse_node(args.positional(4, "v")?, g.num_nodes())?;
+            let start = std::time::Instant::now();
+            let s = index.single_pair(&g, u, v);
+            Ok(format!(
+                "s({}, {}) = {s:.6}   [{:.1?}]",
+                u.0,
+                v.0,
+                start.elapsed()
+            ))
+        }
+        "source" => {
+            let u = parse_node(args.positional(3, "u")?, g.num_nodes())?;
+            let k: usize = args.flag_parse("top", 10usize)?;
+            let start = std::time::Instant::now();
+            let top = index.top_k(&g, u, k);
+            let elapsed = start.elapsed();
+            let mut out = String::new();
+            writeln!(out, "top {} similar to node {}   [{:.1?}]", k, u.0, elapsed).unwrap();
+            for (v, s) in top {
+                writeln!(out, "  {:>8}  {s:.6}", v.0).unwrap();
+            }
+            Ok(out)
+        }
+        other => Err(format!("unknown query mode {other:?} (pair|source)")),
+    }
+}
+
+/// `sling join`
+pub fn cmd_join(args: &Args) -> Result<String, String> {
+    let graph_path = args.positional(0, "graph")?;
+    let index_path = args.positional(1, "index")?;
+    let tau: f64 = args.flag_required("tau")?;
+    let limit: usize = args.flag_parse("limit", 50usize)?;
+    let g = load_graph(graph_path)?;
+    let index = load_index(&g, index_path)?;
+    let pairs = index
+        .threshold_join(&g, tau, sling_core::join::JoinStrategy::InvertedLists)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    writeln!(out, "{} pairs with s >= {tau}", pairs.len()).unwrap();
+    for p in pairs.iter().take(limit) {
+        writeln!(out, "  ({:>6}, {:>6})  {:.6}", p.u.0, p.v.0, p.score).unwrap();
+    }
+    if pairs.len() > limit {
+        writeln!(out, "  ... {} more (raise --limit)", pairs.len() - limit).unwrap();
+    }
+    Ok(out)
+}
+
+/// Dispatch a full command line (without the binary name).
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    match cmd.as_str() {
+        "datasets" => cmd_datasets(&Args::parse(rest.iter().cloned(), Spec {
+            value_flags: &[],
+            switches: &[],
+        })?),
+        "generate" => cmd_generate(&Args::parse(rest.iter().cloned(), Spec {
+            value_flags: &["dataset", "ba", "er", "ws", "grid", "seed", "out"],
+            switches: &["text"],
+        })?),
+        "stats" => cmd_stats(&Args::parse(rest.iter().cloned(), Spec {
+            value_flags: &[],
+            switches: &["degrees"],
+        })?),
+        "build" => cmd_build(&Args::parse(rest.iter().cloned(), Spec {
+            value_flags: &["out", "eps", "c", "seed", "threads"],
+            switches: &[],
+        })?),
+        "query" => cmd_query(&Args::parse(rest.iter().cloned(), Spec {
+            value_flags: &["top"],
+            switches: &[],
+        })?),
+        "join" => cmd_join(&Args::parse(rest.iter().cloned(), Spec {
+            value_flags: &["tau", "limit"],
+            switches: &[],
+        })?),
+        "transform" => cmd_transform(&Args::parse(rest.iter().cloned(), Spec {
+            value_flags: &["out", "k"],
+            switches: &["text"],
+        })?),
+        "ppr" => cmd_ppr(&Args::parse(rest.iter().cloned(), Spec {
+            value_flags: &["alpha", "top"],
+            switches: &[],
+        })?),
+        "audit" => cmd_audit(&Args::parse(rest.iter().cloned(), Spec {
+            value_flags: &["pairs", "mc", "seed"],
+            switches: &["exact"],
+        })?),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+/// Convenience for tests: run a command given as whitespace-split string.
+#[cfg(test)]
+pub fn run_str(line: &str) -> Result<String, String> {
+    let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+    run(&argv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sling_cli_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn datasets_lists_suite() {
+        let out = run_str("datasets").unwrap();
+        assert!(out.contains("grqc-sim"));
+        assert!(out.contains("GrQc"));
+    }
+
+    #[test]
+    fn generate_stats_roundtrip_binary_and_text() {
+        let dir = tmpdir("gen");
+        for (flag, file) in [("", "g.bin"), ("--text", "g.txt")] {
+            let path = dir.join(file);
+            let cmd = format!("generate --ba 200,3 --seed 5 --out {} {flag}", path.display());
+            let out = run_str(cmd.trim()).unwrap();
+            assert!(out.contains("n = 200"), "{out}");
+            let stats = run_str(&format!("stats {} --degrees", path.display())).unwrap();
+            assert!(stats.contains("n=200"), "{stats}");
+            assert!(stats.contains("In-degree"), "{stats}");
+        }
+    }
+
+    #[test]
+    fn generate_requires_a_source() {
+        let err = run_str("generate --out /tmp/x.bin").unwrap_err();
+        assert!(err.contains("--dataset"));
+    }
+
+    #[test]
+    fn full_pipeline_build_query_join() {
+        let dir = tmpdir("pipeline");
+        let g = dir.join("g.bin");
+        let idx = dir.join("idx.slng");
+        run_str(&format!("generate --ws 100,2,0.2 --seed 3 --out {}", g.display())).unwrap();
+        let built = run_str(&format!(
+            "build {} --out {} --eps 0.05 --seed 9",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        assert!(built.contains("built index"), "{built}");
+
+        let pair = run_str(&format!("query {} {} pair 0 1", g.display(), idx.display())).unwrap();
+        assert!(pair.starts_with("s(0, 1) ="), "{pair}");
+
+        let source =
+            run_str(&format!("query {} {} source 0 --top 5", g.display(), idx.display()))
+                .unwrap();
+        assert!(source.contains("top 5 similar to node 0"), "{source}");
+
+        let join = run_str(&format!(
+            "join {} {} --tau 0.05 --limit 3",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        assert!(join.contains("pairs with s >= 0.05"), "{join}");
+    }
+
+    #[test]
+    fn query_rejects_bad_nodes_and_modes() {
+        let dir = tmpdir("badquery");
+        let g = dir.join("g.bin");
+        let idx = dir.join("idx.slng");
+        run_str(&format!("generate --er 20,60 --out {}", g.display())).unwrap();
+        run_str(&format!("build {} --out {} --eps 0.1", g.display(), idx.display())).unwrap();
+        assert!(run_str(&format!("query {} {} pair 0 99", g.display(), idx.display()))
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(run_str(&format!("query {} {} walk 0", g.display(), idx.display()))
+            .unwrap_err()
+            .contains("unknown query mode"));
+    }
+
+    #[test]
+    fn transform_pipeline() {
+        let dir = tmpdir("transform");
+        let g = dir.join("g.bin");
+        run_str(&format!("generate --ba 100,2 --out {}", g.display())).unwrap();
+        let wcc = dir.join("wcc.bin");
+        let out = run_str(&format!(
+            "transform {} largest-wcc --out {}",
+            g.display(),
+            wcc.display()
+        ))
+        .unwrap();
+        assert!(out.contains("nodes kept"), "{out}");
+        let t = dir.join("t.bin");
+        run_str(&format!("transform {} transpose --out {}", g.display(), t.display())).unwrap();
+        let core = dir.join("core.bin");
+        let out = run_str(&format!(
+            "transform {} k-core --k 3 --out {}",
+            g.display(),
+            core.display()
+        ))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(run_str(&format!("transform {} bogus --out {}", g.display(), t.display()))
+            .unwrap_err()
+            .contains("unknown pass"));
+        assert!(run_str(&format!("transform {} k-core --out {}", g.display(), t.display()))
+            .unwrap_err()
+            .contains("--k"));
+    }
+
+    #[test]
+    fn ppr_command_ranks() {
+        let dir = tmpdir("ppr");
+        let g = dir.join("g.bin");
+        run_str(&format!("generate --er 50,200 --seed 2 --out {}", g.display())).unwrap();
+        let out = run_str(&format!("ppr {} 0 --top 3", g.display())).unwrap();
+        assert!(out.contains("top 3 PPR"), "{out}");
+        assert!(run_str(&format!("ppr {} 0 --alpha 1.5", g.display()))
+            .unwrap_err()
+            .contains("alpha"));
+        assert!(run_str(&format!("ppr {} 999", g.display()))
+            .unwrap_err()
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn audit_command_passes_on_fresh_index() {
+        let dir = tmpdir("audit");
+        let g = dir.join("g.bin");
+        let idx = dir.join("idx.slng");
+        run_str(&format!("generate --er 40,160 --seed 4 --out {}", g.display())).unwrap();
+        run_str(&format!("build {} --out {} --eps 0.1", g.display(), idx.display())).unwrap();
+        let out = run_str(&format!(
+            "audit {} {} --pairs 20 --mc 20000",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        let exact = run_str(&format!("audit {} {} --exact", g.display(), idx.display())).unwrap();
+        assert!(exact.contains("PASS"), "{exact}");
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = run_str("frobnicate").unwrap_err();
+        assert!(err.contains("USAGE"));
+        assert!(run_str("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn dataset_generation_by_name() {
+        let dir = tmpdir("byname");
+        let path = dir.join("as.bin");
+        let out = run_str(&format!("generate --dataset as-sim --out {}", path.display()));
+        // Name must exist in the suite; if suite names change this test
+        // flags the CLI docs going stale.
+        assert!(out.is_ok(), "{out:?}");
+        assert!(run_str(&format!("generate --dataset nope --out {}", path.display()))
+            .unwrap_err()
+            .contains("unknown dataset"));
+    }
+}
+
+/// `sling transform`
+pub fn cmd_transform(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "graph")?;
+    let pass = args.positional(1, "pass")?;
+    let out_path: String = args.flag_required("out")?;
+    let g = load_graph(path)?;
+    let (result, kept): (sling_graph::DiGraph, Option<usize>) = match pass {
+        "largest-wcc" => {
+            let r = sling_graph::transform::largest_wcc(&g);
+            let kept = r.graph.num_nodes();
+            (r.graph, Some(kept))
+        }
+        "transpose" => (sling_graph::transform::transpose(&g), None),
+        "k-core" => {
+            let k: usize = args.flag_required("k")?;
+            let r = sling_graph::transform::k_core(&g, k);
+            let kept = r.graph.num_nodes();
+            (r.graph, Some(kept))
+        }
+        "peel-dangling" => {
+            let r = sling_graph::transform::peel_dangling_in(&g);
+            let kept = r.graph.num_nodes();
+            (r.graph, Some(kept))
+        }
+        other => {
+            return Err(format!(
+                "unknown pass {other:?} (largest-wcc|transpose|k-core|peel-dangling)"
+            ))
+        }
+    };
+    save_graph(&result, &out_path, args.switch("text"))?;
+    let note = kept
+        .map(|k| format!(" ({k} of {} nodes kept)", g.num_nodes()))
+        .unwrap_or_default();
+    Ok(format!(
+        "wrote {} (n = {}, m = {}){note}",
+        out_path,
+        result.num_nodes(),
+        result.num_edges()
+    ))
+}
+
+/// `sling ppr`
+pub fn cmd_ppr(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "graph")?;
+    let source = args.positional(1, "source")?;
+    let alpha: f64 = args.flag_parse("alpha", 0.6f64.sqrt())?;
+    let k: usize = args.flag_parse("top", 10usize)?;
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(format!("--alpha must lie in (0,1), got {alpha}"));
+    }
+    let g = load_graph(path)?;
+    let u = parse_node(source, g.num_nodes())?;
+    let scores = sling_core::ppr::ppr_from_source(&g, alpha, u, 1e-12);
+    let mut ranked: Vec<(usize, f64)> = scores
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(v, s)| v != u.index() && s > 0.0)
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    let mut out = String::new();
+    writeln!(out, "top {k} PPR (alpha = {alpha:.3}) from node {}", u.0).unwrap();
+    for (v, s) in ranked {
+        writeln!(out, "  {v:>8}  {s:.6}").unwrap();
+    }
+    Ok(out)
+}
+
+/// `sling audit`
+pub fn cmd_audit(args: &Args) -> Result<String, String> {
+    let graph_path = args.positional(0, "graph")?;
+    let index_path = args.positional(1, "index")?;
+    let g = load_graph(graph_path)?;
+    let index = load_index(&g, index_path)?;
+    let audit = if args.switch("exact") {
+        if g.num_nodes() > 5000 {
+            return Err(format!(
+                "--exact builds an n x n ground truth; n = {} is too large (use sampled mode)",
+                g.num_nodes()
+            ));
+        }
+        sling_core::verify::audit_exact(&index, &g)
+    } else {
+        let pairs: usize = args.flag_parse("pairs", 200usize)?;
+        let mc: u32 = args.flag_parse("mc", 50_000u32)?;
+        let seed: u64 = args.flag_parse("seed", 1u64)?;
+        sling_core::verify::audit_sampled(&index, &g, pairs, mc, seed)
+    };
+    Ok(format!(
+        "{audit}\n{}",
+        if audit.passed() { "PASS" } else { "FAIL" }
+    ))
+}

@@ -1,0 +1,17 @@
+//! `sling` — command-line interface to the SLING SimRank reproduction.
+//!
+//! See [`commands::USAGE`] or run `sling help` for the command list.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

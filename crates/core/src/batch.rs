@@ -1,0 +1,216 @@
+//! Parallel batch query execution.
+//!
+//! Index construction is not the only embarrassingly parallel part of
+//! SLING: queries share the immutable index and graph, so a batch of
+//! single-pair or single-source queries shards across threads with zero
+//! synchronization beyond an atomic work cursor. This is the engine the
+//! accuracy experiments (Figures 5–7 compute all-pairs scores) and any
+//! bulk-scoring application (link-prediction sweeps, offline
+//! recommendation refreshes) want.
+//!
+//! Work is claimed in fixed blocks from an atomic counter — the same
+//! skew-balancing scheme as [`crate::parallel`] — and every output slot
+//! is written by exactly one worker, so results are deterministic and
+//! identical to the serial path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sling_graph::{DiGraph, NodeId};
+
+use crate::index::{QueryWorkspace, SlingIndex};
+use crate::single_source::SingleSourceWorkspace;
+
+/// Pairs/sources claimed per atomic fetch.
+const BLOCK: usize = 32;
+
+/// Disjoint mutable block views over an output slice, handed to workers.
+/// Safe because blocks are claimed exactly once from the atomic cursor.
+struct SlotWriter<T> {
+    base: *mut T,
+    len: usize,
+}
+unsafe impl<T: Send> Sync for SlotWriter<T> {}
+
+impl<T> SlotWriter<T> {
+    fn new(slice: &mut [T]) -> Self {
+        SlotWriter {
+            base: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// Each index must be written by at most one thread, which the
+    /// block-claiming cursor guarantees.
+    unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        unsafe { self.base.add(i).write(value) };
+    }
+}
+
+impl SlingIndex {
+    /// Evaluate a batch of single-pair queries on `threads` workers.
+    /// Results are positionally aligned with `pairs` and identical to
+    /// the serial answers.
+    pub fn batch_single_pair(
+        &self,
+        graph: &DiGraph,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Vec<f64> {
+        let mut out = vec![0.0; pairs.len()];
+        let threads = threads.max(1).min(pairs.len().max(1));
+        if threads == 1 {
+            let mut ws = QueryWorkspace::new();
+            for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
+                *slot = self.single_pair_with(graph, &mut ws, u, v);
+            }
+            return out;
+        }
+        let cursor = AtomicUsize::new(0);
+        let writer = SlotWriter::new(&mut out);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut ws = QueryWorkspace::new();
+                    loop {
+                        let lo = cursor.fetch_add(BLOCK, Ordering::Relaxed);
+                        if lo >= pairs.len() {
+                            break;
+                        }
+                        let hi = (lo + BLOCK).min(pairs.len());
+                        for (i, &(u, v)) in pairs[lo..hi].iter().enumerate() {
+                            let s = self.single_pair_with(graph, &mut ws, u, v);
+                            // SAFETY: block [lo, hi) is claimed exactly once.
+                            unsafe { writer.write(lo + i, s) };
+                        }
+                    }
+                });
+            }
+        })
+        .expect("batch query worker panicked");
+        out
+    }
+
+    /// Evaluate single-source queries from every node in `sources` on
+    /// `threads` workers; `result[i]` is the full score vector of
+    /// `sources[i]`.
+    pub fn batch_single_source(
+        &self,
+        graph: &DiGraph,
+        sources: &[NodeId],
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); sources.len()];
+        let threads = threads.max(1).min(sources.len().max(1));
+        if threads == 1 {
+            let mut ws = SingleSourceWorkspace::new();
+            for (slot, &u) in out.iter_mut().zip(sources) {
+                self.single_source_with(graph, &mut ws, u, slot);
+            }
+            return out;
+        }
+        let cursor = AtomicUsize::new(0);
+        let writer = SlotWriter::new(&mut out);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut ws = SingleSourceWorkspace::new();
+                    loop {
+                        let lo = cursor.fetch_add(BLOCK, Ordering::Relaxed);
+                        if lo >= sources.len() {
+                            break;
+                        }
+                        let hi = (lo + BLOCK).min(sources.len());
+                        for (i, &u) in sources[lo..hi].iter().enumerate() {
+                            let mut scores = Vec::new();
+                            self.single_source_with(graph, &mut ws, u, &mut scores);
+                            // SAFETY: block [lo, hi) is claimed exactly once.
+                            unsafe { writer.write(lo + i, scores) };
+                        }
+                    }
+                });
+            }
+        })
+        .expect("batch query worker panicked");
+        out
+    }
+
+    /// All-pairs scores as `n` single-source rows (the Figures 5–7
+    /// protocol), parallelized over sources.
+    pub fn all_pairs(&self, graph: &DiGraph, threads: usize) -> Vec<Vec<f64>> {
+        let sources: Vec<NodeId> = graph.nodes().collect();
+        self.batch_single_source(graph, &sources, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlingConfig;
+    use sling_graph::generators::{barabasi_albert, two_cliques_bridge};
+
+    const C: f64 = 0.6;
+
+    fn build(g: &DiGraph) -> SlingIndex {
+        SlingIndex::build(g, &SlingConfig::from_epsilon(C, 0.1).with_seed(21)).unwrap()
+    }
+
+    #[test]
+    fn batch_pairs_match_serial_for_any_thread_count() {
+        let g = barabasi_albert(300, 3, 3).unwrap();
+        let idx = build(&g);
+        let pairs: Vec<(NodeId, NodeId)> = (0..257u32)
+            .map(|i| (NodeId(i % 300), NodeId((i * 7 + 1) % 300)))
+            .collect();
+        let serial = idx.batch_single_pair(&g, &pairs, 1);
+        for threads in [2, 3, 8] {
+            let parallel = idx.batch_single_pair(&g, &pairs, threads);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn batch_sources_match_serial() {
+        let g = two_cliques_bridge(6);
+        let idx = build(&g);
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let serial = idx.batch_single_source(&g, &sources, 1);
+        let parallel = idx.batch_single_source(&g, &sources, 4);
+        assert_eq!(serial, parallel);
+        // And each row matches the direct query.
+        for (i, &u) in sources.iter().enumerate() {
+            assert_eq!(serial[i], idx.single_source(&g, u));
+        }
+    }
+
+    #[test]
+    fn all_pairs_is_square_and_diagonal_one() {
+        let g = two_cliques_bridge(4);
+        let idx = build(&g);
+        let all = idx.all_pairs(&g, 3);
+        assert_eq!(all.len(), 8);
+        for (i, row) in all.iter().enumerate() {
+            assert_eq!(row.len(), 8);
+            assert_eq!(row[i], 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let g = two_cliques_bridge(3);
+        let idx = build(&g);
+        assert!(idx.batch_single_pair(&g, &[], 4).is_empty());
+        assert!(idx.batch_single_source(&g, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn oversubscribed_threads_clamp() {
+        let g = two_cliques_bridge(3);
+        let idx = build(&g);
+        let pairs = vec![(NodeId(0), NodeId(1))];
+        let got = idx.batch_single_pair(&g, &pairs, 64);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], idx.single_pair(&g, NodeId(0), NodeId(1)));
+    }
+}

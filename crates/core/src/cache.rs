@@ -1,0 +1,297 @@
+//! LRU result cache for single-pair queries.
+//!
+//! SimRank workloads in the applications the paper motivates (link
+//! prediction, collaborative filtering, "who to follow") exhibit heavy
+//! query-key reuse: hot nodes participate in many pair queries. Since the
+//! index is immutable after construction, caching is trivially coherent.
+//! Keys are canonicalized (`min(u,v), max(u,v)`) because SimRank is
+//! symmetric, doubling the effective hit rate.
+//!
+//! The cache is an open-hash map over an intrusive doubly-linked LRU
+//! list, built on the workspace's [`FxHashMap`] — no external LRU crate.
+//! All operations are `O(1)` expected.
+
+use sling_graph::{DiGraph, FxHashMap, NodeId};
+
+use crate::index::{QueryWorkspace, SlingIndex};
+
+/// Running hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to run Algorithm 3.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no queries were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+struct Slot {
+    key: (u32, u32),
+    value: f64,
+    prev: u32,
+    next: u32,
+}
+
+/// A single-pair query front-end that memoizes results in an LRU cache.
+///
+/// ```
+/// use sling_core::cache::CachedQueries;
+/// use sling_core::{SlingConfig, SlingIndex};
+/// use sling_graph::generators::two_cliques_bridge;
+///
+/// let g = two_cliques_bridge(4);
+/// let index = SlingIndex::build(&g, &SlingConfig::from_epsilon(0.6, 0.1)).unwrap();
+/// let mut cache = CachedQueries::new(&index, 1024);
+/// let first = cache.single_pair(&g, 0u32.into(), 1u32.into());
+/// let again = cache.single_pair(&g, 1u32.into(), 0u32.into()); // symmetric hit
+/// assert_eq!(first, again);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+pub struct CachedQueries<'i> {
+    index: &'i SlingIndex,
+    capacity: usize,
+    map: FxHashMap<(u32, u32), u32>,
+    slots: Vec<Slot>,
+    head: u32,
+    tail: u32,
+    free: Vec<u32>,
+    ws: QueryWorkspace,
+    stats: CacheStats,
+}
+
+impl<'i> CachedQueries<'i> {
+    /// Cache holding up to `capacity` pair results (capacity ≥ 1).
+    pub fn new(index: &'i SlingIndex, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        CachedQueries {
+            index,
+            capacity,
+            map: FxHashMap::default(),
+            slots: Vec::with_capacity(capacity.min(4096)),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            ws: QueryWorkspace::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop all cached entries (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn detach(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.slots[idx as usize].prev = NIL;
+        self.slots[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Cached single-pair query. Self-pairs are answered without caching.
+    pub fn single_pair(&mut self, graph: &DiGraph, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            return self.index.single_pair_with(graph, &mut self.ws, u, v);
+        }
+        let key = (u.0.min(v.0), u.0.max(v.0));
+        if let Some(&idx) = self.map.get(&key) {
+            self.stats.hits += 1;
+            self.detach(idx);
+            self.push_front(idx);
+            return self.slots[idx as usize].value;
+        }
+        self.stats.misses += 1;
+        let value = self.index.single_pair_with(graph, &mut self.ws, u, v);
+        // Insert, evicting the LRU tail at capacity.
+        let idx = if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            let old_key = self.slots[victim as usize].key;
+            self.map.remove(&old_key);
+            self.stats.evictions += 1;
+            self.slots[victim as usize].key = key;
+            self.slots[victim as usize].value = value;
+            victim
+        } else if let Some(reuse) = self.free.pop() {
+            self.slots[reuse as usize].key = key;
+            self.slots[reuse as usize].value = value;
+            reuse
+        } else {
+            self.slots.push(Slot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.slots.len() - 1) as u32
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlingConfig;
+    use sling_graph::generators::two_cliques_bridge;
+
+    const C: f64 = 0.6;
+
+    fn setup() -> (DiGraph, SlingIndex) {
+        let g = two_cliques_bridge(5);
+        let idx = SlingIndex::build(&g, &SlingConfig::from_epsilon(C, 0.05).with_seed(3)).unwrap();
+        (g, idx)
+    }
+
+    #[test]
+    fn cached_answers_match_uncached() {
+        let (g, idx) = setup();
+        let mut cache = CachedQueries::new(&idx, 64);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let want = idx.single_pair(&g, u, v);
+                // The cache canonicalizes the pair order, so a query made
+                // in the other order can differ by float merge order.
+                let got = cache.single_pair(&g, u, v);
+                assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+                // Second read must hit and return the identical value.
+                assert_eq!(cache.single_pair(&g, u, v), got);
+            }
+        }
+        assert!(cache.stats().hits >= cache.stats().misses);
+    }
+
+    #[test]
+    fn symmetric_keys_share_entries() {
+        let (g, idx) = setup();
+        let mut cache = CachedQueries::new(&idx, 8);
+        let a = cache.single_pair(&g, NodeId(1), NodeId(2));
+        let b = cache.single_pair(&g, NodeId(2), NodeId(1));
+        assert_eq!(a, b);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let (g, idx) = setup();
+        let mut cache = CachedQueries::new(&idx, 2);
+        cache.single_pair(&g, NodeId(0), NodeId(1)); // miss {0,1}
+        cache.single_pair(&g, NodeId(0), NodeId(2)); // miss {0,2}
+        cache.single_pair(&g, NodeId(0), NodeId(1)); // hit  {0,1} -> MRU
+        cache.single_pair(&g, NodeId(0), NodeId(3)); // miss, evicts {0,2}
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        cache.single_pair(&g, NodeId(0), NodeId(1)); // still resident
+        assert_eq!(cache.stats().hits, 2);
+        cache.single_pair(&g, NodeId(0), NodeId(2)); // was evicted -> miss
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let (g, idx) = setup();
+        let mut cache = CachedQueries::new(&idx, 1);
+        for _ in 0..3 {
+            cache.single_pair(&g, NodeId(0), NodeId(1));
+            cache.single_pair(&g, NodeId(2), NodeId(3));
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().misses, 6, "capacity 1 thrashes");
+        assert_eq!(cache.stats().evictions, 5);
+    }
+
+    #[test]
+    fn self_pairs_bypass_cache() {
+        let (g, idx) = setup();
+        let mut cache = CachedQueries::new(&idx, 4);
+        assert_eq!(cache.single_pair(&g, NodeId(2), NodeId(2)), 1.0);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn clear_resets_entries_not_counters() {
+        let (g, idx) = setup();
+        let mut cache = CachedQueries::new(&idx, 8);
+        cache.single_pair(&g, NodeId(0), NodeId(1));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+        // Re-query misses again (entry gone) and re-populates.
+        cache.single_pair(&g, NodeId(0), NodeId(1));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert_eq!(stats.hit_rate(), 0.75);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! SLING configuration and the Theorem 1 error budget.
+
+use crate::error::SlingError;
+
+/// Configuration of a [`crate::SlingIndex`].
+///
+/// Theorem 1 of the paper: the index guarantees at most `ε` additive error
+/// in every SimRank score (with probability ≥ 1 − δ) whenever
+///
+/// ```text
+/// ε_d / (1 − c)  +  2√c · θ / ((1 − √c)(1 − c))  ≤  ε,     δ_d ≤ δ/n.
+/// ```
+///
+/// [`SlingConfig::from_epsilon`] splits the budget evenly between the two
+/// terms, which for `c = 0.6, ε = 0.025` reproduces the paper's §7.1
+/// parameters (`ε_d = 0.005`, `θ ≈ 0.000725`).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SlingConfig {
+    /// SimRank decay factor `c ∈ (0, 1)`; the paper uses 0.6.
+    pub c: f64,
+    /// Target worst-case additive error `ε` of each returned score.
+    pub epsilon: f64,
+    /// Maximum error `ε_d` of each correction factor `d̃_k`.
+    pub eps_d: f64,
+    /// Hitting-probability truncation threshold `θ` of Algorithm 2.
+    pub theta: f64,
+    /// Overall failure probability `δ`; per-node `δ_d = δ/n` is derived at
+    /// build time. The paper uses `δ_d = 1/n²`, i.e. `δ = 1/n`.
+    pub delta: Option<f64>,
+    /// Seed for all sampling during construction (queries are
+    /// deterministic). Same seed + same graph ⇒ identical index.
+    pub seed: u64,
+    /// Use the adaptive Algorithm 4 estimator for `d_k` (default) instead
+    /// of the fixed-sample Algorithm 1.
+    pub adaptive_dk: bool,
+    /// §5.2 space reduction: drop step-1/2 HPs for nodes with
+    /// `η(v) ≤ γ/θ` and recompute them exactly at query time.
+    pub space_reduction: bool,
+    /// The constant `γ` of §5.2 (paper sets 10).
+    pub gamma: f64,
+    /// §5.3 accuracy enhancement: mark up to `1/√ε` HPs per node and expand
+    /// them one extra step during queries.
+    pub enhance_accuracy: bool,
+    /// Return exactly 1.0 for `s(v, v)` instead of the Eq. (17) estimate.
+    /// `s(v,v) = 1` holds by definition, so this is a free accuracy win;
+    /// disable it to measure the raw estimator (Figures 5–7 do).
+    pub exact_diagonal: bool,
+    /// Worker threads for construction (1 = serial).
+    pub threads: usize,
+}
+
+impl SlingConfig {
+    /// Paper defaults: `c = 0.6`, `ε = 0.025` (§7.1).
+    pub fn paper_defaults() -> Self {
+        Self::from_epsilon(0.6, 0.025)
+    }
+
+    /// Derive `ε_d` and `θ` from a target `ε` by splitting the Theorem 1
+    /// budget evenly between the correction-factor term and the
+    /// truncation term.
+    pub fn from_epsilon(c: f64, epsilon: f64) -> Self {
+        let sqrt_c = c.sqrt();
+        let eps_d = epsilon * (1.0 - c) / 2.0;
+        let theta = epsilon * (1.0 - sqrt_c) * (1.0 - c) / (4.0 * sqrt_c);
+        SlingConfig {
+            c,
+            epsilon,
+            eps_d,
+            theta,
+            delta: None,
+            seed: 0x511_4e6,
+            adaptive_dk: true,
+            space_reduction: true,
+            gamma: 10.0,
+            enhance_accuracy: false,
+            exact_diagonal: true,
+            threads: 1,
+        }
+    }
+
+    /// Override the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the number of construction threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Override `ε_d` and `θ` directly (must still satisfy Theorem 1 for
+    /// the stated `ε`; [`SlingConfig::validate`] checks).
+    pub fn with_error_split(mut self, eps_d: f64, theta: f64) -> Self {
+        self.eps_d = eps_d;
+        self.theta = theta;
+        self
+    }
+
+    /// Toggle §5.2 space reduction.
+    pub fn with_space_reduction(mut self, on: bool) -> Self {
+        self.space_reduction = on;
+        self
+    }
+
+    /// Toggle §5.3 accuracy enhancement.
+    pub fn with_enhancement(mut self, on: bool) -> Self {
+        self.enhance_accuracy = on;
+        self
+    }
+
+    /// Toggle the exact-diagonal shortcut.
+    pub fn with_exact_diagonal(mut self, on: bool) -> Self {
+        self.exact_diagonal = on;
+        self
+    }
+
+    /// Use Algorithm 1 (fixed sample size) instead of Algorithm 4.
+    pub fn with_adaptive_dk(mut self, adaptive: bool) -> Self {
+        self.adaptive_dk = adaptive;
+        self
+    }
+
+    /// Overall failure probability δ (default `1/n` at build time).
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// `√c`, used everywhere by the walk machinery.
+    #[inline]
+    pub fn sqrt_c(&self) -> f64 {
+        self.c.sqrt()
+    }
+
+    /// Left-hand side of the Theorem 1 inequality for this parameter set.
+    pub fn theorem1_error_bound(&self) -> f64 {
+        let sc = self.sqrt_c();
+        self.eps_d / (1.0 - self.c) + 2.0 * sc * self.theta / ((1.0 - sc) * (1.0 - self.c))
+    }
+
+    /// Per-node failure probability `δ_d = δ / n`.
+    pub fn delta_d(&self, n: usize) -> f64 {
+        let n = n.max(2) as f64;
+        match self.delta {
+            Some(d) => (d / n).clamp(f64::MIN_POSITIVE, 0.5),
+            // Paper default: δ = 1/n  =>  δ_d = 1/n².
+            None => (1.0 / (n * n)).max(f64::MIN_POSITIVE),
+        }
+    }
+
+    /// Check all parameter ranges and the Theorem 1 inequality.
+    pub fn validate(&self) -> Result<(), SlingError> {
+        if !(self.c > 0.0 && self.c < 1.0) {
+            return Err(SlingError::InvalidConfig(format!(
+                "decay factor c={} must lie in (0,1)",
+                self.c
+            )));
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(SlingError::InvalidConfig(format!(
+                "epsilon={} must lie in (0,1)",
+                self.epsilon
+            )));
+        }
+        if self.eps_d <= 0.0 || self.theta <= 0.0 {
+            return Err(SlingError::InvalidConfig(
+                "eps_d and theta must be positive".into(),
+            ));
+        }
+        if let Some(d) = self.delta {
+            if !(d > 0.0 && d < 1.0) {
+                return Err(SlingError::InvalidConfig(format!(
+                    "delta={d} must lie in (0,1)"
+                )));
+            }
+        }
+        let bound = self.theorem1_error_bound();
+        if bound > self.epsilon * (1.0 + 1e-9) {
+            return Err(SlingError::InvalidConfig(format!(
+                "Theorem 1 violated: eps_d/(1-c) + 2*sqrt(c)*theta/((1-sqrt(c))(1-c)) = {bound:.6} > epsilon = {}",
+                self.epsilon
+            )));
+        }
+        if self.gamma <= 0.0 {
+            return Err(SlingError::InvalidConfig("gamma must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SlingConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_7_1() {
+        let cfg = SlingConfig::paper_defaults();
+        assert!((cfg.c - 0.6).abs() < 1e-12);
+        assert!((cfg.epsilon - 0.025).abs() < 1e-12);
+        assert!((cfg.eps_d - 0.005).abs() < 1e-12, "eps_d = {}", cfg.eps_d);
+        // Paper sets θ = 0.000725; the even split gives 0.000728.
+        assert!((cfg.theta - 0.000725).abs() < 5e-6, "theta = {}", cfg.theta);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn theorem1_budget_is_respected_by_from_epsilon() {
+        for &c in &[0.4, 0.6, 0.8] {
+            for &eps in &[0.3, 0.1, 0.025, 0.01] {
+                let cfg = SlingConfig::from_epsilon(c, eps);
+                assert!(
+                    cfg.theorem1_error_bound() <= eps * (1.0 + 1e-9),
+                    "c={c} eps={eps}"
+                );
+                cfg.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_params() {
+        let mut cfg = SlingConfig::paper_defaults();
+        cfg.c = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SlingConfig::paper_defaults();
+        cfg.theta = cfg.theta * 100.0; // breaks Theorem 1
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SlingConfig::paper_defaults();
+        cfg.eps_d = -1.0;
+        assert!(cfg.validate().is_err());
+
+        let cfg = SlingConfig::paper_defaults().with_delta(2.0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn delta_d_defaults_to_inverse_n_squared() {
+        let cfg = SlingConfig::paper_defaults();
+        let n = 1000;
+        assert!((cfg.delta_d(n) - 1e-6).abs() < 1e-12);
+        let cfg = cfg.with_delta(0.1);
+        assert!((cfg.delta_d(n) - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let cfg = SlingConfig::from_epsilon(0.6, 0.05)
+            .with_seed(42)
+            .with_threads(0)
+            .with_enhancement(true)
+            .with_space_reduction(false)
+            .with_adaptive_dk(false)
+            .with_exact_diagonal(false);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.threads, 1, "threads clamps to >= 1");
+        assert!(cfg.enhance_accuracy);
+        assert!(!cfg.space_reduction);
+        assert!(!cfg.adaptive_dk);
+        assert!(!cfg.exact_diagonal);
+    }
+
+    #[test]
+    fn serde_round_trip_via_json_like_debug() {
+        // serde derives exist for downstream persistence; check they at
+        // least round-trip through the `serde_test`-free path of
+        // serializing into a Vec with a hand-rolled writer is overkill —
+        // instead assert Clone/PartialEq coherence.
+        let cfg = SlingConfig::paper_defaults().with_seed(9);
+        let clone = cfg.clone();
+        assert_eq!(cfg, clone);
+    }
+}

@@ -1,0 +1,196 @@
+//! Correction-factor estimation (`d_k`) — Algorithms 1 and 4.
+//!
+//! `d_k` is the probability that two independent √c-walks from `v_k` never
+//! meet after step 0 (Lemma 4). Equation (14) decomposes it as
+//!
+//! ```text
+//! d_k = 1 − c/|I(v_k)| − c · µ,
+//! µ   = (1/|I(v_k)|²) Σ_{v_i ≠ v_j ∈ I(v_k)} s(v_i, v_j),
+//! ```
+//!
+//! so estimating `d_k` to error `ε_d` reduces to estimating the Bernoulli
+//! mean `µ` to error `ε_d / c`, where one Bernoulli sample draws `v_i, v_j`
+//! uniformly from `I(v_k)` and asks whether √c-walks from them meet
+//! (never counting the `v_i = v_j` draws: that probability mass is the
+//! analytic `c/|I(v_k)|` term).
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use sling_graph::{DiGraph, NodeId};
+
+use crate::bernoulli::{adaptive_mean, fixed_sample_mean, Estimate};
+use crate::walk::WalkEngine;
+
+/// Result of estimating one correction factor.
+#[derive(Clone, Copy, Debug)]
+pub struct DkEstimate {
+    /// The estimate `d̃_k`, clamped to the feasible range `[1 − c, 1]`.
+    pub d: f64,
+    /// Bernoulli samples (√c-walk pairs) consumed.
+    pub samples: u64,
+}
+
+/// True range of every correction factor: `1 − d_k = c/|I| + c·µ ≤ c`
+/// since `µ ≤ 1 − 1/|I|`, hence `d_k ∈ [1 − c, 1]`. Clamping the estimate
+/// into this range can only reduce its error.
+#[inline]
+pub fn dk_range(c: f64) -> (f64, f64) {
+    (1.0 - c, 1.0)
+}
+
+fn estimate_mu(
+    graph: &DiGraph,
+    engine: &WalkEngine<'_>,
+    rng: &mut SmallRng,
+    k: NodeId,
+    eps_star: f64,
+    delta_d: f64,
+    adaptive: bool,
+) -> Estimate {
+    let inn = graph.in_neighbors(k);
+    let sampler = || {
+        let vi = inn[rng.random_range(0..inn.len())];
+        let vj = inn[rng.random_range(0..inn.len())];
+        // v_i == v_j draws never count toward µ (Algorithm 1 line 5).
+        vi != vj && engine.walks_meet(rng, vi, vj)
+    };
+    if adaptive {
+        adaptive_mean(sampler, eps_star, delta_d)
+    } else {
+        fixed_sample_mean(sampler, eps_star, delta_d)
+    }
+}
+
+/// Estimate `d_k` with error ≤ `eps_d` and failure probability ≤ `delta_d`.
+///
+/// `adaptive = true` uses Algorithm 4 (recommended); `false` uses the
+/// fixed-sample Algorithm 1, kept for the §5.1 ablation.
+///
+/// Special cases handled exactly (no sampling):
+/// * `|I(v_k)| = 0` — both walks halt at step 0, so `d_k = 1`;
+/// * `|I(v_k)| = 1` — the walks meet iff both survive step 1, so
+///   `d_k = 1 − c` exactly (µ has no `v_i ≠ v_j` terms).
+pub fn estimate_dk(
+    graph: &DiGraph,
+    engine: &WalkEngine<'_>,
+    rng: &mut SmallRng,
+    k: NodeId,
+    c: f64,
+    eps_d: f64,
+    delta_d: f64,
+    adaptive: bool,
+) -> DkEstimate {
+    let deg = graph.in_degree(k);
+    if deg == 0 {
+        return DkEstimate { d: 1.0, samples: 0 };
+    }
+    if deg == 1 {
+        return DkEstimate {
+            d: 1.0 - c,
+            samples: 0,
+        };
+    }
+    let est = estimate_mu(graph, engine, rng, k, eps_d / c, delta_d, adaptive);
+    let raw = 1.0 - c / deg as f64 - c * est.mean;
+    let (lo, hi) = dk_range(c);
+    DkEstimate {
+        d: raw.clamp(lo, hi),
+        samples: est.samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::task_rng;
+    use sling_graph::generators::{complete_graph, cycle_graph, star_graph, two_cliques_bridge};
+
+    const C: f64 = 0.6;
+
+    fn estimate(graph: &DiGraph, k: u32, eps_d: f64, adaptive: bool) -> DkEstimate {
+        let engine = WalkEngine::new(graph, C);
+        let mut rng = task_rng(42, k as u64);
+        estimate_dk(graph, &engine, &mut rng, NodeId(k), C, eps_d, 1e-4, adaptive)
+    }
+
+    #[test]
+    fn dangling_node_has_dk_one() {
+        let g = star_graph(5);
+        // Leaves 1..5 have no in-neighbors.
+        let est = estimate(&g, 3, 0.01, true);
+        assert_eq!(est.d, 1.0);
+        assert_eq!(est.samples, 0);
+    }
+
+    #[test]
+    fn single_in_neighbor_is_exact() {
+        let g = cycle_graph(7);
+        let est = estimate(&g, 0, 0.01, true);
+        assert!((est.d - (1.0 - C)).abs() < 1e-12);
+        assert_eq!(est.samples, 0);
+    }
+
+    #[test]
+    fn star_hub_dk_matches_closed_form() {
+        // Hub of an in-star with q leaves: every leaf is dangling, so
+        // s(v_i, v_j) = 0 for distinct leaves, µ = 0, and
+        // d_hub = 1 − c/q exactly.
+        let q = 4;
+        let g = star_graph(q + 1);
+        let est = estimate(&g, 0, 0.005, true);
+        let exact = 1.0 - C / q as f64;
+        assert!(
+            (est.d - exact).abs() <= 0.005,
+            "d̃ = {} exact = {exact}",
+            est.d
+        );
+    }
+
+    #[test]
+    fn complete_graph_dk_matches_closed_form() {
+        // On K_n all off-diagonal scores equal
+        // s = c(n-2)/((1-c)(n-1)^2 + c(n-2)), and I(v) = V \ {v} with
+        // |I| = n-1, so µ = (1/(n-1)^2)·(n-1)(n-2)·s and
+        // d = 1 − c/(n-1) − cµ.
+        let n = 6usize;
+        let g = complete_graph(n);
+        let s = C * (n - 2) as f64
+            / ((1.0 - C) * ((n - 1) * (n - 1)) as f64 + C * (n - 2) as f64);
+        let mu = ((n - 1) * (n - 2)) as f64 / (((n - 1) * (n - 1)) as f64) * s;
+        let exact = 1.0 - C / (n - 1) as f64 - C * mu;
+        for adaptive in [false, true] {
+            let est = estimate(&g, 0, 0.005, adaptive);
+            assert!(
+                (est.d - exact).abs() <= 0.006,
+                "adaptive={adaptive} d̃ = {} exact = {exact}",
+                est.d
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_stay_in_feasible_range() {
+        let g = two_cliques_bridge(5);
+        for k in 0..g.num_nodes() as u32 {
+            let est = estimate(&g, k, 0.02, true);
+            let (lo, hi) = dk_range(C);
+            assert!(est.d >= lo - 1e-12 && est.d <= hi + 1e-12, "d={}", est.d);
+        }
+    }
+
+    #[test]
+    fn adaptive_cheaper_than_fixed_on_low_mu_nodes() {
+        // Clique nodes have moderately similar in-neighbors but µ is still
+        // well below 1; Algorithm 4 should beat Algorithm 1 clearly.
+        let g = two_cliques_bridge(6);
+        let fixed = estimate(&g, 1, 0.005, false);
+        let adaptive = estimate(&g, 1, 0.005, true);
+        assert!(
+            adaptive.samples < fixed.samples / 2,
+            "adaptive {} fixed {}",
+            adaptive.samples,
+            fixed.samples
+        );
+        assert!((adaptive.d - fixed.d).abs() < 0.02);
+    }
+}

@@ -1,0 +1,286 @@
+//! Buffered query front-end for the disk-resident HP store.
+//!
+//! §5.4 notes SLING "can efficiently process queries even when its index
+//! structure does not fit in the main memory": each query touches `O(1/ε)`
+//! entries, i.e. a constant number of positioned reads. This module adds
+//! the two pieces a production deployment of that mode wants:
+//!
+//! * [`BufferedDiskStore`] — an LRU buffer of decoded per-node entry
+//!   lists in front of [`DiskHpStore`], bounded by a total entry budget
+//!   (the analogue of a database buffer pool, with per-node granularity
+//!   because `H(v)` is the store's natural page).
+//! * Single-source queries (Algorithm 6) straight off the disk store —
+//!   only `H(u)` is read from disk; the propagation works entirely on the
+//!   in-memory graph and correction factors.
+
+use sling_graph::{DiGraph, FxHashMap, NodeId};
+
+use crate::error::SlingError;
+use crate::hp::HpEntry;
+use crate::out_of_core::DiskHpStore;
+use crate::single_pair::merge_intersect;
+use crate::single_source::SingleSourceWorkspace;
+use crate::two_hop::TwoHopScratch;
+
+impl DiskHpStore {
+    /// Single-source query (Algorithm 6) against disk-resident entries:
+    /// one positioned read for `H(u)`, then in-memory propagation.
+    pub fn single_source(&self, graph: &DiGraph, u: NodeId) -> Result<Vec<f64>, SlingError> {
+        if u.index() >= self.num_nodes() {
+            return Err(SlingError::NodeOutOfRange {
+                node: u.0,
+                n: self.num_nodes() as u32,
+            });
+        }
+        let mut scratch = TwoHopScratch::default();
+        let mut entries = Vec::new();
+        self.effective(graph, u, &mut scratch, &mut entries)?;
+
+        let n = self.num_nodes();
+        let mut out = vec![0.0; n];
+        let mut ws = SingleSourceWorkspace::new();
+        ws.ensure(n);
+        let sqrt_c = self.config.sqrt_c();
+        let theta = self.config.theta;
+        let mut lo = 0usize;
+        while lo < entries.len() {
+            let step = entries[lo].step;
+            let mut hi = lo;
+            while hi < entries.len() && entries[hi].step == step {
+                hi += 1;
+            }
+            for e in &entries[lo..hi] {
+                let k = e.node.index();
+                ws.seed(k, e.value * self.d[k]);
+            }
+            let threshold = sqrt_c.powi(step as i32) * theta;
+            ws.propagate(graph, sqrt_c, threshold, step);
+            ws.drain_into(&mut out);
+            lo = hi;
+        }
+        for s in out.iter_mut() {
+            *s = s.clamp(0.0, 1.0);
+        }
+        if self.config.exact_diagonal {
+            out[u.index()] = 1.0;
+        }
+        Ok(out)
+    }
+}
+
+/// Buffer-pool statistics of a [`BufferedDiskStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Entry lists served from the buffer.
+    pub hits: u64,
+    /// Entry lists read from disk.
+    pub misses: u64,
+    /// Lists evicted to stay within the entry budget.
+    pub evictions: u64,
+}
+
+/// LRU buffer of decoded `H(v)` lists in front of a [`DiskHpStore`].
+///
+/// Bounded by *entries*, not node count, because `|H(v)|` varies by
+/// orders of magnitude between hub and leaf nodes. Single oversized lists
+/// larger than the whole budget are still admitted alone (scan-resistant
+/// enough for the SimRank workload, where reuse is node-driven).
+pub struct BufferedDiskStore<'s> {
+    store: &'s DiskHpStore,
+    budget_entries: usize,
+    cached_entries: usize,
+    lists: FxHashMap<u32, Vec<HpEntry>>,
+    /// LRU order, most-recent last. `O(n)` worst-case maintenance is fine
+    /// because the list length is bounded by the node count with small
+    /// constants; a production system at larger scale would reuse the
+    /// intrusive list of [`crate::cache`].
+    order: Vec<u32>,
+    stats: BufferStats,
+    scratch: TwoHopScratch,
+}
+
+impl<'s> BufferedDiskStore<'s> {
+    /// Buffer at most `budget_entries` decoded entries (≥ 1).
+    pub fn new(store: &'s DiskHpStore, budget_entries: usize) -> Self {
+        BufferedDiskStore {
+            store,
+            budget_entries: budget_entries.max(1),
+            cached_entries: 0,
+            lists: FxHashMap::default(),
+            order: Vec::new(),
+            stats: BufferStats::default(),
+            scratch: TwoHopScratch::default(),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Decoded entries currently buffered.
+    pub fn buffered_entries(&self) -> usize {
+        self.cached_entries
+    }
+
+    fn touch(&mut self, v: u32) {
+        if let Some(pos) = self.order.iter().position(|&x| x == v) {
+            self.order.remove(pos);
+        }
+        self.order.push(v);
+    }
+
+    fn load(&mut self, graph: &DiGraph, v: NodeId) -> Result<(), SlingError> {
+        if self.lists.contains_key(&v.0) {
+            self.stats.hits += 1;
+            self.touch(v.0);
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        let mut entries = Vec::new();
+        self.store.effective(graph, v, &mut self.scratch, &mut entries)?;
+        // Evict least-recently-used lists until the new one fits.
+        while self.cached_entries + entries.len() > self.budget_entries && !self.order.is_empty()
+        {
+            let victim = self.order.remove(0);
+            if let Some(old) = self.lists.remove(&victim) {
+                self.cached_entries -= old.len();
+                self.stats.evictions += 1;
+            }
+        }
+        self.cached_entries += entries.len();
+        self.lists.insert(v.0, entries);
+        self.order.push(v.0);
+        Ok(())
+    }
+
+    /// Buffered single-pair query; identical results to
+    /// [`DiskHpStore::single_pair`].
+    pub fn single_pair(
+        &mut self,
+        graph: &DiGraph,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<f64, SlingError> {
+        let n = self.store.num_nodes() as u32;
+        for node in [u, v] {
+            if node.0 >= n {
+                return Err(SlingError::NodeOutOfRange { node: node.0, n });
+            }
+        }
+        if u == v && self.store.config.exact_diagonal {
+            return Ok(1.0);
+        }
+        // Copy u's list out before loading v: with a small budget, the
+        // second load may evict the first.
+        self.load(graph, u)?;
+        let a: Vec<HpEntry> = self.lists[&u.0].clone();
+        self.load(graph, v)?;
+        let b = &self.lists[&v.0];
+        Ok(merge_intersect(&a, b, &self.store.d).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlingConfig;
+    use crate::index::SlingIndex;
+    use sling_graph::generators::{barabasi_albert, two_cliques_bridge};
+    use std::path::PathBuf;
+
+    const C: f64 = 0.6;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sling_disk_query_{tag}_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("hp.bin")
+    }
+
+    fn setup(tag: &str) -> (DiGraph, SlingIndex, DiskHpStore) {
+        let g = barabasi_albert(150, 3, 7).unwrap();
+        let idx = SlingIndex::build(&g, &SlingConfig::from_epsilon(C, 0.1).with_seed(5)).unwrap();
+        let store = DiskHpStore::create(&idx, tmp(tag)).unwrap();
+        (g, idx, store)
+    }
+
+    #[test]
+    fn disk_single_source_matches_in_memory() {
+        let (g, idx, store) = setup("ss");
+        for u in [NodeId(0), NodeId(42), NodeId(149)] {
+            let got = store.single_source(&g, u).unwrap();
+            let want = idx.single_source(&g, u);
+            // The disk store has no enhancement marks; compare against an
+            // index whose entries match what was persisted. The setup
+            // config leaves enhancement at its default, so assert per the
+            // shared guarantee instead of bit equality.
+            for v in g.nodes() {
+                let diff = (got[v.index()] - want[v.index()]).abs();
+                assert!(diff <= 0.1, "({u:?},{v:?}): {diff}");
+            }
+        }
+        assert!(store.single_source(&g, NodeId(9999)).is_err());
+    }
+
+    #[test]
+    fn buffered_store_matches_unbuffered() {
+        let (g, _idx, store) = setup("buffered");
+        let mut buf = BufferedDiskStore::new(&store, 100_000);
+        for (u, v) in [(0u32, 1u32), (5, 80), (42, 42), (149, 0)] {
+            let got = buf.single_pair(&g, NodeId(u), NodeId(v)).unwrap();
+            let want = store.single_pair(&g, NodeId(u), NodeId(v)).unwrap();
+            assert_eq!(got, want, "({u},{v})");
+        }
+    }
+
+    #[test]
+    fn buffer_hits_on_repeated_nodes() {
+        let (g, _idx, store) = setup("hits");
+        let mut buf = BufferedDiskStore::new(&store, 100_000);
+        buf.single_pair(&g, NodeId(3), NodeId(4)).unwrap(); // 2 misses
+        buf.single_pair(&g, NodeId(3), NodeId(5)).unwrap(); // 1 hit, 1 miss
+        buf.single_pair(&g, NodeId(4), NodeId(5)).unwrap(); // 2 hits
+        let s = buf.stats();
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.hits, 3);
+    }
+
+    #[test]
+    fn tiny_budget_evicts_but_stays_correct() {
+        let (g, _idx, store) = setup("tiny");
+        let mut buf = BufferedDiskStore::new(&store, 1);
+        let mut reference = Vec::new();
+        for (u, v) in [(0u32, 1u32), (2, 3), (0, 1), (4, 5)] {
+            let got = buf.single_pair(&g, NodeId(u), NodeId(v)).unwrap();
+            reference.push((u, v, got));
+        }
+        assert!(buf.stats().evictions > 0, "budget of 1 entry must evict");
+        for (u, v, want) in reference {
+            let again = store.single_pair(&g, NodeId(u), NodeId(v)).unwrap();
+            assert_eq!(again, want, "({u},{v})");
+        }
+    }
+
+    #[test]
+    fn truncated_file_surfaces_io_error() {
+        let g = two_cliques_bridge(5);
+        let idx = SlingIndex::build(&g, &SlingConfig::from_epsilon(C, 0.1).with_seed(5)).unwrap();
+        let path = tmp("trunc");
+        let store = DiskHpStore::create(&idx, &path).unwrap();
+        // Chop the file behind the store's back.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len / 2).unwrap();
+        // Some node's entries now fall past EOF.
+        let mut failed = false;
+        for v in g.nodes() {
+            if store.single_pair(&g, v, NodeId(0)).is_err() {
+                failed = true;
+            }
+        }
+        assert!(failed, "no query noticed the truncated entry file");
+    }
+}

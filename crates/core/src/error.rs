@@ -1,0 +1,80 @@
+//! Error type for SLING index construction, queries, and persistence.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum SlingError {
+    /// A configuration parameter was outside its valid range.
+    InvalidConfig(String),
+    /// A query referenced a node id `>= n`.
+    NodeOutOfRange { node: u32, n: u32 },
+    /// The serialized index bytes were malformed or truncated.
+    CorruptIndex(String),
+    /// A persisted index does not match the graph it is being loaded for.
+    GraphMismatch {
+        expected_nodes: usize,
+        found_nodes: usize,
+    },
+    /// Underlying IO failure (out-of-core construction, persistence).
+    Io(io::Error),
+}
+
+impl fmt::Display for SlingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlingError::InvalidConfig(msg) => write!(f, "invalid SLING config: {msg}"),
+            SlingError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            SlingError::CorruptIndex(msg) => write!(f, "corrupt index data: {msg}"),
+            SlingError::GraphMismatch {
+                expected_nodes,
+                found_nodes,
+            } => write!(
+                f,
+                "index was built for a graph with {expected_nodes} nodes, got {found_nodes}"
+            ),
+            SlingError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SlingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SlingError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SlingError {
+    fn from(e: io::Error) -> Self {
+        SlingError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = SlingError::NodeOutOfRange { node: 12, n: 10 };
+        assert!(e.to_string().contains("12"));
+        let e = SlingError::GraphMismatch {
+            expected_nodes: 5,
+            found_nodes: 6,
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains('6'));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let e: SlingError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, SlingError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

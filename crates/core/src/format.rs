@@ -1,0 +1,331 @@
+//! Binary persistence of a [`SlingIndex`].
+//!
+//! A small hand-rolled format (magic + version + little-endian sections)
+//! rather than a serde backend: the index is dominated by four large
+//! primitive arrays, which serialize as flat byte runs with no per-element
+//! overhead. The graph itself is *not* stored — on load the caller passes
+//! the graph and the header's `(n, m)` fingerprint is verified against it.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+use sling_graph::DiGraph;
+
+use crate::config::SlingConfig;
+use crate::enhance::MarkArena;
+use crate::error::SlingError;
+use crate::hp::HpArena;
+use crate::index::{BuildStats, SlingIndex};
+
+const MAGIC: &[u8; 8] = b"SLNGIDX1";
+
+/// True when any HP value is non-finite or wildly out of the unit range
+/// (corruption detector; legitimate values are probabilities).
+fn values_corrupt(values: &[f64]) -> bool {
+    values.iter().any(|v| !v.is_finite() || *v < 0.0 || *v > 1.0 + 1e-9)
+}
+
+impl SlingIndex {
+    /// Serialize the full index into a byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.num_nodes;
+        let entries = self.hp.total_entries();
+        let mut out = Vec::with_capacity(64 + n * 9 + entries * 14 + self.marks.local.len() * 4);
+        out.put_slice(MAGIC);
+        out.put_u64_le(n as u64);
+        out.put_u64_le(self.num_edges as u64);
+
+        // Config.
+        out.put_f64_le(self.config.c);
+        out.put_f64_le(self.config.epsilon);
+        out.put_f64_le(self.config.eps_d);
+        out.put_f64_le(self.config.theta);
+        out.put_f64_le(self.config.delta.unwrap_or(f64::NAN));
+        out.put_u64_le(self.config.seed);
+        out.put_f64_le(self.config.gamma);
+        let flags = (self.config.adaptive_dk as u8)
+            | (self.config.space_reduction as u8) << 1
+            | (self.config.enhance_accuracy as u8) << 2
+            | (self.config.exact_diagonal as u8) << 3;
+        out.put_u8(flags);
+
+        // Stats.
+        out.put_u64_le(self.stats.dk_samples);
+        out.put_u64_le(self.stats.entries_before_reduction as u64);
+        out.put_u64_le(self.stats.entries_stored as u64);
+        out.put_u64_le(self.stats.reduced_nodes as u64);
+        out.put_u64_le(self.stats.marked_entries as u64);
+
+        // Correction factors and reduction bitmap.
+        for &x in &self.d {
+            out.put_f64_le(x);
+        }
+        for &r in &self.reduced {
+            out.put_u8(r as u8);
+        }
+
+        // Marks.
+        for &o in &self.marks.offsets {
+            out.put_u64_le(o);
+        }
+        out.put_u64_le(self.marks.local.len() as u64);
+        for &l in &self.marks.local {
+            out.put_u32_le(l);
+        }
+
+        // HP arena.
+        for &o in &self.hp.offsets {
+            out.put_u64_le(o);
+        }
+        out.put_u64_le(entries as u64);
+        for &s in &self.hp.steps {
+            out.put_u16_le(s);
+        }
+        for &nd in &self.hp.nodes {
+            out.put_u32_le(nd);
+        }
+        for &v in &self.hp.values {
+            out.put_f64_le(v);
+        }
+        out
+    }
+
+    /// Deserialize an index previously produced by
+    /// [`SlingIndex::to_bytes`], verifying it matches `graph`.
+    pub fn from_bytes(graph: &DiGraph, bytes: &[u8]) -> Result<Self, SlingError> {
+        let mut buf = bytes;
+        let need = |buf: &[u8], n: usize, what: &str| -> Result<(), SlingError> {
+            if buf.remaining() < n {
+                Err(SlingError::CorruptIndex(format!(
+                    "truncated while reading {what}"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        need(buf, 8 + 16, "header")?;
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(SlingError::CorruptIndex("bad magic".into()));
+        }
+        let n = buf.get_u64_le() as usize;
+        let m = buf.get_u64_le() as usize;
+        if n != graph.num_nodes() || m != graph.num_edges() {
+            return Err(SlingError::GraphMismatch {
+                expected_nodes: n,
+                found_nodes: graph.num_nodes(),
+            });
+        }
+
+        need(buf, 7 * 8 + 1, "config")?;
+        let c = buf.get_f64_le();
+        let epsilon = buf.get_f64_le();
+        let eps_d = buf.get_f64_le();
+        let theta = buf.get_f64_le();
+        let delta_raw = buf.get_f64_le();
+        let seed = buf.get_u64_le();
+        let gamma = buf.get_f64_le();
+        let flags = buf.get_u8();
+        let config = SlingConfig {
+            c,
+            epsilon,
+            eps_d,
+            theta,
+            delta: if delta_raw.is_nan() {
+                None
+            } else {
+                Some(delta_raw)
+            },
+            seed,
+            adaptive_dk: flags & 1 != 0,
+            space_reduction: flags & 2 != 0,
+            gamma,
+            enhance_accuracy: flags & 4 != 0,
+            exact_diagonal: flags & 8 != 0,
+            threads: 1,
+        };
+
+        need(buf, 5 * 8, "stats")?;
+        let stats = BuildStats {
+            dk_samples: buf.get_u64_le(),
+            entries_before_reduction: buf.get_u64_le() as usize,
+            entries_stored: buf.get_u64_le() as usize,
+            reduced_nodes: buf.get_u64_le() as usize,
+            marked_entries: buf.get_u64_le() as usize,
+        };
+
+        need(buf, n * 8 + n, "correction factors")?;
+        let mut d = Vec::with_capacity(n);
+        for _ in 0..n {
+            d.push(buf.get_f64_le());
+        }
+        let mut reduced = Vec::with_capacity(n);
+        for _ in 0..n {
+            reduced.push(buf.get_u8() != 0);
+        }
+
+        need(buf, (n + 1) * 8 + 8, "mark offsets")?;
+        let mut mark_offsets = Vec::with_capacity(n + 1);
+        for _ in 0..=n {
+            mark_offsets.push(buf.get_u64_le());
+        }
+        let mark_len = buf.get_u64_le() as usize;
+        need(buf, mark_len * 4, "mark entries")?;
+        let mut mark_local = Vec::with_capacity(mark_len);
+        for _ in 0..mark_len {
+            mark_local.push(buf.get_u32_le());
+        }
+        if *mark_offsets.last().unwrap() as usize != mark_len {
+            return Err(SlingError::CorruptIndex("mark offsets mismatch".into()));
+        }
+
+        need(buf, (n + 1) * 8 + 8, "hp offsets")?;
+        let mut offsets = Vec::with_capacity(n + 1);
+        for _ in 0..=n {
+            offsets.push(buf.get_u64_le());
+        }
+        let entries = buf.get_u64_le() as usize;
+        if *offsets.last().unwrap() as usize != entries {
+            return Err(SlingError::CorruptIndex("hp offsets mismatch".into()));
+        }
+        need(buf, entries * (2 + 4 + 8), "hp entries")?;
+        let mut steps = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            steps.push(buf.get_u16_le());
+        }
+        let mut nodes = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            nodes.push(buf.get_u32_le());
+        }
+        let mut values = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            values.push(buf.get_f64_le());
+        }
+
+        let hp = HpArena {
+            offsets,
+            steps,
+            nodes,
+            values,
+        };
+        if !hp.validate() {
+            return Err(SlingError::CorruptIndex("hp arena fails validation".into()));
+        }
+        if hp.nodes.iter().any(|&k| k as usize >= n) {
+            return Err(SlingError::CorruptIndex(
+                "hp entry references a node past n".into(),
+            ));
+        }
+        let marks = MarkArena {
+            offsets: mark_offsets,
+            local: mark_local,
+        };
+        if !marks.validate(&hp) {
+            return Err(SlingError::CorruptIndex("mark arena fails validation".into()));
+        }
+        if d.iter().any(|x| !x.is_finite()) || values_corrupt(&hp.values) {
+            return Err(SlingError::CorruptIndex(
+                "non-finite payload in correction factors or HP values".into(),
+            ));
+        }
+        config.validate()?;
+        Ok(SlingIndex {
+            config,
+            num_nodes: n,
+            num_edges: m,
+            d,
+            hp,
+            reduced,
+            marks,
+            stats,
+        })
+    }
+
+    /// Persist to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SlingError> {
+        let mut f = File::create(path)?;
+        f.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Load from a file, verifying against `graph`.
+    pub fn load(graph: &DiGraph, path: impl AsRef<Path>) -> Result<Self, SlingError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_bytes(graph, &bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_graph::generators::{barabasi_albert, two_cliques_bridge};
+    use sling_graph::NodeId;
+
+    fn cfg() -> SlingConfig {
+        SlingConfig::from_epsilon(0.6, 0.1)
+            .with_seed(21)
+            .with_enhancement(true)
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_everything() {
+        let g = barabasi_albert(120, 2, 4).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let bytes = idx.to_bytes();
+        let back = SlingIndex::from_bytes(&g, &bytes).unwrap();
+        assert_eq!(idx.d, back.d);
+        assert_eq!(idx.hp, back.hp);
+        assert_eq!(idx.reduced, back.reduced);
+        assert_eq!(idx.marks, back.marks);
+        assert_eq!(idx.config, back.config);
+        // Queries agree exactly.
+        for (u, v) in [(0u32, 1u32), (5, 80), (119, 3)] {
+            assert_eq!(
+                idx.single_pair(&g, NodeId(u), NodeId(v)),
+                back.single_pair(&g, NodeId(u), NodeId(v))
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = two_cliques_bridge(4);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let path = std::env::temp_dir().join(format!("sling_fmt_{}.idx", std::process::id()));
+        idx.save(&path).unwrap();
+        let back = SlingIndex::load(&g, &path).unwrap();
+        assert_eq!(idx.hp, back.hp);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_graph() {
+        let g = two_cliques_bridge(4);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let other = two_cliques_bridge(5);
+        let err = SlingIndex::from_bytes(&other, &idx.to_bytes()).unwrap_err();
+        assert!(matches!(err, SlingError::GraphMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_truncation_and_corruption() {
+        let g = two_cliques_bridge(4);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let bytes = idx.to_bytes();
+        // Truncations at various prefixes must all error, never panic.
+        for cut in [0, 4, 8, 20, 60, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                SlingIndex::from_bytes(&g, &bytes[..cut]).is_err(),
+                "cut {cut} accepted"
+            );
+        }
+        // Corrupt magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(SlingIndex::from_bytes(&g, &bad).is_err());
+    }
+}

@@ -1,0 +1,383 @@
+//! The SLING index: construction (§4.3–4.4, §5.2–5.3) and the query-side
+//! plumbing shared by single-pair and single-source queries.
+
+use sling_graph::{DiGraph, NodeId};
+
+use crate::config::SlingConfig;
+use crate::correction::estimate_dk;
+use crate::enhance::{expand_marked, MarkArena};
+use crate::error::SlingError;
+use crate::hp::{HpArena, HpEntry};
+use crate::local_update::{reverse_hp_all, HpTriple};
+use crate::two_hop::{two_hop_into, TwoHopScratch};
+use crate::walk::{task_rng, WalkEngine};
+
+/// Construction statistics, reported by the benchmark harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildStats {
+    /// Total √c-walk pairs drawn while estimating correction factors.
+    pub dk_samples: u64,
+    /// HP entries produced by Algorithm 2 before space reduction.
+    pub entries_before_reduction: usize,
+    /// HP entries actually stored.
+    pub entries_stored: usize,
+    /// Nodes whose step-1/2 entries were dropped (§5.2).
+    pub reduced_nodes: usize,
+    /// Entries marked for §5.3 on-the-fly expansion.
+    pub marked_entries: usize,
+}
+
+/// The SLING index over a fixed graph.
+///
+/// Stores an approximate correction factor `d̃_k` per node and the packed
+/// truncated hitting-probability sets `H(v)`. Queries take the graph by
+/// reference (it is needed for §5.2 on-the-fly recomputation and for
+/// Algorithm 6's propagation); callers must pass the same graph the index
+/// was built on — a node/edge-count fingerprint is checked on load and in
+/// debug builds.
+#[derive(Clone, Debug)]
+pub struct SlingIndex {
+    pub(crate) config: SlingConfig,
+    pub(crate) num_nodes: usize,
+    pub(crate) num_edges: usize,
+    pub(crate) d: Vec<f64>,
+    pub(crate) hp: HpArena,
+    /// `reduced[v]` ⇒ `H(v)` omits steps 1–2; recompute exactly at query
+    /// time via Algorithm 5.
+    pub(crate) reduced: Vec<bool>,
+    /// §5.3 marks (empty arena when enhancement is off).
+    pub(crate) marks: MarkArena,
+    pub(crate) stats: BuildStats,
+}
+
+impl SlingIndex {
+    /// Build the index serially (see [`crate::parallel`] for the
+    /// multi-threaded builder, which produces an identical index for
+    /// `threads = 1`).
+    ///
+    /// Respects every knob in `config`; cost is
+    /// `O(m/θ + n·(µ̄ + ε_d)/ε_d² · log(n/δ))` as in Theorem 1.
+    pub fn build(graph: &DiGraph, config: &SlingConfig) -> Result<Self, SlingError> {
+        config.validate()?;
+        if config.threads > 1 {
+            return crate::parallel::build_parallel(graph, config);
+        }
+        let n = graph.num_nodes();
+        let engine = WalkEngine::new(graph, config.c);
+        let delta_d = config.delta_d(n);
+
+        // Correction factors (Algorithm 1 / 4).
+        let mut dk_samples = 0u64;
+        let mut d = Vec::with_capacity(n);
+        for k in graph.nodes() {
+            let mut rng = task_rng(config.seed, k.0 as u64);
+            let est = estimate_dk(
+                graph,
+                &engine,
+                &mut rng,
+                k,
+                config.c,
+                config.eps_d,
+                delta_d,
+                config.adaptive_dk,
+            );
+            dk_samples += est.samples;
+            d.push(est.d);
+        }
+
+        // Hitting probabilities (Algorithm 2), gathered as triples and
+        // regrouped by owner.
+        let mut triples: Vec<HpTriple> = Vec::new();
+        reverse_hp_all(graph, config.sqrt_c(), config.theta, &mut |t| {
+            triples.push(t)
+        });
+        assemble(graph, config, d, triples, dk_samples)
+    }
+
+    /// Shared assembly: sort triples by owner, apply §5.2 reduction and
+    /// §5.3 marking, produce the final index. Used by all builders.
+    pub(crate) fn from_parts(
+        graph: &DiGraph,
+        config: &SlingConfig,
+        d: Vec<f64>,
+        triples: Vec<HpTriple>,
+        dk_samples: u64,
+    ) -> Result<Self, SlingError> {
+        assemble(graph, config, d, triples, dk_samples)
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &SlingConfig {
+        &self.config
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> BuildStats {
+        self.stats
+    }
+
+    /// Number of nodes of the indexed graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Correction factor estimate `d̃_k`.
+    pub fn correction_factor(&self, k: NodeId) -> f64 {
+        self.d[k.index()]
+    }
+
+    /// All correction factors.
+    pub fn correction_factors(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Stored entries of `H(v)` (after space reduction; excludes the
+    /// on-the-fly step-1/2 and enhancement entries).
+    pub fn stored_entries(&self, v: NodeId) -> impl Iterator<Item = HpEntry> + '_ {
+        self.hp.entries(v)
+    }
+
+    /// Whether §5.2 dropped the step-1/2 entries of `v`.
+    pub fn is_reduced(&self, v: NodeId) -> bool {
+        self.reduced[v.index()]
+    }
+
+    /// Estimated resident bytes of the index (Figure 4's space metric):
+    /// HP arena + correction factors + reduction bitmap + marks.
+    pub fn resident_bytes(&self) -> usize {
+        self.hp.resident_bytes() + self.d.len() * 8 + self.reduced.len() + self.marks.resident_bytes()
+    }
+
+    /// Materialize the *effective* entry list of `v` used by queries:
+    /// stored entries, plus exact step-1/2 entries when `v` is reduced,
+    /// plus §5.3 expansion entries when enhancement is on. Sorted by
+    /// `(step, node)`.
+    pub(crate) fn effective_entries(
+        &self,
+        graph: &DiGraph,
+        v: NodeId,
+        ws: &mut QueryWorkspace,
+        which: Buf,
+    ) {
+        debug_assert_eq!(graph.num_nodes(), self.num_nodes, "wrong graph for index");
+        let out = match which {
+            Buf::A => &mut ws.buf_a,
+            Buf::B => &mut ws.buf_b,
+        };
+        out.clear();
+        if self.reduced[v.index()] {
+            // Stored = step 0 then steps >= 3; splice exact steps 1-2 in
+            // between (disjoint step ranges keep the order sorted).
+            let mut it = self.hp.entries(v).peekable();
+            while let Some(e) = it.peek() {
+                if e.step > 0 {
+                    break;
+                }
+                out.push(*e);
+                it.next();
+            }
+            two_hop_into(graph, self.config.sqrt_c(), v, &mut ws.two_hop, out);
+            out.extend(it);
+        } else {
+            self.hp.fill(v, out);
+        }
+        if self.config.enhance_accuracy && !self.marks.is_empty() {
+            expand_marked(self, graph, v, ws, which);
+        }
+    }
+}
+
+/// Selector for the two entry buffers of a [`QueryWorkspace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Buf {
+    A,
+    B,
+}
+
+/// Reusable buffers for query processing. One workspace per querying
+/// thread; every query API has a `_with` variant taking `&mut` workspace
+/// so hot loops (the benchmark harness, Algorithm-3-based single-source)
+/// allocate nothing.
+#[derive(Debug, Default)]
+pub struct QueryWorkspace {
+    pub(crate) buf_a: Vec<HpEntry>,
+    pub(crate) buf_b: Vec<HpEntry>,
+    pub(crate) two_hop: TwoHopScratch,
+    pub(crate) extras: Vec<HpEntry>,
+    pub(crate) merged: Vec<HpEntry>,
+}
+
+impl QueryWorkspace {
+    /// Fresh workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn assemble(
+    graph: &DiGraph,
+    config: &SlingConfig,
+    d: Vec<f64>,
+    mut triples: Vec<HpTriple>,
+    dk_samples: u64,
+) -> Result<SlingIndex, SlingError> {
+    let n = graph.num_nodes();
+    triples.sort_unstable_by_key(|t| (t.owner, t.step, t.target));
+    let entries_before = triples.len();
+
+    // §5.2: nodes with cheap exact two-hop recomputation drop steps 1-2.
+    let eta_budget = config.gamma / config.theta;
+    let mut reduced = vec![false; n];
+    let mut reduced_nodes = 0usize;
+    if config.space_reduction {
+        for v in graph.nodes() {
+            if (graph.two_hop_in_cost(v) as f64) <= eta_budget {
+                reduced[v.index()] = true;
+                reduced_nodes += 1;
+            }
+        }
+    }
+
+    let hp = HpArena::from_sorted_entries(
+        n,
+        triples
+            .iter()
+            .filter(|t| !(reduced[t.owner.index()] && (t.step == 1 || t.step == 2)))
+            .map(|t| (t.owner.0, HpEntry::new(t.step, t.target, t.value))),
+    );
+    drop(triples);
+
+    let marks = if config.enhance_accuracy {
+        MarkArena::compute(graph, config, &hp)
+    } else {
+        MarkArena::empty(n)
+    };
+
+    let stats = BuildStats {
+        dk_samples,
+        entries_before_reduction: entries_before,
+        entries_stored: hp.total_entries(),
+        reduced_nodes,
+        marked_entries: marks.total_marks(),
+    };
+    Ok(SlingIndex {
+        config: config.clone(),
+        num_nodes: n,
+        num_edges: graph.num_edges(),
+        d,
+        hp,
+        reduced,
+        marks,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{exact_dk, exact_simrank};
+    use sling_graph::generators::{complete_graph, cycle_graph, star_graph, two_cliques_bridge};
+
+    fn cfg(eps: f64) -> SlingConfig {
+        SlingConfig::from_epsilon(0.6, eps).with_seed(2024)
+    }
+
+    #[test]
+    fn build_on_toy_graphs_succeeds() {
+        for g in [
+            cycle_graph(8),
+            star_graph(6),
+            complete_graph(5),
+            two_cliques_bridge(4),
+        ] {
+            let idx = SlingIndex::build(&g, &cfg(0.05)).unwrap();
+            assert_eq!(idx.num_nodes(), g.num_nodes());
+            assert_eq!(idx.correction_factors().len(), g.num_nodes());
+            assert!(idx.hp.validate());
+        }
+    }
+
+    #[test]
+    fn correction_factors_close_to_exact() {
+        let g = two_cliques_bridge(4);
+        let config = cfg(0.02);
+        let idx = SlingIndex::build(&g, &config).unwrap();
+        let s = exact_simrank(&g, 0.6, 60);
+        let exact = exact_dk(&g, 0.6, &s);
+        for (k, (&est, &ex)) in idx.correction_factors().iter().zip(&exact).enumerate() {
+            assert!(
+                (est - ex).abs() <= config.eps_d + 1e-9,
+                "node {k}: d̃={est} d={ex} eps_d={}",
+                config.eps_d
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = two_cliques_bridge(5);
+        let a = SlingIndex::build(&g, &cfg(0.05)).unwrap();
+        let b = SlingIndex::build(&g, &cfg(0.05)).unwrap();
+        assert_eq!(a.d, b.d);
+        assert_eq!(a.hp, b.hp);
+    }
+
+    #[test]
+    fn space_reduction_shrinks_storage_without_losing_entries_elsewhere() {
+        let g = two_cliques_bridge(6);
+        let with = SlingIndex::build(&g, &cfg(0.05)).unwrap();
+        let without = SlingIndex::build(&g, &cfg(0.05).with_space_reduction(false)).unwrap();
+        assert!(with.stats().reduced_nodes > 0);
+        assert!(with.stats().entries_stored < without.stats().entries_stored);
+        // Steps 0 and >= 3 must be identical.
+        for v in g.nodes() {
+            let a: Vec<_> = with
+                .stored_entries(v)
+                .filter(|e| e.step == 0 || e.step >= 3)
+                .collect();
+            let b: Vec<_> = without
+                .stored_entries(v)
+                .filter(|e| e.step == 0 || e.step >= 3)
+                .collect();
+            assert_eq!(a, b, "node {v:?}");
+        }
+    }
+
+    #[test]
+    fn effective_entries_restore_reduced_steps() {
+        let g = two_cliques_bridge(6);
+        let with = SlingIndex::build(&g, &cfg(0.05)).unwrap();
+        let without = SlingIndex::build(&g, &cfg(0.05).with_space_reduction(false)).unwrap();
+        let mut ws = QueryWorkspace::new();
+        for v in g.nodes() {
+            with.effective_entries(&g, v, &mut ws, Buf::A);
+            // Effective list is sorted and its step-1/2 entries are exact,
+            // hence >= the truncated stored values of the unreduced index.
+            assert!(ws.buf_a.windows(2).all(|w| w[0].key() < w[1].key()));
+            for e in without.stored_entries(v).filter(|e| e.step == 1 || e.step == 2) {
+                let found = ws
+                    .buf_a
+                    .iter()
+                    .find(|x| x.key() == e.key())
+                    .unwrap_or_else(|| panic!("entry {e:?} lost for {v:?}"));
+                assert!(found.value >= e.value - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn resident_bytes_reflects_reduction() {
+        let g = two_cliques_bridge(6);
+        let with = SlingIndex::build(&g, &cfg(0.05)).unwrap();
+        let without = SlingIndex::build(&g, &cfg(0.05).with_space_reduction(false)).unwrap();
+        assert!(with.resident_bytes() < without.resident_bytes());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let g = cycle_graph(4);
+        let mut config = cfg(0.05);
+        config.theta *= 1e3;
+        assert!(SlingIndex::build(&g, &config).is_err());
+    }
+}

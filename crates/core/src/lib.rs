@@ -1,0 +1,107 @@
+//! # sling-core
+//!
+//! The **SLING** index — *SimRank via Local updates and samplING* — from
+//! Tian & Xiao, *SLING: A Near-Optimal Index Structure for SimRank*,
+//! SIGMOD 2016.
+//!
+//! SLING answers single-pair SimRank queries in `O(1/ε)` time and
+//! single-source queries in `O(n/ε)` (or the practically faster
+//! `O(m log² 1/ε)` Algorithm 6), using `O(n/ε)` space, while guaranteeing
+//! at most `ε` additive error in every score with probability `1 − δ`.
+//!
+//! ## The two index components
+//!
+//! The index rests on the paper's reformulation of SimRank (Lemma 4):
+//!
+//! ```text
+//! s(vi, vj) = Σ_{ℓ≥0} Σ_k  h⁽ℓ⁾(vi, vk) · d_k · h⁽ℓ⁾(vj, vk)
+//! ```
+//!
+//! where `h⁽ℓ⁾(v, k)` is the probability that a **√c-walk** from `v` is at
+//! `k` in its ℓ-th step (a reverse random walk that halts with probability
+//! `1 − √c` at each step), and `d_k` is the probability that two √c-walks
+//! from `k` never meet again after step 0. Correspondingly, the index
+//! stores:
+//!
+//! * `d̃_k` per node, estimated by the adaptive sampling of **Algorithm 4**
+//!   ([`correction`], [`bernoulli`]), and
+//! * a truncated set `H(v)` of hitting probabilities `> θ`, built
+//!   deterministically by the **Algorithm 2** local updates
+//!   ([`local_update`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sling_graph::generators::two_cliques_bridge;
+//! use sling_core::{SlingConfig, SlingIndex};
+//!
+//! let graph = two_cliques_bridge(8);
+//! let config = SlingConfig::from_epsilon(0.6, 0.05).with_seed(7);
+//! let index = SlingIndex::build(&graph, &config).unwrap();
+//!
+//! // Single-pair query (Algorithm 3) — O(1/ε).
+//! let s = index.single_pair(&graph, 0u32.into(), 1u32.into());
+//! assert!(s > 0.0 && s <= 1.0);
+//!
+//! // Single-source query (Algorithm 6).
+//! let scores = index.single_source(&graph, 0u32.into());
+//! assert_eq!(scores.len(), graph.num_nodes());
+//! ```
+//!
+//! ## Optimizations from §5 of the paper
+//!
+//! * adaptive correction-factor estimation with an asymptotically optimal
+//!   sample count (§5.1, [`bernoulli`]);
+//! * space reduction: step-1/2 hitting probabilities dropped for nodes
+//!   whose two-hop in-neighborhood is small and recomputed exactly at
+//!   query time (§5.2, [`two_hop`]);
+//! * accuracy enhancement via on-the-fly expansion of marked entries
+//!   (§5.3, [`enhance`]);
+//! * embarrassingly parallel construction (§5.4, [`parallel`]) and
+//!   out-of-core construction with bounded memory (§5.4, [`out_of_core`]).
+//!
+//! ## Extension features beyond the paper's evaluation
+//!
+//! * top-k single-source queries with heap selection and an
+//!   early-terminating approximate variant ([`topk`]);
+//! * threshold and top-k similarity joins over the index ([`join`]);
+//! * incremental maintenance under edge updates with taint tracking and
+//!   pluggable staleness policies ([`dynamic`]) — the paper's stated
+//!   future work;
+//! * parallel batch query execution ([`batch`]) and an LRU single-pair
+//!   result cache ([`cache`]);
+//! * disk-resident queries with a buffer pool ([`disk_query`]);
+//! * local-update personalized PageRank ([`ppr`]), the Appendix-B
+//!   relative of Algorithm 2, with the HP ↔ PPR identity under test.
+
+pub mod batch;
+pub mod bernoulli;
+pub mod cache;
+pub mod config;
+pub mod correction;
+pub mod disk_query;
+pub mod dynamic;
+pub mod enhance;
+pub mod error;
+pub mod external_sort;
+pub mod format;
+pub mod hp;
+pub mod index;
+pub mod join;
+pub mod local_update;
+pub mod out_of_core;
+pub mod parallel;
+pub mod ppr;
+pub mod reference;
+pub mod single_pair;
+pub mod single_source;
+pub mod topk;
+pub mod two_hop;
+pub mod verify;
+pub mod walk;
+
+pub use config::SlingConfig;
+pub use error::SlingError;
+pub use hp::HpEntry;
+pub use index::{QueryWorkspace, SlingIndex};
+pub use walk::WalkEngine;

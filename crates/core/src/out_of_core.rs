@@ -1,0 +1,359 @@
+//! §5.4 — out-of-core index construction and disk-resident querying.
+//!
+//! Construction: Algorithm 2's triples are streamed through the
+//! [`ExternalSorter`] with a
+//! caller-bounded memory buffer, then the globally sorted stream is
+//! assembled directly into the packed arena — at no point does the
+//! unsorted triple set reside in memory. Only the `O(n)` correction
+//! factors and the final arena are memory-resident, mirroring the paper's
+//! description (Figure 10 sweeps the buffer size).
+//!
+//! Querying: [`DiskHpStore`] keeps the HP entries in a file and only the
+//! `O(n)` offsets, correction factors, and reduction bitmap in memory.
+//! A single-pair query reads the two `O(1/ε)`-sized entry runs with
+//! positioned reads — the constant-IO regime described in §5.4.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut};
+use sling_graph::{DiGraph, NodeId};
+
+use crate::config::SlingConfig;
+use crate::correction::estimate_dk;
+use crate::enhance::MarkArena;
+use crate::error::SlingError;
+use crate::external_sort::ExternalSorter;
+use crate::hp::{HpArena, HpEntry};
+use crate::index::{BuildStats, SlingIndex};
+use crate::local_update::reverse_hp_all;
+use crate::single_pair::merge_intersect;
+use crate::two_hop::{two_hop_into, TwoHopScratch};
+use crate::walk::{task_rng, WalkEngine};
+
+/// Options for the out-of-core builder.
+#[derive(Clone, Debug)]
+pub struct OutOfCoreConfig {
+    /// Memory budget for the triple sort buffer, in bytes.
+    pub buffer_bytes: usize,
+    /// Directory for temporary run files.
+    pub temp_dir: PathBuf,
+}
+
+impl OutOfCoreConfig {
+    /// Budget of `buffer_bytes` with run files under the system temp dir.
+    pub fn with_buffer(buffer_bytes: usize) -> Self {
+        OutOfCoreConfig {
+            buffer_bytes,
+            temp_dir: std::env::temp_dir().join(format!("sling-ooc-{}", std::process::id())),
+        }
+    }
+}
+
+/// Build a [`SlingIndex`] with the external-sort pipeline. Produces an
+/// index identical to [`SlingIndex::build`] for the same config/seed.
+pub fn build_out_of_core(
+    graph: &DiGraph,
+    config: &SlingConfig,
+    occ: &OutOfCoreConfig,
+) -> Result<SlingIndex, SlingError> {
+    config.validate()?;
+    let n = graph.num_nodes();
+    let engine = WalkEngine::new(graph, config.c);
+    let delta_d = config.delta_d(n);
+
+    let mut dk_samples = 0u64;
+    let mut d = Vec::with_capacity(n);
+    for k in graph.nodes() {
+        let mut rng = task_rng(config.seed, k.0 as u64);
+        let est = estimate_dk(
+            graph,
+            &engine,
+            &mut rng,
+            k,
+            config.c,
+            config.eps_d,
+            delta_d,
+            config.adaptive_dk,
+        );
+        dk_samples += est.samples;
+        d.push(est.d);
+    }
+
+    let mut sorter = ExternalSorter::new(&occ.temp_dir, occ.buffer_bytes)?;
+    let mut push_err: Option<io::Error> = None;
+    reverse_hp_all(graph, config.sqrt_c(), config.theta, &mut |t| {
+        if push_err.is_none() {
+            if let Err(e) = sorter.push(t) {
+                push_err = Some(e);
+            }
+        }
+    });
+    if let Some(e) = push_err {
+        return Err(e.into());
+    }
+
+    // §5.2 reduction decisions (same rule as the in-memory assembler).
+    let eta_budget = config.gamma / config.theta;
+    let mut reduced = vec![false; n];
+    let mut reduced_nodes = 0usize;
+    if config.space_reduction {
+        for v in graph.nodes() {
+            if (graph.two_hop_in_cost(v) as f64) <= eta_budget {
+                reduced[v.index()] = true;
+                reduced_nodes += 1;
+            }
+        }
+    }
+
+    // Stream the sorted triples straight into the arena.
+    let mut entries_before = 0usize;
+    let mut stream_err: Option<io::Error> = None;
+    let hp = {
+        let reduced = &reduced;
+        let iter = sorter
+            .into_sorted_iter()?
+            .filter_map(|r| match r {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    stream_err = Some(e);
+                    None
+                }
+            })
+            .inspect(|_| entries_before += 1)
+            .filter(|t| !(reduced[t.owner.index()] && (t.step == 1 || t.step == 2)))
+            .map(|t| (t.owner.0, HpEntry::new(t.step, t.target, t.value)));
+        HpArena::from_sorted_entries(n, iter)
+    };
+    if let Some(e) = stream_err {
+        return Err(e.into());
+    }
+    std::fs::remove_dir_all(&occ.temp_dir).ok();
+
+    let marks = if config.enhance_accuracy {
+        MarkArena::compute(graph, config, &hp)
+    } else {
+        MarkArena::empty(n)
+    };
+    let stats = BuildStats {
+        dk_samples,
+        entries_before_reduction: entries_before,
+        entries_stored: hp.total_entries(),
+        reduced_nodes,
+        marked_entries: marks.total_marks(),
+    };
+    Ok(SlingIndex {
+        config: config.clone(),
+        num_nodes: n,
+        num_edges: graph.num_edges(),
+        d,
+        hp,
+        reduced,
+        marks,
+        stats,
+    })
+}
+
+const ENTRY_BYTES: usize = 14; // step u16 + node u32 + value f64
+
+/// Disk-resident HP store: entries live in a file; offsets, correction
+/// factors, and the reduction bitmap stay in memory (`O(n)` total).
+///
+/// Supports single-pair queries with two positioned reads. Enhancement
+/// marks are not persisted here — the store answers with the same
+/// guarantees as a non-enhanced index.
+pub struct DiskHpStore {
+    file: File,
+    offsets: Vec<u64>,
+    pub(crate) d: Vec<f64>,
+    reduced: Vec<bool>,
+    pub(crate) config: SlingConfig,
+    num_nodes: usize,
+}
+
+impl DiskHpStore {
+    /// Write the entries of `index` to `path` and return a store reading
+    /// from it.
+    pub fn create(index: &SlingIndex, path: impl AsRef<Path>) -> Result<Self, SlingError> {
+        let path = path.as_ref();
+        {
+            let mut w = BufWriter::new(File::create(path)?);
+            let mut buf = Vec::with_capacity(1 << 16);
+            for v in 0..index.num_nodes {
+                for e in index.stored_entries(NodeId::from_index(v)) {
+                    buf.put_u16_le(e.step);
+                    buf.put_u32_le(e.node.0);
+                    buf.put_f64_le(e.value);
+                    if buf.len() >= (1 << 16) {
+                        w.write_all(&buf)?;
+                        buf.clear();
+                    }
+                }
+            }
+            w.write_all(&buf)?;
+            w.flush()?;
+        }
+        Ok(DiskHpStore {
+            file: File::open(path)?,
+            offsets: index.hp.offsets.clone(),
+            d: index.d.clone(),
+            reduced: index.reduced.clone(),
+            config: index.config.clone(),
+            num_nodes: index.num_nodes,
+        })
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Memory-resident bytes (excludes the entry file) — the quantity the
+    /// out-of-core mode is designed to bound.
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.d.len() * 8 + self.reduced.len()
+    }
+
+    pub(crate) fn read_entries(&self, v: NodeId, out: &mut Vec<HpEntry>) -> Result<(), SlingError> {
+        out.clear();
+        let i = v.index();
+        let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
+        let count = (hi - lo) as usize;
+        if count == 0 {
+            return Ok(());
+        }
+        let mut raw = vec![0u8; count * ENTRY_BYTES];
+        self.file.read_exact_at(&mut raw, lo * ENTRY_BYTES as u64)?;
+        let mut slice = raw.as_slice();
+        for _ in 0..count {
+            let step = slice.get_u16_le();
+            let node = NodeId(slice.get_u32_le());
+            let value = slice.get_f64_le();
+            out.push(HpEntry::new(step, node, value));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn effective(
+        &self,
+        graph: &DiGraph,
+        v: NodeId,
+        scratch: &mut TwoHopScratch,
+        out: &mut Vec<HpEntry>,
+    ) -> Result<(), SlingError> {
+        self.read_entries(v, out)?;
+        if self.reduced[v.index()] {
+            // Splice exact steps 1-2 between step 0 and steps >= 3.
+            let split = out.iter().position(|e| e.step > 0).unwrap_or(out.len());
+            let tail = out.split_off(split);
+            two_hop_into(graph, self.config.sqrt_c(), v, scratch, out);
+            out.extend(tail);
+        }
+        Ok(())
+    }
+
+    /// Single-pair query against the disk-resident entries: two
+    /// positioned reads plus the usual merge-intersection.
+    pub fn single_pair(
+        &self,
+        graph: &DiGraph,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<f64, SlingError> {
+        let n = self.num_nodes as u32;
+        for node in [u, v] {
+            if node.0 >= n {
+                return Err(SlingError::NodeOutOfRange { node: node.0, n });
+            }
+        }
+        if u == v && self.config.exact_diagonal {
+            return Ok(1.0);
+        }
+        let mut scratch = TwoHopScratch::default();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        self.effective(graph, u, &mut scratch, &mut a)?;
+        self.effective(graph, v, &mut scratch, &mut b)?;
+        Ok(merge_intersect(&a, &b, &self.d).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_graph::generators::{barabasi_albert, two_cliques_bridge};
+
+    fn cfg() -> SlingConfig {
+        SlingConfig::from_epsilon(0.6, 0.1).with_seed(11)
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("sling_ooc_test_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn out_of_core_build_matches_in_memory_build() {
+        let g = barabasi_albert(200, 3, 5).unwrap();
+        let config = cfg();
+        let mem = SlingIndex::build(&g, &config).unwrap();
+        // Tiny buffer forces many runs; result must still be identical.
+        let occ = OutOfCoreConfig {
+            buffer_bytes: 4 * 1024,
+            temp_dir: tmp("small_buf"),
+        };
+        let disk = build_out_of_core(&g, &config, &occ).unwrap();
+        assert_eq!(mem.d, disk.d);
+        assert_eq!(mem.hp, disk.hp);
+        assert_eq!(mem.reduced, disk.reduced);
+        assert_eq!(
+            mem.stats().entries_before_reduction,
+            disk.stats().entries_before_reduction
+        );
+    }
+
+    #[test]
+    fn large_buffer_single_run_also_matches() {
+        let g = two_cliques_bridge(5);
+        let config = cfg();
+        let mem = SlingIndex::build(&g, &config).unwrap();
+        let occ = OutOfCoreConfig {
+            buffer_bytes: 64 << 20,
+            temp_dir: tmp("big_buf"),
+        };
+        let disk = build_out_of_core(&g, &config, &occ).unwrap();
+        assert_eq!(mem.hp, disk.hp);
+    }
+
+    #[test]
+    fn disk_store_answers_like_the_index() {
+        let g = barabasi_albert(150, 2, 9).unwrap();
+        let config = cfg();
+        let idx = SlingIndex::build(&g, &config).unwrap();
+        let dir = tmp("store");
+        let store = DiskHpStore::create(&idx, dir.join("hp.bin")).unwrap();
+        for (u, v) in [(0u32, 1u32), (3, 77), (149, 10), (5, 5)] {
+            let a = idx.single_pair(&g, NodeId(u), NodeId(v));
+            let b = store.single_pair(&g, NodeId(u), NodeId(v)).unwrap();
+            assert!(
+                (a - b).abs() < 1e-12,
+                "({u},{v}): memory {a} vs disk {b}"
+            );
+        }
+        assert!(store.resident_bytes() < idx.resident_bytes());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn disk_store_checks_node_range() {
+        let g = two_cliques_bridge(3);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let dir = tmp("range");
+        let store = DiskHpStore::create(&idx, dir.join("hp.bin")).unwrap();
+        assert!(store.single_pair(&g, NodeId(0), NodeId(100)).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,248 @@
+//! Personalized PageRank (PPR), the Appendix-B comparison point.
+//!
+//! Appendix B of the paper relates SLING's hitting probabilities (HPs) to
+//! personalized PageRank: a PPR walk follows *out*-edges and stops with
+//! probability `1 − α` per step; `ppr(u, v)` is the probability the walk
+//! from `u` *stops at* `v`, whereas `h⁽ℓ⁾(u, v)` is the probability a
+//! √c-walk (over *in*-edges) *passes through* `v` at step ℓ. Algorithm 2
+//! is the HP analogue of the local-update (reverse-push) algorithm for
+//! PPR [Andersen et al., FOCS 2006]; this module implements the PPR side
+//! so the relationship is testable in code:
+//!
+//! ```text
+//! ppr_Gᵀ(u, v; α = √c) = (1 − √c) Σ_ℓ h⁽ℓ⁾(u, v)  +  √c Σ_ℓ h⁽ℓ⁾(u, v)·[v dangling-in]
+//! ```
+//!
+//! (on the transpose graph the PPR walk traverses exactly the in-edges a
+//! √c-walk does; stopping *at* `v` decomposes over the pass-through step
+//! with the extra term for forced halts at in-dangling nodes).
+//!
+//! Dangling nodes (no out-neighbor) force the walk to halt in place, so
+//! `ppr(u, v) = δ_{uv}` when `u` is dangling.
+
+use std::collections::VecDeque;
+
+use sling_graph::{DiGraph, NodeId};
+
+/// Exact-ish PPR vector from `source` by forward power iteration, run
+/// until the live walk mass drops below `tol`. `O((n + m) · log_α tol)`.
+pub fn ppr_from_source(graph: &DiGraph, alpha: f64, source: NodeId, tol: f64) -> Vec<f64> {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0,1)");
+    let n = graph.num_nodes();
+    let mut result = vec![0.0; n];
+    if source.index() >= n {
+        return result;
+    }
+    let mut q = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    q[source.index()] = 1.0;
+    let mut live = 1.0;
+    while live > tol {
+        live = 0.0;
+        for v in 0..n {
+            let mass = q[v];
+            if mass == 0.0 {
+                continue;
+            }
+            let node = NodeId::from_index(v);
+            let outs = graph.out_neighbors(node);
+            if outs.is_empty() {
+                // Stop-coin (1-α) plus forced halt (α): all mass stops here.
+                result[v] += mass;
+            } else {
+                result[v] += (1.0 - alpha) * mass;
+                let share = alpha * mass / outs.len() as f64;
+                for &w in outs {
+                    next[w.index()] += share;
+                    live += share;
+                }
+            }
+            q[v] = 0.0;
+        }
+        std::mem::swap(&mut q, &mut next);
+    }
+    // Residual live mass is dropped: result underestimates by <= tol.
+    result
+}
+
+/// Approximate `ppr(·, target)` for **all** sources by reverse push
+/// (local update), the algorithm Algorithm 2 descends from.
+///
+/// Maintains the linear-system invariant
+/// `ppr(u, t) = p(u) + Σ_v r(v) · ppr(u, v)` and pushes any residual
+/// above `theta`; on termination `0 ≤ ppr(u, t) − p(u) ≤ theta/(1−α)`
+/// for every `u`. Runs in `O(Σ pushes · degree)` — local: only nodes
+/// with nonzero estimate are ever touched.
+pub fn ppr_to_target(graph: &DiGraph, alpha: f64, target: NodeId, theta: f64) -> Vec<f64> {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0,1)");
+    assert!(theta > 0.0, "theta must be positive");
+    let n = graph.num_nodes();
+    let mut p = vec![0.0; n];
+    if target.index() >= n {
+        return p;
+    }
+    let mut r = vec![0.0; n];
+    let mut queued = vec![false; n];
+    let mut queue = VecDeque::new();
+    r[target.index()] = 1.0 - alpha;
+    queue.push_back(target);
+    queued[target.index()] = true;
+    while let Some(v) = queue.pop_front() {
+        queued[v.index()] = false;
+        let rho = r[v.index()];
+        r[v.index()] = 0.0;
+        if rho == 0.0 {
+            continue;
+        }
+        // A dangling v carries an implicit self-loop (forced halts):
+        // collapsing its geometric series amplifies both the settled mass
+        // and the residual leaked to in-neighbors by 1/(1-α).
+        let rho_eff = if graph.out_degree(v) == 0 {
+            rho / (1.0 - alpha)
+        } else {
+            rho
+        };
+        p[v.index()] += rho_eff;
+        // ppr(u, t) references u's out-neighbors, so residual flows to
+        // the in-neighbors of v, scaled by *their* out-degrees.
+        for &u in graph.in_neighbors(v) {
+            let share = alpha * rho_eff / graph.out_degree(u) as f64;
+            r[u.index()] += share;
+            if r[u.index()] > theta && !queued[u.index()] {
+                queued[u.index()] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_graph::generators::{barabasi_albert, complete_graph, cycle_graph, path_graph, star_graph};
+    use sling_graph::transform::transpose;
+
+    const ALPHA: f64 = 0.5;
+
+    #[test]
+    fn ppr_from_source_is_a_distribution() {
+        for g in [
+            cycle_graph(6),
+            complete_graph(5),
+            barabasi_albert(50, 2, 3).unwrap(),
+            path_graph(5), // has a dangling tail
+        ] {
+            for u in g.nodes() {
+                let p = ppr_from_source(&g, ALPHA, u, 1e-12);
+                let total: f64 = p.iter().sum();
+                assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+                assert!(p.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn dangling_source_stops_in_place() {
+        let g = star_graph(4); // leaves 1..3 -> hub 0; hub has out-degree 0
+        let p = ppr_from_source(&g, ALPHA, NodeId(0), 1e-12);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        // A leaf stops at itself with 1-alpha, at the hub with alpha.
+        let q = ppr_from_source(&g, ALPHA, NodeId(1), 1e-12);
+        assert!((q[1] - (1.0 - ALPHA)).abs() < 1e-12);
+        assert!((q[0] - ALPHA).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reverse_push_matches_power_iteration() {
+        let theta = 1e-7;
+        for g in [
+            cycle_graph(7),
+            complete_graph(5),
+            star_graph(5),
+            barabasi_albert(60, 2, 9).unwrap(),
+        ] {
+            for t in [NodeId(0), NodeId(2)] {
+                let push = ppr_to_target(&g, ALPHA, t, theta);
+                for u in g.nodes() {
+                    let exact = ppr_from_source(&g, ALPHA, u, 1e-13)[t.index()];
+                    let err = exact - push[u.index()];
+                    assert!(
+                        (-1e-9..=theta / (1.0 - ALPHA) + 1e-9).contains(&err),
+                        "ppr({u:?},{t:?}): exact {exact} push {}",
+                        push[u.index()]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_push_is_local() {
+        // On a long directed path toward the target, far nodes have
+        // geometrically small ppr; a coarse theta must leave them at 0.
+        let g = path_graph(50); // edges v -> v+1
+        let p = ppr_to_target(&g, ALPHA, NodeId(49), 0.01);
+        assert!(p[49] > 0.0);
+        assert_eq!(p[0], 0.0, "push reached the whole path with coarse theta");
+    }
+
+    /// The Appendix-B identity: PPR on the transpose with α = √c equals
+    /// the HP series (1-√c)·Σ_ℓ h + √c·Σ_ℓ h at in-dangling nodes.
+    #[test]
+    fn ppr_decomposes_over_hitting_probabilities() {
+        let c: f64 = 0.6;
+        let alpha = c.sqrt();
+        for g in [
+            star_graph(5),
+            cycle_graph(6),
+            barabasi_albert(30, 2, 4).unwrap(),
+        ] {
+            let gt = transpose(&g);
+            let n = g.num_nodes();
+            for u in g.nodes() {
+                // Exact HP series by dense in-edge propagation: h_ℓ(k) =
+                // Pr[√c-walk from u is at k at step ℓ].
+                let mut h = vec![0.0; n];
+                h[u.index()] = 1.0;
+                let mut series = vec![0.0; n];
+                for _ in 0..200 {
+                    for (k, dst) in series.iter_mut().enumerate() {
+                        *dst += h[k];
+                    }
+                    let mut next = vec![0.0; n];
+                    for (k, &mass) in h.iter().enumerate() {
+                        if mass == 0.0 {
+                            continue;
+                        }
+                        let node = NodeId::from_index(k);
+                        let inn = g.in_neighbors(node);
+                        if inn.is_empty() {
+                            continue;
+                        }
+                        let share = alpha * mass / inn.len() as f64;
+                        for &w in inn {
+                            next[w.index()] += share;
+                        }
+                    }
+                    h = next;
+                }
+                let ppr = ppr_from_source(&gt, alpha, u, 1e-13);
+                for v in g.nodes() {
+                    let dangling_in = g.in_degree(v) == 0;
+                    let expect = if dangling_in {
+                        // (1-α)·Σh + α·Σh = Σh at forced-halt nodes.
+                        series[v.index()]
+                    } else {
+                        (1.0 - alpha) * series[v.index()]
+                    };
+                    assert!(
+                        (ppr[v.index()] - expect).abs() < 1e-6,
+                        "({u:?},{v:?}): ppr {} vs hp-series {expect}",
+                        ppr[v.index()]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Algorithm 3 — single-pair SimRank queries in `O(1/ε)`.
+//!
+//! With the effective entry lists `H*(u)` and `H*(v)` sorted by
+//! `(step, node)`, the Eq. (17) estimator
+//!
+//! ```text
+//! s̃(u, v) = Σ_{(ℓ,k)} h̃⁽ℓ⁾(u, k) · d̃_k · h̃⁽ℓ⁾(v, k)
+//! ```
+//!
+//! is a sorted-merge intersection: a single linear pass over both lists,
+//! no hashing, `O(|H*(u)| + |H*(v)|) = O(1/ε)` time.
+
+use sling_graph::{DiGraph, NodeId};
+
+use crate::error::SlingError;
+use crate::hp::HpEntry;
+use crate::index::{Buf, QueryWorkspace, SlingIndex};
+
+/// Merge-intersect two `(step, node)`-sorted entry lists against the
+/// correction factors.
+pub(crate) fn merge_intersect(a: &[HpEntry], b: &[HpEntry], d: &[f64]) -> f64 {
+    let mut s = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].key().cmp(&b[j].key()) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                s += a[i].value * d[a[i].node.index()] * b[j].value;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    s
+}
+
+impl SlingIndex {
+    /// Single-pair SimRank estimate `s̃(u, v)` (Algorithm 3), allocating a
+    /// fresh workspace. For hot loops prefer
+    /// [`SlingIndex::single_pair_with`].
+    pub fn single_pair(&self, graph: &DiGraph, u: NodeId, v: NodeId) -> f64 {
+        let mut ws = QueryWorkspace::new();
+        self.single_pair_with(graph, &mut ws, u, v)
+    }
+
+    /// Single-pair query reusing caller-provided buffers; allocation-free
+    /// after warm-up.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `u` or `v` is out of range; use
+    /// [`SlingIndex::try_single_pair`] for checked access.
+    pub fn single_pair_with(
+        &self,
+        graph: &DiGraph,
+        ws: &mut QueryWorkspace,
+        u: NodeId,
+        v: NodeId,
+    ) -> f64 {
+        if u == v {
+            if self.config.exact_diagonal {
+                return 1.0;
+            }
+            // Fall through: estimate s(v,v) from the index like any pair.
+        }
+        self.effective_entries(graph, u, ws, Buf::A);
+        self.effective_entries(graph, v, ws, Buf::B);
+        merge_intersect(&ws.buf_a, &ws.buf_b, &self.d).clamp(0.0, 1.0)
+    }
+
+    /// Range-checked single-pair query.
+    pub fn try_single_pair(
+        &self,
+        graph: &DiGraph,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<f64, SlingError> {
+        let n = self.num_nodes as u32;
+        for node in [u, v] {
+            if node.0 >= n {
+                return Err(SlingError::NodeOutOfRange { node: node.0, n });
+            }
+        }
+        Ok(self.single_pair(graph, u, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlingConfig;
+    use crate::reference::exact_simrank;
+    use sling_graph::generators::{
+        complete_graph, cycle_graph, star_graph, two_cliques_bridge,
+    };
+    use sling_graph::DiGraph;
+
+    const C: f64 = 0.6;
+
+    fn build(g: &DiGraph, eps: f64) -> SlingIndex {
+        SlingIndex::build(g, &SlingConfig::from_epsilon(C, eps).with_seed(77)).unwrap()
+    }
+
+    /// Every pair within ε of the power-method ground truth.
+    fn assert_all_pairs_within_eps(g: &DiGraph, idx: &SlingIndex, eps: f64) {
+        let truth = exact_simrank(g, C, 60);
+        let mut ws = QueryWorkspace::new();
+        let mut worst = 0.0f64;
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let est = idx.single_pair_with(g, &mut ws, u, v);
+                let err = (est - truth[u.index()][v.index()]).abs();
+                worst = worst.max(err);
+            }
+        }
+        assert!(worst <= eps, "max error {worst} > eps {eps}");
+    }
+
+    #[test]
+    fn within_eps_on_toy_graphs() {
+        let eps = 0.05;
+        for g in [
+            cycle_graph(8),
+            star_graph(6),
+            complete_graph(5),
+            two_cliques_bridge(4),
+        ] {
+            let idx = build(&g, eps);
+            assert_all_pairs_within_eps(&g, &idx, eps);
+        }
+    }
+
+    #[test]
+    fn within_eps_with_all_optimizations() {
+        let g = two_cliques_bridge(5);
+        let eps = 0.05;
+        let config = SlingConfig::from_epsilon(C, eps)
+            .with_seed(3)
+            .with_enhancement(true);
+        let idx = SlingIndex::build(&g, &config).unwrap();
+        assert_all_pairs_within_eps(&g, &idx, eps);
+    }
+
+    #[test]
+    fn diagonal_is_exact_by_default() {
+        let g = two_cliques_bridge(4);
+        let idx = build(&g, 0.1);
+        for v in g.nodes() {
+            assert_eq!(idx.single_pair(&g, v, v), 1.0);
+        }
+    }
+
+    #[test]
+    fn raw_diagonal_estimate_is_close_but_not_exact() {
+        let g = two_cliques_bridge(4);
+        let config = SlingConfig::from_epsilon(C, 0.05)
+            .with_seed(1)
+            .with_exact_diagonal(false);
+        let idx = SlingIndex::build(&g, &config).unwrap();
+        let s = idx.single_pair(&g, NodeId(0), NodeId(0));
+        assert!(s > 0.9 && s <= 1.0, "raw diagonal estimate {s}");
+    }
+
+    #[test]
+    fn symmetry_of_estimates() {
+        let g = two_cliques_bridge(5);
+        let idx = build(&g, 0.05);
+        let mut ws = QueryWorkspace::new();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let a = idx.single_pair_with(&g, &mut ws, u, v);
+                let b = idx.single_pair_with(&g, &mut ws, v, u);
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_pairs_are_zero() {
+        let g = cycle_graph(9);
+        let idx = build(&g, 0.05);
+        assert_eq!(idx.single_pair(&g, NodeId(0), NodeId(4)), 0.0);
+    }
+
+    #[test]
+    fn try_single_pair_checks_range() {
+        let g = cycle_graph(4);
+        let idx = build(&g, 0.1);
+        assert!(idx.try_single_pair(&g, NodeId(0), NodeId(9)).is_err());
+        assert!(idx.try_single_pair(&g, NodeId(0), NodeId(3)).is_ok());
+    }
+
+    #[test]
+    fn merge_intersect_basics() {
+        let d = vec![0.5, 0.5, 0.5];
+        let a = vec![
+            HpEntry::new(0, NodeId(0), 1.0),
+            HpEntry::new(1, NodeId(2), 0.4),
+        ];
+        let b = vec![
+            HpEntry::new(0, NodeId(1), 1.0),
+            HpEntry::new(1, NodeId(2), 0.3),
+        ];
+        // Only (1, v2) matches: 0.4 * 0.5 * 0.3
+        let s = merge_intersect(&a, &b, &d);
+        assert!((s - 0.06).abs() < 1e-12);
+        assert_eq!(merge_intersect(&a, &[], &d), 0.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Algorithm 6 — single-source SimRank queries.
+//!
+//! Instead of running Algorithm 3 once per node (`O(n/ε)` but with a poor
+//! constant) or pre-materializing inverted HP lists (doubling the index),
+//! Algorithm 6 rebuilds the needed inverted lists *on the fly*: for each
+//! step ℓ present in `H*(v_i)`, it seeds temporary scores
+//! `ρ⁽⁰⁾(v_k) = h̃⁽ℓ⁾(v_i, v_k) · d̃_k` and propagates them ℓ steps
+//! forward along out-edges (the same recurrence Algorithm 2 uses),
+//! pruning scores `≤ (√c)ℓ · θ`. After ℓ rounds, `ρ⁽ℓ⁾(v_j)` is exactly
+//! the step-ℓ term of Eq. (13) for the pair `(v_i, v_j)`, so summing over
+//! ℓ yields every `s̃(v_i, ·)` in `O(m log² 1/ε)` total (Lemma 12).
+
+use sling_graph::{DiGraph, NodeId};
+
+use crate::error::SlingError;
+use crate::index::{Buf, QueryWorkspace, SlingIndex};
+
+/// Reusable dense buffers for Algorithm 6. One per querying thread.
+///
+/// Invariant between queries: `cur`/`next` are all-zero (each query resets
+/// exactly the entries it touched), so repeated queries cost no `O(n)`
+/// clears beyond the first allocation.
+#[derive(Debug, Default)]
+pub struct SingleSourceWorkspace {
+    cur: Vec<f64>,
+    next: Vec<f64>,
+    touched_cur: Vec<u32>,
+    touched_next: Vec<u32>,
+    pub(crate) query: QueryWorkspace,
+}
+
+impl SingleSourceWorkspace {
+    /// Fresh workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.cur.len() < n {
+            self.cur.resize(n, 0.0);
+            self.next.resize(n, 0.0);
+        }
+    }
+
+    /// Add `val` to the step-0 temporary score of node index `k`.
+    pub(crate) fn seed(&mut self, k: usize, val: f64) {
+        if self.cur[k] == 0.0 {
+            self.touched_cur.push(k as u32);
+        }
+        self.cur[k] += val;
+    }
+
+    /// Run `rounds` forward-propagation rounds of Algorithm 6's inner
+    /// loop: scores `≤ threshold` are pruned, survivors distribute
+    /// `√c · val / |I(y)|` to each out-neighbor `y`.
+    pub(crate) fn propagate(&mut self, graph: &DiGraph, sqrt_c: f64, threshold: f64, rounds: u16) {
+        for _ in 0..rounds {
+            for idx in 0..self.touched_cur.len() {
+                let x = self.touched_cur[idx];
+                let val = self.cur[x as usize];
+                self.cur[x as usize] = 0.0;
+                if val <= threshold {
+                    continue;
+                }
+                for &y in graph.out_neighbors(NodeId(x)) {
+                    let yi = y.index();
+                    if self.next[yi] == 0.0 {
+                        self.touched_next.push(y.0);
+                    }
+                    self.next[yi] += sqrt_c * val / graph.in_degree(y) as f64;
+                }
+            }
+            self.touched_cur.clear();
+            std::mem::swap(&mut self.cur, &mut self.next);
+            std::mem::swap(&mut self.touched_cur, &mut self.touched_next);
+        }
+    }
+
+    /// Accumulate the surviving temporary scores into `out` and restore
+    /// the all-zero buffer invariant.
+    pub(crate) fn drain_into(&mut self, out: &mut [f64]) {
+        for idx in 0..self.touched_cur.len() {
+            let x = self.touched_cur[idx] as usize;
+            out[x] += self.cur[x];
+            self.cur[x] = 0.0;
+        }
+        self.touched_cur.clear();
+    }
+
+    /// Zero any leftover touched entries (used by early-terminating
+    /// queries that abandon un-drained state).
+    pub(crate) fn reset(&mut self) {
+        for &x in &self.touched_cur {
+            self.cur[x as usize] = 0.0;
+        }
+        self.touched_cur.clear();
+        for &x in &self.touched_next {
+            self.next[x as usize] = 0.0;
+        }
+        self.touched_next.clear();
+    }
+}
+
+impl SlingIndex {
+    /// Single-source query from `u` (Algorithm 6): returns `s̃(u, v)` for
+    /// every node `v`. Allocates a workspace; prefer
+    /// [`SlingIndex::single_source_with`] in loops.
+    pub fn single_source(&self, graph: &DiGraph, u: NodeId) -> Vec<f64> {
+        let mut ws = SingleSourceWorkspace::new();
+        let mut out = Vec::new();
+        self.single_source_with(graph, &mut ws, u, &mut out);
+        out
+    }
+
+    /// Single-source query into a caller-provided output vector.
+    pub fn single_source_with(
+        &self,
+        graph: &DiGraph,
+        ws: &mut SingleSourceWorkspace,
+        u: NodeId,
+        out: &mut Vec<f64>,
+    ) {
+        let n = self.num_nodes;
+        debug_assert_eq!(graph.num_nodes(), n, "wrong graph for index");
+        out.clear();
+        out.resize(n, 0.0);
+        ws.ensure(n);
+        let sqrt_c = self.config.sqrt_c();
+        let theta = self.config.theta;
+
+        // Effective H*(u), sorted by (step, node): consume per-step runs.
+        self.effective_entries(graph, u, &mut ws.query, Buf::A);
+        let entries = std::mem::take(&mut ws.query.buf_a);
+        let mut lo = 0usize;
+        while lo < entries.len() {
+            let step = entries[lo].step;
+            let mut hi = lo;
+            while hi < entries.len() && entries[hi].step == step {
+                hi += 1;
+            }
+            // Seed ρ^(0)(v_k) = h̃^(ℓ)(u, v_k) · d̃_k  (entries have
+            // distinct nodes within a step run), propagate ℓ rounds with
+            // the scaled-down pruning threshold, then accumulate ρ^(ℓ)
+            // into the result, restoring the all-zero invariant.
+            for e in &entries[lo..hi] {
+                let k = e.node.index();
+                ws.seed(k, e.value * self.d[k]);
+            }
+            let threshold = sqrt_c.powi(step as i32) * theta;
+            ws.propagate(graph, sqrt_c, threshold, step);
+            ws.drain_into(out);
+            lo = hi;
+        }
+        ws.query.buf_a = entries;
+
+        for s in out.iter_mut() {
+            *s = s.clamp(0.0, 1.0);
+        }
+        if self.config.exact_diagonal {
+            out[u.index()] = 1.0;
+        }
+    }
+
+    /// Baseline single-source strategy: Algorithm 3 once per node —
+    /// `O(n/ε)` asymptotically, but slower in practice than Algorithm 6
+    /// (the paper's Figure 2 comparison).
+    pub fn single_source_via_pairs(&self, graph: &DiGraph, u: NodeId) -> Vec<f64> {
+        let mut ws = QueryWorkspace::new();
+        graph
+            .nodes()
+            .map(|v| self.single_pair_with(graph, &mut ws, u, v))
+            .collect()
+    }
+
+    /// Range-checked single-source query.
+    pub fn try_single_source(&self, graph: &DiGraph, u: NodeId) -> Result<Vec<f64>, SlingError> {
+        if u.index() >= self.num_nodes {
+            return Err(SlingError::NodeOutOfRange {
+                node: u.0,
+                n: self.num_nodes as u32,
+            });
+        }
+        Ok(self.single_source(graph, u))
+    }
+
+    /// Top-k most similar nodes to `u` (excluding `u` itself), ordered by
+    /// descending score with node-id tie-breaking. Built on Algorithm 6.
+    pub fn top_k(&self, graph: &DiGraph, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        let scores = self.single_source(graph, u);
+        let mut ranked: Vec<(NodeId, f64)> = scores
+            .iter()
+            .enumerate()
+            .filter(|&(i, &s)| i != u.index() && s > 0.0)
+            .map(|(i, &s)| (NodeId::from_index(i), s))
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlingConfig;
+    use crate::reference::exact_simrank;
+    use sling_graph::generators::{
+        complete_graph, cycle_graph, star_graph, two_cliques_bridge,
+    };
+    use sling_graph::DiGraph;
+
+    const C: f64 = 0.6;
+
+    fn build(g: &DiGraph, eps: f64) -> SlingIndex {
+        SlingIndex::build(g, &SlingConfig::from_epsilon(C, eps).with_seed(31)).unwrap()
+    }
+
+    #[test]
+    fn single_source_within_eps_of_truth() {
+        let eps = 0.05;
+        for g in [
+            cycle_graph(8),
+            star_graph(6),
+            complete_graph(5),
+            two_cliques_bridge(4),
+        ] {
+            let idx = build(&g, eps);
+            let truth = exact_simrank(&g, C, 60);
+            for u in g.nodes() {
+                let scores = idx.single_source(&g, u);
+                for v in g.nodes() {
+                    let err = (scores[v.index()] - truth[u.index()][v.index()]).abs();
+                    assert!(err <= eps, "({u:?},{v:?}): err {err}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm6_consistent_with_pairwise_algorithm3() {
+        // Both estimators share d̃ and H̃; Algorithm 6 additionally prunes
+        // with the scaled threshold, so they agree within the extra
+        // truncation budget 2√c·θ/((1-√c)(1-c)).
+        let g = two_cliques_bridge(5);
+        let idx = build(&g, 0.05);
+        let sc = C.sqrt();
+        let slack = 2.0 * sc * idx.config().theta / ((1.0 - sc) * (1.0 - C)) + 1e-9;
+        for u in g.nodes() {
+            let a6 = idx.single_source(&g, u);
+            let a3 = idx.single_source_via_pairs(&g, u);
+            for v in g.nodes() {
+                let diff = (a6[v.index()] - a3[v.index()]).abs();
+                assert!(diff <= slack, "({u:?},{v:?}): diff {diff} > {slack}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_keeps_buffers_clean() {
+        let g = two_cliques_bridge(4);
+        let idx = build(&g, 0.05);
+        let mut ws = SingleSourceWorkspace::new();
+        let mut first = Vec::new();
+        idx.single_source_with(&g, &mut ws, NodeId(0), &mut first);
+        // Buffers must be zeroed after a query...
+        assert!(ws.cur.iter().all(|&x| x == 0.0));
+        assert!(ws.next.iter().all(|&x| x == 0.0));
+        // ...so the same query repeated gives identical results.
+        let mut second = Vec::new();
+        idx.single_source_with(&g, &mut ws, NodeId(0), &mut second);
+        assert_eq!(first, second);
+        // And a different query is unaffected by the first.
+        let mut direct = Vec::new();
+        idx.single_source_with(&g, &mut SingleSourceWorkspace::new(), NodeId(3), &mut direct);
+        let mut reused = Vec::new();
+        idx.single_source_with(&g, &mut ws, NodeId(3), &mut reused);
+        assert_eq!(direct, reused);
+    }
+
+    #[test]
+    fn diagonal_and_range_handling() {
+        let g = star_graph(5);
+        let idx = build(&g, 0.1);
+        let scores = idx.single_source(&g, NodeId(0));
+        assert_eq!(scores[0], 1.0);
+        assert!(idx.try_single_source(&g, NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn top_k_orders_by_similarity() {
+        let g = two_cliques_bridge(5);
+        let idx = build(&g, 0.05);
+        // Node 1 lives in clique {0..4}; its top matches must come from
+        // the same clique.
+        let top = idx.top_k(&g, NodeId(1), 3);
+        assert_eq!(top.len(), 3);
+        for (v, s) in &top {
+            assert!(v.0 < 5, "cross-clique node {v:?} in top-3");
+            assert!(*s > 0.0);
+        }
+        // Scores descending.
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn cycle_single_source_is_indicator() {
+        let g = cycle_graph(7);
+        let idx = build(&g, 0.05);
+        let scores = idx.single_source(&g, NodeId(3));
+        for v in g.nodes() {
+            let expect = if v == NodeId(3) { 1.0 } else { 0.0 };
+            assert_eq!(scores[v.index()], expect);
+        }
+    }
+}

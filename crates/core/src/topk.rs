@@ -1,0 +1,335 @@
+//! Top-k single-source SimRank queries.
+//!
+//! The paper's §8 surveys top-k SimRank queries as a major related query
+//! type; the SLING index supports them directly. This module provides two
+//! query strategies on top of Algorithm 6:
+//!
+//! * [`SlingIndex::top_k_heap`] — run the full single-source query, then
+//!   select the k best in `O(n log k)` with a bounded min-heap instead of
+//!   sorting all `n` scores.
+//! * [`SlingIndex::top_k_approx`] — an early-terminating variant. The
+//!   step-ℓ term of Eq. (13) contributes at most `c^ℓ` to *any* pair's
+//!   score (each hitting-probability row sums to `(√c)^ℓ` and `d_k ≤ 1`),
+//!   so once the steps still unprocessed can contribute at most `slack`,
+//!   propagation stops. Every returned score is then within `slack` of the
+//!   full Algorithm-6 estimate, and since deep steps are the expensive
+//!   ones to propagate, the saving is real on graphs with long HP tails.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use sling_graph::{DiGraph, NodeId};
+
+use crate::index::{Buf, SlingIndex};
+use crate::single_source::SingleSourceWorkspace;
+
+/// A `(score, node)` pair ordered by descending score with ascending
+/// node-id tie-breaking — "greater" means "ranks higher".
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Ranked {
+    score: f64,
+    node: u32,
+}
+
+impl Eq for Ranked {}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Scores are finite (clamped to [0, 1] by the query paths).
+        self.score
+            .partial_cmp(&other.score)
+            .expect("SimRank scores are finite")
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Select the `k` best `(node, score)` pairs from a dense score vector,
+/// excluding `exclude` and zero scores, in `O(n log k)`.
+pub(crate) fn select_top_k(
+    scores: &[f64],
+    exclude: Option<NodeId>,
+    k: usize,
+) -> Vec<(NodeId, f64)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Min-heap of the k best seen so far: `Reverse` puts the worst kept
+    // candidate at the root for O(log k) eviction.
+    let mut heap: BinaryHeap<std::cmp::Reverse<Ranked>> = BinaryHeap::with_capacity(k + 1);
+    for (i, &score) in scores.iter().enumerate() {
+        if score <= 0.0 || Some(NodeId::from_index(i)) == exclude {
+            continue;
+        }
+        let cand = Ranked {
+            score,
+            node: i as u32,
+        };
+        if heap.len() < k {
+            heap.push(std::cmp::Reverse(cand));
+        } else if cand > heap.peek().expect("heap non-empty").0 {
+            heap.pop();
+            heap.push(std::cmp::Reverse(cand));
+        }
+    }
+    let mut out: Vec<(NodeId, f64)> = heap
+        .into_iter()
+        .map(|std::cmp::Reverse(r)| (NodeId(r.node), r.score))
+        .collect();
+    out.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    out
+}
+
+impl SlingIndex {
+    /// Top-k most similar nodes to `u` (excluding `u`), selected with a
+    /// bounded heap. Result is identical to [`SlingIndex::top_k`] but the
+    /// selection step costs `O(n log k)` instead of `O(n log n)`.
+    ///
+    /// ```
+    /// use sling_core::{SlingConfig, SlingIndex};
+    /// use sling_graph::generators::two_cliques_bridge;
+    ///
+    /// let g = two_cliques_bridge(5);
+    /// let index = SlingIndex::build(&g, &SlingConfig::from_epsilon(0.6, 0.05)).unwrap();
+    /// let top = index.top_k_heap(&g, 0u32.into(), 3);
+    /// assert_eq!(top.len(), 3);
+    /// assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    /// ```
+    pub fn top_k_heap(&self, graph: &DiGraph, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        let scores = self.single_source(graph, u);
+        select_top_k(&scores, Some(u), k)
+    }
+
+    /// Early-terminating top-k: stops propagating Algorithm 6's step runs
+    /// once the unprocessed steps can add at most `slack` to any score.
+    ///
+    /// Each returned score `s` underestimates the full Algorithm-6 result
+    /// by at most `slack`, so with the index's ε guarantee the total error
+    /// versus true SimRank is at most `ε + slack`. With `slack = 0.0` this
+    /// is exactly [`SlingIndex::top_k_heap`].
+    pub fn top_k_approx(
+        &self,
+        graph: &DiGraph,
+        u: NodeId,
+        k: usize,
+        slack: f64,
+    ) -> Vec<(NodeId, f64)> {
+        let mut ws = SingleSourceWorkspace::new();
+        let mut scores = Vec::new();
+        self.single_source_truncated(graph, &mut ws, u, slack, &mut scores);
+        select_top_k(&scores, Some(u), k)
+    }
+
+    /// Algorithm 6 with early termination: skip step runs whose maximum
+    /// possible remaining contribution (`Σ_{ℓ' ≥ ℓ} c^ℓ' = c^ℓ/(1-c)`)
+    /// is at most `slack`. Returns the residual bound that was dropped
+    /// (0.0 when every stored step was processed).
+    pub fn single_source_truncated(
+        &self,
+        graph: &DiGraph,
+        ws: &mut SingleSourceWorkspace,
+        u: NodeId,
+        slack: f64,
+        out: &mut Vec<f64>,
+    ) -> f64 {
+        let c = self.config.c;
+        // Largest step we must still process: the smallest ℓ with
+        // c^ℓ/(1-c) ≤ slack can be dropped along with everything deeper.
+        let cutoff: Option<u16> = if slack <= 0.0 {
+            None
+        } else {
+            // c^ℓ ≤ slack (1-c)  ⇔  ℓ ≥ log(slack (1-c)) / log(c).
+            let bound = (slack * (1.0 - c)).ln() / c.ln();
+            if bound <= 0.0 {
+                Some(0)
+            } else {
+                Some(bound.ceil() as u16)
+            }
+        };
+        self.single_source_with_cutoff(graph, ws, u, cutoff, out)
+    }
+
+    /// Core of [`single_source_truncated`][Self::single_source_truncated]:
+    /// Algorithm 6 restricted to step runs `ℓ < cutoff` (no restriction
+    /// when `cutoff` is `None`). Returns the residual bound
+    /// `c^cutoff / (1-c)` when truncation happened, else 0.
+    fn single_source_with_cutoff(
+        &self,
+        graph: &DiGraph,
+        ws: &mut SingleSourceWorkspace,
+        u: NodeId,
+        cutoff: Option<u16>,
+        out: &mut Vec<f64>,
+    ) -> f64 {
+        let n = self.num_nodes;
+        debug_assert_eq!(graph.num_nodes(), n, "wrong graph for index");
+        out.clear();
+        out.resize(n, 0.0);
+        ws.ensure(n);
+        let sqrt_c = self.config.sqrt_c();
+        let theta = self.config.theta;
+        let mut truncated = false;
+
+        self.effective_entries(graph, u, &mut ws.query, Buf::A);
+        let entries = std::mem::take(&mut ws.query.buf_a);
+        let mut lo = 0usize;
+        while lo < entries.len() {
+            let step = entries[lo].step;
+            let mut hi = lo;
+            while hi < entries.len() && entries[hi].step == step {
+                hi += 1;
+            }
+            if let Some(cut) = cutoff {
+                if step >= cut {
+                    truncated = true;
+                    break;
+                }
+            }
+            for e in &entries[lo..hi] {
+                let k = e.node.index();
+                ws.seed(k, e.value * self.d[k]);
+            }
+            let threshold = sqrt_c.powi(step as i32) * theta;
+            ws.propagate(graph, sqrt_c, threshold, step);
+            ws.drain_into(out);
+            lo = hi;
+        }
+        ws.query.buf_a = entries;
+        ws.reset();
+
+        for s in out.iter_mut() {
+            *s = s.clamp(0.0, 1.0);
+        }
+        if self.config.exact_diagonal {
+            out[u.index()] = 1.0;
+        }
+        match cutoff {
+            Some(cut) if truncated => self.config.c.powi(cut as i32) / (1.0 - self.config.c),
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlingConfig;
+    use sling_graph::generators::{barabasi_albert, complete_graph, two_cliques_bridge};
+
+    const C: f64 = 0.6;
+
+    fn build(g: &DiGraph, eps: f64) -> SlingIndex {
+        SlingIndex::build(g, &SlingConfig::from_epsilon(C, eps).with_seed(17)).unwrap()
+    }
+
+    #[test]
+    fn select_top_k_basic() {
+        let scores = vec![0.1, 0.5, 0.0, 0.5, 0.3];
+        let top = select_top_k(&scores, None, 3);
+        // Ties broken by ascending node id.
+        assert_eq!(
+            top,
+            vec![
+                (NodeId(1), 0.5),
+                (NodeId(3), 0.5),
+                (NodeId(4), 0.3)
+            ]
+        );
+    }
+
+    #[test]
+    fn select_top_k_excludes_and_clips() {
+        let scores = vec![0.9, 0.2];
+        assert_eq!(select_top_k(&scores, Some(NodeId(0)), 5), vec![(NodeId(1), 0.2)]);
+        assert!(select_top_k(&scores, None, 0).is_empty());
+    }
+
+    #[test]
+    fn heap_matches_sort_based_top_k() {
+        let g = barabasi_albert(300, 3, 5).unwrap();
+        let idx = build(&g, 0.1);
+        for u in [NodeId(0), NodeId(7), NodeId(123)] {
+            for k in [1, 5, 50] {
+                let sorted = idx.top_k(&g, u, k);
+                let heaped = idx.top_k_heap(&g, u, k);
+                assert_eq!(sorted, heaped, "u = {u:?}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn approx_with_zero_slack_is_exact() {
+        let g = two_cliques_bridge(5);
+        let idx = build(&g, 0.05);
+        for u in g.nodes() {
+            assert_eq!(idx.top_k_approx(&g, u, 4, 0.0), idx.top_k_heap(&g, u, 4));
+        }
+    }
+
+    #[test]
+    fn approx_scores_within_slack() {
+        let g = barabasi_albert(200, 3, 9).unwrap();
+        let idx = build(&g, 0.1);
+        let slack = 0.02;
+        for u in [NodeId(1), NodeId(50), NodeId(150)] {
+            let full = idx.single_source(&g, u);
+            let mut ws = SingleSourceWorkspace::new();
+            let mut truncated = Vec::new();
+            let residual = idx.single_source_truncated(&g, &mut ws, u, slack, &mut truncated);
+            assert!(residual <= slack + 1e-12);
+            for v in g.nodes() {
+                let diff = full[v.index()] - truncated[v.index()];
+                assert!(
+                    (-1e-12..=slack + 1e-12).contains(&diff),
+                    "({u:?},{v:?}): full {} vs truncated {}",
+                    full[v.index()],
+                    truncated[v.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_slack_keeps_only_step_zero() {
+        // slack ≥ c/(1-c) allows dropping every step except ℓ = 0; the
+        // diagonal survives because step 0 always has h(0)(u,u) = 1.
+        let g = complete_graph(4);
+        let idx = build(&g, 0.1);
+        let top = idx.top_k_approx(&g, NodeId(0), 3, C / (1.0 - C) + 0.01);
+        // With only step 0 processed, off-diagonal scores vanish.
+        assert!(top.iter().all(|&(_, s)| s >= 0.0));
+        let mut ws = SingleSourceWorkspace::new();
+        let mut scores = Vec::new();
+        let residual =
+            idx.single_source_truncated(&g, &mut ws, NodeId(0), C / (1.0 - C) + 0.01, &mut scores);
+        assert!(residual > 0.0);
+        assert_eq!(scores[0], 1.0);
+    }
+
+    #[test]
+    fn truncated_respects_exact_diagonal_flag() {
+        let g = two_cliques_bridge(4);
+        let idx = build(&g, 0.1);
+        let mut ws = SingleSourceWorkspace::new();
+        let mut scores = Vec::new();
+        idx.single_source_truncated(&g, &mut ws, NodeId(2), 0.01, &mut scores);
+        assert_eq!(scores[2], 1.0);
+    }
+
+    #[test]
+    fn workspace_clean_after_truncated_query() {
+        let g = two_cliques_bridge(4);
+        let idx = build(&g, 0.05);
+        let mut ws = SingleSourceWorkspace::new();
+        let mut a = Vec::new();
+        idx.single_source_truncated(&g, &mut ws, NodeId(0), 0.05, &mut a);
+        let mut b = Vec::new();
+        idx.single_source_truncated(&g, &mut ws, NodeId(0), 0.05, &mut b);
+        assert_eq!(a, b);
+    }
+}

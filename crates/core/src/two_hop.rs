@@ -1,0 +1,153 @@
+//! Algorithm 5 — exact step-1 and step-2 hitting probabilities, computed
+//! on the fly (§5.2 space reduction).
+//!
+//! A √c-walk from `v` hits `v_x` at step 1 with probability exactly
+//! `√c / |I(v)|` for each in-neighbor `v_x`, and hits `v_y` at step 2 with
+//! probability `Σ_{v_x ∈ I(v), v_y ∈ I(v_x)} √c · h⁽¹⁾(v, v_x) / |I(v_x)|`.
+//! Both are exact (no truncation), so substituting them for the stored
+//! step-1/2 entries can only improve accuracy. The computation costs
+//! `η(v) = |I(v)| + Σ_{x∈I(v)} |I(x)|` operations, which the index builder
+//! only allows when `η(v) ≤ γ/θ = O(1/ε)`, preserving the `O(1/ε)` query
+//! bound.
+
+use sling_graph::{DiGraph, FxHashMap, NodeId};
+
+use crate::hp::HpEntry;
+
+/// Reusable scratch for [`two_hop_into`]; avoids per-query allocation.
+#[derive(Debug, Default)]
+pub struct TwoHopScratch {
+    step2: FxHashMap<u32, f64>,
+}
+
+/// Compute the exact step-1 and step-2 HPs from `v`, appending them to
+/// `out` in `(step, node)` order.
+pub fn two_hop_into(
+    graph: &DiGraph,
+    sqrt_c: f64,
+    v: NodeId,
+    scratch: &mut TwoHopScratch,
+    out: &mut Vec<HpEntry>,
+) {
+    let inn = graph.in_neighbors(v);
+    if inn.is_empty() {
+        return;
+    }
+    let h1 = sqrt_c / inn.len() as f64;
+    // Step 1: in-neighbor lists are sorted, so emission order is sorted.
+    for &x in inn {
+        out.push(HpEntry::new(1, x, h1));
+    }
+    // Step 2: accumulate over two-hop in-paths.
+    scratch.step2.clear();
+    for &x in inn {
+        let inn2 = graph.in_neighbors(x);
+        if inn2.is_empty() {
+            continue;
+        }
+        let contrib = sqrt_c * h1 / inn2.len() as f64;
+        for &y in inn2 {
+            *scratch.step2.entry(y.0).or_insert(0.0) += contrib;
+        }
+    }
+    let start = out.len();
+    out.extend(
+        scratch
+            .step2
+            .iter()
+            .map(|(&node, &value)| HpEntry::new(2, NodeId(node), value)),
+    );
+    out[start..].sort_unstable_by_key(|e| e.node);
+}
+
+/// Allocating convenience wrapper around [`two_hop_into`].
+pub fn two_hop_entries(graph: &DiGraph, sqrt_c: f64, v: NodeId) -> Vec<HpEntry> {
+    let mut scratch = TwoHopScratch::default();
+    let mut out = Vec::new();
+    two_hop_into(graph, sqrt_c, v, &mut scratch, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::exact_hp_to_target;
+    use sling_graph::generators::{complete_graph, cycle_graph, star_graph, two_cliques_bridge};
+    use sling_graph::DiGraph;
+
+    const C: f64 = 0.6;
+
+    fn check_against_reference(g: &DiGraph, v: NodeId) {
+        let entries = two_hop_entries(g, C.sqrt(), v);
+        // Reference: h^(ℓ)(v, t) for every target t.
+        for e in &entries {
+            let exact = exact_hp_to_target(g, C, e.node, 2);
+            let h = exact[e.step as usize][v.index()];
+            assert!(
+                (e.value - h).abs() < 1e-12,
+                "step {} node {:?}: got {} want {h}",
+                e.step,
+                e.node,
+                e.value
+            );
+        }
+        // Completeness: every nonzero exact step-1/2 HP appears.
+        for target in g.nodes() {
+            let exact = exact_hp_to_target(g, C, target, 2);
+            for step in [1u16, 2] {
+                let h = exact[step as usize][v.index()];
+                if h > 1e-15 {
+                    assert!(
+                        entries
+                            .iter()
+                            .any(|e| e.step == step && e.node == target),
+                        "missing ({step}, {target:?}) with h={h}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_assorted_graphs() {
+        check_against_reference(&two_cliques_bridge(4), NodeId(0));
+        check_against_reference(&complete_graph(5), NodeId(3));
+        check_against_reference(&cycle_graph(7), NodeId(2));
+        check_against_reference(&star_graph(6), NodeId(0));
+    }
+
+    #[test]
+    fn dangling_node_has_no_entries() {
+        let g = star_graph(4);
+        assert!(two_hop_entries(&g, C.sqrt(), NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_by_step_then_node() {
+        let g = two_cliques_bridge(5);
+        let e = two_hop_entries(&g, C.sqrt(), NodeId(1));
+        assert!(e.windows(2).all(|w| w[0].key() < w[1].key()));
+    }
+
+    #[test]
+    fn step_mass_sums_to_sqrt_c_powers_when_no_dangling() {
+        // On a complete graph no walk dies, so step-ℓ mass is (√c)^ℓ.
+        let g = complete_graph(6);
+        let e = two_hop_entries(&g, C.sqrt(), NodeId(0));
+        let m1: f64 = e.iter().filter(|x| x.step == 1).map(|x| x.value).sum();
+        let m2: f64 = e.iter().filter(|x| x.step == 2).map(|x| x.value).sum();
+        assert!((m1 - C.sqrt()).abs() < 1e-12);
+        assert!((m2 - C).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let g = two_cliques_bridge(4);
+        let mut scratch = TwoHopScratch::default();
+        let mut a = Vec::new();
+        two_hop_into(&g, C.sqrt(), NodeId(0), &mut scratch, &mut a);
+        let mut b = Vec::new();
+        two_hop_into(&g, C.sqrt(), NodeId(0), &mut scratch, &mut b);
+        assert_eq!(a, b);
+    }
+}

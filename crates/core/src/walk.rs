@@ -1,0 +1,236 @@
+//! √c-walk machinery (§4.1 of the paper).
+//!
+//! A √c-walk from `u` is a reverse random walk that, at every step, halts
+//! with probability `1 − √c` and otherwise moves to a uniformly random
+//! in-neighbor of the current node (halting if there is none). Lemma 3:
+//! `s(u, v)` equals the probability that independent √c-walks from `u` and
+//! `v` *meet* — occupy the same node at the same step index.
+//!
+//! The expected walk length is `1/(1 − √c)` (≈ 4.4 for `c = 0.6`), so
+//! unlike the classic Monte-Carlo formulation no truncation is needed.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sling_graph::{DiGraph, NodeId};
+
+/// Sampler for √c-walks over a fixed graph.
+///
+/// Cheap to construct; holds only the decay parameters and a borrowed
+/// graph. Each sampling method takes the RNG explicitly so callers control
+/// determinism and so per-thread RNGs need no synchronization.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkEngine<'g> {
+    graph: &'g DiGraph,
+    sqrt_c: f64,
+}
+
+impl<'g> WalkEngine<'g> {
+    /// New engine for decay factor `c`.
+    pub fn new(graph: &'g DiGraph, c: f64) -> Self {
+        assert!(c > 0.0 && c < 1.0, "decay factor must lie in (0,1)");
+        WalkEngine {
+            graph,
+            sqrt_c: c.sqrt(),
+        }
+    }
+
+    /// `√c`.
+    #[inline]
+    pub fn sqrt_c(&self) -> f64 {
+        self.sqrt_c
+    }
+
+    /// One transition: from `v`, halt (`None`) with probability `1 − √c`
+    /// or when `v` has no in-neighbors, else step to a uniform random
+    /// in-neighbor.
+    #[inline]
+    pub fn step(&self, rng: &mut SmallRng, v: NodeId) -> Option<NodeId> {
+        if rng.random::<f64>() >= self.sqrt_c {
+            return None;
+        }
+        let inn = self.graph.in_neighbors(v);
+        if inn.is_empty() {
+            None
+        } else {
+            Some(inn[rng.random_range(0..inn.len())])
+        }
+    }
+
+    /// Materialize a full √c-walk from `start` (index 0 = `start`).
+    pub fn sample_walk(&self, rng: &mut SmallRng, start: NodeId) -> Vec<NodeId> {
+        let mut walk = vec![start];
+        let mut cur = start;
+        while let Some(next) = self.step(rng, cur) {
+            walk.push(next);
+            cur = next;
+        }
+        walk
+    }
+
+    /// Simulate two independent √c-walks from `u` and `v` in lockstep and
+    /// report whether they meet (Lemma 3 event). Never materializes the
+    /// walks; terminates as soon as either walk halts.
+    pub fn walks_meet(&self, rng: &mut SmallRng, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return true; // both walks occupy the same 0-th step
+        }
+        let (mut a, mut b) = (u, v);
+        loop {
+            // Both walks must survive the step for a later meeting to be
+            // possible: once one halts, it has no ℓ-th step any more.
+            let na = self.step(rng, a);
+            let nb = self.step(rng, b);
+            match (na, nb) {
+                (Some(x), Some(y)) => {
+                    if x == y {
+                        return true;
+                    }
+                    a = x;
+                    b = y;
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// Monte-Carlo estimate of `s(u, v)` from `pairs` walk pairs — the
+    /// "revised Monte Carlo" of §4.1. Used by tests to cross-check the
+    /// deterministic machinery, and by the `mc-sqrt` baseline.
+    pub fn estimate_simrank(&self, rng: &mut SmallRng, u: NodeId, v: NodeId, pairs: u32) -> f64 {
+        if u == v {
+            return 1.0;
+        }
+        let mut hits = 0u32;
+        for _ in 0..pairs {
+            if self.walks_meet(rng, u, v) {
+                hits += 1;
+            }
+        }
+        hits as f64 / pairs as f64
+    }
+}
+
+/// Deterministic per-task RNG: hashes the build seed with a task id so
+/// parallel workers draw independent streams regardless of scheduling.
+pub fn task_rng(seed: u64, task: u64) -> SmallRng {
+    // SplitMix64 over (seed, task) — standard stream-splitting trick.
+    let mut z = seed ^ task.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    SmallRng::seed_from_u64(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sling_graph::generators::{complete_graph, cycle_graph, star_graph};
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn walk_from_dangling_node_halts_immediately() {
+        let g = star_graph(5); // leaves have no in-neighbors
+        let eng = WalkEngine::new(&g, 0.6);
+        let mut r = rng();
+        for _ in 0..50 {
+            let w = eng.sample_walk(&mut r, NodeId(1));
+            assert_eq!(w, vec![NodeId(1)]);
+        }
+    }
+
+    #[test]
+    fn walk_length_distribution_is_geometric() {
+        // On a cycle every node has an in-neighbor, so the walk length is
+        // Geometric(1 - sqrt(c)) with mean sqrt(c)/(1-sqrt(c)) extra steps.
+        let g = cycle_graph(10);
+        let c: f64 = 0.6;
+        let eng = WalkEngine::new(&g, c);
+        let mut r = rng();
+        let trials = 20_000;
+        let total: usize = (0..trials)
+            .map(|_| eng.sample_walk(&mut r, NodeId(0)).len() - 1)
+            .sum();
+        let mean = total as f64 / trials as f64;
+        let expected = c.sqrt() / (1.0 - c.sqrt());
+        assert!(
+            (mean - expected).abs() < 0.1,
+            "mean {mean}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn same_node_walks_always_meet() {
+        let g = cycle_graph(4);
+        let eng = WalkEngine::new(&g, 0.6);
+        let mut r = rng();
+        assert!(eng.walks_meet(&mut r, NodeId(2), NodeId(2)));
+    }
+
+    #[test]
+    fn cycle_walks_from_distinct_nodes_never_meet() {
+        // On a directed cycle both walks move deterministically in
+        // lockstep, preserving their (nonzero) separation forever.
+        let g = cycle_graph(6);
+        let eng = WalkEngine::new(&g, 0.8);
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(!eng.walks_meet(&mut r, NodeId(0), NodeId(3)));
+        }
+    }
+
+    #[test]
+    fn estimate_matches_closed_form_on_complete_graph() {
+        // On K_n (symmetric complete digraph) all off-diagonal scores are
+        // equal; Eq. (1) over the (n-1)^2 in-neighbor pairs (n-2 of which
+        // are identical nodes with s = 1) gives the fixed point
+        // s = c(n-2) / ((1-c)(n-1)^2 + c(n-2)).
+        let n = 5;
+        let c: f64 = 0.6;
+        let g = complete_graph(n);
+        let closed = c * (n - 2) as f64
+            / ((1.0 - c) * ((n - 1) * (n - 1)) as f64 + c * (n - 2) as f64);
+        let eng = WalkEngine::new(&g, c);
+        let mut r = rng();
+        let est = eng.estimate_simrank(&mut r, NodeId(0), NodeId(1), 60_000);
+        assert!(
+            (est - closed).abs() < 0.01,
+            "estimate {est}, closed form {closed}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_one_on_diagonal() {
+        let g = cycle_graph(3);
+        let eng = WalkEngine::new(&g, 0.6);
+        let mut r = rng();
+        assert_eq!(eng.estimate_simrank(&mut r, NodeId(1), NodeId(1), 10), 1.0);
+    }
+
+    #[test]
+    fn task_rng_streams_are_independent() {
+        let a: Vec<u64> = {
+            let mut r = task_rng(7, 0);
+            (0..8).map(|_| r.random()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = task_rng(7, 1);
+            (0..8).map(|_| r.random()).collect()
+        };
+        assert_ne!(a, b);
+        // Same (seed, task) reproduces the stream.
+        let a2: Vec<u64> = {
+            let mut r = task_rng(7, 0);
+            (0..8).map(|_| r.random()).collect()
+        };
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_decay() {
+        let g = cycle_graph(3);
+        let _ = WalkEngine::new(&g, 1.0);
+    }
+}

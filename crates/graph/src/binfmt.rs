@@ -1,0 +1,209 @@
+//! Compact binary graph persistence.
+//!
+//! The SNAP text format ([`crate::edgelist`]) is convenient for interchange
+//! but slow to parse and ~3x larger than necessary. This module stores a
+//! [`DiGraph`] as its out-CSR in a little-endian binary layout:
+//!
+//! ```text
+//! magic "SLNGGRF1" | n: u64 | m: u64 | offsets: (n+1) x u64 | targets: m x u32
+//! ```
+//!
+//! The in-CSR is rebuilt on load by transposition, which is cheaper than
+//! storing it. Decoding validates every structural invariant (monotone
+//! offsets, in-range targets, sorted adjacency) so a truncated or corrupted
+//! file yields a [`GraphError::Parse`], never a malformed graph.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+
+use crate::csr::Csr;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::node::NodeId;
+
+const MAGIC: &[u8; 8] = b"SLNGGRF1";
+
+/// Serialize a graph into a byte vector.
+pub fn to_bytes(g: &DiGraph) -> Vec<u8> {
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    let csr = g.out_csr();
+    let mut out = Vec::with_capacity(24 + (n + 1) * 8 + m * 4);
+    out.put_slice(MAGIC);
+    out.put_u64_le(n as u64);
+    out.put_u64_le(m as u64);
+    for &o in csr.offsets() {
+        out.put_u64_le(o as u64);
+    }
+    for &t in csr.targets() {
+        out.put_u32_le(t.0);
+    }
+    out
+}
+
+fn corrupt(message: impl Into<String>) -> GraphError {
+    GraphError::Parse {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+/// Decode a graph from bytes produced by [`to_bytes`].
+pub fn from_bytes(mut buf: &[u8]) -> Result<DiGraph, GraphError> {
+    if buf.len() < 24 {
+        return Err(corrupt("binary graph shorter than its header"));
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic: not a SLNGGRF1 graph file"));
+    }
+    let n = buf.get_u64_le() as usize;
+    let m = buf.get_u64_le() as usize;
+    let need = (n + 1)
+        .checked_mul(8)
+        .and_then(|x| m.checked_mul(4).map(|y| x + y))
+        .ok_or_else(|| corrupt("header sizes overflow"))?;
+    if buf.remaining() != need {
+        return Err(corrupt(format!(
+            "body length {} does not match header (expected {need})",
+            buf.remaining()
+        )));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(buf.get_u64_le() as usize);
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&m) {
+        return Err(corrupt("offset array endpoints are inconsistent"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt("offset array is not monotone"));
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        let t = buf.get_u32_le();
+        if t as usize >= n {
+            return Err(corrupt(format!("edge target {t} out of range (n = {n})")));
+        }
+        targets.push(NodeId(t));
+    }
+    for w in offsets.windows(2) {
+        let row = &targets[w[0]..w[1]];
+        if row.windows(2).any(|p| p[0] >= p[1]) {
+            return Err(corrupt("adjacency row is not strictly sorted"));
+        }
+    }
+    let out = Csr::from_parts(offsets, targets);
+    Ok(DiGraph::from_out_csr(out))
+}
+
+/// Write a graph to a file in the binary format.
+pub fn save_path(g: &DiGraph, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    let bytes = to_bytes(g);
+    let mut f = File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Load a graph from a file in the binary format.
+pub fn load_path(path: impl AsRef<Path>) -> Result<DiGraph, GraphError> {
+    let mut f = File::open(path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, erdos_renyi_directed, path_graph};
+
+    fn graphs_equal(a: &DiGraph, b: &DiGraph) -> bool {
+        a.num_nodes() == b.num_nodes()
+            && a.num_edges() == b.num_edges()
+            && a.edges().zip(b.edges()).all(|(x, y)| x == y)
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let g = complete_graph(7);
+        let back = from_bytes(&to_bytes(&g)).unwrap();
+        assert!(graphs_equal(&g, &back));
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let g = erdos_renyi_directed(200, 1500, 42).unwrap();
+        let back = from_bytes(&to_bytes(&g)).unwrap();
+        assert!(graphs_equal(&g, &back));
+        // In-adjacency must be rebuilt correctly, not just out-adjacency.
+        for v in g.nodes() {
+            assert_eq!(g.in_neighbors(v), back.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let g = DiGraph::from_edges(0, Vec::<(u32, u32)>::new());
+        let back = from_bytes(&to_bytes(&g)).unwrap();
+        assert_eq!(back.num_nodes(), 0);
+        assert_eq!(back.num_edges(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = to_bytes(&path_graph(3));
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = to_bytes(&erdos_renyi_directed(20, 60, 7).unwrap());
+        for cut in [0, 10, 23, 24, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut = {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = to_bytes(&path_graph(4));
+        bytes.extend_from_slice(&[0, 1, 2, 3]);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let g = path_graph(3);
+        let mut bytes = to_bytes(&g);
+        // The last 4 bytes are the final edge target; point it past n.
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&99u32.to_le_bytes());
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_non_monotone_offsets() {
+        let g = path_graph(5);
+        let mut bytes = to_bytes(&g);
+        // Offsets start at byte 24; clobber the second offset with a huge value.
+        bytes[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("sling_binfmt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        let g = erdos_renyi_directed(50, 300, 5).unwrap();
+        save_path(&g, &path).unwrap();
+        let back = load_path(&path).unwrap();
+        assert!(graphs_equal(&g, &back));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,188 @@
+//! Mutable edge accumulator producing immutable [`DiGraph`]s.
+
+use crate::csr::Csr;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::node::NodeId;
+
+/// Accumulates edges, then freezes them into a [`DiGraph`].
+///
+/// The builder:
+/// * grows the node count automatically to cover every referenced id,
+/// * deduplicates parallel edges at [`GraphBuilder::build`] time,
+/// * optionally removes self-loops (SimRank's `I(v)` is a *set*, and the
+///   standard formulation assumes simple graphs; self-loops are kept only
+///   if explicitly requested),
+/// * can symmetrize, which inserts the reverse of every edge — this is how
+///   the paper treats its undirected datasets.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(NodeId, NodeId)>,
+    n: usize,
+    keep_self_loops: bool,
+    symmetric: bool,
+}
+
+impl GraphBuilder {
+    /// New builder with no nodes or edges.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New builder pre-sized for `n` nodes (ids `0..n` all exist even if
+    /// isolated).
+    pub fn with_nodes(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            ..Self::default()
+        }
+    }
+
+    /// Keep self-loops instead of dropping them (default: drop).
+    pub fn keep_self_loops(mut self, keep: bool) -> Self {
+        self.keep_self_loops = keep;
+        self
+    }
+
+    /// Treat the edge set as undirected: every added edge also inserts its
+    /// reverse at build time.
+    pub fn symmetric(mut self, sym: bool) -> Self {
+        self.symmetric = sym;
+        self
+    }
+
+    /// Number of nodes currently covered.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of raw (possibly duplicate) edges added so far.
+    pub fn num_raw_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a directed edge `u -> v`, growing the node count as needed.
+    pub fn add_edge(&mut self, u: impl Into<NodeId>, v: impl Into<NodeId>) {
+        let (u, v) = (u.into(), v.into());
+        self.n = self.n.max(u.index() + 1).max(v.index() + 1);
+        self.edges.push((u, v));
+    }
+
+    /// Add many edges at once.
+    pub fn extend_edges<I>(&mut self, edges: I)
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Freeze into an immutable [`DiGraph`].
+    ///
+    /// Sorts and deduplicates the edge list; cost `O(m log m)`.
+    pub fn build(self) -> Result<DiGraph, GraphError> {
+        if self.n > u32::MAX as usize {
+            return Err(GraphError::NodeIdOverflow(self.n));
+        }
+        let mut edges = self.edges;
+        if self.symmetric {
+            let rev: Vec<_> = edges.iter().map(|&(u, v)| (v, u)).collect();
+            edges.extend(rev);
+        }
+        if !self.keep_self_loops {
+            edges.retain(|&(u, v)| u != v);
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let n = self.n;
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &edges {
+            offsets[u.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<NodeId> = edges.iter().map(|&(_, v)| v).collect();
+        let out = Csr::from_parts(offsets, targets);
+        let inn = out.transpose();
+        Ok(DiGraph::from_csr(out, inn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_parallel_edges_and_drops_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0u32, 1u32);
+        b.add_edge(0u32, 1u32);
+        b.add_edge(2u32, 2u32); // self loop, dropped
+        b.add_edge(1u32, 0u32);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(g.in_neighbors(NodeId(0)), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn keep_self_loops_opt_in() {
+        let mut b = GraphBuilder::new().keep_self_loops(true);
+        b.add_edge(0u32, 0u32);
+        b.add_edge(0u32, 1u32);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn symmetric_inserts_reverse_edges() {
+        let mut b = GraphBuilder::new().symmetric(true);
+        b.add_edge(0u32, 1u32);
+        b.add_edge(1u32, 2u32);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(g.has_edge(NodeId(2), NodeId(1)));
+        // in == out degree for every node of a symmetric graph
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), g.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn with_nodes_keeps_isolated_nodes() {
+        let mut b = GraphBuilder::with_nodes(5);
+        b.add_edge(0u32, 1u32);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.in_degree(NodeId(4)), 0);
+        assert_eq!(g.out_degree(NodeId(4)), 0);
+    }
+
+    #[test]
+    fn empty_build() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn in_out_adjacency_are_transposes() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (0, 2), (1, 2), (3, 0), (2, 3)]);
+        let g = b.build().unwrap();
+        for u in g.nodes() {
+            for &v in g.out_neighbors(u) {
+                assert!(g.in_neighbors(v).contains(&u));
+            }
+            for &w in g.in_neighbors(u) {
+                assert!(g.out_neighbors(w).contains(&u));
+            }
+        }
+    }
+}

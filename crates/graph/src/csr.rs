@@ -1,0 +1,216 @@
+//! Compressed sparse row adjacency storage.
+
+use crate::node::NodeId;
+
+/// One direction of adjacency (either out-neighbors or in-neighbors) in
+/// compressed sparse row form.
+///
+/// `offsets` has `n + 1` entries; the neighbors of node `v` are
+/// `targets[offsets[v] .. offsets[v + 1]]`, sorted ascending and free of
+/// duplicates. The sortedness is relied on by binary-search membership
+/// tests and by the deterministic iteration order of every algorithm in
+/// the workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Build from a per-node list of neighbors. Each inner list must be
+    /// sorted and deduplicated (the [`crate::GraphBuilder`] guarantees
+    /// this).
+    pub fn from_sorted_lists(lists: &[Vec<NodeId>]) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut targets = Vec::with_capacity(total);
+        offsets.push(0);
+        for list in lists {
+            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "list must be strictly sorted");
+            targets.extend_from_slice(list);
+            offsets.push(targets.len());
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Build directly from raw parts.
+    ///
+    /// # Panics
+    /// Panics (debug) if the offsets are not monotone or do not cover
+    /// `targets`.
+    pub fn from_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbors of `v` (sorted, deduplicated).
+    #[inline(always)]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Degree of `v` in this direction.
+    #[inline(always)]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Whether the edge `v -> w` is present in this direction.
+    #[inline]
+    pub fn contains(&self, v: NodeId, w: NodeId) -> bool {
+        self.neighbors(v).binary_search(&w).is_ok()
+    }
+
+    /// Iterate `(source, target)` pairs in CSR order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes()).flat_map(move |i| {
+            let v = NodeId::from_index(i);
+            self.neighbors(v).iter().map(move |&w| (v, w))
+        })
+    }
+
+    /// The transposed adjacency (reverses every edge). Output lists remain
+    /// sorted because sources are visited in ascending order.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_nodes();
+        let mut counts = vec![0usize; n + 1];
+        for &t in &self.targets {
+            counts[t.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![NodeId(0); self.targets.len()];
+        for (src, dst) in self.iter_edges() {
+            let slot = cursor[dst.index()];
+            targets[slot] = src;
+            cursor[dst.index()] += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Raw offsets (length `n + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw targets array.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Verify structural invariants; used by tests and debug assertions.
+    pub fn validate(&self) -> bool {
+        if self.offsets.is_empty() || *self.offsets.last().unwrap() != self.targets.len() {
+            return false;
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        let n = self.num_nodes();
+        for i in 0..n {
+            let list = &self.targets[self.offsets[i]..self.offsets[i + 1]];
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return false;
+            }
+            if list.iter().any(|t| t.index() >= n) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 0 -> {1, 2}, 1 -> {2}, 2 -> {}, 3 -> {0}
+        Csr::from_sorted_lists(&[
+            vec![NodeId(1), NodeId(2)],
+            vec![NodeId(2)],
+            vec![],
+            vec![NodeId(0)],
+        ])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let csr = sample();
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(csr.degree(NodeId(2)), 0);
+        assert!(csr.contains(NodeId(3), NodeId(0)));
+        assert!(!csr.contains(NodeId(0), NodeId(3)));
+        assert!(csr.validate());
+    }
+
+    #[test]
+    fn edge_iteration_order() {
+        let csr = sample();
+        let edges: Vec<_> = csr.iter_edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(3), NodeId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn transpose_reverses_edges_and_stays_sorted() {
+        let csr = sample();
+        let t = csr.transpose();
+        assert!(t.validate());
+        assert_eq!(t.neighbors(NodeId(2)), &[NodeId(0), NodeId(1)]);
+        assert_eq!(t.neighbors(NodeId(0)), &[NodeId(3)]);
+        assert_eq!(t.neighbors(NodeId(3)), &[] as &[NodeId]);
+        // Double transpose is identity.
+        assert_eq!(t.transpose(), csr);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_sorted_lists(&[]);
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.num_edges(), 0);
+        assert!(csr.validate());
+    }
+
+    #[test]
+    fn validate_rejects_bad_structures() {
+        let bad = Csr {
+            offsets: vec![0, 2],
+            targets: vec![NodeId(1), NodeId(1)], // duplicate neighbor
+        };
+        assert!(!bad.validate());
+        let bad2 = Csr {
+            offsets: vec![0, 1],
+            targets: vec![NodeId(5)], // out of range
+        };
+        assert!(!bad2.validate());
+    }
+}

@@ -1,0 +1,171 @@
+//! The immutable directed graph used by every SimRank method.
+
+use crate::csr::Csr;
+use crate::node::NodeId;
+
+/// Immutable directed graph with CSR adjacency in both directions.
+///
+/// SimRank's definition (Eq. 1 of the paper) repeatedly touches in-neighbor
+/// sets `I(v)`, while Algorithm 2's local updates and Algorithm 6's
+/// forward propagation walk out-edges, so both directions are materialized
+/// once at construction and shared read-only afterwards (the struct is
+/// `Send + Sync` and is borrowed by worker threads during parallel index
+/// construction).
+#[derive(Clone, Debug)]
+pub struct DiGraph {
+    out: Csr,
+    inn: Csr,
+}
+
+impl DiGraph {
+    /// Assemble from prebuilt CSR halves. Callers must ensure `inn` is the
+    /// transpose of `out`; [`crate::GraphBuilder`] does.
+    pub(crate) fn from_csr(out: Csr, inn: Csr) -> Self {
+        debug_assert_eq!(out.num_nodes(), inn.num_nodes());
+        debug_assert_eq!(out.num_edges(), inn.num_edges());
+        DiGraph { out, inn }
+    }
+
+    /// Assemble from an out-adjacency CSR alone; the in-adjacency is
+    /// rebuilt by transposition. Used by [`crate::binfmt`], which persists
+    /// only the out half.
+    pub fn from_out_csr(out: Csr) -> Self {
+        let inn = out.transpose();
+        DiGraph { out, inn }
+    }
+
+    /// Convenience constructor from an edge iterator (directed, dedup,
+    /// self-loops dropped).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut b = crate::GraphBuilder::with_nodes(n);
+        b.extend_edges(edges);
+        b.build().expect("node count fits u32")
+    }
+
+    /// Number of nodes `n`.
+    #[inline(always)]
+    pub fn num_nodes(&self) -> usize {
+        self.out.num_nodes()
+    }
+
+    /// Number of directed edges `m`.
+    #[inline(always)]
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Out-neighbors of `v` (sorted).
+    #[inline(always)]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.out.neighbors(v)
+    }
+
+    /// In-neighbors `I(v)` (sorted).
+    #[inline(always)]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.inn.neighbors(v)
+    }
+
+    /// `|I(v)|`.
+    #[inline(always)]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.inn.degree(v)
+    }
+
+    /// Out-degree of `v`.
+    #[inline(always)]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out.degree(v)
+    }
+
+    /// Whether the directed edge `u -> v` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out.contains(u, v)
+    }
+
+    /// Iterate all directed edges in `(source, target)` CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out.iter_edges()
+    }
+
+    /// The out-adjacency CSR.
+    pub fn out_csr(&self) -> &Csr {
+        &self.out
+    }
+
+    /// The in-adjacency CSR.
+    pub fn in_csr(&self) -> &Csr {
+        &self.inn
+    }
+
+    /// η(v) of §5.2: `|I(v)| + Σ_{x ∈ I(v)} |I(x)|` — the cost of the exact
+    /// two-hop HP computation (Algorithm 5) from `v`.
+    pub fn two_hop_in_cost(&self, v: NodeId) -> usize {
+        self.in_degree(v)
+            + self
+                .in_neighbors(v)
+                .iter()
+                .map(|&x| self.in_degree(x))
+                .sum::<usize>()
+    }
+
+    /// Structural sanity check used by tests.
+    pub fn validate(&self) -> bool {
+        self.out.validate()
+            && self.inn.validate()
+            && self.out.num_edges() == self.inn.num_edges()
+            && self.out.transpose() == self.inn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+        assert_eq!(g.in_neighbors(NodeId(3)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn two_hop_in_cost_matches_definition() {
+        let g = diamond();
+        // I(3) = {1, 2}; |I(1)| = |I(2)| = 1  => eta = 2 + 2 = 4
+        assert_eq!(g.two_hop_in_cost(NodeId(3)), 4);
+        // I(0) = {} => eta = 0
+        assert_eq!(g.two_hop_in_cost(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn edge_queries() {
+        let g = diamond();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(1), NodeId(0)));
+        assert_eq!(g.edges().count(), 4);
+    }
+
+    #[test]
+    fn nodes_iterator_is_dense() {
+        let g = diamond();
+        let ids: Vec<u32> = g.nodes().map(|v| v.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

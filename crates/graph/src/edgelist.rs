@@ -1,0 +1,161 @@
+//! SNAP-style edge-list IO.
+//!
+//! The paper's datasets are distributed as whitespace-separated edge lists
+//! with `#` comment lines (the SNAP format). This module parses and writes
+//! that format so users can run the reproduction on the real datasets when
+//! they have them; the bundled experiments use the synthetic analogues in
+//! [`crate::datasets`].
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+
+/// Options controlling edge-list parsing.
+#[derive(Clone, Copy, Debug)]
+pub struct ParseOptions {
+    /// Insert the reverse of every edge (for undirected datasets).
+    pub symmetric: bool,
+    /// Keep self-loops (default false, matching the SimRank model).
+    pub keep_self_loops: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            symmetric: false,
+            keep_self_loops: false,
+        }
+    }
+}
+
+/// Parse an edge list from any reader.
+///
+/// Blank lines and lines starting with `#` or `%` are skipped. Each data
+/// line must contain at least two integer tokens `src dst`; extra tokens
+/// (e.g. weights or timestamps) are ignored.
+pub fn parse<R: Read>(reader: R, opts: ParseOptions) -> Result<DiGraph, GraphError> {
+    let mut builder = GraphBuilder::new()
+        .symmetric(opts.symmetric)
+        .keep_self_loops(opts.keep_self_loops);
+    let buf = BufReader::new(reader);
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let src = parse_token(tokens.next(), line_no)?;
+        let dst = parse_token(tokens.next(), line_no)?;
+        builder.add_edge(src, dst);
+    }
+    builder.build()
+}
+
+fn parse_token(tok: Option<&str>, line: usize) -> Result<u32, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two integer tokens".into(),
+    })?;
+    tok.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("bad node id {tok:?}: {e}"),
+    })
+}
+
+/// Load an edge-list file from disk.
+pub fn load_path(path: impl AsRef<Path>, opts: ParseOptions) -> Result<DiGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    parse(file, opts)
+}
+
+/// Write a graph as a `# directed edge list` file.
+pub fn write<W: Write>(graph: &DiGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a graph to a file path.
+pub fn save_path(graph: &DiGraph, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    #[test]
+    fn parses_comments_blanks_and_extra_tokens() {
+        let text = "# a comment\n\n0 1\n1 2 999\n% another comment\n2 0\n";
+        let g = parse(text.as_bytes(), ParseOptions::default()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn symmetric_parse_doubles_edges() {
+        let text = "0 1\n1 2\n";
+        let g = parse(
+            text.as_bytes(),
+            ParseOptions {
+                symmetric: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn bad_tokens_error_with_line_number() {
+        let text = "0 1\nnot_a_number 2\n";
+        let err = parse(text.as_bytes(), ParseOptions::default()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_token_errors() {
+        let err = parse("42\n".as_bytes(), ParseOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let g2 = parse(buf.as_slice(), ParseOptions::default()).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("sling_graph_edgelist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        save_path(&g, &path).unwrap();
+        let g2 = load_path(&path, ParseOptions::default()).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+        std::fs::remove_file(path).ok();
+    }
+}

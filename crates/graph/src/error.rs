@@ -1,0 +1,76 @@
+//! Error types for graph construction and IO.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by graph building, parsing, and IO.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id that does not fit in `u32`.
+    NodeIdOverflow(usize),
+    /// An edge endpoint was `>= n` for a builder with a fixed node count.
+    NodeOutOfRange { node: u32, n: u32 },
+    /// A line of an edge-list file could not be parsed.
+    Parse { line: usize, message: String },
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A generator was asked for an impossible configuration
+    /// (e.g. more edges than a simple graph can hold).
+    InvalidGenerator(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeIdOverflow(i) => {
+                write!(f, "node index {i} does not fit in a u32 node id")
+            }
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "edge list parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::InvalidGenerator(msg) => write!(f, "invalid generator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, n: 5 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("5"));
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_round_trips_through_source() {
+        let e: GraphError = io::Error::new(io::ErrorKind::NotFound, "nope").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,132 @@
+//! A minimal FxHash-style hasher for integer-keyed maps.
+//!
+//! SimRank index construction hashes millions of `u32`/`u64` keys; the
+//! standard library's SipHash is a measurable bottleneck there. This module
+//! implements the multiply-and-rotate hash popularized by the Firefox and
+//! rustc codebases (`rustc-hash`), which is not on this workspace's allowed
+//! dependency list, so we carry the ~40 lines ourselves.
+//!
+//! The hash is **not** HashDoS-resistant; all keys in this workspace are
+//! internally generated node ids, never attacker-controlled input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast, low-quality hasher for trusted integer keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Mix 8 bytes at a time; the tail is padded into one word.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline(always)]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline(always)]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&7], 14);
+        assert_eq!(m.get(&1000), None);
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        s.insert((1, 2));
+        s.insert((1, 2));
+        s.insert((2, 1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let h = |x: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(x);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        // Consecutive keys should not collide in the low bits used by
+        // hashbrown's bucket selection.
+        let mut lows: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..4096u64 {
+            lows.insert(h(i) >> 57);
+        }
+        assert!(lows.len() > 16, "top bits should vary across nearby keys");
+    }
+
+    #[test]
+    fn byte_stream_tail_handling() {
+        // write() with a non-multiple-of-8 length must not panic and must
+        // distinguish different tails.
+        let mut a = FxHasher::default();
+        a.write(b"abcdefghi");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefghj");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,105 @@
+//! Barabási–Albert preferential attachment.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+
+/// Undirected Barabási–Albert graph: starts from a small clique and
+/// attaches each new node to `k` existing nodes chosen proportionally to
+/// degree (the classic repeated-endpoint trick: sampling a uniform element
+/// of the running edge-endpoint list is degree-proportional).
+///
+/// Produces the heavy-tailed degree distributions characteristic of the
+/// paper's collaboration and social-network datasets (GrQc, HepTh, Enron).
+/// Materialized as a symmetric directed graph.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Result<DiGraph, GraphError> {
+    if k == 0 {
+        return Err(GraphError::InvalidGenerator("k must be >= 1".into()));
+    }
+    if n <= k {
+        return Err(GraphError::InvalidGenerator(format!(
+            "need n > k (got n={n}, k={k})"
+        )));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_nodes(n).symmetric(true);
+    // Endpoint multiset for degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * k);
+
+    // Seed clique over nodes 0..=k so every early node has nonzero degree.
+    for u in 0..=(k as u32) {
+        for v in (u + 1)..=(k as u32) {
+            builder.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    for new in (k + 1)..n {
+        let new = new as u32;
+        let mut chosen: Vec<u32> = Vec::with_capacity(k);
+        // Rejection-sample k distinct degree-proportional targets.
+        while chosen.len() < k {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != new && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            builder.add_edge(new, t);
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let (n, k) = (500, 3);
+        let g = barabasi_albert(n, k, 11).unwrap();
+        assert_eq!(g.num_nodes(), n);
+        // clique edges + k per new node, each counted twice (symmetric)
+        let clique = (k + 1) * k / 2;
+        let expected = 2 * (clique + (n - k - 1) * k);
+        assert_eq!(g.num_edges(), expected);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = barabasi_albert(2000, 2, 5).unwrap();
+        let stats = GraphStats::compute(&g);
+        // A hub should exist: max degree far above the mean for BA graphs.
+        assert!(stats.max_in_degree as f64 > 8.0 * stats.avg_in_degree);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = barabasi_albert(100, 2, 1).unwrap();
+        let b = barabasi_albert(100, 2, 1).unwrap();
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(barabasi_albert(3, 0, 0).is_err());
+        assert!(barabasi_albert(3, 3, 0).is_err());
+    }
+
+    #[test]
+    fn every_node_connected() {
+        let g = barabasi_albert(200, 2, 9).unwrap();
+        for v in g.nodes() {
+            assert!(g.in_degree(v) >= 1, "{v:?} isolated");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Random bipartite generators.
+//!
+//! Bipartite graphs are the natural home of several SimRank applications
+//! the paper's introduction motivates: query–ad click graphs (SimRank++),
+//! user–item graphs for collaborative filtering, and author–paper graphs.
+//! Nodes `0..left` form the left side; `left..left+right` the right side.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::fxhash::FxHashSet;
+
+/// Uniform random bipartite graph with exactly `m` distinct edges, each
+/// directed left → right. Deterministic in `seed`.
+pub fn random_bipartite(
+    left: usize,
+    right: usize,
+    m: usize,
+    seed: u64,
+) -> Result<DiGraph, GraphError> {
+    let max = left.saturating_mul(right);
+    if m > max {
+        return Err(GraphError::InvalidGenerator(format!(
+            "bipartite({left}, {right}) holds at most {max} edges, asked for {m}"
+        )));
+    }
+    if m > 0 && (left == 0 || right == 0) {
+        return Err(GraphError::InvalidGenerator(
+            "bipartite edges require both sides non-empty".to_string(),
+        ));
+    }
+    let n = left + right;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut builder = GraphBuilder::with_nodes(n);
+    while seen.len() < m {
+        let u = rng.random_range(0..left as u32);
+        let v = left as u32 + rng.random_range(0..right as u32);
+        if seen.insert((u, v)) {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// Bipartite graph where each left node links to `per_left` right nodes
+/// sampled by preferential attachment over right-side degree (plus-one
+/// smoothing), yielding the skewed popularity distribution of real
+/// click/rating data. Edges are directed left → right; symmetric pass
+/// optional via [`crate::transform::transpose`] composition downstream.
+pub fn preferential_bipartite(
+    left: usize,
+    right: usize,
+    per_left: usize,
+    seed: u64,
+) -> Result<DiGraph, GraphError> {
+    if per_left > right {
+        return Err(GraphError::InvalidGenerator(format!(
+            "per_left = {per_left} exceeds right side size {right}"
+        )));
+    }
+    let n = left + right;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_nodes(n);
+    // Repeated-targets urn: each chosen right node is pushed back, making
+    // popular nodes more likely to be chosen again.
+    let mut urn: Vec<u32> = (0..right as u32).map(|r| left as u32 + r).collect();
+    let base = urn.len();
+    for u in 0..left as u32 {
+        let mut picked: FxHashSet<u32> = FxHashSet::default();
+        while picked.len() < per_left {
+            let idx = rng.random_range(0..urn.len());
+            let v = urn[idx];
+            if picked.insert(v) {
+                builder.add_edge(u, v);
+            }
+        }
+        for &v in &picked {
+            urn.push(v);
+        }
+        debug_assert!(urn.len() >= base);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn uniform_bipartite_respects_sides() {
+        let g = random_bipartite(10, 15, 40, 1).unwrap();
+        assert_eq!(g.num_nodes(), 25);
+        assert_eq!(g.num_edges(), 40);
+        for (u, v) in g.edges() {
+            assert!(u.0 < 10, "source on left side");
+            assert!((10..25).contains(&v.0), "target on right side");
+        }
+    }
+
+    #[test]
+    fn uniform_bipartite_full() {
+        let g = random_bipartite(3, 4, 12, 2).unwrap();
+        assert_eq!(g.num_edges(), 12);
+    }
+
+    #[test]
+    fn uniform_bipartite_rejects_overfull() {
+        assert!(random_bipartite(3, 4, 13, 0).is_err());
+        assert!(random_bipartite(0, 4, 1, 0).is_err());
+    }
+
+    #[test]
+    fn empty_bipartite_is_fine() {
+        let g = random_bipartite(5, 5, 0, 0).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn preferential_bipartite_degrees() {
+        let g = preferential_bipartite(100, 20, 3, 7).unwrap();
+        assert_eq!(g.num_edges(), 300);
+        for u in 0..100u32 {
+            assert_eq!(g.out_degree(NodeId(u)), 3);
+        }
+        // Popularity should be skewed: max right in-degree well above mean.
+        let mean = 300.0 / 20.0;
+        let max_in = (100..120u32)
+            .map(|v| g.in_degree(NodeId(v)))
+            .max()
+            .unwrap();
+        assert!(max_in as f64 > mean, "max {max_in} <= mean {mean}");
+    }
+
+    #[test]
+    fn preferential_bipartite_rejects_impossible_fanout() {
+        assert!(preferential_bipartite(5, 2, 3, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = random_bipartite(8, 8, 20, 5).unwrap();
+        let b = random_bipartite(8, 8, 20, 5).unwrap();
+        assert!(a.edges().eq(b.edges()));
+    }
+}

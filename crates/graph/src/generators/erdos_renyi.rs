@@ -1,0 +1,101 @@
+//! Erdős–Rényi G(n, m) generators.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::fxhash::FxHashSet;
+
+/// Directed G(n, m): exactly `m` distinct directed edges (no self-loops),
+/// sampled uniformly, deterministic in `seed`.
+pub fn erdos_renyi_directed(n: usize, m: usize, seed: u64) -> Result<DiGraph, GraphError> {
+    let max = n.saturating_mul(n.saturating_sub(1));
+    if m > max {
+        return Err(GraphError::InvalidGenerator(format!(
+            "G({n}, m={m}) exceeds the {max} possible directed edges"
+        )));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut builder = GraphBuilder::with_nodes(n);
+    while seen.len() < m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v && seen.insert((u, v)) {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// Undirected G(n, m): `m` distinct undirected edges, materialized as `2m`
+/// directed edges — the paper's treatment of its undirected datasets.
+pub fn erdos_renyi_undirected(n: usize, m: usize, seed: u64) -> Result<DiGraph, GraphError> {
+    let max = n.saturating_mul(n.saturating_sub(1)) / 2;
+    if m > max {
+        return Err(GraphError::InvalidGenerator(format!(
+            "G({n}, m={m}) exceeds the {max} possible undirected edges"
+        )));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut builder = GraphBuilder::with_nodes(n).symmetric(true);
+    while seen.len() < m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            builder.add_edge(key.0, key.1);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_has_exact_edge_count() {
+        let g = erdos_renyi_directed(50, 200, 7).unwrap();
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 200);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn undirected_is_symmetric() {
+        let g = erdos_renyi_undirected(40, 100, 7).unwrap();
+        assert_eq!(g.num_edges(), 200);
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = erdos_renyi_directed(30, 80, 99).unwrap();
+        let b = erdos_renyi_directed(30, 80, 99).unwrap();
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let c = erdos_renyi_directed(30, 80, 100).unwrap();
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_impossible_density() {
+        assert!(erdos_renyi_directed(3, 7, 0).is_err());
+        assert!(erdos_renyi_undirected(3, 4, 0).is_err());
+    }
+
+    #[test]
+    fn dense_case_terminates() {
+        // m equal to the maximum should still terminate (complete digraph).
+        let g = erdos_renyi_directed(6, 30, 3).unwrap();
+        assert_eq!(g.num_edges(), 30);
+    }
+}

@@ -1,0 +1,90 @@
+//! Grid/lattice graphs with known closed-form structure.
+//!
+//! Lattices give the test-suites graphs whose SimRank values have symmetric
+//! structure (nodes at mirrored positions are exchangeable), which makes
+//! strong metamorphic assertions possible without ground-truth solvers.
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+
+/// Undirected `rows x cols` grid: node `(r, c)` is `r * cols + c`, edges to
+/// the 4-neighborhood, materialized symmetrically.
+pub fn grid_graph(rows: usize, cols: usize) -> DiGraph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_nodes(n).symmetric(true);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as u32;
+            if c + 1 < cols {
+                b.add_edge(v, v + 1);
+            }
+            if r + 1 < rows {
+                b.add_edge(v, v + cols as u32);
+            }
+        }
+    }
+    b.build().expect("grid node count fits u32")
+}
+
+/// Complete binary tree of the given `depth` with edges parent → child, so
+/// every non-root node has exactly one in-neighbor (its parent). Node 0 is
+/// the root; node `v`'s children are `2v+1` and `2v+2`. Reverse random
+/// walks (which follow in-edges) from the leaves therefore climb
+/// deterministically toward the root — a useful worst case for
+/// hitting-probability concentration.
+pub fn binary_in_tree(depth: u32) -> DiGraph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = GraphBuilder::with_nodes(n);
+    for v in 1..n as u32 {
+        let parent = (v - 1) / 2;
+        b.add_edge(parent, v); // parent -> child: child's in-neighbor is parent
+    }
+    b.build().expect("tree node count fits u32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+    use crate::NodeId;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // 3*3 horizontal + 2*4 vertical undirected edges = 17 -> 34 directed.
+        assert_eq!(g.num_edges(), 34);
+        assert!(GraphStats::compute(&g).symmetric);
+    }
+
+    #[test]
+    fn grid_corner_and_center_degrees() {
+        let g = grid_graph(3, 3);
+        assert_eq!(g.out_degree(NodeId(0)), 2); // corner
+        assert_eq!(g.out_degree(NodeId(4)), 4); // center
+        assert_eq!(g.out_degree(NodeId(1)), 3); // edge midpoint
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        assert_eq!(grid_graph(1, 1).num_edges(), 0);
+        let line = grid_graph(1, 5);
+        assert_eq!(line.num_edges(), 8); // path of 5, symmetric
+        assert_eq!(grid_graph(0, 9).num_nodes(), 0);
+    }
+
+    #[test]
+    fn tree_structure() {
+        let g = binary_in_tree(3);
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_edges(), 14);
+        // Root has no in-neighbors; every other node has exactly one.
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+        for v in 1..15u32 {
+            assert_eq!(g.in_degree(NodeId(v)), 1);
+        }
+        // Internal nodes have out-degree 2, leaves 0.
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.out_degree(NodeId(14)), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! R-MAT recursive-matrix generator (Chakrabarti et al.), used here to
+//! synthesize web-graph-like and wiki-like directed datasets with skewed
+//! in- and out-degree distributions.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::fxhash::FxHashSet;
+
+/// R-MAT quadrant probabilities. Must sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// Probability of the (0,0) quadrant; larger `a` means more skew.
+    pub a: f64,
+    /// Probability of the (0,1) quadrant.
+    pub b: f64,
+    /// Probability of the (1,0) quadrant.
+    pub c: f64,
+    /// Probability of the (1,1) quadrant.
+    pub d: f64,
+    /// Per-level probability perturbation to avoid exact self-similarity.
+    pub noise: f64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        // The canonical web-graph parameterization.
+        RmatConfig {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+            noise: 0.1,
+        }
+    }
+}
+
+/// Generate a directed graph with `n = 2^scale` nodes and `m` distinct
+/// edges via R-MAT recursive quadrant descent.
+pub fn rmat(scale: u32, m: usize, config: RmatConfig, seed: u64) -> Result<DiGraph, GraphError> {
+    let sum = config.a + config.b + config.c + config.d;
+    if (sum - 1.0).abs() > 1e-9 {
+        return Err(GraphError::InvalidGenerator(format!(
+            "quadrant probabilities sum to {sum}, expected 1"
+        )));
+    }
+    if scale == 0 || scale > 31 {
+        return Err(GraphError::InvalidGenerator(format!(
+            "scale {scale} out of supported range 1..=31"
+        )));
+    }
+    let n = 1usize << scale;
+    let max = n * (n - 1);
+    if m > max / 2 {
+        return Err(GraphError::InvalidGenerator(format!(
+            "m={m} too dense for RMAT with n={n}"
+        )));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut builder = GraphBuilder::with_nodes(n);
+    while seen.len() < m {
+        let (u, v) = sample_edge(scale, &config, &mut rng);
+        if u != v && seen.insert((u, v)) {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+fn sample_edge(scale: u32, cfg: &RmatConfig, rng: &mut SmallRng) -> (u32, u32) {
+    let (mut u, mut v) = (0u32, 0u32);
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        // Perturb quadrant probabilities per level, then renormalize.
+        let mut jitter =
+            |p: f64| p * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.random::<f64>());
+        let (a, b, c, d) = (jitter(cfg.a), jitter(cfg.b), jitter(cfg.c), jitter(cfg.d));
+        drop(jitter);
+        let total = a + b + c + d;
+        let r = rng.random::<f64>() * total;
+        if r < a {
+            // (0,0): nothing to add
+        } else if r < a + b {
+            v |= 1;
+        } else if r < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn respects_edge_count_and_bounds() {
+        let g = rmat(10, 5000, RmatConfig::default(), 42).unwrap();
+        assert_eq!(g.num_nodes(), 1024);
+        assert_eq!(g.num_edges(), 5000);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn skewed_in_degrees() {
+        let g = rmat(12, 40_000, RmatConfig::default(), 7).unwrap();
+        let stats = GraphStats::compute(&g);
+        assert!(
+            stats.max_in_degree as f64 > 10.0 * stats.avg_in_degree,
+            "expected hub nodes, max {} avg {}",
+            stats.max_in_degree,
+            stats.avg_in_degree
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(8, 800, RmatConfig::default(), 3).unwrap();
+        let b = rmat(8, 800, RmatConfig::default(), 3).unwrap();
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn validates_config() {
+        let bad = RmatConfig {
+            a: 0.9,
+            b: 0.9,
+            c: 0.0,
+            d: 0.0,
+            noise: 0.0,
+        };
+        assert!(rmat(8, 10, bad, 0).is_err());
+        assert!(rmat(0, 10, RmatConfig::default(), 0).is_err());
+        assert!(rmat(2, 100, RmatConfig::default(), 0).is_err());
+    }
+}

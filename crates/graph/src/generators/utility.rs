@@ -1,0 +1,135 @@
+//! Closed-form utility graphs with hand-derivable SimRank values; the
+//! backbone of the workspace's correctness tests.
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+
+/// Directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
+///
+/// Every node has exactly one in-neighbor, so two √c-walks from distinct
+/// nodes move deterministically and never collide unless they started at
+/// the same node: `s(u, v) = 0` for `u != v`. This is also the paper's
+/// Figure 8 graph for `n = 4` (the adversarial case for linearization).
+pub fn cycle_graph(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_nodes(n);
+    for u in 0..n as u32 {
+        b.add_edge(u, (u + 1) % n as u32);
+    }
+    b.build().expect("cycle fits u32")
+}
+
+/// Directed path `0 -> 1 -> ... -> n-1`.
+pub fn path_graph(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_nodes(n);
+    for u in 0..(n as u32).saturating_sub(1) {
+        b.add_edge(u, u + 1);
+    }
+    b.build().expect("path fits u32")
+}
+
+/// In-star: every leaf `1..n` points at the hub `0`.
+///
+/// All leaves have no in-neighbors, the hub has `n - 1`. For two distinct
+/// leaves `s = 0`; `s(0, leaf) = 0` as well (a walk from a leaf dies
+/// immediately).
+pub fn star_graph(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_nodes(n);
+    for u in 1..n as u32 {
+        b.add_edge(u, 0u32);
+    }
+    b.build().expect("star fits u32")
+}
+
+/// Complete symmetric digraph on `n` nodes (every ordered pair, no loops).
+///
+/// By symmetry all off-diagonal SimRank scores are equal; the fixed point
+/// of Eq. (1) is `s = c(n-2) / ((1-c)(n-1)² + c(n-2))`, which several
+/// test suites in this workspace use as a closed-form oracle.
+pub fn complete_graph(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_nodes(n);
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build().expect("complete graph fits u32")
+}
+
+/// Two symmetric cliques of size `k` joined by one bridge edge pair;
+/// a classic community-structure toy graph for similarity sanity checks
+/// (nodes inside one clique should be much more similar to each other than
+/// to nodes across the bridge).
+pub fn two_cliques_bridge(k: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_nodes(2 * k).symmetric(true);
+    for u in 0..k as u32 {
+        for v in (u + 1)..k as u32 {
+            b.add_edge(u, v);
+            b.add_edge(u + k as u32, v + k as u32);
+        }
+    }
+    b.add_edge(0u32, k as u32);
+    b.build().expect("cliques fit u32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    #[test]
+    fn cycle_degrees() {
+        let g = cycle_graph(5);
+        assert_eq!(g.num_edges(), 5);
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), 1);
+            assert_eq!(g.out_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn path_endpoints() {
+        let g = path_graph(4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star_graph(6);
+        assert_eq!(g.in_degree(NodeId(0)), 5);
+        for leaf in 1..6u32 {
+            assert_eq!(g.in_degree(NodeId(leaf)), 0);
+            assert_eq!(g.out_degree(NodeId(leaf)), 1);
+        }
+    }
+
+    #[test]
+    fn complete_graph_degrees() {
+        let g = complete_graph(5);
+        assert_eq!(g.num_edges(), 20);
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn two_cliques_sizes() {
+        let g = two_cliques_bridge(4);
+        assert_eq!(g.num_nodes(), 8);
+        // each clique: 4*3 directed edges = 12, x2 cliques, + 2 bridge
+        assert_eq!(g.num_edges(), 26);
+        assert!(g.has_edge(NodeId(0), NodeId(4)));
+        assert!(g.has_edge(NodeId(4), NodeId(0)));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(cycle_graph(1).num_edges(), 0); // self loop dropped
+        assert_eq!(path_graph(1).num_edges(), 0);
+        assert_eq!(star_graph(1).num_edges(), 0);
+        assert_eq!(complete_graph(1).num_edges(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Watts–Strogatz small-world generator.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::fxhash::FxHashSet;
+
+/// Watts–Strogatz small-world graph: a ring of `n` nodes, each connected to
+/// its `k` nearest neighbors on each side, with every edge rewired to a
+/// uniform random endpoint with probability `beta`. Materialized as an
+/// undirected graph (`2·n·k` directed edges before dedup), matching the
+/// paper's treatment of undirected datasets.
+///
+/// Requires `n > 2k` (so the initial ring lattice is simple) and
+/// `beta ∈ [0, 1]`. Deterministic in `seed`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<DiGraph, GraphError> {
+    if k == 0 || n <= 2 * k {
+        return Err(GraphError::InvalidGenerator(format!(
+            "watts_strogatz requires n > 2k (got n = {n}, k = {k})"
+        )));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidGenerator(format!(
+            "rewire probability beta = {beta} outside [0, 1]"
+        )));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Undirected edge set as canonical (min, max) pairs.
+    let mut edges: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let canon = |a: u32, b: u32| (a.min(b), a.max(b));
+    for u in 0..n as u32 {
+        for j in 1..=k as u32 {
+            let v = (u + j) % n as u32;
+            edges.insert(canon(u, v));
+        }
+    }
+    // Rewire each original lattice edge (u, u+j) with probability beta,
+    // keeping u fixed and resampling the far endpoint.
+    for u in 0..n as u32 {
+        for j in 1..=k as u32 {
+            if rng.random::<f64>() >= beta {
+                continue;
+            }
+            let v = (u + j) % n as u32;
+            let old = canon(u, v);
+            if !edges.contains(&old) {
+                continue; // already rewired away by an earlier step
+            }
+            // Reject self-loops and duplicate edges; a simple graph with
+            // n > 2k always has a free slot, so this terminates.
+            for _ in 0..4 * n {
+                let w = rng.random_range(0..n as u32);
+                let candidate = canon(u, w);
+                if w != u && !edges.contains(&candidate) {
+                    edges.remove(&old);
+                    edges.insert(candidate);
+                    break;
+                }
+            }
+        }
+    }
+    let mut builder = GraphBuilder::with_nodes(n).symmetric(true);
+    for (a, b) in edges {
+        builder.add_edge(a, b);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+    use crate::traversal::{bfs_distances, Direction, UNREACHABLE};
+    use crate::NodeId;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 1).unwrap();
+        // Each node: 2 forward + 2 backward neighbors, symmetric.
+        assert_eq!(g.num_edges(), 20 * 2 * 2);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 4);
+            assert_eq!(g.in_degree(v), 4);
+        }
+        assert!(GraphStats::compute(&g).symmetric);
+    }
+
+    #[test]
+    fn edge_count_is_preserved_by_rewiring() {
+        let g = watts_strogatz(50, 3, 0.5, 7).unwrap();
+        // Rewiring moves edges; it never adds or removes them.
+        assert_eq!(g.num_edges(), 50 * 3 * 2);
+        assert!(GraphStats::compute(&g).symmetric);
+    }
+
+    #[test]
+    fn rewiring_shrinks_path_lengths() {
+        // Small-world effect: distances on the rewired ring are shorter
+        // than on the pure lattice.
+        let lattice = watts_strogatz(200, 2, 0.0, 3).unwrap();
+        let small_world = watts_strogatz(200, 2, 0.3, 3).unwrap();
+        let avg = |g: &DiGraph| {
+            let d = bfs_distances(g, NodeId(0), Direction::Out);
+            let reach: Vec<u32> = d.into_iter().filter(|&x| x != UNREACHABLE).collect();
+            reach.iter().map(|&x| x as f64).sum::<f64>() / reach.len() as f64
+        };
+        assert!(avg(&small_world) < avg(&lattice));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = watts_strogatz(30, 2, 0.4, 99).unwrap();
+        let b = watts_strogatz(30, 2, 0.4, 99).unwrap();
+        assert!(a.edges().eq(b.edges()));
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(watts_strogatz(4, 2, 0.1, 0).is_err());
+        assert!(watts_strogatz(10, 0, 0.1, 0).is_err());
+        assert!(watts_strogatz(10, 2, 1.5, 0).is_err());
+    }
+}

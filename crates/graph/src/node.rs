@@ -1,0 +1,90 @@
+//! Strongly-typed node identifiers.
+
+use std::fmt;
+
+/// Identifier of a node in a [`crate::DiGraph`].
+///
+/// Node ids are dense: a graph with `n` nodes uses exactly the ids
+/// `0..n`. Using a `u32` newtype (rather than `usize`) halves the size of
+/// adjacency arrays and hitting-probability entries, which matters because
+/// the SLING index stores `O(n/ε)` of them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Largest representable id, used as a sentinel by some algorithms.
+    pub const MAX: NodeId = NodeId(u32::MAX);
+
+    /// The id as an array index.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from an array index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline(always)]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "node index {i} overflows u32");
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 17, 65_535, 1_000_000] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let v: NodeId = 42u32.into();
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(v, NodeId(42));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", NodeId(7)), "v7");
+        assert_eq!(format!("{}", NodeId(7)), "7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_id() {
+        assert!(NodeId(3) < NodeId(4));
+        assert!(NodeId::MAX > NodeId(0));
+    }
+}

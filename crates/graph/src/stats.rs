@@ -1,0 +1,114 @@
+//! Summary statistics for graphs (the `repro table3` report).
+
+use crate::digraph::DiGraph;
+
+/// Degree and size statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Mean in-degree (= mean out-degree = m/n).
+    pub avg_in_degree: f64,
+    /// Largest in-degree.
+    pub max_in_degree: usize,
+    /// Largest out-degree.
+    pub max_out_degree: usize,
+    /// Nodes with no in-neighbors (√c-walks from these halt immediately).
+    pub dangling_in: usize,
+    /// Nodes with no out-neighbors.
+    pub dangling_out: usize,
+    /// Whether every edge has its reverse (the graph is symmetric /
+    /// undirected in the paper's sense).
+    pub symmetric: bool,
+}
+
+impl GraphStats {
+    /// Compute statistics in `O(n + m)` (plus `O(m log d)` for the symmetry
+    /// check's binary searches).
+    pub fn compute(g: &DiGraph) -> Self {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let mut max_in = 0;
+        let mut max_out = 0;
+        let mut dangling_in = 0;
+        let mut dangling_out = 0;
+        for v in g.nodes() {
+            let din = g.in_degree(v);
+            let dout = g.out_degree(v);
+            max_in = max_in.max(din);
+            max_out = max_out.max(dout);
+            if din == 0 {
+                dangling_in += 1;
+            }
+            if dout == 0 {
+                dangling_out += 1;
+            }
+        }
+        let symmetric = g.edges().all(|(u, v)| g.has_edge(v, u));
+        GraphStats {
+            nodes: n,
+            edges: m,
+            avg_in_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            max_in_degree: max_in,
+            max_out_degree: max_out,
+            dangling_in,
+            dangling_out,
+            symmetric,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} avg_deg={:.2} max_in={} max_out={} dangling_in={} type={}",
+            self.nodes,
+            self.edges,
+            self.avg_in_degree,
+            self.max_in_degree,
+            self.max_out_degree,
+            self.dangling_in,
+            if self.symmetric { "undirected" } else { "directed" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle_graph, star_graph, two_cliques_bridge};
+
+    #[test]
+    fn cycle_stats() {
+        let s = GraphStats::compute(&cycle_graph(10));
+        assert_eq!(s.nodes, 10);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.dangling_in, 0);
+        assert!(!s.symmetric);
+        assert!((s.avg_in_degree - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_stats() {
+        let s = GraphStats::compute(&star_graph(8));
+        assert_eq!(s.max_in_degree, 7);
+        assert_eq!(s.dangling_in, 7);
+        assert_eq!(s.dangling_out, 1);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let s = GraphStats::compute(&two_cliques_bridge(3));
+        assert!(s.symmetric);
+    }
+
+    #[test]
+    fn display_mentions_type() {
+        let s = GraphStats::compute(&cycle_graph(4));
+        assert!(s.to_string().contains("directed"));
+    }
+}

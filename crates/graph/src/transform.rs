@@ -1,0 +1,291 @@
+//! Whole-graph transformation passes.
+//!
+//! Dataset preparation for SimRank experiments routinely needs a few
+//! structural passes: extracting the largest weakly-connected component
+//! (what the SNAP datasets in the paper's Table 3 effectively are),
+//! taking node-induced subgraphs with compact relabeling, transposing,
+//! and peeling low-degree nodes (k-core). Each pass returns a new
+//! [`DiGraph`] plus, where node identities change, the mapping back to the
+//! original ids.
+
+use crate::components::{largest_component_size, weakly_connected_components};
+use crate::digraph::DiGraph;
+use crate::node::NodeId;
+
+/// Result of a pass that renumbers nodes: the new graph plus, for each new
+/// node id, the original id it came from.
+#[derive(Clone, Debug)]
+pub struct Relabeled {
+    /// The transformed graph with node ids `0..new_n`.
+    pub graph: DiGraph,
+    /// `original[i]` is the original id of new node `i`.
+    pub original: Vec<NodeId>,
+}
+
+impl Relabeled {
+    /// Inverse mapping: for each *original* id, the new id (or `None` if the
+    /// node was dropped by the pass).
+    pub fn new_ids(&self, original_n: usize) -> Vec<Option<NodeId>> {
+        let mut map = vec![None; original_n];
+        for (new, &orig) in self.original.iter().enumerate() {
+            map[orig.index()] = Some(NodeId::from_index(new));
+        }
+        map
+    }
+}
+
+/// Node-induced subgraph on `keep` (need not be sorted; duplicates are
+/// ignored). Nodes are renumbered compactly in ascending original-id order.
+pub fn induced_subgraph(g: &DiGraph, keep: &[NodeId]) -> Relabeled {
+    let mut in_set = vec![false; g.num_nodes()];
+    for &v in keep {
+        if v.index() < g.num_nodes() {
+            in_set[v.index()] = true;
+        }
+    }
+    let original: Vec<NodeId> = (0..g.num_nodes())
+        .filter(|&i| in_set[i])
+        .map(NodeId::from_index)
+        .collect();
+    let mut new_id = vec![u32::MAX; g.num_nodes()];
+    for (new, &orig) in original.iter().enumerate() {
+        new_id[orig.index()] = new as u32;
+    }
+    let mut edges = Vec::new();
+    for (u, v) in g.edges() {
+        if in_set[u.index()] && in_set[v.index()] {
+            edges.push((new_id[u.index()], new_id[v.index()]));
+        }
+    }
+    Relabeled {
+        graph: DiGraph::from_edges(original.len(), edges),
+        original,
+    }
+}
+
+/// Extract the largest weakly-connected component, renumbered compactly.
+/// Ties are broken by the smallest component label (deterministic).
+pub fn largest_wcc(g: &DiGraph) -> Relabeled {
+    let (labels, count) = weakly_connected_components(g);
+    if count == 0 {
+        return Relabeled {
+            graph: DiGraph::from_edges(0, Vec::<(u32, u32)>::new()),
+            original: Vec::new(),
+        };
+    }
+    let target_size = largest_component_size(&labels, count);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let target = sizes
+        .iter()
+        .position(|&s| s == target_size)
+        .expect("a component of the largest size exists") as u32;
+    let keep: Vec<NodeId> = labels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l == target)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect();
+    induced_subgraph(g, &keep)
+}
+
+/// The transpose graph: every edge `u -> v` becomes `v -> u`. Node ids are
+/// unchanged. SimRank on the transpose equals "out-neighbor SimRank" on the
+/// original, which is how co-citation vs. bibliographic-coupling styles of
+/// similarity are switched.
+pub fn transpose(g: &DiGraph) -> DiGraph {
+    DiGraph::from_edges(g.num_nodes(), g.edges().map(|(u, v)| (v.0, u.0)))
+}
+
+/// Iteratively remove nodes whose **total** degree (in + out) is below `k`,
+/// until none remain; returns the k-core, renumbered compactly. The classic
+/// peeling loop; `O((n + m) · rounds)` worst case, near-linear in practice.
+pub fn k_core(g: &DiGraph, k: usize) -> Relabeled {
+    let n = g.num_nodes();
+    let mut alive = vec![true; n];
+    let mut deg: Vec<usize> = (0..n)
+        .map(|i| {
+            let v = NodeId::from_index(i);
+            g.in_degree(v) + g.out_degree(v)
+        })
+        .collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&i| deg[i] < k).collect();
+    while let Some(i) = queue.pop() {
+        if !alive[i] {
+            continue;
+        }
+        alive[i] = false;
+        let v = NodeId::from_index(i);
+        for &w in g.out_neighbors(v).iter().chain(g.in_neighbors(v)) {
+            let j = w.index();
+            if alive[j] {
+                deg[j] -= 1;
+                if deg[j] < k {
+                    queue.push(j);
+                }
+            }
+        }
+    }
+    let keep: Vec<NodeId> = (0..n)
+        .filter(|&i| alive[i])
+        .map(NodeId::from_index)
+        .collect();
+    induced_subgraph(g, &keep)
+}
+
+/// Remove nodes with no in-neighbors, repeatedly, until every remaining node
+/// has at least one in-neighbor (or the graph is empty). Dangling-in nodes
+/// kill √c-walks instantly, so some experiments want them peeled.
+pub fn peel_dangling_in(g: &DiGraph) -> Relabeled {
+    let n = g.num_nodes();
+    let mut alive = vec![true; n];
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId::from_index(i))).collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    while let Some(i) = queue.pop() {
+        if !alive[i] {
+            continue;
+        }
+        alive[i] = false;
+        for &w in g.out_neighbors(NodeId::from_index(i)) {
+            let j = w.index();
+            if alive[j] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+    }
+    let keep: Vec<NodeId> = (0..n)
+        .filter(|&i| alive[i])
+        .map(NodeId::from_index)
+        .collect();
+    induced_subgraph(g, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph, path_graph, star_graph, two_cliques_bridge};
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = path_graph(5); // 0->1->2->3->4
+        let sub = induced_subgraph(&g, &[NodeId(1), NodeId(2), NodeId(4)]);
+        assert_eq!(sub.graph.num_nodes(), 3);
+        // Only 1->2 survives; relabeled 0->1.
+        assert_eq!(sub.graph.num_edges(), 1);
+        assert!(sub.graph.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(sub.original, vec![NodeId(1), NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_out_of_range_and_duplicates() {
+        let g = path_graph(3);
+        let sub = induced_subgraph(&g, &[NodeId(0), NodeId(0), NodeId(99)]);
+        assert_eq!(sub.graph.num_nodes(), 1);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn new_ids_roundtrip() {
+        let g = path_graph(4);
+        let sub = induced_subgraph(&g, &[NodeId(1), NodeId(3)]);
+        let map = sub.new_ids(4);
+        assert_eq!(map[0], None);
+        assert_eq!(map[1], Some(NodeId(0)));
+        assert_eq!(map[2], None);
+        assert_eq!(map[3], Some(NodeId(1)));
+    }
+
+    #[test]
+    fn largest_wcc_of_disconnected_graph() {
+        // Component A: 0->1->2 (3 nodes). Component B: 3->4 (2 nodes).
+        let g = DiGraph::from_edges(5, vec![(0, 1), (1, 2), (3, 4)]);
+        let wcc = largest_wcc(&g);
+        assert_eq!(wcc.graph.num_nodes(), 3);
+        assert_eq!(wcc.graph.num_edges(), 2);
+        assert_eq!(wcc.original, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn largest_wcc_of_connected_graph_is_identity_shape() {
+        let g = two_cliques_bridge(4);
+        let wcc = largest_wcc(&g);
+        assert_eq!(wcc.graph.num_nodes(), g.num_nodes());
+        assert_eq!(wcc.graph.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn largest_wcc_of_empty_graph() {
+        let g = DiGraph::from_edges(0, Vec::<(u32, u32)>::new());
+        let wcc = largest_wcc(&g);
+        assert_eq!(wcc.graph.num_nodes(), 0);
+    }
+
+    #[test]
+    fn transpose_reverses_every_edge() {
+        let g = path_graph(4);
+        let t = transpose(&g);
+        assert_eq!(t.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(t.has_edge(v, u));
+            assert!(!t.has_edge(u, v) || g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let g = star_graph(6);
+        let tt = transpose(&transpose(&g));
+        assert_eq!(tt.num_nodes(), g.num_nodes());
+        for (u, v) in g.edges() {
+            assert!(tt.has_edge(u, v));
+        }
+        assert_eq!(tt.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn k_core_peels_path_completely() {
+        // Every node of a directed path has total degree <= 2; 3-core is empty.
+        let g = path_graph(6);
+        let core = k_core(&g, 3);
+        assert_eq!(core.graph.num_nodes(), 0);
+    }
+
+    #[test]
+    fn k_core_keeps_clique() {
+        // complete_graph(5): total degree 8 per node (4 in + 4 out).
+        let g = complete_graph(5);
+        let core = k_core(&g, 8);
+        assert_eq!(core.graph.num_nodes(), 5);
+        assert_eq!(core.graph.num_edges(), 20);
+    }
+
+    #[test]
+    fn k_core_zero_is_identity() {
+        let g = cycle_graph(5);
+        let core = k_core(&g, 0);
+        assert_eq!(core.graph.num_nodes(), 5);
+        assert_eq!(core.graph.num_edges(), 5);
+    }
+
+    #[test]
+    fn peel_dangling_in_removes_chain_heads() {
+        // 0->1->2 and a cycle 2->3->4->2: peeling removes 0 then 1.
+        let g = DiGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 2)]);
+        let peeled = peel_dangling_in(&g);
+        assert_eq!(peeled.graph.num_nodes(), 3);
+        assert_eq!(peeled.graph.num_edges(), 3);
+        assert_eq!(peeled.original, vec![NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn peel_dangling_in_on_cycle_is_identity() {
+        let g = cycle_graph(4);
+        let peeled = peel_dangling_in(&g);
+        assert_eq!(peeled.graph.num_nodes(), 4);
+    }
+}

@@ -1,0 +1,235 @@
+//! Breadth-first traversal utilities over [`DiGraph`].
+//!
+//! These are substrate helpers used by the transformation passes
+//! ([`crate::transform`]), the dataset reports, and several examples: BFS
+//! distance maps, reachability tests, and a double-sweep diameter lower
+//! bound. All functions are `O(n + m)` unless stated otherwise.
+
+use std::collections::VecDeque;
+
+use crate::digraph::DiGraph;
+use crate::node::NodeId;
+
+/// Direction in which edges are followed during a traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges (`u -> v` is traversed from `u` to `v`).
+    Out,
+    /// Follow in-edges (`u -> v` is traversed from `v` to `u`).
+    In,
+    /// Follow edges in both directions (the underlying undirected graph).
+    Both,
+}
+
+/// Unreachable marker in distance maps produced by [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+fn neighbors<'g>(g: &'g DiGraph, v: NodeId, dir: Direction) -> impl Iterator<Item = NodeId> + 'g {
+    let (a, b): (&[NodeId], &[NodeId]) = match dir {
+        Direction::Out => (g.out_neighbors(v), &[]),
+        Direction::In => (g.in_neighbors(v), &[]),
+        Direction::Both => (g.out_neighbors(v), g.in_neighbors(v)),
+    };
+    a.iter().chain(b.iter()).copied()
+}
+
+/// BFS distance (in hops) from `source` to every node, following edges in
+/// direction `dir`. Unreachable nodes get [`UNREACHABLE`].
+pub fn bfs_distances(g: &DiGraph, source: NodeId, dir: Direction) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    if source.index() >= g.num_nodes() {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for w in neighbors(g, u, dir) {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes visited by a BFS from `source`, in visit order (including
+/// `source` itself).
+pub fn bfs_order(g: &DiGraph, source: NodeId, dir: Direction) -> Vec<NodeId> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut order = Vec::new();
+    if source.index() >= g.num_nodes() {
+        return order;
+    }
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for w in neighbors(g, u, dir) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// Whether `target` is reachable from `source` following `dir` edges.
+pub fn is_reachable(g: &DiGraph, source: NodeId, target: NodeId, dir: Direction) -> bool {
+    if source == target {
+        return source.index() < g.num_nodes();
+    }
+    let mut seen = vec![false; g.num_nodes()];
+    if source.index() >= g.num_nodes() || target.index() >= g.num_nodes() {
+        return false;
+    }
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for w in neighbors(g, u, dir) {
+            if w == target {
+                return true;
+            }
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    false
+}
+
+/// Eccentricity of `source` within its reachable set: the largest finite
+/// BFS distance. Returns 0 for an isolated node.
+pub fn eccentricity(g: &DiGraph, source: NodeId, dir: Direction) -> u32 {
+    bfs_distances(g, source, dir)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Double-sweep lower bound on the diameter of the underlying undirected
+/// graph: BFS from `start`, then BFS again from the farthest node found.
+/// Exact on trees; a tight lower bound in practice on real graphs.
+pub fn double_sweep_diameter(g: &DiGraph, start: NodeId) -> u32 {
+    if g.num_nodes() == 0 || start.index() >= g.num_nodes() {
+        return 0;
+    }
+    let first = bfs_distances(g, start, Direction::Both);
+    let far = first
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(i, _)| NodeId::from_index(i))
+        .unwrap_or(start);
+    eccentricity(g, far, Direction::Both)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn path_distances_out() {
+        // path_graph edges run v -> v+1.
+        let g = path_graph(5);
+        let d = bfs_distances(&g, NodeId(0), Direction::Out);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        // Backwards nothing is reachable from node 0.
+        let d_in = bfs_distances(&g, NodeId(0), Direction::In);
+        assert_eq!(d_in[1], UNREACHABLE);
+        assert_eq!(d_in[0], 0);
+    }
+
+    #[test]
+    fn path_distances_in_from_tail() {
+        let g = path_graph(4);
+        let d = bfs_distances(&g, NodeId(3), Direction::In);
+        assert_eq!(d, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn both_direction_ignores_orientation() {
+        let g = path_graph(6);
+        let d = bfs_distances(&g, NodeId(3), Direction::Both);
+        assert_eq!(d, vec![3, 2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn cycle_distance_wraps() {
+        let g = cycle_graph(6);
+        let d = bfs_distances(&g, NodeId(0), Direction::Out);
+        assert_eq!(d[5], 5);
+        let d_both = bfs_distances(&g, NodeId(0), Direction::Both);
+        assert_eq!(d_both[5], 1);
+        assert_eq!(d_both[3], 3);
+    }
+
+    #[test]
+    fn bfs_order_visits_each_reachable_node_once() {
+        let g = star_graph(8);
+        let order = bfs_order(&g, NodeId(0), Direction::Both);
+        assert_eq!(order.len(), 8);
+        let mut seen: Vec<_> = order.iter().map(|v| v.index()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        assert_eq!(order[0], NodeId(0));
+    }
+
+    #[test]
+    fn reachability_respects_direction() {
+        let g = path_graph(3);
+        assert!(is_reachable(&g, NodeId(0), NodeId(2), Direction::Out));
+        assert!(!is_reachable(&g, NodeId(2), NodeId(0), Direction::Out));
+        assert!(is_reachable(&g, NodeId(2), NodeId(0), Direction::In));
+        assert!(is_reachable(&g, NodeId(2), NodeId(0), Direction::Both));
+    }
+
+    #[test]
+    fn self_reachability() {
+        let g = path_graph(2);
+        assert!(is_reachable(&g, NodeId(1), NodeId(1), Direction::Out));
+    }
+
+    #[test]
+    fn out_of_range_source_is_safe() {
+        let g = path_graph(2);
+        let d = bfs_distances(&g, NodeId(9), Direction::Out);
+        assert!(d.iter().all(|&x| x == UNREACHABLE));
+        assert!(bfs_order(&g, NodeId(9), Direction::Out).is_empty());
+        assert!(!is_reachable(&g, NodeId(9), NodeId(0), Direction::Out));
+    }
+
+    #[test]
+    fn eccentricity_on_star() {
+        let g = star_graph(5);
+        assert_eq!(eccentricity(&g, NodeId(0), Direction::Both), 1);
+        assert_eq!(eccentricity(&g, NodeId(1), Direction::Both), 2);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_path() {
+        let g = path_graph(10);
+        assert_eq!(double_sweep_diameter(&g, NodeId(4)), 9);
+    }
+
+    #[test]
+    fn double_sweep_on_complete_graph() {
+        let g = complete_graph(6);
+        assert_eq!(double_sweep_diameter(&g, NodeId(0)), 1);
+    }
+
+    #[test]
+    fn empty_graph_diameter() {
+        let g = DiGraph::from_edges(0, Vec::<(u32, u32)>::new());
+        assert_eq!(double_sweep_diameter(&g, NodeId(0)), 0);
+    }
+}

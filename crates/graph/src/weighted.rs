@@ -1,0 +1,272 @@
+//! Weighted directed graphs.
+//!
+//! The SimRank model of the SLING paper is unweighted, but two of the §8
+//! variants are not: SimRank++ reweights a click graph by edge weights
+//! and their variance, and many of the motivating applications (query–ad
+//! graphs, rating graphs) are naturally weighted. [`WDiGraph`] mirrors
+//! [`DiGraph`] — immutable CSR in both directions — with a parallel `f64`
+//! weight per edge.
+
+use crate::csr::Csr;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::fxhash::FxHashMap;
+use crate::node::NodeId;
+
+/// One direction of weighted adjacency: a [`Csr`] plus per-edge weights
+/// aligned with its target array.
+#[derive(Clone, Debug, PartialEq)]
+struct WAdj {
+    csr: Csr,
+    weights: Vec<f64>,
+}
+
+impl WAdj {
+    fn edges_of(&self, v: NodeId) -> (&[NodeId], &[f64]) {
+        let lo = self.csr.offsets()[v.index()];
+        let hi = self.csr.offsets()[v.index() + 1];
+        (&self.csr.targets()[lo..hi], &self.weights[lo..hi])
+    }
+}
+
+/// Immutable weighted directed graph (CSR in both directions).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WDiGraph {
+    out: WAdj,
+    inn: WAdj,
+}
+
+/// Mutable accumulator for [`WDiGraph`]. Parallel edges are merged by
+/// **summing** their weights (the natural semantics for click/rating
+/// counts); self-loops are dropped, matching the SimRank model.
+#[derive(Clone, Debug, Default)]
+pub struct WGraphBuilder {
+    n: usize,
+    edges: FxHashMap<(u32, u32), f64>,
+}
+
+impl WGraphBuilder {
+    /// Builder over a fixed node count.
+    pub fn with_nodes(n: usize) -> Self {
+        WGraphBuilder {
+            n,
+            edges: FxHashMap::default(),
+        }
+    }
+
+    /// Add (or accumulate onto) the weighted edge `u -> v`.
+    pub fn add_edge(&mut self, u: impl Into<NodeId>, v: impl Into<NodeId>, w: f64) {
+        let (u, v) = (u.into(), v.into());
+        if u == v {
+            return;
+        }
+        *self.edges.entry((u.0, v.0)).or_insert(0.0) += w;
+    }
+
+    /// Number of distinct edges accumulated so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freeze into a [`WDiGraph`].
+    pub fn build(self) -> Result<WDiGraph, GraphError> {
+        if self.n > u32::MAX as usize {
+            return Err(GraphError::NodeIdOverflow(self.n));
+        }
+        let n = self.n as u32;
+        for (&(u, v), &w) in &self.edges {
+            if u >= n || v >= n {
+                return Err(GraphError::NodeOutOfRange { node: u.max(v), n });
+            }
+            if !(w.is_finite() && w > 0.0) {
+                return Err(GraphError::InvalidGenerator(format!(
+                    "edge ({u}, {v}) has non-positive or non-finite weight {w}"
+                )));
+            }
+        }
+        let mut fwd: Vec<(u32, u32, f64)> =
+            self.edges.iter().map(|(&(u, v), &w)| (u, v, w)).collect();
+        fwd.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let mut bwd: Vec<(u32, u32, f64)> =
+            fwd.iter().map(|&(u, v, w)| (v, u, w)).collect();
+        bwd.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let assemble = |list: &[(u32, u32, f64)]| -> WAdj {
+            let mut offsets = Vec::with_capacity(self.n + 1);
+            let mut targets = Vec::with_capacity(list.len());
+            let mut weights = Vec::with_capacity(list.len());
+            offsets.push(0);
+            let mut cur = 0u32;
+            for &(u, v, w) in list {
+                while cur < u {
+                    offsets.push(targets.len());
+                    cur += 1;
+                }
+                targets.push(NodeId(v));
+                weights.push(w);
+            }
+            while offsets.len() < self.n + 1 {
+                offsets.push(targets.len());
+            }
+            WAdj {
+                csr: Csr::from_parts(offsets, targets),
+                weights,
+            }
+        };
+        Ok(WDiGraph {
+            out: assemble(&fwd),
+            inn: assemble(&bwd),
+        })
+    }
+}
+
+impl WDiGraph {
+    /// Lift an unweighted graph to unit weights.
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        let mut b = WGraphBuilder::with_nodes(g.num_nodes());
+        for (u, v) in g.edges() {
+            b.add_edge(u, v, 1.0);
+        }
+        b.build().expect("unweighted lift is always valid")
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.out.csr.num_nodes()
+    }
+
+    /// Number of weighted directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.out.csr.num_edges()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Out-edges of `v`: sorted targets and aligned weights.
+    pub fn out_edges(&self, v: NodeId) -> (&[NodeId], &[f64]) {
+        self.out.edges_of(v)
+    }
+
+    /// In-edges of `v`: sorted sources and aligned weights.
+    pub fn in_edges(&self, v: NodeId) -> (&[NodeId], &[f64]) {
+        self.inn.edges_of(v)
+    }
+
+    /// `|I(v)|`.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.inn.csr.degree(v)
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out.csr.degree(v)
+    }
+
+    /// Weight of edge `u -> v`, or `None` if absent.
+    pub fn weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let (targets, weights) = self.out.edges_of(u);
+        targets
+            .binary_search(&v)
+            .ok()
+            .map(|pos| weights[pos])
+    }
+
+    /// Total in-weight `Σ_{x ∈ I(v)} w(x, v)`.
+    pub fn in_weight(&self, v: NodeId) -> f64 {
+        self.inn.edges_of(v).1.iter().sum()
+    }
+
+    /// Forget the weights.
+    pub fn to_digraph(&self) -> DiGraph {
+        DiGraph::from_edges(
+            self.num_nodes(),
+            self.out.csr.iter_edges().map(|(u, v)| (u.0, v.0)),
+        )
+    }
+
+    /// Structural sanity check used by tests.
+    pub fn validate(&self) -> bool {
+        self.out.csr.validate()
+            && self.inn.csr.validate()
+            && self.out.weights.len() == self.out.csr.num_edges()
+            && self.inn.weights.len() == self.inn.csr.num_edges()
+            && self.out.weights.iter().chain(&self.inn.weights).all(|w| w.is_finite() && *w > 0.0)
+            && self.out.csr.transpose() == self.inn.csr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::complete_graph;
+
+    fn toy() -> WDiGraph {
+        let mut b = WGraphBuilder::with_nodes(4);
+        b.add_edge(0u32, 1u32, 2.0);
+        b.add_edge(0u32, 2u32, 1.0);
+        b.add_edge(3u32, 1u32, 4.0);
+        b.add_edge(0u32, 1u32, 1.0); // merges with the first: weight 3
+        b.add_edge(2u32, 2u32, 9.0); // self-loop dropped
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_merges_and_drops() {
+        let g = toy();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.weight(NodeId(0), NodeId(1)), Some(3.0));
+        assert_eq!(g.weight(NodeId(0), NodeId(2)), Some(1.0));
+        assert_eq!(g.weight(NodeId(2), NodeId(2)), None);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn in_edges_are_transposed_with_weights() {
+        let g = toy();
+        let (sources, weights) = g.in_edges(NodeId(1));
+        assert_eq!(sources, &[NodeId(0), NodeId(3)]);
+        assert_eq!(weights, &[3.0, 4.0]);
+        assert_eq!(g.in_weight(NodeId(1)), 7.0);
+        assert_eq!(g.in_degree(NodeId(1)), 2);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn rejects_bad_weights_and_nodes() {
+        let mut b = WGraphBuilder::with_nodes(2);
+        b.add_edge(0u32, 1u32, -1.0);
+        assert!(b.build().is_err());
+        let mut b = WGraphBuilder::with_nodes(2);
+        b.add_edge(0u32, 1u32, f64::NAN);
+        assert!(b.build().is_err());
+        let mut b = WGraphBuilder::with_nodes(2);
+        b.add_edge(0u32, 5u32, 1.0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn digraph_roundtrip() {
+        let g = complete_graph(5);
+        let wg = WDiGraph::from_digraph(&g);
+        assert_eq!(wg.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            let (targets, weights) = wg.out_edges(v);
+            assert_eq!(targets, g.out_neighbors(v));
+            assert!(weights.iter().all(|&w| w == 1.0));
+        }
+        let back = wg.to_digraph();
+        assert!(back.edges().eq(g.edges()));
+    }
+
+    #[test]
+    fn empty_and_isolated_nodes() {
+        let g = WGraphBuilder::with_nodes(3).build().unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.in_edges(NodeId(2)).0.len(), 0);
+        assert_eq!(g.in_weight(NodeId(0)), 0.0);
+        assert!(g.validate());
+    }
+}

@@ -1,0 +1,20 @@
+//! # sling-simrank
+//!
+//! Umbrella crate for the reproduction of *SLING: A Near-Optimal Index
+//! Structure for SimRank* (Tian & Xiao, SIGMOD 2016).
+//!
+//! Re-exports the three library crates of the workspace:
+//!
+//! * [`graph`] — directed-graph substrate (CSR storage, generators, IO);
+//! * [`core`] — the SLING index (√c-walks, correction factors, local-update
+//!   hitting probabilities, single-pair and single-source queries);
+//! * [`baselines`] — the competing methods the paper evaluates against
+//!   (power iteration, Monte Carlo, linearization) plus accuracy metrics.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the harness regenerating the paper's tables and
+//! figures.
+
+pub use sling_baselines as baselines;
+pub use sling_core as core;
+pub use sling_graph as graph;

@@ -1,0 +1,85 @@
+//! Integration tests for the extension features: coupled Monte Carlo and
+//! the §8 SimRank variants, validated against the power-method oracle on
+//! larger graphs than their unit tests use.
+
+use sling_simrank::baselines::variants::p_rank;
+use sling_simrank::baselines::{power_simrank, CoupledMc, McIndex, PSimRank};
+use sling_simrank::graph::generators::{barabasi_albert, two_cliques_bridge};
+use sling_simrank::graph::NodeId;
+
+const C: f64 = 0.6;
+
+#[test]
+fn coupled_mc_agrees_with_truth_on_ba_graph() {
+    let g = barabasi_albert(120, 2, 55).unwrap();
+    let truth = power_simrank(&g, C, 60);
+    let est = CoupledMc::new(C, 4000, 12, 9);
+    for (u, v) in [(0u32, 1u32), (3, 40), (77, 78), (10, 119)] {
+        let s = est.single_pair(&g, NodeId(u), NodeId(v));
+        let t = truth.get(u as usize, v as usize);
+        assert!((s - t).abs() <= 0.05, "({u},{v}): est {s} truth {t}");
+    }
+}
+
+#[test]
+fn coupled_mc_and_stored_mc_estimate_the_same_quantity() {
+    // Different couplings, same pairwise distribution: with generous
+    // sample counts both estimators land near each other.
+    let g = two_cliques_bridge(5);
+    let coupled = CoupledMc::new(C, 6000, 12, 1);
+    let stored = McIndex::build(&g, C, 6000, 12, 2);
+    for (u, v) in [(0u32, 1u32), (1, 6), (0, 5)] {
+        let a = coupled.single_pair(&g, NodeId(u), NodeId(v));
+        let b = stored.single_pair(NodeId(u), NodeId(v));
+        assert!((a - b).abs() <= 0.04, "({u},{v}): coupled {a} stored {b}");
+    }
+}
+
+#[test]
+fn coupled_single_source_consistent_on_ba_graph() {
+    let g = barabasi_albert(80, 2, 3).unwrap();
+    let est = CoupledMc::new(C, 300, 10, 4);
+    let row = est.single_source(&g, NodeId(7));
+    for v in [0u32, 7, 33, 79] {
+        let pair = est.single_pair(&g, NodeId(7), NodeId(v));
+        assert!(
+            (row[v as usize] - pair).abs() < 1e-12,
+            "node {v}: {} vs {pair}",
+            row[v as usize]
+        );
+    }
+}
+
+#[test]
+fn psimrank_scores_at_least_match_simrank_on_community_graph() {
+    // PSimRank's coupling rewards in-neighborhood overlap, so inside a
+    // clique (overlapping neighborhoods) scores dominate SimRank.
+    let g = two_cliques_bridge(5);
+    let truth = power_simrank(&g, C, 60);
+    let ps = PSimRank::new(C, 6000, 12, 7);
+    let mut dominated = 0;
+    let mut total = 0;
+    for u in 1..5u32 {
+        for v in (u + 1)..5 {
+            let s_ps = ps.single_pair(&g, NodeId(u), NodeId(v));
+            let s_sr = truth.get(u as usize, v as usize);
+            total += 1;
+            if s_ps >= s_sr - 0.02 {
+                dominated += 1;
+            }
+        }
+    }
+    assert_eq!(dominated, total, "PSimRank should not fall below SimRank");
+}
+
+#[test]
+fn p_rank_interpolates_between_directions() {
+    // On a symmetric graph, in- and out-neighborhoods coincide, so
+    // P-Rank is invariant in lambda.
+    let g = two_cliques_bridge(4);
+    let a = p_rank(&g, C, 0.0, 40);
+    let b = p_rank(&g, C, 0.5, 40);
+    let c_ = p_rank(&g, C, 1.0, 40);
+    assert!(a.max_abs_diff(&c_) < 1e-9);
+    assert!(b.max_abs_diff(&c_) < 1e-9);
+}
