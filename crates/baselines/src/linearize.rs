@@ -242,10 +242,7 @@ pub fn coefficient_matrix(graph: &DiGraph, c: f64, t: usize) -> DenseMatrix {
 pub fn is_diagonally_dominant(m: &DenseMatrix) -> bool {
     let n = m.n();
     (0..n).all(|i| {
-        let off: f64 = (0..n)
-            .filter(|&j| j != i)
-            .map(|j| m.get(i, j).abs())
-            .sum();
+        let off: f64 = (0..n).filter(|&j| j != i).map(|j| m.get(i, j).abs()).sum();
         m.get(i, i).abs() >= off
     })
 }

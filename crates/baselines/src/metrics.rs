@@ -51,7 +51,13 @@ pub fn grouped_errors(
             counts[g] += 1;
         }
     }
-    let avg = |g: usize| if counts[g] == 0 { 0.0 } else { sums[g] / counts[g] as f64 };
+    let avg = |g: usize| {
+        if counts[g] == 0 {
+            0.0
+        } else {
+            sums[g] / counts[g] as f64
+        }
+    };
     GroupedErrors {
         s1: avg(0),
         s2: avg(1),
@@ -129,11 +135,7 @@ mod tests {
     #[test]
     fn grouped_errors_bucket_correctly() {
         // truth: one S1 pair (0.5), one S2 pair (0.05), one S3 pair (0.001)
-        let truth = matrix(&[
-            &[1.0, 0.5, 0.05],
-            &[0.5, 1.0, 0.001],
-            &[0.05, 0.001, 1.0],
-        ]);
+        let truth = matrix(&[&[1.0, 0.5, 0.05], &[0.5, 1.0, 0.001], &[0.05, 0.001, 1.0]]);
         let mut est = truth.clone();
         est.set(0, 1, 0.4); // S1 err 0.1 (both orientations)
         est.set(1, 0, 0.4);
@@ -152,11 +154,7 @@ mod tests {
 
     #[test]
     fn top_k_pairs_excludes_diagonal_and_sorts() {
-        let m = matrix(&[
-            &[1.0, 0.9, 0.1],
-            &[0.9, 1.0, 0.5],
-            &[0.1, 0.5, 1.0],
-        ]);
+        let m = matrix(&[&[1.0, 0.9, 0.1], &[0.9, 1.0, 0.5], &[0.1, 0.5, 1.0]]);
         let top = top_k_pairs(&m, 2);
         assert_eq!(top, vec![(0, 1), (1, 2)]);
         let all = top_k_pairs(&m, 100);
@@ -165,11 +163,7 @@ mod tests {
 
     #[test]
     fn precision_full_and_partial() {
-        let truth = matrix(&[
-            &[1.0, 0.9, 0.1],
-            &[0.9, 1.0, 0.5],
-            &[0.1, 0.5, 1.0],
-        ]);
+        let truth = matrix(&[&[1.0, 0.9, 0.1], &[0.9, 1.0, 0.5], &[0.1, 0.5, 1.0]]);
         assert_eq!(top_k_precision(&truth, &truth, 2), 1.0);
         // An estimate that swaps the order of the top pairs still has
         // perfect set precision at k=2, but not at k=1.

@@ -57,8 +57,10 @@ impl McIndex {
         let mut walks = vec![DEAD; n * walks_per_node * stride];
         for v in graph.nodes() {
             for w in 0..walks_per_node {
-                let mut rng =
-                    crate::mc_sqrt::stream_rng(seed, (v.0 as u64) * walks_per_node as u64 + w as u64);
+                let mut rng = crate::mc_sqrt::stream_rng(
+                    seed,
+                    (v.0 as u64) * walks_per_node as u64 + w as u64,
+                );
                 let base = (v.index() * walks_per_node + w) * stride;
                 walks[base] = v.0;
                 let mut cur = v;
@@ -163,7 +165,11 @@ mod tests {
                 for j in 0..n {
                     let est = idx.single_pair(NodeId(i as u32), NodeId(j as u32));
                     let err = (est - truth.get(i, j)).abs();
-                    assert!(err <= 0.05, "({i},{j}): est {est} truth {}", truth.get(i, j));
+                    assert!(
+                        err <= 0.05,
+                        "({i},{j}): est {est} truth {}",
+                        truth.get(i, j)
+                    );
                 }
             }
         }

@@ -125,8 +125,8 @@ mod tests {
     fn matches_complete_graph_closed_form() {
         let n = 6;
         let s = power_simrank(&complete_graph(n), C, 60);
-        let closed = C * (n - 2) as f64
-            / ((1.0 - C) * ((n - 1) * (n - 1)) as f64 + C * (n - 2) as f64);
+        let closed =
+            C * (n - 2) as f64 / ((1.0 - C) * ((n - 1) * (n - 1)) as f64 + C * (n - 2) as f64);
         for i in 0..n {
             for j in 0..n {
                 let expect = if i == j { 1.0 } else { closed };

@@ -112,7 +112,11 @@ mod tests {
         let r = rolesim(&g, BETA, 12);
         for i in 0..6 {
             for j in 0..6 {
-                assert!((r.get(i, j) - 1.0).abs() < 1e-12, "({i},{j}) = {}", r.get(i, j));
+                assert!(
+                    (r.get(i, j) - 1.0).abs() < 1e-12,
+                    "({i},{j}) = {}",
+                    r.get(i, j)
+                );
             }
         }
     }
@@ -149,8 +153,16 @@ mod tests {
         // identical roles; a child and a leaf do not.
         let g = binary_in_tree(2); // 7 nodes: 0; 1,2; 3..6
         let r = rolesim(&g, BETA, 15);
-        assert!((r.get(1, 2) - 1.0).abs() < 1e-9, "siblings: {}", r.get(1, 2));
-        assert!((r.get(3, 4) - 1.0).abs() < 1e-9, "leaf pair: {}", r.get(3, 4));
+        assert!(
+            (r.get(1, 2) - 1.0).abs() < 1e-9,
+            "siblings: {}",
+            r.get(1, 2)
+        );
+        assert!(
+            (r.get(3, 4) - 1.0).abs() < 1e-9,
+            "leaf pair: {}",
+            r.get(3, 4)
+        );
         assert!(r.get(1, 3) < 1.0, "internal vs leaf must differ");
     }
 

@@ -168,7 +168,11 @@ pub fn spread(wg: &WDiGraph, i: sling_graph::NodeId) -> f64 {
     }
     let n = weights.len() as f64;
     let mean = weights.iter().sum::<f64>() / n;
-    let var = weights.iter().map(|&w| (w - mean) * (w - mean)).sum::<f64>() / n;
+    let var = weights
+        .iter()
+        .map(|&w| (w - mean) * (w - mean))
+        .sum::<f64>()
+        / n;
     (-var).exp()
 }
 

@@ -12,7 +12,7 @@
 //! * single-pair result caching under a skewed (hot-node) workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sling_bench::{params_for, sample_pairs, sling_config, C};
+use sling_bench::{params_for, sample_pairs, sling_config};
 use sling_core::cache::CachedQueries;
 use sling_core::{QueryWorkspace, SlingIndex};
 use sling_graph::datasets::{by_name, Tier};
@@ -23,10 +23,30 @@ fn bench_space_reduction_and_enhancement(c: &mut Criterion) {
     let params = params_for(Tier::Small, Some(0.05));
     let base = sling_config(&params, 42);
     let variants = [
-        ("baseline", base.clone().with_space_reduction(false).with_enhancement(false)),
-        ("space_reduction", base.clone().with_space_reduction(true).with_enhancement(false)),
-        ("enhancement", base.clone().with_space_reduction(false).with_enhancement(true)),
-        ("both", base.clone().with_space_reduction(true).with_enhancement(true)),
+        (
+            "baseline",
+            base.clone()
+                .with_space_reduction(false)
+                .with_enhancement(false),
+        ),
+        (
+            "space_reduction",
+            base.clone()
+                .with_space_reduction(true)
+                .with_enhancement(false),
+        ),
+        (
+            "enhancement",
+            base.clone()
+                .with_space_reduction(false)
+                .with_enhancement(true),
+        ),
+        (
+            "both",
+            base.clone()
+                .with_space_reduction(true)
+                .with_enhancement(true),
+        ),
     ];
     let pairs = sample_pairs(graph.num_nodes(), 256, 7);
     let mut group = c.benchmark_group("ablation/single_pair_query");
@@ -64,7 +84,9 @@ fn bench_topk_strategies(c: &mut Criterion) {
     let graph = by_name("grqc-sim").unwrap().build();
     let params = params_for(Tier::Small, Some(0.05));
     let index = SlingIndex::build(&graph, &sling_config(&params, 42)).unwrap();
-    let sources: Vec<NodeId> = (0..32u32).map(|i| NodeId(i * 61 % graph.num_nodes() as u32)).collect();
+    let sources: Vec<NodeId> = (0..32u32)
+        .map(|i| NodeId(i * 61 % graph.num_nodes() as u32))
+        .collect();
     let k = 50;
     let mut group = c.benchmark_group("ablation/topk");
     group.sample_size(20);
@@ -100,7 +122,9 @@ fn bench_query_cache(c: &mut Criterion) {
     let params = params_for(Tier::Small, Some(0.05));
     let index = SlingIndex::build(&graph, &sling_config(&params, 42)).unwrap();
     // Skewed workload: 32 hot nodes queried against each other repeatedly.
-    let hot: Vec<NodeId> = (0..32u32).map(|i| NodeId(i * 17 % graph.num_nodes() as u32)).collect();
+    let hot: Vec<NodeId> = (0..32u32)
+        .map(|i| NodeId(i * 17 % graph.num_nodes() as u32))
+        .collect();
     let workload: Vec<(NodeId, NodeId)> = (0..1024)
         .map(|i| (hot[i % 32], hot[(i * 7 + 1) % 32]))
         .collect();

@@ -1,0 +1,83 @@
+//! Storage-backend comparison: the same persisted index served by the
+//! in-memory arena, the zero-copy mmap view, the raw positioned-read
+//! disk store, and the LRU-buffered disk store. Single-pair and
+//! single-source latency per backend — the price of each residency
+//! profile, and the benchmark behind the §5.4 claim that queries stay
+//! cheap out of core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sling_bench::{params_for, sample_pairs, sling_config};
+use sling_core::disk_query::BufferedDiskStore;
+use sling_core::out_of_core::DiskHpStore;
+use sling_core::single_source::SingleSourceWorkspace;
+use sling_core::{HpStore, QueryEngine, QueryWorkspace, SlingIndex};
+use sling_graph::datasets::{by_name, Tier};
+use sling_graph::NodeId;
+
+fn bench_backends(c: &mut Criterion) {
+    let spec = by_name("as-sim").unwrap();
+    let graph = spec.build();
+    let params = params_for(Tier::Small, Some(0.1));
+    let index = SlingIndex::build(&graph, &sling_config(&params, 11)).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("sling_bench_backends_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("index.slng");
+    index.save(&path).unwrap();
+
+    let mem = index.query_engine();
+    let mmap = QueryEngine::open_mmap(&graph, &path).unwrap();
+    let disk = DiskHpStore::open(&graph, &path).unwrap();
+    let disk_engine = disk.query_engine();
+    let buffered = BufferedDiskStore::new(&disk, 1 << 20);
+    let buffered_engine = buffered.query_engine();
+    let engines: [(&str, QueryEngine<'_, &dyn HpStore>); 4] = [
+        ("mem", mem.erase()),
+        ("mmap", mmap.erase()),
+        ("disk", disk_engine.erase()),
+        ("disk_buffered", buffered_engine.erase()),
+    ];
+
+    let pairs = sample_pairs(graph.num_nodes(), 512, 3);
+
+    let mut group = c.benchmark_group("backends/single_pair");
+    for (label, engine) in &engines {
+        let mut ws = QueryWorkspace::new();
+        let mut cursor = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| {
+                let (u, v) = pairs[cursor % pairs.len()];
+                cursor += 1;
+                std::hint::black_box(engine.single_pair_with(&graph, &mut ws, u, v).unwrap())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("backends/single_source");
+    let sources: Vec<NodeId> = (0..64u32)
+        .map(|i| NodeId((i * 97) % graph.num_nodes() as u32))
+        .collect();
+    for (label, engine) in &engines {
+        let mut ws = SingleSourceWorkspace::new();
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| {
+                let u = sources[cursor % sources.len()];
+                cursor += 1;
+                engine
+                    .single_source_with(&graph, &mut ws, u, &mut out)
+                    .unwrap();
+                std::hint::black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+
+    drop(engines);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

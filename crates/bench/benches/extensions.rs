@@ -95,5 +95,10 @@ fn bench_disk_store(c: &mut Criterion) {
     std::fs::remove_file(&path).ok();
 }
 
-criterion_group!(benches, bench_joins, bench_dynamic_updates, bench_disk_store);
+criterion_group!(
+    benches,
+    bench_joins,
+    bench_dynamic_updates,
+    bench_disk_store
+);
 criterion_main!(benches);

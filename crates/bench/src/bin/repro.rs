@@ -164,14 +164,12 @@ struct Built {
 fn build_all(spec: &DatasetSpec, opts: &Options, seed: u64) -> Built {
     let graph = spec.build();
     let params = params_for(spec.tier, opts.eps);
-    let (sling, sling_secs) = time(|| {
-        SlingIndex::build(&graph, &sling_config(&params, seed)).expect("valid config")
-    });
+    let (sling, sling_secs) =
+        time(|| SlingIndex::build(&graph, &sling_config(&params, seed)).expect("valid config"));
     let (lin, lin_secs) = time(|| Linearize::build(&graph, &params.lin));
     let (mc, mc_secs) = if params.run_mc {
-        let (mc, secs) = time(|| {
-            McIndex::build(&graph, C, params.mc_walks, params.mc_truncation, seed)
-        });
+        let (mc, secs) =
+            time(|| McIndex::build(&graph, C, params.mc_walks, params.mc_truncation, seed));
         (Some(mc), secs)
     } else {
         (None, 0.0)
@@ -204,7 +202,11 @@ fn table3(opts: &Options) {
         println!(
             "{:<16} {:<10} {:>9} {:>11} {:>9} {:>13} {:>15}",
             spec.name,
-            if spec.directed { "directed" } else { "undirected" },
+            if spec.directed {
+                "directed"
+            } else {
+                "undirected"
+            },
             stats.nodes,
             stats.edges,
             wcc,
@@ -380,8 +382,7 @@ fn fig4(opts: &Options) {
             spec.name,
             fmt_bytes(b.sling.resident_bytes()),
             fmt_bytes(b.lin.resident_bytes()),
-            b.mc
-                .as_ref()
+            b.mc.as_ref()
                 .map(|m| fmt_bytes(m.resident_bytes()))
                 .unwrap_or_else(|| "-".into()),
             b.sling.stats().entries_stored,
@@ -437,7 +438,13 @@ fn accuracy(opts: &Options, report: AccuracyReport) {
             lin_cfg.seed = seed;
             let lin = Linearize::build(&graph, &lin_cfg);
             let l_mat = all_pairs_linearize(&lin, &graph);
-            let mc = McIndex::build(&graph, C, params.mc_walks_accuracy, params.mc_truncation, seed);
+            let mc = McIndex::build(
+                &graph,
+                C,
+                params.mc_walks_accuracy,
+                params.mc_truncation,
+                seed,
+            );
             let m_mat = all_pairs_mc(&mc, &graph);
             sling_maxes.push(max_error(&truth, &s_mat));
             lin_maxes.push(max_error(&truth, &l_mat));
@@ -446,8 +453,14 @@ fn accuracy(opts: &Options, report: AccuracyReport) {
         }
 
         if matches!(report, AccuracyReport::MaxError | AccuracyReport::All) {
-            println!("Figure 5: max all-pair error per run (eps = {})", params.eps);
-            println!("{:>5} {:>12} {:>12} {:>12}", "run", "SLING", "Linearize", "MC");
+            println!(
+                "Figure 5: max all-pair error per run (eps = {})",
+                params.eps
+            );
+            println!(
+                "{:>5} {:>12} {:>12} {:>12}",
+                "run", "SLING", "Linearize", "MC"
+            );
             for run in 0..runs {
                 println!(
                     "{:>5} {:>12.6} {:>12.6} {:>12.6}",
@@ -479,7 +492,10 @@ fn accuracy(opts: &Options, report: AccuracyReport) {
         }
         if matches!(report, AccuracyReport::TopK | AccuracyReport::All) {
             println!("Figure 7: top-k precision (last run)");
-            println!("{:>6} {:>10} {:>10} {:>10}", "k", "SLING", "Linearize", "MC");
+            println!(
+                "{:>6} {:>10} {:>10} {:>10}",
+                "k", "SLING", "Linearize", "MC"
+            );
             for k in [400, 800, 1200, 1600, 2000] {
                 println!(
                     "{:>6} {:>10.4} {:>10.4} {:>10.4}",
@@ -601,7 +617,12 @@ fn extensions(opts: &Options) {
         let cfg = sling_config(&params, 42);
         let index = SlingIndex::build(&graph, &cfg).unwrap();
         let n = graph.num_nodes();
-        println!("\n-- {} (n = {}, m = {}) --", spec.name, n, graph.num_edges());
+        println!(
+            "\n-- {} (n = {}, m = {}) --",
+            spec.name,
+            n,
+            graph.num_edges()
+        );
 
         // Top-k strategies (64 sources, k = 50).
         let sources = sample_nodes(n, if opts.quick { 8 } else { 64 }, 3);
@@ -630,9 +651,16 @@ fn extensions(opts: &Options) {
 
         // Threshold joins.
         let tau = 0.1;
-        let (a, t_ps) = time(|| index.threshold_join(&graph, tau, JoinStrategy::PerSource).unwrap());
-        let (b, t_il) =
-            time(|| index.threshold_join(&graph, tau, JoinStrategy::InvertedLists).unwrap());
+        let (a, t_ps) = time(|| {
+            index
+                .threshold_join(&graph, tau, JoinStrategy::PerSource)
+                .unwrap()
+        });
+        let (b, t_il) = time(|| {
+            index
+                .threshold_join(&graph, tau, JoinStrategy::InvertedLists)
+                .unwrap()
+        });
         println!(
             "join (tau=0.1)            per-source {:>9} ({} pairs)  inverted {:>9} ({} pairs)",
             fmt_secs(t_ps),
@@ -643,10 +671,11 @@ fn extensions(opts: &Options) {
 
         // Batch parallel queries (single-source over 64 sources).
         let (_, t1) = time(|| std::hint::black_box(index.batch_single_source(&graph, &sources, 1)));
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        let (_, tp) = time(|| {
-            std::hint::black_box(index.batch_single_source(&graph, &sources, threads))
-        });
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let (_, tp) =
+            time(|| std::hint::black_box(index.batch_single_source(&graph, &sources, threads)));
         println!(
             "batch single-source x{}   1 thread {:>9}   {} threads {:>9}  (speed-up {:.2}x)",
             sources.len(),
@@ -669,7 +698,9 @@ fn extensions(opts: &Options) {
                     dynamic.remove_edge(NodeId(u), NodeId(v)).unwrap();
                 }
                 std::hint::black_box(
-                    dynamic.single_pair(NodeId(v), NodeId((v + 1) % n as u32)).unwrap(),
+                    dynamic
+                        .single_pair(NodeId(v), NodeId((v + 1) % n as u32))
+                        .unwrap(),
                 );
             }
         });

@@ -29,7 +29,10 @@ fn table_reports_run() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "debug-mode repro runs take tens of minutes; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "debug-mode repro runs take tens of minutes; run with --release"
+)]
 fn timing_figures_run() {
     for fig in ["fig1", "fig2", "fig3", "fig4"] {
         let out = run(&[fig, "--quick", "--tier", "small", "--dataset", "as-sim"]);
@@ -38,7 +41,10 @@ fn timing_figures_run() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "debug-mode repro runs take tens of minutes; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "debug-mode repro runs take tens of minutes; run with --release"
+)]
 fn accuracy_figures_run() {
     for fig in ["fig5", "fig6", "fig7"] {
         let out = run(&[fig, "--quick", "--dataset", "as-sim", "--runs", "1"]);
@@ -47,7 +53,10 @@ fn accuracy_figures_run() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "debug-mode repro runs take tens of minutes; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "debug-mode repro runs take tens of minutes; run with --release"
+)]
 fn scale_figures_run() {
     let out = run(&["fig9", "--quick", "--dataset", "as-sim"]);
     assert!(out.contains("as-sim"), "{out}");
@@ -56,7 +65,10 @@ fn scale_figures_run() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "debug-mode repro runs take tens of minutes; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "debug-mode repro runs take tens of minutes; run with --release"
+)]
 fn extensions_report_runs() {
     let out = run(&["extensions", "--quick", "--dataset", "as-sim"]);
     assert!(out.contains("top-k"), "{out}");

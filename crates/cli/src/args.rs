@@ -115,7 +115,10 @@ mod tests {
     fn rejects_unknown_and_duplicate_flags() {
         assert!(Args::parse(["--bogus", "1"], SPEC).is_err());
         assert!(Args::parse(["--eps", "1", "--eps", "2"], SPEC).is_err());
-        assert!(Args::parse(["--eps"], SPEC).is_err(), "value flag without value");
+        assert!(
+            Args::parse(["--eps"], SPEC).is_err(),
+            "value flag without value"
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 
 use std::fmt::Write as _;
 
-use sling_core::{SlingConfig, SlingIndex};
+use sling_core::disk_query::BufferedDiskStore;
+use sling_core::out_of_core::DiskHpStore;
+use sling_core::{HpStore, QueryEngine, SlingConfig, SlingIndex};
 use sling_graph::traversal::double_sweep_diameter;
 use sling_graph::{
     binfmt, components, datasets, edgelist, generators, DegreeDistribution, DegreeKind, DiGraph,
@@ -29,6 +31,12 @@ COMMANDS:
   query GRAPH INDEX pair U V              one SimRank score
   query GRAPH INDEX source U [--top K]    single-source scores / top-k
   join GRAPH INDEX --tau T [--limit L]    all pairs with score >= T
+
+  query and join accept --index-backend {mem,mmap,disk}:
+    mem   decode the whole index into memory (default)
+    mmap  zero-copy memory-mapped reads straight from the index file
+    disk  positioned reads with an LRU buffer pool (--buffer-entries N)
+  All backends return identical scores.
   transform GRAPH PASS --out FILE [--k K] largest-wcc | transpose | k-core | peel-dangling
   ppr GRAPH SOURCE [--alpha A] [--top K]  personalized PageRank ranking
   audit GRAPH INDEX [--pairs N] [--mc M] [--exact]
@@ -76,8 +84,8 @@ pub fn cmd_datasets(_args: &Args) -> Result<String, String> {
     let mut out = String::new();
     writeln!(
         out,
-        "{:<16} {:<12} {:>9} {:>11} {:<9} {}",
-        "name", "stands for", "paper n", "paper m", "type", "tier"
+        "{:<16} {:<12} {:>9} {:>11} {:<9} tier",
+        "name", "stands for", "paper n", "paper m", "type"
     )
     .unwrap();
     for d in datasets::suite() {
@@ -110,12 +118,10 @@ pub fn cmd_generate(args: &Args) -> Result<String, String> {
         generators::barabasi_albert(n as usize, k as usize, seed).map_err(|e| e.to_string())?
     } else if let Some(raw) = args.flag("er") {
         let [n, m] = parse_tuple::<2>(raw, "er")?;
-        generators::erdos_renyi_directed(n as usize, m as usize, seed)
-            .map_err(|e| e.to_string())?
+        generators::erdos_renyi_directed(n as usize, m as usize, seed).map_err(|e| e.to_string())?
     } else if let Some(raw) = args.flag("ws") {
         let [n, k, beta] = parse_tuple::<3>(raw, "ws")?;
-        generators::watts_strogatz(n as usize, k as usize, beta, seed)
-            .map_err(|e| e.to_string())?
+        generators::watts_strogatz(n as usize, k as usize, beta, seed).map_err(|e| e.to_string())?
     } else if let Some(raw) = args.flag("grid") {
         let [r, c] = parse_tuple::<2>(raw, "grid")?;
         generators::grid_graph(r as usize, c as usize)
@@ -197,6 +203,53 @@ fn load_index(graph: &DiGraph, path: &str) -> Result<SlingIndex, String> {
     SlingIndex::from_bytes(graph, &bytes).map_err(|e| e.to_string())
 }
 
+/// Storage backend selected by `--index-backend`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum IndexBackend {
+    Mem,
+    Mmap,
+    Disk,
+}
+
+fn parse_backend(args: &Args) -> Result<IndexBackend, String> {
+    match args.flag("index-backend").unwrap_or("mem") {
+        "mem" => Ok(IndexBackend::Mem),
+        "mmap" => Ok(IndexBackend::Mmap),
+        "disk" => Ok(IndexBackend::Disk),
+        other => Err(format!("unknown --index-backend {other:?} (mem|mmap|disk)")),
+    }
+}
+
+/// Run `f` against a query engine over the selected backend. The three
+/// backends serve the same persisted index and return identical scores;
+/// only the residency profile differs (full decode vs page cache vs
+/// buffer pool).
+fn with_backend<R>(
+    backend: IndexBackend,
+    graph: &DiGraph,
+    index_path: &str,
+    buffer_entries: usize,
+    f: impl Fn(&QueryEngine<'_, &dyn HpStore>) -> Result<R, String>,
+) -> Result<R, String> {
+    match backend {
+        IndexBackend::Mem => {
+            let index = load_index(graph, index_path)?;
+            f(&index.query_engine().erase())
+        }
+        IndexBackend::Mmap => {
+            let engine = QueryEngine::open_mmap(graph, index_path)
+                .map_err(|e| format!("{index_path}: {e}"))?;
+            f(&engine.erase())
+        }
+        IndexBackend::Disk => {
+            let store =
+                DiskHpStore::open(graph, index_path).map_err(|e| format!("{index_path}: {e}"))?;
+            let buffered = BufferedDiskStore::new(&store, buffer_entries);
+            f(&buffered.query_engine().erase())
+        }
+    }
+}
+
 fn parse_node(raw: &str, n: usize) -> Result<NodeId, String> {
     let id: u32 = raw.parse().map_err(|_| format!("bad node id {raw:?}"))?;
     if (id as usize) < n {
@@ -211,33 +264,43 @@ pub fn cmd_query(args: &Args) -> Result<String, String> {
     let graph_path = args.positional(0, "graph")?;
     let index_path = args.positional(1, "index")?;
     let mode = args.positional(2, "pair|source")?;
+    let backend = parse_backend(args)?;
+    let buffer_entries: usize = args.flag_parse("buffer-entries", 1usize << 20)?;
     let g = load_graph(graph_path)?;
-    let index = load_index(&g, index_path)?;
     match mode {
         "pair" => {
             let u = parse_node(args.positional(3, "u")?, g.num_nodes())?;
             let v = parse_node(args.positional(4, "v")?, g.num_nodes())?;
-            let start = std::time::Instant::now();
-            let s = index.single_pair(&g, u, v);
-            Ok(format!(
-                "s({}, {}) = {s:.6}   [{:.1?}]",
-                u.0,
-                v.0,
-                start.elapsed()
-            ))
+            with_backend(backend, &g, index_path, buffer_entries, |engine| {
+                let start = std::time::Instant::now();
+                let s = engine.single_pair(&g, u, v).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "s({}, {}) = {s:.6}   [{:.1?}, {backend:?} backend]",
+                    u.0,
+                    v.0,
+                    start.elapsed()
+                ))
+            })
         }
         "source" => {
             let u = parse_node(args.positional(3, "u")?, g.num_nodes())?;
             let k: usize = args.flag_parse("top", 10usize)?;
-            let start = std::time::Instant::now();
-            let top = index.top_k(&g, u, k);
-            let elapsed = start.elapsed();
-            let mut out = String::new();
-            writeln!(out, "top {} similar to node {}   [{:.1?}]", k, u.0, elapsed).unwrap();
-            for (v, s) in top {
-                writeln!(out, "  {:>8}  {s:.6}", v.0).unwrap();
-            }
-            Ok(out)
+            with_backend(backend, &g, index_path, buffer_entries, |engine| {
+                let start = std::time::Instant::now();
+                let top = engine.top_k(&g, u, k).map_err(|e| e.to_string())?;
+                let elapsed = start.elapsed();
+                let mut out = String::new();
+                writeln!(
+                    out,
+                    "top {} similar to node {}   [{:.1?}, {backend:?} backend]",
+                    k, u.0, elapsed
+                )
+                .unwrap();
+                for (v, s) in top {
+                    writeln!(out, "  {:>8}  {s:.6}", v.0).unwrap();
+                }
+                Ok(out)
+            })
         }
         other => Err(format!("unknown query mode {other:?} (pair|source)")),
     }
@@ -249,20 +312,23 @@ pub fn cmd_join(args: &Args) -> Result<String, String> {
     let index_path = args.positional(1, "index")?;
     let tau: f64 = args.flag_required("tau")?;
     let limit: usize = args.flag_parse("limit", 50usize)?;
+    let backend = parse_backend(args)?;
+    let buffer_entries: usize = args.flag_parse("buffer-entries", 1usize << 20)?;
     let g = load_graph(graph_path)?;
-    let index = load_index(&g, index_path)?;
-    let pairs = index
-        .threshold_join(&g, tau, sling_core::join::JoinStrategy::InvertedLists)
-        .map_err(|e| e.to_string())?;
-    let mut out = String::new();
-    writeln!(out, "{} pairs with s >= {tau}", pairs.len()).unwrap();
-    for p in pairs.iter().take(limit) {
-        writeln!(out, "  ({:>6}, {:>6})  {:.6}", p.u.0, p.v.0, p.score).unwrap();
-    }
-    if pairs.len() > limit {
-        writeln!(out, "  ... {} more (raise --limit)", pairs.len() - limit).unwrap();
-    }
-    Ok(out)
+    with_backend(backend, &g, index_path, buffer_entries, |engine| {
+        let pairs = engine
+            .threshold_join(&g, tau, sling_core::join::JoinStrategy::InvertedLists)
+            .map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        writeln!(out, "{} pairs with s >= {tau}", pairs.len()).unwrap();
+        for p in pairs.iter().take(limit) {
+            writeln!(out, "  ({:>6}, {:>6})  {:.6}", p.u.0, p.v.0, p.score).unwrap();
+        }
+        if pairs.len() > limit {
+            writeln!(out, "  ... {} more (raise --limit)", pairs.len() - limit).unwrap();
+        }
+        Ok(out)
+    })
 }
 
 /// Dispatch a full command line (without the binary name).
@@ -271,42 +337,69 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         return Err(USAGE.to_string());
     };
     match cmd.as_str() {
-        "datasets" => cmd_datasets(&Args::parse(rest.iter().cloned(), Spec {
-            value_flags: &[],
-            switches: &[],
-        })?),
-        "generate" => cmd_generate(&Args::parse(rest.iter().cloned(), Spec {
-            value_flags: &["dataset", "ba", "er", "ws", "grid", "seed", "out"],
-            switches: &["text"],
-        })?),
-        "stats" => cmd_stats(&Args::parse(rest.iter().cloned(), Spec {
-            value_flags: &[],
-            switches: &["degrees"],
-        })?),
-        "build" => cmd_build(&Args::parse(rest.iter().cloned(), Spec {
-            value_flags: &["out", "eps", "c", "seed", "threads"],
-            switches: &[],
-        })?),
-        "query" => cmd_query(&Args::parse(rest.iter().cloned(), Spec {
-            value_flags: &["top"],
-            switches: &[],
-        })?),
-        "join" => cmd_join(&Args::parse(rest.iter().cloned(), Spec {
-            value_flags: &["tau", "limit"],
-            switches: &[],
-        })?),
-        "transform" => cmd_transform(&Args::parse(rest.iter().cloned(), Spec {
-            value_flags: &["out", "k"],
-            switches: &["text"],
-        })?),
-        "ppr" => cmd_ppr(&Args::parse(rest.iter().cloned(), Spec {
-            value_flags: &["alpha", "top"],
-            switches: &[],
-        })?),
-        "audit" => cmd_audit(&Args::parse(rest.iter().cloned(), Spec {
-            value_flags: &["pairs", "mc", "seed"],
-            switches: &["exact"],
-        })?),
+        "datasets" => cmd_datasets(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &[],
+                switches: &[],
+            },
+        )?),
+        "generate" => cmd_generate(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["dataset", "ba", "er", "ws", "grid", "seed", "out"],
+                switches: &["text"],
+            },
+        )?),
+        "stats" => cmd_stats(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &[],
+                switches: &["degrees"],
+            },
+        )?),
+        "build" => cmd_build(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["out", "eps", "c", "seed", "threads"],
+                switches: &[],
+            },
+        )?),
+        "query" => cmd_query(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["top", "index-backend", "buffer-entries"],
+                switches: &[],
+            },
+        )?),
+        "join" => cmd_join(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["tau", "limit", "index-backend", "buffer-entries"],
+                switches: &[],
+            },
+        )?),
+        "transform" => cmd_transform(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["out", "k"],
+                switches: &["text"],
+            },
+        )?),
+        "ppr" => cmd_ppr(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["alpha", "top"],
+                switches: &[],
+            },
+        )?),
+        "audit" => cmd_audit(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["pairs", "mc", "seed"],
+                switches: &["exact"],
+            },
+        )?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -317,175 +410,6 @@ pub fn run(argv: &[String]) -> Result<String, String> {
 pub fn run_str(line: &str) -> Result<String, String> {
     let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
     run(&argv)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::path::PathBuf;
-
-    fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("sling_cli_{tag}_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        dir
-    }
-
-    #[test]
-    fn datasets_lists_suite() {
-        let out = run_str("datasets").unwrap();
-        assert!(out.contains("grqc-sim"));
-        assert!(out.contains("GrQc"));
-    }
-
-    #[test]
-    fn generate_stats_roundtrip_binary_and_text() {
-        let dir = tmpdir("gen");
-        for (flag, file) in [("", "g.bin"), ("--text", "g.txt")] {
-            let path = dir.join(file);
-            let cmd = format!("generate --ba 200,3 --seed 5 --out {} {flag}", path.display());
-            let out = run_str(cmd.trim()).unwrap();
-            assert!(out.contains("n = 200"), "{out}");
-            let stats = run_str(&format!("stats {} --degrees", path.display())).unwrap();
-            assert!(stats.contains("n=200"), "{stats}");
-            assert!(stats.contains("In-degree"), "{stats}");
-        }
-    }
-
-    #[test]
-    fn generate_requires_a_source() {
-        let err = run_str("generate --out /tmp/x.bin").unwrap_err();
-        assert!(err.contains("--dataset"));
-    }
-
-    #[test]
-    fn full_pipeline_build_query_join() {
-        let dir = tmpdir("pipeline");
-        let g = dir.join("g.bin");
-        let idx = dir.join("idx.slng");
-        run_str(&format!("generate --ws 100,2,0.2 --seed 3 --out {}", g.display())).unwrap();
-        let built = run_str(&format!(
-            "build {} --out {} --eps 0.05 --seed 9",
-            g.display(),
-            idx.display()
-        ))
-        .unwrap();
-        assert!(built.contains("built index"), "{built}");
-
-        let pair = run_str(&format!("query {} {} pair 0 1", g.display(), idx.display())).unwrap();
-        assert!(pair.starts_with("s(0, 1) ="), "{pair}");
-
-        let source =
-            run_str(&format!("query {} {} source 0 --top 5", g.display(), idx.display()))
-                .unwrap();
-        assert!(source.contains("top 5 similar to node 0"), "{source}");
-
-        let join = run_str(&format!(
-            "join {} {} --tau 0.05 --limit 3",
-            g.display(),
-            idx.display()
-        ))
-        .unwrap();
-        assert!(join.contains("pairs with s >= 0.05"), "{join}");
-    }
-
-    #[test]
-    fn query_rejects_bad_nodes_and_modes() {
-        let dir = tmpdir("badquery");
-        let g = dir.join("g.bin");
-        let idx = dir.join("idx.slng");
-        run_str(&format!("generate --er 20,60 --out {}", g.display())).unwrap();
-        run_str(&format!("build {} --out {} --eps 0.1", g.display(), idx.display())).unwrap();
-        assert!(run_str(&format!("query {} {} pair 0 99", g.display(), idx.display()))
-            .unwrap_err()
-            .contains("out of range"));
-        assert!(run_str(&format!("query {} {} walk 0", g.display(), idx.display()))
-            .unwrap_err()
-            .contains("unknown query mode"));
-    }
-
-    #[test]
-    fn transform_pipeline() {
-        let dir = tmpdir("transform");
-        let g = dir.join("g.bin");
-        run_str(&format!("generate --ba 100,2 --out {}", g.display())).unwrap();
-        let wcc = dir.join("wcc.bin");
-        let out = run_str(&format!(
-            "transform {} largest-wcc --out {}",
-            g.display(),
-            wcc.display()
-        ))
-        .unwrap();
-        assert!(out.contains("nodes kept"), "{out}");
-        let t = dir.join("t.bin");
-        run_str(&format!("transform {} transpose --out {}", g.display(), t.display())).unwrap();
-        let core = dir.join("core.bin");
-        let out = run_str(&format!(
-            "transform {} k-core --k 3 --out {}",
-            g.display(),
-            core.display()
-        ))
-        .unwrap();
-        assert!(out.contains("wrote"), "{out}");
-        assert!(run_str(&format!("transform {} bogus --out {}", g.display(), t.display()))
-            .unwrap_err()
-            .contains("unknown pass"));
-        assert!(run_str(&format!("transform {} k-core --out {}", g.display(), t.display()))
-            .unwrap_err()
-            .contains("--k"));
-    }
-
-    #[test]
-    fn ppr_command_ranks() {
-        let dir = tmpdir("ppr");
-        let g = dir.join("g.bin");
-        run_str(&format!("generate --er 50,200 --seed 2 --out {}", g.display())).unwrap();
-        let out = run_str(&format!("ppr {} 0 --top 3", g.display())).unwrap();
-        assert!(out.contains("top 3 PPR"), "{out}");
-        assert!(run_str(&format!("ppr {} 0 --alpha 1.5", g.display()))
-            .unwrap_err()
-            .contains("alpha"));
-        assert!(run_str(&format!("ppr {} 999", g.display()))
-            .unwrap_err()
-            .contains("out of range"));
-    }
-
-    #[test]
-    fn audit_command_passes_on_fresh_index() {
-        let dir = tmpdir("audit");
-        let g = dir.join("g.bin");
-        let idx = dir.join("idx.slng");
-        run_str(&format!("generate --er 40,160 --seed 4 --out {}", g.display())).unwrap();
-        run_str(&format!("build {} --out {} --eps 0.1", g.display(), idx.display())).unwrap();
-        let out = run_str(&format!(
-            "audit {} {} --pairs 20 --mc 20000",
-            g.display(),
-            idx.display()
-        ))
-        .unwrap();
-        assert!(out.contains("PASS"), "{out}");
-        let exact = run_str(&format!("audit {} {} --exact", g.display(), idx.display())).unwrap();
-        assert!(exact.contains("PASS"), "{exact}");
-    }
-
-    #[test]
-    fn unknown_command_shows_usage() {
-        let err = run_str("frobnicate").unwrap_err();
-        assert!(err.contains("USAGE"));
-        assert!(run_str("help").unwrap().contains("USAGE"));
-    }
-
-    #[test]
-    fn dataset_generation_by_name() {
-        let dir = tmpdir("byname");
-        let path = dir.join("as.bin");
-        let out = run_str(&format!("generate --dataset as-sim --out {}", path.display()));
-        // Name must exist in the suite; if suite names change this test
-        // flags the CLI docs going stale.
-        assert!(out.is_ok(), "{out:?}");
-        assert!(run_str(&format!("generate --dataset nope --out {}", path.display()))
-            .unwrap_err()
-            .contains("unknown dataset"));
-    }
 }
 
 /// `sling transform`
@@ -582,4 +506,285 @@ pub fn cmd_audit(args: &Args) -> Result<String, String> {
         "{audit}\n{}",
         if audit.passed() { "PASS" } else { "FAIL" }
     ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sling_cli_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn datasets_lists_suite() {
+        let out = run_str("datasets").unwrap();
+        assert!(out.contains("grqc-sim"));
+        assert!(out.contains("GrQc"));
+    }
+
+    #[test]
+    fn generate_stats_roundtrip_binary_and_text() {
+        let dir = tmpdir("gen");
+        for (flag, file) in [("", "g.bin"), ("--text", "g.txt")] {
+            let path = dir.join(file);
+            let cmd = format!(
+                "generate --ba 200,3 --seed 5 --out {} {flag}",
+                path.display()
+            );
+            let out = run_str(cmd.trim()).unwrap();
+            assert!(out.contains("n = 200"), "{out}");
+            let stats = run_str(&format!("stats {} --degrees", path.display())).unwrap();
+            assert!(stats.contains("n=200"), "{stats}");
+            assert!(stats.contains("In-degree"), "{stats}");
+        }
+    }
+
+    #[test]
+    fn generate_requires_a_source() {
+        let err = run_str("generate --out /tmp/x.bin").unwrap_err();
+        assert!(err.contains("--dataset"));
+    }
+
+    #[test]
+    fn full_pipeline_build_query_join() {
+        let dir = tmpdir("pipeline");
+        let g = dir.join("g.bin");
+        let idx = dir.join("idx.slng");
+        run_str(&format!(
+            "generate --ws 100,2,0.2 --seed 3 --out {}",
+            g.display()
+        ))
+        .unwrap();
+        let built = run_str(&format!(
+            "build {} --out {} --eps 0.05 --seed 9",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        assert!(built.contains("built index"), "{built}");
+
+        let pair = run_str(&format!("query {} {} pair 0 1", g.display(), idx.display())).unwrap();
+        assert!(pair.starts_with("s(0, 1) ="), "{pair}");
+
+        let source = run_str(&format!(
+            "query {} {} source 0 --top 5",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        assert!(source.contains("top 5 similar to node 0"), "{source}");
+
+        let join = run_str(&format!(
+            "join {} {} --tau 0.05 --limit 3",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        assert!(join.contains("pairs with s >= 0.05"), "{join}");
+    }
+
+    #[test]
+    fn query_backends_agree_and_report_themselves() {
+        let dir = tmpdir("backends");
+        let g = dir.join("g.bin");
+        let idx = dir.join("idx.slng");
+        run_str(&format!(
+            "generate --ba 150,3 --seed 8 --out {}",
+            g.display()
+        ))
+        .unwrap();
+        run_str(&format!(
+            "build {} --out {} --eps 0.1 --seed 2",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        let score_of = |out: &str| out.split("   [").next().unwrap().to_string();
+        let mem = run_str(&format!(
+            "query {} {} pair 3 77",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        for backend in ["mmap", "disk"] {
+            let got = run_str(&format!(
+                "query {} {} pair 3 77 --index-backend {backend}",
+                g.display(),
+                idx.display()
+            ))
+            .unwrap();
+            assert_eq!(score_of(&mem), score_of(&got), "{backend} diverged");
+            assert!(got.contains("backend"), "{got}");
+        }
+        // Source mode and join run on every backend too.
+        for backend in ["mem", "mmap", "disk"] {
+            let src = run_str(&format!(
+                "query {} {} source 0 --top 3 --index-backend {backend}",
+                g.display(),
+                idx.display()
+            ))
+            .unwrap();
+            assert!(src.contains("top 3 similar to node 0"), "{src}");
+            let join = run_str(&format!(
+                "join {} {} --tau 0.2 --limit 2 --index-backend {backend}",
+                g.display(),
+                idx.display()
+            ))
+            .unwrap();
+            assert!(join.contains("pairs with s >= 0.2"), "{join}");
+        }
+        // Unknown backend is rejected.
+        assert!(run_str(&format!(
+            "query {} {} pair 0 1 --index-backend floppy",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap_err()
+        .contains("index-backend"));
+    }
+
+    #[test]
+    fn query_rejects_bad_nodes_and_modes() {
+        let dir = tmpdir("badquery");
+        let g = dir.join("g.bin");
+        let idx = dir.join("idx.slng");
+        run_str(&format!("generate --er 20,60 --out {}", g.display())).unwrap();
+        run_str(&format!(
+            "build {} --out {} --eps 0.1",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        assert!(run_str(&format!(
+            "query {} {} pair 0 99",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap_err()
+        .contains("out of range"));
+        assert!(
+            run_str(&format!("query {} {} walk 0", g.display(), idx.display()))
+                .unwrap_err()
+                .contains("unknown query mode")
+        );
+    }
+
+    #[test]
+    fn transform_pipeline() {
+        let dir = tmpdir("transform");
+        let g = dir.join("g.bin");
+        run_str(&format!("generate --ba 100,2 --out {}", g.display())).unwrap();
+        let wcc = dir.join("wcc.bin");
+        let out = run_str(&format!(
+            "transform {} largest-wcc --out {}",
+            g.display(),
+            wcc.display()
+        ))
+        .unwrap();
+        assert!(out.contains("nodes kept"), "{out}");
+        let t = dir.join("t.bin");
+        run_str(&format!(
+            "transform {} transpose --out {}",
+            g.display(),
+            t.display()
+        ))
+        .unwrap();
+        let core = dir.join("core.bin");
+        let out = run_str(&format!(
+            "transform {} k-core --k 3 --out {}",
+            g.display(),
+            core.display()
+        ))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(run_str(&format!(
+            "transform {} bogus --out {}",
+            g.display(),
+            t.display()
+        ))
+        .unwrap_err()
+        .contains("unknown pass"));
+        assert!(run_str(&format!(
+            "transform {} k-core --out {}",
+            g.display(),
+            t.display()
+        ))
+        .unwrap_err()
+        .contains("--k"));
+    }
+
+    #[test]
+    fn ppr_command_ranks() {
+        let dir = tmpdir("ppr");
+        let g = dir.join("g.bin");
+        run_str(&format!(
+            "generate --er 50,200 --seed 2 --out {}",
+            g.display()
+        ))
+        .unwrap();
+        let out = run_str(&format!("ppr {} 0 --top 3", g.display())).unwrap();
+        assert!(out.contains("top 3 PPR"), "{out}");
+        assert!(run_str(&format!("ppr {} 0 --alpha 1.5", g.display()))
+            .unwrap_err()
+            .contains("alpha"));
+        assert!(run_str(&format!("ppr {} 999", g.display()))
+            .unwrap_err()
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn audit_command_passes_on_fresh_index() {
+        let dir = tmpdir("audit");
+        let g = dir.join("g.bin");
+        let idx = dir.join("idx.slng");
+        run_str(&format!(
+            "generate --er 40,160 --seed 4 --out {}",
+            g.display()
+        ))
+        .unwrap();
+        run_str(&format!(
+            "build {} --out {} --eps 0.1",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        let out = run_str(&format!(
+            "audit {} {} --pairs 20 --mc 20000",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        let exact = run_str(&format!("audit {} {} --exact", g.display(), idx.display())).unwrap();
+        assert!(exact.contains("PASS"), "{exact}");
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = run_str("frobnicate").unwrap_err();
+        assert!(err.contains("USAGE"));
+        assert!(run_str("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn dataset_generation_by_name() {
+        let dir = tmpdir("byname");
+        let path = dir.join("as.bin");
+        let out = run_str(&format!(
+            "generate --dataset as-sim --out {}",
+            path.display()
+        ));
+        // Name must exist in the suite; if suite names change this test
+        // flags the CLI docs going stale.
+        assert!(out.is_ok(), "{out:?}");
+        assert!(
+            run_str(&format!("generate --dataset nope --out {}", path.display()))
+                .unwrap_err()
+                .contains("unknown dataset")
+        );
+    }
 }

@@ -1,7 +1,7 @@
 //! Parallel batch query execution.
 //!
 //! Index construction is not the only embarrassingly parallel part of
-//! SLING: queries share the immutable index and graph, so a batch of
+//! SLING: queries share the immutable store and graph, so a batch of
 //! single-pair or single-source queries shards across threads with zero
 //! synchronization beyond an atomic work cursor. This is the engine the
 //! accuracy experiments (Figures 5–7 compute all-pairs scores) and any
@@ -11,14 +11,21 @@
 //! Work is claimed in fixed blocks from an atomic counter — the same
 //! skew-balancing scheme as [`crate::parallel`] — and every output slot
 //! is written by exactly one worker, so results are deterministic and
-//! identical to the serial path.
+//! identical to the serial path. The cores are generic over
+//! [`HpStore`]`: Sync`, so batches run against the in-memory arena, the
+//! mmap backend, or a buffer-pooled disk store alike; a failing store
+//! read aborts the batch with the first error observed.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use parking_lot::Mutex;
 use sling_graph::{DiGraph, NodeId};
 
+use crate::error::SlingError;
 use crate::index::{QueryWorkspace, SlingIndex};
-use crate::single_source::SingleSourceWorkspace;
+use crate::single_pair::single_pair_core;
+use crate::single_source::{single_source_core, SingleSourceWorkspace};
+use crate::store::{EngineRef, HpStore};
 
 /// Pairs/sources claimed per atomic fetch.
 const BLOCK: usize = 32;
@@ -48,6 +55,115 @@ impl<T> SlotWriter<T> {
     }
 }
 
+/// Record the first store error a worker hit; later errors are dropped.
+fn record_error(slot: &Mutex<Option<SlingError>>, err: SlingError) {
+    let mut guard = slot.lock();
+    if guard.is_none() {
+        *guard = Some(err);
+    }
+}
+
+/// Batched Algorithm 3 over any `Sync` storage backend.
+pub(crate) fn batch_single_pair_core<S: HpStore + Sync>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> Result<Vec<f64>, SlingError> {
+    let mut out = vec![0.0; pairs.len()];
+    let threads = threads.max(1).min(pairs.len().max(1));
+    if threads == 1 {
+        let mut ws = QueryWorkspace::new();
+        for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
+            *slot = single_pair_core(e, graph, &mut ws, u, v)?;
+        }
+        return Ok(out);
+    }
+    let cursor = AtomicUsize::new(0);
+    let first_error: Mutex<Option<SlingError>> = Mutex::new(None);
+    let writer = SlotWriter::new(&mut out);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut ws = QueryWorkspace::new();
+                'outer: loop {
+                    let lo = cursor.fetch_add(BLOCK, Ordering::Relaxed);
+                    if lo >= pairs.len() {
+                        break;
+                    }
+                    let hi = (lo + BLOCK).min(pairs.len());
+                    for (i, &(u, v)) in pairs[lo..hi].iter().enumerate() {
+                        match single_pair_core(e, graph, &mut ws, u, v) {
+                            // SAFETY: block [lo, hi) is claimed exactly once.
+                            Ok(s) => unsafe { writer.write(lo + i, s) },
+                            Err(err) => {
+                                record_error(&first_error, err);
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("batch query worker panicked");
+    match first_error.into_inner() {
+        Some(err) => Err(err),
+        None => Ok(out),
+    }
+}
+
+/// Batched Algorithm 6 over any `Sync` storage backend.
+pub(crate) fn batch_single_source_core<S: HpStore + Sync>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    sources: &[NodeId],
+    threads: usize,
+) -> Result<Vec<Vec<f64>>, SlingError> {
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); sources.len()];
+    let threads = threads.max(1).min(sources.len().max(1));
+    if threads == 1 {
+        let mut ws = SingleSourceWorkspace::new();
+        for (slot, &u) in out.iter_mut().zip(sources) {
+            single_source_core(e, graph, &mut ws, u, slot)?;
+        }
+        return Ok(out);
+    }
+    let cursor = AtomicUsize::new(0);
+    let first_error: Mutex<Option<SlingError>> = Mutex::new(None);
+    let writer = SlotWriter::new(&mut out);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut ws = SingleSourceWorkspace::new();
+                'outer: loop {
+                    let lo = cursor.fetch_add(BLOCK, Ordering::Relaxed);
+                    if lo >= sources.len() {
+                        break;
+                    }
+                    let hi = (lo + BLOCK).min(sources.len());
+                    for (i, &u) in sources[lo..hi].iter().enumerate() {
+                        let mut scores = Vec::new();
+                        match single_source_core(e, graph, &mut ws, u, &mut scores) {
+                            // SAFETY: block [lo, hi) is claimed exactly once.
+                            Ok(()) => unsafe { writer.write(lo + i, scores) },
+                            Err(err) => {
+                                record_error(&first_error, err);
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("batch query worker panicked");
+    match first_error.into_inner() {
+        Some(err) => Err(err),
+        None => Ok(out),
+    }
+}
+
 impl SlingIndex {
     /// Evaluate a batch of single-pair queries on `threads` workers.
     /// Results are positionally aligned with `pairs` and identical to
@@ -58,38 +174,8 @@ impl SlingIndex {
         pairs: &[(NodeId, NodeId)],
         threads: usize,
     ) -> Vec<f64> {
-        let mut out = vec![0.0; pairs.len()];
-        let threads = threads.max(1).min(pairs.len().max(1));
-        if threads == 1 {
-            let mut ws = QueryWorkspace::new();
-            for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
-                *slot = self.single_pair_with(graph, &mut ws, u, v);
-            }
-            return out;
-        }
-        let cursor = AtomicUsize::new(0);
-        let writer = SlotWriter::new(&mut out);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| {
-                    let mut ws = QueryWorkspace::new();
-                    loop {
-                        let lo = cursor.fetch_add(BLOCK, Ordering::Relaxed);
-                        if lo >= pairs.len() {
-                            break;
-                        }
-                        let hi = (lo + BLOCK).min(pairs.len());
-                        for (i, &(u, v)) in pairs[lo..hi].iter().enumerate() {
-                            let s = self.single_pair_with(graph, &mut ws, u, v);
-                            // SAFETY: block [lo, hi) is claimed exactly once.
-                            unsafe { writer.write(lo + i, s) };
-                        }
-                    }
-                });
-            }
-        })
-        .expect("batch query worker panicked");
-        out
+        batch_single_pair_core(self.engine_ref(), graph, pairs, threads)
+            .expect("in-memory HP store cannot fail")
     }
 
     /// Evaluate single-source queries from every node in `sources` on
@@ -101,39 +187,8 @@ impl SlingIndex {
         sources: &[NodeId],
         threads: usize,
     ) -> Vec<Vec<f64>> {
-        let mut out: Vec<Vec<f64>> = vec![Vec::new(); sources.len()];
-        let threads = threads.max(1).min(sources.len().max(1));
-        if threads == 1 {
-            let mut ws = SingleSourceWorkspace::new();
-            for (slot, &u) in out.iter_mut().zip(sources) {
-                self.single_source_with(graph, &mut ws, u, slot);
-            }
-            return out;
-        }
-        let cursor = AtomicUsize::new(0);
-        let writer = SlotWriter::new(&mut out);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| {
-                    let mut ws = SingleSourceWorkspace::new();
-                    loop {
-                        let lo = cursor.fetch_add(BLOCK, Ordering::Relaxed);
-                        if lo >= sources.len() {
-                            break;
-                        }
-                        let hi = (lo + BLOCK).min(sources.len());
-                        for (i, &u) in sources[lo..hi].iter().enumerate() {
-                            let mut scores = Vec::new();
-                            self.single_source_with(graph, &mut ws, u, &mut scores);
-                            // SAFETY: block [lo, hi) is claimed exactly once.
-                            unsafe { writer.write(lo + i, scores) };
-                        }
-                    }
-                });
-            }
-        })
-        .expect("batch query worker panicked");
-        out
+        batch_single_source_core(self.engine_ref(), graph, sources, threads)
+            .expect("in-memory HP store cannot fail")
     }
 
     /// All-pairs scores as `n` single-source rows (the Figures 5–7

@@ -13,7 +13,11 @@
 
 use sling_graph::{DiGraph, FxHashMap, NodeId};
 
+use crate::error::SlingError;
+use crate::hp::HpArena;
 use crate::index::{QueryWorkspace, SlingIndex};
+use crate::single_pair::single_pair_core;
+use crate::store::{EngineRef, HpStore, QueryEngine};
 
 /// Running hit/miss counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -49,6 +53,11 @@ struct Slot {
 
 /// A single-pair query front-end that memoizes results in an LRU cache.
 ///
+/// Generic over the storage backend: wrap an in-memory index with
+/// [`CachedQueries::new`], or any [`QueryEngine`] (mmap, buffered disk)
+/// with [`CachedQueries::for_engine`] — result caching is most valuable
+/// exactly when a miss costs disk IO.
+///
 /// ```
 /// use sling_core::cache::CachedQueries;
 /// use sling_core::{SlingConfig, SlingIndex};
@@ -62,8 +71,8 @@ struct Slot {
 /// assert_eq!(first, again);
 /// assert_eq!(cache.stats().hits, 1);
 /// ```
-pub struct CachedQueries<'i> {
-    index: &'i SlingIndex,
+pub struct CachedQueries<'i, S: HpStore = HpArena> {
+    engine: EngineRef<'i, S>,
     capacity: usize,
     map: FxHashMap<(u32, u32), u32>,
     slots: Vec<Slot>,
@@ -74,12 +83,24 @@ pub struct CachedQueries<'i> {
     stats: CacheStats,
 }
 
-impl<'i> CachedQueries<'i> {
-    /// Cache holding up to `capacity` pair results (capacity ≥ 1).
+impl<'i> CachedQueries<'i, HpArena> {
+    /// Cache holding up to `capacity` pair results (capacity ≥ 1) over
+    /// the in-memory index.
     pub fn new(index: &'i SlingIndex, capacity: usize) -> Self {
+        Self::with_engine_ref(index.engine_ref(), capacity)
+    }
+}
+
+impl<'i, S: HpStore> CachedQueries<'i, S> {
+    /// Cache over any query engine (mmap, disk, buffered).
+    pub fn for_engine<'e>(engine: &'i QueryEngine<'e, S>, capacity: usize) -> Self {
+        Self::with_engine_ref(engine.engine_ref(), capacity)
+    }
+
+    fn with_engine_ref(engine: EngineRef<'i, S>, capacity: usize) -> Self {
         let capacity = capacity.max(1);
         CachedQueries {
-            index,
+            engine,
             capacity,
             map: FxHashMap::default(),
             slots: Vec::with_capacity(capacity.min(4096)),
@@ -145,19 +166,35 @@ impl<'i> CachedQueries<'i> {
     }
 
     /// Cached single-pair query. Self-pairs are answered without caching.
+    ///
+    /// # Panics
+    /// Panics if the backing store fails mid-read (impossible for the
+    /// in-memory backend); disk-backed callers who need to handle IO
+    /// errors should use [`CachedQueries::try_single_pair`].
     pub fn single_pair(&mut self, graph: &DiGraph, u: NodeId, v: NodeId) -> f64 {
+        self.try_single_pair(graph, u, v)
+            .expect("HP store failed during cached query")
+    }
+
+    /// Cached single-pair query, surfacing backend read errors.
+    pub fn try_single_pair(
+        &mut self,
+        graph: &DiGraph,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<f64, SlingError> {
         if u == v {
-            return self.index.single_pair_with(graph, &mut self.ws, u, v);
+            return single_pair_core(self.engine, graph, &mut self.ws, u, v);
         }
         let key = (u.0.min(v.0), u.0.max(v.0));
         if let Some(&idx) = self.map.get(&key) {
             self.stats.hits += 1;
             self.detach(idx);
             self.push_front(idx);
-            return self.slots[idx as usize].value;
+            return Ok(self.slots[idx as usize].value);
         }
         self.stats.misses += 1;
-        let value = self.index.single_pair_with(graph, &mut self.ws, u, v);
+        let value = single_pair_core(self.engine, graph, &mut self.ws, u, v)?;
         // Insert, evicting the LRU tail at capacity.
         let idx = if self.map.len() >= self.capacity {
             let victim = self.tail;
@@ -184,7 +221,7 @@ impl<'i> CachedQueries<'i> {
         };
         self.push_front(idx);
         self.map.insert(key, idx);
-        value
+        Ok(value)
     }
 }
 

@@ -14,7 +14,7 @@ use crate::error::SlingError;
 /// [`SlingConfig::from_epsilon`] splits the budget evenly between the two
 /// terms, which for `c = 0.6, ε = 0.025` reproduces the paper's §7.1
 /// parameters (`ε_d = 0.005`, `θ ≈ 0.000725`).
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SlingConfig {
     /// SimRank decay factor `c ∈ (0, 1)`; the paper uses 0.6.
     pub c: f64,
@@ -232,7 +232,7 @@ mod tests {
         assert!(cfg.validate().is_err());
 
         let mut cfg = SlingConfig::paper_defaults();
-        cfg.theta = cfg.theta * 100.0; // breaks Theorem 1
+        cfg.theta *= 100.0; // breaks Theorem 1
         assert!(cfg.validate().is_err());
 
         let mut cfg = SlingConfig::paper_defaults();

@@ -110,7 +110,16 @@ mod tests {
     fn estimate(graph: &DiGraph, k: u32, eps_d: f64, adaptive: bool) -> DkEstimate {
         let engine = WalkEngine::new(graph, C);
         let mut rng = task_rng(42, k as u64);
-        estimate_dk(graph, &engine, &mut rng, NodeId(k), C, eps_d, 1e-4, adaptive)
+        estimate_dk(
+            graph,
+            &engine,
+            &mut rng,
+            NodeId(k),
+            C,
+            eps_d,
+            1e-4,
+            adaptive,
+        )
     }
 
     #[test]
@@ -154,8 +163,7 @@ mod tests {
         // d = 1 − c/(n-1) − cµ.
         let n = 6usize;
         let g = complete_graph(n);
-        let s = C * (n - 2) as f64
-            / ((1.0 - C) * ((n - 1) * (n - 1)) as f64 + C * (n - 2) as f64);
+        let s = C * (n - 2) as f64 / ((1.0 - C) * ((n - 1) * (n - 1)) as f64 + C * (n - 2) as f64);
         let mu = ((n - 1) * (n - 2)) as f64 / (((n - 1) * (n - 1)) as f64) * s;
         let exact = 1.0 - C / (n - 1) as f64 - C * mu;
         for adaptive in [false, true] {

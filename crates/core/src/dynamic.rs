@@ -136,10 +136,14 @@ impl DynamicSling {
     /// Build the initial index over `graph`.
     pub fn new(graph: &DiGraph, cfg: DynamicConfig) -> Result<Self, SlingError> {
         let index = SlingIndex::build(graph, &cfg.config)?;
-        let out_adj: Vec<Vec<NodeId>> =
-            graph.nodes().map(|v| graph.out_neighbors(v).to_vec()).collect();
-        let in_adj: Vec<Vec<NodeId>> =
-            graph.nodes().map(|v| graph.in_neighbors(v).to_vec()).collect();
+        let out_adj: Vec<Vec<NodeId>> = graph
+            .nodes()
+            .map(|v| graph.out_neighbors(v).to_vec())
+            .collect();
+        let in_adj: Vec<Vec<NodeId>> = graph
+            .nodes()
+            .map(|v| graph.in_neighbors(v).to_vec())
+            .collect();
         Ok(DynamicSling {
             num_edges: graph.num_edges(),
             out_adj,
@@ -349,8 +353,7 @@ impl DynamicSling {
                 Ok(engine.estimate_simrank(&mut rng, u, v, pairs))
             }
             StalePolicy::ServeStale => {
-                if u.index() < self.snapshot.num_nodes() && v.index() < self.snapshot.num_nodes()
-                {
+                if u.index() < self.snapshot.num_nodes() && v.index() < self.snapshot.num_nodes() {
                     Ok(self.index.single_pair(&self.snapshot, u, v))
                 } else {
                     // The stale index predates these nodes entirely; zero
@@ -366,8 +369,8 @@ impl DynamicSling {
     /// Monte-Carlo fallback is never worth it for `n` outputs.
     pub fn single_source(&mut self, u: NodeId) -> Result<Vec<f64>, SlingError> {
         self.check_node(u)?;
-        let any_taint = self.updates_since_build > 0
-            || self.snapshot.num_nodes() != self.out_adj.len();
+        let any_taint =
+            self.updates_since_build > 0 || self.snapshot.num_nodes() != self.out_adj.len();
         if any_taint && self.cfg.policy != StalePolicy::ServeStale {
             self.rebuild()?;
         }

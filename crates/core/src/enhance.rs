@@ -16,8 +16,10 @@
 use sling_graph::{DiGraph, NodeId};
 
 use crate::config::SlingConfig;
+use crate::error::SlingError;
 use crate::hp::{HpArena, HpEntry};
-use crate::index::{Buf, QueryWorkspace, SlingIndex};
+use crate::index::{Buf, QueryWorkspace};
+use crate::store::{EngineRef, HpStore};
 
 /// Per-node lists of marked entry positions (local offsets into the
 /// node's stored run in the [`HpArena`]).
@@ -41,7 +43,13 @@ impl MarkArena {
     /// local index inside its node's stored run. Used by the
     /// binary-format decoder.
     pub fn validate(&self, hp: &HpArena) -> bool {
-        if self.offsets.len() != hp.offsets.len() {
+        self.validate_runs(&hp.offsets)
+    }
+
+    /// [`MarkArena::validate`] against a bare HP offset table — what the
+    /// out-of-core backends have before (never) decoding the payload.
+    pub fn validate_runs(&self, hp_offsets: &[u64]) -> bool {
+        if self.offsets.len() != hp_offsets.len() {
             return false;
         }
         if self.offsets.first() != Some(&0)
@@ -57,7 +65,7 @@ impl MarkArena {
             return false;
         }
         for i in 0..self.offsets.len().saturating_sub(1) {
-            let run = hp.offsets[i + 1] - hp.offsets[i];
+            let run = hp_offsets[i + 1] - hp_offsets[i];
             let marks = &self.local[self.offsets[i] as usize..self.offsets[i + 1] as usize];
             if marks.iter().any(|&l| l as u64 >= run) {
                 return false;
@@ -123,33 +131,44 @@ impl MarkArena {
 }
 
 /// Expand the marked entries of `v` into the effective entry buffer
-/// (`which`) of `ws`. Called by `SlingIndex::effective_entries` after the
-/// stored (+ two-hop) list has been materialized and sorted.
-pub(crate) fn expand_marked(
-    index: &SlingIndex,
+/// (`which`) of `ws`. Called by the generic effective-entry
+/// materialization after the stored (+ two-hop) list has been sorted.
+/// Generic over the storage backend: marks address entries by global
+/// index through [`HpStore::entry_at`].
+pub(crate) fn expand_marked<S: HpStore>(
+    e: EngineRef<'_, S>,
     graph: &DiGraph,
     v: NodeId,
     ws: &mut QueryWorkspace,
     which: Buf,
-) {
-    let marks = index.marks.marks_of(v);
+) -> Result<(), SlingError> {
+    let marks = e.marks.marks_of(v);
     if marks.is_empty() {
-        return;
+        return Ok(());
     }
     let mut buf = match which {
         Buf::A => std::mem::take(&mut ws.buf_a),
         Buf::B => std::mem::take(&mut ws.buf_b),
     };
-    let range = index.hp.range(v);
-    let sqrt_c = index.config.sqrt_c();
-    let reduced = index.is_reduced(v);
+    let range = e.store.range(v);
+    let sqrt_c = e.config.sqrt_c();
+    let reduced = e.reduced[v.index()];
     ws.extras.clear();
     for &li in marks {
         let gi = range.start + li as usize;
-        let step = index.hp.steps[gi];
-        let hit = NodeId(index.hp.nodes[gi]);
-        let value = index.hp.values[gi];
-        let target_step = step + 1;
+        let entry = match e.store.entry_at(gi) {
+            Ok(entry) => entry,
+            Err(err) => {
+                put_back(ws, which, buf);
+                return Err(err);
+            }
+        };
+        let (step, hit, value) = (entry.step, entry.node, entry.value);
+        // A corrupt backend can hand back step = u16::MAX; skip rather
+        // than overflow.
+        let Some(target_step) = step.checked_add(1) else {
+            continue;
+        };
         // When v is reduced, steps 1-2 of the effective list are exact;
         // expanding into them could overshoot the true probability.
         if reduced && (target_step == 1 || target_step == 2) {
@@ -166,9 +185,9 @@ pub(crate) fn expand_marked(
     }
     if ws.extras.is_empty() {
         put_back(ws, which, buf);
-        return;
+        return Ok(());
     }
-    ws.extras.sort_unstable_by_key(|e| e.key());
+    ws.extras.sort_unstable_by_key(|x| x.key());
 
     // Merge: keys already present in the effective list win untouched;
     // contributions to a fresh key accumulate.
@@ -196,6 +215,7 @@ pub(crate) fn expand_marked(
     buf.clear();
     buf.extend_from_slice(&ws.merged);
     put_back(ws, which, buf);
+    Ok(())
 }
 
 fn put_back(ws: &mut QueryWorkspace, which: Buf, buf: Vec<HpEntry>) {

@@ -261,8 +261,16 @@ mod tests {
         assert!(merged.windows(2).all(|w| key(&w[0]) <= key(&w[1])));
         // Same multiset (values ride along correctly).
         let mut got = merged;
-        got.sort_by(|a, b| key(a).cmp(&key(b)).then(a.value.partial_cmp(&b.value).unwrap()));
-        expected.sort_by(|a, b| key(a).cmp(&key(b)).then(a.value.partial_cmp(&b.value).unwrap()));
+        got.sort_by(|a, b| {
+            key(a)
+                .cmp(&key(b))
+                .then(a.value.partial_cmp(&b.value).unwrap())
+        });
+        expected.sort_by(|a, b| {
+            key(a)
+                .cmp(&key(b))
+                .then(a.value.partial_cmp(&b.value).unwrap())
+        });
         assert_eq!(got, expected);
         std::fs::remove_dir_all(dir).ok();
     }

@@ -1,10 +1,35 @@
-//! Binary persistence of a [`SlingIndex`].
+//! Binary persistence of a [`SlingIndex`] — the `SLNGIDX1` format.
 //!
 //! A small hand-rolled format (magic + version + little-endian sections)
 //! rather than a serde backend: the index is dominated by four large
 //! primitive arrays, which serialize as flat byte runs with no per-element
 //! overhead. The graph itself is *not* stored — on load the caller passes
 //! the graph and the header's `(n, m)` fingerprint is verified against it.
+//!
+//! ## Layout
+//!
+//! ```text
+//! magic "SLNGIDX1" | n u64 | m u64
+//! config: c, epsilon, eps_d, theta, delta f64 | seed u64 | gamma f64 | flags u8
+//! stats: 5 × u64
+//! d:        n × f64
+//! reduced:  n × u8
+//! marks:    (n+1) × u64 offsets | len u64 | len × u32 locals
+//! hp:       (n+1) × u64 offsets | entries u64
+//!           entries × u16 steps | entries × u32 nodes | entries × f64 values
+//! ```
+//!
+//! The three entry arrays are stored as contiguous *sections* (not
+//! interleaved records) so the out-of-core backends can address them
+//! directly: [`decode_meta`] validates everything **up to** the entry
+//! payload and reports the payload section offsets, which is all the
+//! zero-copy mmap backend ([`crate::store::MmapHpArena`]) and the
+//! positioned-read disk backend ([`crate::out_of_core::DiskHpStore`])
+//! need — neither ever decodes the full payload.
+//!
+//! Every malformed input — truncation, bad magic, non-monotone offsets,
+//! out-of-range ids, overflowing section sizes — surfaces as
+//! [`SlingError::CorruptIndex`]; no input may panic the decoder.
 
 use std::fs::File;
 use std::io::{Read, Write};
@@ -24,7 +49,194 @@ const MAGIC: &[u8; 8] = b"SLNGIDX1";
 /// True when any HP value is non-finite or wildly out of the unit range
 /// (corruption detector; legitimate values are probabilities).
 fn values_corrupt(values: &[f64]) -> bool {
-    values.iter().any(|v| !v.is_finite() || *v < 0.0 || *v > 1.0 + 1e-9)
+    values
+        .iter()
+        .any(|v| !v.is_finite() || *v < 0.0 || *v > 1.0 + 1e-9)
+}
+
+/// Everything in a `SLNGIDX1` file *except* the entry payload: the
+/// query-side metadata plus the byte offsets of the payload sections.
+/// Produced by [`decode_meta`], shared by the full decoder and the
+/// out-of-core backends.
+pub(crate) struct DecodedMeta {
+    pub config: SlingConfig,
+    pub stats: BuildStats,
+    pub num_nodes: usize,
+    pub num_edges: usize,
+    pub d: Vec<f64>,
+    pub reduced: Vec<bool>,
+    pub marks: MarkArena,
+    /// Per-node entry offsets; `n + 1` values, validated monotone with
+    /// `hp_offsets[0] = 0` and `hp_offsets[n] = entries`.
+    pub hp_offsets: Vec<u64>,
+    /// Total stored entries.
+    pub entries: usize,
+    /// Byte offset of the on-file HP offset table.
+    pub offsets_base: usize,
+    /// Byte offsets of the three payload sections.
+    pub steps_base: usize,
+    pub nodes_base: usize,
+    pub values_base: usize,
+    /// Expected total file size; validated `<=` the available bytes.
+    pub total_len: usize,
+}
+
+fn corrupt(what: impl Into<String>) -> SlingError {
+    SlingError::CorruptIndex(what.into())
+}
+
+fn need(buf: &[u8], n: usize, what: &str) -> Result<(), SlingError> {
+    if buf.remaining() < n {
+        Err(corrupt(format!("truncated while reading {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+/// Decode and validate the metadata prefix of a `SLNGIDX1` byte image.
+///
+/// Cost is `O(n)` in the node count and **independent of the number of
+/// stored entries**: the payload sections are bound-checked against the
+/// image length but never read.
+pub(crate) fn decode_meta(bytes: &[u8]) -> Result<DecodedMeta, SlingError> {
+    let mut buf = bytes;
+    need(buf, 8 + 16, "header")?;
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let n = buf.get_u64_le() as usize;
+    let m = buf.get_u64_le() as usize;
+    // A file with n nodes stores at least n reduction bytes, so n can
+    // never exceed the image size; rejecting early keeps every later
+    // `n`-sized allocation and loop bounded by the input length.
+    if n > bytes.len() {
+        return Err(corrupt(format!("node count {n} exceeds file size")));
+    }
+
+    need(buf, 7 * 8 + 1, "config")?;
+    let c = buf.get_f64_le();
+    let epsilon = buf.get_f64_le();
+    let eps_d = buf.get_f64_le();
+    let theta = buf.get_f64_le();
+    let delta_raw = buf.get_f64_le();
+    let seed = buf.get_u64_le();
+    let gamma = buf.get_f64_le();
+    let flags = buf.get_u8();
+    let config = SlingConfig {
+        c,
+        epsilon,
+        eps_d,
+        theta,
+        delta: if delta_raw.is_nan() {
+            None
+        } else {
+            Some(delta_raw)
+        },
+        seed,
+        adaptive_dk: flags & 1 != 0,
+        space_reduction: flags & 2 != 0,
+        gamma,
+        enhance_accuracy: flags & 4 != 0,
+        exact_diagonal: flags & 8 != 0,
+        threads: 1,
+    };
+
+    need(buf, 5 * 8, "stats")?;
+    let stats = BuildStats {
+        dk_samples: buf.get_u64_le(),
+        entries_before_reduction: buf.get_u64_le() as usize,
+        entries_stored: buf.get_u64_le() as usize,
+        reduced_nodes: buf.get_u64_le() as usize,
+        marked_entries: buf.get_u64_le() as usize,
+    };
+
+    need(buf, n * 8 + n, "correction factors")?;
+    let mut d = Vec::with_capacity(n);
+    for _ in 0..n {
+        d.push(buf.get_f64_le());
+    }
+    let mut reduced = Vec::with_capacity(n);
+    for _ in 0..n {
+        reduced.push(buf.get_u8() != 0);
+    }
+
+    need(buf, (n + 1) * 8 + 8, "mark offsets")?;
+    let mut mark_offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        mark_offsets.push(buf.get_u64_le());
+    }
+    let mark_len = buf.get_u64_le() as usize;
+    if mark_len > buf.remaining() / 4 {
+        return Err(corrupt("truncated while reading mark entries"));
+    }
+    let mut mark_local = Vec::with_capacity(mark_len);
+    for _ in 0..mark_len {
+        mark_local.push(buf.get_u32_le());
+    }
+
+    let offsets_base = bytes.len() - buf.remaining();
+    need(buf, (n + 1) * 8 + 8, "hp offsets")?;
+    let mut hp_offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        hp_offsets.push(buf.get_u64_le());
+    }
+    let entries = buf.get_u64_le() as usize;
+
+    // Offset-table validation: monotone from 0 to `entries`. This is the
+    // invariant every backend's `range(v)` relies on for in-bounds entry
+    // access.
+    if hp_offsets.first() != Some(&0) || *hp_offsets.last().unwrap() as usize != entries {
+        return Err(corrupt("hp offsets mismatch"));
+    }
+    if hp_offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt("hp offsets not monotone"));
+    }
+
+    let marks = MarkArena {
+        offsets: mark_offsets,
+        local: mark_local,
+    };
+    if !marks.validate_runs(&hp_offsets) {
+        return Err(corrupt("mark arena fails validation"));
+    }
+    if d.iter().any(|x| !x.is_finite()) {
+        return Err(corrupt("non-finite correction factor"));
+    }
+    config.validate()?;
+
+    // Payload section geometry, overflow-checked against the image size.
+    let steps_base = bytes.len() - buf.remaining();
+    let section = |base: usize, width: usize| -> Result<usize, SlingError> {
+        entries
+            .checked_mul(width)
+            .and_then(|sz| base.checked_add(sz))
+            .ok_or_else(|| corrupt("entry section size overflows"))
+    };
+    let nodes_base = section(steps_base, 2)?;
+    let values_base = section(nodes_base, 4)?;
+    let total_len = section(values_base, 8)?;
+    if total_len > bytes.len() {
+        return Err(corrupt("truncated while reading hp entries"));
+    }
+
+    Ok(DecodedMeta {
+        config,
+        stats,
+        num_nodes: n,
+        num_edges: m,
+        d,
+        reduced,
+        marks,
+        hp_offsets,
+        entries,
+        offsets_base,
+        steps_base,
+        nodes_base,
+        values_base,
+        total_len,
+    })
 }
 
 impl SlingIndex {
@@ -95,152 +307,56 @@ impl SlingIndex {
     /// Deserialize an index previously produced by
     /// [`SlingIndex::to_bytes`], verifying it matches `graph`.
     pub fn from_bytes(graph: &DiGraph, bytes: &[u8]) -> Result<Self, SlingError> {
-        let mut buf = bytes;
-        let need = |buf: &[u8], n: usize, what: &str| -> Result<(), SlingError> {
-            if buf.remaining() < n {
-                Err(SlingError::CorruptIndex(format!(
-                    "truncated while reading {what}"
-                )))
-            } else {
-                Ok(())
-            }
-        };
-        need(buf, 8 + 16, "header")?;
-        let mut magic = [0u8; 8];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(SlingError::CorruptIndex("bad magic".into()));
-        }
-        let n = buf.get_u64_le() as usize;
-        let m = buf.get_u64_le() as usize;
-        if n != graph.num_nodes() || m != graph.num_edges() {
+        let meta = decode_meta(bytes)?;
+        debug_assert!(meta.total_len <= bytes.len());
+        if meta.num_nodes != graph.num_nodes() || meta.num_edges != graph.num_edges() {
             return Err(SlingError::GraphMismatch {
-                expected_nodes: n,
+                expected_nodes: meta.num_nodes,
                 found_nodes: graph.num_nodes(),
             });
         }
+        let entries = meta.entries;
 
-        need(buf, 7 * 8 + 1, "config")?;
-        let c = buf.get_f64_le();
-        let epsilon = buf.get_f64_le();
-        let eps_d = buf.get_f64_le();
-        let theta = buf.get_f64_le();
-        let delta_raw = buf.get_f64_le();
-        let seed = buf.get_u64_le();
-        let gamma = buf.get_f64_le();
-        let flags = buf.get_u8();
-        let config = SlingConfig {
-            c,
-            epsilon,
-            eps_d,
-            theta,
-            delta: if delta_raw.is_nan() {
-                None
-            } else {
-                Some(delta_raw)
-            },
-            seed,
-            adaptive_dk: flags & 1 != 0,
-            space_reduction: flags & 2 != 0,
-            gamma,
-            enhance_accuracy: flags & 4 != 0,
-            exact_diagonal: flags & 8 != 0,
-            threads: 1,
-        };
-
-        need(buf, 5 * 8, "stats")?;
-        let stats = BuildStats {
-            dk_samples: buf.get_u64_le(),
-            entries_before_reduction: buf.get_u64_le() as usize,
-            entries_stored: buf.get_u64_le() as usize,
-            reduced_nodes: buf.get_u64_le() as usize,
-            marked_entries: buf.get_u64_le() as usize,
-        };
-
-        need(buf, n * 8 + n, "correction factors")?;
-        let mut d = Vec::with_capacity(n);
-        for _ in 0..n {
-            d.push(buf.get_f64_le());
-        }
-        let mut reduced = Vec::with_capacity(n);
-        for _ in 0..n {
-            reduced.push(buf.get_u8() != 0);
-        }
-
-        need(buf, (n + 1) * 8 + 8, "mark offsets")?;
-        let mut mark_offsets = Vec::with_capacity(n + 1);
-        for _ in 0..=n {
-            mark_offsets.push(buf.get_u64_le());
-        }
-        let mark_len = buf.get_u64_le() as usize;
-        need(buf, mark_len * 4, "mark entries")?;
-        let mut mark_local = Vec::with_capacity(mark_len);
-        for _ in 0..mark_len {
-            mark_local.push(buf.get_u32_le());
-        }
-        if *mark_offsets.last().unwrap() as usize != mark_len {
-            return Err(SlingError::CorruptIndex("mark offsets mismatch".into()));
-        }
-
-        need(buf, (n + 1) * 8 + 8, "hp offsets")?;
-        let mut offsets = Vec::with_capacity(n + 1);
-        for _ in 0..=n {
-            offsets.push(buf.get_u64_le());
-        }
-        let entries = buf.get_u64_le() as usize;
-        if *offsets.last().unwrap() as usize != entries {
-            return Err(SlingError::CorruptIndex("hp offsets mismatch".into()));
-        }
-        need(buf, entries * (2 + 4 + 8), "hp entries")?;
         let mut steps = Vec::with_capacity(entries);
+        let mut buf = &bytes[meta.steps_base..];
         for _ in 0..entries {
             steps.push(buf.get_u16_le());
         }
         let mut nodes = Vec::with_capacity(entries);
+        let mut buf = &bytes[meta.nodes_base..];
         for _ in 0..entries {
             nodes.push(buf.get_u32_le());
         }
         let mut values = Vec::with_capacity(entries);
+        let mut buf = &bytes[meta.values_base..];
         for _ in 0..entries {
             values.push(buf.get_f64_le());
         }
 
         let hp = HpArena {
-            offsets,
+            offsets: meta.hp_offsets,
             steps,
             nodes,
             values,
         };
         if !hp.validate() {
-            return Err(SlingError::CorruptIndex("hp arena fails validation".into()));
+            return Err(corrupt("hp arena fails validation"));
         }
-        if hp.nodes.iter().any(|&k| k as usize >= n) {
-            return Err(SlingError::CorruptIndex(
-                "hp entry references a node past n".into(),
-            ));
+        if hp.nodes.iter().any(|&k| k as usize >= meta.num_nodes) {
+            return Err(corrupt("hp entry references a node past n"));
         }
-        let marks = MarkArena {
-            offsets: mark_offsets,
-            local: mark_local,
-        };
-        if !marks.validate(&hp) {
-            return Err(SlingError::CorruptIndex("mark arena fails validation".into()));
+        if values_corrupt(&hp.values) {
+            return Err(corrupt("non-finite payload in HP values"));
         }
-        if d.iter().any(|x| !x.is_finite()) || values_corrupt(&hp.values) {
-            return Err(SlingError::CorruptIndex(
-                "non-finite payload in correction factors or HP values".into(),
-            ));
-        }
-        config.validate()?;
         Ok(SlingIndex {
-            config,
-            num_nodes: n,
-            num_edges: m,
-            d,
+            config: meta.config,
+            num_nodes: meta.num_nodes,
+            num_edges: meta.num_edges,
+            d: meta.d,
             hp,
-            reduced,
-            marks,
-            stats,
+            reduced: meta.reduced,
+            marks: meta.marks,
+            stats: meta.stats,
         })
     }
 
@@ -327,5 +443,41 @@ mod tests {
         let mut bad = bytes.clone();
         bad[0] ^= 0xff;
         assert!(SlingIndex::from_bytes(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn meta_decode_reports_section_geometry() {
+        let g = two_cliques_bridge(5);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let bytes = idx.to_bytes();
+        let meta = decode_meta(&bytes).unwrap();
+        assert_eq!(meta.num_nodes, g.num_nodes());
+        assert_eq!(meta.num_edges, g.num_edges());
+        assert_eq!(meta.entries, idx.hp.total_entries());
+        assert_eq!(meta.hp_offsets, idx.hp.offsets);
+        assert_eq!(meta.total_len, bytes.len());
+        assert_eq!(meta.nodes_base - meta.steps_base, meta.entries * 2);
+        assert_eq!(meta.values_base - meta.nodes_base, meta.entries * 4);
+        // The payload sections hold exactly the arena arrays.
+        let steps_raw = &bytes[meta.steps_base..meta.nodes_base];
+        assert_eq!(
+            steps_raw
+                .chunks(2)
+                .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+                .collect::<Vec<_>>(),
+            idx.hp.steps
+        );
+    }
+
+    #[test]
+    fn meta_decode_rejects_oversized_counts() {
+        let g = two_cliques_bridge(4);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let mut bytes = idx.to_bytes();
+        // Blow up the node count field: must be rejected before any
+        // n-sized allocation happens.
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(SlingIndex::from_bytes(&g, &bytes).is_err());
+        assert!(decode_meta(&bytes).is_err());
     }
 }

@@ -67,7 +67,7 @@ impl HpArena {
             arena.nodes.push(e.node.0);
             arena.values.push(e.value);
         }
-        while (arena.offsets.len() as usize) < n + 1 {
+        while arena.offsets.len() < n + 1 {
             arena.offsets.push(arena.steps.len() as u64);
         }
         arena
@@ -229,10 +229,8 @@ mod tests {
 
     #[test]
     fn trailing_empty_nodes_get_offsets() {
-        let a = HpArena::from_sorted_entries(
-            4,
-            vec![(1, HpEntry::new(0, NodeId(1), 1.0))].into_iter(),
-        );
+        let a =
+            HpArena::from_sorted_entries(4, vec![(1, HpEntry::new(0, NodeId(1), 1.0))].into_iter());
         assert_eq!(a.num_nodes(), 4);
         assert_eq!(a.len_of(NodeId(0)), 0);
         assert_eq!(a.len_of(NodeId(3)), 0);

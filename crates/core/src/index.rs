@@ -9,6 +9,7 @@ use crate::enhance::{expand_marked, MarkArena};
 use crate::error::SlingError;
 use crate::hp::{HpArena, HpEntry};
 use crate::local_update::{reverse_hp_all, HpTriple};
+use crate::store::{EngineRef, HpStore};
 use crate::two_hop::{two_hop_into, TwoHopScratch};
 use crate::walk::{task_rng, WalkEngine};
 
@@ -145,13 +146,16 @@ impl SlingIndex {
     /// Estimated resident bytes of the index (Figure 4's space metric):
     /// HP arena + correction factors + reduction bitmap + marks.
     pub fn resident_bytes(&self) -> usize {
-        self.hp.resident_bytes() + self.d.len() * 8 + self.reduced.len() + self.marks.resident_bytes()
+        self.hp.resident_bytes()
+            + self.d.len() * 8
+            + self.reduced.len()
+            + self.marks.resident_bytes()
     }
 
-    /// Materialize the *effective* entry list of `v` used by queries:
-    /// stored entries, plus exact step-1/2 entries when `v` is reduced,
-    /// plus §5.3 expansion entries when enhancement is on. Sorted by
-    /// `(step, node)`.
+    /// Materialize the *effective* entry list of `v` used by queries
+    /// (see [`effective_entries_into`]). In-memory convenience wrapper,
+    /// retained for the unit tests that inspect effective lists directly.
+    #[cfg(test)]
     pub(crate) fn effective_entries(
         &self,
         graph: &DiGraph,
@@ -160,31 +164,65 @@ impl SlingIndex {
         which: Buf,
     ) {
         debug_assert_eq!(graph.num_nodes(), self.num_nodes, "wrong graph for index");
+        effective_entries_into(self.engine_ref(), graph, v, ws, which)
+            .expect("in-memory HP store cannot fail");
+    }
+
+    /// Internal engine view over the in-memory arena.
+    pub(crate) fn engine_ref(&self) -> EngineRef<'_, HpArena> {
+        EngineRef {
+            store: &self.hp,
+            config: &self.config,
+            d: &self.d,
+            reduced: &self.reduced,
+            marks: &self.marks,
+        }
+    }
+}
+
+/// Materialize the *effective* entry list of `v` used by queries into the
+/// selected workspace buffer: stored entries, plus exact step-1/2 entries
+/// when `v` is reduced (§5.2, Algorithm 5), plus §5.3 expansion entries
+/// when enhancement is on. Sorted by `(step, node)`. Generic over the
+/// storage backend; allocation-free after workspace warm-up on every
+/// backend.
+pub(crate) fn effective_entries_into<S: HpStore>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    v: NodeId,
+    ws: &mut QueryWorkspace,
+    which: Buf,
+) -> Result<(), SlingError> {
+    if e.reduced[v.index()] {
+        // Stored = step 0 then steps >= 3; splice exact steps 1-2 in
+        // between (disjoint step ranges keep the order sorted). The
+        // stored run lands in the dedicated scratch so the two-hop splice
+        // can build the output in order without a tail allocation.
+        e.store.entries_into(v, &mut ws.stored)?;
         let out = match which {
             Buf::A => &mut ws.buf_a,
             Buf::B => &mut ws.buf_b,
         };
         out.clear();
-        if self.reduced[v.index()] {
-            // Stored = step 0 then steps >= 3; splice exact steps 1-2 in
-            // between (disjoint step ranges keep the order sorted).
-            let mut it = self.hp.entries(v).peekable();
-            while let Some(e) = it.peek() {
-                if e.step > 0 {
-                    break;
-                }
-                out.push(*e);
-                it.next();
-            }
-            two_hop_into(graph, self.config.sqrt_c(), v, &mut ws.two_hop, out);
-            out.extend(it);
-        } else {
-            self.hp.fill(v, out);
-        }
-        if self.config.enhance_accuracy && !self.marks.is_empty() {
-            expand_marked(self, graph, v, ws, which);
-        }
+        let split = ws
+            .stored
+            .iter()
+            .position(|x| x.step > 0)
+            .unwrap_or(ws.stored.len());
+        out.extend_from_slice(&ws.stored[..split]);
+        two_hop_into(graph, e.config.sqrt_c(), v, &mut ws.two_hop, out);
+        out.extend_from_slice(&ws.stored[split..]);
+    } else {
+        let out = match which {
+            Buf::A => &mut ws.buf_a,
+            Buf::B => &mut ws.buf_b,
+        };
+        e.store.entries_into(v, out)?;
     }
+    if e.config.enhance_accuracy && !e.marks.is_empty() {
+        expand_marked(e, graph, v, ws, which)?;
+    }
+    Ok(())
 }
 
 /// Selector for the two entry buffers of a [`QueryWorkspace`].
@@ -203,6 +241,8 @@ pub struct QueryWorkspace {
     pub(crate) buf_a: Vec<HpEntry>,
     pub(crate) buf_b: Vec<HpEntry>,
     pub(crate) two_hop: TwoHopScratch,
+    /// Raw stored run of the node being materialized (reduced path).
+    pub(crate) stored: Vec<HpEntry>,
     pub(crate) extras: Vec<HpEntry>,
     pub(crate) merged: Vec<HpEntry>,
 }
@@ -354,7 +394,10 @@ mod tests {
             // Effective list is sorted and its step-1/2 entries are exact,
             // hence >= the truncated stored values of the unreduced index.
             assert!(ws.buf_a.windows(2).all(|w| w[0].key() < w[1].key()));
-            for e in without.stored_entries(v).filter(|e| e.step == 1 || e.step == 2) {
+            for e in without
+                .stored_entries(v)
+                .filter(|e| e.step == 1 || e.step == 2)
+            {
                 let found = ws
                     .buf_a
                     .iter()

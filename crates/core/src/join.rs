@@ -35,8 +35,9 @@
 use sling_graph::{DiGraph, NodeId};
 
 use crate::error::SlingError;
-use crate::index::{Buf, QueryWorkspace, SlingIndex};
-use crate::single_source::SingleSourceWorkspace;
+use crate::index::{effective_entries_into, Buf, QueryWorkspace, SlingIndex};
+use crate::single_source::{single_source_core, SingleSourceWorkspace};
+use crate::store::{EngineRef, HpStore};
 
 /// How a join materializes pair scores.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,17 +93,7 @@ impl SlingIndex {
         tau: f64,
         strategy: JoinStrategy,
     ) -> Result<Vec<JoinPair>, SlingError> {
-        if !(tau > 0.0) {
-            return Err(SlingError::InvalidConfig(format!(
-                "threshold join requires tau > 0 (got {tau})"
-            )));
-        }
-        let mut pairs = match strategy {
-            JoinStrategy::PerSource => self.join_per_source(graph, tau),
-            JoinStrategy::InvertedLists => self.join_inverted(graph, tau),
-        };
-        sort_pairs(&mut pairs);
-        Ok(pairs)
+        threshold_join_core(self.engine_ref(), graph, tau, strategy)
     }
 
     /// The `k` unordered pairs with the largest scores (self-pairs
@@ -124,73 +115,103 @@ impl SlingIndex {
         pairs.truncate(k);
         Ok(pairs)
     }
+}
 
-    fn join_per_source(&self, graph: &DiGraph, tau: f64) -> Vec<JoinPair> {
-        let mut ws = SingleSourceWorkspace::new();
-        let mut scores = Vec::new();
-        let mut out = Vec::new();
-        for u in graph.nodes() {
-            self.single_source_with(graph, &mut ws, u, &mut scores);
-            for (i, &s) in scores.iter().enumerate().skip(u.index() + 1) {
-                if s >= tau {
-                    out.push(JoinPair {
-                        u,
-                        v: NodeId::from_index(i),
-                        score: s,
-                    });
+/// Similarity join over any storage backend (see
+/// [`SlingIndex::threshold_join`] for the contract).
+pub(crate) fn threshold_join_core<S: HpStore>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    tau: f64,
+    strategy: JoinStrategy,
+) -> Result<Vec<JoinPair>, SlingError> {
+    if tau.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(SlingError::InvalidConfig(format!(
+            "threshold join requires tau > 0 (got {tau})"
+        )));
+    }
+    let mut pairs = match strategy {
+        JoinStrategy::PerSource => join_per_source(e, graph, tau)?,
+        JoinStrategy::InvertedLists => join_inverted(e, graph, tau)?,
+    };
+    sort_pairs(&mut pairs);
+    Ok(pairs)
+}
+
+fn join_per_source<S: HpStore>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    tau: f64,
+) -> Result<Vec<JoinPair>, SlingError> {
+    let mut ws = SingleSourceWorkspace::new();
+    let mut scores = Vec::new();
+    let mut out = Vec::new();
+    for u in graph.nodes() {
+        single_source_core(e, graph, &mut ws, u, &mut scores)?;
+        for (i, &s) in scores.iter().enumerate().skip(u.index() + 1) {
+            if s >= tau {
+                out.push(JoinPair {
+                    u,
+                    v: NodeId::from_index(i),
+                    score: s,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn join_inverted<S: HpStore>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    tau: f64,
+) -> Result<Vec<JoinPair>, SlingError> {
+    // 1. Materialize every node's effective entry list as global
+    //    triples (step, k, owner, value), then group by (step, k) to
+    //    obtain the inverted lists L(k, ℓ) of §6.
+    let mut triples: Vec<(u16, u32, u32, f64)> = Vec::new();
+    let mut ws = QueryWorkspace::new();
+    for v in graph.nodes() {
+        effective_entries_into(e, graph, v, &mut ws, Buf::A)?;
+        for x in &ws.buf_a {
+            triples.push((x.step, x.node.0, v.0, x.value));
+        }
+    }
+    triples.sort_unstable_by_key(|&(step, k, owner, _)| (step, k, owner));
+
+    // 2. Accumulate Eq. (13) per unordered pair across all lists.
+    let mut acc: sling_graph::FxHashMap<(u32, u32), f64> = sling_graph::FxHashMap::default();
+    let mut lo = 0;
+    while lo < triples.len() {
+        let (step, k, _, _) = triples[lo];
+        let mut hi = lo;
+        while hi < triples.len() && triples[hi].0 == step && triples[hi].1 == k {
+            hi += 1;
+        }
+        let dk = e.d[k as usize];
+        if dk > 0.0 {
+            let list = &triples[lo..hi];
+            for (i, &(_, _, a, ha)) in list.iter().enumerate() {
+                let weighted = ha * dk;
+                for &(_, _, b, hb) in &list[i + 1..] {
+                    // owners within a list are strictly ascending.
+                    *acc.entry((a, b)).or_insert(0.0) += weighted * hb;
                 }
             }
         }
-        out
+        lo = hi;
     }
 
-    fn join_inverted(&self, graph: &DiGraph, tau: f64) -> Vec<JoinPair> {
-        // 1. Materialize every node's effective entry list as global
-        //    triples (step, k, owner, value), then group by (step, k) to
-        //    obtain the inverted lists L(k, ℓ) of §6.
-        let mut triples: Vec<(u16, u32, u32, f64)> = Vec::new();
-        let mut ws = QueryWorkspace::new();
-        for v in graph.nodes() {
-            self.effective_entries(graph, v, &mut ws, Buf::A);
-            for e in &ws.buf_a {
-                triples.push((e.step, e.node.0, v.0, e.value));
-            }
-        }
-        triples.sort_unstable_by_key(|&(step, k, owner, _)| (step, k, owner));
-
-        // 2. Accumulate Eq. (13) per unordered pair across all lists.
-        let mut acc: sling_graph::FxHashMap<(u32, u32), f64> = sling_graph::FxHashMap::default();
-        let mut lo = 0;
-        while lo < triples.len() {
-            let (step, k, _, _) = triples[lo];
-            let mut hi = lo;
-            while hi < triples.len() && triples[hi].0 == step && triples[hi].1 == k {
-                hi += 1;
-            }
-            let dk = self.d[k as usize];
-            if dk > 0.0 {
-                let list = &triples[lo..hi];
-                for (i, &(_, _, a, ha)) in list.iter().enumerate() {
-                    let weighted = ha * dk;
-                    for &(_, _, b, hb) in &list[i + 1..] {
-                        // owners within a list are strictly ascending.
-                        *acc.entry((a, b)).or_insert(0.0) += weighted * hb;
-                    }
-                }
-            }
-            lo = hi;
-        }
-
-        // 3. Threshold, clamp, done.
-        acc.into_iter()
-            .filter(|&(_, s)| s.min(1.0) >= tau)
-            .map(|((a, b), s)| JoinPair {
-                u: NodeId(a),
-                v: NodeId(b),
-                score: s.clamp(0.0, 1.0),
-            })
-            .collect()
-    }
+    // 3. Threshold, clamp, done.
+    Ok(acc
+        .into_iter()
+        .filter(|&(_, s)| s.min(1.0) >= tau)
+        .map(|((a, b), s)| JoinPair {
+            u: NodeId(a),
+            v: NodeId(b),
+            score: s.clamp(0.0, 1.0),
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -212,8 +233,12 @@ mod tests {
     fn rejects_nonpositive_threshold() {
         let g = cycle_graph(4);
         let idx = build(&g, 0.1);
-        assert!(idx.threshold_join(&g, 0.0, JoinStrategy::PerSource).is_err());
-        assert!(idx.threshold_join(&g, -0.5, JoinStrategy::InvertedLists).is_err());
+        assert!(idx
+            .threshold_join(&g, 0.0, JoinStrategy::PerSource)
+            .is_err());
+        assert!(idx
+            .threshold_join(&g, -0.5, JoinStrategy::InvertedLists)
+            .is_err());
     }
 
     #[test]
@@ -229,9 +254,15 @@ mod tests {
             let sc = C.sqrt();
             let slack = 2.0 * sc * idx.config().theta / ((1.0 - sc) * (1.0 - C)) + 1e-9;
             let to_map = |pairs: Vec<JoinPair>| -> sling_graph::FxHashMap<(u32, u32), f64> {
-                pairs.into_iter().map(|p| ((p.u.0, p.v.0), p.score)).collect()
+                pairs
+                    .into_iter()
+                    .map(|p| ((p.u.0, p.v.0), p.score))
+                    .collect()
             };
-            let a = to_map(idx.threshold_join(&g, tau, JoinStrategy::PerSource).unwrap());
+            let a = to_map(
+                idx.threshold_join(&g, tau, JoinStrategy::PerSource)
+                    .unwrap(),
+            );
             let b = to_map(
                 idx.threshold_join(&g, tau, JoinStrategy::InvertedLists)
                     .unwrap(),
@@ -259,7 +290,9 @@ mod tests {
         let idx = build(&g, eps);
         let truth = exact_simrank(&g, C, 60);
         let tau = 0.15;
-        let joined = idx.threshold_join(&g, tau, JoinStrategy::InvertedLists).unwrap();
+        let joined = idx
+            .threshold_join(&g, tau, JoinStrategy::InvertedLists)
+            .unwrap();
         let found: std::collections::BTreeSet<(u32, u32)> =
             joined.iter().map(|p| (p.u.0, p.v.0)).collect();
         for u in 0..g.num_nodes() {
@@ -268,10 +301,16 @@ mod tests {
                 // Pairs clearly above tau must be found; pairs clearly
                 // below must not be (the ±eps band is allowed either way).
                 if s >= tau + eps {
-                    assert!(found.contains(&(u as u32, v as u32)), "missing ({u},{v}): s={s}");
+                    assert!(
+                        found.contains(&(u as u32, v as u32)),
+                        "missing ({u},{v}): s={s}"
+                    );
                 }
                 if s < tau - eps {
-                    assert!(!found.contains(&(u as u32, v as u32)), "spurious ({u},{v}): s={s}");
+                    assert!(
+                        !found.contains(&(u as u32, v as u32)),
+                        "spurious ({u},{v}): s={s}"
+                    );
                 }
             }
         }
@@ -283,7 +322,10 @@ mod tests {
         let eps = 0.05;
         let idx = build(&g, eps);
         let truth = exact_simrank(&g, C, 60);
-        for p in idx.threshold_join(&g, 0.01, JoinStrategy::PerSource).unwrap() {
+        for p in idx
+            .threshold_join(&g, 0.01, JoinStrategy::PerSource)
+            .unwrap()
+        {
             let t = truth[p.u.index()][p.v.index()];
             assert!((p.score - t).abs() <= eps, "{p:?} truth {t}");
         }
@@ -293,7 +335,9 @@ mod tests {
     fn results_ordered_and_deduplicated() {
         let g = barabasi_albert(80, 3, 5).unwrap();
         let idx = build(&g, 0.1);
-        let joined = idx.threshold_join(&g, 0.02, JoinStrategy::InvertedLists).unwrap();
+        let joined = idx
+            .threshold_join(&g, 0.02, JoinStrategy::InvertedLists)
+            .unwrap();
         assert!(joined.windows(2).all(|w| w[0].score >= w[1].score));
         let mut keys: Vec<(u32, u32)> = joined.iter().map(|p| (p.u.0, p.v.0)).collect();
         let before = keys.len();
@@ -307,8 +351,12 @@ mod tests {
     fn top_k_join_takes_best_pairs() {
         let g = two_cliques_bridge(5);
         let idx = build(&g, 0.05);
-        let all = idx.threshold_join(&g, 0.001, JoinStrategy::PerSource).unwrap();
-        let top3 = idx.top_k_join(&g, 3, 0.001, JoinStrategy::PerSource).unwrap();
+        let all = idx
+            .threshold_join(&g, 0.001, JoinStrategy::PerSource)
+            .unwrap();
+        let top3 = idx
+            .top_k_join(&g, 3, 0.001, JoinStrategy::PerSource)
+            .unwrap();
         assert_eq!(&all[..3], &top3[..]);
         // Within-clique pairs dominate cross-clique ones.
         for p in &top3 {

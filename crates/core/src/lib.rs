@@ -60,6 +60,32 @@
 //! * embarrassingly parallel construction (§5.4, [`parallel`]) and
 //!   out-of-core construction with bounded memory (§5.4, [`out_of_core`]).
 //!
+//! ## Architecture: the storage-backend layer
+//!
+//! The crate is layered like a small DBMS. At the bottom sits the
+//! [`store::HpStore`] trait — the read interface to the packed per-node
+//! hitting-probability sets — with three backends serving the *same*
+//! persisted index with **identical scores**:
+//!
+//! | backend | residency | open cost |
+//! |---|---|---|
+//! | [`hp::HpArena`] | full decode in RAM | `O(n/ε)` decode |
+//! | [`store::MmapHpArena`] | page cache, zero-copy | header + offsets only |
+//! | [`out_of_core::DiskHpStore`] (+ [`disk_query::BufferedDiskStore`] LRU pool) | `O(n)` metadata | header + offsets only |
+//!
+//! Above the trait, every query algorithm is written **once**, generic
+//! over `S: HpStore` — the §5.2/§5.3 effective-entry materialization
+//! ([`index`]), Algorithm 3 ([`single_pair`]), Algorithm 6
+//! ([`single_source`]), top-k ([`topk`]), joins ([`join`]), parallel
+//! batches ([`batch`]), and the LRU result cache ([`cache`]). The
+//! [`store::QueryEngine`] front-end bundles a backend with the
+//! query-side metadata (correction factors, reduction bitmap, marks) and
+//! exposes the whole surface; [`SlingIndex`]'s convenience methods are
+//! thin wrappers over the same generic core. This is what backs §5.4's
+//! claim that SLING answers queries "even when its index structure does
+//! not fit in the main memory": pick the backend at open time, keep the
+//! algorithms.
+//!
 //! ## Extension features beyond the paper's evaluation
 //!
 //! * top-k single-source queries with heap selection and an
@@ -69,8 +95,7 @@
 //!   pluggable staleness policies ([`dynamic`]) — the paper's stated
 //!   future work;
 //! * parallel batch query execution ([`batch`]) and an LRU single-pair
-//!   result cache ([`cache`]);
-//! * disk-resident queries with a buffer pool ([`disk_query`]);
+//!   result cache ([`cache`]), both generic over the storage backend;
 //! * local-update personalized PageRank ([`ppr`]), the Appendix-B
 //!   relative of Algorithm 2, with the HP ↔ PPR identity under test.
 
@@ -95,6 +120,7 @@ pub mod ppr;
 pub mod reference;
 pub mod single_pair;
 pub mod single_source;
+pub mod store;
 pub mod topk;
 pub mod two_hop;
 pub mod verify;
@@ -104,4 +130,5 @@ pub use config::SlingConfig;
 pub use error::SlingError;
 pub use hp::HpEntry;
 pub use index::{QueryWorkspace, SlingIndex};
+pub use store::{HpStore, MmapHpArena, QueryEngine};
 pub use walk::WalkEngine;

@@ -14,11 +14,11 @@
 //! positioned reads — the constant-IO regime described in §5.4.
 
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 
-use bytes::{Buf, BufMut};
+use bytes::Buf;
 use sling_graph::{DiGraph, NodeId};
 
 use crate::config::SlingConfig;
@@ -29,8 +29,7 @@ use crate::external_sort::ExternalSorter;
 use crate::hp::{HpArena, HpEntry};
 use crate::index::{BuildStats, SlingIndex};
 use crate::local_update::reverse_hp_all;
-use crate::single_pair::merge_intersect;
-use crate::two_hop::{two_hop_into, TwoHopScratch};
+use crate::store::{HpStore, QueryEngine};
 use crate::walk::{task_rng, WalkEngine};
 
 /// Options for the out-of-core builder.
@@ -156,52 +155,80 @@ pub fn build_out_of_core(
     })
 }
 
-const ENTRY_BYTES: usize = 14; // step u16 + node u32 + value f64
-
-/// Disk-resident HP store: entries live in a file; offsets, correction
-/// factors, and the reduction bitmap stay in memory (`O(n)` total).
+/// Disk-resident HP store over a persisted `SLNGIDX1` index file: the
+/// entry payload stays on disk; only the `O(n)` offsets, correction
+/// factors, reduction bitmap, and §5.3 marks are memory-resident.
 ///
-/// Supports single-pair queries with two positioned reads. Enhancement
-/// marks are not persisted here — the store answers with the same
-/// guarantees as a non-enhanced index.
+/// Implements [`HpStore`], so the whole generic query surface
+/// (Algorithms 3 and 6, top-k, joins, batches) runs against it through
+/// [`DiskHpStore::query_engine`] — each entry-list read costs three
+/// positioned reads (one per payload section), the constant-IO regime
+/// described in §5.4. Front it with
+/// [`crate::disk_query::BufferedDiskStore`] to amortize repeated reads.
 pub struct DiskHpStore {
     file: File,
     offsets: Vec<u64>,
     pub(crate) d: Vec<f64>,
-    reduced: Vec<bool>,
+    pub(crate) reduced: Vec<bool>,
     pub(crate) config: SlingConfig,
+    pub(crate) marks: MarkArena,
+    stats: BuildStats,
     num_nodes: usize,
+    num_edges: usize,
+    entries: usize,
+    steps_base: u64,
+    nodes_base: u64,
+    values_base: u64,
 }
 
 impl DiskHpStore {
-    /// Write the entries of `index` to `path` and return a store reading
-    /// from it.
+    /// Persist `index` to `path` (standard `SLNGIDX1` format) and return
+    /// a store reading from it.
     pub fn create(index: &SlingIndex, path: impl AsRef<Path>) -> Result<Self, SlingError> {
         let path = path.as_ref();
-        {
-            let mut w = BufWriter::new(File::create(path)?);
-            let mut buf = Vec::with_capacity(1 << 16);
-            for v in 0..index.num_nodes {
-                for e in index.stored_entries(NodeId::from_index(v)) {
-                    buf.put_u16_le(e.step);
-                    buf.put_u32_le(e.node.0);
-                    buf.put_f64_le(e.value);
-                    if buf.len() >= (1 << 16) {
-                        w.write_all(&buf)?;
-                        buf.clear();
-                    }
-                }
-            }
-            w.write_all(&buf)?;
-            w.flush()?;
+        index.save(path)?;
+        Self::open_file(path)
+    }
+
+    /// Open a persisted index file as a disk store, verifying its
+    /// `(n, m)` fingerprint against `graph`. Decodes the `O(n)` metadata
+    /// only — never the entry payload.
+    pub fn open(graph: &DiGraph, path: impl AsRef<Path>) -> Result<Self, SlingError> {
+        let store = Self::open_file(path)?;
+        if store.num_nodes != graph.num_nodes() || store.num_edges != graph.num_edges() {
+            return Err(SlingError::GraphMismatch {
+                expected_nodes: store.num_nodes,
+                found_nodes: graph.num_nodes(),
+            });
         }
+        Ok(store)
+    }
+
+    fn open_file(path: impl AsRef<Path>) -> Result<Self, SlingError> {
+        let file = File::open(path.as_ref())?;
+        // Parse the metadata prefix through a short-lived mapping; the
+        // store itself keeps only the plain file handle for positioned
+        // reads.
+        let meta = {
+            // SAFETY: mapping dropped before this function returns; reads
+            // during decode are bound-checked against the mapped length.
+            let map = unsafe { memmap2::Mmap::map(&file) }?;
+            crate::format::decode_meta(&map)?
+        };
         Ok(DiskHpStore {
-            file: File::open(path)?,
-            offsets: index.hp.offsets.clone(),
-            d: index.d.clone(),
-            reduced: index.reduced.clone(),
-            config: index.config.clone(),
-            num_nodes: index.num_nodes,
+            file,
+            offsets: meta.hp_offsets,
+            d: meta.d,
+            reduced: meta.reduced,
+            config: meta.config,
+            marks: meta.marks,
+            stats: meta.stats,
+            num_nodes: meta.num_nodes,
+            num_edges: meta.num_edges,
+            entries: meta.entries,
+            steps_base: meta.steps_base as u64,
+            nodes_base: meta.nodes_base as u64,
+            values_base: meta.values_base as u64,
         })
     }
 
@@ -210,73 +237,136 @@ impl DiskHpStore {
         self.num_nodes
     }
 
+    /// Build statistics recorded in the index file.
+    pub fn stats(&self) -> BuildStats {
+        self.stats
+    }
+
     /// Memory-resident bytes (excludes the entry file) — the quantity the
     /// out-of-core mode is designed to bound.
     pub fn resident_bytes(&self) -> usize {
-        self.offsets.len() * 8 + self.d.len() * 8 + self.reduced.len()
+        self.offsets.len() * 8 + self.d.len() * 8 + self.reduced.len() + self.marks.resident_bytes()
     }
 
+    /// Query engine over this store (single-pair, single-source, top-k,
+    /// joins, batches), sharing the store's metadata by reference.
+    pub fn query_engine(&self) -> QueryEngine<'_, &DiskHpStore> {
+        QueryEngine::from_parts(
+            self,
+            std::borrow::Cow::Borrowed(&self.config),
+            std::borrow::Cow::Borrowed(&self.d),
+            std::borrow::Cow::Borrowed(&self.reduced),
+            std::borrow::Cow::Borrowed(&self.marks),
+            self.stats,
+        )
+    }
+
+    /// Decode one bound-checked entry with three positioned reads.
+    fn read_entry_at(&self, i: usize) -> Result<HpEntry, SlingError> {
+        if i >= self.entries {
+            return Err(SlingError::CorruptIndex(format!(
+                "disk entry index {i} past the {} stored entries",
+                self.entries
+            )));
+        }
+        let mut step_raw = [0u8; 2];
+        self.file
+            .read_exact_at(&mut step_raw, self.steps_base + i as u64 * 2)?;
+        let mut node_raw = [0u8; 4];
+        self.file
+            .read_exact_at(&mut node_raw, self.nodes_base + i as u64 * 4)?;
+        let mut value_raw = [0u8; 8];
+        self.file
+            .read_exact_at(&mut value_raw, self.values_base + i as u64 * 8)?;
+        let node = u32::from_le_bytes(node_raw);
+        if node as usize >= self.num_nodes {
+            return Err(SlingError::CorruptIndex(format!(
+                "disk entry {i} references node {node} past n = {}",
+                self.num_nodes
+            )));
+        }
+        let value = f64::from_bits(u64::from_le_bytes(value_raw));
+        crate::store::check_value(i, value)?;
+        Ok(HpEntry::new(
+            u16::from_le_bytes(step_raw),
+            NodeId(node),
+            value,
+        ))
+    }
+
+    /// Read `H(v)` with three positioned section reads.
     pub(crate) fn read_entries(&self, v: NodeId, out: &mut Vec<HpEntry>) -> Result<(), SlingError> {
         out.clear();
         let i = v.index();
-        let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
-        let count = (hi - lo) as usize;
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        let count = hi - lo;
         if count == 0 {
             return Ok(());
         }
-        let mut raw = vec![0u8; count * ENTRY_BYTES];
-        self.file.read_exact_at(&mut raw, lo * ENTRY_BYTES as u64)?;
-        let mut slice = raw.as_slice();
-        for _ in 0..count {
-            let step = slice.get_u16_le();
-            let node = NodeId(slice.get_u32_le());
-            let value = slice.get_f64_le();
-            out.push(HpEntry::new(step, node, value));
-        }
-        Ok(())
-    }
-
-    pub(crate) fn effective(
-        &self,
-        graph: &DiGraph,
-        v: NodeId,
-        scratch: &mut TwoHopScratch,
-        out: &mut Vec<HpEntry>,
-    ) -> Result<(), SlingError> {
-        self.read_entries(v, out)?;
-        if self.reduced[v.index()] {
-            // Splice exact steps 1-2 between step 0 and steps >= 3.
-            let split = out.iter().position(|e| e.step > 0).unwrap_or(out.len());
-            let tail = out.split_off(split);
-            two_hop_into(graph, self.config.sqrt_c(), v, scratch, out);
-            out.extend(tail);
-        }
-        Ok(())
-    }
-
-    /// Single-pair query against the disk-resident entries: two
-    /// positioned reads plus the usual merge-intersection.
-    pub fn single_pair(
-        &self,
-        graph: &DiGraph,
-        u: NodeId,
-        v: NodeId,
-    ) -> Result<f64, SlingError> {
-        let n = self.num_nodes as u32;
-        for node in [u, v] {
-            if node.0 >= n {
-                return Err(SlingError::NodeOutOfRange { node: node.0, n });
+        let mut steps_raw = vec![0u8; count * 2];
+        self.file
+            .read_exact_at(&mut steps_raw, self.steps_base + lo as u64 * 2)?;
+        let mut nodes_raw = vec![0u8; count * 4];
+        self.file
+            .read_exact_at(&mut nodes_raw, self.nodes_base + lo as u64 * 4)?;
+        let mut values_raw = vec![0u8; count * 8];
+        self.file
+            .read_exact_at(&mut values_raw, self.values_base + lo as u64 * 8)?;
+        let (mut s, mut nn, mut vv) = (
+            steps_raw.as_slice(),
+            nodes_raw.as_slice(),
+            values_raw.as_slice(),
+        );
+        for j in 0..count {
+            let step = s.get_u16_le();
+            let node = nn.get_u32_le();
+            let value = vv.get_f64_le();
+            if node as usize >= self.num_nodes {
+                return Err(SlingError::CorruptIndex(format!(
+                    "disk entry {} references node {node} past n = {}",
+                    lo + j,
+                    self.num_nodes
+                )));
             }
+            crate::store::check_value(lo + j, value)?;
+            out.push(HpEntry::new(step, NodeId(node), value));
         }
-        if u == v && self.config.exact_diagonal {
-            return Ok(1.0);
-        }
-        let mut scratch = TwoHopScratch::default();
-        let mut a = Vec::new();
-        let mut b = Vec::new();
-        self.effective(graph, u, &mut scratch, &mut a)?;
-        self.effective(graph, v, &mut scratch, &mut b)?;
-        Ok(merge_intersect(&a, &b, &self.d).clamp(0.0, 1.0))
+        Ok(())
+    }
+
+    /// Single-pair query against the disk-resident entries (Algorithm 3
+    /// through the generic engine).
+    pub fn single_pair(&self, graph: &DiGraph, u: NodeId, v: NodeId) -> Result<f64, SlingError> {
+        self.query_engine().single_pair(graph, u, v)
+    }
+}
+
+impl HpStore for DiskHpStore {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn total_entries(&self) -> usize {
+        self.entries
+    }
+
+    fn range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let i = v.index();
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    fn entries_into(&self, v: NodeId, out: &mut Vec<HpEntry>) -> Result<(), SlingError> {
+        self.read_entries(v, out)
+    }
+
+    fn entry_at(&self, i: usize) -> Result<HpEntry, SlingError> {
+        self.read_entry_at(i)
+    }
+
+    // contains_key: trait default (binary search through entry_at).
+
+    fn resident_bytes(&self) -> usize {
+        DiskHpStore::resident_bytes(self)
     }
 }
 
@@ -338,10 +428,7 @@ mod tests {
         for (u, v) in [(0u32, 1u32), (3, 77), (149, 10), (5, 5)] {
             let a = idx.single_pair(&g, NodeId(u), NodeId(v));
             let b = store.single_pair(&g, NodeId(u), NodeId(v)).unwrap();
-            assert!(
-                (a - b).abs() < 1e-12,
-                "({u},{v}): memory {a} vs disk {b}"
-            );
+            assert!((a - b).abs() < 1e-12, "({u},{v}): memory {a} vs disk {b}");
         }
         assert!(store.resident_bytes() < idx.resident_bytes());
         std::fs::remove_dir_all(dir).ok();

@@ -120,7 +120,9 @@ pub fn ppr_to_target(graph: &DiGraph, alpha: f64, target: NodeId, theta: f64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sling_graph::generators::{barabasi_albert, complete_graph, cycle_graph, path_graph, star_graph};
+    use sling_graph::generators::{
+        barabasi_albert, complete_graph, cycle_graph, path_graph, star_graph,
+    };
     use sling_graph::transform::transpose;
 
     const ALPHA: f64 = 0.5;

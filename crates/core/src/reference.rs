@@ -50,12 +50,7 @@ pub fn exact_simrank(graph: &DiGraph, c: f64, iterations: usize) -> Vec<Vec<f64>
 /// Exact hitting probabilities *to* a fixed target:
 /// `out[ℓ][v] = h⁽ℓ⁾(v, target)`, computed by the dense Eq. (16)
 /// recurrence up to `max_step` inclusive.
-pub fn exact_hp_to_target(
-    graph: &DiGraph,
-    c: f64,
-    target: NodeId,
-    max_step: u16,
-) -> Vec<Vec<f64>> {
+pub fn exact_hp_to_target(graph: &DiGraph, c: f64, target: NodeId, max_step: u16) -> Vec<Vec<f64>> {
     let n = graph.num_nodes();
     let sc = c.sqrt();
     let mut levels = Vec::with_capacity(max_step as usize + 1);
@@ -165,8 +160,8 @@ mod tests {
         // s = c(n-2) / ((1-c)(n-1)^2 + c(n-2)).
         let n = 5;
         let s = exact_simrank(&complete_graph(n), C, 60);
-        let closed = C * (n - 2) as f64
-            / ((1.0 - C) * ((n - 1) * (n - 1)) as f64 + C * (n - 2) as f64);
+        let closed =
+            C * (n - 2) as f64 / ((1.0 - C) * ((n - 1) * (n - 1)) as f64 + C * (n - 2) as f64);
         for i in 0..n {
             for j in 0..n {
                 let expect = if i == j { 1.0 } else { closed };

@@ -14,7 +14,8 @@ use sling_graph::{DiGraph, NodeId};
 
 use crate::error::SlingError;
 use crate::hp::HpEntry;
-use crate::index::{Buf, QueryWorkspace, SlingIndex};
+use crate::index::{effective_entries_into, Buf, QueryWorkspace, SlingIndex};
+use crate::store::{EngineRef, HpStore};
 
 /// Merge-intersect two `(step, node)`-sorted entry lists against the
 /// correction factors.
@@ -33,6 +34,25 @@ pub(crate) fn merge_intersect(a: &[HpEntry], b: &[HpEntry], d: &[f64]) -> f64 {
         }
     }
     s
+}
+
+/// Algorithm 3 over any storage backend: materialize both effective entry
+/// lists and merge-intersect them against the correction factors.
+pub(crate) fn single_pair_core<S: HpStore>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    ws: &mut QueryWorkspace,
+    u: NodeId,
+    v: NodeId,
+) -> Result<f64, SlingError> {
+    if u == v && e.config.exact_diagonal {
+        return Ok(1.0);
+        // Otherwise fall through: estimate s(v,v) from the index like any
+        // pair.
+    }
+    effective_entries_into(e, graph, u, ws, Buf::A)?;
+    effective_entries_into(e, graph, v, ws, Buf::B)?;
+    Ok(merge_intersect(&ws.buf_a, &ws.buf_b, e.d).clamp(0.0, 1.0))
 }
 
 impl SlingIndex {
@@ -57,15 +77,9 @@ impl SlingIndex {
         u: NodeId,
         v: NodeId,
     ) -> f64 {
-        if u == v {
-            if self.config.exact_diagonal {
-                return 1.0;
-            }
-            // Fall through: estimate s(v,v) from the index like any pair.
-        }
-        self.effective_entries(graph, u, ws, Buf::A);
-        self.effective_entries(graph, v, ws, Buf::B);
-        merge_intersect(&ws.buf_a, &ws.buf_b, &self.d).clamp(0.0, 1.0)
+        debug_assert_eq!(graph.num_nodes(), self.num_nodes, "wrong graph for index");
+        single_pair_core(self.engine_ref(), graph, ws, u, v)
+            .expect("in-memory HP store cannot fail")
     }
 
     /// Range-checked single-pair query.
@@ -90,9 +104,7 @@ mod tests {
     use super::*;
     use crate::config::SlingConfig;
     use crate::reference::exact_simrank;
-    use sling_graph::generators::{
-        complete_graph, cycle_graph, star_graph, two_cliques_bridge,
-    };
+    use sling_graph::generators::{complete_graph, cycle_graph, star_graph, two_cliques_bridge};
     use sling_graph::DiGraph;
 
     const C: f64 = 0.6;

@@ -13,7 +13,8 @@
 use sling_graph::{DiGraph, NodeId};
 
 use crate::error::SlingError;
-use crate::index::{Buf, QueryWorkspace, SlingIndex};
+use crate::index::{effective_entries_into, Buf, QueryWorkspace, SlingIndex};
+use crate::store::{EngineRef, HpStore};
 
 /// Reusable dense buffers for Algorithm 6. One per querying thread.
 ///
@@ -101,6 +102,57 @@ impl SingleSourceWorkspace {
     }
 }
 
+/// Algorithm 6 over any storage backend: read `H*(u)` once, then run the
+/// forward propagation entirely on the in-memory graph and correction
+/// factors. Allocation-free after workspace warm-up.
+pub(crate) fn single_source_core<S: HpStore>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    ws: &mut SingleSourceWorkspace,
+    u: NodeId,
+    out: &mut Vec<f64>,
+) -> Result<(), SlingError> {
+    let n = e.num_nodes();
+    out.clear();
+    out.resize(n, 0.0);
+    ws.ensure(n);
+    let sqrt_c = e.config.sqrt_c();
+    let theta = e.config.theta;
+
+    // Effective H*(u), sorted by (step, node): consume per-step runs.
+    effective_entries_into(e, graph, u, &mut ws.query, Buf::A)?;
+    let entries = std::mem::take(&mut ws.query.buf_a);
+    let mut lo = 0usize;
+    while lo < entries.len() {
+        let step = entries[lo].step;
+        let mut hi = lo;
+        while hi < entries.len() && entries[hi].step == step {
+            hi += 1;
+        }
+        // Seed ρ^(0)(v_k) = h̃^(ℓ)(u, v_k) · d̃_k  (entries have
+        // distinct nodes within a step run), propagate ℓ rounds with
+        // the scaled-down pruning threshold, then accumulate ρ^(ℓ)
+        // into the result, restoring the all-zero invariant.
+        for x in &entries[lo..hi] {
+            let k = x.node.index();
+            ws.seed(k, x.value * e.d[k]);
+        }
+        let threshold = sqrt_c.powi(step as i32) * theta;
+        ws.propagate(graph, sqrt_c, threshold, step);
+        ws.drain_into(out);
+        lo = hi;
+    }
+    ws.query.buf_a = entries;
+
+    for s in out.iter_mut() {
+        *s = s.clamp(0.0, 1.0);
+    }
+    if e.config.exact_diagonal {
+        out[u.index()] = 1.0;
+    }
+    Ok(())
+}
+
 impl SlingIndex {
     /// Single-source query from `u` (Algorithm 6): returns `s̃(u, v)` for
     /// every node `v`. Allocates a workspace; prefer
@@ -120,45 +172,9 @@ impl SlingIndex {
         u: NodeId,
         out: &mut Vec<f64>,
     ) {
-        let n = self.num_nodes;
-        debug_assert_eq!(graph.num_nodes(), n, "wrong graph for index");
-        out.clear();
-        out.resize(n, 0.0);
-        ws.ensure(n);
-        let sqrt_c = self.config.sqrt_c();
-        let theta = self.config.theta;
-
-        // Effective H*(u), sorted by (step, node): consume per-step runs.
-        self.effective_entries(graph, u, &mut ws.query, Buf::A);
-        let entries = std::mem::take(&mut ws.query.buf_a);
-        let mut lo = 0usize;
-        while lo < entries.len() {
-            let step = entries[lo].step;
-            let mut hi = lo;
-            while hi < entries.len() && entries[hi].step == step {
-                hi += 1;
-            }
-            // Seed ρ^(0)(v_k) = h̃^(ℓ)(u, v_k) · d̃_k  (entries have
-            // distinct nodes within a step run), propagate ℓ rounds with
-            // the scaled-down pruning threshold, then accumulate ρ^(ℓ)
-            // into the result, restoring the all-zero invariant.
-            for e in &entries[lo..hi] {
-                let k = e.node.index();
-                ws.seed(k, e.value * self.d[k]);
-            }
-            let threshold = sqrt_c.powi(step as i32) * theta;
-            ws.propagate(graph, sqrt_c, threshold, step);
-            ws.drain_into(out);
-            lo = hi;
-        }
-        ws.query.buf_a = entries;
-
-        for s in out.iter_mut() {
-            *s = s.clamp(0.0, 1.0);
-        }
-        if self.config.exact_diagonal {
-            out[u.index()] = 1.0;
-        }
+        debug_assert_eq!(graph.num_nodes(), self.num_nodes, "wrong graph for index");
+        single_source_core(self.engine_ref(), graph, ws, u, out)
+            .expect("in-memory HP store cannot fail");
     }
 
     /// Baseline single-source strategy: Algorithm 3 once per node —
@@ -204,9 +220,7 @@ mod tests {
     use super::*;
     use crate::config::SlingConfig;
     use crate::reference::exact_simrank;
-    use sling_graph::generators::{
-        complete_graph, cycle_graph, star_graph, two_cliques_bridge,
-    };
+    use sling_graph::generators::{complete_graph, cycle_graph, star_graph, two_cliques_bridge};
     use sling_graph::DiGraph;
 
     const C: f64 = 0.6;
@@ -271,7 +285,12 @@ mod tests {
         assert_eq!(first, second);
         // And a different query is unaffected by the first.
         let mut direct = Vec::new();
-        idx.single_source_with(&g, &mut SingleSourceWorkspace::new(), NodeId(3), &mut direct);
+        idx.single_source_with(
+            &g,
+            &mut SingleSourceWorkspace::new(),
+            NodeId(3),
+            &mut direct,
+        );
         let mut reused = Vec::new();
         idx.single_source_with(&g, &mut ws, NodeId(3), &mut reused);
         assert_eq!(direct, reused);

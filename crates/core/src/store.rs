@@ -1,0 +1,790 @@
+//! The storage-backend layer: [`HpStore`] and the [`QueryEngine`]
+//! front-end.
+//!
+//! §5.4 of the paper observes that SLING "can efficiently process queries
+//! even when its index structure does not fit in the main memory": every
+//! query touches `O(1/ε)` hitting-probability entries, i.e. a constant
+//! number of positioned reads. This module turns that observation into a
+//! DBMS-style layering. The query algorithms (Algorithms 3, 5, 6 and the
+//! §5.2/§5.3 effective-entry materialization) are written once, generic
+//! over an [`HpStore`] — the read interface to the packed per-node HP
+//! sets — and three backends implement it:
+//!
+//! * [`crate::hp::HpArena`] — the in-memory parallel-array arena;
+//! * [`MmapHpArena`] — a **zero-copy memory-mapped view** of a persisted
+//!   `SLNGIDX1` index file: opening validates the header and the offset
+//!   table but never decodes the entry payload, so open cost is
+//!   independent of index size and queries read entries straight out of
+//!   the page cache;
+//! * [`crate::out_of_core::DiskHpStore`] (optionally fronted by the
+//!   [`crate::disk_query::BufferedDiskStore`] LRU buffer pool) — explicit
+//!   positioned reads with only `O(n)` metadata resident.
+//!
+//! [`QueryEngine`] bundles a store with the query-side metadata (config,
+//! correction factors, §5.2 reduction bitmap, §5.3 marks) and exposes the
+//! full query API — single-pair, single-source, top-k, joins, batches —
+//! with identical scores across backends: same entries, same merge order,
+//! same floating-point arithmetic.
+
+use std::borrow::Cow;
+use std::ops::Range;
+use std::path::Path;
+
+use memmap2::Mmap;
+use sling_graph::{DiGraph, NodeId};
+
+use crate::config::SlingConfig;
+use crate::enhance::MarkArena;
+use crate::error::SlingError;
+use crate::format::decode_meta;
+use crate::hp::{HpArena, HpEntry};
+use crate::index::{BuildStats, QueryWorkspace, SlingIndex};
+use crate::join::{threshold_join_core, JoinPair, JoinStrategy};
+use crate::single_pair::single_pair_core;
+use crate::single_source::{single_source_core, SingleSourceWorkspace};
+use crate::topk::{select_top_k, single_source_truncated_core};
+
+/// Read interface to a packed hitting-probability store.
+///
+/// Entry indices are *global*: node `v`'s run occupies `range(v)` of a
+/// conceptual array of `total_entries()` entries sorted by
+/// `(owner, step, node)`. Backends that read from untrusted bytes (mmap,
+/// disk) must bound-check every decoded entry (`node < num_nodes`), so
+/// the fallible methods return [`SlingError`] rather than panicking on a
+/// corrupt or truncated file.
+pub trait HpStore {
+    /// Number of nodes covered by the store.
+    fn num_nodes(&self) -> usize;
+
+    /// Total entries across all nodes.
+    fn total_entries(&self) -> usize;
+
+    /// Global entry-index range of `H(v)`.
+    fn range(&self, v: NodeId) -> Range<usize>;
+
+    /// Materialize `H(v)` into `out` (cleared first), in `(step, node)`
+    /// order.
+    fn entries_into(&self, v: NodeId, out: &mut Vec<HpEntry>) -> Result<(), SlingError>;
+
+    /// Random access by global entry index (used by §5.3 mark expansion).
+    fn entry_at(&self, i: usize) -> Result<HpEntry, SlingError>;
+
+    /// Whether `H(v)` stores the exact `(step, node)` key. The default
+    /// binary-searches the sorted run through [`HpStore::entry_at`];
+    /// backends with direct array access may override.
+    fn contains_key(&self, v: NodeId, step: u16, node: NodeId) -> Result<bool, SlingError> {
+        let range = checked_range(self, v)?;
+        let (mut lo, mut hi) = (range.start, range.end);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let e = self.entry_at(mid)?;
+            match e.key().cmp(&(step, node)) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(true),
+            }
+        }
+        Ok(false)
+    }
+
+    /// Heap-resident bytes of the store itself (excludes file-backed or
+    /// page-cache pages, which is the point of the out-of-core backends).
+    fn resident_bytes(&self) -> usize;
+}
+
+/// `range(v)` with the structural sanity the untrusted backends need
+/// before trusting it: well-ordered and inside the entry array. A store
+/// whose offset table mutates underneath it (a file overwritten after
+/// open) must surface that as an error, not an out-of-bounds access.
+pub(crate) fn checked_range<S: HpStore + ?Sized>(
+    store: &S,
+    v: NodeId,
+) -> Result<Range<usize>, SlingError> {
+    let range = store.range(v);
+    if range.start > range.end || range.end > store.total_entries() {
+        return Err(SlingError::CorruptIndex(format!(
+            "entry range {range:?} of {v:?} exceeds the store ({} entries)",
+            store.total_entries()
+        )));
+    }
+    Ok(range)
+}
+
+impl HpStore for HpArena {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        HpArena::num_nodes(self)
+    }
+
+    #[inline]
+    fn total_entries(&self) -> usize {
+        HpArena::total_entries(self)
+    }
+
+    #[inline]
+    fn range(&self, v: NodeId) -> Range<usize> {
+        HpArena::range(self, v)
+    }
+
+    fn entries_into(&self, v: NodeId, out: &mut Vec<HpEntry>) -> Result<(), SlingError> {
+        self.fill(v, out);
+        Ok(())
+    }
+
+    fn entry_at(&self, i: usize) -> Result<HpEntry, SlingError> {
+        Ok(HpEntry::new(
+            self.steps[i],
+            NodeId(self.nodes[i]),
+            self.values[i],
+        ))
+    }
+
+    fn contains_key(&self, v: NodeId, step: u16, node: NodeId) -> Result<bool, SlingError> {
+        Ok(HpArena::contains_key(self, v, step, node))
+    }
+
+    fn resident_bytes(&self) -> usize {
+        HpArena::resident_bytes(self)
+    }
+}
+
+/// Reject payload values that cannot be hitting probabilities. The
+/// out-of-core backends decode entries from untrusted bytes at query
+/// time; letting a non-finite value through would poison downstream
+/// score sorts (which rightly assume finite scores) with a panic instead
+/// of an error.
+pub(crate) fn check_value(i: usize, value: f64) -> Result<(), SlingError> {
+    if !value.is_finite() || !(0.0..=1.0 + 1e-9).contains(&value) {
+        return Err(SlingError::CorruptIndex(format!(
+            "entry {i} holds a non-probability HP value {value}"
+        )));
+    }
+    Ok(())
+}
+
+impl<S: HpStore + ?Sized> HpStore for &S {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+
+    fn total_entries(&self) -> usize {
+        (**self).total_entries()
+    }
+
+    fn range(&self, v: NodeId) -> Range<usize> {
+        (**self).range(v)
+    }
+
+    fn entries_into(&self, v: NodeId, out: &mut Vec<HpEntry>) -> Result<(), SlingError> {
+        (**self).entries_into(v, out)
+    }
+
+    fn entry_at(&self, i: usize) -> Result<HpEntry, SlingError> {
+        (**self).entry_at(i)
+    }
+
+    fn contains_key(&self, v: NodeId, step: u16, node: NodeId) -> Result<bool, SlingError> {
+        (**self).contains_key(v, step, node)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        (**self).resident_bytes()
+    }
+}
+
+/// Borrowed view of everything a query needs: the store plus the
+/// query-side metadata. `Copy`, so the generic algorithm cores pass it by
+/// value. Internal glue between [`SlingIndex`], [`QueryEngine`], and the
+/// per-module algorithm implementations.
+pub(crate) struct EngineRef<'a, S: HpStore> {
+    pub store: &'a S,
+    pub config: &'a SlingConfig,
+    pub d: &'a [f64],
+    pub reduced: &'a [bool],
+    pub marks: &'a MarkArena,
+}
+
+impl<S: HpStore> Clone for EngineRef<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S: HpStore> Copy for EngineRef<'_, S> {}
+
+impl<S: HpStore> EngineRef<'_, S> {
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.reduced.len()
+    }
+
+    pub fn check_node(&self, v: NodeId) -> Result<(), SlingError> {
+        if v.index() >= self.num_nodes() {
+            return Err(SlingError::NodeOutOfRange {
+                node: v.0,
+                n: self.num_nodes() as u32,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Zero-copy memory-mapped view of a persisted `SLNGIDX1` index file.
+///
+/// `open` maps the file and validates the header, metadata, and offset
+/// table — it never decodes the entry payload, so the cost is independent
+/// of the number of stored entries and no `HpArena` is materialized.
+/// Entries are decoded on demand, one `(step, node, value)` at a time,
+/// straight from the mapping; repeated queries hit the page cache. Every
+/// decoded entry is bound-checked so a file corrupted *after* open still
+/// surfaces as [`SlingError::CorruptIndex`], never a panic.
+pub struct MmapHpArena {
+    map: Mmap,
+    num_nodes: usize,
+    entries: usize,
+    /// Byte offset of the `(n + 1)`-entry `u64` HP offset table.
+    offsets_base: usize,
+    steps_base: usize,
+    nodes_base: usize,
+    values_base: usize,
+}
+
+impl MmapHpArena {
+    /// Map `path` and validate its structure (header + offset table
+    /// only). Returns the arena plus the decoded query-side metadata.
+    pub(crate) fn open_with_meta(
+        path: impl AsRef<Path>,
+    ) -> Result<(MmapHpArena, crate::format::DecodedMeta), SlingError> {
+        let file = std::fs::File::open(path)?;
+        // SAFETY: the standard memmap contract — the caller must not
+        // truncate the index file while the arena is alive. Concurrent
+        // *content* corruption is tolerated: reads are bound-checked and
+        // decode errors surface as SlingError.
+        let map = unsafe { Mmap::map(&file) }?;
+        let meta = decode_meta(&map)?;
+        let arena = MmapHpArena {
+            num_nodes: meta.num_nodes,
+            entries: meta.entries,
+            offsets_base: meta.offsets_base,
+            steps_base: meta.steps_base,
+            nodes_base: meta.nodes_base,
+            values_base: meta.values_base,
+            map,
+        };
+        Ok((arena, meta))
+    }
+
+    /// Map and validate `path` without retaining the metadata. Prefer
+    /// [`QueryEngine::open_mmap`], which keeps the correction factors and
+    /// reduction bitmap needed to answer queries.
+    pub fn open(path: impl AsRef<Path>) -> Result<MmapHpArena, SlingError> {
+        Ok(Self::open_with_meta(path)?.0)
+    }
+
+    #[inline]
+    fn read_u64(&self, at: usize) -> u64 {
+        // In bounds by construction: decode_meta validated that every
+        // section lies inside the mapping.
+        u64::from_le_bytes(self.map[at..at + 8].try_into().unwrap())
+    }
+
+    #[inline]
+    fn offset(&self, i: usize) -> usize {
+        self.read_u64(self.offsets_base + i * 8) as usize
+    }
+
+    /// Decode entry `i`, bound-checking the node id against `n`.
+    #[inline]
+    fn decode_entry(&self, i: usize) -> Result<HpEntry, SlingError> {
+        // Hard bound, not a debug_assert: the offset table lives in the
+        // mapping and can mutate after open, and an index past `entries`
+        // must surface as CorruptIndex rather than a slice panic.
+        if i >= self.entries {
+            return Err(SlingError::CorruptIndex(format!(
+                "mmap entry index {i} past the {} stored entries",
+                self.entries
+            )));
+        }
+        let step = u16::from_le_bytes(
+            self.map[self.steps_base + i * 2..self.steps_base + i * 2 + 2]
+                .try_into()
+                .unwrap(),
+        );
+        let node = u32::from_le_bytes(
+            self.map[self.nodes_base + i * 4..self.nodes_base + i * 4 + 4]
+                .try_into()
+                .unwrap(),
+        );
+        if node as usize >= self.num_nodes {
+            return Err(SlingError::CorruptIndex(format!(
+                "mmap entry {i} references node {node} past n = {}",
+                self.num_nodes
+            )));
+        }
+        let value = f64::from_bits(self.read_u64(self.values_base + i * 8));
+        check_value(i, value)?;
+        Ok(HpEntry::new(step, NodeId(node), value))
+    }
+
+    /// Bytes of the underlying mapping (for space reports).
+    pub fn mapped_bytes(&self) -> usize {
+        self.map.len()
+    }
+}
+
+impl HpStore for MmapHpArena {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    #[inline]
+    fn total_entries(&self) -> usize {
+        self.entries
+    }
+
+    #[inline]
+    fn range(&self, v: NodeId) -> Range<usize> {
+        let i = v.index();
+        self.offset(i)..self.offset(i + 1)
+    }
+
+    fn entries_into(&self, v: NodeId, out: &mut Vec<HpEntry>) -> Result<(), SlingError> {
+        out.clear();
+        let range = checked_range(self, v)?;
+        out.reserve(range.len());
+        for i in range {
+            out.push(self.decode_entry(i)?);
+        }
+        Ok(())
+    }
+
+    fn entry_at(&self, i: usize) -> Result<HpEntry, SlingError> {
+        self.decode_entry(i)
+    }
+
+    /// The entry payload lives in the page cache, not on this struct's
+    /// heap: only the handle itself counts.
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+/// Query front-end generic over the storage backend.
+///
+/// Owns (or borrows) the store plus the query-side metadata and exposes
+/// the full SLING query surface with `Result`-returning methods — the
+/// disk-backed stores can fail mid-query, so the engine API is fallible
+/// where [`SlingIndex`]'s in-memory convenience API is not. All backends
+/// return **identical** scores for the same persisted index.
+pub struct QueryEngine<'a, S: HpStore> {
+    store: S,
+    config: Cow<'a, SlingConfig>,
+    d: Cow<'a, [f64]>,
+    reduced: Cow<'a, [bool]>,
+    marks: Cow<'a, MarkArena>,
+    stats: BuildStats,
+}
+
+impl<'a, S: HpStore> QueryEngine<'a, S> {
+    /// Assemble an engine from parts (used by the backend constructors).
+    pub(crate) fn from_parts(
+        store: S,
+        config: Cow<'a, SlingConfig>,
+        d: Cow<'a, [f64]>,
+        reduced: Cow<'a, [bool]>,
+        marks: Cow<'a, MarkArena>,
+        stats: BuildStats,
+    ) -> Self {
+        QueryEngine {
+            store,
+            config,
+            d,
+            reduced,
+            marks,
+            stats,
+        }
+    }
+
+    pub(crate) fn engine_ref(&self) -> EngineRef<'_, S> {
+        EngineRef {
+            store: &self.store,
+            config: &self.config,
+            d: &self.d,
+            reduced: &self.reduced,
+            marks: &self.marks,
+        }
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Type-erased view of this engine, for callers (like the CLI) that
+    /// pick the backend at runtime.
+    pub fn erase(&self) -> QueryEngine<'_, &dyn HpStore> {
+        QueryEngine {
+            store: &self.store as &dyn HpStore,
+            config: Cow::Borrowed(&self.config),
+            d: Cow::Borrowed(&self.d),
+            reduced: Cow::Borrowed(&self.reduced),
+            marks: Cow::Borrowed(&self.marks),
+            stats: self.stats,
+        }
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &SlingConfig {
+        &self.config
+    }
+
+    /// Build statistics recorded in the index.
+    pub fn stats(&self) -> BuildStats {
+        self.stats
+    }
+
+    /// Number of nodes of the indexed graph.
+    pub fn num_nodes(&self) -> usize {
+        self.reduced.len()
+    }
+
+    /// Heap-resident bytes: store + metadata. For the mmap backend this
+    /// is `O(n)` metadata only — the entry payload stays in the page
+    /// cache.
+    pub fn resident_bytes(&self) -> usize {
+        self.store.resident_bytes()
+            + self.d.len() * 8
+            + self.reduced.len()
+            + self.marks.resident_bytes()
+    }
+
+    fn check_pair(&self, u: NodeId, v: NodeId) -> Result<(), SlingError> {
+        let e = self.engine_ref();
+        e.check_node(u)?;
+        e.check_node(v)
+    }
+
+    /// Single-pair SimRank estimate `s̃(u, v)` (Algorithm 3).
+    pub fn single_pair(&self, graph: &DiGraph, u: NodeId, v: NodeId) -> Result<f64, SlingError> {
+        let mut ws = QueryWorkspace::new();
+        self.single_pair_with(graph, &mut ws, u, v)
+    }
+
+    /// Single-pair query reusing caller-provided buffers.
+    pub fn single_pair_with(
+        &self,
+        graph: &DiGraph,
+        ws: &mut QueryWorkspace,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<f64, SlingError> {
+        self.check_pair(u, v)?;
+        single_pair_core(self.engine_ref(), graph, ws, u, v)
+    }
+
+    /// Single-source query from `u` (Algorithm 6).
+    pub fn single_source(&self, graph: &DiGraph, u: NodeId) -> Result<Vec<f64>, SlingError> {
+        let mut ws = SingleSourceWorkspace::new();
+        let mut out = Vec::new();
+        self.single_source_with(graph, &mut ws, u, &mut out)?;
+        Ok(out)
+    }
+
+    /// Single-source query into caller-provided buffers; allocation-free
+    /// after warm-up on every backend.
+    pub fn single_source_with(
+        &self,
+        graph: &DiGraph,
+        ws: &mut SingleSourceWorkspace,
+        u: NodeId,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SlingError> {
+        self.engine_ref().check_node(u)?;
+        single_source_core(self.engine_ref(), graph, ws, u, out)
+    }
+
+    /// Algorithm 6 with early termination (see
+    /// [`SlingIndex::single_source_truncated`]). Returns the residual
+    /// bound that was dropped.
+    pub fn single_source_truncated(
+        &self,
+        graph: &DiGraph,
+        ws: &mut SingleSourceWorkspace,
+        u: NodeId,
+        slack: f64,
+        out: &mut Vec<f64>,
+    ) -> Result<f64, SlingError> {
+        self.engine_ref().check_node(u)?;
+        single_source_truncated_core(self.engine_ref(), graph, ws, u, slack, out)
+    }
+
+    /// Top-k most similar nodes to `u` (excluding `u`), heap-selected.
+    pub fn top_k(
+        &self,
+        graph: &DiGraph,
+        u: NodeId,
+        k: usize,
+    ) -> Result<Vec<(NodeId, f64)>, SlingError> {
+        let scores = self.single_source(graph, u)?;
+        Ok(select_top_k(&scores, Some(u), k))
+    }
+
+    /// Early-terminating top-k: every returned score is within `slack` of
+    /// the full Algorithm-6 estimate.
+    pub fn top_k_approx(
+        &self,
+        graph: &DiGraph,
+        u: NodeId,
+        k: usize,
+        slack: f64,
+    ) -> Result<Vec<(NodeId, f64)>, SlingError> {
+        let mut ws = SingleSourceWorkspace::new();
+        let mut scores = Vec::new();
+        self.single_source_truncated(graph, &mut ws, u, slack, &mut scores)?;
+        Ok(select_top_k(&scores, Some(u), k))
+    }
+
+    /// All unordered pairs with `s̃(u, v) ≥ tau` (see
+    /// [`SlingIndex::threshold_join`]).
+    pub fn threshold_join(
+        &self,
+        graph: &DiGraph,
+        tau: f64,
+        strategy: JoinStrategy,
+    ) -> Result<Vec<JoinPair>, SlingError> {
+        threshold_join_core(self.engine_ref(), graph, tau, strategy)
+    }
+
+    /// The `k` highest-scoring unordered pairs above `prune`.
+    pub fn top_k_join(
+        &self,
+        graph: &DiGraph,
+        k: usize,
+        prune: f64,
+        strategy: JoinStrategy,
+    ) -> Result<Vec<JoinPair>, SlingError> {
+        let mut pairs = self.threshold_join(graph, prune.max(f64::MIN_POSITIVE), strategy)?;
+        pairs.truncate(k);
+        Ok(pairs)
+    }
+}
+
+impl<S: HpStore + Sync> QueryEngine<'_, S> {
+    /// Evaluate a batch of single-pair queries on `threads` workers
+    /// (results positionally aligned with `pairs`).
+    pub fn batch_single_pair(
+        &self,
+        graph: &DiGraph,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Result<Vec<f64>, SlingError> {
+        for &(u, v) in pairs {
+            self.check_pair(u, v)?;
+        }
+        crate::batch::batch_single_pair_core(self.engine_ref(), graph, pairs, threads)
+    }
+
+    /// Evaluate single-source queries from every node in `sources` on
+    /// `threads` workers.
+    pub fn batch_single_source(
+        &self,
+        graph: &DiGraph,
+        sources: &[NodeId],
+        threads: usize,
+    ) -> Result<Vec<Vec<f64>>, SlingError> {
+        for &u in sources {
+            self.engine_ref().check_node(u)?;
+        }
+        crate::batch::batch_single_source_core(self.engine_ref(), graph, sources, threads)
+    }
+}
+
+impl QueryEngine<'static, MmapHpArena> {
+    /// Open a persisted index as a zero-copy mmap engine, verifying it
+    /// matches `graph`. Open cost is header + offset-table validation
+    /// plus the `O(n)` query-side metadata (correction factors, reduction
+    /// bitmap, marks) — the entry payload is never decoded.
+    pub fn open_mmap(
+        graph: &DiGraph,
+        path: impl AsRef<Path>,
+    ) -> Result<QueryEngine<'static, MmapHpArena>, SlingError> {
+        let (arena, meta) = MmapHpArena::open_with_meta(path)?;
+        if meta.num_nodes != graph.num_nodes() || meta.num_edges != graph.num_edges() {
+            return Err(SlingError::GraphMismatch {
+                expected_nodes: meta.num_nodes,
+                found_nodes: graph.num_nodes(),
+            });
+        }
+        Ok(QueryEngine::from_parts(
+            arena,
+            Cow::Owned(meta.config),
+            Cow::Owned(meta.d),
+            Cow::Owned(meta.reduced),
+            Cow::Owned(meta.marks),
+            meta.stats,
+        ))
+    }
+}
+
+impl SlingIndex {
+    /// Borrowing query engine over the in-memory arena. Queries through
+    /// it return the same scores as the [`SlingIndex`] convenience
+    /// methods — and the same scores any other backend serving this index
+    /// would return.
+    pub fn query_engine(&self) -> QueryEngine<'_, &HpArena> {
+        QueryEngine::from_parts(
+            &self.hp,
+            Cow::Borrowed(&self.config),
+            Cow::Borrowed(&self.d),
+            Cow::Borrowed(&self.reduced),
+            Cow::Borrowed(&self.marks),
+            self.stats,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlingConfig;
+    use sling_graph::generators::{barabasi_albert, two_cliques_bridge};
+    use std::path::PathBuf;
+
+    const C: f64 = 0.6;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sling_store_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("index.slng")
+    }
+
+    fn cfg() -> SlingConfig {
+        SlingConfig::from_epsilon(C, 0.1)
+            .with_seed(13)
+            .with_enhancement(true)
+    }
+
+    #[test]
+    fn arena_and_mmap_stores_agree_entrywise() {
+        let g = barabasi_albert(120, 3, 5).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let path = tmp("entrywise");
+        idx.save(&path).unwrap();
+        let mmap = MmapHpArena::open(&path).unwrap();
+        assert_eq!(HpStore::num_nodes(&idx.hp), mmap.num_nodes);
+        assert_eq!(
+            HpStore::total_entries(&idx.hp),
+            HpStore::total_entries(&mmap)
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for v in g.nodes() {
+            assert_eq!(HpStore::range(&idx.hp, v), HpStore::range(&mmap, v));
+            idx.hp.entries_into(v, &mut a).unwrap();
+            mmap.entries_into(v, &mut b).unwrap();
+            assert_eq!(a, b, "H({v:?}) differs between arena and mmap");
+            for e in &a {
+                assert!(mmap.contains_key(v, e.step, e.node).unwrap());
+            }
+            assert!(!mmap.contains_key(v, u16::MAX, NodeId(0)).unwrap());
+        }
+        for i in 0..HpStore::total_entries(&mmap) {
+            assert_eq!(idx.hp.entry_at(i).unwrap(), mmap.entry_at(i).unwrap());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_open_is_metadata_only() {
+        let g = barabasi_albert(200, 3, 7).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let path = tmp("o1open");
+        let mut bytes = idx.to_bytes();
+        // Corrupt the *entry payload* (last 8 bytes = final HP value) with
+        // a NaN. A full decode rejects this file; a metadata-only open
+        // must accept it — proving open never scans the payload.
+        let len = bytes.len();
+        bytes[len - 8..].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            SlingIndex::from_bytes(&g, &bytes),
+            Err(SlingError::CorruptIndex(_))
+        ));
+        let engine = QueryEngine::open_mmap(&g, &path).unwrap();
+        // And the handle holds O(n) metadata, not the O(n/eps) payload.
+        assert!(engine.resident_bytes() < idx.resident_bytes());
+        assert!(
+            HpStore::resident_bytes(engine.store()) < 256,
+            "mmap store must not materialize entries"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn engine_from_index_matches_index_queries() {
+        let g = two_cliques_bridge(5);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let engine = idx.query_engine();
+        for u in g.nodes() {
+            assert_eq!(
+                engine.single_source(&g, u).unwrap(),
+                idx.single_source(&g, u)
+            );
+            for v in g.nodes() {
+                assert_eq!(
+                    engine.single_pair(&g, u, v).unwrap(),
+                    idx.single_pair(&g, u, v)
+                );
+            }
+        }
+        assert!(engine.single_pair(&g, NodeId(0), NodeId(99)).is_err());
+        assert!(engine.single_source(&g, NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn mmap_engine_matches_in_memory_exactly() {
+        let g = barabasi_albert(150, 2, 3).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let path = tmp("exact");
+        idx.save(&path).unwrap();
+        let engine = QueryEngine::open_mmap(&g, &path).unwrap();
+        for u in [NodeId(0), NodeId(17), NodeId(149)] {
+            assert_eq!(
+                engine.single_source(&g, u).unwrap(),
+                idx.single_source(&g, u)
+            );
+            assert_eq!(engine.top_k(&g, u, 7).unwrap(), idx.top_k_heap(&g, u, 7));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_queries_reject_out_of_range_nodes() {
+        let g = two_cliques_bridge(4);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let engine = idx.query_engine();
+        assert!(matches!(
+            engine.batch_single_pair(&g, &[(NodeId(0), NodeId(9999))], 1),
+            Err(SlingError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            engine.batch_single_source(&g, &[NodeId(1), NodeId(9999)], 2),
+            Err(SlingError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn mmap_rejects_wrong_graph() {
+        let g = two_cliques_bridge(4);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let path = tmp("wronggraph");
+        idx.save(&path).unwrap();
+        let other = two_cliques_bridge(5);
+        assert!(matches!(
+            QueryEngine::open_mmap(&other, &path),
+            Err(SlingError::GraphMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -20,8 +20,10 @@ use std::collections::BinaryHeap;
 
 use sling_graph::{DiGraph, NodeId};
 
-use crate::index::{Buf, SlingIndex};
+use crate::error::SlingError;
+use crate::index::{effective_entries_into, Buf, SlingIndex};
 use crate::single_source::SingleSourceWorkspace;
+use crate::store::{EngineRef, HpStore};
 
 /// A `(score, node)` pair ordered by descending score with ascending
 /// node-id tie-breaking — "greater" means "ranks higher".
@@ -137,82 +139,95 @@ impl SlingIndex {
         slack: f64,
         out: &mut Vec<f64>,
     ) -> f64 {
-        let c = self.config.c;
-        // Largest step we must still process: the smallest ℓ with
-        // c^ℓ/(1-c) ≤ slack can be dropped along with everything deeper.
-        let cutoff: Option<u16> = if slack <= 0.0 {
-            None
+        debug_assert_eq!(graph.num_nodes(), self.num_nodes, "wrong graph for index");
+        single_source_truncated_core(self.engine_ref(), graph, ws, u, slack, out)
+            .expect("in-memory HP store cannot fail")
+    }
+}
+
+/// Early-terminating Algorithm 6 over any storage backend (see
+/// [`SlingIndex::single_source_truncated`]).
+pub(crate) fn single_source_truncated_core<S: HpStore>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    ws: &mut SingleSourceWorkspace,
+    u: NodeId,
+    slack: f64,
+    out: &mut Vec<f64>,
+) -> Result<f64, SlingError> {
+    let c = e.config.c;
+    // Largest step we must still process: the smallest ℓ with
+    // c^ℓ/(1-c) ≤ slack can be dropped along with everything deeper.
+    let cutoff: Option<u16> = if slack <= 0.0 {
+        None
+    } else {
+        // c^ℓ ≤ slack (1-c)  ⇔  ℓ ≥ log(slack (1-c)) / log(c).
+        let bound = (slack * (1.0 - c)).ln() / c.ln();
+        if bound <= 0.0 {
+            Some(0)
         } else {
-            // c^ℓ ≤ slack (1-c)  ⇔  ℓ ≥ log(slack (1-c)) / log(c).
-            let bound = (slack * (1.0 - c)).ln() / c.ln();
-            if bound <= 0.0 {
-                Some(0)
-            } else {
-                Some(bound.ceil() as u16)
+            Some(bound.ceil() as u16)
+        }
+    };
+    single_source_with_cutoff(e, graph, ws, u, cutoff, out)
+}
+
+/// Algorithm 6 restricted to step runs `ℓ < cutoff` (no restriction when
+/// `cutoff` is `None`). Returns the residual bound `c^cutoff / (1-c)`
+/// when truncation happened, else 0.
+fn single_source_with_cutoff<S: HpStore>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    ws: &mut SingleSourceWorkspace,
+    u: NodeId,
+    cutoff: Option<u16>,
+    out: &mut Vec<f64>,
+) -> Result<f64, SlingError> {
+    let n = e.num_nodes();
+    out.clear();
+    out.resize(n, 0.0);
+    ws.ensure(n);
+    let sqrt_c = e.config.sqrt_c();
+    let theta = e.config.theta;
+    let mut truncated = false;
+
+    effective_entries_into(e, graph, u, &mut ws.query, Buf::A)?;
+    let entries = std::mem::take(&mut ws.query.buf_a);
+    let mut lo = 0usize;
+    while lo < entries.len() {
+        let step = entries[lo].step;
+        let mut hi = lo;
+        while hi < entries.len() && entries[hi].step == step {
+            hi += 1;
+        }
+        if let Some(cut) = cutoff {
+            if step >= cut {
+                truncated = true;
+                break;
             }
-        };
-        self.single_source_with_cutoff(graph, ws, u, cutoff, out)
+        }
+        for x in &entries[lo..hi] {
+            let k = x.node.index();
+            ws.seed(k, x.value * e.d[k]);
+        }
+        let threshold = sqrt_c.powi(step as i32) * theta;
+        ws.propagate(graph, sqrt_c, threshold, step);
+        ws.drain_into(out);
+        lo = hi;
     }
+    ws.query.buf_a = entries;
+    ws.reset();
 
-    /// Core of [`single_source_truncated`][Self::single_source_truncated]:
-    /// Algorithm 6 restricted to step runs `ℓ < cutoff` (no restriction
-    /// when `cutoff` is `None`). Returns the residual bound
-    /// `c^cutoff / (1-c)` when truncation happened, else 0.
-    fn single_source_with_cutoff(
-        &self,
-        graph: &DiGraph,
-        ws: &mut SingleSourceWorkspace,
-        u: NodeId,
-        cutoff: Option<u16>,
-        out: &mut Vec<f64>,
-    ) -> f64 {
-        let n = self.num_nodes;
-        debug_assert_eq!(graph.num_nodes(), n, "wrong graph for index");
-        out.clear();
-        out.resize(n, 0.0);
-        ws.ensure(n);
-        let sqrt_c = self.config.sqrt_c();
-        let theta = self.config.theta;
-        let mut truncated = false;
-
-        self.effective_entries(graph, u, &mut ws.query, Buf::A);
-        let entries = std::mem::take(&mut ws.query.buf_a);
-        let mut lo = 0usize;
-        while lo < entries.len() {
-            let step = entries[lo].step;
-            let mut hi = lo;
-            while hi < entries.len() && entries[hi].step == step {
-                hi += 1;
-            }
-            if let Some(cut) = cutoff {
-                if step >= cut {
-                    truncated = true;
-                    break;
-                }
-            }
-            for e in &entries[lo..hi] {
-                let k = e.node.index();
-                ws.seed(k, e.value * self.d[k]);
-            }
-            let threshold = sqrt_c.powi(step as i32) * theta;
-            ws.propagate(graph, sqrt_c, threshold, step);
-            ws.drain_into(out);
-            lo = hi;
-        }
-        ws.query.buf_a = entries;
-        ws.reset();
-
-        for s in out.iter_mut() {
-            *s = s.clamp(0.0, 1.0);
-        }
-        if self.config.exact_diagonal {
-            out[u.index()] = 1.0;
-        }
-        match cutoff {
-            Some(cut) if truncated => self.config.c.powi(cut as i32) / (1.0 - self.config.c),
-            _ => 0.0,
-        }
+    for s in out.iter_mut() {
+        *s = s.clamp(0.0, 1.0);
     }
+    if e.config.exact_diagonal {
+        out[u.index()] = 1.0;
+    }
+    Ok(match cutoff {
+        Some(cut) if truncated => e.config.c.powi(cut as i32) / (1.0 - e.config.c),
+        _ => 0.0,
+    })
 }
 
 #[cfg(test)]
@@ -234,18 +249,17 @@ mod tests {
         // Ties broken by ascending node id.
         assert_eq!(
             top,
-            vec![
-                (NodeId(1), 0.5),
-                (NodeId(3), 0.5),
-                (NodeId(4), 0.3)
-            ]
+            vec![(NodeId(1), 0.5), (NodeId(3), 0.5), (NodeId(4), 0.3)]
         );
     }
 
     #[test]
     fn select_top_k_excludes_and_clips() {
         let scores = vec![0.9, 0.2];
-        assert_eq!(select_top_k(&scores, Some(NodeId(0)), 5), vec![(NodeId(1), 0.2)]);
+        assert_eq!(
+            select_top_k(&scores, Some(NodeId(0)), 5),
+            vec![(NodeId(1), 0.2)]
+        );
         assert!(select_top_k(&scores, None, 0).is_empty());
     }
 

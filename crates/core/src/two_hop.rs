@@ -98,9 +98,7 @@ mod tests {
                 let h = exact[step as usize][v.index()];
                 if h > 1e-15 {
                     assert!(
-                        entries
-                            .iter()
-                            .any(|e| e.step == step && e.node == target),
+                        entries.iter().any(|e| e.step == step && e.node == target),
                         "missing ({step}, {target:?}) with h={h}"
                     );
                 }

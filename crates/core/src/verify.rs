@@ -89,7 +89,11 @@ pub fn audit_exact(index: &SlingIndex, graph: &DiGraph) -> ErrorAudit {
     ErrorAudit {
         epsilon: eps,
         max_error,
-        mean_error: if checked == 0 { 0.0 } else { total / checked as f64 },
+        mean_error: if checked == 0 {
+            0.0
+        } else {
+            total / checked as f64
+        },
         violations,
         pairs_checked: checked,
     }
@@ -134,7 +138,11 @@ pub fn audit_sampled(
     ErrorAudit {
         epsilon: eps,
         max_error,
-        mean_error: if pairs == 0 { 0.0 } else { total / pairs as f64 },
+        mean_error: if pairs == 0 {
+            0.0
+        } else {
+            total / pairs as f64
+        },
         violations,
         pairs_checked: pairs,
     }

@@ -189,8 +189,8 @@ mod tests {
         let n = 5;
         let c: f64 = 0.6;
         let g = complete_graph(n);
-        let closed = c * (n - 2) as f64
-            / ((1.0 - c) * ((n - 1) * (n - 1)) as f64 + c * (n - 2) as f64);
+        let closed =
+            c * (n - 2) as f64 / ((1.0 - c) * ((n - 1) * (n - 1)) as f64 + c * (n - 2) as f64);
         let eng = WalkEngine::new(&g, c);
         let mut r = rng();
         let est = eng.estimate_simrank(&mut r, NodeId(0), NodeId(1), 60_000);

@@ -110,8 +110,7 @@ pub fn strongly_connected_components(g: &DiGraph) -> (Vec<u32>, usize) {
             } else {
                 frames.pop();
                 if let Some(&mut (parent, _)) = frames.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     loop {

@@ -26,7 +26,10 @@ impl Csr {
         let mut targets = Vec::with_capacity(total);
         offsets.push(0);
         for list in lists {
-            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "list must be strictly sorted");
+            debug_assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "list must be strictly sorted"
+            );
             targets.extend_from_slice(list);
             offsets.push(targets.len());
         }

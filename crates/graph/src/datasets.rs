@@ -127,7 +127,10 @@ static SUITE: [DatasetSpec; 10] = [
         tier: Tier::Small,
         paper_n: 7_115,
         paper_m: 103_689,
-        kind: Kind::Rmat { scale: 11, m: 30_000 },
+        kind: Kind::Rmat {
+            scale: 11,
+            m: 30_000,
+        },
     },
     DatasetSpec {
         name: "hepth-sim",

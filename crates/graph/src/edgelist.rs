@@ -22,6 +22,7 @@ pub struct ParseOptions {
     pub keep_self_loops: bool,
 }
 
+#[allow(clippy::derivable_impls)] // explicit defaults document the model choice
 impl Default for ParseOptions {
     fn default() -> Self {
         ParseOptions {
@@ -76,7 +77,12 @@ pub fn load_path(path: impl AsRef<Path>, opts: ParseOptions) -> Result<DiGraph, 
 /// Write a graph as a `# directed edge list` file.
 pub fn write<W: Write>(graph: &DiGraph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# nodes {} edges {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(w, "{u} {v}")?;
     }

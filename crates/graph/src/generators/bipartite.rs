@@ -129,10 +129,7 @@ mod tests {
         }
         // Popularity should be skewed: max right in-degree well above mean.
         let mean = 300.0 / 20.0;
-        let max_in = (100..120u32)
-            .map(|v| g.in_degree(NodeId(v)))
-            .max()
-            .unwrap();
+        let max_in = (100..120u32).map(|v| g.in_degree(NodeId(v))).max().unwrap();
         assert!(max_in as f64 > mean, "max {max_in} <= mean {mean}");
     }
 

@@ -77,10 +77,9 @@ fn sample_edge(scale: u32, cfg: &RmatConfig, rng: &mut SmallRng) -> (u32, u32) {
         u <<= 1;
         v <<= 1;
         // Perturb quadrant probabilities per level, then renormalize.
-        let mut jitter =
-            |p: f64| p * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.random::<f64>());
+        let mut jitter = |p: f64| p * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.random::<f64>());
         let (a, b, c, d) = (jitter(cfg.a), jitter(cfg.b), jitter(cfg.c), jitter(cfg.d));
-        drop(jitter);
+        let _ = &jitter;
         let total = a + b + c + d;
         let r = rng.random::<f64>() * total;
         if r < a {

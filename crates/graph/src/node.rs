@@ -8,7 +8,7 @@ use std::fmt;
 /// `0..n`. Using a `u32` newtype (rather than `usize`) halves the size of
 /// adjacency arrays and hitting-probability entries, which matters because
 /// the SLING index stores `O(n/ε)` of them.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

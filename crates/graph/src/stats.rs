@@ -71,7 +71,11 @@ impl std::fmt::Display for GraphStats {
             self.max_in_degree,
             self.max_out_degree,
             self.dangling_in,
-            if self.symmetric { "undirected" } else { "directed" },
+            if self.symmetric {
+                "undirected"
+            } else {
+                "directed"
+            },
         )
     }
 }

@@ -168,7 +168,9 @@ pub fn peel_dangling_in(g: &DiGraph) -> Relabeled {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::{complete_graph, cycle_graph, path_graph, star_graph, two_cliques_bridge};
+    use crate::generators::{
+        complete_graph, cycle_graph, path_graph, star_graph, two_cliques_bridge,
+    };
 
     #[test]
     fn induced_subgraph_keeps_internal_edges_only() {

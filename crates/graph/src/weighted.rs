@@ -87,8 +87,7 @@ impl WGraphBuilder {
         let mut fwd: Vec<(u32, u32, f64)> =
             self.edges.iter().map(|(&(u, v), &w)| (u, v, w)).collect();
         fwd.sort_unstable_by_key(|&(u, v, _)| (u, v));
-        let mut bwd: Vec<(u32, u32, f64)> =
-            fwd.iter().map(|&(u, v, w)| (v, u, w)).collect();
+        let mut bwd: Vec<(u32, u32, f64)> = fwd.iter().map(|&(u, v, w)| (v, u, w)).collect();
         bwd.sort_unstable_by_key(|&(u, v, _)| (u, v));
         let assemble = |list: &[(u32, u32, f64)]| -> WAdj {
             let mut offsets = Vec::with_capacity(self.n + 1);
@@ -167,10 +166,7 @@ impl WDiGraph {
     /// Weight of edge `u -> v`, or `None` if absent.
     pub fn weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
         let (targets, weights) = self.out.edges_of(u);
-        targets
-            .binary_search(&v)
-            .ok()
-            .map(|pos| weights[pos])
+        targets.binary_search(&v).ok().map(|pos| weights[pos])
     }
 
     /// Total in-weight `Σ_{x ∈ I(v)} w(x, v)`.
@@ -192,7 +188,12 @@ impl WDiGraph {
             && self.inn.csr.validate()
             && self.out.weights.len() == self.out.csr.num_edges()
             && self.inn.weights.len() == self.inn.csr.num_edges()
-            && self.out.weights.iter().chain(&self.inn.weights).all(|w| w.is_finite() && *w > 0.0)
+            && self
+                .out
+                .weights
+                .iter()
+                .chain(&self.inn.weights)
+                .all(|w| w.is_finite() && *w > 0.0)
             && self.out.csr.transpose() == self.inn.csr
     }
 }

@@ -99,7 +99,10 @@ fn main() {
     // "Related papers" for one paper via single-source + top-k.
     let query = NodeId(44); // topic 44 % 4 = 0
     let related = index.top_k(&graph, query, 5);
-    println!("papers most related to paper {query} (topic {}):", query.0 % TOPICS);
+    println!(
+        "papers most related to paper {query} (topic {}):",
+        query.0 % TOPICS
+    );
     let mut same_topic = 0;
     for (v, s) in &related {
         println!("  paper {v:>5} (topic {})  s = {s:.4}", v.0 % TOPICS);

@@ -51,9 +51,7 @@ fn main() {
         } else {
             served_fresh += 1;
         }
-        let _ = index
-            .single_pair(probe.0, probe.1)
-            .expect("nodes in range");
+        let _ = index.single_pair(probe.0, probe.1).expect("nodes in range");
     }
     println!(
         "40 update+query rounds: {served_fresh} answered from the index, \

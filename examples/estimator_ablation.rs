@@ -29,9 +29,7 @@ fn main() {
         let mut results = [0.0f64; 2];
         for (slot, adaptive) in [(0, false), (1, true)] {
             let mut rng = task_rng(42, k.0 as u64);
-            let est = estimate_dk(
-                &graph, &engine, &mut rng, k, c, eps_d, delta_d, adaptive,
-            );
+            let est = estimate_dk(&graph, &engine, &mut rng, k, c, eps_d, delta_d, adaptive);
             totals[slot] += est.samples;
             results[slot] = est.d;
         }
@@ -40,7 +38,10 @@ fn main() {
     let elapsed = start.elapsed();
 
     let n = graph.num_nodes() as u64;
-    println!("correction factors for {} nodes (eps_d = {eps_d}, delta_d = {delta_d})", n);
+    println!(
+        "correction factors for {} nodes (eps_d = {eps_d}, delta_d = {delta_d})",
+        n
+    );
     println!(
         "Algorithm 1 (fixed):    {:>12} walk pairs  ({} per node)",
         totals[0],

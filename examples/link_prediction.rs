@@ -44,8 +44,7 @@ fn main() {
     edges.dedup();
 
     // Hide 10% of the undirected edges (deterministic shuffle).
-    let mut keyed: Vec<(u64, (u32, u32))> =
-        edges.into_iter().map(|e| (rng.random(), e)).collect();
+    let mut keyed: Vec<(u64, (u32, u32))> = edges.into_iter().map(|e| (rng.random(), e)).collect();
     keyed.sort_unstable();
     let hidden_count = keyed.len() / 10;
     let hidden: Vec<(u32, u32)> = keyed[..hidden_count].iter().map(|&(_, e)| e).collect();

@@ -26,8 +26,7 @@ fn main() {
     let serial = SlingIndex::build(&graph, &config).expect("valid");
     let serial_time = start.elapsed();
     let start = std::time::Instant::now();
-    let parallel =
-        SlingIndex::build(&graph, &config.clone().with_threads(4)).expect("valid");
+    let parallel = SlingIndex::build(&graph, &config.clone().with_threads(4)).expect("valid");
     let parallel_time = start.elapsed();
     assert_eq!(serial.correction_factors(), parallel.correction_factors());
     println!(

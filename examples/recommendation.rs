@@ -26,8 +26,7 @@ const CLICKS_PER_USER: usize = 4;
 fn main() {
     // Users 0..USERS, items USERS..USERS+ITEMS; each user clicks four
     // items, popular items attract more clicks (preferential urn).
-    let graph =
-        preferential_bipartite(USERS, ITEMS, CLICKS_PER_USER, 99).expect("valid generator");
+    let graph = preferential_bipartite(USERS, ITEMS, CLICKS_PER_USER, 99).expect("valid generator");
     println!(
         "click graph: {} users x {} items, {} clicks",
         USERS,

@@ -47,9 +47,7 @@ fn main() {
     let alg3 = start.elapsed();
 
     println!("single-source from node {user}: Algorithm 6 {alg6:.2?} vs Algorithm 3xN {alg3:.2?}");
-    println!(
-        "(the paper's Figure 2 shows the same ordering: Algorithm 6 wins in practice)"
-    );
+    println!("(the paper's Figure 2 shows the same ordering: Algorithm 6 wins in practice)");
 
     // The two strategies agree within the scaled truncation slack of
     // Algorithm 6 (Lemma 12).

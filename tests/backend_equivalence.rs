@@ -1,0 +1,248 @@
+//! Cross-backend equivalence: every query API must return identical
+//! scores whether the index is served from memory, from a zero-copy mmap,
+//! or from the buffered disk store — including with §5.2 space reduction
+//! and §5.3 accuracy enhancement enabled. Plus hardening properties for
+//! the mmap path: metadata-only open, and no panic on mutated bytes.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use sling_simrank::core::disk_query::BufferedDiskStore;
+use sling_simrank::core::join::JoinStrategy;
+use sling_simrank::core::out_of_core::DiskHpStore;
+use sling_simrank::core::{QueryEngine, SlingConfig, SlingError, SlingIndex};
+use sling_simrank::graph::generators::{barabasi_albert, erdos_renyi_directed};
+use sling_simrank::graph::{DiGraph, NodeId};
+
+const C: f64 = 0.6;
+
+static FILE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmpfile(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sling_backend_eq_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}_{}.slng",
+        FILE_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Strategy: random graphs from the two generator families the paper's
+/// datasets resemble.
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (0usize..2, 20usize..=60, 2usize..5, 0u64..1000).prop_map(|(kind, n, k, seed)| {
+        if kind == 0 {
+            erdos_renyi_directed(n, n * k, seed).unwrap()
+        } else {
+            barabasi_albert(n, k, seed).unwrap()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// Single-pair, single-source, top-k, join, and batch answers agree
+    /// across mem / mmap / disk / buffered-disk to 1e-12 (in fact: bit
+    /// for bit) on random graphs, across the §5.2/§5.3 feature matrix.
+    #[test]
+    fn all_query_apis_agree_across_backends(
+        g in arb_graph(),
+        seed in 0u64..500,
+        space_reduction in proptest::bool::ANY,
+        enhance in proptest::bool::ANY,
+    ) {
+        let config = SlingConfig::from_epsilon(C, 0.1)
+            .with_seed(seed)
+            .with_space_reduction(space_reduction)
+            .with_enhancement(enhance);
+        let idx = SlingIndex::build(&g, &config).unwrap();
+        let path = tmpfile("eq");
+        idx.save(&path).unwrap();
+
+        let mem = idx.query_engine();
+        let mmap = QueryEngine::open_mmap(&g, &path).unwrap();
+        let disk = DiskHpStore::open(&g, &path).unwrap();
+        let disk_engine = disk.query_engine();
+        // A 64-entry budget forces constant eviction on these graphs.
+        let buffered = BufferedDiskStore::new(&disk, 64);
+        let buffered_engine = buffered.query_engine();
+
+        let n = g.num_nodes() as u32;
+        let pairs: Vec<(NodeId, NodeId)> = (0..24u32)
+            .map(|i| (NodeId((i * 7) % n), NodeId((i * 13 + 1) % n)))
+            .collect();
+
+        for &(u, v) in &pairs {
+            let want = mem.single_pair(&g, u, v).unwrap();
+            for (label, got) in [
+                ("mmap", mmap.single_pair(&g, u, v).unwrap()),
+                ("disk", disk_engine.single_pair(&g, u, v).unwrap()),
+                ("buffered", buffered_engine.single_pair(&g, u, v).unwrap()),
+            ] {
+                prop_assert!(
+                    (want - got).abs() <= 1e-12,
+                    "single_pair({u:?},{v:?}) {label}: {want} vs {got}"
+                );
+                prop_assert_eq!(want, got, "single_pair bit-equality, {}", label);
+            }
+        }
+
+        for u in [NodeId(0), NodeId(n / 2), NodeId(n - 1)] {
+            let want = mem.single_source(&g, u).unwrap();
+            prop_assert_eq!(&want, &mmap.single_source(&g, u).unwrap());
+            prop_assert_eq!(&want, &disk_engine.single_source(&g, u).unwrap());
+            prop_assert_eq!(&want, &buffered_engine.single_source(&g, u).unwrap());
+
+            let want_top = mem.top_k(&g, u, 5).unwrap();
+            prop_assert_eq!(&want_top, &mmap.top_k(&g, u, 5).unwrap());
+            prop_assert_eq!(&want_top, &disk_engine.top_k(&g, u, 5).unwrap());
+            prop_assert_eq!(&want_top, &buffered_engine.top_k(&g, u, 5).unwrap());
+        }
+
+        for strategy in [JoinStrategy::PerSource, JoinStrategy::InvertedLists] {
+            let want = mem.threshold_join(&g, 0.05, strategy).unwrap();
+            let via_mmap = mmap.threshold_join(&g, 0.05, strategy).unwrap();
+            prop_assert_eq!(want.len(), via_mmap.len());
+            for (a, b) in want.iter().zip(&via_mmap) {
+                prop_assert_eq!((a.u, a.v, a.score), (b.u, b.v, b.score));
+            }
+            let via_buffered = buffered_engine.threshold_join(&g, 0.05, strategy).unwrap();
+            prop_assert_eq!(want.len(), via_buffered.len());
+            for (a, b) in want.iter().zip(&via_buffered) {
+                prop_assert_eq!((a.u, a.v, a.score), (b.u, b.v, b.score));
+            }
+        }
+
+        let want = mem.batch_single_pair(&g, &pairs, 3).unwrap();
+        prop_assert_eq!(&want, &mmap.batch_single_pair(&g, &pairs, 3).unwrap());
+        prop_assert_eq!(&want, &buffered_engine.batch_single_pair(&g, &pairs, 3).unwrap());
+
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Shared corpus for the mutation property: one valid persisted index.
+fn mutation_corpus() -> &'static (DiGraph, Vec<u8>) {
+    static CORPUS: OnceLock<(DiGraph, Vec<u8>)> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let g = barabasi_albert(40, 2, 9).unwrap();
+        let config = SlingConfig::from_epsilon(C, 0.1)
+            .with_seed(4)
+            .with_enhancement(true);
+        let idx = SlingIndex::build(&g, &config).unwrap();
+        let bytes = idx.to_bytes();
+        (g, bytes)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Bit-flip any byte of a persisted index: the mmap open either
+    /// surfaces a `SlingError` or yields an engine whose answers are
+    /// still finite probabilities. Nothing panics.
+    #[test]
+    fn mmap_mutation_errors_or_stays_sane(flip in 0usize..1 << 20, bit in 0u8..8) {
+        let (g, bytes) = mutation_corpus();
+        let mut corrupt = bytes.clone();
+        let pos = flip % corrupt.len();
+        corrupt[pos] ^= 1 << bit;
+        let path = tmpfile("mut");
+        std::fs::write(&path, &corrupt).unwrap();
+
+        match QueryEngine::open_mmap(g, &path) {
+            Err(e) => {
+                // Must be a structured error, never a panic; exercise the
+                // Display path too.
+                let _ = e.to_string();
+            }
+            Ok(engine) => {
+                for u in [NodeId(0), NodeId(17), NodeId(39)] {
+                    match engine.single_source(g, u) {
+                        Ok(scores) => {
+                            prop_assert!(
+                                scores.iter().all(|s| s.is_finite() && (0.0..=1.0).contains(s)),
+                                "non-probability score after byte {pos} bit {bit}"
+                            );
+                        }
+                        Err(e) => {
+                            let _ = e.to_string();
+                        }
+                    }
+                    // Ranking paths must not panic on corrupt stores
+                    // either.
+                    let _ = engine.top_k(g, u, 4);
+                    let _ = engine.single_pair(g, u, NodeId(1));
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Any truncation of the file is rejected at open.
+    #[test]
+    fn mmap_truncation_always_rejected(cut_seed in 0usize..1 << 20) {
+        let (g, bytes) = mutation_corpus();
+        let cut = cut_seed % bytes.len(); // strictly shorter than full
+        let path = tmpfile("trunc");
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = QueryEngine::open_mmap(g, &path);
+        prop_assert!(err.is_err(), "cut at {cut} accepted");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The mmap open must be metadata-only: corrupting the entry payload is
+/// invisible to `open` (proving no full-file decode happens) while the
+/// eager decoder rejects the same bytes; and the resident footprint of
+/// the mapped engine stays at the `O(n)` metadata level.
+#[test]
+fn mmap_open_does_not_decode_the_payload() {
+    let g = barabasi_albert(300, 3, 21).unwrap();
+    let config = SlingConfig::from_epsilon(C, 0.05).with_seed(7);
+    let idx = SlingIndex::build(&g, &config).unwrap();
+    let mut bytes = idx.to_bytes();
+    let len = bytes.len();
+    // Poison the last HP value with NaN: eager decode must reject, the
+    // metadata-only mmap open must not notice.
+    bytes[len - 8..].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+    assert!(matches!(
+        SlingIndex::from_bytes(&g, &bytes),
+        Err(SlingError::CorruptIndex(_))
+    ));
+    let path = tmpfile("payload");
+    std::fs::write(&path, &bytes).unwrap();
+    let engine = QueryEngine::open_mmap(&g, &path).unwrap();
+
+    // No HpArena materialization: the engine's heap footprint is the
+    // O(n) metadata, far below the in-memory index which holds the
+    // O(n/eps) entry payload.
+    assert!(
+        engine.resident_bytes() * 2 < idx.resident_bytes(),
+        "mmap engine resident {} vs in-memory {}",
+        engine.resident_bytes(),
+        idx.resident_bytes()
+    );
+
+    // Queries that touch the poisoned entry surface an error rather than
+    // a NaN score or a panic.
+    let mut saw_error = false;
+    for v in g.nodes() {
+        match engine.single_pair(&g, NodeId(0), v) {
+            Ok(s) => assert!(s.is_finite() && (0.0..=1.0).contains(&s)),
+            Err(SlingError::CorruptIndex(_)) => saw_error = true,
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    assert!(saw_error, "the poisoned entry was never read");
+    std::fs::remove_file(&path).ok();
+}

@@ -52,7 +52,9 @@ fn global_topk_join_agrees_with_ground_truth_pairs() {
     let idx = build(&g, 2);
     let truth = power_simrank(&g, C, 60);
     let k = 8;
-    let got = idx.top_k_join(&g, k, 1e-6, JoinStrategy::InvertedLists).unwrap();
+    let got = idx
+        .top_k_join(&g, k, 1e-6, JoinStrategy::InvertedLists)
+        .unwrap();
     let want = top_k_pairs(&truth, k);
     // Compare the rank-r scores within eps (exact pair sets can differ on
     // eps-ties, score sequences cannot drift).
@@ -70,11 +72,17 @@ fn join_strategies_and_topk_consistent_on_random_graph() {
     let g = watts_strogatz(200, 3, 0.2, 5).unwrap();
     let idx = build(&g, 3);
     let tau = 0.08;
-    let a = idx.threshold_join(&g, tau, JoinStrategy::PerSource).unwrap();
-    let b = idx.threshold_join(&g, tau, JoinStrategy::InvertedLists).unwrap();
+    let a = idx
+        .threshold_join(&g, tau, JoinStrategy::PerSource)
+        .unwrap();
+    let b = idx
+        .threshold_join(&g, tau, JoinStrategy::InvertedLists)
+        .unwrap();
     // Counts may differ on the slack band; overlap must dominate.
     let keys = |ps: &[sling_simrank::core::join::JoinPair]| {
-        ps.iter().map(|p| (p.u.0, p.v.0)).collect::<std::collections::BTreeSet<_>>()
+        ps.iter()
+            .map(|p| (p.u.0, p.v.0))
+            .collect::<std::collections::BTreeSet<_>>()
     };
     let (ka, kb) = (keys(&a), keys(&b));
     let shared = ka.intersection(&kb).count();
@@ -144,8 +152,12 @@ fn serialized_index_answers_extension_queries_identically() {
     for u in [NodeId(0), NodeId(33), NodeId(99)] {
         assert_eq!(idx.top_k_heap(&g, u, 10), restored.top_k_heap(&g, u, 10));
     }
-    let a = idx.threshold_join(&g, 0.05, JoinStrategy::InvertedLists).unwrap();
-    let b = restored.threshold_join(&g, 0.05, JoinStrategy::InvertedLists).unwrap();
+    let a = idx
+        .threshold_join(&g, 0.05, JoinStrategy::InvertedLists)
+        .unwrap();
+    let b = restored
+        .threshold_join(&g, 0.05, JoinStrategy::InvertedLists)
+        .unwrap();
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
         assert_eq!((x.u, x.v), (y.u, y.v));

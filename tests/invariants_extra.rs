@@ -14,10 +14,7 @@ fn assert_within_eps(g: &DiGraph, c: f64, config: &SlingConfig) {
         let row = idx.single_source(g, u);
         for v in g.nodes() {
             let err = (row[v.index()] - truth.get(u.index(), v.index())).abs();
-            assert!(
-                err <= config.epsilon,
-                "c={c}: err {err} at ({u:?},{v:?})"
-            );
+            assert!(err <= config.epsilon, "c={c}: err {err} at ({u:?},{v:?})");
         }
     }
 }
@@ -154,7 +151,5 @@ fn star_hub_correction_factor_exact_cases_survive_build() {
     for leaf in 1..9 {
         assert_eq!(idx.correction_factor(NodeId(leaf)), 1.0);
     }
-    assert!(
-        (idx.correction_factor(NodeId(0)) - (1.0 - 0.6 / 8.0)).abs() <= config.eps_d + 1e-9
-    );
+    assert!((idx.correction_factor(NodeId(0)) - (1.0 - 0.6 / 8.0)).abs() <= config.eps_d + 1e-9);
 }

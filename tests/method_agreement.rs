@@ -39,7 +39,10 @@ fn figure5_shape_sling_beats_baselines_on_max_error() {
 
     let s = sling_matrix(&g, eps, 1);
     let sling_err = max_error(&truth, &s);
-    assert!(sling_err <= eps, "SLING must respect its bound: {sling_err}");
+    assert!(
+        sling_err <= eps,
+        "SLING must respect its bound: {sling_err}"
+    );
 
     // MC with a modest walk budget: valid but noisier than SLING.
     let mc = McIndex::build(&g, C, 400, 10, 2);

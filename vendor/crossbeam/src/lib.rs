@@ -1,0 +1,63 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::scope` for structured fork/join
+//! parallelism, which `std::thread::scope` (Rust 1.63+) covers. This shim
+//! keeps crossbeam's call shape — the closure result arrives wrapped in a
+//! `Result`, and spawned closures receive a (here inert) scope handle —
+//! so call sites are unchanged. A panicking worker propagates out of
+//! `scope` itself rather than surfacing as `Err`, which is strictly
+//! stricter than crossbeam and fine for this workspace's `.expect(..)`
+//! call sites.
+
+use std::thread;
+
+/// Handle passed to scoped workers. The workspace's workers ignore it
+/// (`|_| ...`), so it carries no spawning capability of its own.
+#[derive(Clone, Copy, Debug)]
+pub struct ScopeHandle(());
+
+/// A fork/join scope; spawned threads are joined before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker; it receives a [`ScopeHandle`] to match crossbeam's
+    /// closure signature.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(ScopeHandle) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(ScopeHandle(())))
+    }
+}
+
+/// Run `f` with a scope in which borrowing, structured threads can be
+/// spawned; all are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_join_and_observe_environment() {
+        let counter = AtomicUsize::new(0);
+        let data = [1usize, 2, 3, 4];
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

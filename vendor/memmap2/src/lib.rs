@@ -1,0 +1,155 @@
+//! Offline stand-in for the `memmap2` crate (read-only subset).
+//!
+//! [`Mmap::map`] creates a private read-only mapping of a file with the
+//! `mmap(2)` / `munmap(2)` from the C runtime Rust's std already links on
+//! Linux, so no external crate is needed. Only what this workspace uses
+//! is provided: mapping a whole file and dereferencing it as `&[u8]`.
+
+#![cfg(unix)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::os::fd::AsRawFd;
+use std::os::raw::{c_int, c_void};
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        length: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, length: usize) -> c_int;
+}
+
+const PROT_READ: c_int = 1;
+const MAP_PRIVATE: c_int = 2;
+const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+/// A read-only memory mapping of a file, unmapped on drop.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *mut c_void,
+    len: usize,
+}
+
+// The mapping is immutable shared memory of a private, read-only map.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map the entire `file` read-only.
+    ///
+    /// # Safety
+    /// As with upstream memmap2: the caller must ensure the underlying
+    /// file is not truncated or mutated while the map is alive, or reads
+    /// through the returned slice become undefined (`SIGBUS`).
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            // mmap rejects zero-length maps; model an empty file as an
+            // empty (dangling, never-dereferenced) slice.
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            &[]
+        } else {
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mmap;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let path = std::env::temp_dir().join(format!("mmap_stub_{}.bin", std::process::id()));
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(&map[..], &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = std::env::temp_dir().join(format!("mmap_stub_empty_{}.bin", std::process::id()));
+        std::fs::File::create(&path).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], &[] as &[u8]);
+        std::fs::remove_file(&path).ok();
+    }
+}
