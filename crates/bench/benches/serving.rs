@@ -1,0 +1,94 @@
+//! Concurrent serving benchmark: hot-key single-pair throughput of one
+//! shared engine behind the sharded result cache, swept over worker
+//! counts — the cache-and-share regime a SkyServer-style skewed query
+//! stream puts a long-lived server in. The cached groups should scale
+//! with workers (lock-per-shard, hits are a map probe); the uncached
+//! group shows the price of recomputing Algorithm 3 per request. On a
+//! single-core machine the sweep degenerates to flat times — the
+//! per-worker spread only appears with real parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sling_bench::{params_for, sample_pairs, sling_config};
+use sling_core::{QueryWorkspace, ShardedResultCache, SharedEngine, SlingIndex};
+use sling_graph::datasets::{by_name, Tier};
+use sling_graph::NodeId;
+
+/// Requests processed per measured iteration (split across workers).
+const REQUESTS: usize = 4096;
+/// Hot keys dominating the stream (SkyServer-style skew).
+const HOT_KEYS: usize = 64;
+
+fn run_workload(
+    engine: &SharedEngine<sling_core::hp::HpArena>,
+    graph: &sling_graph::DiGraph,
+    hot: &[(NodeId, NodeId)],
+    workers: usize,
+    cache: Option<&ShardedResultCache>,
+) -> f64 {
+    let cursor = AtomicUsize::new(0);
+    let acc: f64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                s.spawn(move || {
+                    let mut ws = QueryWorkspace::new();
+                    let mut local = 0.0f64;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= REQUESTS {
+                            break local;
+                        }
+                        let (u, v) = hot[(i * 7 + i / HOT_KEYS) % hot.len()];
+                        local += match cache {
+                            Some(cache) => engine
+                                .single_pair_cached(graph, &mut ws, cache, u, v)
+                                .unwrap(),
+                            None => engine.single_pair_with(graph, &mut ws, u, v).unwrap(),
+                        };
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    acc
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let spec = by_name("as-sim").unwrap();
+    let graph = spec.build();
+    let params = params_for(Tier::Small, Some(0.1));
+    let index = SlingIndex::build(&graph, &sling_config(&params, 23)).unwrap();
+    let engine = index.into_shared_engine();
+    let hot: Vec<(NodeId, NodeId)> = sample_pairs(graph.num_nodes(), HOT_KEYS, 7);
+
+    let mut group = c.benchmark_group("serving/hot_key_throughput");
+    for workers in [1usize, 2, 4, 8] {
+        // Warm shared cache: steady-state hit-dominated serving.
+        let cache = ShardedResultCache::new(1 << 14, 16);
+        run_workload(&engine, &graph, &hot, 1, Some(&cache)); // warm-up
+        group.bench_with_input(
+            BenchmarkId::new("cached", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    std::hint::black_box(run_workload(&engine, &graph, &hot, workers, Some(&cache)))
+                })
+            },
+        );
+        // No cache: every request recomputes Algorithm 3.
+        group.bench_with_input(
+            BenchmarkId::new("uncached", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| std::hint::black_box(run_workload(&engine, &graph, &hot, workers, None)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -5,15 +5,19 @@
 //! without spawning processes.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use sling_core::disk_query::BufferedDiskStore;
 use sling_core::out_of_core::DiskHpStore;
-use sling_core::{HpStore, QueryEngine, SlingConfig, SlingIndex};
+use sling_core::{
+    HpStore, QueryEngine, QueryWorkspace, ShardedResultCache, SharedEngine, SlingConfig, SlingIndex,
+};
 use sling_graph::traversal::double_sweep_diameter;
 use sling_graph::{
     binfmt, components, datasets, edgelist, generators, DegreeDistribution, DegreeKind, DiGraph,
     GraphStats, NodeId,
 };
+use sling_server::{serve, Client, Listener, ServerConfig, ServerReport};
 
 use crate::args::{Args, Spec};
 
@@ -37,6 +41,21 @@ COMMANDS:
     mmap  zero-copy memory-mapped reads straight from the index file
     disk  positioned reads with an LRU buffer pool (--buffer-entries N)
   All backends return identical scores.
+  batch GRAPH INDEX --random N | --pairs FILE
+        [--threads T] [--cache CAP] [--seed S] [--index-backend B]
+                                          bulk single-pair scoring through the
+                                          shared engine + sharded result cache
+  serve GRAPH INDEX [--listen ADDR] [--unix PATH] [--workers N]
+        [--cache CAP] [--shards S] [--index-backend B]
+                                          long-lived thread-per-core query server
+                                          (wire protocol: see sling-server docs)
+  client MODE [..] --connect HOST:PORT | --unix PATH
+                                          pair U V | source U | topk U K |
+                                          stats | ping | shutdown
+  bench-serve GRAPH INDEX [--threads T] [--requests N] [--hot F]
+        [--hot-keys K] [--workers W] [--cache CAP] [--index-backend B]
+                                          drive an in-process server with
+                                          concurrent skewed client traffic
   transform GRAPH PASS --out FILE [--k K] largest-wcc | transpose | k-core | peel-dangling
   ppr GRAPH SOURCE [--alpha A] [--top K]  personalized PageRank ranking
   audit GRAPH INDEX [--pairs N] [--mc M] [--exact]
@@ -331,6 +350,473 @@ pub fn cmd_join(args: &Args) -> Result<String, String> {
     })
 }
 
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Deterministic random node pair (excluding self-pairs when n > 1).
+fn random_pair(state: &mut u64, n: u32) -> (u32, u32) {
+    let u = (xorshift(state) % n as u64) as u32;
+    let v = (xorshift(state) % n as u64) as u32;
+    if u == v && n > 1 {
+        (u, (v + 1) % n)
+    } else {
+        (u, v)
+    }
+}
+
+fn format_cache_stats(stats: sling_core::CacheStats) -> String {
+    format!(
+        "cache: {} hits, {} misses, {} evictions, hit rate {:.2}%",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.hit_rate() * 100.0
+    )
+}
+
+fn format_server_report(prefix: &str, report: &ServerReport) -> String {
+    let mut out = format!(
+        "{prefix}: served {} queries (per-worker: {})",
+        report.total_served(),
+        report
+            .served_per_worker
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    if let Some(stats) = report.cache {
+        let _ = write!(out, "\n{}", format_cache_stats(stats));
+    }
+    out
+}
+
+/// `sling batch` — bulk single-pair scoring through the owned
+/// [`SharedEngine`] API, memoized in a [`ShardedResultCache`] unless
+/// `--cache 0`.
+pub fn cmd_batch(args: &Args) -> Result<String, String> {
+    let graph_path = args.positional(0, "graph")?;
+    let index_path = args.positional(1, "index")?;
+    let backend = parse_backend(args)?;
+    let threads: usize = args.flag_parse("threads", 4usize)?;
+    let cache_cap: usize = args.flag_parse("cache", 1usize << 16)?;
+    let seed: u64 = args.flag_parse("seed", 1u64)?;
+    let g = load_graph(graph_path)?;
+    let n = g.num_nodes() as u32;
+    if n == 0 {
+        return Err("cannot batch-query an empty graph".to_string());
+    }
+    let pairs: Vec<(NodeId, NodeId)> = if let Some(file) = args.flag("pairs") {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let mut out = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let (u, v) = (it.next(), it.next());
+            let (Some(u), Some(v)) = (u, v) else {
+                return Err(format!("{file}:{}: expected `u v`", lineno + 1));
+            };
+            out.push((parse_node(u, g.num_nodes())?, parse_node(v, g.num_nodes())?));
+        }
+        out
+    } else {
+        let count: usize = args.flag_parse("random", 0usize)?;
+        if count == 0 {
+            return Err("batch needs --random N or --pairs FILE".to_string());
+        }
+        let mut state = seed | 1;
+        (0..count)
+            .map(|_| {
+                let (u, v) = random_pair(&mut state, n);
+                (NodeId(u), NodeId(v))
+            })
+            .collect()
+    };
+    match backend {
+        IndexBackend::Mem => {
+            let index = load_index(&g, index_path)?;
+            run_batch(index.into_shared_engine(), &g, &pairs, threads, cache_cap)
+        }
+        IndexBackend::Mmap => {
+            let engine = SharedEngine::open_mmap(&g, index_path)
+                .map_err(|e| format!("{index_path}: {e}"))?;
+            run_batch(engine, &g, &pairs, threads, cache_cap)
+        }
+        IndexBackend::Disk => {
+            let store =
+                DiskHpStore::open(&g, index_path).map_err(|e| format!("{index_path}: {e}"))?;
+            run_batch(store.into_shared_engine(), &g, &pairs, threads, cache_cap)
+        }
+    }
+}
+
+fn run_batch<S: HpStore + Sync>(
+    engine: SharedEngine<S>,
+    g: &DiGraph,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+    cache_cap: usize,
+) -> Result<String, String> {
+    // Canonicalize up front so the cached and cacheless paths compute
+    // the same (min, max) orientation — SimRank is symmetric, but float
+    // merge order is not, and answers must not depend on --cache.
+    let pairs: Vec<(NodeId, NodeId)> = pairs
+        .iter()
+        .map(|&(u, v)| if u.0 <= v.0 { (u, v) } else { (v, u) })
+        .collect();
+    let pairs = &pairs[..];
+    let start = std::time::Instant::now();
+    let (scores, cache_line) = if cache_cap > 0 {
+        let cache = ShardedResultCache::with_capacity(cache_cap);
+        let scores = engine
+            .batch_single_pair_cached(g, pairs, threads, &cache)
+            .map_err(|e| e.to_string())?;
+        (scores, format_cache_stats(cache.stats()))
+    } else {
+        let scores = engine
+            .batch_single_pair(g, pairs, threads)
+            .map_err(|e| e.to_string())?;
+        (scores, "cache: off".to_string())
+    };
+    let elapsed = start.elapsed();
+    let mean = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+    Ok(format!(
+        "scored {} pairs in {:.2?} on {} threads ({:.0} pairs/s), mean score {:.6}\n{}",
+        scores.len(),
+        elapsed,
+        threads,
+        scores.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        mean,
+        cache_line,
+    ))
+}
+
+fn bind_listener(args: &Args, default_addr: &str) -> Result<Listener, String> {
+    if let Some(path) = args.flag("unix") {
+        Listener::bind_unix(path).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let addr = args.flag("listen").unwrap_or(default_addr);
+        Listener::bind_tcp(addr).map_err(|e| format!("{addr}: {e}"))
+    }
+}
+
+fn server_config(args: &Args) -> Result<ServerConfig, String> {
+    Ok(ServerConfig {
+        workers: args.flag_parse("workers", 0usize)?,
+        cache_capacity: args.flag_parse("cache", 1usize << 18)?,
+        cache_shards: args.flag_parse("shards", 0usize)?,
+    })
+}
+
+/// `sling serve` — the long-lived concurrent query server: one shared
+/// engine, thread-per-core workers, sharded result cache. Blocks until a
+/// client sends `SHUTDOWN`.
+pub fn cmd_serve(args: &Args) -> Result<String, String> {
+    let graph_path = args.positional(0, "graph")?;
+    let index_path = args.positional(1, "index")?;
+    let backend = parse_backend(args)?;
+    let config = server_config(args)?;
+    let g = load_graph(graph_path)?;
+    let listener = bind_listener(args, "127.0.0.1:7462")?;
+    match backend {
+        IndexBackend::Mem => {
+            let index = load_index(&g, index_path)?;
+            serve_and_join(index.into_shared_engine(), g, listener, config)
+        }
+        IndexBackend::Mmap => {
+            let engine = SharedEngine::open_mmap(&g, index_path)
+                .map_err(|e| format!("{index_path}: {e}"))?;
+            serve_and_join(engine, g, listener, config)
+        }
+        IndexBackend::Disk => {
+            let store =
+                DiskHpStore::open(&g, index_path).map_err(|e| format!("{index_path}: {e}"))?;
+            serve_and_join(store.into_shared_engine(), g, listener, config)
+        }
+    }
+}
+
+fn serve_and_join<S: HpStore + Send + Sync + 'static>(
+    engine: SharedEngine<S>,
+    graph: DiGraph,
+    listener: Listener,
+    config: ServerConfig,
+) -> Result<String, String> {
+    let handle = serve(Arc::new(engine), Arc::new(graph), listener, config)
+        .map_err(|e| format!("failed to start server: {e}"))?;
+    match handle.local_addr() {
+        Some(addr) => println!("sling-server listening on {addr} (send SHUTDOWN to stop)"),
+        None => println!("sling-server listening on unix socket (send SHUTDOWN to stop)"),
+    }
+    let report = handle.join();
+    Ok(format_server_report("server shut down", &report))
+}
+
+fn connect_client(args: &Args) -> Result<Client, String> {
+    if let Some(path) = args.flag("unix") {
+        Client::connect_unix(path).map_err(|e| format!("{path}: {e}"))
+    } else if let Some(addr) = args.flag("connect") {
+        Client::connect_tcp(addr).map_err(|e| format!("{addr}: {e}"))
+    } else {
+        Err("client needs --connect HOST:PORT or --unix PATH".to_string())
+    }
+}
+
+/// `sling client` — one-shot protocol client for a running server.
+pub fn cmd_client(args: &Args) -> Result<String, String> {
+    let mode = args.positional(0, "mode")?;
+    let mut client = connect_client(args)?;
+    let err = |e: std::io::Error| e.to_string();
+    match mode {
+        "pair" => {
+            let u: u32 = args
+                .positional(1, "u")?
+                .parse()
+                .map_err(|_| "bad node id".to_string())?;
+            let v: u32 = args
+                .positional(2, "v")?
+                .parse()
+                .map_err(|_| "bad node id".to_string())?;
+            let s = client.pair(u, v).map_err(err)?;
+            Ok(format!("s({u}, {v}) = {s:.6}"))
+        }
+        "source" => {
+            let u: u32 = args
+                .positional(1, "u")?
+                .parse()
+                .map_err(|_| "bad node id".to_string())?;
+            let scores = client.single_source(u).map_err(err)?;
+            let mut ranked: Vec<(usize, f64)> = scores
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(v, s)| v != u as usize && s > 0.0)
+                .collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            ranked.truncate(10);
+            let mut out = format!(
+                "{} scores from node {u}; top {}:\n",
+                scores.len(),
+                ranked.len()
+            );
+            for (v, s) in ranked {
+                writeln!(out, "  {v:>8}  {s:.6}").unwrap();
+            }
+            Ok(out)
+        }
+        "topk" => {
+            let u: u32 = args
+                .positional(1, "u")?
+                .parse()
+                .map_err(|_| "bad node id".to_string())?;
+            let k: usize = args
+                .positional(2, "k")?
+                .parse()
+                .map_err(|_| "bad k".to_string())?;
+            let top = client.top_k(u, k).map_err(err)?;
+            let mut out = format!("top {} similar to node {u} (served)\n", top.len());
+            for (v, s) in top {
+                writeln!(out, "  {v:>8}  {s:.6}").unwrap();
+            }
+            Ok(out)
+        }
+        "stats" => client.stats_line().map_err(err),
+        "ping" => {
+            client.ping().map_err(err)?;
+            Ok("pong".to_string())
+        }
+        "shutdown" => {
+            client.shutdown().map_err(err)?;
+            Ok("server shutting down".to_string())
+        }
+        other => Err(format!(
+            "unknown client mode {other:?} (pair|source|topk|stats|ping|shutdown)"
+        )),
+    }
+}
+
+/// `sling bench-serve` — start an in-process server and drive it with
+/// concurrent, hot-key-skewed client traffic; reports throughput and the
+/// cache hit rate, after spot-checking served scores against the local
+/// engine bit-for-bit.
+pub fn cmd_bench_serve(args: &Args) -> Result<String, String> {
+    let graph_path = args.positional(0, "graph")?;
+    let index_path = args.positional(1, "index")?;
+    let backend = parse_backend(args)?;
+    let threads: usize = args.flag_parse("threads", 8usize)?;
+    let requests: usize = args.flag_parse("requests", 4000usize)?;
+    let hot: f64 = args.flag_parse("hot", 0.9f64)?;
+    let hot_keys: usize = args.flag_parse("hot-keys", 64usize)?;
+    let config = server_config(args)?;
+    if !(0.0..=1.0).contains(&hot) {
+        return Err(format!("--hot must lie in [0,1], got {hot}"));
+    }
+    let g = load_graph(graph_path)?;
+    match backend {
+        IndexBackend::Mem => {
+            let index = load_index(&g, index_path)?;
+            bench_serve_run(
+                Arc::new(index.into_shared_engine()),
+                Arc::new(g),
+                threads,
+                requests,
+                hot,
+                hot_keys,
+                config,
+            )
+        }
+        IndexBackend::Mmap => {
+            let engine = SharedEngine::open_mmap(&g, index_path)
+                .map_err(|e| format!("{index_path}: {e}"))?;
+            bench_serve_run(
+                Arc::new(engine),
+                Arc::new(g),
+                threads,
+                requests,
+                hot,
+                hot_keys,
+                config,
+            )
+        }
+        IndexBackend::Disk => {
+            let store =
+                DiskHpStore::open(&g, index_path).map_err(|e| format!("{index_path}: {e}"))?;
+            bench_serve_run(
+                Arc::new(store.into_shared_engine()),
+                Arc::new(g),
+                threads,
+                requests,
+                hot,
+                hot_keys,
+                config,
+            )
+        }
+    }
+}
+
+fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
+    engine: Arc<SharedEngine<S>>,
+    graph: Arc<DiGraph>,
+    threads: usize,
+    requests: usize,
+    hot: f64,
+    hot_keys: usize,
+    config: ServerConfig,
+) -> Result<String, String> {
+    let n = graph.num_nodes() as u32;
+    if n < 2 {
+        return Err("bench-serve needs a graph with at least 2 nodes".to_string());
+    }
+    let threads = threads.max(1);
+    let handle = serve(
+        Arc::clone(&engine),
+        Arc::clone(&graph),
+        Listener::bind_tcp("127.0.0.1:0").map_err(|e| e.to_string())?,
+        config,
+    )
+    .map_err(|e| format!("failed to start server: {e}"))?;
+    let addr = handle.local_addr().expect("tcp server has an address");
+
+    // Skewed hot key set shared by every client thread.
+    let hot_pairs: Vec<(u32, u32)> = {
+        let mut state = 0x5DEECE66Du64;
+        (0..hot_keys.max(1))
+            .map(|_| random_pair(&mut state, n))
+            .collect()
+    };
+    let per_thread = requests.div_ceil(threads);
+
+    // Everything that can fail runs in this closure so every error path
+    // still tears the in-process server down (threads, acceptor, port)
+    // instead of leaking it into the host process.
+    let bench = || -> Result<(std::time::Duration, String), String> {
+        // Spot-check served scores against the local engine before timing.
+        let mut control = Client::connect_tcp(addr).map_err(|e| e.to_string())?;
+        let mut ws = QueryWorkspace::new();
+        for &(u, v) in hot_pairs.iter().take(5) {
+            let got = control.pair(u, v).map_err(|e| e.to_string())?;
+            let (a, b) = (u.min(v), u.max(v));
+            let want = engine
+                .single_pair_with(&graph, &mut ws, NodeId(a), NodeId(b))
+                .map_err(|e| e.to_string())?;
+            if got.to_bits() != want.to_bits() {
+                return Err(format!(
+                    "served score for ({u},{v}) diverged from the local engine: {got} vs {want}"
+                ));
+            }
+        }
+
+        let start = std::time::Instant::now();
+        let worker_errors: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let hot_pairs = &hot_pairs;
+                    s.spawn(move || -> Result<(), String> {
+                        let mut client = Client::connect_tcp(addr).map_err(|e| e.to_string())?;
+                        let mut state = (t as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407) | 1;
+                        for i in 0..per_thread {
+                            if i % 10 == 9 {
+                                let u = (xorshift(&mut state) % n as u64) as u32;
+                                client.top_k(u, 10).map_err(|e| e.to_string())?;
+                            } else {
+                                let (u, v) =
+                                    if (xorshift(&mut state) as f64 / u64::MAX as f64) < hot {
+                                        hot_pairs[xorshift(&mut state) as usize % hot_pairs.len()]
+                                    } else {
+                                        random_pair(&mut state, n)
+                                    };
+                                client.pair(u, v).map_err(|e| e.to_string())?;
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("bench client panicked").err())
+                .collect()
+        });
+        let elapsed = start.elapsed();
+        if let Some(err) = worker_errors.first() {
+            return Err(format!("bench client failed: {err}"));
+        }
+        let stats_line = control.stats_line().map_err(|e| e.to_string())?;
+        control.shutdown().map_err(|e| e.to_string())?;
+        Ok((elapsed, stats_line))
+    };
+    let (elapsed, stats_line) = match bench() {
+        Ok(result) => result,
+        Err(message) => {
+            handle.shutdown();
+            return Err(message);
+        }
+    };
+    let report = handle.join();
+    let total = (per_thread * threads) as f64;
+    Ok(format!(
+        "{} client threads x {} requests in {:.2?} -> {:.0} req/s \
+         (hot fraction {:.2}, {} hot keys)\n{}\nserver stats: {}",
+        threads,
+        per_thread,
+        elapsed,
+        total / elapsed.as_secs_f64().max(1e-9),
+        hot,
+        hot_pairs.len(),
+        format_server_report("final", &report),
+        stats_line,
+    ))
+}
+
 /// Dispatch a full command line (without the binary name).
 pub fn run(argv: &[String]) -> Result<String, String> {
     let Some((cmd, rest)) = argv.split_first() else {
@@ -376,6 +862,57 @@ pub fn run(argv: &[String]) -> Result<String, String> {
             rest.iter().cloned(),
             Spec {
                 value_flags: &["tau", "limit", "index-backend", "buffer-entries"],
+                switches: &[],
+            },
+        )?),
+        "batch" => cmd_batch(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &[
+                    "random",
+                    "pairs",
+                    "threads",
+                    "cache",
+                    "seed",
+                    "index-backend",
+                ],
+                switches: &[],
+            },
+        )?),
+        "serve" => cmd_serve(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &[
+                    "listen",
+                    "unix",
+                    "workers",
+                    "cache",
+                    "shards",
+                    "index-backend",
+                ],
+                switches: &[],
+            },
+        )?),
+        "client" => cmd_client(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["connect", "unix"],
+                switches: &[],
+            },
+        )?),
+        "bench-serve" => cmd_bench_serve(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &[
+                    "threads",
+                    "requests",
+                    "hot",
+                    "hot-keys",
+                    "workers",
+                    "cache",
+                    "shards",
+                    "index-backend",
+                ],
                 switches: &[],
             },
         )?),
@@ -761,6 +1298,133 @@ mod tests {
         assert!(out.contains("PASS"), "{out}");
         let exact = run_str(&format!("audit {} {} --exact", g.display(), idx.display())).unwrap();
         assert!(exact.contains("PASS"), "{exact}");
+    }
+
+    #[test]
+    fn batch_command_scores_pairs_on_every_backend() {
+        let dir = tmpdir("batch");
+        let g = dir.join("g.bin");
+        let idx = dir.join("idx.slng");
+        run_str(&format!(
+            "generate --ba 120,3 --seed 6 --out {}",
+            g.display()
+        ))
+        .unwrap();
+        run_str(&format!(
+            "build {} --out {} --eps 0.1 --seed 3",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        for backend in ["mem", "mmap", "disk"] {
+            let out = run_str(&format!(
+                "batch {} {} --random 200 --threads 4 --index-backend {backend}",
+                g.display(),
+                idx.display()
+            ))
+            .unwrap();
+            assert!(out.contains("scored 200 pairs"), "{backend}: {out}");
+            assert!(out.contains("hit rate"), "{backend}: {out}");
+        }
+        // Cacheless path and a pairs file.
+        let pairs_file = dir.join("pairs.txt");
+        std::fs::write(&pairs_file, "# comment\n0 1\n5 80\n80 5\n").unwrap();
+        let out = run_str(&format!(
+            "batch {} {} --pairs {} --cache 0",
+            g.display(),
+            idx.display(),
+            pairs_file.display()
+        ))
+        .unwrap();
+        assert!(out.contains("scored 3 pairs"), "{out}");
+        assert!(out.contains("cache: off"), "{out}");
+        assert!(run_str(&format!("batch {} {}", g.display(), idx.display()))
+            .unwrap_err()
+            .contains("--random"));
+    }
+
+    #[test]
+    fn serve_client_roundtrip_over_unix_socket() {
+        let dir = tmpdir("serve");
+        let g = dir.join("g.bin");
+        let idx = dir.join("idx.slng");
+        run_str(&format!(
+            "generate --ba 100,3 --seed 4 --out {}",
+            g.display()
+        ))
+        .unwrap();
+        run_str(&format!(
+            "build {} --out {} --eps 0.1 --seed 2",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        let sock = dir.join("sling.sock");
+        let serve_cmd = format!(
+            "serve {} {} --unix {} --workers 2 --cache 256 --index-backend mmap",
+            g.display(),
+            idx.display(),
+            sock.display()
+        );
+        let server = std::thread::spawn(move || run_str(&serve_cmd));
+        // Wait for the socket to come up.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !sock.exists() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let client = |mode: &str| run_str(&format!("client {mode} --unix {}", sock.display()));
+        assert_eq!(client("ping").unwrap(), "pong");
+        let pair = client("pair 0 1").unwrap();
+        assert!(pair.starts_with("s(0, 1) ="), "{pair}");
+        // Same canonical pair from the other order: identical output.
+        assert_eq!(
+            client("pair 1 0").unwrap().split('=').nth(1),
+            pair.split('=').nth(1)
+        );
+        let topk = client("topk 0 3").unwrap();
+        assert!(topk.contains("top 3 similar to node 0"), "{topk}");
+        let stats = client("stats").unwrap();
+        assert!(stats.contains("cache_hit_rate="), "{stats}");
+        assert_eq!(client("shutdown").unwrap(), "server shutting down");
+        let report = server.join().unwrap().unwrap();
+        assert!(report.contains("server shut down"), "{report}");
+        assert!(report.contains("hit rate"), "{report}");
+        assert!(client("ping").is_err(), "socket should be gone");
+    }
+
+    #[test]
+    fn bench_serve_reports_throughput_and_hit_rate() {
+        let dir = tmpdir("benchserve");
+        let g = dir.join("g.bin");
+        let idx = dir.join("idx.slng");
+        run_str(&format!(
+            "generate --ba 100,3 --seed 5 --out {}",
+            g.display()
+        ))
+        .unwrap();
+        run_str(&format!(
+            "build {} --out {} --eps 0.1 --seed 9",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        let out = run_str(&format!(
+            "bench-serve {} {} --threads 8 --requests 160 --workers 2 \
+             --hot 0.9 --hot-keys 8 --index-backend mmap",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        assert!(out.contains("req/s"), "{out}");
+        assert!(out.contains("cache_hit_rate="), "{out}");
+        assert!(out.contains("per-worker"), "{out}");
+        assert!(run_str(&format!(
+            "bench-serve {} {} --hot 1.5",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap_err()
+        .contains("--hot"),);
     }
 
     #[test]

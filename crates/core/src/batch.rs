@@ -21,11 +21,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use parking_lot::Mutex;
 use sling_graph::{DiGraph, NodeId};
 
+use crate::cache::ShardedResultCache;
 use crate::error::SlingError;
 use crate::index::{QueryWorkspace, SlingIndex};
 use crate::single_pair::single_pair_core;
 use crate::single_source::{single_source_core, SingleSourceWorkspace};
-use crate::store::{EngineRef, HpStore};
+use crate::store::{EngineRef, HpStore, SharedEngine};
 
 /// Pairs/sources claimed per atomic fetch.
 const BLOCK: usize = 32;
@@ -164,6 +165,73 @@ pub(crate) fn batch_single_source_core<S: HpStore + Sync>(
     }
 }
 
+impl<S: HpStore + Sync> SharedEngine<S> {
+    /// Batched Algorithm 3 memoized through a shared
+    /// [`ShardedResultCache`] — the bulk analogue of
+    /// [`SharedEngine::single_pair_cached`], and the path the CLI batch
+    /// and server workloads share. Each pair is canonicalized before
+    /// computing, so results are positionally aligned with `pairs` and
+    /// bit-identical to the serial canonical answers regardless of
+    /// thread count, cache state, or which worker populated an entry.
+    ///
+    /// Node ids are validated per pair inside the query path (no
+    /// duplicate up-front sweep); an out-of-range pair aborts the batch
+    /// with the first error observed, possibly after earlier pairs have
+    /// populated the cache — harmless, since entries are immutable.
+    pub fn batch_single_pair_cached(
+        &self,
+        graph: &DiGraph,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+        cache: &ShardedResultCache,
+    ) -> Result<Vec<f64>, SlingError> {
+        let mut out = vec![0.0; pairs.len()];
+        let threads = threads.max(1).min(pairs.len().max(1));
+        let run_one = |ws: &mut QueryWorkspace, u: NodeId, v: NodeId| {
+            self.single_pair_cached(graph, ws, cache, u, v)
+        };
+        if threads == 1 {
+            let mut ws = QueryWorkspace::new();
+            for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
+                *slot = run_one(&mut ws, u, v)?;
+            }
+            return Ok(out);
+        }
+        let cursor = AtomicUsize::new(0);
+        let first_error: Mutex<Option<SlingError>> = Mutex::new(None);
+        let writer = SlotWriter::new(&mut out);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut ws = QueryWorkspace::new();
+                    'outer: loop {
+                        let lo = cursor.fetch_add(BLOCK, Ordering::Relaxed);
+                        if lo >= pairs.len() {
+                            break;
+                        }
+                        let hi = (lo + BLOCK).min(pairs.len());
+                        for (i, &(u, v)) in pairs[lo..hi].iter().enumerate() {
+                            match run_one(&mut ws, u, v) {
+                                // SAFETY: block [lo, hi) is claimed exactly once.
+                                Ok(s) => unsafe { writer.write(lo + i, s) },
+                                Err(err) => {
+                                    record_error(&first_error, err);
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("batch query worker panicked");
+        match first_error.into_inner() {
+            Some(err) => Err(err),
+            None => Ok(out),
+        }
+    }
+}
+
 impl SlingIndex {
     /// Evaluate a batch of single-pair queries on `threads` workers.
     /// Results are positionally aligned with `pairs` and identical to
@@ -257,6 +325,47 @@ mod tests {
         let idx = build(&g);
         assert!(idx.batch_single_pair(&g, &[], 4).is_empty());
         assert!(idx.batch_single_source(&g, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn cached_batch_matches_canonical_serial_for_any_thread_count() {
+        let g = barabasi_albert(200, 3, 9).unwrap();
+        let idx = build(&g);
+        let pairs: Vec<(NodeId, NodeId)> = (0..300u32)
+            .map(|i| (NodeId(i % 200), NodeId((i * 13 + 5) % 200)))
+            .collect();
+        // Reference: canonical-order serial answers.
+        let want: Vec<f64> = pairs
+            .iter()
+            .map(|&(u, v)| {
+                let (a, b) = (u.0.min(v.0), u.0.max(v.0));
+                idx.single_pair(&g, NodeId(a), NodeId(b))
+            })
+            .collect();
+        let engine: SharedEngine<crate::hp::HpArena> = idx.into();
+        for threads in [1, 4, 8] {
+            let cache = ShardedResultCache::new(128, 8);
+            let got = engine
+                .batch_single_pair_cached(&g, &pairs, threads, &cache)
+                .unwrap();
+            assert_eq!(got, want, "threads = {threads}");
+            // Run the same batch again: now dominated by hits, same bits.
+            let again = engine
+                .batch_single_pair_cached(&g, &pairs, threads, &cache)
+                .unwrap();
+            assert_eq!(again, want, "threads = {threads} (warm)");
+            let s = cache.stats();
+            assert!(s.hits > 0, "threads = {threads}: {s:?}");
+        }
+        assert!(matches!(
+            engine.batch_single_pair_cached(
+                &g,
+                &[(NodeId(0), NodeId(9999))],
+                2,
+                &ShardedResultCache::with_capacity(8)
+            ),
+            Err(SlingError::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]

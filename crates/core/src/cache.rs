@@ -1,25 +1,45 @@
-//! LRU result cache for single-pair queries.
+//! Result caching for single-pair queries: a reusable intrusive-list
+//! LRU, a single-threaded memoizing front-end, and a sharded global
+//! cache for concurrent serving.
 //!
 //! SimRank workloads in the applications the paper motivates (link
 //! prediction, collaborative filtering, "who to follow") exhibit heavy
-//! query-key reuse: hot nodes participate in many pair queries. Since the
-//! index is immutable after construction, caching is trivially coherent.
-//! Keys are canonicalized (`min(u,v), max(u,v)`) because SimRank is
-//! symmetric, doubling the effective hit rate.
+//! query-key reuse: hot nodes participate in many pair queries, and
+//! SkyServer-style production traces are dominated by a small hot key
+//! set. Since the index is immutable after construction, caching is
+//! trivially coherent. Keys are canonicalized (`min(u,v), max(u,v)`)
+//! because SimRank is symmetric, doubling the effective hit rate.
 //!
-//! The cache is an open-hash map over an intrusive doubly-linked LRU
-//! list, built on the workspace's [`FxHashMap`] — no external LRU crate.
-//! All operations are `O(1)` expected.
+//! Three layers live here:
+//!
+//! * [`LruList`] *(crate-internal)* — an open-hash map over an intrusive
+//!   doubly-linked LRU list, built on the workspace's [`FxHashMap`]; all
+//!   operations `O(1)` expected, no external LRU crate. It backs every
+//!   LRU in the crate: both cache types below and the
+//!   [`crate::disk_query::BufferedDiskStore`] buffer pool.
+//! * [`CachedQueries`] — the single-threaded memoizing query front-end
+//!   (one owner, `&mut self`), generic over the storage backend.
+//! * [`ShardedResultCache`] — a `Sync` global result cache: N
+//!   power-of-two shards, each an independently locked [`LruList`], with
+//!   [`AtomicCacheStats`] counters that stay exact under concurrency.
+//!   This is what a long-lived server shares across its worker threads
+//!   (see `sling-server`), and what the cached batch path
+//!   ([`crate::store::SharedEngine::batch_single_pair_cached`]) uses.
 
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 use sling_graph::{DiGraph, FxHashMap, NodeId};
 
 use crate::error::SlingError;
 use crate::hp::HpArena;
 use crate::index::{QueryWorkspace, SlingIndex};
 use crate::single_pair::single_pair_core;
-use crate::store::{EngineRef, HpStore, QueryEngine};
+use crate::store::{EngineRef, HpStore, QueryEngine, SharedEngine};
 
-/// Running hit/miss counters.
+/// Running hit/miss counters (a point-in-time snapshot; see
+/// [`AtomicCacheStats`] for the concurrent accumulator).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from the cache.
@@ -42,93 +62,109 @@ impl CacheStats {
     }
 }
 
+/// Hit/miss/eviction counters that stay exact under concurrent access.
+///
+/// Plain `u64` counters torn across threads silently undercount; every
+/// concurrent cache in this crate records through relaxed atomics instead
+/// (ordering between counters is irrelevant — only totals are reported)
+/// and hands out [`CacheStats`] snapshots.
+#[derive(Debug, Default)]
+pub struct AtomicCacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one cache hit.
+    #[inline]
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one cache miss.
+    #[inline]
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` evictions.
+    #[inline]
+    pub fn record_evictions(&self, n: u64) {
+        if n > 0 {
+            self.evictions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time snapshot of the counters.
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
 const NIL: u32 = u32::MAX;
 
-struct Slot {
-    key: (u32, u32),
-    value: f64,
+struct Slot<K, V> {
+    key: K,
+    value: V,
     prev: u32,
     next: u32,
 }
 
-/// A single-pair query front-end that memoizes results in an LRU cache.
+/// Open-hash map over an intrusive doubly-linked LRU list.
 ///
-/// Generic over the storage backend: wrap an in-memory index with
-/// [`CachedQueries::new`], or any [`QueryEngine`] (mmap, buffered disk)
-/// with [`CachedQueries::for_engine`] — result caching is most valuable
-/// exactly when a miss costs disk IO.
-///
-/// ```
-/// use sling_core::cache::CachedQueries;
-/// use sling_core::{SlingConfig, SlingIndex};
-/// use sling_graph::generators::two_cliques_bridge;
-///
-/// let g = two_cliques_bridge(4);
-/// let index = SlingIndex::build(&g, &SlingConfig::from_epsilon(0.6, 0.1)).unwrap();
-/// let mut cache = CachedQueries::new(&index, 1024);
-/// let first = cache.single_pair(&g, 0u32.into(), 1u32.into());
-/// let again = cache.single_pair(&g, 1u32.into(), 0u32.into()); // symmetric hit
-/// assert_eq!(first, again);
-/// assert_eq!(cache.stats().hits, 1);
-/// ```
-pub struct CachedQueries<'i, S: HpStore = HpArena> {
-    engine: EngineRef<'i, S>,
-    capacity: usize,
-    map: FxHashMap<(u32, u32), u32>,
-    slots: Vec<Slot>,
+/// The one LRU implementation in the crate: [`CachedQueries`] and each
+/// [`ShardedResultCache`] shard key it by canonical pair, the
+/// [`crate::disk_query::BufferedDiskStore`] buffer pool keys it by node.
+/// Slots are recycled through a free list, links are `u32` indices into
+/// one slab — no per-entry allocation, `O(1)` expected `get` / `insert` /
+/// `pop_lru`.
+pub(crate) struct LruList<K, V> {
+    map: FxHashMap<K, u32>,
+    slots: Vec<Slot<K, V>>,
     head: u32,
     tail: u32,
     free: Vec<u32>,
-    ws: QueryWorkspace,
-    stats: CacheStats,
 }
 
-impl<'i> CachedQueries<'i, HpArena> {
-    /// Cache holding up to `capacity` pair results (capacity ≥ 1) over
-    /// the in-memory index.
-    pub fn new(index: &'i SlingIndex, capacity: usize) -> Self {
-        Self::with_engine_ref(index.engine_ref(), capacity)
-    }
-}
-
-impl<'i, S: HpStore> CachedQueries<'i, S> {
-    /// Cache over any query engine (mmap, disk, buffered).
-    pub fn for_engine<'e>(engine: &'i QueryEngine<'e, S>, capacity: usize) -> Self {
-        Self::with_engine_ref(engine.engine_ref(), capacity)
-    }
-
-    fn with_engine_ref(engine: EngineRef<'i, S>, capacity: usize) -> Self {
-        let capacity = capacity.max(1);
-        CachedQueries {
-            engine,
-            capacity,
+impl<K, V> Default for LruList<K, V> {
+    fn default() -> Self {
+        LruList {
             map: FxHashMap::default(),
-            slots: Vec::with_capacity(capacity.min(4096)),
+            slots: Vec::new(),
             head: NIL,
             tail: NIL,
             free: Vec::new(),
-            ws: QueryWorkspace::new(),
-            stats: CacheStats::default(),
         }
     }
+}
 
-    /// Counter snapshot.
-    pub fn stats(&self) -> CacheStats {
-        self.stats
+impl<K: Copy + Eq + Hash, V: Default> LruList<K, V> {
+    pub(crate) fn new() -> Self {
+        Self::default()
     }
 
     /// Entries currently resident.
-    pub fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.map.len()
     }
 
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
+    /// Whether the list holds no entries.
+    pub(crate) fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
 
-    /// Drop all cached entries (counters are kept).
-    pub fn clear(&mut self) {
+    /// Drop all entries (slab capacity is kept).
+    pub(crate) fn clear(&mut self) {
         self.map.clear();
         self.slots.clear();
         self.free.clear();
@@ -165,6 +201,132 @@ impl<'i, S: HpStore> CachedQueries<'i, S> {
         }
     }
 
+    /// Value of `key`, promoted to most-recently-used.
+    pub(crate) fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.detach(idx);
+        self.push_front(idx);
+        Some(&self.slots[idx as usize].value)
+    }
+
+    /// Insert a key **not currently present** as most-recently-used,
+    /// reusing a freed slot when one exists.
+    pub(crate) fn insert(&mut self, key: K, value: V) {
+        debug_assert!(!self.map.contains_key(&key), "LruList::insert on live key");
+        let idx = if let Some(reuse) = self.free.pop() {
+            let s = &mut self.slots[reuse as usize];
+            s.key = key;
+            s.value = value;
+            reuse
+        } else {
+            self.slots.push(Slot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.slots.len() - 1) as u32
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+    }
+
+    /// Evict and return the least-recently-used entry.
+    pub(crate) fn pop_lru(&mut self) -> Option<(K, V)> {
+        let victim = self.tail;
+        if victim == NIL {
+            return None;
+        }
+        self.detach(victim);
+        let slot = &mut self.slots[victim as usize];
+        let key = slot.key;
+        let value = std::mem::take(&mut slot.value);
+        self.map.remove(&key);
+        self.free.push(victim);
+        Some((key, value))
+    }
+}
+
+/// Canonical symmetric pair key: SimRank is symmetric, so `{u, v}` and
+/// `{v, u}` share one cache entry.
+#[inline]
+fn pair_key(u: NodeId, v: NodeId) -> (u32, u32) {
+    (u.0.min(v.0), u.0.max(v.0))
+}
+
+/// A single-pair query front-end that memoizes results in an LRU cache.
+///
+/// Single-owner (`&mut self`); for a cache shared across threads use
+/// [`ShardedResultCache`]. Generic over the storage backend: wrap an
+/// in-memory index with [`CachedQueries::new`], or any [`QueryEngine`]
+/// (mmap, buffered disk) with [`CachedQueries::for_engine`] — result
+/// caching is most valuable exactly when a miss costs disk IO.
+///
+/// ```
+/// use sling_core::cache::CachedQueries;
+/// use sling_core::{SlingConfig, SlingIndex};
+/// use sling_graph::generators::two_cliques_bridge;
+///
+/// let g = two_cliques_bridge(4);
+/// let index = SlingIndex::build(&g, &SlingConfig::from_epsilon(0.6, 0.1)).unwrap();
+/// let mut cache = CachedQueries::new(&index, 1024);
+/// let first = cache.single_pair(&g, 0u32.into(), 1u32.into());
+/// let again = cache.single_pair(&g, 1u32.into(), 0u32.into()); // symmetric hit
+/// assert_eq!(first, again);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+pub struct CachedQueries<'i, S: HpStore = HpArena> {
+    engine: EngineRef<'i, S>,
+    capacity: usize,
+    lru: LruList<(u32, u32), f64>,
+    ws: QueryWorkspace,
+    stats: CacheStats,
+}
+
+impl<'i> CachedQueries<'i, HpArena> {
+    /// Cache holding up to `capacity` pair results (capacity ≥ 1) over
+    /// the in-memory index.
+    pub fn new(index: &'i SlingIndex, capacity: usize) -> Self {
+        Self::with_engine_ref(index.engine_ref(), capacity)
+    }
+}
+
+impl<'i, S: HpStore> CachedQueries<'i, S> {
+    /// Cache over any query engine (mmap, disk, buffered).
+    pub fn for_engine<'e>(engine: &'i QueryEngine<'e, S>, capacity: usize) -> Self {
+        Self::with_engine_ref(engine.engine_ref(), capacity)
+    }
+
+    fn with_engine_ref(engine: EngineRef<'i, S>, capacity: usize) -> Self {
+        CachedQueries {
+            engine,
+            capacity: capacity.max(1),
+            lru: LruList::new(),
+            ws: QueryWorkspace::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Drop all cached entries (counters are kept).
+    pub fn clear(&mut self) {
+        self.lru.clear();
+    }
+
     /// Cached single-pair query. Self-pairs are answered without caching.
     ///
     /// # Panics
@@ -186,41 +348,166 @@ impl<'i, S: HpStore> CachedQueries<'i, S> {
         if u == v {
             return single_pair_core(self.engine, graph, &mut self.ws, u, v);
         }
-        let key = (u.0.min(v.0), u.0.max(v.0));
-        if let Some(&idx) = self.map.get(&key) {
+        let key = pair_key(u, v);
+        if let Some(&value) = self.lru.get(&key) {
             self.stats.hits += 1;
-            self.detach(idx);
-            self.push_front(idx);
-            return Ok(self.slots[idx as usize].value);
+            return Ok(value);
         }
         self.stats.misses += 1;
         let value = single_pair_core(self.engine, graph, &mut self.ws, u, v)?;
-        // Insert, evicting the LRU tail at capacity.
-        let idx = if self.map.len() >= self.capacity {
-            let victim = self.tail;
-            debug_assert_ne!(victim, NIL);
-            self.detach(victim);
-            let old_key = self.slots[victim as usize].key;
-            self.map.remove(&old_key);
+        if self.lru.len() >= self.capacity {
+            self.lru.pop_lru();
             self.stats.evictions += 1;
-            self.slots[victim as usize].key = key;
-            self.slots[victim as usize].value = value;
-            victim
-        } else if let Some(reuse) = self.free.pop() {
-            self.slots[reuse as usize].key = key;
-            self.slots[reuse as usize].value = value;
-            reuse
-        } else {
-            self.slots.push(Slot {
-                key,
-                value,
-                prev: NIL,
-                next: NIL,
-            });
-            (self.slots.len() - 1) as u32
-        };
-        self.push_front(idx);
-        self.map.insert(key, idx);
+        }
+        self.lru.insert(key, value);
+        Ok(value)
+    }
+}
+
+/// Sharded global LRU result cache for concurrent serving.
+///
+/// The single-threaded [`CachedQueries`] front-end cannot back a server:
+/// every worker would serialize on one lock and one workspace. This cache
+/// is pure shared state — `get`/`insert` take `&self` — split into a
+/// power-of-two number of shards, each an independently locked
+/// [`LruList`], so concurrent queries for different keys proceed in
+/// parallel and hot-key traffic contends only on its own shard. Counters
+/// are [`AtomicCacheStats`], exact under concurrency.
+///
+/// The cache stores canonical symmetric pairs and is backend-agnostic:
+/// any number of threads querying one [`SharedEngine`] (in-memory, mmap,
+/// disk) can share it — see [`SharedEngine::single_pair_cached`] and the
+/// cached batch path. Since the index is immutable, a racing insert of
+/// the same key writes the same bits; the first insert wins and later
+/// ones are dropped.
+pub struct ShardedResultCache {
+    shards: Box<[Mutex<LruList<(u32, u32), f64>>]>,
+    shard_capacity: usize,
+    stats: AtomicCacheStats,
+}
+
+impl ShardedResultCache {
+    /// Default shard count: enough to keep 8–16 workers off each other's
+    /// locks without fragmenting small capacities.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Cache holding up to `capacity` pair results across `shards` locks
+    /// (rounded up to a power of two; each shard gets an equal slice,
+    /// at least one entry).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, 1 << 16).next_power_of_two();
+        let shard_capacity = capacity.div_ceil(shards).max(1);
+        ShardedResultCache {
+            shards: (0..shards).map(|_| Mutex::new(LruList::new())).collect(),
+            shard_capacity,
+            stats: AtomicCacheStats::new(),
+        }
+    }
+
+    /// Cache over [`ShardedResultCache::DEFAULT_SHARDS`] shards.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::new(capacity, Self::DEFAULT_SHARDS)
+    }
+
+    /// Number of shards (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    #[inline]
+    fn shard_index(&self, key: (u32, u32)) -> usize {
+        // Fibonacci hashing on the packed pair; take high bits (the low
+        // bits of a product depend only on the low bits of the inputs).
+        let packed = ((key.0 as u64) << 32) | key.1 as u64;
+        let h = packed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) & (self.shards.len() - 1)
+    }
+
+    /// Cached score of the (canonicalized) pair, recording a hit or miss.
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let key = pair_key(u, v);
+        let hit = self.shards[self.shard_index(key)].lock().get(&key).copied();
+        match hit {
+            Some(_) => self.stats.record_hit(),
+            None => self.stats.record_miss(),
+        }
+        hit
+    }
+
+    /// Insert a computed score, evicting the shard's LRU entry at
+    /// capacity. A key another thread already inserted is left untouched
+    /// (deterministic queries make the values identical).
+    pub fn insert(&self, u: NodeId, v: NodeId, value: f64) {
+        let key = pair_key(u, v);
+        let mut shard = self.shards[self.shard_index(key)].lock();
+        if shard.get(&key).is_some() {
+            return;
+        }
+        if shard.len() >= self.shard_capacity {
+            shard.pop_lru();
+            self.stats.record_evictions(1);
+        }
+        shard.insert(key, value);
+    }
+
+    /// Counter snapshot (exact even while other threads query).
+    pub fn stats(&self) -> CacheStats {
+        self.stats.snapshot()
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Drop all cached entries (counters are kept).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().clear();
+        }
+    }
+}
+
+impl<S: HpStore> SharedEngine<S> {
+    /// Single-pair query memoized through a shared [`ShardedResultCache`].
+    ///
+    /// The pair is canonicalized to `(min, max)` **before computing**, so
+    /// the score is bit-identical regardless of argument order, cache
+    /// state, or which thread populated the entry — the property the
+    /// multi-threaded equivalence tests pin down. Self-pairs bypass the
+    /// cache (they are `O(1)` under `exact_diagonal` and uncacheable by
+    /// symmetry anyway).
+    pub fn single_pair_cached(
+        &self,
+        graph: &DiGraph,
+        ws: &mut QueryWorkspace,
+        cache: &ShardedResultCache,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<f64, SlingError> {
+        if u == v {
+            return self.single_pair_with(graph, ws, u, v);
+        }
+        let (a, b) = if u.0 <= v.0 { (u, v) } else { (v, u) };
+        if let Some(hit) = cache.get(a, b) {
+            return Ok(hit);
+        }
+        // Prefetch only on the miss path: a hit never touches the store,
+        // so advising it would be pure syscall overhead on the hot path.
+        self.store().prefetch(a);
+        self.store().prefetch(b);
+        let value = self.single_pair_with(graph, ws, a, b)?;
+        cache.insert(a, b, value);
         Ok(value)
     }
 }
@@ -330,5 +617,156 @@ mod tests {
         };
         assert_eq!(stats.hit_rate(), 0.75);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn lru_list_core_operations() {
+        let mut lru: LruList<u32, u64> = LruList::new();
+        assert!(lru.is_empty());
+        assert_eq!(lru.pop_lru(), None);
+        for k in 0..4u32 {
+            lru.insert(k, u64::from(k) * 10);
+        }
+        assert_eq!(lru.len(), 4);
+        // Touch 0: it becomes MRU, so LRU order is now 1, 2, 3, 0.
+        assert_eq!(lru.get(&0), Some(&0));
+        assert_eq!(lru.pop_lru(), Some((1, 10)));
+        assert_eq!(lru.pop_lru(), Some((2, 20)));
+        // Freed slots are recycled.
+        lru.insert(9, 90);
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.pop_lru(), Some((3, 30)));
+        assert_eq!(lru.pop_lru(), Some((0, 0)));
+        assert_eq!(lru.pop_lru(), Some((9, 90)));
+        assert_eq!(lru.pop_lru(), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn atomic_stats_are_exact_under_contention() {
+        let stats = AtomicCacheStats::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        stats.record_hit();
+                    }
+                    for _ in 0..500 {
+                        stats.record_miss();
+                    }
+                    stats.record_evictions(3);
+                });
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.hits, 8000);
+        assert_eq!(snap.misses, 4000);
+        assert_eq!(snap.evictions, 24);
+    }
+
+    #[test]
+    fn sharded_cache_basic_hit_miss_evict() {
+        let cache = ShardedResultCache::new(8, 4);
+        assert_eq!(cache.num_shards(), 4);
+        assert_eq!(cache.capacity(), 8);
+        assert_eq!(cache.get(NodeId(1), NodeId(2)), None);
+        cache.insert(NodeId(2), NodeId(1), 0.25); // canonicalized
+        assert_eq!(cache.get(NodeId(1), NodeId(2)), Some(0.25));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // Double insert of a live key is a no-op.
+        cache.insert(NodeId(1), NodeId(2), 0.99);
+        assert_eq!(cache.get(NodeId(1), NodeId(2)), Some(0.25));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(NodeId(1), NodeId(2)), None);
+    }
+
+    #[test]
+    fn sharded_cache_evicts_per_shard() {
+        // 1 shard of capacity 2 makes eviction deterministic.
+        let cache = ShardedResultCache::new(2, 1);
+        cache.insert(NodeId(0), NodeId(1), 0.1);
+        cache.insert(NodeId(0), NodeId(2), 0.2);
+        assert!(cache.get(NodeId(0), NodeId(1)).is_some()); // {0,1} -> MRU
+        cache.insert(NodeId(0), NodeId(3), 0.3); // evicts {0,2}
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(NodeId(0), NodeId(2)).is_none());
+        assert!(cache.get(NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cache = ShardedResultCache::new(100, 5);
+        assert_eq!(cache.num_shards(), 8);
+        let one = ShardedResultCache::new(10, 0);
+        assert_eq!(one.num_shards(), 1);
+    }
+
+    #[test]
+    fn engine_cached_single_pair_is_order_independent_and_exact() {
+        let (g, idx) = setup();
+        let reference = idx.clone();
+        let engine: SharedEngine<HpArena> = idx.into();
+        let cache = ShardedResultCache::with_capacity(64);
+        let mut ws = QueryWorkspace::new();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let got = engine
+                    .single_pair_cached(&g, &mut ws, &cache, u, v)
+                    .unwrap();
+                // Canonical order makes both query orders bit-identical.
+                let (a, b) = (u.0.min(v.0), u.0.max(v.0));
+                let want = reference.single_pair(&g, NodeId(a), NodeId(b));
+                assert_eq!(got, want, "({u:?},{v:?})");
+            }
+        }
+        let s = cache.stats();
+        assert!(s.hits > 0 && s.misses > 0);
+    }
+
+    #[test]
+    fn sharded_cache_concurrent_hammer_is_consistent() {
+        let (g, idx) = setup();
+        let serial: Vec<((u32, u32), f64)> = {
+            let mut out = Vec::new();
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    if u.0 < v.0 {
+                        out.push(((u.0, v.0), idx.single_pair(&g, u, v)));
+                    }
+                }
+            }
+            out
+        };
+        let engine: SharedEngine<HpArena> = idx.into();
+        let cache = ShardedResultCache::new(32, 4);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let (engine, cache, g, serial) = (&engine, &cache, &g, &serial);
+                s.spawn(move || {
+                    let mut ws = QueryWorkspace::new();
+                    for round in 0..4 {
+                        for (i, &((a, b), want)) in serial.iter().enumerate() {
+                            if (i + t + round) % 3 == 0 {
+                                continue; // vary the interleaving per thread
+                            }
+                            // Alternate argument order across threads.
+                            let (u, v) = if t % 2 == 0 { (a, b) } else { (b, a) };
+                            let got = engine
+                                .single_pair_cached(g, &mut ws, cache, NodeId(u), NodeId(v))
+                                .unwrap();
+                            assert_eq!(got, want, "pair ({a},{b}) diverged on thread {t}");
+                        }
+                    }
+                });
+            }
+        });
+        // 45 canonical pairs, 15 of which each (thread, round) skips:
+        // 8 threads x 4 rounds x 30 queries, every one counted exactly once.
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8 * 4 * 30);
+        assert!(s.hits > 0);
     }
 }

@@ -18,8 +18,9 @@
 //! [`crate::single_source`] / [`crate::single_pair`].)
 
 use parking_lot::Mutex;
-use sling_graph::{DiGraph, FxHashMap, NodeId};
+use sling_graph::{DiGraph, NodeId};
 
+use crate::cache::LruList;
 use crate::error::SlingError;
 use crate::hp::HpEntry;
 use crate::out_of_core::DiskHpStore;
@@ -62,14 +63,12 @@ pub struct BufferStats {
 
 /// Mutable buffer state, behind a mutex so the store can be shared by
 /// the generic (`&self`) query core and across batch-query threads.
+/// Admission, touch, and eviction all go through the intrusive-list
+/// [`LruList`] shared with the result caches — `O(1)` per operation, so
+/// the bookkeeping under the lock stays cheap at any buffer size.
 struct BufferState {
     cached_entries: usize,
-    lists: FxHashMap<u32, Vec<HpEntry>>,
-    /// LRU order, most-recent last. `O(n)` worst-case maintenance is fine
-    /// because the list length is bounded by the node count with small
-    /// constants; a production system at larger scale would reuse the
-    /// intrusive list of [`crate::cache`].
-    order: Vec<u32>,
+    lists: LruList<u32, Vec<HpEntry>>,
     stats: BufferStats,
 }
 
@@ -95,8 +94,7 @@ impl<'s> BufferedDiskStore<'s> {
             budget_entries: budget_entries.max(1),
             state: Mutex::new(BufferState {
                 cached_entries: 0,
-                lists: FxHashMap::default(),
-                order: Vec::new(),
+                lists: LruList::new(),
                 stats: BufferStats::default(),
             }),
         }
@@ -137,31 +135,31 @@ impl<'s> BufferedDiskStore<'s> {
                 out.clear();
                 out.extend_from_slice(list);
                 state.stats.hits += 1;
-                if let Some(pos) = state.order.iter().position(|&x| x == v.0) {
-                    state.order.remove(pos);
-                }
-                state.order.push(v.0);
                 return Ok(());
             }
             state.stats.misses += 1;
         }
         self.store.read_entries(v, out)?;
+        // Clone for admission *before* taking the lock: the allocation +
+        // memcpy of a hub-sized list must not serialize other workers
+        // that only need the O(1) bookkeeping.
+        let list = out.clone();
         let mut state = self.state.lock();
-        if state.lists.contains_key(&v.0) {
-            // A racing worker admitted it while we read; keep theirs.
+        if state.lists.get(&v.0).is_some() {
+            // A racing worker admitted it while we read; keep theirs
+            // (`out` already holds our identical copy).
             return Ok(());
         }
         // Evict least-recently-used lists until the new one fits.
-        while state.cached_entries + out.len() > self.budget_entries && !state.order.is_empty() {
-            let victim = state.order.remove(0);
-            if let Some(old) = state.lists.remove(&victim) {
-                state.cached_entries -= old.len();
-                state.stats.evictions += 1;
-            }
+        while state.cached_entries + out.len() > self.budget_entries {
+            let Some((_, old)) = state.lists.pop_lru() else {
+                break;
+            };
+            state.cached_entries -= old.len();
+            state.stats.evictions += 1;
         }
-        state.cached_entries += out.len();
-        state.lists.insert(v.0, out.clone());
-        state.order.push(v.0);
+        state.cached_entries += list.len();
+        state.lists.insert(v.0, list);
         Ok(())
     }
 

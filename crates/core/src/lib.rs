@@ -60,7 +60,7 @@
 //! * embarrassingly parallel construction (§5.4, [`parallel`]) and
 //!   out-of-core construction with bounded memory (§5.4, [`out_of_core`]).
 //!
-//! ## Architecture: the storage-backend layer
+//! ## Architecture: storage backends, engines, and serving
 //!
 //! The crate is layered like a small DBMS. At the bottom sits the
 //! [`store::HpStore`] trait — the read interface to the packed per-node
@@ -77,14 +77,36 @@
 //! over `S: HpStore` — the §5.2/§5.3 effective-entry materialization
 //! ([`index`]), Algorithm 3 ([`single_pair`]), Algorithm 6
 //! ([`single_source`]), top-k ([`topk`]), joins ([`join`]), parallel
-//! batches ([`batch`]), and the LRU result cache ([`cache`]). The
-//! [`store::QueryEngine`] front-end bundles a backend with the
-//! query-side metadata (correction factors, reduction bitmap, marks) and
-//! exposes the whole surface; [`SlingIndex`]'s convenience methods are
-//! thin wrappers over the same generic core. This is what backs §5.4's
-//! claim that SLING answers queries "even when its index structure does
-//! not fit in the main memory": pick the backend at open time, keep the
-//! algorithms.
+//! batches ([`batch`]), and result caching ([`cache`]). The trait also
+//! carries an advisory [`store::HpStore::prefetch`] hook: the mmap
+//! backend `madvise(WILLNEED)`s a query's entry byte ranges so cold
+//! out-of-core queries fault their pages in one batch.
+//!
+//! Two front-ends sit on top of a backend:
+//!
+//! * [`store::QueryEngine`] — the borrowed, lifetime-bound *view*,
+//!   bundling the store with the query-side metadata (correction
+//!   factors, reduction bitmap, marks). [`SlingIndex`]'s convenience
+//!   methods are thin wrappers over the same generic core.
+//! * [`store::SharedEngine`] — the owned, `Send + Sync`,
+//!   `Arc`-shareable engine for long-lived processes: open an index once
+//!   (in-memory, mmap, or disk), share it across threads for the process
+//!   lifetime, and take [`store::SharedEngine::view`] when the full view
+//!   surface is needed. Workers keep per-thread workspaces, so the hot
+//!   path shares only immutable state.
+//!
+//! For concurrent serving, [`cache::ShardedResultCache`] adds a global
+//! single-pair result cache — power-of-two lock-per-shard over the same
+//! intrusive-list LRU, with [`cache::AtomicCacheStats`] counters that
+//! stay exact under concurrency. Pairs are canonicalized before
+//! computing, so cached and uncached answers are bit-identical across
+//! threads and backends ([`store::SharedEngine::single_pair_cached`],
+//! [`store::SharedEngine::batch_single_pair_cached`]). The `sling-server`
+//! crate stands a thread-per-core TCP/Unix-socket server on exactly
+//! these pieces. This is what backs §5.4's claim that SLING answers
+//! queries "even when its index structure does not fit in the main
+//! memory": pick the backend at open time, keep the algorithms — and
+//! now, keep them warm behind a server.
 //!
 //! ## Extension features beyond the paper's evaluation
 //!
@@ -126,9 +148,10 @@ pub mod two_hop;
 pub mod verify;
 pub mod walk;
 
+pub use cache::{AtomicCacheStats, CacheStats, ShardedResultCache};
 pub use config::SlingConfig;
 pub use error::SlingError;
 pub use hp::HpEntry;
 pub use index::{QueryWorkspace, SlingIndex};
-pub use store::{HpStore, MmapHpArena, QueryEngine};
+pub use store::{HpStore, MmapHpArena, QueryEngine, SharedEngine};
 pub use walk::WalkEngine;

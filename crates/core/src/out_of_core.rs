@@ -261,6 +261,22 @@ impl DiskHpStore {
         )
     }
 
+    /// Consume the store into an owned, `Arc`-shareable engine (see
+    /// [`crate::store::SharedEngine`]); positioned reads (`pread`) keep
+    /// `&self` queries thread-safe. The query-side metadata is cloned out
+    /// of the store — `O(n)`, the same residency class as the store
+    /// itself.
+    pub fn into_shared_engine(self) -> crate::store::SharedEngine<DiskHpStore> {
+        let (config, d, reduced, marks, stats) = (
+            self.config.clone(),
+            self.d.clone(),
+            self.reduced.clone(),
+            self.marks.clone(),
+            self.stats,
+        );
+        crate::store::SharedEngine::from_owned_parts(self, config, d, reduced, marks, stats)
+    }
+
     /// Decode one bound-checked entry with three positioned reads.
     fn read_entry_at(&self, i: usize) -> Result<HpEntry, SlingError> {
         if i >= self.entries {

@@ -30,7 +30,7 @@ use std::borrow::Cow;
 use std::ops::Range;
 use std::path::Path;
 
-use memmap2::Mmap;
+use memmap2::{Advice, Mmap};
 use sling_graph::{DiGraph, NodeId};
 
 use crate::config::SlingConfig;
@@ -90,6 +90,14 @@ pub trait HpStore {
     /// Heap-resident bytes of the store itself (excludes file-backed or
     /// page-cache pages, which is the point of the out-of-core backends).
     fn resident_bytes(&self) -> usize;
+
+    /// Advise the backend that `H(v)` is about to be read, so out-of-core
+    /// backends can stage the entry bytes *before* the scan loop instead
+    /// of paying one major fault (or one positioned read) per payload
+    /// section at decode time. Purely advisory — correctness never
+    /// depends on it — and a no-op for memory-resident backends. Server
+    /// workers call this for a query's endpoints before querying.
+    fn prefetch(&self, _v: NodeId) {}
 }
 
 /// `range(v)` with the structural sanity the untrusted backends need
@@ -189,6 +197,10 @@ impl<S: HpStore + ?Sized> HpStore for &S {
 
     fn resident_bytes(&self) -> usize {
         (**self).resident_bytes()
+    }
+
+    fn prefetch(&self, v: NodeId) {
+        (**self).prefetch(v)
     }
 }
 
@@ -330,6 +342,32 @@ impl MmapHpArena {
     pub fn mapped_bytes(&self) -> usize {
         self.map.len()
     }
+
+    /// `madvise(WILLNEED)` the byte ranges holding `H(v)`'s three payload
+    /// sections, so a cold query faults its entries in with batched
+    /// readahead instead of one major fault per section. Advisory only:
+    /// alignment is handled inside the mapping and failures (or a range
+    /// the offset table has corrupted) are ignored — the bound-checked
+    /// decode path still governs correctness.
+    pub fn prefetch_entries(&self, v: NodeId) {
+        if v.index() >= self.num_nodes {
+            return;
+        }
+        let range = self.range(v);
+        if range.start > range.end || range.end > self.entries || range.is_empty() {
+            return;
+        }
+        let count = range.len();
+        for (base, width) in [
+            (self.steps_base, 2usize),
+            (self.nodes_base, 4),
+            (self.values_base, 8),
+        ] {
+            let _ =
+                self.map
+                    .advise_range(Advice::WillNeed, base + range.start * width, count * width);
+        }
+    }
 }
 
 impl HpStore for MmapHpArena {
@@ -367,6 +405,10 @@ impl HpStore for MmapHpArena {
     /// heap: only the handle itself counts.
     fn resident_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
+    }
+
+    fn prefetch(&self, v: NodeId) {
+        self.prefetch_entries(v);
     }
 }
 
@@ -609,6 +651,50 @@ impl QueryEngine<'static, MmapHpArena> {
         graph: &DiGraph,
         path: impl AsRef<Path>,
     ) -> Result<QueryEngine<'static, MmapHpArena>, SlingError> {
+        let e = SharedEngine::open_mmap(graph, path)?;
+        Ok(QueryEngine::from_parts(
+            e.store,
+            Cow::Owned(e.config),
+            Cow::Owned(e.d),
+            Cow::Owned(e.reduced),
+            Cow::Owned(e.marks),
+            e.stats,
+        ))
+    }
+}
+
+/// Owned, thread-shareable query engine: a storage backend plus all
+/// query-side metadata held **by value**.
+///
+/// [`QueryEngine`] is lifetime-bound — fine for one-shot CLI runs, but a
+/// long-lived server wants to open an index once, wrap it in an
+/// [`std::sync::Arc`], and let every worker thread query it for the
+/// process lifetime. `SharedEngine` is that owner: it is `Send + Sync`
+/// whenever the store is (all three backends are), queries take `&self`,
+/// and [`SharedEngine::view`] yields a borrowed [`QueryEngine`] over
+/// `&S` exposing the full query surface (single-pair, single-source,
+/// top-k, joins, batches) with the exact same scores.
+///
+/// Workers keep their own [`QueryWorkspace`]/[`SingleSourceWorkspace`],
+/// so the hot path shares only immutable state — no locks.
+pub struct SharedEngine<S: HpStore> {
+    store: S,
+    config: SlingConfig,
+    d: Vec<f64>,
+    reduced: Vec<bool>,
+    marks: MarkArena,
+    stats: BuildStats,
+}
+
+impl SharedEngine<MmapHpArena> {
+    /// Open a persisted index as an owned zero-copy mmap engine, verifying
+    /// it matches `graph`. Open cost is header + offset-table validation
+    /// plus the `O(n)` query-side metadata — the entry payload stays in
+    /// the page cache and is decoded on demand, bound-checked.
+    pub fn open_mmap(
+        graph: &DiGraph,
+        path: impl AsRef<Path>,
+    ) -> Result<SharedEngine<MmapHpArena>, SlingError> {
         let (arena, meta) = MmapHpArena::open_with_meta(path)?;
         if meta.num_nodes != graph.num_nodes() || meta.num_edges != graph.num_edges() {
             return Err(SlingError::GraphMismatch {
@@ -616,14 +702,202 @@ impl QueryEngine<'static, MmapHpArena> {
                 found_nodes: graph.num_nodes(),
             });
         }
-        Ok(QueryEngine::from_parts(
-            arena,
-            Cow::Owned(meta.config),
-            Cow::Owned(meta.d),
-            Cow::Owned(meta.reduced),
-            Cow::Owned(meta.marks),
-            meta.stats,
-        ))
+        Ok(SharedEngine {
+            store: arena,
+            config: meta.config,
+            d: meta.d,
+            reduced: meta.reduced,
+            marks: meta.marks,
+            stats: meta.stats,
+        })
+    }
+}
+
+impl From<SlingIndex> for SharedEngine<HpArena> {
+    /// Consume an in-memory index into an owned engine over its arena.
+    fn from(index: SlingIndex) -> Self {
+        SharedEngine {
+            store: index.hp,
+            config: index.config,
+            d: index.d,
+            reduced: index.reduced,
+            marks: index.marks,
+            stats: index.stats,
+        }
+    }
+}
+
+impl<S: HpStore> SharedEngine<S> {
+    /// Assemble an engine from parts (used by the backend constructors).
+    pub(crate) fn from_owned_parts(
+        store: S,
+        config: SlingConfig,
+        d: Vec<f64>,
+        reduced: Vec<bool>,
+        marks: MarkArena,
+        stats: BuildStats,
+    ) -> Self {
+        SharedEngine {
+            store,
+            config,
+            d,
+            reduced,
+            marks,
+            stats,
+        }
+    }
+
+    pub(crate) fn engine_ref(&self) -> EngineRef<'_, S> {
+        EngineRef {
+            store: &self.store,
+            config: &self.config,
+            d: &self.d,
+            reduced: &self.reduced,
+            marks: &self.marks,
+        }
+    }
+
+    /// Borrowed [`QueryEngine`] view exposing the full query surface
+    /// (joins, truncated single-source, batches, type erasure, ...).
+    pub fn view(&self) -> QueryEngine<'_, &S> {
+        QueryEngine::from_parts(
+            &self.store,
+            Cow::Borrowed(&self.config),
+            Cow::Borrowed(&self.d[..]),
+            Cow::Borrowed(&self.reduced[..]),
+            Cow::Borrowed(&self.marks),
+            self.stats,
+        )
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &SlingConfig {
+        &self.config
+    }
+
+    /// Build statistics recorded in the index.
+    pub fn stats(&self) -> BuildStats {
+        self.stats
+    }
+
+    /// Number of nodes of the indexed graph.
+    pub fn num_nodes(&self) -> usize {
+        self.reduced.len()
+    }
+
+    /// Heap-resident bytes: store + query-side metadata.
+    pub fn resident_bytes(&self) -> usize {
+        self.store.resident_bytes()
+            + self.d.len() * 8
+            + self.reduced.len()
+            + self.marks.resident_bytes()
+    }
+
+    fn check_pair(&self, u: NodeId, v: NodeId) -> Result<(), SlingError> {
+        let e = self.engine_ref();
+        e.check_node(u)?;
+        e.check_node(v)
+    }
+
+    /// Single-pair SimRank estimate `s̃(u, v)` (Algorithm 3).
+    pub fn single_pair(&self, graph: &DiGraph, u: NodeId, v: NodeId) -> Result<f64, SlingError> {
+        let mut ws = QueryWorkspace::new();
+        self.single_pair_with(graph, &mut ws, u, v)
+    }
+
+    /// Single-pair query reusing caller-provided buffers — the server
+    /// workers' hot path.
+    pub fn single_pair_with(
+        &self,
+        graph: &DiGraph,
+        ws: &mut QueryWorkspace,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<f64, SlingError> {
+        self.check_pair(u, v)?;
+        single_pair_core(self.engine_ref(), graph, ws, u, v)
+    }
+
+    /// Single-source query from `u` (Algorithm 6).
+    pub fn single_source(&self, graph: &DiGraph, u: NodeId) -> Result<Vec<f64>, SlingError> {
+        let mut ws = SingleSourceWorkspace::new();
+        let mut out = Vec::new();
+        self.single_source_with(graph, &mut ws, u, &mut out)?;
+        Ok(out)
+    }
+
+    /// Single-source query into caller-provided buffers; allocation-free
+    /// after warm-up on every backend.
+    pub fn single_source_with(
+        &self,
+        graph: &DiGraph,
+        ws: &mut SingleSourceWorkspace,
+        u: NodeId,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SlingError> {
+        self.engine_ref().check_node(u)?;
+        single_source_core(self.engine_ref(), graph, ws, u, out)
+    }
+
+    /// Top-k most similar nodes to `u` (excluding `u`), heap-selected.
+    pub fn top_k(
+        &self,
+        graph: &DiGraph,
+        u: NodeId,
+        k: usize,
+    ) -> Result<Vec<(NodeId, f64)>, SlingError> {
+        let mut ws = SingleSourceWorkspace::new();
+        let mut scores = Vec::new();
+        self.top_k_with(graph, &mut ws, &mut scores, u, k)
+    }
+
+    /// Top-k reusing caller-provided buffers (`scores` holds the full
+    /// Algorithm-6 vector afterwards).
+    pub fn top_k_with(
+        &self,
+        graph: &DiGraph,
+        ws: &mut SingleSourceWorkspace,
+        scores: &mut Vec<f64>,
+        u: NodeId,
+        k: usize,
+    ) -> Result<Vec<(NodeId, f64)>, SlingError> {
+        self.single_source_with(graph, ws, u, scores)?;
+        Ok(select_top_k(scores, Some(u), k))
+    }
+}
+
+impl<S: HpStore + Sync> SharedEngine<S> {
+    /// Evaluate a batch of single-pair queries on `threads` workers
+    /// (results positionally aligned with `pairs`).
+    pub fn batch_single_pair(
+        &self,
+        graph: &DiGraph,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Result<Vec<f64>, SlingError> {
+        for &(u, v) in pairs {
+            self.check_pair(u, v)?;
+        }
+        crate::batch::batch_single_pair_core(self.engine_ref(), graph, pairs, threads)
+    }
+
+    /// Evaluate single-source queries from every node in `sources` on
+    /// `threads` workers.
+    pub fn batch_single_source(
+        &self,
+        graph: &DiGraph,
+        sources: &[NodeId],
+        threads: usize,
+    ) -> Result<Vec<Vec<f64>>, SlingError> {
+        for &u in sources {
+            self.engine_ref().check_node(u)?;
+        }
+        crate::batch::batch_single_source_core(self.engine_ref(), graph, sources, threads)
     }
 }
 
@@ -641,6 +915,12 @@ impl SlingIndex {
             Cow::Borrowed(&self.marks),
             self.stats,
         )
+    }
+
+    /// Consume the index into an owned, `Arc`-shareable engine over its
+    /// in-memory arena (see [`SharedEngine`]).
+    pub fn into_shared_engine(self) -> SharedEngine<HpArena> {
+        SharedEngine::from(self)
     }
 }
 
@@ -785,6 +1065,87 @@ mod tests {
             QueryEngine::open_mmap(&other, &path),
             Err(SlingError::GraphMismatch { .. })
         ));
+        assert!(matches!(
+            SharedEngine::open_mmap(&other, &path),
+            Err(SlingError::GraphMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_engine_view_matches_index_and_is_arc_shareable() {
+        let g = barabasi_albert(120, 3, 19).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let path = tmp("shared");
+        idx.save(&path).unwrap();
+        let shared = std::sync::Arc::new(SharedEngine::open_mmap(&g, &path).unwrap());
+        assert_eq!(shared.num_nodes(), g.num_nodes());
+        assert_eq!(shared.stats().entries_stored, idx.stats().entries_stored);
+        // Direct methods, the view, and the index agree bit-for-bit —
+        // from multiple threads sharing one Arc.
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let shared = std::sync::Arc::clone(&shared);
+                let (g, idx) = (&g, &idx);
+                s.spawn(move || {
+                    let mut ws = QueryWorkspace::new();
+                    for i in 0..30u32 {
+                        let (u, v) = (NodeId((t * 31 + i) % 120), NodeId((i * 7 + 1) % 120));
+                        let want = idx.single_pair(g, u, v);
+                        assert_eq!(shared.single_pair_with(g, &mut ws, u, v).unwrap(), want);
+                        assert_eq!(shared.view().single_pair(g, u, v).unwrap(), want);
+                    }
+                    let u = NodeId(t % 120);
+                    assert_eq!(shared.single_source(g, u).unwrap(), idx.single_source(g, u));
+                    assert_eq!(shared.top_k(g, u, 5).unwrap(), idx.top_k_heap(g, u, 5));
+                });
+            }
+        });
+        // Batches go through the same shared-engine API.
+        let pairs = vec![(NodeId(0), NodeId(1)), (NodeId(5), NodeId(80))];
+        assert_eq!(
+            shared.batch_single_pair(&g, &pairs, 2).unwrap(),
+            idx.batch_single_pair(&g, &pairs, 1)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prefetch_is_advisory_and_harmless_everywhere() {
+        let g = two_cliques_bridge(4);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let path = tmp("prefetch");
+        idx.save(&path).unwrap();
+        let engine = SharedEngine::open_mmap(&g, &path).unwrap();
+        for v in g.nodes() {
+            // Mmap override and the in-memory default no-op.
+            engine.store().prefetch(v);
+            HpStore::prefetch(&idx.hp, v);
+        }
+        // Out-of-range ids must not panic (advisory path, no checks owed).
+        engine.store().prefetch(NodeId(10_000));
+        // Results unchanged after prefetching.
+        assert_eq!(
+            engine.single_pair(&g, NodeId(0), NodeId(1)).unwrap(),
+            idx.single_pair(&g, NodeId(0), NodeId(1))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_store_shared_engine_agrees() {
+        let g = two_cliques_bridge(5);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let path = tmp("diskshared");
+        idx.save(&path).unwrap();
+        let store = crate::out_of_core::DiskHpStore::open(&g, &path).unwrap();
+        let engine = store.into_shared_engine();
+        for u in g.nodes() {
+            assert_eq!(
+                engine.single_source(&g, u).unwrap(),
+                idx.single_source(&g, u)
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 }

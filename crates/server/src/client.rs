@@ -1,0 +1,172 @@
+//! Blocking protocol client, used by the CLI `client` / `bench-serve`
+//! subcommands and the loopback tests.
+//!
+//! One request, one response line (see the crate docs for the grammar).
+//! `ERR <message>` responses surface as [`std::io::ErrorKind::InvalidData`]
+//! errors carrying the server's message; the connection stays usable.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::Request;
+use crate::BoxConn;
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<BoxConn>,
+    line: String,
+}
+
+impl Client {
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self::from_conn(Box::new(stream)))
+    }
+
+    /// Connect over a Unix-domain socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Self::from_conn(Box::new(UnixStream::connect(path)?)))
+    }
+
+    fn from_conn(conn: BoxConn) -> Client {
+        Client {
+            reader: BufReader::new(conn),
+            line: String::new(),
+        }
+    }
+
+    /// Send one request line, return the `OK` payload (without the `OK`
+    /// prefix).
+    fn roundtrip(&mut self, request: &str) -> io::Result<String> {
+        let stream = self.reader.get_mut();
+        stream.write_all(request.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let response = self.line.trim_end_matches(['\n', '\r']);
+        if let Some(payload) = response.strip_prefix("OK") {
+            Ok(payload.trim_start().to_string())
+        } else if let Some(message) = response.strip_prefix("ERR") {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server error: {}", message.trim_start()),
+            ))
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed response {response:?}"),
+            ))
+        }
+    }
+
+    /// Single-pair SimRank score (bit-identical to the server's f64).
+    pub fn pair(&mut self, u: u32, v: u32) -> io::Result<f64> {
+        let payload = self.roundtrip(&Request::Pair { u, v }.encode())?;
+        parse_f64(&payload)
+    }
+
+    /// Full single-source score vector from `u`.
+    pub fn single_source(&mut self, u: u32) -> io::Result<Vec<f64>> {
+        let payload = self.roundtrip(&Request::Source { u }.encode())?;
+        parse_counted_scores(&payload)
+    }
+
+    /// Top-k most similar nodes to `u`.
+    pub fn top_k(&mut self, u: u32, k: usize) -> io::Result<Vec<(u32, f64)>> {
+        let payload = self.roundtrip(&Request::TopK { u, k }.encode())?;
+        let mut tokens = payload.split_ascii_whitespace();
+        let count: usize = parse_tok(tokens.next(), "top-k count")?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tok = tokens
+                .next()
+                .ok_or_else(|| invalid("truncated top-k response"))?;
+            let (node, score) = tok
+                .split_once(':')
+                .ok_or_else(|| invalid("malformed top-k item"))?;
+            out.push((parse_tok(Some(node), "node id")?, parse_f64(score)?));
+        }
+        Ok(out)
+    }
+
+    /// Positionally aligned scores for a batch of pairs.
+    pub fn batch(&mut self, pairs: &[(u32, u32)]) -> io::Result<Vec<f64>> {
+        let request = Request::Batch {
+            pairs: pairs.to_vec(),
+        }
+        .encode();
+        let payload = self.roundtrip(&request)?;
+        let scores = parse_counted_scores(&payload)?;
+        if scores.len() != pairs.len() {
+            return Err(invalid("batch response length mismatch"));
+        }
+        Ok(scores)
+    }
+
+    /// Raw `key=value ..` statistics payload.
+    pub fn stats_line(&mut self) -> io::Result<String> {
+        self.roundtrip(&Request::Stats.encode())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        let payload = self.roundtrip(&Request::Ping.encode())?;
+        if payload == "pong" {
+            Ok(())
+        } else {
+            Err(invalid("unexpected ping response"))
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.roundtrip(&Request::Shutdown.encode()).map(|_| ())
+    }
+
+    /// Close this session server-side.
+    pub fn quit(&mut self) -> io::Result<()> {
+        self.roundtrip(&Request::Quit.encode()).map(|_| ())
+    }
+}
+
+fn invalid(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+fn parse_f64(raw: &str) -> io::Result<f64> {
+    raw.trim()
+        .parse()
+        .map_err(|_| invalid(&format!("cannot parse score {raw:?}")))
+}
+
+fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> io::Result<T> {
+    tok.ok_or_else(|| invalid(&format!("missing {what}")))?
+        .parse()
+        .map_err(|_| invalid(&format!("cannot parse {what}")))
+}
+
+/// Parse `<count> <s0> <s1> ..` into a score vector.
+fn parse_counted_scores(payload: &str) -> io::Result<Vec<f64>> {
+    let mut tokens = payload.split_ascii_whitespace();
+    let count: usize = parse_tok(tokens.next(), "score count")?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(parse_f64(
+            tokens.next().ok_or_else(|| invalid("truncated scores"))?,
+        )?);
+    }
+    if tokens.next().is_some() {
+        return Err(invalid("trailing tokens after scores"));
+    }
+    Ok(out)
+}

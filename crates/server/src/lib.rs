@@ -1,0 +1,97 @@
+//! # sling-server
+//!
+//! A long-lived, concurrent query server over a shared SLING engine —
+//! the serving layer the SkyServer-style production traces motivate:
+//! heavily skewed, hot-key-dominated query streams answered by warm
+//! workers sharing one immutable index and one global result cache.
+//!
+//! ## Architecture
+//!
+//! * **One engine, many workers.** The server holds an
+//!   `Arc<SharedEngine<S>>` — typically over
+//!   [`sling_core::MmapHpArena`], so the entry payload lives in the page
+//!   cache — and spawns a *thread-per-core* worker pool. Each worker owns
+//!   its [`sling_core::QueryWorkspace`] /
+//!   [`sling_core::single_source::SingleSourceWorkspace`], so the hot
+//!   path shares only immutable state plus the sharded cache.
+//! * **Sharded result cache.** Single-pair answers are memoized in a
+//!   [`sling_core::ShardedResultCache`] shared by all workers; pairs are
+//!   canonicalized before computing, so responses are bit-identical
+//!   regardless of argument order, cache state, or which worker computed
+//!   the entry first.
+//! * **Prefetch.** Before running a query, workers call
+//!   [`sling_core::HpStore::prefetch`] for its endpoints — on the mmap
+//!   backend that issues `madvise(WILLNEED)` for the entry byte ranges,
+//!   so cold out-of-core queries fault their pages in one batch.
+//! * **Sessions, not requests, are scheduled.** The acceptor thread
+//!   queues each incoming connection; a worker serves that connection's
+//!   requests until it closes or goes quiet while others wait, in which
+//!   case the session is parked back on the queue (partial read state
+//!   intact) — idle clients cannot pin workers. Graceful shutdown:
+//!   `SHUTDOWN` stops the acceptor, lets workers drain queued and
+//!   in-flight sessions (idle readers wake on a poll-interval timeout),
+//!   and [`ServerHandle::join`] returns a [`ServerReport`] with
+//!   per-worker and cache statistics.
+//!
+//! ## Wire protocol
+//!
+//! Newline-delimited UTF-8 text over TCP or a Unix-domain socket; one
+//! request line yields exactly one response line. Node ids are decimal
+//! `u32`. Scores are printed with Rust's shortest round-trip `f64`
+//! formatting, so parsing a score back yields the **bit-identical**
+//! float the server computed.
+//!
+//! | request | response |
+//! |---|---|
+//! | `PAIR <u> <v>` | `OK <score>` — single-pair SimRank (Algorithm 3); symmetric, canonicalized to `(min, max)` |
+//! | `SOURCE <u>` | `OK <n> <s0> .. <s_{n-1}>` — full single-source vector (Algorithm 6) |
+//! | `TOPK <u> <k>` | `OK <m> <node>:<score> ..` — top-k most similar to `u`, excluding `u` |
+//! | `BATCH <u1>,<v1> <u2>,<v2> ..` | `OK <m> <s1> .. <sm>` — positionally aligned single-pair scores |
+//! | `STATS` | `OK key=value ..` — workers, per-worker served counts, cache hits/misses/evictions/hit-rate |
+//! | `PING` | `OK pong` |
+//! | `QUIT` | `OK bye`, then the server closes this connection |
+//! | `SHUTDOWN` | `OK shutting-down`, then the whole server drains and exits |
+//!
+//! Malformed requests and failed queries (node out of range, corrupt
+//! index read) answer `ERR <message>` on the same connection — one bad
+//! request never tears down the session, and IO errors only drop the
+//! offending connection, never the server.
+//!
+//! ```text
+//! > PAIR 3 77
+//! OK 0.08421108008291852
+//! > TOPK 3 2
+//! OK 2 41:0.22182040766777856 17:0.1821445210624356
+//! > STATS
+//! OK workers=8 served=1042 per_worker=130,131,... cache=on cache_hits=512 ...
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::Request;
+pub use server::{serve, Listener, ServerConfig, ServerHandle, ServerReport};
+
+/// Type-erased bidirectional connection (TCP or Unix stream), shared by
+/// the server's session queue and the client. Carries the read-timeout
+/// setter so workers can shorten the poll when probing a possibly-idle
+/// session while other connections wait.
+pub(crate) trait Conn: std::io::Read + std::io::Write + Send {
+    fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()>;
+}
+
+impl Conn for std::net::TcpStream {
+    fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        std::net::TcpStream::set_read_timeout(self, timeout)
+    }
+}
+
+impl Conn for std::os::unix::net::UnixStream {
+    fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        std::os::unix::net::UnixStream::set_read_timeout(self, timeout)
+    }
+}
+
+pub(crate) type BoxConn = Box<dyn Conn>;

@@ -1,0 +1,733 @@
+//! The server runtime: acceptor, thread-per-core worker pool, graceful
+//! shutdown, and per-worker statistics.
+//!
+//! Sessions — not individual requests — are the scheduling unit: the
+//! acceptor queues each accepted socket, and the next free worker serves
+//! requests on it until the client closes (or sends `QUIT`). That keeps
+//! one warm [`QueryWorkspace`] per worker on the hot path with zero
+//! locking, which is exactly the regime skewed production traffic wants:
+//! long-lived clients, hot keys answered from the shared
+//! [`ShardedResultCache`]. Workers schedule cooperatively: a session
+//! that goes *quiet* while other connections wait is parked back on the
+//! queue within `READ_POLL` (read state intact), and a continuously
+//! pipelining session yields after at most `YIELD_AFTER` requests — so
+//! neither idle nor busy clients can pin workers and starve waiting
+//! connections (or `SHUTDOWN`).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sling_core::single_source::SingleSourceWorkspace;
+use sling_core::{
+    CacheStats, HpStore, QueryWorkspace, ShardedResultCache, SharedEngine, SlingError,
+};
+use sling_graph::{DiGraph, NodeId};
+
+use crate::protocol::{write_scores, Request, MAX_LINE_BYTES};
+use crate::BoxConn;
+
+/// How often the non-blocking acceptor re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Socket read timeout: the interval at which a worker parked on an idle
+/// connection re-checks the shutdown flag, so `SHUTDOWN` drains even
+/// while clients hold connections open without sending.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Shortened first-read timeout used when a worker picks up a session
+/// with nothing buffered while other connections wait: probe briefly and
+/// park instead of committing to a full `READ_POLL` block on a
+/// possibly-idle client while ready work queues behind it.
+const PROBE_POLL: Duration = Duration::from_millis(2);
+
+/// Socket write timeout: bounds how long a stuck client (not draining
+/// its receive buffer) can pin a worker before the connection is
+/// dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Consecutive unexpected `accept(2)` failures (e.g. fd exhaustion)
+/// tolerated — with a poll-interval sleep between retries — before the
+/// acceptor gives up and shuts the server down rather than zombifying.
+const MAX_ACCEPT_ERRORS: u32 = 512;
+
+/// Requests a busy (continuously pipelining) session may run before its
+/// worker considers parking it in favor of queued connections. Amortizes
+/// the queue check — parking every request costs ~40% throughput on an
+/// oversubscribed box — while still bounding how long a busy client can
+/// monopolize a worker (idle sessions park on the READ_POLL timeout
+/// instead, independent of this constant).
+const YIELD_AFTER: u32 = 64;
+
+/// Tuning knobs for [`serve`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads; `0` means one per available core
+    /// (thread-per-core).
+    pub workers: usize,
+    /// Total capacity of the shared single-pair result cache; `0`
+    /// disables caching.
+    pub cache_capacity: usize,
+    /// Cache shard count (rounded up to a power of two); `0` picks
+    /// [`ShardedResultCache::DEFAULT_SHARDS`].
+    pub cache_shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            cache_capacity: 1 << 18,
+            cache_shards: 0,
+        }
+    }
+}
+
+/// A bound accept socket: TCP or Unix-domain.
+pub enum Listener {
+    /// TCP listener (e.g. `127.0.0.1:0` for an ephemeral port).
+    Tcp(TcpListener),
+    /// Unix-domain listener; the socket file is removed when the server
+    /// stops accepting.
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Bind a TCP listener.
+    pub fn bind_tcp(addr: impl ToSocketAddrs) -> io::Result<Listener> {
+        Ok(Listener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Bind a Unix-domain listener, replacing a stale socket file.
+    ///
+    /// Only an existing *socket* is removed (assumed stale from a prior
+    /// run); any other file at the path is an error — a typo'd `--unix`
+    /// must never delete data.
+    pub fn bind_unix(path: impl AsRef<Path>) -> io::Result<Listener> {
+        let path = path.as_ref().to_path_buf();
+        match std::fs::symlink_metadata(&path) {
+            Ok(meta) => {
+                use std::os::unix::fs::FileTypeExt as _;
+                if meta.file_type().is_socket() {
+                    std::fs::remove_file(&path)?;
+                } else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        format!("{} exists and is not a socket", path.display()),
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Listener::Unix(UnixListener::bind(&path)?, path))
+    }
+
+    /// The bound TCP address (`None` for Unix sockets).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match self {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            Listener::Unix(..) => None,
+        }
+    }
+}
+
+/// A client session: the buffered connection plus any partially-read
+/// request line. Sessions — not raw sockets — are the queue's unit, so a
+/// worker can *park* a quiet session (putting it back on the queue,
+/// partial line intact) and serve a waiting connection instead of
+/// letting one idle client pin a worker while others starve.
+struct Session {
+    reader: BufReader<BoxConn>,
+    line: String,
+}
+
+impl Session {
+    fn new(conn: BoxConn) -> Self {
+        Session {
+            reader: BufReader::new(conn),
+            line: String::new(),
+        }
+    }
+}
+
+/// Shared, non-generic server state: the session queue and the
+/// counters the `STATS` command reports.
+struct Control {
+    queue: Mutex<VecDeque<Session>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    served: Box<[AtomicU64]>,
+    cache: Option<ShardedResultCache>,
+}
+
+impl Control {
+    fn push(&self, session: Session) {
+        self.queue.lock().unwrap().push_back(session);
+        self.available.notify_one();
+    }
+
+    /// Next queued session; drains the queue during shutdown and
+    /// returns `None` only once it is empty and the flag is set.
+    fn pop(&self) -> Option<Session> {
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            if let Some(session) = queue.pop_front() {
+                return Some(session);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self.available.wait(queue).unwrap();
+        }
+    }
+
+    /// Whether sessions are waiting for a worker (checked by workers on
+    /// read timeouts to decide whether to park the current session).
+    fn has_waiting(&self) -> bool {
+        !self.queue.lock().unwrap().is_empty()
+    }
+
+    fn initiate_shutdown(&self) {
+        // Flag and notify under the queue lock: without it, a worker
+        // that has observed `shutdown == false` inside `pop` but not yet
+        // parked on the condvar would miss this notification and sleep
+        // forever (the classic lost wakeup), hanging ServerHandle::join.
+        let _guard = self.queue.lock().unwrap();
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+
+    fn total_served(&self) -> u64 {
+        self.served.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Final accounting returned by [`ServerHandle::join`] /
+/// [`ServerHandle::shutdown`].
+#[derive(Clone, Debug)]
+pub struct ServerReport {
+    /// Queries served per worker (pair/source/top-k count 1, batches
+    /// count their pair count).
+    pub served_per_worker: Vec<u64>,
+    /// Result-cache counters, when a cache was configured.
+    pub cache: Option<CacheStats>,
+}
+
+impl ServerReport {
+    /// Total queries served across all workers.
+    pub fn total_served(&self) -> u64 {
+        self.served_per_worker.iter().sum()
+    }
+}
+
+/// Handle to a running server: its address, a shutdown lever, and the
+/// worker/acceptor threads to join.
+pub struct ServerHandle {
+    addr: Option<SocketAddr>,
+    control: Arc<Control>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Bound TCP address (`None` for Unix-socket servers) — what clients
+    /// of a `127.0.0.1:0` test server connect to.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Block until the server exits (a client sends `SHUTDOWN`), then
+    /// report final statistics.
+    pub fn join(mut self) -> ServerReport {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        ServerReport {
+            served_per_worker: self
+                .control
+                .served
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            cache: self.control.cache.as_ref().map(|c| c.stats()),
+        }
+    }
+
+    /// Initiate shutdown from the owning process (equivalent to a client
+    /// `SHUTDOWN`) and join.
+    pub fn shutdown(self) -> ServerReport {
+        self.control.initiate_shutdown();
+        self.join()
+    }
+}
+
+/// Start serving `engine` over `listener`.
+///
+/// Spawns `config.workers` worker threads (thread-per-core by default),
+/// each owning its query workspaces, plus one acceptor thread. The
+/// engine and graph are shared immutably; the only shared mutable state
+/// is the connection queue and the sharded result cache. Returns
+/// immediately with a [`ServerHandle`].
+pub fn serve<S>(
+    engine: Arc<SharedEngine<S>>,
+    graph: Arc<DiGraph>,
+    listener: Listener,
+    config: ServerConfig,
+) -> io::Result<ServerHandle>
+where
+    S: HpStore + Send + Sync + 'static,
+{
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.workers
+    };
+    let cache = (config.cache_capacity > 0).then(|| {
+        let shards = if config.cache_shards == 0 {
+            ShardedResultCache::DEFAULT_SHARDS
+        } else {
+            config.cache_shards
+        };
+        ShardedResultCache::new(config.cache_capacity, shards)
+    });
+    let control = Arc::new(Control {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        served: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        cache,
+    });
+    let addr = listener.local_addr();
+    let mut threads = Vec::with_capacity(workers + 1);
+    for id in 0..workers {
+        let control = Arc::clone(&control);
+        let engine = Arc::clone(&engine);
+        let graph = Arc::clone(&graph);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("sling-worker-{id}"))
+                .spawn(move || worker_loop(&engine, &graph, &control, id))?,
+        );
+    }
+    let acceptor_control = Arc::clone(&control);
+    threads.push(
+        std::thread::Builder::new()
+            .name("sling-acceptor".to_string())
+            .spawn(move || accept_loop(listener, &acceptor_control))?,
+    );
+    Ok(ServerHandle {
+        addr,
+        control,
+        threads,
+    })
+}
+
+/// Accept connections until shutdown; non-blocking with a short poll so
+/// the flag is observed promptly, since `accept(2)` has no portable
+/// cancellation.
+///
+/// Error policy: per-connection failures (aborted handshakes, resets)
+/// are skipped; resource-exhaustion errors (e.g. `EMFILE`) are retried
+/// with a poll-interval backoff. If the listener stays broken for
+/// [`MAX_ACCEPT_ERRORS`] consecutive attempts, the acceptor initiates a
+/// full shutdown — a server nobody can connect to must terminate, not
+/// linger as a zombie that `SHUTDOWN` can no longer reach.
+fn accept_loop(listener: Listener, control: &Control) {
+    let _ = match &listener {
+        Listener::Tcp(l) => l.set_nonblocking(true),
+        Listener::Unix(l, _) => l.set_nonblocking(true),
+    };
+    let mut consecutive_errors = 0u32;
+    loop {
+        if control.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let accepted: io::Result<BoxConn> = match &listener {
+            Listener::Tcp(l) => l.accept().map(|(stream, _)| {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(READ_POLL));
+                let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                Box::new(stream) as BoxConn
+            }),
+            Listener::Unix(l, _) => l.accept().map(|(stream, _)| {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(READ_POLL));
+                let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                Box::new(stream) as BoxConn
+            }),
+        };
+        match accepted {
+            Ok(conn) => {
+                consecutive_errors = 0;
+                control.push(Session::new(conn));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                consecutive_errors = 0;
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted
+                        | io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::ConnectionReset
+                ) => {}
+            Err(_) => {
+                consecutive_errors += 1;
+                if consecutive_errors >= MAX_ACCEPT_ERRORS {
+                    control.initiate_shutdown();
+                    break;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+    if let Listener::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Per-worker reusable buffers: workspaces warm up once, then the hot
+/// path is allocation-free for pair queries.
+struct WorkerCtx {
+    ws: QueryWorkspace,
+    ss: SingleSourceWorkspace,
+    scores: Vec<f64>,
+    batch: Vec<f64>,
+    response: String,
+}
+
+fn worker_loop<S: HpStore>(
+    engine: &SharedEngine<S>,
+    graph: &DiGraph,
+    control: &Control,
+    worker: usize,
+) {
+    let mut ctx = WorkerCtx {
+        ws: QueryWorkspace::new(),
+        ss: SingleSourceWorkspace::new(),
+        scores: Vec::new(),
+        batch: Vec::new(),
+        response: String::new(),
+    };
+    while let Some(mut session) = control.pop() {
+        match serve_session(engine, graph, control, worker, &mut session, &mut ctx) {
+            // Quiet session parked while others wait: back of the queue,
+            // partial read state intact.
+            SessionOutcome::Parked => control.push(session),
+            // Closed or broken: dropping a session only drops that
+            // client; the worker returns to the queue for the next one.
+            SessionOutcome::Closed => {}
+        }
+    }
+}
+
+/// What the connection loop does after writing a response.
+enum Action {
+    Continue,
+    Close,
+    Shutdown,
+}
+
+/// Why `serve_session` returned.
+enum SessionOutcome {
+    /// Connection finished (client EOF/QUIT, IO error, or shutdown).
+    Closed,
+    /// Session went quiet while other connections wait: requeue it.
+    Parked,
+}
+
+/// One attempt to complete the request line in `session.line`.
+enum ReadOutcome {
+    /// A full newline-terminated request is in `session.line`.
+    Request,
+    /// Client closed (EOF) or the server is draining.
+    Closed,
+    /// Read timed out while other sessions wait for a worker.
+    Park,
+}
+
+/// Read one request line, waking on the socket read timeout (READ_POLL,
+/// or PROBE_POLL while `probing`) so a worker parked on an idle
+/// connection still observes `SHUTDOWN` and yields to waiting
+/// connections instead of pinning the worker. Partial lines survive
+/// both timeouts and parking: `read_line` appends whatever bytes it
+/// consumed even when it returns an error, and the accumulator lives in
+/// the session, not the worker.
+fn read_request_line(
+    session: &mut Session,
+    control: &Control,
+    probing: &mut bool,
+) -> io::Result<ReadOutcome> {
+    loop {
+        match session
+            .reader
+            .by_ref()
+            .take(MAX_LINE_BYTES as u64)
+            .read_line(&mut session.line)
+        {
+            Ok(0) => return Ok(ReadOutcome::Closed), // EOF (a dangling partial line is moot)
+            Ok(_) => {
+                if session.line.ends_with('\n') {
+                    return Ok(ReadOutcome::Request);
+                }
+                if session.line.len() >= MAX_LINE_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "request line too long",
+                    ));
+                }
+                // Partial line without a newline yet: keep reading (the
+                // next pass returns Ok(0) if this was EOF mid-line).
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if control.shutdown.load(Ordering::SeqCst) {
+                    return Ok(ReadOutcome::Closed); // drop the idle connection during drain
+                }
+                if control.has_waiting() {
+                    return Ok(ReadOutcome::Park); // yield the worker to a waiting session
+                }
+                if *probing {
+                    // The queue drained while we probed: nobody is
+                    // waiting, so fall back to the idle poll rate
+                    // rather than waking every PROBE_POLL.
+                    let _ = session.reader.get_ref().set_read_timeout(Some(READ_POLL));
+                    *probing = false;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serve requests on one session until it closes, breaks, or yields to
+/// waiting connections — on a READ_POLL timeout while idle, or after
+/// YIELD_AFTER back-to-back requests while busy.
+fn serve_session<S: HpStore>(
+    engine: &SharedEngine<S>,
+    graph: &DiGraph,
+    control: &Control,
+    worker: usize,
+    session: &mut Session,
+    ctx: &mut WorkerCtx,
+) -> SessionOutcome {
+    let mut served_since_park = 0u32;
+    // Ready-work preemption: nothing buffered on this session while
+    // other connections wait — probe with a short timeout so an idle
+    // client costs PROBE_POLL, not READ_POLL, before we park it. (The
+    // timeout alone still paces the worker, so parking cycles through
+    // all-idle sessions cannot busy-spin.) Set explicitly either way: a
+    // previously parked session may carry the other rate.
+    let mut probing = session.reader.buffer().is_empty() && control.has_waiting();
+    let _ = session.reader.get_ref().set_read_timeout(Some(if probing {
+        PROBE_POLL
+    } else {
+        READ_POLL
+    }));
+    loop {
+        match read_request_line(session, control, &mut probing) {
+            Ok(ReadOutcome::Request) => {
+                if probing {
+                    // The session proved active: back to the idle poll.
+                    let _ = session.reader.get_ref().set_read_timeout(Some(READ_POLL));
+                    probing = false;
+                }
+            }
+            Ok(ReadOutcome::Park) => return SessionOutcome::Parked,
+            Ok(ReadOutcome::Closed) | Err(_) => return SessionOutcome::Closed,
+        }
+        ctx.response.clear();
+        let action = match Request::parse(session.line.trim_end_matches(['\n', '\r'])) {
+            Err(msg) => {
+                let _ = write!(ctx.response, "ERR {msg}");
+                Action::Continue
+            }
+            Ok(req) => handle_request(engine, graph, control, worker, req, ctx),
+        };
+        session.line.clear();
+        if matches!(action, Action::Shutdown) {
+            control.initiate_shutdown();
+        }
+        let stream = session.reader.get_mut();
+        if stream
+            .write_all(ctx.response.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            return SessionOutcome::Closed;
+        }
+        match action {
+            Action::Continue => {
+                // Re-check between requests too: a client pipelining
+                // back-to-back requests never hits the read-timeout
+                // branch, so without this a busy session would pin its
+                // worker and starve queued connections (and SHUTDOWN).
+                // Amortized to every YIELD_AFTER requests so the check
+                // stays off the hot path.
+                served_since_park += 1;
+                if served_since_park >= YIELD_AFTER {
+                    served_since_park = 0;
+                    if control.shutdown.load(Ordering::SeqCst) {
+                        return SessionOutcome::Closed;
+                    }
+                    if control.has_waiting() {
+                        return SessionOutcome::Parked;
+                    }
+                }
+            }
+            Action::Close | Action::Shutdown => return SessionOutcome::Closed,
+        }
+    }
+}
+
+/// Canonicalize and score one symmetric pair, through the shared cache
+/// when one is configured (the cached path prefetches internally, on
+/// misses only — a hit never touches the store, so advising it would
+/// waste syscalls on the hottest path). Both the `PAIR` and `BATCH`
+/// handlers route here so the two cannot diverge.
+fn score_pair<S: HpStore>(
+    engine: &SharedEngine<S>,
+    graph: &DiGraph,
+    control: &Control,
+    ws: &mut QueryWorkspace,
+    u: u32,
+    v: u32,
+) -> Result<f64, SlingError> {
+    let (a, b) = (NodeId(u.min(v)), NodeId(u.max(v)));
+    match &control.cache {
+        Some(cache) => engine.single_pair_cached(graph, ws, cache, a, b),
+        None => {
+            engine.store().prefetch(a);
+            if a != b {
+                engine.store().prefetch(b);
+            }
+            engine.single_pair_with(graph, ws, a, b)
+        }
+    }
+}
+
+fn write_query_error(out: &mut String, err: SlingError) {
+    let _ = write!(out, "ERR {err}");
+}
+
+fn handle_request<S: HpStore>(
+    engine: &SharedEngine<S>,
+    graph: &DiGraph,
+    control: &Control,
+    worker: usize,
+    req: Request,
+    ctx: &mut WorkerCtx,
+) -> Action {
+    let out = &mut ctx.response;
+    match req {
+        Request::Ping => out.push_str("OK pong"),
+        Request::Quit => {
+            out.push_str("OK bye");
+            return Action::Close;
+        }
+        Request::Shutdown => {
+            out.push_str("OK shutting-down");
+            return Action::Shutdown;
+        }
+        Request::Stats => {
+            let _ = write!(
+                out,
+                "OK workers={} served={}",
+                control.served.len(),
+                control.total_served()
+            );
+            out.push_str(" per_worker=");
+            for (i, c) in control.served.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", c.load(Ordering::Relaxed));
+            }
+            match &control.cache {
+                None => out.push_str(" cache=off"),
+                Some(cache) => {
+                    let s = cache.stats();
+                    let _ = write!(
+                        out,
+                        " cache=on cache_entries={} cache_capacity={} cache_shards={} \
+                         cache_hits={} cache_misses={} cache_evictions={} cache_hit_rate={:.4}",
+                        cache.len(),
+                        cache.capacity(),
+                        cache.num_shards(),
+                        s.hits,
+                        s.misses,
+                        s.evictions,
+                        s.hit_rate()
+                    );
+                }
+            }
+            let _ = write!(out, " resident_bytes={}", engine.resident_bytes());
+        }
+        Request::Pair { u, v } => {
+            control.served[worker].fetch_add(1, Ordering::Relaxed);
+            match score_pair(engine, graph, control, &mut ctx.ws, u, v) {
+                Ok(s) => {
+                    let _ = write!(out, "OK {s}");
+                }
+                Err(e) => write_query_error(out, e),
+            }
+        }
+        Request::Source { u } => {
+            control.served[worker].fetch_add(1, Ordering::Relaxed);
+            engine.store().prefetch(NodeId(u));
+            match engine.single_source_with(graph, &mut ctx.ss, NodeId(u), &mut ctx.scores) {
+                Ok(()) => {
+                    out.push_str("OK ");
+                    write_scores(out, &ctx.scores);
+                }
+                Err(e) => write_query_error(out, e),
+            }
+        }
+        Request::TopK { u, k } => {
+            control.served[worker].fetch_add(1, Ordering::Relaxed);
+            engine.store().prefetch(NodeId(u));
+            match engine.top_k_with(graph, &mut ctx.ss, &mut ctx.scores, NodeId(u), k) {
+                Ok(top) => {
+                    let _ = write!(out, "OK {}", top.len());
+                    for (node, score) in top {
+                        let _ = write!(out, " {}:{score}", node.0);
+                    }
+                }
+                Err(e) => write_query_error(out, e),
+            }
+        }
+        Request::Batch { pairs } => {
+            control.served[worker].fetch_add(pairs.len() as u64, Ordering::Relaxed);
+            ctx.batch.clear();
+            for &(u, v) in &pairs {
+                match score_pair(engine, graph, control, &mut ctx.ws, u, v) {
+                    Ok(s) => ctx.batch.push(s),
+                    Err(e) => {
+                        write_query_error(out, e);
+                        return Action::Continue;
+                    }
+                }
+            }
+            out.push_str("OK ");
+            write_scores(out, &ctx.batch);
+        }
+    }
+    Action::Continue
+}

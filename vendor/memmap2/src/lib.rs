@@ -3,7 +3,8 @@
 //! [`Mmap::map`] creates a private read-only mapping of a file with the
 //! `mmap(2)` / `munmap(2)` from the C runtime Rust's std already links on
 //! Linux, so no external crate is needed. Only what this workspace uses
-//! is provided: mapping a whole file and dereferencing it as `&[u8]`.
+//! is provided: mapping a whole file, dereferencing it as `&[u8]`, and
+//! issuing `madvise(2)` hints through [`Mmap::advise_range`].
 
 #![cfg(unix)]
 
@@ -23,11 +24,31 @@ extern "C" {
         offset: i64,
     ) -> *mut c_void;
     fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    fn madvise(addr: *mut c_void, length: usize, advice: c_int) -> c_int;
 }
 
 const PROT_READ: c_int = 1;
 const MAP_PRIVATE: c_int = 2;
 const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+const MADV_WILLNEED: c_int = 3;
+
+/// Alignment used to widen advised ranges. `madvise` requires a
+/// page-aligned start; mapping bases are page-aligned, so rounding the
+/// offset down to a 64 KiB boundary is correct for every page size that
+/// divides 64 KiB — 4 KiB (x86-64), 16 KiB (Apple Silicon), and 64 KiB
+/// (some arm64/POWER kernels) — without a platform-specific `sysconf`
+/// constant (`_SC_PAGESIZE` differs between libcs). Over-advising a few
+/// extra pages is harmless for hints.
+const ADVISE_ALIGN: usize = 64 * 1024;
+
+/// Advisory access hints for [`Mmap::advise_range`] (the `madvise(2)`
+/// subset this workspace uses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Advice {
+    /// The range will be accessed soon; the kernel may read it ahead in
+    /// one batch instead of one major fault per touched page.
+    WillNeed,
+}
 
 /// A read-only memory mapping of a file, unmapped on drop.
 #[derive(Debug)]
@@ -78,6 +99,37 @@ impl Mmap {
             return Err(io::Error::last_os_error());
         }
         Ok(Mmap { ptr, len })
+    }
+
+    /// Apply `advice` to `offset .. offset + len` of the mapping.
+    ///
+    /// The range is widened to page boundaries (as `madvise` requires)
+    /// and clamped to the mapping; empty or fully out-of-range requests
+    /// are a successful no-op. The hint is advisory — the kernel may
+    /// ignore it — so callers should treat failure as non-fatal.
+    pub fn advise_range(&self, advice: Advice, offset: usize, len: usize) -> io::Result<()> {
+        if self.len == 0 || len == 0 || offset >= self.len {
+            return Ok(());
+        }
+        let end = offset.saturating_add(len).min(self.len);
+        let start = offset - offset % ADVISE_ALIGN;
+        let advice = match advice {
+            Advice::WillNeed => MADV_WILLNEED,
+        };
+        // SAFETY: `start < end <= self.len`, so the advised range lies
+        // inside the live mapping.
+        let ret = unsafe {
+            madvise(
+                self.ptr.cast::<u8>().add(start).cast::<c_void>(),
+                end - start,
+                advice,
+            )
+        };
+        if ret == 0 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
     }
 
     /// Length of the mapping in bytes.
@@ -138,6 +190,25 @@ mod tests {
         let map = unsafe { Mmap::map(&file) }.unwrap();
         assert_eq!(map.len(), payload.len());
         assert_eq!(&map[..], &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn advise_range_accepts_any_slice_of_the_map() {
+        let path = std::env::temp_dir().join(format!("mmap_stub_adv_{}.bin", std::process::id()));
+        std::fs::write(&path, vec![7u8; 20_000]).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        // Unaligned interior range, range crossing EOF, empty range, and
+        // fully out-of-range offset must all succeed (no-op or hint).
+        map.advise_range(super::Advice::WillNeed, 4097, 1000)
+            .unwrap();
+        map.advise_range(super::Advice::WillNeed, 19_000, 50_000)
+            .unwrap();
+        map.advise_range(super::Advice::WillNeed, 0, 0).unwrap();
+        map.advise_range(super::Advice::WillNeed, 1 << 30, 8)
+            .unwrap();
         drop(map);
         std::fs::remove_file(&path).ok();
     }
