@@ -1,16 +1,20 @@
 //! Storage-backend comparison: the same persisted index served by the
 //! in-memory arena, the zero-copy mmap view, the raw positioned-read
-//! disk store, and the LRU-buffered disk store. Single-pair and
-//! single-source latency per backend — the price of each residency
-//! profile, and the benchmark behind the §5.4 claim that queries stay
-//! cheap out of core.
+//! disk store, the LRU-buffered disk store — and the block-compressed
+//! `SLNGIDX2` variants (mmap + disk, lossless and quantized). Reports
+//! the on-disk footprint of each format up front, then measures
+//! single-pair and single-source latency per backend: the price of each
+//! residency profile, and the benchmark behind both the §5.4 claim that
+//! queries stay cheap out of core and the ROADMAP claim that compressed
+//! payloads keep decode-on-read cheap.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sling_bench::{params_for, sample_pairs, sling_config};
+use sling_core::codec::CompressOptions;
 use sling_core::disk_query::BufferedDiskStore;
 use sling_core::out_of_core::DiskHpStore;
 use sling_core::single_source::SingleSourceWorkspace;
-use sling_core::{HpStore, QueryEngine, QueryWorkspace, SlingIndex};
+use sling_core::{inspect_file, HpStore, QueryEngine, QueryWorkspace, SlingIndex};
 use sling_graph::datasets::{by_name, Tier};
 use sling_graph::NodeId;
 
@@ -24,17 +28,54 @@ fn bench_backends(c: &mut Criterion) {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("index.slng");
     index.save(&path).unwrap();
+    let v2_path = dir.join("index.slng2");
+    index
+        .save_v2(&v2_path, &CompressOptions::default())
+        .unwrap();
+    let v2q_path = dir.join("index.q.slng2");
+    index
+        .save_v2(
+            &v2q_path,
+            &CompressOptions {
+                quantize_values: true,
+                ..CompressOptions::default()
+            },
+        )
+        .unwrap();
+
+    // Footprint report: what each format costs on disk for the same
+    // entries (the quantity `sling compact`/`sling inspect` manage).
+    for (label, p) in [
+        ("v1 raw", &path),
+        ("v2 lossless", &v2_path),
+        ("v2 quantized", &v2q_path),
+    ] {
+        let info = inspect_file(p).unwrap();
+        eprintln!(
+            "backends: {label:>12}: {} payload bytes ({:.1}% of raw), {} total",
+            info.payload_bytes,
+            info.compression_ratio() * 100.0,
+            info.total_bytes,
+        );
+    }
 
     let mem = index.query_engine();
     let mmap = QueryEngine::open_mmap(&graph, &path).unwrap();
+    let mmap_v2 = QueryEngine::open_mmap_compressed(&graph, &v2_path).unwrap();
+    let mmap_v2q = QueryEngine::open_mmap_compressed(&graph, &v2q_path).unwrap();
     let disk = DiskHpStore::open(&graph, &path).unwrap();
     let disk_engine = disk.query_engine();
+    let disk_v2 = DiskHpStore::open(&graph, &v2_path).unwrap();
+    let disk_v2_engine = disk_v2.query_engine();
     let buffered = BufferedDiskStore::new(&disk, 1 << 20);
     let buffered_engine = buffered.query_engine();
-    let engines: [(&str, QueryEngine<'_, &dyn HpStore>); 4] = [
+    let engines: [(&str, QueryEngine<'_, &dyn HpStore>); 7] = [
         ("mem", mem.erase()),
         ("mmap", mmap.erase()),
+        ("mmap_compressed", mmap_v2.erase()),
+        ("mmap_quantized", mmap_v2q.erase()),
         ("disk", disk_engine.erase()),
+        ("disk_compressed", disk_v2_engine.erase()),
         ("disk_buffered", buffered_engine.erase()),
     ];
 

@@ -36,11 +36,20 @@ COMMANDS:
   query GRAPH INDEX source U [--top K]    single-source scores / top-k
   join GRAPH INDEX --tau T [--limit L]    all pairs with score >= T
 
-  query and join accept --index-backend {mem,mmap,disk}:
-    mem   decode the whole index into memory (default)
-    mmap  zero-copy memory-mapped reads straight from the index file
-    disk  positioned reads with an LRU buffer pool (--buffer-entries N)
-  All backends return identical scores.
+  query and join accept --index-backend {mem,mmap,mmap-compressed,disk}:
+    mem              decode the whole index into memory (default)
+    mmap             zero-copy memory-mapped reads from a SLNGIDX1 file
+    mmap-compressed  block-decoded memory-mapped reads from a SLNGIDX2
+                     file (see compact), with a decoded-block cache
+    disk             positioned reads (either format) with an LRU buffer
+                     pool (--buffer-entries N)
+  All backends return identical scores (bit-identical for lossless files).
+  compact INDEX --out FILE [--quantize] [--block-entries N]
+                                          convert to the block-compressed
+                                          SLNGIDX2 format with a before/after
+                                          byte report (lossless by default)
+  inspect INDEX                           header version, section/block byte
+                                          sizes, and compression ratio
   batch GRAPH INDEX --random N | --pairs FILE
         [--threads T] [--cache CAP] [--seed S] [--index-backend B]
                                           bulk single-pair scoring through the
@@ -227,6 +236,7 @@ fn load_index(graph: &DiGraph, path: &str) -> Result<SlingIndex, String> {
 enum IndexBackend {
     Mem,
     Mmap,
+    MmapCompressed,
     Disk,
 }
 
@@ -234,8 +244,11 @@ fn parse_backend(args: &Args) -> Result<IndexBackend, String> {
     match args.flag("index-backend").unwrap_or("mem") {
         "mem" => Ok(IndexBackend::Mem),
         "mmap" => Ok(IndexBackend::Mmap),
+        "mmap-compressed" => Ok(IndexBackend::MmapCompressed),
         "disk" => Ok(IndexBackend::Disk),
-        other => Err(format!("unknown --index-backend {other:?} (mem|mmap|disk)")),
+        other => Err(format!(
+            "unknown --index-backend {other:?} (mem|mmap|mmap-compressed|disk)"
+        )),
     }
 }
 
@@ -257,6 +270,11 @@ fn with_backend<R>(
         }
         IndexBackend::Mmap => {
             let engine = QueryEngine::open_mmap(graph, index_path)
+                .map_err(|e| format!("{index_path}: {e}"))?;
+            f(&engine.erase())
+        }
+        IndexBackend::MmapCompressed => {
+            let engine = QueryEngine::open_mmap_compressed(graph, index_path)
                 .map_err(|e| format!("{index_path}: {e}"))?;
             f(&engine.erase())
         }
@@ -451,6 +469,11 @@ pub fn cmd_batch(args: &Args) -> Result<String, String> {
                 .map_err(|e| format!("{index_path}: {e}"))?;
             run_batch(engine, &g, &pairs, threads, cache_cap)
         }
+        IndexBackend::MmapCompressed => {
+            let engine = SharedEngine::open_mmap_compressed(&g, index_path)
+                .map_err(|e| format!("{index_path}: {e}"))?;
+            run_batch(engine, &g, &pairs, threads, cache_cap)
+        }
         IndexBackend::Disk => {
             let store =
                 DiskHpStore::open(&g, index_path).map_err(|e| format!("{index_path}: {e}"))?;
@@ -534,6 +557,11 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         }
         IndexBackend::Mmap => {
             let engine = SharedEngine::open_mmap(&g, index_path)
+                .map_err(|e| format!("{index_path}: {e}"))?;
+            serve_and_join(engine, g, listener, config)
+        }
+        IndexBackend::MmapCompressed => {
+            let engine = SharedEngine::open_mmap_compressed(&g, index_path)
                 .map_err(|e| format!("{index_path}: {e}"))?;
             serve_and_join(engine, g, listener, config)
         }
@@ -676,6 +704,19 @@ pub fn cmd_bench_serve(args: &Args) -> Result<String, String> {
         }
         IndexBackend::Mmap => {
             let engine = SharedEngine::open_mmap(&g, index_path)
+                .map_err(|e| format!("{index_path}: {e}"))?;
+            bench_serve_run(
+                Arc::new(engine),
+                Arc::new(g),
+                threads,
+                requests,
+                hot,
+                hot_keys,
+                config,
+            )
+        }
+        IndexBackend::MmapCompressed => {
+            let engine = SharedEngine::open_mmap_compressed(&g, index_path)
                 .map_err(|e| format!("{index_path}: {e}"))?;
             bench_serve_run(
                 Arc::new(engine),
@@ -937,6 +978,20 @@ pub fn run(argv: &[String]) -> Result<String, String> {
                 switches: &["exact"],
             },
         )?),
+        "compact" => cmd_compact(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["out", "block-entries"],
+                switches: &["quantize"],
+            },
+        )?),
+        "inspect" => cmd_inspect(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &[],
+                switches: &[],
+            },
+        )?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -1016,6 +1071,95 @@ pub fn cmd_ppr(args: &Args) -> Result<String, String> {
     for (v, s) in ranked {
         writeln!(out, "  {v:>8}  {s:.6}").unwrap();
     }
+    Ok(out)
+}
+
+/// Human + machine readable summary of one index file's geometry.
+fn format_index_info(path: &str, info: &sling_core::IndexFileInfo) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{path}: {} index, n = {}, m = {}, {} entries",
+        info.version, info.num_nodes, info.num_edges, info.entries
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  total_bytes={} payload_bytes={} raw_payload_bytes={} meta_bytes={}",
+        info.total_bytes,
+        info.payload_bytes,
+        info.raw_payload_bytes,
+        info.total_bytes - info.payload_bytes,
+    )
+    .unwrap();
+    if info.version == sling_core::FormatVersion::V2 {
+        writeln!(
+            out,
+            "  blocks={} block_entries={} values_exact={}",
+            info.num_blocks, info.block_entries, info.values_exact
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  payload_ratio={:.4} ({:.1}% of the raw layout)",
+        info.compression_ratio(),
+        info.compression_ratio() * 100.0
+    )
+    .unwrap();
+    out
+}
+
+/// `sling inspect` — header version, section/block byte sizes, and the
+/// compression ratio of a persisted index (either format generation).
+pub fn cmd_inspect(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "index")?;
+    let info = sling_core::inspect_file(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok(format_index_info(path, &info))
+}
+
+/// `sling compact` — convert an index file to the block-compressed
+/// `SLNGIDX2` format, reporting before/after byte sizes. Lossless by
+/// default (bit-identical answers from every backend); `--quantize`
+/// stores 4-byte fixed-point values (≤ 2⁻³³ error, flagged in the
+/// header). No graph is needed: the header fingerprint travels with the
+/// payload.
+pub fn cmd_compact(args: &Args) -> Result<String, String> {
+    let in_path = args.positional(0, "index")?;
+    let out_path: String = args.flag_required("out")?;
+    let block_entries: usize =
+        args.flag_parse("block-entries", sling_core::codec::DEFAULT_BLOCK_ENTRIES)?;
+    if block_entries == 0 {
+        return Err("--block-entries must be at least 1".to_string());
+    }
+    let opts = sling_core::CompressOptions {
+        block_entries,
+        quantize_values: args.switch("quantize"),
+    };
+    let bytes = std::fs::read(in_path).map_err(|e| format!("{in_path}: {e}"))?;
+    let before = sling_core::inspect_bytes(&bytes).map_err(|e| format!("{in_path}: {e}"))?;
+    let index = SlingIndex::decode(&bytes).map_err(|e| format!("{in_path}: {e}"))?;
+    let out_bytes = index.to_bytes_v2(&opts);
+    std::fs::write(&out_path, &out_bytes).map_err(|e| format!("{out_path}: {e}"))?;
+    let after = sling_core::inspect_bytes(&out_bytes).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    out.push_str(&format_index_info(in_path, &before));
+    out.push_str(&format_index_info(&out_path, &after));
+    writeln!(
+        out,
+        "compacted: payload {} -> {} bytes ({:.1}% of input), file {} -> {} bytes{}",
+        before.payload_bytes,
+        after.payload_bytes,
+        100.0 * after.payload_bytes as f64 / before.payload_bytes.max(1) as f64,
+        before.total_bytes,
+        after.total_bytes,
+        if opts.quantize_values {
+            " [quantized values]"
+        } else {
+            " [lossless]"
+        },
+    )
+    .unwrap();
     Ok(out)
 }
 
@@ -1182,6 +1326,120 @@ mod tests {
         ))
         .unwrap_err()
         .contains("index-backend"));
+    }
+
+    #[test]
+    fn compact_inspect_and_compressed_backend_roundtrip() {
+        let dir = tmpdir("compact");
+        let g = dir.join("g.bin");
+        let v1 = dir.join("idx.slng");
+        let v2 = dir.join("idx.slng2");
+        run_str(&format!(
+            "generate --ba 300,3 --seed 11 --out {}",
+            g.display()
+        ))
+        .unwrap();
+        run_str(&format!(
+            "build {} --out {} --eps 0.1 --seed 4",
+            g.display(),
+            v1.display()
+        ))
+        .unwrap();
+
+        // Inspect the v1 file.
+        let v1_info = run_str(&format!("inspect {}", v1.display())).unwrap();
+        assert!(v1_info.contains("SLNGIDX1 index"), "{v1_info}");
+        assert!(v1_info.contains("payload_ratio=1.0000"), "{v1_info}");
+
+        // Lossless compact shrinks the payload.
+        let report = run_str(&format!("compact {} --out {}", v1.display(), v2.display())).unwrap();
+        assert!(report.contains("[lossless]"), "{report}");
+        assert!(report.contains("SLNGIDX2 index"), "{report}");
+        let v2_info = run_str(&format!("inspect {}", v2.display())).unwrap();
+        assert!(v2_info.contains("values_exact=true"), "{v2_info}");
+        let ratio: f64 = v2_info
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("payload_ratio="))
+            .and_then(|l| l.split_whitespace().next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(ratio < 0.8, "lossless compaction too weak: {ratio}");
+
+        // Scores through the compressed backend match the mem backend
+        // byte for byte in the formatted output.
+        let score_of = |out: &str| out.split("   [").next().unwrap().to_string();
+        let mem = run_str(&format!("query {} {} pair 3 77", g.display(), v1.display())).unwrap();
+        let comp = run_str(&format!(
+            "query {} {} pair 3 77 --index-backend mmap-compressed",
+            g.display(),
+            v2.display()
+        ))
+        .unwrap();
+        assert_eq!(score_of(&mem), score_of(&comp));
+        // The disk backend reads v2 blocks transparently; mem decodes v2.
+        for backend in ["mem", "disk"] {
+            let got = run_str(&format!(
+                "query {} {} pair 3 77 --index-backend {backend}",
+                g.display(),
+                v2.display()
+            ))
+            .unwrap();
+            assert_eq!(score_of(&mem), score_of(&got), "{backend} on v2 diverged");
+        }
+        // Batch over the compressed engine.
+        let out = run_str(&format!(
+            "batch {} {} --random 100 --threads 2 --index-backend mmap-compressed",
+            g.display(),
+            v2.display()
+        ))
+        .unwrap();
+        assert!(out.contains("scored 100 pairs"), "{out}");
+
+        // Wrong pairing of file and backend gives a pointed error.
+        let err = run_str(&format!(
+            "query {} {} pair 0 1 --index-backend mmap-compressed",
+            g.display(),
+            v1.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("compact"), "{err}");
+        let err = run_str(&format!(
+            "query {} {} pair 0 1 --index-backend mmap",
+            g.display(),
+            v2.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("mmap-compressed"), "{err}");
+
+        // Quantized compact shrinks further and is flagged.
+        let vq = dir.join("idx.q.slng2");
+        let report = run_str(&format!(
+            "compact {} --out {} --quantize",
+            v1.display(),
+            vq.display()
+        ))
+        .unwrap();
+        assert!(report.contains("[quantized values]"), "{report}");
+        let q_info = run_str(&format!("inspect {}", vq.display())).unwrap();
+        assert!(q_info.contains("values_exact=false"), "{q_info}");
+        let q_ratio: f64 = q_info
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("payload_ratio="))
+            .and_then(|l| l.split_whitespace().next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            q_ratio < ratio,
+            "quantized {q_ratio} not below lossless {ratio}"
+        );
+
+        // Bad invocations.
+        assert!(run_str(&format!("compact {}", v1.display()))
+            .unwrap_err()
+            .contains("--out"));
+        assert!(run_str("inspect /nonexistent.slng").is_err());
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!   This is what a long-lived server shares across its worker threads
 //!   (see `sling-server`), and what the cached batch path
 //!   ([`crate::store::SharedEngine::batch_single_pair_cached`]) uses.
+//!   Besides scores it memoizes **negative verdicts** — a pair naming an
+//!   out-of-range node id caches a sentinel ([`CachedVerdict`]), so
+//!   repeated garbage traffic never reaches the engine — and identity
+//!   pairs `(u, u)`, whose Eq. (17) estimate is a real computation when
+//!   `exact_diagonal` is off.
 
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -254,6 +259,29 @@ fn pair_key(u: NodeId, v: NodeId) -> (u32, u32) {
     (u.0.min(v.0), u.0.max(v.0))
 }
 
+/// Sentinel bit pattern for a cached *negative* verdict: a quiet NaN
+/// with a recognizable payload. Legitimate cached scores are validated
+/// finite probabilities (see [`crate::store::HpStore`] — every backend
+/// rejects non-finite values at decode), so the sentinel can never
+/// collide with a real score, and a negative entry costs the same 8
+/// bytes as a positive one.
+const NEGATIVE_BITS: u64 = 0x7ff8_6f6f_7261_6e67; // qNaN, "orang(e)" payload
+
+#[inline]
+fn is_negative_sentinel(value: f64) -> bool {
+    value.to_bits() == NEGATIVE_BITS
+}
+
+/// What a [`ShardedResultCache`] remembers about a pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CachedVerdict {
+    /// The pair's computed SimRank score.
+    Score(f64),
+    /// The pair references a node id `≥ n`: the query errors without
+    /// touching the store, and so do all its repeats.
+    OutOfRange,
+}
+
 /// A single-pair query front-end that memoizes results in an LRU cache.
 ///
 /// Single-owner (`&mut self`); for a cache shared across threads use
@@ -428,22 +456,55 @@ impl ShardedResultCache {
         ((h >> 32) as usize) & (self.shards.len() - 1)
     }
 
-    /// Cached score of the (canonicalized) pair, recording a hit or miss.
-    pub fn get(&self, u: NodeId, v: NodeId) -> Option<f64> {
+    /// Cached verdict of the (canonicalized) pair, recording a hit or
+    /// miss. Negative verdicts count as hits: the whole point of caching
+    /// them is that the repeat costs a shard probe instead of a query.
+    pub fn lookup(&self, u: NodeId, v: NodeId) -> Option<CachedVerdict> {
         let key = pair_key(u, v);
         let hit = self.shards[self.shard_index(key)].lock().get(&key).copied();
         match hit {
             Some(_) => self.stats.record_hit(),
             None => self.stats.record_miss(),
         }
-        hit
+        hit.map(|value| {
+            if is_negative_sentinel(value) {
+                CachedVerdict::OutOfRange
+            } else {
+                CachedVerdict::Score(value)
+            }
+        })
+    }
+
+    /// Cached score of the (canonicalized) pair, recording a hit or miss.
+    /// A cached negative verdict reads as `None` (use
+    /// [`ShardedResultCache::lookup`] to distinguish it from absence).
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        match self.lookup(u, v) {
+            Some(CachedVerdict::Score(s)) => Some(s),
+            _ => None,
+        }
     }
 
     /// Insert a computed score, evicting the shard's LRU entry at
     /// capacity. A key another thread already inserted is left untouched
-    /// (deterministic queries make the values identical).
+    /// (deterministic queries make the values identical). Non-finite
+    /// values are rejected — no backend can legitimately produce one, and
+    /// admitting a NaN could forge the negative sentinel.
     pub fn insert(&self, u: NodeId, v: NodeId, value: f64) {
-        let key = pair_key(u, v);
+        if !value.is_finite() {
+            return;
+        }
+        self.insert_raw(pair_key(u, v), value);
+    }
+
+    /// Remember that this (canonicalized) pair references an out-of-range
+    /// node id, so repeats are answered from the cache. Negative entries
+    /// share the LRU space and eviction policy with scores.
+    pub fn insert_negative(&self, u: NodeId, v: NodeId) {
+        self.insert_raw(pair_key(u, v), f64::from_bits(NEGATIVE_BITS));
+    }
+
+    fn insert_raw(&self, key: (u32, u32), value: f64) {
         let mut shard = self.shards[self.shard_index(key)].lock();
         if shard.get(&key).is_some() {
             return;
@@ -484,9 +545,15 @@ impl<S: HpStore> SharedEngine<S> {
     /// The pair is canonicalized to `(min, max)` **before computing**, so
     /// the score is bit-identical regardless of argument order, cache
     /// state, or which thread populated the entry — the property the
-    /// multi-threaded equivalence tests pin down. Self-pairs bypass the
-    /// cache (they are `O(1)` under `exact_diagonal` and uncacheable by
-    /// symmetry anyway).
+    /// multi-threaded equivalence tests pin down.
+    ///
+    /// Trivial and degenerate lookups are memoized too, not just real
+    /// scores: identity pairs `(u, u)` (which run the full Eq. (17)
+    /// estimate when `exact_diagonal` is off) cache their score like any
+    /// other pair, and a pair referencing an out-of-range node id caches
+    /// a negative verdict — repeats of garbage traffic cost one shard
+    /// probe plus an `O(1)` re-derivation of the structured error,
+    /// instead of reaching the engine every time.
     pub fn single_pair_cached(
         &self,
         graph: &DiGraph,
@@ -495,20 +562,43 @@ impl<S: HpStore> SharedEngine<S> {
         u: NodeId,
         v: NodeId,
     ) -> Result<f64, SlingError> {
-        if u == v {
+        // Under `exact_diagonal` an in-range identity pair is a literal
+        // constant — cheaper to answer than to probe a shard lock, and
+        // caching it would evict scores that are actually expensive.
+        // (An *out-of-range* self-pair still flows through the cache
+        // below and memoizes its negative verdict.)
+        if u == v && self.config().exact_diagonal && u.index() < self.num_nodes() {
             return self.single_pair_with(graph, ws, u, v);
         }
         let (a, b) = if u.0 <= v.0 { (u, v) } else { (v, u) };
-        if let Some(hit) = cache.get(a, b) {
-            return Ok(hit);
+        match cache.lookup(a, b) {
+            Some(CachedVerdict::Score(hit)) => return Ok(hit),
+            Some(CachedVerdict::OutOfRange) => {
+                // Re-derive the structured error from the O(1) range
+                // check — same error either argument order produced.
+                // (If the engine somehow disagrees with the verdict —
+                // impossible while engines stay immutable — fall through
+                // and compute rather than trusting a corrupted cache.)
+                let e = self.engine_ref();
+                e.check_node(a).and_then(|()| e.check_node(b))?;
+            }
+            None => {}
         }
         // Prefetch only on the miss path: a hit never touches the store,
         // so advising it would be pure syscall overhead on the hot path.
         self.store().prefetch(a);
         self.store().prefetch(b);
-        let value = self.single_pair_with(graph, ws, a, b)?;
-        cache.insert(a, b, value);
-        Ok(value)
+        match self.single_pair_with(graph, ws, a, b) {
+            Ok(value) => {
+                cache.insert(a, b, value);
+                Ok(value)
+            }
+            Err(err @ SlingError::NodeOutOfRange { .. }) => {
+                cache.insert_negative(a, b);
+                Err(err)
+            }
+            Err(err) => Err(err),
+        }
     }
 }
 
@@ -680,6 +770,97 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.get(NodeId(1), NodeId(2)), None);
+    }
+
+    #[test]
+    fn negative_verdicts_are_cached_and_served() {
+        let (g, idx) = setup(); // n = 10
+        let n = g.num_nodes() as u32;
+        let engine: SharedEngine<HpArena> = idx.into();
+        let cache = ShardedResultCache::with_capacity(16);
+        let mut ws = QueryWorkspace::new();
+        // First garbage query: miss, computes, errors, caches the verdict.
+        let err = engine
+            .single_pair_cached(&g, &mut ws, &cache, NodeId(2), NodeId(n + 7))
+            .unwrap_err();
+        assert!(matches!(err, SlingError::NodeOutOfRange { node, .. } if node == n + 7));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(
+            cache.lookup(NodeId(2), NodeId(n + 7)),
+            Some(CachedVerdict::OutOfRange)
+        );
+        // Repeats — in either argument order — are hits with the same
+        // structured error.
+        for _ in 0..3 {
+            let err = engine
+                .single_pair_cached(&g, &mut ws, &cache, NodeId(n + 7), NodeId(2))
+                .unwrap_err();
+            assert!(matches!(err, SlingError::NodeOutOfRange { node, .. } if node == n + 7));
+        }
+        // 1 probe miss + (1 direct lookup + 3 repeats) hits.
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 4);
+        // `get` never surfaces the sentinel as a score.
+        assert_eq!(cache.get(NodeId(2), NodeId(n + 7)), None);
+    }
+
+    #[test]
+    fn identity_pairs_are_cached_when_estimated() {
+        // With exact_diagonal off, s(u, u) runs the full Eq. (17)
+        // estimate — worth a cache slot.
+        let g = two_cliques_bridge(5);
+        let idx = SlingIndex::build(
+            &g,
+            &SlingConfig::from_epsilon(C, 0.05)
+                .with_seed(3)
+                .with_exact_diagonal(false),
+        )
+        .unwrap();
+        let want = idx.single_pair(&g, NodeId(3), NodeId(3));
+        let engine: SharedEngine<HpArena> = idx.into();
+        let cache = ShardedResultCache::with_capacity(16);
+        let mut ws = QueryWorkspace::new();
+        let first = engine
+            .single_pair_cached(&g, &mut ws, &cache, NodeId(3), NodeId(3))
+            .unwrap();
+        assert_eq!(first, want);
+        assert_eq!(cache.stats().misses, 1);
+        let again = engine
+            .single_pair_cached(&g, &mut ws, &cache, NodeId(3), NodeId(3))
+            .unwrap();
+        assert_eq!(again, want);
+        assert_eq!(cache.stats().hits, 1, "identity repeat must hit");
+    }
+
+    #[test]
+    fn exact_diagonal_identity_pairs_bypass_the_cache() {
+        // With exact_diagonal on (the default), s(u, u) = 1.0 is a
+        // constant; it must not take shard locks or occupy a slot.
+        let (g, idx) = setup();
+        let engine: SharedEngine<HpArena> = idx.into();
+        let cache = ShardedResultCache::with_capacity(16);
+        let mut ws = QueryWorkspace::new();
+        for _ in 0..3 {
+            assert_eq!(
+                engine
+                    .single_pair_cached(&g, &mut ws, &cache, NodeId(2), NodeId(2))
+                    .unwrap(),
+                1.0
+            );
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn non_finite_scores_are_never_admitted() {
+        let cache = ShardedResultCache::with_capacity(8);
+        cache.insert(NodeId(0), NodeId(1), f64::NAN);
+        cache.insert(NodeId(0), NodeId(1), f64::INFINITY);
+        assert!(cache.is_empty());
+        // In particular, a forged sentinel cannot enter through insert.
+        cache.insert(NodeId(0), NodeId(1), f64::from_bits(super::NEGATIVE_BITS));
+        assert_eq!(cache.lookup(NodeId(0), NodeId(1)), None);
     }
 
     #[test]

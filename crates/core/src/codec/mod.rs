@@ -1,0 +1,301 @@
+//! Compressed index payloads: light-weight block encodings for the
+//! hitting-probability entry sections.
+//!
+//! The `SLNGIDX1` payload stores three raw parallel arrays — `u16`
+//! steps, `u32` node ids, `f64` values — at 14 bytes per entry. That is
+//! decode-free but wasteful: within one `(owner, step)` run node ids are
+//! a strictly increasing sequence of small gaps, steps repeat for whole
+//! runs, and Algorithm 2's local updates hand entire runs the same value
+//! (`√c / |I(v)|` for every step-1 entry). This module exploits all
+//! three, block-wise, so the out-of-core backends can still decode just
+//! the entries a query touches:
+//!
+//! * [`varint`] — LEB128 integers, the shared primitive;
+//! * [`block`] — the independently decodable entry block: steps
+//!   run-length coded, node ids delta-coded per run, plus a tagged value
+//!   section;
+//! * [`value`] — the [`value::SectionCodec`] trait and its three value
+//!   codecs (raw `f64`, per-block dictionary, lossy fixed-point `u32`).
+//!
+//! [`encode_payload`] / [`decode_payload`] turn a whole
+//! [`HpArena`](crate::hp::HpArena) payload into blocks and back; the
+//! `SLNGIDX2` container around them (header, directory) lives in
+//! [`crate::format`], and the query-time block readers in
+//! [`crate::store`] ([`crate::store::CompressedMmapArena`]) and
+//! [`crate::out_of_core`].
+//!
+//! Lossless mode (the default) is **bit-exact**: every backend serving a
+//! compressed index returns scores bit-identical to the uncompressed
+//! one. Quantized mode trades that for 4-byte values (error ≤ 2⁻³³,
+//! negligible against any build-time ε) and is flagged in the header.
+
+pub mod block;
+pub mod value;
+pub mod varint;
+
+pub use block::{decode_block, encode_block, DecodedBlock, DEFAULT_BLOCK_ENTRIES};
+pub use value::SectionCodec;
+
+use crate::error::SlingError;
+
+/// Knobs of the `SLNGIDX2` encoder.
+#[derive(Clone, Debug)]
+pub struct CompressOptions {
+    /// Entries per block (the last block may be short). Clamped to
+    /// `1..=`[`block::MAX_BLOCK_ENTRIES`] when encoding.
+    pub block_entries: usize,
+    /// Quantize values to fixed-point `u32` (lossy, ≤ 2⁻³³ absolute
+    /// error, flagged in the header). Default `false`: bit-exact.
+    pub quantize_values: bool,
+}
+
+impl Default for CompressOptions {
+    fn default() -> Self {
+        CompressOptions {
+            block_entries: DEFAULT_BLOCK_ENTRIES,
+            quantize_values: false,
+        }
+    }
+}
+
+impl CompressOptions {
+    /// Effective entries-per-block after clamping.
+    pub fn effective_block_entries(&self) -> usize {
+        self.block_entries.clamp(1, block::MAX_BLOCK_ENTRIES)
+    }
+}
+
+/// Encoded payload: concatenated blocks plus their byte directory.
+pub struct EncodedPayload {
+    /// Entries per block used by the encoder.
+    pub block_entries: usize,
+    /// `num_blocks + 1` byte offsets into `bytes`, monotone from 0.
+    pub block_offsets: Vec<u64>,
+    /// The concatenated encoded blocks.
+    pub bytes: Vec<u8>,
+}
+
+/// Encode the three entry columns into blocks. `owner_offsets` is the
+/// `(n + 1)`-entry per-node offset table (the run structure every block
+/// encoder needs to know where owners change).
+pub fn encode_payload(
+    steps: &[u16],
+    nodes: &[u32],
+    values: &[f64],
+    owner_offsets: &[u64],
+    opts: &CompressOptions,
+) -> EncodedPayload {
+    let entries = steps.len();
+    let be = opts.effective_block_entries();
+    let num_blocks = entries.div_ceil(be);
+    let mut bytes = Vec::new();
+    let mut block_offsets = Vec::with_capacity(num_blocks + 1);
+    block_offsets.push(0);
+
+    // Owner of each entry, tracked by a cursor over the offset table —
+    // O(entries + n) over the whole payload.
+    let mut owner = 0usize;
+    let mut owners_buf: Vec<u32> = Vec::with_capacity(be);
+    for b in 0..num_blocks {
+        let lo = b * be;
+        let hi = (lo + be).min(entries);
+        owners_buf.clear();
+        for i in lo..hi {
+            while owner + 1 < owner_offsets.len() && owner_offsets[owner + 1] as usize <= i {
+                owner += 1;
+            }
+            owners_buf.push(owner as u32);
+        }
+        let starts = block::run_starts(&owners_buf, &steps[lo..hi]);
+        encode_block(
+            &steps[lo..hi],
+            &nodes[lo..hi],
+            &values[lo..hi],
+            &starts,
+            opts.quantize_values,
+            &mut bytes,
+        );
+        block_offsets.push(bytes.len() as u64);
+    }
+    EncodedPayload {
+        block_entries: be,
+        block_offsets,
+        bytes,
+    }
+}
+
+/// Decode a whole blocked payload back into the three entry columns
+/// (the eager path used by [`crate::SlingIndex::from_bytes`] and the
+/// v2 → v1 direction of `sling compact`).
+pub fn decode_payload(
+    payload: &[u8],
+    block_offsets: &[u64],
+    block_entries: usize,
+    entries: usize,
+) -> Result<(Vec<u16>, Vec<u32>, Vec<f64>), SlingError> {
+    let num_blocks = block_offsets.len().saturating_sub(1);
+    let mut steps = Vec::with_capacity(entries);
+    let mut nodes = Vec::with_capacity(entries);
+    let mut values = Vec::with_capacity(entries);
+    let mut block = DecodedBlock::default();
+    for b in 0..num_blocks {
+        let (lo, hi) = (block_offsets[b] as usize, block_offsets[b + 1] as usize);
+        if lo > hi || hi > payload.len() {
+            return Err(SlingError::CorruptIndex(format!(
+                "block {b} byte range {lo}..{hi} escapes the payload ({} bytes)",
+                payload.len()
+            )));
+        }
+        let expected = expected_block_len(b, num_blocks, block_entries, entries)?;
+        decode_block(&payload[lo..hi], expected, &mut block)?;
+        steps.extend_from_slice(&block.steps);
+        nodes.extend_from_slice(&block.nodes);
+        values.extend_from_slice(&block.values);
+    }
+    if steps.len() != entries {
+        return Err(SlingError::CorruptIndex(format!(
+            "blocks decode to {} entries, header says {entries}",
+            steps.len()
+        )));
+    }
+    Ok((steps, nodes, values))
+}
+
+/// Entry count block `b` must hold given the file geometry.
+pub(crate) fn expected_block_len(
+    b: usize,
+    num_blocks: usize,
+    block_entries: usize,
+    entries: usize,
+) -> Result<usize, SlingError> {
+    if block_entries == 0 || b >= num_blocks {
+        return Err(SlingError::CorruptIndex(format!(
+            "block index {b} outside the {num_blocks}-block directory"
+        )));
+    }
+    let lo = b * block_entries;
+    let hi = (lo + block_entries).min(entries);
+    if lo >= hi {
+        return Err(SlingError::CorruptIndex(format!(
+            "block {b} covers no entries ({entries} total, {block_entries} per block)"
+        )));
+    }
+    Ok(hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A payload shaped like real index data: several owners, step runs,
+    /// repeated values.
+    fn sample_columns() -> (Vec<u16>, Vec<u32>, Vec<f64>, Vec<u64>) {
+        let mut steps = Vec::new();
+        let mut nodes = Vec::new();
+        let mut values = Vec::new();
+        let mut offsets = vec![0u64];
+        for v in 0..40u32 {
+            // step 0: self entry.
+            steps.push(0);
+            nodes.push(v);
+            values.push(1.0);
+            // step 1: a few in-neighbours sharing one value.
+            let deg = 1 + (v % 4);
+            for j in 0..deg {
+                steps.push(1);
+                nodes.push((v + j * 3) % 40);
+                values.push(0.774_596_669_241_483_4 / deg as f64);
+            }
+            // sort the step-1 nodes we just pushed (they must ascend).
+            let lo = steps.len() - deg as usize;
+            let mut run: Vec<u32> = nodes[lo..].to_vec();
+            run.sort_unstable();
+            run.dedup();
+            // Rebuild the run without duplicates.
+            steps.truncate(lo);
+            nodes.truncate(lo);
+            values.truncate(lo);
+            for &nd in &run {
+                steps.push(1);
+                nodes.push(nd);
+                values.push(0.774_596_669_241_483_4 / deg as f64);
+            }
+            offsets.push(steps.len() as u64);
+        }
+        (steps, nodes, values, offsets)
+    }
+
+    #[test]
+    fn payload_round_trips_across_block_sizes() {
+        let (steps, nodes, values, offsets) = sample_columns();
+        for be in [1usize, 3, 16, 64, 100_000] {
+            let opts = CompressOptions {
+                block_entries: be,
+                quantize_values: false,
+            };
+            let enc = encode_payload(&steps, &nodes, &values, &offsets, &opts);
+            assert_eq!(
+                enc.block_offsets.len(),
+                steps.len().div_ceil(enc.block_entries) + 1
+            );
+            let (s2, n2, v2) = decode_payload(
+                &enc.bytes,
+                &enc.block_offsets,
+                enc.block_entries,
+                steps.len(),
+            )
+            .unwrap();
+            assert_eq!(s2, steps, "block_entries = {be}");
+            assert_eq!(n2, nodes);
+            assert_eq!(
+                v2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_payload_encodes_to_zero_blocks() {
+        let enc = encode_payload(&[], &[], &[], &[0, 0, 0], &CompressOptions::default());
+        assert_eq!(enc.block_offsets, vec![0]);
+        assert!(enc.bytes.is_empty());
+        let (s, n, v) = decode_payload(&[], &enc.block_offsets, enc.block_entries, 0).unwrap();
+        assert!(s.is_empty() && n.is_empty() && v.is_empty());
+    }
+
+    #[test]
+    fn compressed_payload_is_smaller_than_raw() {
+        let (steps, nodes, values, offsets) = sample_columns();
+        let enc = encode_payload(
+            &steps,
+            &nodes,
+            &values,
+            &offsets,
+            &CompressOptions::default(),
+        );
+        let raw = steps.len() * 14;
+        assert!(
+            enc.bytes.len() * 2 < raw,
+            "compressed {} vs raw {raw}",
+            enc.bytes.len()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_directories() {
+        let (steps, nodes, values, offsets) = sample_columns();
+        let opts = CompressOptions {
+            block_entries: 16,
+            quantize_values: false,
+        };
+        let enc = encode_payload(&steps, &nodes, &values, &offsets, &opts);
+        // Directory escaping the payload.
+        let mut bad = enc.block_offsets.clone();
+        *bad.last_mut().unwrap() = enc.bytes.len() as u64 + 40;
+        assert!(decode_payload(&enc.bytes, &bad, 16, steps.len()).is_err());
+        // Wrong total entry count.
+        assert!(decode_payload(&enc.bytes, &enc.block_offsets, 16, steps.len() + 1).is_err());
+        // Wrong block size.
+        assert!(decode_payload(&enc.bytes, &enc.block_offsets, 15, steps.len()).is_err());
+    }
+}

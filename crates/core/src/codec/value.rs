@@ -1,0 +1,342 @@
+//! Value-section codecs: how a block's hitting-probability values are
+//! laid out in bytes.
+//!
+//! The step and node columns compress with fixed schemes (run-length and
+//! delta-varint — see [`crate::codec::block`]); the value column is where
+//! the encodings genuinely compete, so it is behind the
+//! [`SectionCodec`] trait with three implementations:
+//!
+//! * [`RawF64Codec`] — 8 bytes per value, bit-exact. The fallback that
+//!   can never lose.
+//! * [`DictF64Codec`] — per-block dictionary of distinct bit patterns
+//!   plus a varint index per entry, bit-exact. Algorithm 2's local
+//!   updates give every step-1 entry of a node the value `√c / |I(v)|`
+//!   and step-2 entries repeat across shared in-neighborhoods, so real
+//!   blocks hold far fewer distinct values than entries.
+//! * [`FixedPointCodec`] — values quantized to `round(v · (2³² − 1))`,
+//!   4 bytes each. Lossy (≤ 2⁻³³ absolute error — three orders of
+//!   magnitude below any ε the index is built with), flagged in the file
+//!   header so readers know scores are no longer bit-identical to the
+//!   uncompressed index.
+//!
+//! The lossless encoder picks the smaller of raw/dict **per block**, so
+//! a pathological block (all-distinct values) costs at most one tag byte
+//! over the raw layout.
+
+use crate::codec::varint;
+use crate::error::SlingError;
+
+fn corrupt(what: impl Into<String>) -> SlingError {
+    SlingError::CorruptIndex(what.into())
+}
+
+/// A codec for one value section of a block: encodes a `f64` column to
+/// bytes and decodes it back, identified by a stable one-byte tag stored
+/// in the block header.
+pub trait SectionCodec {
+    /// Stable on-disk tag identifying this codec.
+    fn tag(&self) -> u8;
+
+    /// Whether decoded values are bit-identical to the encoded input.
+    fn exact(&self) -> bool;
+
+    /// Append the encoding of `values` to `out`.
+    fn encode(&self, values: &[f64], out: &mut Vec<u8>);
+
+    /// Decode exactly `count` values from the front of `buf` (advancing
+    /// it) into `out`. Every malformed input must surface as
+    /// [`SlingError::CorruptIndex`], never a panic.
+    fn decode(&self, buf: &mut &[u8], count: usize, out: &mut Vec<f64>) -> Result<(), SlingError>;
+}
+
+/// Tag of [`RawF64Codec`].
+pub const TAG_RAW_F64: u8 = 0;
+/// Tag of [`DictF64Codec`].
+pub const TAG_DICT_F64: u8 = 1;
+/// Tag of [`FixedPointCodec`].
+pub const TAG_FIXED_U32: u8 = 2;
+
+/// Resolve a block's value codec from its on-disk tag.
+pub fn codec_for_tag(tag: u8) -> Result<&'static dyn SectionCodec, SlingError> {
+    match tag {
+        TAG_RAW_F64 => Ok(&RawF64Codec),
+        TAG_DICT_F64 => Ok(&DictF64Codec),
+        TAG_FIXED_U32 => Ok(&FixedPointCodec),
+        other => Err(corrupt(format!("unknown value codec tag {other}"))),
+    }
+}
+
+/// Pick the smaller lossless encoding for `values` and append it
+/// (tag byte included) to `out`.
+pub fn encode_values_lossless(values: &[f64], out: &mut Vec<u8>) {
+    let dict_len = dict_cost(values);
+    if dict_len < values.len() * 8 {
+        out.push(TAG_DICT_F64);
+        DictF64Codec.encode(values, out);
+    } else {
+        out.push(TAG_RAW_F64);
+        RawF64Codec.encode(values, out);
+    }
+}
+
+/// Append the quantized encoding of `values` (tag byte included).
+pub fn encode_values_quantized(values: &[f64], out: &mut Vec<u8>) {
+    out.push(TAG_FIXED_U32);
+    FixedPointCodec.encode(values, out);
+}
+
+/// Exact byte cost of the dictionary encoding of `values` (without
+/// encoding), used to choose against raw.
+fn dict_cost(values: &[f64]) -> usize {
+    let mut dict: sling_graph::FxHashMap<u64, u32> = sling_graph::FxHashMap::default();
+    let mut index_bytes = 0usize;
+    for v in values {
+        let next = dict.len() as u32;
+        let idx = *dict.entry(v.to_bits()).or_insert(next);
+        index_bytes += varint::len_u64(idx as u64);
+    }
+    varint::len_u64(dict.len() as u64) + dict.len() * 8 + index_bytes
+}
+
+/// 8-byte little-endian `f64` per value; bit-exact.
+pub struct RawF64Codec;
+
+impl SectionCodec for RawF64Codec {
+    fn tag(&self) -> u8 {
+        TAG_RAW_F64
+    }
+
+    fn exact(&self) -> bool {
+        true
+    }
+
+    fn encode(&self, values: &[f64], out: &mut Vec<u8>) {
+        for v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode(&self, buf: &mut &[u8], count: usize, out: &mut Vec<f64>) -> Result<(), SlingError> {
+        let need = count
+            .checked_mul(8)
+            .ok_or_else(|| corrupt("value count overflows"))?;
+        if buf.len() < need {
+            return Err(corrupt("truncated raw value section"));
+        }
+        out.reserve(count);
+        for chunk in buf[..need].chunks_exact(8) {
+            out.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        *buf = &buf[need..];
+        Ok(())
+    }
+}
+
+/// Per-block dictionary of distinct bit patterns (in first-occurrence
+/// order) plus a varint dictionary index per value; bit-exact.
+///
+/// Layout: `dict_len varint | dict_len × f64 | count × varint index`.
+pub struct DictF64Codec;
+
+impl SectionCodec for DictF64Codec {
+    fn tag(&self) -> u8 {
+        TAG_DICT_F64
+    }
+
+    fn exact(&self) -> bool {
+        true
+    }
+
+    fn encode(&self, values: &[f64], out: &mut Vec<u8>) {
+        let mut dict: sling_graph::FxHashMap<u64, u32> = sling_graph::FxHashMap::default();
+        let mut order: Vec<u64> = Vec::new();
+        let mut indices: Vec<u32> = Vec::with_capacity(values.len());
+        for v in values {
+            let bits = v.to_bits();
+            let next = order.len() as u32;
+            let idx = *dict.entry(bits).or_insert_with(|| {
+                order.push(bits);
+                next
+            });
+            indices.push(idx);
+        }
+        varint::write_u64(out, order.len() as u64);
+        for bits in order {
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        for idx in indices {
+            varint::write_u64(out, idx as u64);
+        }
+    }
+
+    fn decode(&self, buf: &mut &[u8], count: usize, out: &mut Vec<f64>) -> Result<(), SlingError> {
+        let dict_len = varint::read_u32(buf)? as usize;
+        // A dictionary cannot be larger than the values it describes —
+        // reject before allocating from an attacker-controlled length.
+        if dict_len > count {
+            return Err(corrupt(format!(
+                "value dictionary of {dict_len} entries for {count} values"
+            )));
+        }
+        if count > 0 && dict_len == 0 {
+            return Err(corrupt("empty value dictionary for a non-empty block"));
+        }
+        let need = dict_len * 8;
+        if buf.len() < need {
+            return Err(corrupt("truncated value dictionary"));
+        }
+        let mut dict = Vec::with_capacity(dict_len);
+        for chunk in buf[..need].chunks_exact(8) {
+            dict.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        *buf = &buf[need..];
+        out.reserve(count);
+        for _ in 0..count {
+            let idx = varint::read_u32(buf)? as usize;
+            let v = dict.get(idx).ok_or_else(|| {
+                corrupt(format!("value index {idx} past dictionary ({dict_len})"))
+            })?;
+            out.push(*v);
+        }
+        Ok(())
+    }
+}
+
+/// Quantization scale of [`FixedPointCodec`]: the full `u32` range maps
+/// the unit interval.
+const FIXED_SCALE: f64 = u32::MAX as f64;
+
+/// Quantize a probability to fixed-point `u32` (clamped to the unit
+/// range, so the `1 + 1e-9` tolerance the decoders accept cannot wrap).
+#[inline]
+pub fn quantize(v: f64) -> u32 {
+    (v.clamp(0.0, 1.0) * FIXED_SCALE).round() as u32
+}
+
+/// Inverse of [`quantize`].
+#[inline]
+pub fn dequantize(q: u32) -> f64 {
+    q as f64 / FIXED_SCALE
+}
+
+/// 4-byte fixed-point values; lossy within `2⁻³³`, flagged file-wide.
+pub struct FixedPointCodec;
+
+impl SectionCodec for FixedPointCodec {
+    fn tag(&self) -> u8 {
+        TAG_FIXED_U32
+    }
+
+    fn exact(&self) -> bool {
+        false
+    }
+
+    fn encode(&self, values: &[f64], out: &mut Vec<u8>) {
+        for v in values {
+            out.extend_from_slice(&quantize(*v).to_le_bytes());
+        }
+    }
+
+    fn decode(&self, buf: &mut &[u8], count: usize, out: &mut Vec<f64>) -> Result<(), SlingError> {
+        let need = count
+            .checked_mul(4)
+            .ok_or_else(|| corrupt("value count overflows"))?;
+        if buf.len() < need {
+            return Err(corrupt("truncated fixed-point value section"));
+        }
+        out.reserve(count);
+        for chunk in buf[..need].chunks_exact(4) {
+            out.push(dequantize(u32::from_le_bytes(chunk.try_into().unwrap())));
+        }
+        *buf = &buf[need..];
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(codec: &dyn SectionCodec, values: &[f64]) -> Vec<f64> {
+        let mut bytes = Vec::new();
+        codec.encode(values, &mut bytes);
+        let mut buf = bytes.as_slice();
+        let mut out = Vec::new();
+        codec.decode(&mut buf, values.len(), &mut out).unwrap();
+        assert!(buf.is_empty(), "decoder left bytes behind");
+        out
+    }
+
+    #[test]
+    fn raw_and_dict_are_bit_exact() {
+        let values = [1.0, 1.0 / 3.0, 0.25, 1.0 / 3.0, 1e-300, 0.0, 1.0];
+        for codec in [&RawF64Codec as &dyn SectionCodec, &DictF64Codec] {
+            let back = round_trip(codec, &values);
+            assert!(codec.exact());
+            assert_eq!(
+                values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                back.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn dict_wins_on_repetitive_blocks_raw_on_distinct() {
+        let repetitive: Vec<f64> = (0..256).map(|i| [0.5, 0.25, 0.125][i % 3]).collect();
+        let mut lossless = Vec::new();
+        encode_values_lossless(&repetitive, &mut lossless);
+        assert_eq!(lossless[0], TAG_DICT_F64);
+        assert!(
+            lossless.len() < repetitive.len() * 8 / 2,
+            "{}",
+            lossless.len()
+        );
+
+        let distinct: Vec<f64> = (0..256).map(|i| 1.0 / (i as f64 + 3.0)).collect();
+        let mut lossless = Vec::new();
+        encode_values_lossless(&distinct, &mut lossless);
+        assert_eq!(lossless[0], TAG_RAW_F64);
+        assert_eq!(lossless.len(), 1 + distinct.len() * 8);
+    }
+
+    #[test]
+    fn fixed_point_error_is_negligible_and_flagged() {
+        let values = [0.0, 1.0, 1.0 / 3.0, 0.999_999_9, 1e-12];
+        let back = round_trip(&FixedPointCodec, &values);
+        assert!(!FixedPointCodec.exact());
+        for (a, b) in values.iter().zip(&back) {
+            assert!((a - b).abs() <= 0.5 / (u32::MAX as f64), "{a} vs {b}");
+            assert!((0.0..=1.0).contains(b));
+        }
+        // Exactly representable endpoints survive.
+        assert_eq!(back[0], 0.0);
+        assert_eq!(back[1], 1.0);
+        // Values outside the unit range clamp instead of wrapping.
+        assert_eq!(quantize(1.0 + 1e-9), u32::MAX);
+        assert_eq!(quantize(-0.5), 0);
+    }
+
+    #[test]
+    fn decoders_reject_malformed_input() {
+        // Truncated raw section.
+        let mut buf: &[u8] = &[0u8; 15];
+        assert!(RawF64Codec.decode(&mut buf, 2, &mut Vec::new()).is_err());
+        // Dict larger than the block.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 100);
+        let mut buf = bytes.as_slice();
+        assert!(DictF64Codec.decode(&mut buf, 3, &mut Vec::new()).is_err());
+        // Empty dict for a non-empty block.
+        let mut buf: &[u8] = &[0u8];
+        assert!(DictF64Codec.decode(&mut buf, 3, &mut Vec::new()).is_err());
+        // Index past the dictionary.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 1);
+        bytes.extend_from_slice(&0.5f64.to_le_bytes());
+        varint::write_u64(&mut bytes, 7); // index 7 into a 1-entry dict
+        let mut buf = bytes.as_slice();
+        assert!(DictF64Codec.decode(&mut buf, 1, &mut Vec::new()).is_err());
+        // Unknown tag.
+        assert!(codec_for_tag(200).is_err());
+    }
+}

@@ -16,6 +16,12 @@
 //! (Earlier revisions duplicated the Algorithm 6 propagation and the
 //! merge-intersection here; that code now lives once, in
 //! [`crate::single_source`] / [`crate::single_pair`].)
+//!
+//! The buffer is format-agnostic: it caches *decoded* per-node lists, so
+//! it fronts a raw `SLNGIDX1` store and a block-compressed `SLNGIDX2`
+//! one identically — over v2 a miss costs one positioned read per
+//! covering block (plus the store's own decoded-block scratch cache), a
+//! hit costs neither IO nor decode.
 
 use parking_lot::Mutex;
 use sling_graph::{DiGraph, NodeId};
@@ -273,6 +279,33 @@ mod tests {
         let got = buf.single_source(&g, NodeId(7)).unwrap();
         let want = store.single_source(&g, NodeId(7)).unwrap();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn buffered_store_over_compressed_file_matches_raw() {
+        let (g, idx, store) = setup("buffered_v2");
+        let v2 = DiskHpStore::create_compressed(
+            &idx,
+            tmp("buffered_v2_blocks"),
+            &crate::codec::CompressOptions {
+                block_entries: 32,
+                quantize_values: false,
+            },
+        )
+        .unwrap();
+        let buf = BufferedDiskStore::new(&v2, 100_000);
+        for (u, v) in [(0u32, 1u32), (5, 80), (42, 42), (149, 0), (5, 80)] {
+            assert_eq!(
+                buf.single_pair(&g, NodeId(u), NodeId(v)).unwrap(),
+                store.single_pair(&g, NodeId(u), NodeId(v)).unwrap(),
+                "({u},{v})"
+            );
+        }
+        assert_eq!(
+            buf.single_source(&g, NodeId(7)).unwrap(),
+            store.single_source(&g, NodeId(7)).unwrap()
+        );
+        assert!(buf.stats().hits > 0);
     }
 
     #[test]

@@ -1,35 +1,69 @@
-//! Binary persistence of a [`SlingIndex`] — the `SLNGIDX1` format.
+//! Binary persistence of a [`SlingIndex`] — the `SLNGIDX1` and
+//! `SLNGIDX2` formats.
 //!
 //! A small hand-rolled format (magic + version + little-endian sections)
 //! rather than a serde backend: the index is dominated by four large
-//! primitive arrays, which serialize as flat byte runs with no per-element
-//! overhead. The graph itself is *not* stored — on load the caller passes
-//! the graph and the header's `(n, m)` fingerprint is verified against it.
+//! primitive arrays, which serialize as flat byte runs with no
+//! per-element overhead. The graph itself is *not* stored — on load the
+//! caller passes the graph and the header's `(n, m)` fingerprint is
+//! verified against it.
 //!
-//! ## Layout
+//! Two payload layouts share one metadata prefix; the magic doubles as
+//! the version tag and **v1 stays readable forever**:
+//!
+//! ## Shared metadata prefix (both versions)
 //!
 //! ```text
-//! magic "SLNGIDX1" | n u64 | m u64
+//! magic "SLNGIDX1" | "SLNGIDX2" | n u64 | m u64
 //! config: c, epsilon, eps_d, theta, delta f64 | seed u64 | gamma f64 | flags u8
 //! stats: 5 × u64
 //! d:        n × f64
 //! reduced:  n × u8
 //! marks:    (n+1) × u64 offsets | len u64 | len × u32 locals
 //! hp:       (n+1) × u64 offsets | entries u64
-//!           entries × u16 steps | entries × u32 nodes | entries × f64 values
+//! ```
+//!
+//! ## `SLNGIDX1` payload: raw sections
+//!
+//! ```text
+//! steps:  entries × u16
+//! nodes:  entries × u32
+//! values: entries × f64
 //! ```
 //!
 //! The three entry arrays are stored as contiguous *sections* (not
 //! interleaved records) so the out-of-core backends can address them
-//! directly: [`decode_meta`] validates everything **up to** the entry
-//! payload and reports the payload section offsets, which is all the
-//! zero-copy mmap backend ([`crate::store::MmapHpArena`]) and the
-//! positioned-read disk backend ([`crate::out_of_core::DiskHpStore`])
-//! need — neither ever decodes the full payload.
+//! directly with per-entry arithmetic — 14 bytes per entry, no decode.
+//!
+//! ## `SLNGIDX2` payload: compressed blocks
+//!
+//! ```text
+//! flags          u8     (bit 0: values are bit-exact / lossless)
+//! block_entries  u64    (entries per block; the last block may be short)
+//! num_blocks     u64    (== ceil(entries / block_entries))
+//! directory:     (num_blocks + 1) × u64 byte offsets into the block
+//!                area, monotone from 0; the last offset is the total
+//!                payload byte length
+//! blocks:        concatenated [`crate::codec::block`] encodings — steps
+//!                run-length coded, node ids delta-varint coded per
+//!                (owner, step) run, values behind a per-block
+//!                [`crate::codec::value::SectionCodec`] tag (raw f64 /
+//!                dictionary, both bit-exact; or fixed-point u32 when
+//!                the exactness flag is clear)
+//! ```
+//!
+//! Each block is independently decodable, so the compressed mmap and
+//! disk backends ([`crate::store::CompressedMmapArena`],
+//! [`crate::out_of_core::DiskHpStore`]) decode only the blocks a query's
+//! entry range touches. [`decode_meta`] validates everything **up to**
+//! the entry payload — including the v2 block directory — and reports
+//! the payload geometry, which is all the zero-copy backends need;
+//! neither ever decodes the full payload at open.
 //!
 //! Every malformed input — truncation, bad magic, non-monotone offsets,
-//! out-of-range ids, overflowing section sizes — surfaces as
-//! [`SlingError::CorruptIndex`]; no input may panic the decoder.
+//! out-of-range ids, overflowing section sizes, inconsistent block
+//! directories — surfaces as [`SlingError::CorruptIndex`]; no input may
+//! panic the decoder.
 
 use std::fs::File;
 use std::io::{Read, Write};
@@ -38,13 +72,50 @@ use std::path::Path;
 use bytes::{Buf, BufMut};
 use sling_graph::DiGraph;
 
+use crate::codec::block::MAX_BLOCK_ENTRIES;
+use crate::codec::{decode_payload, encode_payload, CompressOptions};
 use crate::config::SlingConfig;
 use crate::enhance::MarkArena;
 use crate::error::SlingError;
 use crate::hp::HpArena;
 use crate::index::{BuildStats, SlingIndex};
 
-const MAGIC: &[u8; 8] = b"SLNGIDX1";
+const MAGIC_V1: &[u8; 8] = b"SLNGIDX1";
+const MAGIC_V2: &[u8; 8] = b"SLNGIDX2";
+
+/// Bit 0 of the v2 payload flags: values decode bit-identical to the
+/// encoded index.
+const FLAG_VALUES_EXACT: u8 = 1;
+
+/// On-disk format generation of a persisted index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FormatVersion {
+    /// `SLNGIDX1`: raw fixed-width payload sections.
+    V1,
+    /// `SLNGIDX2`: block-compressed payload.
+    V2,
+}
+
+impl std::fmt::Display for FormatVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatVersion::V1 => write!(f, "SLNGIDX1"),
+            FormatVersion::V2 => write!(f, "SLNGIDX2"),
+        }
+    }
+}
+
+/// Identify the format generation of an index byte image by its magic.
+pub fn detect_version(bytes: &[u8]) -> Result<FormatVersion, SlingError> {
+    if bytes.len() < 8 {
+        return Err(corrupt("truncated while reading magic"));
+    }
+    match &bytes[..8] {
+        m if m == MAGIC_V1 => Ok(FormatVersion::V1),
+        m if m == MAGIC_V2 => Ok(FormatVersion::V2),
+        _ => Err(corrupt("bad magic")),
+    }
+}
 
 /// True when any HP value is non-finite or wildly out of the unit range
 /// (corruption detector; legitimate values are probabilities).
@@ -54,11 +125,49 @@ fn values_corrupt(values: &[f64]) -> bool {
         .any(|v| !v.is_finite() || *v < 0.0 || *v > 1.0 + 1e-9)
 }
 
-/// Everything in a `SLNGIDX1` file *except* the entry payload: the
-/// query-side metadata plus the byte offsets of the payload sections.
-/// Produced by [`decode_meta`], shared by the full decoder and the
-/// out-of-core backends.
+/// Where a file's entry payload lives and how it is laid out.
+pub(crate) enum PayloadGeometry {
+    /// `SLNGIDX1`: three raw fixed-width sections.
+    Raw {
+        steps_base: usize,
+        nodes_base: usize,
+        values_base: usize,
+    },
+    /// `SLNGIDX2`: a validated block directory.
+    Blocked(BlockedGeometry),
+}
+
+/// Validated v2 payload geometry (see the module docs for the layout).
+pub(crate) struct BlockedGeometry {
+    /// Entries per block (the last block may be short).
+    pub block_entries: usize,
+    /// Byte offset of the first block within the file.
+    pub blocks_base: usize,
+    /// `num_blocks + 1` byte offsets relative to `blocks_base`,
+    /// validated monotone; the last equals the payload byte length.
+    pub block_offsets: Vec<u64>,
+    /// Whether value decoding is bit-exact (lossless codecs only).
+    pub values_exact: bool,
+}
+
+impl BlockedGeometry {
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_offsets.len() - 1
+    }
+
+    /// Total encoded payload bytes.
+    pub fn payload_len(&self) -> usize {
+        *self.block_offsets.last().unwrap() as usize
+    }
+}
+
+/// Everything in a persisted index *except* the entry payload: the
+/// query-side metadata plus the payload geometry. Produced by
+/// [`decode_meta`], shared by the full decoder and the out-of-core
+/// backends.
 pub(crate) struct DecodedMeta {
+    pub version: FormatVersion,
     pub config: SlingConfig,
     pub stats: BuildStats,
     pub num_nodes: usize,
@@ -73,10 +182,8 @@ pub(crate) struct DecodedMeta {
     pub entries: usize,
     /// Byte offset of the on-file HP offset table.
     pub offsets_base: usize,
-    /// Byte offsets of the three payload sections.
-    pub steps_base: usize,
-    pub nodes_base: usize,
-    pub values_base: usize,
+    /// Layout of the entry payload.
+    pub payload: PayloadGeometry,
     /// Expected total file size; validated `<=` the available bytes.
     pub total_len: usize,
 }
@@ -93,19 +200,16 @@ fn need(buf: &[u8], n: usize, what: &str) -> Result<(), SlingError> {
     }
 }
 
-/// Decode and validate the metadata prefix of a `SLNGIDX1` byte image.
+/// Decode and validate the metadata prefix of a persisted index image
+/// (either format generation).
 ///
-/// Cost is `O(n)` in the node count and **independent of the number of
-/// stored entries**: the payload sections are bound-checked against the
-/// image length but never read.
+/// Cost is `O(n + entries / block_entries)` and **independent of the
+/// number of stored entries**: the payload sections are bound-checked
+/// against the image length but never read.
 pub(crate) fn decode_meta(bytes: &[u8]) -> Result<DecodedMeta, SlingError> {
-    let mut buf = bytes;
-    need(buf, 8 + 16, "header")?;
-    let mut magic = [0u8; 8];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(corrupt("bad magic"));
-    }
+    let version = detect_version(bytes)?;
+    let mut buf = &bytes[8..];
+    need(buf, 16, "header")?;
     let n = buf.get_u64_le() as usize;
     let m = buf.get_u64_le() as usize;
     // A file with n nodes stores at least n reduction bytes, so n can
@@ -206,22 +310,100 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<DecodedMeta, SlingError> {
     }
     config.validate()?;
 
-    // Payload section geometry, overflow-checked against the image size.
-    let steps_base = bytes.len() - buf.remaining();
-    let section = |base: usize, width: usize| -> Result<usize, SlingError> {
-        entries
-            .checked_mul(width)
-            .and_then(|sz| base.checked_add(sz))
-            .ok_or_else(|| corrupt("entry section size overflows"))
+    let (payload, total_len) = match version {
+        FormatVersion::V1 => {
+            // Payload section geometry, overflow-checked against the
+            // image size.
+            let steps_base = bytes.len() - buf.remaining();
+            let section = |base: usize, width: usize| -> Result<usize, SlingError> {
+                entries
+                    .checked_mul(width)
+                    .and_then(|sz| base.checked_add(sz))
+                    .ok_or_else(|| corrupt("entry section size overflows"))
+            };
+            let nodes_base = section(steps_base, 2)?;
+            let values_base = section(nodes_base, 4)?;
+            let total_len = section(values_base, 8)?;
+            (
+                PayloadGeometry::Raw {
+                    steps_base,
+                    nodes_base,
+                    values_base,
+                },
+                total_len,
+            )
+        }
+        FormatVersion::V2 => {
+            need(buf, 1 + 16, "block header")?;
+            let payload_flags = buf.get_u8();
+            let block_entries = buf.get_u64_le() as usize;
+            let num_blocks = buf.get_u64_le() as usize;
+            if !(1..=MAX_BLOCK_ENTRIES).contains(&block_entries) {
+                return Err(corrupt(format!(
+                    "block size {block_entries} outside 1..={MAX_BLOCK_ENTRIES}"
+                )));
+            }
+            if num_blocks != entries.div_ceil(block_entries) {
+                return Err(corrupt(format!(
+                    "directory holds {num_blocks} blocks; {entries} entries at {block_entries} \
+                     per block need {}",
+                    entries.div_ceil(block_entries)
+                )));
+            }
+            // One more `n`-class bound before allocating the directory.
+            if num_blocks > bytes.len() {
+                return Err(corrupt(format!(
+                    "block count {num_blocks} exceeds file size"
+                )));
+            }
+            need(buf, (num_blocks + 1) * 8, "block directory")?;
+            let mut block_offsets = Vec::with_capacity(num_blocks + 1);
+            for _ in 0..=num_blocks {
+                block_offsets.push(buf.get_u64_le());
+            }
+            if block_offsets.first() != Some(&0) {
+                return Err(corrupt("block directory does not start at 0"));
+            }
+            // Strictly monotone: every block holds at least one entry,
+            // so it encodes to at least one byte.
+            if block_offsets.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(corrupt("block directory not strictly monotone"));
+            }
+            let blocks_base = bytes.len() - buf.remaining();
+            let payload_len = *block_offsets.last().unwrap() as usize;
+            // Bound the entry count by the payload bytes (every encoded
+            // entry costs at least one node-column byte) — the v2
+            // analogue of v1's `total_len` section check, and the bound
+            // that keeps the eager decoder's `entries`-sized allocations
+            // proportional to the input. Without it a ~100 KB file could
+            // claim ~10¹⁰ entries (a tiny directory of `MAX_BLOCK_ENTRIES`
+            // blocks) and drive the decoder into a huge allocation before
+            // any block-level validation can fire.
+            if entries > payload_len {
+                return Err(corrupt(format!(
+                    "{entries} entries cannot fit a {payload_len}-byte block payload"
+                )));
+            }
+            let total_len = blocks_base
+                .checked_add(payload_len)
+                .ok_or_else(|| corrupt("block payload size overflows"))?;
+            (
+                PayloadGeometry::Blocked(BlockedGeometry {
+                    block_entries,
+                    blocks_base,
+                    block_offsets,
+                    values_exact: payload_flags & FLAG_VALUES_EXACT != 0,
+                }),
+                total_len,
+            )
+        }
     };
-    let nodes_base = section(steps_base, 2)?;
-    let values_base = section(nodes_base, 4)?;
-    let total_len = section(values_base, 8)?;
     if total_len > bytes.len() {
         return Err(corrupt("truncated while reading hp entries"));
     }
 
     Ok(DecodedMeta {
+        version,
         config,
         stats,
         num_nodes: n,
@@ -232,20 +414,90 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<DecodedMeta, SlingError> {
         hp_offsets,
         entries,
         offsets_base,
-        steps_base,
-        nodes_base,
-        values_base,
+        payload,
         total_len,
     })
 }
 
+/// Summary of a persisted index file, for `sling inspect` and the
+/// `sling compact` before/after report.
+#[derive(Clone, Debug)]
+pub struct IndexFileInfo {
+    /// Format generation.
+    pub version: FormatVersion,
+    /// Node count recorded in the header.
+    pub num_nodes: usize,
+    /// Edge count recorded in the header.
+    pub num_edges: usize,
+    /// Stored HP entries.
+    pub entries: usize,
+    /// Total file bytes (header through payload).
+    pub total_bytes: usize,
+    /// Bytes of the entry payload sections.
+    pub payload_bytes: usize,
+    /// Bytes the same entries occupy in the raw v1 layout (14/entry) —
+    /// the denominator of the compression ratio.
+    pub raw_payload_bytes: usize,
+    /// Blocks in the payload (0 for v1).
+    pub num_blocks: usize,
+    /// Entries per block (0 for v1).
+    pub block_entries: usize,
+    /// Whether values decode bit-identical to the index that was saved
+    /// (always true for v1; false for quantized v2).
+    pub values_exact: bool,
+}
+
+impl IndexFileInfo {
+    /// Payload bytes relative to the raw v1 layout (1.0 = no change).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.raw_payload_bytes == 0 {
+            1.0
+        } else {
+            self.payload_bytes as f64 / self.raw_payload_bytes as f64
+        }
+    }
+}
+
+/// Inspect a persisted index image: version, sizes, block geometry.
+/// Validates the metadata prefix but never decodes the payload.
+pub fn inspect_bytes(bytes: &[u8]) -> Result<IndexFileInfo, SlingError> {
+    let meta = decode_meta(bytes)?;
+    let (payload_bytes, num_blocks, block_entries, values_exact) = match &meta.payload {
+        PayloadGeometry::Raw { steps_base, .. } => (meta.total_len - steps_base, 0, 0, true),
+        PayloadGeometry::Blocked(geo) => (
+            geo.payload_len(),
+            geo.num_blocks(),
+            geo.block_entries,
+            geo.values_exact,
+        ),
+    };
+    Ok(IndexFileInfo {
+        version: meta.version,
+        num_nodes: meta.num_nodes,
+        num_edges: meta.num_edges,
+        entries: meta.entries,
+        total_bytes: meta.total_len,
+        payload_bytes,
+        raw_payload_bytes: meta.entries * 14,
+        num_blocks,
+        block_entries,
+        values_exact,
+    })
+}
+
+/// Inspect a persisted index file (see [`inspect_bytes`]).
+pub fn inspect_file(path: impl AsRef<Path>) -> Result<IndexFileInfo, SlingError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    inspect_bytes(&bytes)
+}
+
 impl SlingIndex {
-    /// Serialize the full index into a byte vector.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Serialize the shared metadata prefix (everything up to the entry
+    /// payload) under `magic`.
+    fn write_prefix(&self, magic: &[u8; 8], out: &mut Vec<u8>) {
         let n = self.num_nodes;
-        let entries = self.hp.total_entries();
-        let mut out = Vec::with_capacity(64 + n * 9 + entries * 14 + self.marks.local.len() * 4);
-        out.put_slice(MAGIC);
+        out.put_slice(magic);
         out.put_u64_le(n as u64);
         out.put_u64_le(self.num_edges as u64);
 
@@ -287,11 +539,20 @@ impl SlingIndex {
             out.put_u32_le(l);
         }
 
-        // HP arena.
+        // HP offset table.
         for &o in &self.hp.offsets {
             out.put_u64_le(o);
         }
-        out.put_u64_le(entries as u64);
+        out.put_u64_le(self.hp.total_entries() as u64);
+    }
+
+    /// Serialize the full index into a byte vector (`SLNGIDX1`, the raw
+    /// decode-free layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.num_nodes;
+        let entries = self.hp.total_entries();
+        let mut out = Vec::with_capacity(64 + n * 9 + entries * 14 + self.marks.local.len() * 4);
+        self.write_prefix(MAGIC_V1, &mut out);
         for &s in &self.hp.steps {
             out.put_u16_le(s);
         }
@@ -304,34 +565,75 @@ impl SlingIndex {
         out
     }
 
-    /// Deserialize an index previously produced by
-    /// [`SlingIndex::to_bytes`], verifying it matches `graph`.
-    pub fn from_bytes(graph: &DiGraph, bytes: &[u8]) -> Result<Self, SlingError> {
+    /// Serialize into the block-compressed `SLNGIDX2` layout. With
+    /// default (lossless) options every backend serving the result
+    /// returns scores bit-identical to this index; with
+    /// [`CompressOptions::quantize_values`] the values carry ≤ 2⁻³³
+    /// absolute quantization error and the file is flagged inexact.
+    pub fn to_bytes_v2(&self, opts: &CompressOptions) -> Vec<u8> {
+        let n = self.num_nodes;
+        let mut out = Vec::with_capacity(64 + n * 9 + self.marks.local.len() * 4);
+        self.write_prefix(MAGIC_V2, &mut out);
+        let payload = encode_payload(
+            &self.hp.steps,
+            &self.hp.nodes,
+            &self.hp.values,
+            &self.hp.offsets,
+            opts,
+        );
+        out.put_u8(if opts.quantize_values {
+            0
+        } else {
+            FLAG_VALUES_EXACT
+        });
+        out.put_u64_le(payload.block_entries as u64);
+        out.put_u64_le((payload.block_offsets.len() - 1) as u64);
+        for &o in &payload.block_offsets {
+            out.put_u64_le(o);
+        }
+        out.extend_from_slice(&payload.bytes);
+        out
+    }
+
+    /// Decode a persisted index image of either format generation
+    /// **without** a graph fingerprint check (the header's `(n, m)` are
+    /// retained). Used by format-conversion tools; queries should go
+    /// through [`SlingIndex::from_bytes`], which verifies the graph.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SlingError> {
         let meta = decode_meta(bytes)?;
         debug_assert!(meta.total_len <= bytes.len());
-        if meta.num_nodes != graph.num_nodes() || meta.num_edges != graph.num_edges() {
-            return Err(SlingError::GraphMismatch {
-                expected_nodes: meta.num_nodes,
-                found_nodes: graph.num_nodes(),
-            });
-        }
         let entries = meta.entries;
 
-        let mut steps = Vec::with_capacity(entries);
-        let mut buf = &bytes[meta.steps_base..];
-        for _ in 0..entries {
-            steps.push(buf.get_u16_le());
-        }
-        let mut nodes = Vec::with_capacity(entries);
-        let mut buf = &bytes[meta.nodes_base..];
-        for _ in 0..entries {
-            nodes.push(buf.get_u32_le());
-        }
-        let mut values = Vec::with_capacity(entries);
-        let mut buf = &bytes[meta.values_base..];
-        for _ in 0..entries {
-            values.push(buf.get_f64_le());
-        }
+        let (steps, nodes, values) = match &meta.payload {
+            PayloadGeometry::Raw {
+                steps_base,
+                nodes_base,
+                values_base,
+            } => {
+                let mut steps = Vec::with_capacity(entries);
+                let mut buf = &bytes[*steps_base..];
+                for _ in 0..entries {
+                    steps.push(buf.get_u16_le());
+                }
+                let mut nodes = Vec::with_capacity(entries);
+                let mut buf = &bytes[*nodes_base..];
+                for _ in 0..entries {
+                    nodes.push(buf.get_u32_le());
+                }
+                let mut values = Vec::with_capacity(entries);
+                let mut buf = &bytes[*values_base..];
+                for _ in 0..entries {
+                    values.push(buf.get_f64_le());
+                }
+                (steps, nodes, values)
+            }
+            PayloadGeometry::Blocked(geo) => decode_payload(
+                &bytes[geo.blocks_base..meta.total_len],
+                &geo.block_offsets,
+                geo.block_entries,
+                entries,
+            )?,
+        };
 
         let hp = HpArena {
             offsets: meta.hp_offsets,
@@ -360,14 +662,42 @@ impl SlingIndex {
         })
     }
 
-    /// Persist to a file.
+    /// Deserialize an index previously produced by
+    /// [`SlingIndex::to_bytes`] or [`SlingIndex::to_bytes_v2`],
+    /// verifying it matches `graph`. The fingerprint is checked against
+    /// the `O(n)` metadata *before* the entry payload is decoded, so a
+    /// wrong-graph load fails fast without touching the payload.
+    pub fn from_bytes(graph: &DiGraph, bytes: &[u8]) -> Result<Self, SlingError> {
+        let meta = decode_meta(bytes)?;
+        if meta.num_nodes != graph.num_nodes() || meta.num_edges != graph.num_edges() {
+            return Err(SlingError::GraphMismatch {
+                expected_nodes: meta.num_nodes,
+                found_nodes: graph.num_nodes(),
+            });
+        }
+        Self::decode(bytes)
+    }
+
+    /// Persist to a file (`SLNGIDX1`).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SlingError> {
         let mut f = File::create(path)?;
         f.write_all(&self.to_bytes())?;
         Ok(())
     }
 
-    /// Load from a file, verifying against `graph`.
+    /// Persist to a file in the block-compressed `SLNGIDX2` layout.
+    pub fn save_v2(
+        &self,
+        path: impl AsRef<Path>,
+        opts: &CompressOptions,
+    ) -> Result<(), SlingError> {
+        let mut f = File::create(path)?;
+        f.write_all(&self.to_bytes_v2(opts))?;
+        Ok(())
+    }
+
+    /// Load from a file (either format generation), verifying against
+    /// `graph`.
     pub fn load(graph: &DiGraph, path: impl AsRef<Path>) -> Result<Self, SlingError> {
         let mut bytes = Vec::new();
         File::open(path)?.read_to_end(&mut bytes)?;
@@ -408,11 +738,63 @@ mod tests {
     }
 
     #[test]
+    fn v2_byte_round_trip_is_bit_identical_and_smaller() {
+        let g = barabasi_albert(150, 3, 8).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let v1 = idx.to_bytes();
+        let v2 = idx.to_bytes_v2(&CompressOptions::default());
+        assert!(v2.len() < v1.len(), "v2 {} vs v1 {}", v2.len(), v1.len());
+        let back = SlingIndex::from_bytes(&g, &v2).unwrap();
+        assert_eq!(idx.d, back.d);
+        assert_eq!(idx.hp, back.hp, "lossless v2 must be bit-identical");
+        assert_eq!(idx.reduced, back.reduced);
+        assert_eq!(idx.marks, back.marks);
+        assert_eq!(idx.config, back.config);
+    }
+
+    #[test]
+    fn v2_quantized_round_trip_is_close_and_flagged() {
+        let g = two_cliques_bridge(5);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let opts = CompressOptions {
+            quantize_values: true,
+            ..CompressOptions::default()
+        };
+        let v2 = idx.to_bytes_v2(&opts);
+        let info = inspect_bytes(&v2).unwrap();
+        assert!(!info.values_exact);
+        let back = SlingIndex::from_bytes(&g, &v2).unwrap();
+        assert_eq!(idx.hp.steps, back.hp.steps);
+        assert_eq!(idx.hp.nodes, back.hp.nodes);
+        for (a, b) in idx.hp.values.iter().zip(&back.hp.values) {
+            assert!((a - b).abs() <= 0.5 / (u32::MAX as f64), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn v2_extreme_block_sizes_round_trip() {
+        let g = two_cliques_bridge(4);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        for block_entries in [1usize, 7, 1 << 20] {
+            let opts = CompressOptions {
+                block_entries,
+                quantize_values: false,
+            };
+            let back = SlingIndex::from_bytes(&g, &idx.to_bytes_v2(&opts)).unwrap();
+            assert_eq!(idx.hp, back.hp, "block_entries = {block_entries}");
+        }
+    }
+
+    #[test]
     fn file_round_trip() {
         let g = two_cliques_bridge(4);
         let idx = SlingIndex::build(&g, &cfg()).unwrap();
         let path = std::env::temp_dir().join(format!("sling_fmt_{}.idx", std::process::id()));
         idx.save(&path).unwrap();
+        let back = SlingIndex::load(&g, &path).unwrap();
+        assert_eq!(idx.hp, back.hp);
+        // The v2 file loads through the same entry point.
+        idx.save_v2(&path, &CompressOptions::default()).unwrap();
         let back = SlingIndex::load(&g, &path).unwrap();
         assert_eq!(idx.hp, back.hp);
         std::fs::remove_file(path).ok();
@@ -425,24 +807,28 @@ mod tests {
         let other = two_cliques_bridge(5);
         let err = SlingIndex::from_bytes(&other, &idx.to_bytes()).unwrap_err();
         assert!(matches!(err, SlingError::GraphMismatch { .. }));
+        let err = SlingIndex::from_bytes(&other, &idx.to_bytes_v2(&CompressOptions::default()))
+            .unwrap_err();
+        assert!(matches!(err, SlingError::GraphMismatch { .. }));
     }
 
     #[test]
     fn rejects_truncation_and_corruption() {
         let g = two_cliques_bridge(4);
         let idx = SlingIndex::build(&g, &cfg()).unwrap();
-        let bytes = idx.to_bytes();
-        // Truncations at various prefixes must all error, never panic.
-        for cut in [0, 4, 8, 20, 60, bytes.len() / 2, bytes.len() - 1] {
-            assert!(
-                SlingIndex::from_bytes(&g, &bytes[..cut]).is_err(),
-                "cut {cut} accepted"
-            );
+        for bytes in [idx.to_bytes(), idx.to_bytes_v2(&CompressOptions::default())] {
+            // Truncations at various prefixes must all error, never panic.
+            for cut in [0, 4, 8, 20, 60, bytes.len() / 2, bytes.len() - 1] {
+                assert!(
+                    SlingIndex::from_bytes(&g, &bytes[..cut]).is_err(),
+                    "cut {cut} accepted"
+                );
+            }
+            // Corrupt magic.
+            let mut bad = bytes.clone();
+            bad[0] ^= 0xff;
+            assert!(SlingIndex::from_bytes(&g, &bad).is_err());
         }
-        // Corrupt magic.
-        let mut bad = bytes.clone();
-        bad[0] ^= 0xff;
-        assert!(SlingIndex::from_bytes(&g, &bad).is_err());
     }
 
     #[test]
@@ -451,15 +837,24 @@ mod tests {
         let idx = SlingIndex::build(&g, &cfg()).unwrap();
         let bytes = idx.to_bytes();
         let meta = decode_meta(&bytes).unwrap();
+        assert_eq!(meta.version, FormatVersion::V1);
         assert_eq!(meta.num_nodes, g.num_nodes());
         assert_eq!(meta.num_edges, g.num_edges());
         assert_eq!(meta.entries, idx.hp.total_entries());
         assert_eq!(meta.hp_offsets, idx.hp.offsets);
         assert_eq!(meta.total_len, bytes.len());
-        assert_eq!(meta.nodes_base - meta.steps_base, meta.entries * 2);
-        assert_eq!(meta.values_base - meta.nodes_base, meta.entries * 4);
+        let PayloadGeometry::Raw {
+            steps_base,
+            nodes_base,
+            values_base,
+        } = meta.payload
+        else {
+            panic!("v1 image decoded to a blocked geometry");
+        };
+        assert_eq!(nodes_base - steps_base, meta.entries * 2);
+        assert_eq!(values_base - nodes_base, meta.entries * 4);
         // The payload sections hold exactly the arena arrays.
-        let steps_raw = &bytes[meta.steps_base..meta.nodes_base];
+        let steps_raw = &bytes[steps_base..nodes_base];
         assert_eq!(
             steps_raw
                 .chunks(2)
@@ -470,14 +865,84 @@ mod tests {
     }
 
     #[test]
+    fn meta_decode_reports_block_geometry() {
+        let g = two_cliques_bridge(5);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let opts = CompressOptions {
+            block_entries: 32,
+            quantize_values: false,
+        };
+        let bytes = idx.to_bytes_v2(&opts);
+        let meta = decode_meta(&bytes).unwrap();
+        assert_eq!(meta.version, FormatVersion::V2);
+        assert_eq!(meta.total_len, bytes.len());
+        let PayloadGeometry::Blocked(geo) = meta.payload else {
+            panic!("v2 image decoded to a raw geometry");
+        };
+        assert_eq!(geo.block_entries, 32);
+        assert_eq!(geo.num_blocks(), meta.entries.div_ceil(32));
+        assert!(geo.values_exact);
+        assert_eq!(geo.blocks_base + geo.payload_len(), bytes.len());
+    }
+
+    #[test]
     fn meta_decode_rejects_oversized_counts() {
         let g = two_cliques_bridge(4);
         let idx = SlingIndex::build(&g, &cfg()).unwrap();
-        let mut bytes = idx.to_bytes();
-        // Blow up the node count field: must be rejected before any
-        // n-sized allocation happens.
-        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
-        assert!(SlingIndex::from_bytes(&g, &bytes).is_err());
-        assert!(decode_meta(&bytes).is_err());
+        for mut bytes in [idx.to_bytes(), idx.to_bytes_v2(&CompressOptions::default())] {
+            // Blow up the node count field: must be rejected before any
+            // n-sized allocation happens.
+            bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+            assert!(SlingIndex::from_bytes(&g, &bytes).is_err());
+            assert!(decode_meta(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn v2_rejects_entry_counts_larger_than_the_payload() {
+        let g = two_cliques_bridge(4);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let opts = CompressOptions {
+            block_entries: MAX_BLOCK_ENTRIES,
+            quantize_values: false,
+        };
+        let mut bytes = idx.to_bytes_v2(&opts);
+        let meta = decode_meta(&bytes).unwrap();
+        let n = meta.num_nodes;
+        // Claim MAX_BLOCK_ENTRIES entries: still consistent with the
+        // one-block directory, but far beyond the payload bytes. The
+        // decoder must reject this *in decode_meta* — before any
+        // entries-sized allocation — or a ~100 KB file could demand a
+        // multi-gigabyte decode.
+        let claimed = (MAX_BLOCK_ENTRIES as u64).to_le_bytes();
+        let last_off = meta.offsets_base + n * 8;
+        bytes[last_off..last_off + 8].copy_from_slice(&claimed);
+        bytes[last_off + 8..last_off + 16].copy_from_slice(&claimed);
+        let Err(err) = decode_meta(&bytes) else {
+            panic!("oversized entry claim accepted");
+        };
+        assert!(err.to_string().contains("cannot fit"), "{err}");
+        assert!(SlingIndex::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn inspect_reports_both_generations() {
+        let g = barabasi_albert(100, 3, 5).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let v1 = inspect_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(v1.version, FormatVersion::V1);
+        assert_eq!(v1.entries, idx.hp.total_entries());
+        assert_eq!(v1.payload_bytes, v1.raw_payload_bytes);
+        assert_eq!(v1.compression_ratio(), 1.0);
+        assert!(v1.values_exact);
+
+        let v2 = inspect_bytes(&idx.to_bytes_v2(&CompressOptions::default())).unwrap();
+        assert_eq!(v2.version, FormatVersion::V2);
+        assert_eq!(v2.entries, v1.entries);
+        assert!(v2.payload_bytes < v1.payload_bytes);
+        assert!(v2.compression_ratio() < 1.0);
+        assert!(v2.values_exact);
+        assert!(v2.num_blocks > 0);
+        assert_eq!(v2.block_entries, crate::codec::DEFAULT_BLOCK_ENTRIES);
     }
 }

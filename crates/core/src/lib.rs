@@ -64,14 +64,26 @@
 //!
 //! The crate is layered like a small DBMS. At the bottom sits the
 //! [`store::HpStore`] trait — the read interface to the packed per-node
-//! hitting-probability sets — with three backends serving the *same*
+//! hitting-probability sets — with four backends serving the *same*
 //! persisted index with **identical scores**:
 //!
-//! | backend | residency | open cost |
-//! |---|---|---|
-//! | [`hp::HpArena`] | full decode in RAM | `O(n/ε)` decode |
-//! | [`store::MmapHpArena`] | page cache, zero-copy | header + offsets only |
-//! | [`out_of_core::DiskHpStore`] (+ [`disk_query::BufferedDiskStore`] LRU pool) | `O(n)` metadata | header + offsets only |
+//! | backend | residency | open cost | format |
+//! |---|---|---|---|
+//! | [`hp::HpArena`] | full decode in RAM | `O(n/ε)` decode | v1 + v2 |
+//! | [`store::MmapHpArena`] | page cache, zero-copy | header + offsets only | v1 |
+//! | [`store::CompressedMmapArena`] | page cache + decoded-block cache | header + offsets + directory | v2 |
+//! | [`out_of_core::DiskHpStore`] (+ [`disk_query::BufferedDiskStore`] LRU pool) | `O(n)` metadata | header + offsets only | v1 + v2 |
+//!
+//! Persistence is versioned ([`format`]): `SLNGIDX1` stores the entry
+//! payload as raw fixed-width sections (14 bytes/entry, decode-free);
+//! `SLNGIDX2` stores it as independently decodable compressed blocks
+//! (the [`codec`] subsystem — delta-varint node ids per `(owner, step)`
+//! run, run-length-coded steps, dictionary or fixed-point values behind
+//! the [`codec::value::SectionCodec`] trait). Lossless compression (the
+//! default) keeps every backend bit-identical at ~⅔ of the raw payload;
+//! quantized mode reaches ~40% with ≤ 2⁻³³ value error, flagged in the
+//! header. v1 stays readable forever; `sling compact` converts between
+//! generations and `sling inspect` reports the geometry.
 //!
 //! Above the trait, every query algorithm is written **once**, generic
 //! over `S: HpStore` — the §5.2/§5.3 effective-entry materialization
@@ -79,7 +91,7 @@
 //! ([`single_source`]), top-k ([`topk`]), joins ([`join`]), parallel
 //! batches ([`batch`]), and result caching ([`cache`]). The trait also
 //! carries an advisory [`store::HpStore::prefetch`] hook: the mmap
-//! backend `madvise(WILLNEED)`s a query's entry byte ranges so cold
+//! backends `madvise(WILLNEED)` a query's entry byte ranges so cold
 //! out-of-core queries fault their pages in one batch.
 //!
 //! Two front-ends sit on top of a backend:
@@ -101,12 +113,15 @@
 //! stay exact under concurrency. Pairs are canonicalized before
 //! computing, so cached and uncached answers are bit-identical across
 //! threads and backends ([`store::SharedEngine::single_pair_cached`],
-//! [`store::SharedEngine::batch_single_pair_cached`]). The `sling-server`
-//! crate stands a thread-per-core TCP/Unix-socket server on exactly
-//! these pieces. This is what backs §5.4's claim that SLING answers
-//! queries "even when its index structure does not fit in the main
-//! memory": pick the backend at open time, keep the algorithms — and
-//! now, keep them warm behind a server.
+//! [`store::SharedEngine::batch_single_pair_cached`]); identity pairs
+//! and out-of-range ids memoize compact verdicts too
+//! ([`cache::CachedVerdict`]), so degenerate traffic never reaches the
+//! engine twice. The `sling-server` crate stands a thread-per-core
+//! TCP/Unix-socket server on exactly these pieces. This is what backs
+//! §5.4's claim that SLING answers queries "even when its index
+//! structure does not fit in the main memory": pick the backend at open
+//! time, keep the algorithms — and now, keep them warm behind a server,
+//! at a fraction of the mapped footprint.
 //!
 //! ## Extension features beyond the paper's evaluation
 //!
@@ -124,6 +139,7 @@
 pub mod batch;
 pub mod bernoulli;
 pub mod cache;
+pub mod codec;
 pub mod config;
 pub mod correction;
 pub mod disk_query;
@@ -148,10 +164,12 @@ pub mod two_hop;
 pub mod verify;
 pub mod walk;
 
-pub use cache::{AtomicCacheStats, CacheStats, ShardedResultCache};
+pub use cache::{AtomicCacheStats, CacheStats, CachedVerdict, ShardedResultCache};
+pub use codec::CompressOptions;
 pub use config::SlingConfig;
 pub use error::SlingError;
+pub use format::{inspect_bytes, inspect_file, FormatVersion, IndexFileInfo};
 pub use hp::HpEntry;
 pub use index::{QueryWorkspace, SlingIndex};
-pub use store::{HpStore, MmapHpArena, QueryEngine, SharedEngine};
+pub use store::{CompressedMmapArena, HpStore, MmapHpArena, QueryEngine, SharedEngine};
 pub use walk::WalkEngine;

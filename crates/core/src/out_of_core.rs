@@ -17,19 +17,25 @@ use std::fs::File;
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use bytes::Buf;
 use sling_graph::{DiGraph, NodeId};
 
+use crate::codec::block::DecodedBlock;
+use crate::codec::CompressOptions;
 use crate::config::SlingConfig;
 use crate::correction::estimate_dk;
 use crate::enhance::MarkArena;
 use crate::error::SlingError;
 use crate::external_sort::ExternalSorter;
+use crate::format::PayloadGeometry;
 use crate::hp::{HpArena, HpEntry};
 use crate::index::{BuildStats, SlingIndex};
 use crate::local_update::reverse_hp_all;
-use crate::store::{HpStore, QueryEngine};
+use crate::store::{
+    decode_block_validated, push_block_range, BlockScratchCache, HpStore, QueryEngine,
+};
 use crate::walk::{task_rng, WalkEngine};
 
 /// Options for the out-of-core builder.
@@ -155,16 +161,19 @@ pub fn build_out_of_core(
     })
 }
 
-/// Disk-resident HP store over a persisted `SLNGIDX1` index file: the
-/// entry payload stays on disk; only the `O(n)` offsets, correction
-/// factors, reduction bitmap, and §5.3 marks are memory-resident.
+/// Disk-resident HP store over a persisted index file — either the raw
+/// `SLNGIDX1` layout or the block-compressed `SLNGIDX2` one: the entry
+/// payload stays on disk; only the `O(n)` offsets, correction factors,
+/// reduction bitmap, and §5.3 marks are memory-resident.
 ///
 /// Implements [`HpStore`], so the whole generic query surface
 /// (Algorithms 3 and 6, top-k, joins, batches) runs against it through
-/// [`DiskHpStore::query_engine`] — each entry-list read costs three
-/// positioned reads (one per payload section), the constant-IO regime
-/// described in §5.4. Front it with
-/// [`crate::disk_query::BufferedDiskStore`] to amortize repeated reads.
+/// [`DiskHpStore::query_engine`] — for a v1 file each entry-list read
+/// costs three positioned reads (one per payload section); for a v2 file
+/// it costs one positioned read per covering block, decoded through a
+/// small scratch cache, the same constant-IO regime described in §5.4.
+/// Front it with [`crate::disk_query::BufferedDiskStore`] to amortize
+/// repeated reads of whole entry lists.
 pub struct DiskHpStore {
     file: File,
     offsets: Vec<u64>,
@@ -176,9 +185,25 @@ pub struct DiskHpStore {
     num_nodes: usize,
     num_edges: usize,
     entries: usize,
-    steps_base: u64,
-    nodes_base: u64,
-    values_base: u64,
+    payload: DiskPayload,
+}
+
+/// Where the on-disk entry payload lives and how to read it.
+enum DiskPayload {
+    /// `SLNGIDX1`: three raw fixed-width sections, addressed per entry.
+    Raw {
+        steps_base: u64,
+        nodes_base: u64,
+        values_base: u64,
+    },
+    /// `SLNGIDX2`: a resident block directory; whole blocks are read
+    /// with one `pread` each, decoded, and kept in a scratch cache.
+    Blocked {
+        block_entries: usize,
+        blocks_base: u64,
+        block_offsets: Vec<u64>,
+        cache: BlockScratchCache,
+    },
 }
 
 impl DiskHpStore {
@@ -187,6 +212,20 @@ impl DiskHpStore {
     pub fn create(index: &SlingIndex, path: impl AsRef<Path>) -> Result<Self, SlingError> {
         let path = path.as_ref();
         index.save(path)?;
+        Self::open_file(path)
+    }
+
+    /// Persist `index` to `path` in the block-compressed `SLNGIDX2`
+    /// format and return a store reading v2 blocks from it. With default
+    /// (lossless) options queries answer bit-identically to
+    /// [`DiskHpStore::create`].
+    pub fn create_compressed(
+        index: &SlingIndex,
+        path: impl AsRef<Path>,
+        opts: &CompressOptions,
+    ) -> Result<Self, SlingError> {
+        let path = path.as_ref();
+        index.save_v2(path, opts)?;
         Self::open_file(path)
     }
 
@@ -215,6 +254,23 @@ impl DiskHpStore {
             let map = unsafe { memmap2::Mmap::map(&file) }?;
             crate::format::decode_meta(&map)?
         };
+        let payload = match meta.payload {
+            PayloadGeometry::Raw {
+                steps_base,
+                nodes_base,
+                values_base,
+            } => DiskPayload::Raw {
+                steps_base: steps_base as u64,
+                nodes_base: nodes_base as u64,
+                values_base: values_base as u64,
+            },
+            PayloadGeometry::Blocked(geo) => DiskPayload::Blocked {
+                block_entries: geo.block_entries,
+                blocks_base: geo.blocks_base as u64,
+                block_offsets: geo.block_offsets,
+                cache: BlockScratchCache::new(),
+            },
+        };
         Ok(DiskHpStore {
             file,
             offsets: meta.hp_offsets,
@@ -226,9 +282,7 @@ impl DiskHpStore {
             num_nodes: meta.num_nodes,
             num_edges: meta.num_edges,
             entries: meta.entries,
-            steps_base: meta.steps_base as u64,
-            nodes_base: meta.nodes_base as u64,
-            values_base: meta.values_base as u64,
+            payload,
         })
     }
 
@@ -245,7 +299,20 @@ impl DiskHpStore {
     /// Memory-resident bytes (excludes the entry file) — the quantity the
     /// out-of-core mode is designed to bound.
     pub fn resident_bytes(&self) -> usize {
-        self.offsets.len() * 8 + self.d.len() * 8 + self.reduced.len() + self.marks.resident_bytes()
+        let payload = match &self.payload {
+            DiskPayload::Raw { .. } => 0,
+            DiskPayload::Blocked {
+                block_entries,
+                block_offsets,
+                cache,
+                ..
+            } => block_offsets.len() * 8 + cache.resident_bytes(*block_entries),
+        };
+        self.offsets.len() * 8
+            + self.d.len() * 8
+            + self.reduced.len()
+            + self.marks.resident_bytes()
+            + payload
     }
 
     /// Query engine over this store (single-pair, single-source, top-k,
@@ -277,7 +344,35 @@ impl DiskHpStore {
         crate::store::SharedEngine::from_owned_parts(self, config, d, reduced, marks, stats)
     }
 
-    /// Decode one bound-checked entry with three positioned reads.
+    /// Read, decode, validate, and cache block `b` of a v2 payload.
+    fn read_block(&self, b: usize) -> Result<Arc<DecodedBlock>, SlingError> {
+        let DiskPayload::Blocked {
+            block_entries,
+            blocks_base,
+            block_offsets,
+            cache,
+        } = &self.payload
+        else {
+            unreachable!("read_block called on a raw payload");
+        };
+        let num_blocks = block_offsets.len() - 1;
+        cache.get_or_decode(b, || {
+            let (lo, hi) = (block_offsets[b], block_offsets[b + 1]);
+            let mut raw = vec![0u8; (hi - lo) as usize];
+            self.file.read_exact_at(&mut raw, blocks_base + lo)?;
+            decode_block_validated(
+                &raw,
+                b,
+                num_blocks,
+                *block_entries,
+                self.entries,
+                self.num_nodes,
+            )
+        })
+    }
+
+    /// Decode one bound-checked entry: three positioned reads (v1) or
+    /// one cached block decode (v2).
     fn read_entry_at(&self, i: usize) -> Result<HpEntry, SlingError> {
         if i >= self.entries {
             return Err(SlingError::CorruptIndex(format!(
@@ -285,15 +380,32 @@ impl DiskHpStore {
                 self.entries
             )));
         }
+        let (steps_base, nodes_base, values_base) = match &self.payload {
+            DiskPayload::Blocked { block_entries, .. } => {
+                let b = i / block_entries;
+                let block = self.read_block(b)?;
+                let j = i - b * block_entries;
+                return Ok(HpEntry::new(
+                    block.steps[j],
+                    NodeId(block.nodes[j]),
+                    block.values[j],
+                ));
+            }
+            DiskPayload::Raw {
+                steps_base,
+                nodes_base,
+                values_base,
+            } => (*steps_base, *nodes_base, *values_base),
+        };
         let mut step_raw = [0u8; 2];
         self.file
-            .read_exact_at(&mut step_raw, self.steps_base + i as u64 * 2)?;
+            .read_exact_at(&mut step_raw, steps_base + i as u64 * 2)?;
         let mut node_raw = [0u8; 4];
         self.file
-            .read_exact_at(&mut node_raw, self.nodes_base + i as u64 * 4)?;
+            .read_exact_at(&mut node_raw, nodes_base + i as u64 * 4)?;
         let mut value_raw = [0u8; 8];
         self.file
-            .read_exact_at(&mut value_raw, self.values_base + i as u64 * 8)?;
+            .read_exact_at(&mut value_raw, values_base + i as u64 * 8)?;
         let node = u32::from_le_bytes(node_raw);
         if node as usize >= self.num_nodes {
             return Err(SlingError::CorruptIndex(format!(
@@ -310,7 +422,8 @@ impl DiskHpStore {
         ))
     }
 
-    /// Read `H(v)` with three positioned section reads.
+    /// Read `H(v)`: three positioned section reads (v1), or one
+    /// positioned read per covering block (v2).
     pub(crate) fn read_entries(&self, v: NodeId, out: &mut Vec<HpEntry>) -> Result<(), SlingError> {
         out.clear();
         let i = v.index();
@@ -319,15 +432,31 @@ impl DiskHpStore {
         if count == 0 {
             return Ok(());
         }
+        let (steps_base, nodes_base, values_base) = match &self.payload {
+            DiskPayload::Blocked { block_entries, .. } => {
+                let be = *block_entries;
+                out.reserve(count);
+                for b in lo / be..=(hi - 1) / be {
+                    let block = self.read_block(b)?;
+                    push_block_range(&block, b, be, &(lo..hi), out);
+                }
+                return Ok(());
+            }
+            DiskPayload::Raw {
+                steps_base,
+                nodes_base,
+                values_base,
+            } => (*steps_base, *nodes_base, *values_base),
+        };
         let mut steps_raw = vec![0u8; count * 2];
         self.file
-            .read_exact_at(&mut steps_raw, self.steps_base + lo as u64 * 2)?;
+            .read_exact_at(&mut steps_raw, steps_base + lo as u64 * 2)?;
         let mut nodes_raw = vec![0u8; count * 4];
         self.file
-            .read_exact_at(&mut nodes_raw, self.nodes_base + lo as u64 * 4)?;
+            .read_exact_at(&mut nodes_raw, nodes_base + lo as u64 * 4)?;
         let mut values_raw = vec![0u8; count * 8];
         self.file
-            .read_exact_at(&mut values_raw, self.values_base + lo as u64 * 8)?;
+            .read_exact_at(&mut values_raw, values_base + lo as u64 * 8)?;
         let (mut s, mut nn, mut vv) = (
             steps_raw.as_slice(),
             nodes_raw.as_slice(),
@@ -447,6 +576,65 @@ mod tests {
             assert!((a - b).abs() < 1e-12, "({u},{v}): memory {a} vs disk {b}");
         }
         assert!(store.resident_bytes() < idx.resident_bytes());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compressed_disk_store_is_bit_identical_to_raw() {
+        let g = barabasi_albert(150, 2, 9).unwrap();
+        let config = cfg();
+        let idx = SlingIndex::build(&g, &config).unwrap();
+        let dir = tmp("store_v2");
+        let raw = DiskHpStore::create(&idx, dir.join("v1.bin")).unwrap();
+        // Small blocks so entry lists straddle block boundaries.
+        let opts = CompressOptions {
+            block_entries: 32,
+            quantize_values: false,
+        };
+        let v2 = DiskHpStore::create_compressed(&idx, dir.join("v2.bin"), &opts).unwrap();
+        assert!(
+            std::fs::metadata(dir.join("v2.bin")).unwrap().len()
+                < std::fs::metadata(dir.join("v1.bin")).unwrap().len()
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for v in g.nodes() {
+            raw.read_entries(v, &mut a).unwrap();
+            v2.read_entries(v, &mut b).unwrap();
+            assert_eq!(a, b, "H({v:?}) differs between raw and blocked disk");
+        }
+        for i in (0..raw.total_entries()).step_by(11) {
+            assert_eq!(raw.entry_at(i).unwrap(), v2.entry_at(i).unwrap());
+        }
+        for (u, w) in [(0u32, 1u32), (3, 77), (149, 10), (5, 5)] {
+            assert_eq!(
+                raw.single_pair(&g, NodeId(u), NodeId(w)).unwrap(),
+                v2.single_pair(&g, NodeId(u), NodeId(w)).unwrap(),
+                "({u},{w})"
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compressed_disk_store_surfaces_truncation() {
+        let g = barabasi_albert(120, 3, 2).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let dir = tmp("trunc_v2");
+        let path = dir.join("v2.bin");
+        let store =
+            DiskHpStore::create_compressed(&idx, &path, &CompressOptions::default()).unwrap();
+        // Chop the payload behind the store's back.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - len / 8).unwrap();
+        let mut failed = false;
+        for v in g.nodes() {
+            if store.single_pair(&g, v, NodeId(0)).is_err() {
+                failed = true;
+            }
+        }
+        assert!(failed, "no query noticed the truncated v2 payload");
         std::fs::remove_dir_all(dir).ok();
     }
 

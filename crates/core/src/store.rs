@@ -33,10 +33,17 @@ use std::path::Path;
 use memmap2::{Advice, Mmap};
 use sling_graph::{DiGraph, NodeId};
 
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cache::LruList;
+use crate::codec::block::DecodedBlock;
+use crate::codec::{decode_block, expected_block_len};
 use crate::config::SlingConfig;
 use crate::enhance::MarkArena;
 use crate::error::SlingError;
-use crate::format::decode_meta;
+use crate::format::{decode_meta, BlockedGeometry, PayloadGeometry};
 use crate::hp::{HpArena, HpEntry};
 use crate::index::{BuildStats, QueryWorkspace, SlingIndex};
 use crate::join::{threshold_join_core, JoinPair, JoinStrategy};
@@ -274,13 +281,25 @@ impl MmapHpArena {
         // decode errors surface as SlingError.
         let map = unsafe { Mmap::map(&file) }?;
         let meta = decode_meta(&map)?;
+        let &PayloadGeometry::Raw {
+            steps_base,
+            nodes_base,
+            values_base,
+        } = &meta.payload
+        else {
+            return Err(SlingError::CorruptIndex(
+                "SLNGIDX2 index: open it with the mmap-compressed backend \
+                 (CompressedMmapArena), or convert with `sling compact`"
+                    .to_string(),
+            ));
+        };
         let arena = MmapHpArena {
             num_nodes: meta.num_nodes,
             entries: meta.entries,
             offsets_base: meta.offsets_base,
-            steps_base: meta.steps_base,
-            nodes_base: meta.nodes_base,
-            values_base: meta.values_base,
+            steps_base,
+            nodes_base,
+            values_base,
             map,
         };
         Ok((arena, meta))
@@ -405,6 +424,345 @@ impl HpStore for MmapHpArena {
     /// heap: only the handle itself counts.
     fn resident_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
+    }
+
+    fn prefetch(&self, v: NodeId) {
+        self.prefetch_entries(v);
+    }
+}
+
+/// Decoded-block scratch cache of a compressed backend.
+///
+/// Queries against a blocked payload decode whole blocks to read one
+/// `O(1/ε)` entry run; consecutive queries overwhelmingly land in the
+/// same few blocks (hubs cluster, batch pairs repeat endpoints), so a
+/// small cache of decoded blocks turns the second touch into a memcpy.
+/// The cache is sharded by block index — each worker's hot blocks hash
+/// to different shards, so concurrent workers contend only when they
+/// genuinely share a block — and each shard is an independently locked
+/// [`LruList`] holding a handful of `Arc`-shared decoded blocks.
+/// Everything cached has already been validated (node bounds, value
+/// range), so hits skip re-validation too.
+pub(crate) struct BlockScratchCache {
+    shards: Box<[Mutex<LruList<u64, Arc<DecodedBlock>>>]>,
+    per_shard: usize,
+}
+
+impl BlockScratchCache {
+    /// Shard count (power of two) — sized for the thread-per-core worker
+    /// pools the server runs.
+    const SHARDS: usize = 8;
+
+    /// Decoded blocks kept per shard.
+    const PER_SHARD: usize = 4;
+
+    pub(crate) fn new() -> Self {
+        BlockScratchCache {
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(LruList::new()))
+                .collect(),
+            per_shard: Self::PER_SHARD,
+        }
+    }
+
+    /// Cached block `b`, or decode-and-admit through `decode`.
+    pub(crate) fn get_or_decode(
+        &self,
+        b: usize,
+        decode: impl FnOnce() -> Result<DecodedBlock, SlingError>,
+    ) -> Result<Arc<DecodedBlock>, SlingError> {
+        let key = b as u64;
+        let shard = &self.shards[b & (Self::SHARDS - 1)];
+        if let Some(hit) = shard.lock().get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        // Decode with the lock released: a racing worker decoding the
+        // same block does redundant work, but never serializes others.
+        let block = Arc::new(decode()?);
+        let mut guard = shard.lock();
+        if guard.get(&key).is_none() {
+            if guard.len() >= self.per_shard {
+                guard.pop_lru();
+            }
+            guard.insert(key, Arc::clone(&block));
+        }
+        Ok(block)
+    }
+
+    /// Estimated heap bytes of the decoded blocks currently cached
+    /// (14 bytes per decoded entry across the three columns).
+    pub(crate) fn resident_bytes(&self, block_entries: usize) -> usize {
+        let cached: usize = self.shards.iter().map(|s| s.lock().len()).sum();
+        cached * (block_entries * 14 + std::mem::size_of::<DecodedBlock>())
+    }
+}
+
+/// Decode and fully validate one block's bytes: directory-consistent
+/// entry count, run shapes, node-id bounds, value range. The **single**
+/// validation path shared by the compressed mmap and disk backends —
+/// if it ever forked, the backends' bit-equivalence guarantee could
+/// silently diverge.
+pub(crate) fn decode_block_validated(
+    raw: &[u8],
+    b: usize,
+    num_blocks: usize,
+    block_entries: usize,
+    total_entries: usize,
+    num_nodes: usize,
+) -> Result<DecodedBlock, SlingError> {
+    let expected = expected_block_len(b, num_blocks, block_entries, total_entries)?;
+    let mut block = DecodedBlock::default();
+    decode_block(raw, expected, &mut block)?;
+    // Bound-check ids and value ranges once per decode; cache hits skip
+    // this entirely.
+    let base = b * block_entries;
+    for (i, &node) in block.nodes.iter().enumerate() {
+        if node as usize >= num_nodes {
+            return Err(SlingError::CorruptIndex(format!(
+                "block entry {} references node {node} past n = {num_nodes}",
+                base + i,
+            )));
+        }
+    }
+    for (i, &value) in block.values.iter().enumerate() {
+        check_value(base + i, value)?;
+    }
+    Ok(block)
+}
+
+/// Append the part of global entry range `range` that falls inside
+/// block `b` to `out` (the gather loop both compressed backends share).
+pub(crate) fn push_block_range(
+    block: &DecodedBlock,
+    b: usize,
+    block_entries: usize,
+    range: &Range<usize>,
+    out: &mut Vec<HpEntry>,
+) {
+    let lo = range.start.max(b * block_entries) - b * block_entries;
+    let hi = range.end.min((b + 1) * block_entries) - b * block_entries;
+    for i in lo..hi {
+        out.push(HpEntry::new(
+            block.steps[i],
+            NodeId(block.nodes[i]),
+            block.values[i],
+        ));
+    }
+}
+
+/// Zero-copy memory-mapped view of a block-compressed `SLNGIDX2` index
+/// file.
+///
+/// The compressed sibling of [`MmapHpArena`]: `open` maps the file and
+/// validates the header, offset table, and block directory — never the
+/// payload — so open cost is independent of the number of stored
+/// entries. Queries decode exactly the blocks their entry range touches,
+/// straight from the page cache, through a sharded decoded-block scratch
+/// cache (see [`BlockScratchCache`]) that makes repeated touches of a
+/// hot block free. Every decoded block is fully validated (counts,
+/// run shapes, node bounds, value range) before use, so a file corrupted
+/// *after* open still surfaces as [`SlingError::CorruptIndex`], never a
+/// panic.
+///
+/// In lossless mode (the default for `sling compact`) queries return
+/// scores **bit-identical** to every other backend serving the same
+/// index; quantized files answer with ≤ 2⁻³³ value error and report
+/// [`CompressedMmapArena::values_exact`]` == false`.
+pub struct CompressedMmapArena {
+    map: Mmap,
+    num_nodes: usize,
+    entries: usize,
+    /// Byte offset of the `(n + 1)`-entry `u64` HP offset table.
+    offsets_base: usize,
+    /// Entries per block.
+    block_entries: usize,
+    /// Byte offset of the first block.
+    blocks_base: usize,
+    /// Validated block directory (resident, so it cannot be corrupted
+    /// under us after open).
+    block_offsets: Vec<u64>,
+    values_exact: bool,
+    cache: BlockScratchCache,
+}
+
+impl CompressedMmapArena {
+    /// Map `path` and validate its structure (header + offset table +
+    /// block directory only). Returns the arena plus the decoded
+    /// query-side metadata.
+    pub(crate) fn open_with_meta(
+        path: impl AsRef<Path>,
+    ) -> Result<(CompressedMmapArena, crate::format::DecodedMeta), SlingError> {
+        let file = std::fs::File::open(path)?;
+        // SAFETY: the standard memmap contract — the caller must not
+        // truncate the index file while the arena is alive. Concurrent
+        // *content* corruption is tolerated: block decodes are fully
+        // validated and errors surface as SlingError.
+        let map = unsafe { Mmap::map(&file) }?;
+        let mut meta = decode_meta(&map)?;
+        let geo = match &mut meta.payload {
+            PayloadGeometry::Blocked(geo) => BlockedGeometry {
+                block_entries: geo.block_entries,
+                blocks_base: geo.blocks_base,
+                block_offsets: std::mem::take(&mut geo.block_offsets),
+                values_exact: geo.values_exact,
+            },
+            PayloadGeometry::Raw { .. } => {
+                return Err(SlingError::CorruptIndex(
+                    "SLNGIDX1 index: open it with the plain mmap backend, or convert \
+                     with `sling compact`"
+                        .to_string(),
+                ))
+            }
+        };
+        let arena = CompressedMmapArena {
+            num_nodes: meta.num_nodes,
+            entries: meta.entries,
+            offsets_base: meta.offsets_base,
+            block_entries: geo.block_entries,
+            blocks_base: geo.blocks_base,
+            block_offsets: geo.block_offsets,
+            values_exact: geo.values_exact,
+            cache: BlockScratchCache::new(),
+            map,
+        };
+        Ok((arena, meta))
+    }
+
+    /// Map and validate `path` without retaining the metadata. Prefer
+    /// [`SharedEngine::open_mmap_compressed`], which keeps the
+    /// correction factors and reduction bitmap needed to answer queries.
+    pub fn open(path: impl AsRef<Path>) -> Result<CompressedMmapArena, SlingError> {
+        Ok(Self::open_with_meta(path)?.0)
+    }
+
+    /// Whether decoded values are bit-identical to the index that was
+    /// compacted (false for quantized files).
+    pub fn values_exact(&self) -> bool {
+        self.values_exact
+    }
+
+    /// Number of payload blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_offsets.len() - 1
+    }
+
+    /// Bytes of the underlying mapping (for space reports).
+    pub fn mapped_bytes(&self) -> usize {
+        self.map.len()
+    }
+
+    #[inline]
+    fn offset(&self, i: usize) -> usize {
+        u64::from_le_bytes(
+            self.map[self.offsets_base + i * 8..self.offsets_base + i * 8 + 8]
+                .try_into()
+                .unwrap(),
+        ) as usize
+    }
+
+    /// Decode block `b` from the mapping, fully validated.
+    fn decode_block_at(&self, b: usize) -> Result<DecodedBlock, SlingError> {
+        let (lo, hi) = (
+            self.blocks_base + self.block_offsets[b] as usize,
+            self.blocks_base + self.block_offsets[b + 1] as usize,
+        );
+        // In bounds by construction: decode_meta validated the directory
+        // against the mapping length, and the directory is resident.
+        decode_block_validated(
+            &self.map[lo..hi],
+            b,
+            self.num_blocks(),
+            self.block_entries,
+            self.entries,
+            self.num_nodes,
+        )
+    }
+
+    /// Block `b`, served from the scratch cache.
+    fn block(&self, b: usize) -> Result<Arc<DecodedBlock>, SlingError> {
+        self.cache.get_or_decode(b, || self.decode_block_at(b))
+    }
+
+    /// `madvise(WILLNEED)` the encoded byte range of the blocks holding
+    /// `H(v)`, so a cold query faults its pages in with batched
+    /// readahead. Advisory only; failures and out-of-range ids are
+    /// ignored.
+    pub fn prefetch_entries(&self, v: NodeId) {
+        if v.index() >= self.num_nodes {
+            return;
+        }
+        let range = self.range(v);
+        if range.start > range.end || range.end > self.entries || range.is_empty() {
+            return;
+        }
+        let (b0, b1) = (
+            range.start / self.block_entries,
+            (range.end - 1) / self.block_entries,
+        );
+        if b1 >= self.num_blocks() {
+            return;
+        }
+        let lo = self.blocks_base + self.block_offsets[b0] as usize;
+        let hi = self.blocks_base + self.block_offsets[b1 + 1] as usize;
+        let _ = self.map.advise_range(Advice::WillNeed, lo, hi - lo);
+    }
+}
+
+impl HpStore for CompressedMmapArena {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    #[inline]
+    fn total_entries(&self) -> usize {
+        self.entries
+    }
+
+    #[inline]
+    fn range(&self, v: NodeId) -> Range<usize> {
+        let i = v.index();
+        self.offset(i)..self.offset(i + 1)
+    }
+
+    fn entries_into(&self, v: NodeId, out: &mut Vec<HpEntry>) -> Result<(), SlingError> {
+        out.clear();
+        let range = checked_range(self, v)?;
+        if range.is_empty() {
+            return Ok(());
+        }
+        out.reserve(range.len());
+        let be = self.block_entries;
+        for b in range.start / be..=(range.end - 1) / be {
+            let block = self.block(b)?;
+            push_block_range(&block, b, be, &range, out);
+        }
+        Ok(())
+    }
+
+    fn entry_at(&self, i: usize) -> Result<HpEntry, SlingError> {
+        if i >= self.entries {
+            return Err(SlingError::CorruptIndex(format!(
+                "compressed entry index {i} past the {} stored entries",
+                self.entries
+            )));
+        }
+        let b = i / self.block_entries;
+        let block = self.block(b)?;
+        let j = i - b * self.block_entries;
+        Ok(HpEntry::new(
+            block.steps[j],
+            NodeId(block.nodes[j]),
+            block.values[j],
+        ))
+    }
+
+    /// The encoded payload lives in the page cache; resident heap is the
+    /// block directory plus the decoded-block scratch cache.
+    fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.block_offsets.len() * 8
+            + self.cache.resident_bytes(self.block_entries)
     }
 
     fn prefetch(&self, v: NodeId) {
@@ -663,6 +1021,26 @@ impl QueryEngine<'static, MmapHpArena> {
     }
 }
 
+impl QueryEngine<'static, CompressedMmapArena> {
+    /// Open a block-compressed `SLNGIDX2` index as a mmap engine,
+    /// verifying it matches `graph` (see
+    /// [`SharedEngine::open_mmap_compressed`]).
+    pub fn open_mmap_compressed(
+        graph: &DiGraph,
+        path: impl AsRef<Path>,
+    ) -> Result<QueryEngine<'static, CompressedMmapArena>, SlingError> {
+        let e = SharedEngine::open_mmap_compressed(graph, path)?;
+        Ok(QueryEngine::from_parts(
+            e.store,
+            Cow::Owned(e.config),
+            Cow::Owned(e.d),
+            Cow::Owned(e.reduced),
+            Cow::Owned(e.marks),
+            e.stats,
+        ))
+    }
+}
+
 /// Owned, thread-shareable query engine: a storage backend plus all
 /// query-side metadata held **by value**.
 ///
@@ -696,6 +1074,35 @@ impl SharedEngine<MmapHpArena> {
         path: impl AsRef<Path>,
     ) -> Result<SharedEngine<MmapHpArena>, SlingError> {
         let (arena, meta) = MmapHpArena::open_with_meta(path)?;
+        if meta.num_nodes != graph.num_nodes() || meta.num_edges != graph.num_edges() {
+            return Err(SlingError::GraphMismatch {
+                expected_nodes: meta.num_nodes,
+                found_nodes: graph.num_nodes(),
+            });
+        }
+        Ok(SharedEngine {
+            store: arena,
+            config: meta.config,
+            d: meta.d,
+            reduced: meta.reduced,
+            marks: meta.marks,
+            stats: meta.stats,
+        })
+    }
+}
+
+impl SharedEngine<CompressedMmapArena> {
+    /// Open a block-compressed `SLNGIDX2` index as an owned mmap engine,
+    /// verifying it matches `graph`. Open cost is header, offset-table,
+    /// and block-directory validation plus the `O(n)` query-side
+    /// metadata; blocks are decoded on demand through the arena's
+    /// scratch cache. A lossless file answers bit-identically to every
+    /// other backend.
+    pub fn open_mmap_compressed(
+        graph: &DiGraph,
+        path: impl AsRef<Path>,
+    ) -> Result<SharedEngine<CompressedMmapArena>, SlingError> {
+        let (arena, meta) = CompressedMmapArena::open_with_meta(path)?;
         if meta.num_nodes != graph.num_nodes() || meta.num_edges != graph.num_edges() {
             return Err(SlingError::GraphMismatch {
                 expected_nodes: meta.num_nodes,
@@ -1129,6 +1536,130 @@ mod tests {
             engine.single_pair(&g, NodeId(0), NodeId(1)).unwrap(),
             idx.single_pair(&g, NodeId(0), NodeId(1))
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compressed_mmap_agrees_entrywise_and_bitwise() {
+        let g = barabasi_albert(140, 3, 23).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let path = tmp("compressed");
+        // Tiny blocks so runs straddle block boundaries.
+        let opts = crate::codec::CompressOptions {
+            block_entries: 16,
+            quantize_values: false,
+        };
+        idx.save_v2(&path, &opts).unwrap();
+        let engine = SharedEngine::open_mmap_compressed(&g, &path).unwrap();
+        assert!(engine.store().values_exact());
+        assert_eq!(
+            engine.store().num_blocks(),
+            idx.hp.total_entries().div_ceil(16)
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for v in g.nodes() {
+            assert_eq!(
+                HpStore::range(&idx.hp, v),
+                HpStore::range(engine.store(), v)
+            );
+            idx.hp.entries_into(v, &mut a).unwrap();
+            engine.store().entries_into(v, &mut b).unwrap();
+            assert_eq!(a, b, "H({v:?}) differs between arena and compressed mmap");
+        }
+        for i in (0..idx.hp.total_entries()).step_by(7) {
+            assert_eq!(
+                idx.hp.entry_at(i).unwrap(),
+                engine.store().entry_at(i).unwrap()
+            );
+        }
+        // Full query surface, bit-identical.
+        for u in [NodeId(0), NodeId(71), NodeId(139)] {
+            assert_eq!(
+                engine.single_source(&g, u).unwrap(),
+                idx.single_source(&g, u)
+            );
+            assert_eq!(engine.top_k(&g, u, 6).unwrap(), idx.top_k_heap(&g, u, 6));
+        }
+        // O(n) resident: directory + scratch cache, far below the arena.
+        assert!(engine.store().resident_bytes() < idx.hp.resident_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compressed_mmap_quantized_is_close_and_flagged() {
+        let g = barabasi_albert(120, 3, 5).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let path = tmp("quantized");
+        let opts = crate::codec::CompressOptions {
+            quantize_values: true,
+            ..Default::default()
+        };
+        idx.save_v2(&path, &opts).unwrap();
+        let engine = SharedEngine::open_mmap_compressed(&g, &path).unwrap();
+        assert!(!engine.store().values_exact());
+        for (u, v) in [(0u32, 1u32), (5, 80), (119, 3)] {
+            let want = idx.single_pair(&g, NodeId(u), NodeId(v));
+            let got = engine.single_pair(&g, NodeId(u), NodeId(v)).unwrap();
+            // Quantization error is orders of magnitude below eps.
+            assert!((want - got).abs() < 1e-7, "({u},{v}): {want} vs {got}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn backends_refuse_the_other_generation() {
+        let g = two_cliques_bridge(4);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let v1_path = tmp("gen_v1");
+        let v2_path = tmp("gen_v2");
+        idx.save(&v1_path).unwrap();
+        idx.save_v2(&v2_path, &crate::codec::CompressOptions::default())
+            .unwrap();
+        // Plain mmap on a v2 file: structured error naming the fix.
+        let Err(err) = MmapHpArena::open(&v2_path) else {
+            panic!("plain mmap opened a v2 file");
+        };
+        assert!(err.to_string().contains("mmap-compressed"), "{err}");
+        // Compressed arena on a v1 file: structured error too.
+        let Err(err) = CompressedMmapArena::open(&v1_path) else {
+            panic!("compressed arena opened a v1 file");
+        };
+        assert!(err.to_string().contains("compact"), "{err}");
+        // But the eager loader reads both.
+        assert!(SlingIndex::load(&g, &v1_path).is_ok());
+        assert!(SlingIndex::load(&g, &v2_path).is_ok());
+        std::fs::remove_file(&v1_path).ok();
+        std::fs::remove_file(&v2_path).ok();
+    }
+
+    #[test]
+    fn compressed_mmap_concurrent_queries_share_the_scratch_cache() {
+        let g = barabasi_albert(100, 3, 11).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let path = tmp("concurrent_compressed");
+        idx.save_v2(&path, &crate::codec::CompressOptions::default())
+            .unwrap();
+        let engine = std::sync::Arc::new(SharedEngine::open_mmap_compressed(&g, &path).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let engine = std::sync::Arc::clone(&engine);
+                let (g, idx) = (&g, &idx);
+                s.spawn(move || {
+                    let mut ws = QueryWorkspace::new();
+                    for i in 0..40u32 {
+                        let (u, v) = (NodeId((t * 17 + i) % 100), NodeId((i * 3 + 1) % 100));
+                        assert_eq!(
+                            engine.single_pair_with(g, &mut ws, u, v).unwrap(),
+                            idx.single_pair(g, u, v)
+                        );
+                    }
+                });
+            }
+        });
+        // Prefetch stays advisory and harmless.
+        engine.store().prefetch(NodeId(3));
+        engine.store().prefetch(NodeId(99_999));
         std::fs::remove_file(&path).ok();
     }
 

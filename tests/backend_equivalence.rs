@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use proptest::prelude::*;
+use sling_simrank::core::codec::CompressOptions;
 use sling_simrank::core::disk_query::BufferedDiskStore;
 use sling_simrank::core::join::JoinStrategy;
 use sling_simrank::core::out_of_core::DiskHpStore;
@@ -48,8 +49,10 @@ proptest! {
     })]
 
     /// Single-pair, single-source, top-k, join, and batch answers agree
-    /// across mem / mmap / disk / buffered-disk to 1e-12 (in fact: bit
-    /// for bit) on random graphs, across the §5.2/§5.3 feature matrix.
+    /// across mem / mmap / disk / buffered-disk — plus the lossless
+    /// compressed-mmap and compressed-disk backends serving a `SLNGIDX2`
+    /// conversion of the same index — to 1e-12 (in fact: bit for bit) on
+    /// random graphs, across the §5.2/§5.3 feature matrix.
     #[test]
     fn all_query_apis_agree_across_backends(
         g in arb_graph(),
@@ -64,11 +67,18 @@ proptest! {
         let idx = SlingIndex::build(&g, &config).unwrap();
         let path = tmpfile("eq");
         idx.save(&path).unwrap();
+        let v2_path = tmpfile("eq_v2");
+        // Tiny blocks so entry runs straddle block boundaries.
+        let opts = CompressOptions { block_entries: 32, quantize_values: false };
+        idx.save_v2(&v2_path, &opts).unwrap();
 
         let mem = idx.query_engine();
         let mmap = QueryEngine::open_mmap(&g, &path).unwrap();
+        let compressed = QueryEngine::open_mmap_compressed(&g, &v2_path).unwrap();
         let disk = DiskHpStore::open(&g, &path).unwrap();
         let disk_engine = disk.query_engine();
+        let disk_v2 = DiskHpStore::open(&g, &v2_path).unwrap();
+        let disk_v2_engine = disk_v2.query_engine();
         // A 64-entry budget forces constant eviction on these graphs.
         let buffered = BufferedDiskStore::new(&disk, 64);
         let buffered_engine = buffered.query_engine();
@@ -82,7 +92,9 @@ proptest! {
             let want = mem.single_pair(&g, u, v).unwrap();
             for (label, got) in [
                 ("mmap", mmap.single_pair(&g, u, v).unwrap()),
+                ("mmap-compressed", compressed.single_pair(&g, u, v).unwrap()),
                 ("disk", disk_engine.single_pair(&g, u, v).unwrap()),
+                ("disk-v2", disk_v2_engine.single_pair(&g, u, v).unwrap()),
                 ("buffered", buffered_engine.single_pair(&g, u, v).unwrap()),
             ] {
                 prop_assert!(
@@ -96,12 +108,16 @@ proptest! {
         for u in [NodeId(0), NodeId(n / 2), NodeId(n - 1)] {
             let want = mem.single_source(&g, u).unwrap();
             prop_assert_eq!(&want, &mmap.single_source(&g, u).unwrap());
+            prop_assert_eq!(&want, &compressed.single_source(&g, u).unwrap());
             prop_assert_eq!(&want, &disk_engine.single_source(&g, u).unwrap());
+            prop_assert_eq!(&want, &disk_v2_engine.single_source(&g, u).unwrap());
             prop_assert_eq!(&want, &buffered_engine.single_source(&g, u).unwrap());
 
             let want_top = mem.top_k(&g, u, 5).unwrap();
             prop_assert_eq!(&want_top, &mmap.top_k(&g, u, 5).unwrap());
+            prop_assert_eq!(&want_top, &compressed.top_k(&g, u, 5).unwrap());
             prop_assert_eq!(&want_top, &disk_engine.top_k(&g, u, 5).unwrap());
+            prop_assert_eq!(&want_top, &disk_v2_engine.top_k(&g, u, 5).unwrap());
             prop_assert_eq!(&want_top, &buffered_engine.top_k(&g, u, 5).unwrap());
         }
 
@@ -110,6 +126,11 @@ proptest! {
             let via_mmap = mmap.threshold_join(&g, 0.05, strategy).unwrap();
             prop_assert_eq!(want.len(), via_mmap.len());
             for (a, b) in want.iter().zip(&via_mmap) {
+                prop_assert_eq!((a.u, a.v, a.score), (b.u, b.v, b.score));
+            }
+            let via_compressed = compressed.threshold_join(&g, 0.05, strategy).unwrap();
+            prop_assert_eq!(want.len(), via_compressed.len());
+            for (a, b) in want.iter().zip(&via_compressed) {
                 prop_assert_eq!((a.u, a.v, a.score), (b.u, b.v, b.score));
             }
             let via_buffered = buffered_engine.threshold_join(&g, 0.05, strategy).unwrap();
@@ -121,9 +142,12 @@ proptest! {
 
         let want = mem.batch_single_pair(&g, &pairs, 3).unwrap();
         prop_assert_eq!(&want, &mmap.batch_single_pair(&g, &pairs, 3).unwrap());
+        prop_assert_eq!(&want, &compressed.batch_single_pair(&g, &pairs, 3).unwrap());
+        prop_assert_eq!(&want, &disk_v2_engine.batch_single_pair(&g, &pairs, 3).unwrap());
         prop_assert_eq!(&want, &buffered_engine.batch_single_pair(&g, &pairs, 3).unwrap());
 
         std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&v2_path).ok();
     }
 }
 
