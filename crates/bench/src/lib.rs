@@ -161,6 +161,45 @@ pub fn all_pairs_mc(mc: &McIndex, graph: &DiGraph) -> DenseMatrix {
     m
 }
 
+/// `q`-th quantile (`0 ≤ q ≤ 1`) of an **ascending-sorted** sample, by
+/// the nearest-rank method (`q = 0.5` → median, `q = 0.99` → p99).
+/// Returns 0 for an empty sample.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Latency percentile summary of one workload run, in microseconds —
+/// the shape `sling bench-query`, `sling bench-serve`, and the server's
+/// `STATS` report all share.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Samples observed.
+    pub count: usize,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency, µs.
+    pub p999_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarize raw per-request latencies (microseconds, any order).
+    pub fn from_latencies_us(mut samples: Vec<f64>) -> LatencySummary {
+        samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        LatencySummary {
+            count: samples.len(),
+            p50_us: percentile(&samples, 0.50),
+            p99_us: percentile(&samples, 0.99),
+            p999_us: percentile(&samples, 0.999),
+        }
+    }
+}
+
 /// Human-friendly time formatting for harness tables.
 pub fn fmt_secs(secs: f64) -> String {
     if secs < 1e-6 {
@@ -237,6 +276,21 @@ mod tests {
                 assert_eq!(m.get(u.index(), v.index()), row[v.index()]);
             }
         }
+    }
+
+    #[test]
+    fn percentiles_by_nearest_rank() {
+        let sorted: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.5), 500.0);
+        assert_eq!(percentile(&sorted, 0.99), 990.0);
+        assert_eq!(percentile(&sorted, 0.999), 999.0);
+        assert_eq!(percentile(&sorted, 1.0), 1000.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let summary = LatencySummary::from_latencies_us(vec![3.0, 1.0, 2.0]);
+        assert_eq!(summary.count, 3);
+        assert_eq!(summary.p50_us, 2.0);
+        assert_eq!(summary.p999_us, 3.0);
     }
 
     #[test]

@@ -64,7 +64,16 @@ COMMANDS:
   bench-serve GRAPH INDEX [--threads T] [--requests N] [--hot F]
         [--hot-keys K] [--workers W] [--cache CAP] [--index-backend B]
                                           drive an in-process server with
-                                          concurrent skewed client traffic
+                                          concurrent skewed client traffic;
+                                          reports throughput, hit rate, and
+                                          client-side p50/p99/p999 latency
+  bench-query GRAPH INDEX [--quick] [--out FILE] [--pairs N]
+        [--sources N] [--threads T] [--seed S]
+                                          pinned single-pair / single-source /
+                                          top-k / batch workloads across all
+                                          seven storage backends; writes the
+                                          machine-readable BENCH_query.json
+                                          perf baseline (default --out)
   transform GRAPH PASS --out FILE [--k K] largest-wcc | transpose | k-core | peel-dangling
   ppr GRAPH SOURCE [--alpha A] [--top K]  personalized PageRank ranking
   audit GRAPH INDEX [--pairs N] [--mc M] [--exact]
@@ -409,6 +418,16 @@ fn format_server_report(prefix: &str, report: &ServerReport) -> String {
             .collect::<Vec<_>>()
             .join(","),
     );
+    if report.latency.count > 0 {
+        let _ = write!(
+            out,
+            "\nserver latency ({} samples): p50={:.1}us p99={:.1}us p999={:.1}us",
+            report.latency.count,
+            report.latency.p50_us,
+            report.latency.p99_us,
+            report.latency.p999_us,
+        );
+    }
     if let Some(stats) = report.cache {
         let _ = write!(out, "\n{}", format_cache_stats(stats));
     }
@@ -779,7 +798,7 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
     // Everything that can fail runs in this closure so every error path
     // still tears the in-process server down (threads, acceptor, port)
     // instead of leaking it into the host process.
-    let bench = || -> Result<(std::time::Duration, String), String> {
+    let bench = || -> Result<(std::time::Duration, Vec<f64>, String), String> {
         // Spot-check served scores against the local engine before timing.
         let mut control = Client::connect_tcp(addr).map_err(|e| e.to_string())?;
         let mut ws = QueryWorkspace::new();
@@ -797,14 +816,16 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
         }
 
         let start = std::time::Instant::now();
-        let worker_errors: Vec<String> = std::thread::scope(|s| {
+        let results: Vec<Result<Vec<f64>, String>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let hot_pairs = &hot_pairs;
-                    s.spawn(move || -> Result<(), String> {
+                    s.spawn(move || -> Result<Vec<f64>, String> {
                         let mut client = Client::connect_tcp(addr).map_err(|e| e.to_string())?;
                         let mut state = (t as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407) | 1;
+                        let mut lat_us = Vec::with_capacity(per_thread);
                         for i in 0..per_thread {
+                            let t0 = std::time::Instant::now();
                             if i % 10 == 9 {
                                 let u = (xorshift(&mut state) % n as u64) as u32;
                                 client.top_k(u, 10).map_err(|e| e.to_string())?;
@@ -817,25 +838,27 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
                                     };
                                 client.pair(u, v).map_err(|e| e.to_string())?;
                             }
+                            lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
                         }
-                        Ok(())
+                        Ok(lat_us)
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .filter_map(|h| h.join().expect("bench client panicked").err())
+                .map(|h| h.join().expect("bench client panicked"))
                 .collect()
         });
         let elapsed = start.elapsed();
-        if let Some(err) = worker_errors.first() {
-            return Err(format!("bench client failed: {err}"));
+        let mut lat_us = Vec::with_capacity(per_thread * threads);
+        for r in results {
+            lat_us.extend(r.map_err(|err| format!("bench client failed: {err}"))?);
         }
         let stats_line = control.stats_line().map_err(|e| e.to_string())?;
         control.shutdown().map_err(|e| e.to_string())?;
-        Ok((elapsed, stats_line))
+        Ok((elapsed, lat_us, stats_line))
     };
-    let (elapsed, stats_line) = match bench() {
+    let (elapsed, lat_us, stats_line) = match bench() {
         Ok(result) => result,
         Err(message) => {
             handle.shutdown();
@@ -844,15 +867,22 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
     };
     let report = handle.join();
     let total = (per_thread * threads) as f64;
+    let lat = sling_bench::LatencySummary::from_latencies_us(lat_us);
     Ok(format!(
         "{} client threads x {} requests in {:.2?} -> {:.0} req/s \
-         (hot fraction {:.2}, {} hot keys)\n{}\nserver stats: {}",
+         (hot fraction {:.2}, {} hot keys)\n\
+         client latency ({} samples): p50={:.1}us p99={:.1}us p999={:.1}us\n\
+         {}\nserver stats: {}",
         threads,
         per_thread,
         elapsed,
         total / elapsed.as_secs_f64().max(1e-9),
         hot,
         hot_pairs.len(),
+        lat.count,
+        lat.p50_us,
+        lat.p99_us,
+        lat.p999_us,
         format_server_report("final", &report),
         stats_line,
     ))
@@ -939,6 +969,13 @@ pub fn run(argv: &[String]) -> Result<String, String> {
             Spec {
                 value_flags: &["connect", "unix"],
                 switches: &[],
+            },
+        )?),
+        "bench-query" => cmd_bench_query(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["out", "pairs", "sources", "threads", "seed"],
+                switches: &["quick"],
             },
         )?),
         "bench-serve" => cmd_bench_serve(&Args::parse(
@@ -1160,6 +1197,443 @@ pub fn cmd_compact(args: &Args) -> Result<String, String> {
         },
     )
     .unwrap();
+    Ok(out)
+}
+
+/// One measured `(backend, workload)` cell of `sling bench-query`.
+struct BenchRecord {
+    backend: &'static str,
+    workload: &'static str,
+    queries: usize,
+    elapsed_s: f64,
+    latency: sling_bench::LatencySummary,
+}
+
+impl BenchRecord {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed_s.max(1e-12)
+    }
+
+    /// One JSON object on one line, keys in a fixed order so CI can
+    /// extract fields with `sed`.
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"backend\": \"{}\", \"workload\": \"{}\", \"queries\": {}, \
+             \"elapsed_s\": {:.6}, \"qps\": {:.1}, \"p50_us\": {:.2}, \
+             \"p99_us\": {:.2}}}",
+            self.backend,
+            self.workload,
+            self.queries,
+            self.elapsed_s,
+            self.qps(),
+            self.latency.p50_us,
+            self.latency.p99_us,
+        )
+    }
+}
+
+/// Workload inputs shared by every backend of one `bench-query` run.
+struct BenchWorkloads {
+    /// Uniform random pairs.
+    mixed_pairs: Vec<(NodeId, NodeId)>,
+    /// `(hub, random)` pairs — the skewed shape that triggers the
+    /// galloping merge on power-law graphs.
+    hub_pairs: Vec<(NodeId, NodeId)>,
+    /// Single-source / top-k source nodes.
+    sources: Vec<NodeId>,
+    /// Repetitions of the whole-batch workload.
+    batch_rounds: usize,
+    threads: usize,
+}
+
+/// Time `queries` invocations of `f`, returning the total plus
+/// per-query latencies in µs.
+fn time_each(queries: usize, mut f: impl FnMut(usize)) -> (f64, Vec<f64>) {
+    let mut lat = Vec::with_capacity(queries);
+    let start = std::time::Instant::now();
+    for i in 0..queries {
+        let q0 = std::time::Instant::now();
+        f(i);
+        lat.push(q0.elapsed().as_secs_f64() * 1e6);
+    }
+    (start.elapsed().as_secs_f64(), lat)
+}
+
+fn record(
+    backend: &'static str,
+    workload: &'static str,
+    queries: usize,
+    elapsed_s: f64,
+    lat_us: Vec<f64>,
+) -> BenchRecord {
+    BenchRecord {
+        backend,
+        workload,
+        queries,
+        elapsed_s,
+        latency: sling_bench::LatencySummary::from_latencies_us(lat_us),
+    }
+}
+
+/// Run the pinned workloads against one backend and append the records.
+/// `spot` holds the mem backend's answers for the first hub pairs; every
+/// other backend must reproduce them bit-for-bit before being timed —
+/// a perf number for a kernel that silently diverged is worse than no
+/// number.
+fn bench_one_backend<S: HpStore + Sync>(
+    backend: &'static str,
+    engine: &QueryEngine<'_, S>,
+    g: &DiGraph,
+    w: &BenchWorkloads,
+    spot: &mut Vec<f64>,
+    results: &mut Vec<BenchRecord>,
+) -> Result<(), String> {
+    let err = |e: sling_core::SlingError| format!("{backend}: {e}");
+    let mut ws = QueryWorkspace::new();
+    for (i, &(u, v)) in w.hub_pairs.iter().take(8).enumerate() {
+        let s = engine.single_pair_with(g, &mut ws, u, v).map_err(err)?;
+        if spot.len() <= i {
+            spot.push(s);
+        } else if s.to_bits() != spot[i].to_bits() {
+            return Err(format!(
+                "{backend}: hub pair ({},{}) diverged from mem: {s} vs {}",
+                u.0, v.0, spot[i]
+            ));
+        }
+    }
+
+    let mut acc = 0.0f64;
+    let (total, lat) = time_each(w.mixed_pairs.len(), |i| {
+        let (u, v) = w.mixed_pairs[i];
+        acc += engine
+            .single_pair_with(g, &mut ws, u, v)
+            .unwrap_or(f64::NAN);
+    });
+    results.push(record(
+        backend,
+        "single_pair",
+        w.mixed_pairs.len(),
+        total,
+        lat,
+    ));
+
+    let (total, lat) = time_each(w.hub_pairs.len(), |i| {
+        let (u, v) = w.hub_pairs[i];
+        acc += engine
+            .single_pair_with(g, &mut ws, u, v)
+            .unwrap_or(f64::NAN);
+    });
+    results.push(record(
+        backend,
+        "single_pair_hub",
+        w.hub_pairs.len(),
+        total,
+        lat,
+    ));
+
+    // The pre-streaming reference kernel on the same hub workload: the
+    // per-backend gap between this row and `single_pair_hub` is the
+    // zero-copy + galloping win.
+    let (total, lat) = time_each(w.hub_pairs.len(), |i| {
+        let (u, v) = w.hub_pairs[i];
+        acc += engine
+            .single_pair_materialized_with(g, &mut ws, u, v)
+            .unwrap_or(f64::NAN);
+    });
+    results.push(record(
+        backend,
+        "single_pair_materialized",
+        w.hub_pairs.len(),
+        total,
+        lat,
+    ));
+
+    let mut ss = sling_core::single_source::SingleSourceWorkspace::new();
+    let mut out = Vec::new();
+    let (total, lat) = time_each(w.sources.len(), |i| {
+        engine
+            .single_source_with(g, &mut ss, w.sources[i], &mut out)
+            .unwrap_or_default();
+        acc += out.first().copied().unwrap_or(0.0);
+    });
+    results.push(record(
+        backend,
+        "single_source",
+        w.sources.len(),
+        total,
+        lat,
+    ));
+
+    let mut scores = Vec::new();
+    let (total, lat) = time_each(w.sources.len(), |i| {
+        engine
+            .single_source_with(g, &mut ss, w.sources[i], &mut scores)
+            .unwrap_or_default();
+        let top = sling_core::topk::select_top_k(&scores, Some(w.sources[i]), 10);
+        acc += top.first().map(|&(_, s)| s).unwrap_or(0.0);
+    });
+    results.push(record(backend, "top_k", w.sources.len(), total, lat));
+
+    let (total, lat) = time_each(w.batch_rounds, |_| {
+        let scores = engine
+            .batch_single_pair(g, &w.mixed_pairs, w.threads)
+            .unwrap_or_default();
+        acc += scores.first().copied().unwrap_or(0.0);
+    });
+    // Amortize each whole-batch sample down to per-pair latency so the
+    // p50/p99 columns mean the same thing in every row of the report
+    // (queries already counts pairs, making qps per-pair too).
+    let per_pair = w.mixed_pairs.len().max(1) as f64;
+    let lat = lat.into_iter().map(|us| us / per_pair).collect();
+    results.push(record(
+        backend,
+        "batch_single_pair",
+        w.batch_rounds * w.mixed_pairs.len(),
+        total,
+        lat,
+    ));
+    std::hint::black_box(acc);
+    Ok(())
+}
+
+/// `sling bench-query` — pinned single-pair / single-source / top-k /
+/// batch workloads across all seven storage backends, emitting the
+/// machine-readable `BENCH_query.json` perf baseline (throughput plus
+/// p50/p99 latency per backend × workload) that CI and later perf PRs
+/// are judged against. `--quick` shrinks the workloads for smoke runs.
+pub fn cmd_bench_query(args: &Args) -> Result<String, String> {
+    let graph_path = args.positional(0, "graph")?;
+    let index_path = args.positional(1, "index")?;
+    let quick = args.switch("quick");
+    let out_path: String = args.flag("out").unwrap_or("BENCH_query.json").to_string();
+    let pairs_n: usize = args.flag_parse("pairs", if quick { 1000 } else { 4000 })?;
+    let sources_n: usize = args.flag_parse("sources", if quick { 30 } else { 120 })?;
+    let seed: u64 = args.flag_parse("seed", 1u64)?;
+    let threads: usize = args.flag_parse(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    )?;
+    let g = load_graph(graph_path)?;
+    let n = g.num_nodes() as u32;
+    if n < 2 {
+        return Err("bench-query needs a graph with at least 2 nodes".to_string());
+    }
+    let index = load_index(&g, index_path)?;
+
+    // Workloads, pinned by seed. The hub workload pairs the
+    // highest-in-degree node (longest entry list) with uniform partners.
+    let hub = g
+        .nodes()
+        .max_by_key(|&v| g.in_degree(v))
+        .expect("non-empty graph");
+    let mut state = seed | 1;
+    let mixed_pairs: Vec<(NodeId, NodeId)> = (0..pairs_n)
+        .map(|_| {
+            let (u, v) = random_pair(&mut state, n);
+            (NodeId(u), NodeId(v))
+        })
+        .collect();
+    let hub_pairs: Vec<(NodeId, NodeId)> = (0..pairs_n)
+        .map(|_| {
+            let v = (xorshift(&mut state) % n as u64) as u32;
+            (hub, NodeId(if v == hub.0 { (v + 1) % n } else { v }))
+        })
+        .collect();
+    let sources: Vec<NodeId> = (0..sources_n)
+        .map(|_| NodeId((xorshift(&mut state) % n as u64) as u32))
+        .collect();
+    let workloads = BenchWorkloads {
+        mixed_pairs,
+        hub_pairs,
+        sources,
+        batch_rounds: if quick { 2 } else { 4 },
+        threads: threads.max(1),
+    };
+
+    // Persist every format generation the seven backends serve, under a
+    // temp dir that is removed on *every* exit path (a failing backend
+    // must not leak index-sized files per invocation).
+    let dir = std::env::temp_dir().join(format!("sling_bench_query_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let run_all = || -> Result<Vec<BenchRecord>, String> {
+        let v1 = dir.join("bench.slng");
+        let v2 = dir.join("bench.slng2");
+        let v2q = dir.join("bench.q.slng2");
+        index.save(&v1).map_err(|e| e.to_string())?;
+        index
+            .save_v2(&v2, &sling_core::CompressOptions::default())
+            .map_err(|e| e.to_string())?;
+        index
+            .save_v2(
+                &v2q,
+                &sling_core::CompressOptions {
+                    quantize_values: true,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+        let mut results: Vec<BenchRecord> = Vec::new();
+        let mut spot: Vec<f64> = Vec::new();
+        {
+            let engine = index.query_engine();
+            bench_one_backend("mem", &engine, &g, &workloads, &mut spot, &mut results)?;
+        }
+        {
+            let engine = QueryEngine::open_mmap(&g, &v1).map_err(|e| e.to_string())?;
+            bench_one_backend("mmap", &engine, &g, &workloads, &mut spot, &mut results)?;
+        }
+        {
+            let engine = QueryEngine::open_mmap_compressed(&g, &v2).map_err(|e| e.to_string())?;
+            bench_one_backend(
+                "mmap-compressed",
+                &engine,
+                &g,
+                &workloads,
+                &mut spot,
+                &mut results,
+            )?;
+        }
+        {
+            // Quantized values differ from the lossless spot answers by
+            // design; check internal consistency only.
+            let engine = QueryEngine::open_mmap_compressed(&g, &v2q).map_err(|e| e.to_string())?;
+            let mut q_spot = Vec::new();
+            bench_one_backend(
+                "mmap-compressed-quantized",
+                &engine,
+                &g,
+                &workloads,
+                &mut q_spot,
+                &mut results,
+            )?;
+        }
+        {
+            let store = DiskHpStore::open(&g, &v1).map_err(|e| e.to_string())?;
+            let engine = store.query_engine();
+            bench_one_backend("disk", &engine, &g, &workloads, &mut spot, &mut results)?;
+        }
+        {
+            let store = DiskHpStore::open(&g, &v2).map_err(|e| e.to_string())?;
+            let engine = store.query_engine();
+            bench_one_backend(
+                "disk-compressed",
+                &engine,
+                &g,
+                &workloads,
+                &mut spot,
+                &mut results,
+            )?;
+        }
+        {
+            let store = DiskHpStore::open(&g, &v1).map_err(|e| e.to_string())?;
+            let buffered = BufferedDiskStore::new(&store, 1 << 20);
+            let engine = buffered.query_engine();
+            bench_one_backend(
+                "disk-buffered",
+                &engine,
+                &g,
+                &workloads,
+                &mut spot,
+                &mut results,
+            )?;
+        }
+        Ok(results)
+    };
+    let results = run_all();
+    std::fs::remove_dir_all(&dir).ok();
+    let results = results?;
+
+    // Streaming-vs-materializing speedup per backend (hub workload).
+    let qps_of = |backend: &str, workload: &str| {
+        results
+            .iter()
+            .find(|r| r.backend == backend && r.workload == workload)
+            .map(|r| r.qps())
+            .unwrap_or(0.0)
+    };
+    let speedups: Vec<(&str, f64)> = [
+        "mem",
+        "mmap",
+        "mmap-compressed",
+        "mmap-compressed-quantized",
+        "disk",
+        "disk-compressed",
+        "disk-buffered",
+    ]
+    .iter()
+    .map(|&b| {
+        let mat = qps_of(b, "single_pair_materialized");
+        (b, qps_of(b, "single_pair_hub") / mat.max(1e-12))
+    })
+    .collect();
+
+    // Machine-readable report: one result object per line.
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"query\",");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(
+        json,
+        "  \"fixture\": {{\"nodes\": {}, \"edges\": {}, \"eps\": {}, \"c\": {}, \
+         \"seed\": {seed}, \"quick\": {quick}, \"pairs\": {}, \"sources\": {}, \
+         \"threads\": {}}},",
+        g.num_nodes(),
+        g.num_edges(),
+        index.config().epsilon,
+        index.config().c,
+        workloads.mixed_pairs.len(),
+        workloads.sources.len(),
+        workloads.threads,
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {}{}",
+            r.to_json_line(),
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"streaming_speedup_hub\": {");
+    for (i, (b, s)) in speedups.iter().enumerate() {
+        let _ = write!(json, "{}\"{b}\": {s:.3}", if i > 0 { ", " } else { "" });
+    }
+    json.push_str("}\n}\n");
+    std::fs::write(&out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+
+    // Human summary.
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench-query: n = {}, m = {}, {} mixed + {} hub pairs, {} sources{}",
+        g.num_nodes(),
+        g.num_edges(),
+        workloads.mixed_pairs.len(),
+        workloads.hub_pairs.len(),
+        workloads.sources.len(),
+        if quick { " [quick]" } else { "" },
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:<26} {:>12} {:>10} {:>10}",
+        "backend", "workload", "qps", "p50", "p99"
+    );
+    for r in &results {
+        let _ = writeln!(
+            out,
+            "{:<26} {:<26} {:>12.0} {:>10} {:>10}",
+            r.backend,
+            r.workload,
+            r.qps(),
+            sling_bench::fmt_secs(r.latency.p50_us / 1e6),
+            sling_bench::fmt_secs(r.latency.p99_us / 1e6),
+        );
+    }
+    for (b, s) in &speedups {
+        let _ = writeln!(out, "streaming speedup ({b}, hub pairs): {s:.2}x");
+    }
+    let _ = writeln!(out, "wrote {out_path}");
     Ok(out)
 }
 
@@ -1676,6 +2150,11 @@ mod tests {
         assert!(out.contains("req/s"), "{out}");
         assert!(out.contains("cache_hit_rate="), "{out}");
         assert!(out.contains("per-worker"), "{out}");
+        // Client-side exact percentiles and the server's histogram-based
+        // ones both surface.
+        assert!(out.contains("client latency"), "{out}");
+        assert!(out.contains("p999="), "{out}");
+        assert!(out.contains("latency_p99_us="), "{out}");
         assert!(run_str(&format!(
             "bench-serve {} {} --hot 1.5",
             g.display(),
@@ -1683,6 +2162,57 @@ mod tests {
         ))
         .unwrap_err()
         .contains("--hot"),);
+    }
+
+    #[test]
+    fn bench_query_emits_the_json_baseline() {
+        let dir = tmpdir("benchquery");
+        let g = dir.join("g.bin");
+        let idx = dir.join("idx.slng");
+        let json_path = dir.join("BENCH_query.json");
+        run_str(&format!(
+            "generate --ba 150,3 --seed 5 --out {}",
+            g.display()
+        ))
+        .unwrap();
+        run_str(&format!(
+            "build {} --out {} --eps 0.1 --seed 9",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        let out = run_str(&format!(
+            "bench-query {} {} --quick --pairs 60 --sources 4 --out {}",
+            g.display(),
+            idx.display(),
+            json_path.display()
+        ))
+        .unwrap();
+        // All seven backends report, and the streaming-vs-materializing
+        // comparison is part of the summary.
+        for backend in [
+            "mem",
+            "mmap",
+            "mmap-compressed",
+            "mmap-compressed-quantized",
+            "disk",
+            "disk-compressed",
+            "disk-buffered",
+        ] {
+            assert!(out.contains(backend), "{backend} missing: {out}");
+        }
+        assert!(out.contains("streaming speedup"), "{out}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"bench\": \"query\""), "{json}");
+        assert!(
+            json.contains("\"backend\": \"mem\", \"workload\": \"single_pair\","),
+            "{json}"
+        );
+        assert!(json.contains("\"streaming_speedup_hub\""), "{json}");
+        assert!(json.contains("\"p99_us\""), "{json}");
+        // Every backend × workload cell is present: 7 backends × 6
+        // workloads.
+        assert_eq!(json.matches("\"qps\":").count(), 42, "{json}");
     }
 
     #[test]

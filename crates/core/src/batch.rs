@@ -93,6 +93,15 @@ pub(crate) fn batch_single_pair_core<S: HpStore + Sync>(
                         break;
                     }
                     let hi = (lo + BLOCK).min(pairs.len());
+                    // Advise the backend about the whole claimed block up
+                    // front: out-of-core stores stage all 2·BLOCK entry
+                    // ranges with batched readahead instead of faulting
+                    // them in one query at a time (no-op for resident
+                    // backends).
+                    for &(u, v) in &pairs[lo..hi] {
+                        e.store.prefetch(u);
+                        e.store.prefetch(v);
+                    }
                     for (i, &(u, v)) in pairs[lo..hi].iter().enumerate() {
                         match single_pair_core(e, graph, &mut ws, u, v) {
                             // SAFETY: block [lo, hi) is claimed exactly once.

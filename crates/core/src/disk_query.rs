@@ -207,6 +207,13 @@ impl HpStore for BufferedDiskStore<'_> {
         self.store.contains_key(v, step, node)
     }
 
+    fn prefetch(&self, v: NodeId) {
+        // Advisory pass-through: a buffered hit doesn't need the pages,
+        // but peeking the buffer would take the lock — dearer than the
+        // best-effort fadvise hint itself.
+        self.store.prefetch_entries(v);
+    }
+
     fn resident_bytes(&self) -> usize {
         let state = self.state.lock();
         self.store.resident_bytes() + state.cached_entries * std::mem::size_of::<HpEntry>()

@@ -168,7 +168,10 @@ impl SlingIndex {
             .expect("in-memory HP store cannot fail");
     }
 
-    /// Internal engine view over the in-memory arena.
+    /// Internal engine view over the in-memory arena. The convenience
+    /// API carries no restore cache — hold a
+    /// [`crate::QueryEngine`]/[`crate::SharedEngine`] for memoized
+    /// restores.
     pub(crate) fn engine_ref(&self) -> EngineRef<'_, HpArena> {
         EngineRef {
             store: &self.hp,
@@ -176,6 +179,7 @@ impl SlingIndex {
             d: &self.d,
             reduced: &self.reduced,
             marks: &self.marks,
+            restore_cache: None,
         }
     }
 }
@@ -232,10 +236,61 @@ pub(crate) enum Buf {
     B,
 }
 
+/// Where a restored effective list ended up (see [`resolve_restored`]).
+pub(crate) enum RestoredList {
+    /// Materialized into the selected workspace buffer (no cache on this
+    /// engine ref — the bare `SlingIndex` path).
+    Workspace,
+    /// Served from (or freshly admitted to) the engine's
+    /// [`crate::store::RestoreCache`]; borrow the list from the `Arc`.
+    Shared(std::sync::Arc<Vec<HpEntry>>),
+}
+
+/// Produce the restored effective list of `v` (a node for which
+/// [`EngineRef::needs_restore`] holds): a cache hit is a refcount bump,
+/// a miss materializes through [`effective_entries_into`] and admits a
+/// copy, and engines without a cache fall back to the plain workspace
+/// materialization. All three produce the identical list.
+pub(crate) fn resolve_restored<S: HpStore>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    v: NodeId,
+    ws: &mut QueryWorkspace,
+    which: Buf,
+) -> Result<RestoredList, SlingError> {
+    if let Some(cache) = e.restore_cache {
+        if let Some(hit) = cache.get(v) {
+            return Ok(RestoredList::Shared(hit));
+        }
+        effective_entries_into(e, graph, v, ws, which)?;
+        // Move, don't copy: the kernels read the returned Arc, never the
+        // workspace buffer, and the next query clears the buffer before
+        // reuse — so taking it avoids a second full-list memcpy on every
+        // cache miss.
+        let buf = match which {
+            Buf::A => &mut ws.buf_a,
+            Buf::B => &mut ws.buf_b,
+        };
+        let list = std::sync::Arc::new(std::mem::take(buf));
+        cache.insert(v, std::sync::Arc::clone(&list));
+        return Ok(RestoredList::Shared(list));
+    }
+    effective_entries_into(e, graph, v, ws, which)?;
+    Ok(RestoredList::Workspace)
+}
+
 /// Reusable buffers for query processing. One workspace per querying
 /// thread; every query API has a `_with` variant taking `&mut` workspace
 /// so hot loops (the benchmark harness, Algorithm-3-based single-source)
 /// allocate nothing.
+///
+/// Since the streaming kernels consume backend entries in place, these
+/// buffers are only written on the §5.2/§5.3 restore path and by
+/// backends that must materialize (disk reads, block-straddling runs) —
+/// but one query against a hub node can still grow a buffer to the
+/// largest list in the index. Long-lived workers should call
+/// [`QueryWorkspace::trim_excess`] between requests so hub-sized
+/// capacity is not pinned per thread forever.
 #[derive(Debug, Default)]
 pub struct QueryWorkspace {
     pub(crate) buf_a: Vec<HpEntry>,
@@ -248,9 +303,42 @@ pub struct QueryWorkspace {
 }
 
 impl QueryWorkspace {
+    /// Retention threshold of [`QueryWorkspace::trim_excess`]: buffers
+    /// whose capacity exceeds this many entries are shrunk back to it
+    /// (4096 entries ≈ 96 KiB per buffer). Comfortably above the
+    /// `O(1/ε)` list lengths of typical configurations, so steady-state
+    /// queries never re-allocate; only hub-outlier growth is reclaimed.
+    pub const TRIM_THRESHOLD_ENTRIES: usize = 4096;
+
     /// Fresh workspace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Release excess retained capacity: any internal buffer that grew
+    /// past [`QueryWorkspace::TRIM_THRESHOLD_ENTRIES`] entries is
+    /// cleared and shrunk back to the threshold. The buffers are pure
+    /// scratch between queries (every consumer clears or overwrites them
+    /// before reading), and clearing first matters: `shrink_to` cannot
+    /// reduce capacity below the retained `len`, and the buffers keep
+    /// their last query's length until the next one reuses them. Only
+    /// call between queries, never mid-query. A capacity check per
+    /// buffer — effectively free when nothing outgrew the threshold —
+    /// so long-lived server workers can call this after every request.
+    pub fn trim_excess(&mut self) {
+        for buf in [
+            &mut self.buf_a,
+            &mut self.buf_b,
+            &mut self.stored,
+            &mut self.extras,
+            &mut self.merged,
+        ] {
+            if buf.capacity() > Self::TRIM_THRESHOLD_ENTRIES {
+                buf.clear();
+                buf.shrink_to(Self::TRIM_THRESHOLD_ENTRIES);
+            }
+        }
+        self.two_hop.trim_excess(Self::TRIM_THRESHOLD_ENTRIES);
     }
 }
 
@@ -414,6 +502,42 @@ mod tests {
         let with = SlingIndex::build(&g, &cfg(0.05)).unwrap();
         let without = SlingIndex::build(&g, &cfg(0.05).with_space_reduction(false)).unwrap();
         assert!(with.resident_bytes() < without.resident_bytes());
+    }
+
+    #[test]
+    fn trim_excess_releases_hub_sized_buffers() {
+        let mut ws = QueryWorkspace::new();
+        let big = QueryWorkspace::TRIM_THRESHOLD_ENTRIES * 4;
+        // Simulate a hub query's aftermath: buffers still *hold* their
+        // lists (len == capacity pressure), exactly the state a server
+        // worker is in between requests.
+        ws.buf_a
+            .resize(big, crate::hp::HpEntry::new(0, NodeId(0), 1.0));
+        ws.stored
+            .resize(big, crate::hp::HpEntry::new(0, NodeId(0), 1.0));
+        ws.merged.reserve(big);
+        ws.trim_excess();
+        for (name, buf) in [
+            ("buf_a", &ws.buf_a),
+            ("stored", &ws.stored),
+            ("merged", &ws.merged),
+        ] {
+            assert!(
+                buf.capacity() < 2 * QueryWorkspace::TRIM_THRESHOLD_ENTRIES,
+                "{name} still pins {} entries of capacity",
+                buf.capacity()
+            );
+        }
+        // Trimming must not corrupt subsequent queries.
+        let g = two_cliques_bridge(4);
+        let idx = SlingIndex::build(&g, &cfg(0.05)).unwrap();
+        let want = idx.single_pair(&g, NodeId(0), NodeId(1));
+        let mut out = 0.0;
+        for _ in 0..2 {
+            out = idx.single_pair_with(&g, &mut ws, NodeId(0), NodeId(1));
+            ws.trim_excess();
+        }
+        assert_eq!(out, want);
     }
 
     #[test]

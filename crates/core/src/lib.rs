@@ -94,6 +94,33 @@
 //! backends `madvise(WILLNEED)` a query's entry byte ranges so cold
 //! out-of-core queries fault their pages in one batch.
 //!
+//! ### Streaming query kernels
+//!
+//! The query kernels are **zero-copy**: [`store::HpStore::entries_ref`]
+//! borrows a node's entry run from backend-owned storage as a
+//! [`store::EntryAccess`] — structure-of-arrays column slices from the
+//! arena, raw little-endian section bytes from the `SLNGIDX1` mapping
+//! (after one branch-light validation sweep), a refcounted decoded
+//! block from the compressed backends — and the kernels consume it in
+//! place. An entry list is materialized into a [`QueryWorkspace`]
+//! buffer only when a backend must (positioned v1 disk reads,
+//! block-straddling runs) or when the §5.2/§5.3 restore actually
+//! rewrites it; whether a node needs restoration is two O(1) loads on
+//! build-time artifacts (the reduction bitmap and mark offsets). For
+//! restore-heavy nodes the engines additionally memoize the restored
+//! list in a sharded [`store::RestoreCache`], so a hot hub's exact
+//! two-hop recomputation happens once, not per query. The single-pair
+//! merge dispatches on list-length skew: ≥ 8× apart (hub-versus-leaf
+//! pairs, the dominant shape on power-law graphs) switches the linear
+//! pass to a galloping merge over the longer run — bit-identical by
+//! construction, since both kernels visit matches in the same order.
+//! The pre-streaming copy-then-linear-merge kernels survive as the
+//! `*_materialized_with` reference paths on [`store::QueryEngine`],
+//! pinned by the equivalence proptests (bit-equality on every backend ×
+//! query type) and measured against by `sling bench-query`, which emits
+//! the `BENCH_query.json` perf baseline (3–4× on hub-pair workloads at
+//! the time of writing).
+//!
 //! Two front-ends sit on top of a backend:
 //!
 //! * [`store::QueryEngine`] — the borrowed, lifetime-bound *view*,
@@ -171,5 +198,8 @@ pub use error::SlingError;
 pub use format::{inspect_bytes, inspect_file, FormatVersion, IndexFileInfo};
 pub use hp::HpEntry;
 pub use index::{QueryWorkspace, SlingIndex};
-pub use store::{CompressedMmapArena, HpStore, MmapHpArena, QueryEngine, SharedEngine};
+pub use store::{
+    CompressedMmapArena, EntryAccess, HpStore, MmapHpArena, QueryEngine, RestoreCache, SharedEngine,
+};
+pub use topk::select_top_k;
 pub use walk::WalkEngine;

@@ -484,7 +484,78 @@ impl DiskHpStore {
     pub fn single_pair(&self, graph: &DiGraph, u: NodeId, v: NodeId) -> Result<f64, SlingError> {
         self.query_engine().single_pair(graph, u, v)
     }
+
+    /// `posix_fadvise(WILLNEED)` the byte ranges holding `H(v)` — the
+    /// three section ranges of a v1 payload, or the encoded bytes of the
+    /// covering v2 blocks — so a cold query's positioned reads hit
+    /// staged pages instead of paying one synchronous disk round-trip
+    /// per `pread`. Advisory only: failures and out-of-range ids are
+    /// ignored, and correctness never depends on it (a no-op off Linux).
+    pub fn prefetch_entries(&self, v: NodeId) {
+        if v.index() >= self.num_nodes {
+            return;
+        }
+        let (lo, hi) = (
+            self.offsets[v.index()] as usize,
+            self.offsets[v.index() + 1] as usize,
+        );
+        if lo >= hi || hi > self.entries {
+            return;
+        }
+        let count = (hi - lo) as u64;
+        match &self.payload {
+            DiskPayload::Raw {
+                steps_base,
+                nodes_base,
+                values_base,
+            } => {
+                for (base, width) in [(*steps_base, 2u64), (*nodes_base, 4), (*values_base, 8)] {
+                    fadvise_willneed(&self.file, base + lo as u64 * width, count * width);
+                }
+            }
+            DiskPayload::Blocked {
+                block_entries,
+                blocks_base,
+                block_offsets,
+                ..
+            } => {
+                let (b0, b1) = (lo / block_entries, (hi - 1) / block_entries);
+                if b1 + 1 >= block_offsets.len() {
+                    return;
+                }
+                let (start, end) = (block_offsets[b0], block_offsets[b1 + 1]);
+                fadvise_willneed(&self.file, blocks_base + start, end - start);
+            }
+        }
+    }
 }
+
+/// Advisory readahead hint for a positioned-read file range (the
+/// `pread` analogue of the mmap backends' `madvise(WILLNEED)`). Errors
+/// are deliberately dropped — the hint is best-effort.
+#[cfg(target_os = "linux")]
+fn fadvise_willneed(file: &File, offset: u64, len: u64) {
+    use std::os::unix::io::AsRawFd;
+    const POSIX_FADV_WILLNEED: i32 = 3;
+    extern "C" {
+        fn posix_fadvise(fd: i32, offset: i64, len: i64, advice: i32) -> i32;
+    }
+    if len == 0 || offset > i64::MAX as u64 || len > i64::MAX as u64 {
+        return;
+    }
+    // SAFETY: plain syscall on a live fd; advisory, no memory is touched.
+    let _ = unsafe {
+        posix_fadvise(
+            file.as_raw_fd(),
+            offset as i64,
+            len as i64,
+            POSIX_FADV_WILLNEED,
+        )
+    };
+}
+
+#[cfg(not(target_os = "linux"))]
+fn fadvise_willneed(_file: &File, _offset: u64, _len: u64) {}
 
 impl HpStore for DiskHpStore {
     fn num_nodes(&self) -> usize {
@@ -512,6 +583,39 @@ impl HpStore for DiskHpStore {
 
     fn resident_bytes(&self) -> usize {
         DiskHpStore::resident_bytes(self)
+    }
+
+    fn prefetch(&self, v: NodeId) {
+        self.prefetch_entries(v);
+    }
+
+    /// v2 runs covered by one block are served as a refcounted sub-range
+    /// of the cached decoded block (one `pread` on a cold block, zero
+    /// copies on a warm one). v1 payloads and straddling runs
+    /// materialize into `scratch` via positioned reads, as before.
+    fn entries_ref<'s>(
+        &'s self,
+        v: NodeId,
+        scratch: &'s mut Vec<HpEntry>,
+    ) -> Result<crate::store::EntryAccess<'s>, SlingError> {
+        use crate::store::{checked_range, EntryAccess};
+        if let DiskPayload::Blocked { block_entries, .. } = &self.payload {
+            let range = checked_range(self, v)?;
+            if range.is_empty() {
+                return Ok(EntryAccess::Slice(&[]));
+            }
+            let be = *block_entries;
+            let (b0, b1) = (range.start / be, (range.end - 1) / be);
+            if b0 == b1 {
+                let block = self.read_block(b0)?;
+                let (lo, hi) = (range.start - b0 * be, range.end - b0 * be);
+                if hi <= block.steps.len() {
+                    return Ok(EntryAccess::Block { block, lo, hi });
+                }
+            }
+        }
+        self.read_entries(v, scratch)?;
+        Ok(EntryAccess::Slice(scratch))
     }
 }
 

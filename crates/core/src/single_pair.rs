@@ -7,27 +7,74 @@
 //! s̃(u, v) = Σ_{(ℓ,k)} h̃⁽ℓ⁾(u, k) · d̃_k · h̃⁽ℓ⁾(v, k)
 //! ```
 //!
-//! is a sorted-merge intersection: a single linear pass over both lists,
-//! no hashing, `O(|H*(u)| + |H*(v)|) = O(1/ε)` time.
+//! is a sorted-merge intersection. Two kernels implement it:
+//!
+//! * the classic **linear merge** — one pass over both lists,
+//!   `O(|H*(u)| + |H*(v)|)`;
+//! * a **galloping merge** for skewed pairs (list lengths ≥
+//!   [`GALLOP_RATIO`]× apart): walk the short list and exponential-search
+//!   the long one, `O(|short| · log |long|)`. Hub-versus-leaf pairs are
+//!   the dominant shape on power-law graphs, where the hub list dwarfs
+//!   the leaf list and a linear pass wastes almost every comparison.
+//!
+//! Both kernels visit matching keys in the same ascending order and
+//! accumulate with the same expression, so their sums are **bit
+//! identical** — the dispatch on skew never changes an answer.
+//!
+//! The streaming entry point ([`single_pair_core`]) consumes both lists
+//! directly from the storage backend via [`crate::store::EntryAccess`] —
+//! zero-copy for the arena and mmap backends — and only materializes a
+//! list into the [`QueryWorkspace`] when the §5.2/§5.3 restore actually
+//! rewrites it ([`EngineRef::needs_restore`]). The materializing
+//! reference path is kept as [`single_pair_materialized_core`] for
+//! benchmarks and equivalence tests.
 
 use sling_graph::{DiGraph, NodeId};
 
 use crate::error::SlingError;
+#[cfg(test)]
 use crate::hp::HpEntry;
-use crate::index::{effective_entries_into, Buf, QueryWorkspace, SlingIndex};
-use crate::store::{EngineRef, HpStore};
+use crate::index::{
+    effective_entries_into, resolve_restored, Buf, QueryWorkspace, RestoredList, SlingIndex,
+};
+use crate::store::{with_run, EngineRef, EntryAccess, EntryRun, HpStore};
+
+/// Length skew at which the merge switches from the linear pass to
+/// galloping over the longer list.
+pub(crate) const GALLOP_RATIO: usize = 8;
 
 /// Merge-intersect two `(step, node)`-sorted entry lists against the
-/// correction factors.
+/// correction factors (slice convenience over [`merge_intersect_runs`],
+/// used by unit tests).
+#[cfg(test)]
 pub(crate) fn merge_intersect(a: &[HpEntry], b: &[HpEntry], d: &[f64]) -> f64 {
+    merge_intersect_runs(a, b, d)
+}
+
+/// Skew-dispatching merge over any two entry-run shapes.
+pub(crate) fn merge_intersect_runs<A: EntryRun, B: EntryRun>(a: A, b: B, d: &[f64]) -> f64 {
+    let (an, bn) = (a.len(), b.len());
+    if an.saturating_mul(GALLOP_RATIO) <= bn {
+        merge_gallop(a, b, d, true)
+    } else if bn.saturating_mul(GALLOP_RATIO) <= an {
+        merge_gallop(b, a, d, false)
+    } else {
+        merge_linear(a, b, d)
+    }
+}
+
+/// The classic linear merge: one pass over both runs.
+pub(crate) fn merge_linear<A: EntryRun, B: EntryRun>(a: A, b: B, d: &[f64]) -> f64 {
     let mut s = 0.0;
     let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        match a[i].key().cmp(&b[j].key()) {
+    let (an, bn) = (a.len(), b.len());
+    while i < an && j < bn {
+        let (ka, kb) = (a.key(i), b.key(j));
+        match ka.cmp(&kb) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                s += a[i].value * d[a[i].node.index()] * b[j].value;
+                s += a.value(i) * d[ka.1 as usize] * b.value(j);
                 i += 1;
                 j += 1;
             }
@@ -36,8 +83,75 @@ pub(crate) fn merge_intersect(a: &[HpEntry], b: &[HpEntry], d: &[f64]) -> f64 {
     s
 }
 
-/// Algorithm 3 over any storage backend: materialize both effective entry
-/// lists and merge-intersect them against the correction factors.
+/// Galloping merge: iterate `short`, exponential-search forward in
+/// `long`. `short_is_a` preserves the `value_a · d · value_b` operand
+/// order of the linear merge so the float sum stays bit-identical.
+fn merge_gallop<S: EntryRun, L: EntryRun>(short: S, long: L, d: &[f64], short_is_a: bool) -> f64 {
+    let mut s = 0.0;
+    let mut j = 0usize;
+    let ln = long.len();
+    for i in 0..short.len() {
+        let key = short.key(i);
+        j = lower_bound_from(&long, j, key);
+        if j >= ln {
+            break;
+        }
+        if long.key(j) == key {
+            let (va, vb) = if short_is_a {
+                (short.value(i), long.value(j))
+            } else {
+                (long.value(j), short.value(i))
+            };
+            s += va * d[key.1 as usize] * vb;
+            j += 1;
+        }
+    }
+    s
+}
+
+/// First index `>= from` whose key is `>= key` in the sorted run `r`:
+/// exponential probe to bracket the gap, then binary search inside it —
+/// `O(log gap)` instead of `O(gap)`.
+fn lower_bound_from<R: EntryRun>(r: &R, from: usize, key: (u16, u32)) -> usize {
+    let n = r.len();
+    if from >= n || r.key(from) >= key {
+        return from;
+    }
+    // Invariant: every index < prev has a key < `key`; probe is the next
+    // untested index.
+    let mut prev = from + 1;
+    let mut probe = from + 1;
+    let mut step = 1usize;
+    loop {
+        if probe >= n {
+            probe = n;
+            break;
+        }
+        if r.key(probe) >= key {
+            break;
+        }
+        prev = probe + 1;
+        probe += step;
+        step <<= 1;
+    }
+    let (mut lo, mut hi) = (prev, probe);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if r.key(mid) < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Algorithm 3 over any storage backend, **streaming**: both effective
+/// entry lists are consumed directly from backend-owned storage
+/// ([`crate::store::HpStore::entries_ref`]); a list is copied into the
+/// workspace only when the §5.2 two-hop restore or §5.3 mark expansion
+/// rewrites it. Answers are bit-identical to
+/// [`single_pair_materialized_core`] on every backend.
 pub(crate) fn single_pair_core<S: HpStore>(
     e: EngineRef<'_, S>,
     graph: &DiGraph,
@@ -50,9 +164,53 @@ pub(crate) fn single_pair_core<S: HpStore>(
         // Otherwise fall through: estimate s(v,v) from the index like any
         // pair.
     }
+    let ra = if e.needs_restore(u) {
+        Some(resolve_restored(e, graph, u, ws, Buf::A)?)
+    } else {
+        None
+    };
+    let rb = if e.needs_restore(v) {
+        Some(resolve_restored(e, graph, v, ws, Buf::B)?)
+    } else {
+        None
+    };
+    // Split-borrow the two entry buffers so each side can either borrow
+    // its materialized list or hand its buffer to the backend as scratch.
+    let QueryWorkspace { buf_a, buf_b, .. } = ws;
+    let a = match &ra {
+        None => e.store.entries_ref(u, buf_a)?,
+        Some(RestoredList::Workspace) => EntryAccess::Slice(buf_a),
+        Some(RestoredList::Shared(list)) => EntryAccess::Slice(list),
+    };
+    let b = match &rb {
+        None => e.store.entries_ref(v, buf_b)?,
+        Some(RestoredList::Workspace) => EntryAccess::Slice(buf_b),
+        Some(RestoredList::Shared(list)) => EntryAccess::Slice(list),
+    };
+    let s = with_run!(&a, |run_a| with_run!(&b, |run_b| merge_intersect_runs(
+        run_a, run_b, e.d
+    )));
+    Ok(s.clamp(0.0, 1.0))
+}
+
+/// Algorithm 3 through the **materializing reference path**: both
+/// effective lists copied into the workspace, linear merge — exactly the
+/// pre-streaming kernel. Kept callable (see
+/// [`crate::QueryEngine::single_pair_materialized_with`]) so benchmarks
+/// can measure the zero-copy gap and tests can assert bit-equality.
+pub(crate) fn single_pair_materialized_core<S: HpStore>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    ws: &mut QueryWorkspace,
+    u: NodeId,
+    v: NodeId,
+) -> Result<f64, SlingError> {
+    if u == v && e.config.exact_diagonal {
+        return Ok(1.0);
+    }
     effective_entries_into(e, graph, u, ws, Buf::A)?;
     effective_entries_into(e, graph, v, ws, Buf::B)?;
-    Ok(merge_intersect(&ws.buf_a, &ws.buf_b, e.d).clamp(0.0, 1.0))
+    Ok(merge_linear(&ws.buf_a[..], &ws.buf_b[..], e.d).clamp(0.0, 1.0))
 }
 
 impl SlingIndex {
@@ -200,6 +358,97 @@ mod tests {
         let idx = build(&g, 0.1);
         assert!(idx.try_single_pair(&g, NodeId(0), NodeId(9)).is_err());
         assert!(idx.try_single_pair(&g, NodeId(0), NodeId(3)).is_ok());
+    }
+
+    /// Deterministic sorted entry run with roughly every `stride`-th key
+    /// of a dense `(step, node)` grid.
+    fn synth_run(n_keys: u32, stride: u32, salt: u64) -> Vec<HpEntry> {
+        let mut out = Vec::new();
+        let mut state = salt | 1;
+        for i in (0..n_keys).step_by(stride as usize) {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let step = (i / 64) as u16;
+            let node = NodeId(i % 64);
+            let value = 0.05 + (state % 1000) as f64 / 2000.0;
+            out.push(HpEntry::new(step, node, value));
+        }
+        out
+    }
+
+    #[test]
+    fn gallop_merge_is_bit_identical_to_linear() {
+        let d: Vec<f64> = (0..64).map(|k| 0.3 + (k as f64) / 200.0).collect();
+        // Sweep skews on both sides of the GALLOP_RATIO switch, including
+        // empty and tiny runs.
+        for (a_stride, b_stride) in [(1, 1), (1, 3), (1, 17), (29, 1), (1, 64), (64, 1)] {
+            for salt in [1u64, 99, 12345] {
+                let a = synth_run(4096, a_stride, salt);
+                let b = synth_run(4096, b_stride, salt.wrapping_mul(31));
+                let linear = merge_linear(&a[..], &b[..], &d);
+                let dispatched = merge_intersect_runs(&a[..], &b[..], &d);
+                assert_eq!(
+                    linear.to_bits(),
+                    dispatched.to_bits(),
+                    "strides ({a_stride},{b_stride}) salt {salt}: {linear} vs {dispatched}"
+                );
+            }
+        }
+        // Degenerate runs.
+        let a = synth_run(4096, 1, 7);
+        assert_eq!(merge_intersect_runs(&a[..], &[][..], &d), 0.0);
+        assert_eq!(merge_intersect_runs(&[][..], &a[..], &d), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_from_is_a_sorted_lower_bound() {
+        let run = synth_run(4096, 5, 3);
+        let r = &run[..];
+        for from in [0usize, 1, 17, run.len() - 1, run.len()] {
+            for probe in [
+                (0u16, NodeId(0)),
+                (3, NodeId(10)),
+                (31, NodeId(63)),
+                (u16::MAX, NodeId(u32::MAX)),
+            ] {
+                let key = (probe.0, probe.1 .0);
+                let got = lower_bound_from(&r, from, key);
+                let want = (from..run.len())
+                    .find(|&i| EntryRun::key(&r, i) >= key)
+                    .unwrap_or(run.len());
+                assert_eq!(got, want, "from {from}, key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_materialized_on_hub_pairs() {
+        // Star-heavy BA graph: node 0 is a hub, so (hub, leaf) pairs are
+        // exactly the skewed shape that triggers galloping.
+        let g = sling_graph::generators::barabasi_albert(400, 3, 5).unwrap();
+        let config = SlingConfig::from_epsilon(C, 0.1)
+            .with_seed(5)
+            .with_enhancement(true);
+        let idx = SlingIndex::build(&g, &config).unwrap();
+        let engine = idx.query_engine();
+        let mut ws = QueryWorkspace::new();
+        let mut ws2 = QueryWorkspace::new();
+        for v in [1u32, 17, 250, 399] {
+            for (a, b) in [(0, v), (v, 0), (v, (v + 1) % 400)] {
+                let streamed = engine
+                    .single_pair_with(&g, &mut ws, NodeId(a), NodeId(b))
+                    .unwrap();
+                let materialized = engine
+                    .single_pair_materialized_with(&g, &mut ws2, NodeId(a), NodeId(b))
+                    .unwrap();
+                assert_eq!(
+                    streamed.to_bits(),
+                    materialized.to_bits(),
+                    "({a},{b}): {streamed} vs {materialized}"
+                );
+            }
+        }
     }
 
     #[test]

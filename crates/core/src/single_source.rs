@@ -13,20 +13,20 @@
 use sling_graph::{DiGraph, NodeId};
 
 use crate::error::SlingError;
-use crate::index::{effective_entries_into, Buf, QueryWorkspace, SlingIndex};
-use crate::store::{EngineRef, HpStore};
+use crate::index::{
+    effective_entries_into, resolve_restored, Buf, QueryWorkspace, RestoredList, SlingIndex,
+};
+use crate::store::{with_run, EngineRef, EntryAccess, EntryRun, HpStore};
 
-/// Reusable dense buffers for Algorithm 6. One per querying thread.
+/// Reusable buffers for Algorithm 6. One per querying thread.
 ///
-/// Invariant between queries: `cur`/`next` are all-zero (each query resets
-/// exactly the entries it touched), so repeated queries cost no `O(n)`
-/// clears beyond the first allocation.
+/// Split into the dense propagation state ([`DenseScores`]) and the
+/// entry-list scratch ([`QueryWorkspace`]) so the streaming kernel can
+/// borrow the entry run (which may live in `query.buf_a`) while mutating
+/// the propagation buffers — disjoint fields, disjoint borrows.
 #[derive(Debug, Default)]
 pub struct SingleSourceWorkspace {
-    cur: Vec<f64>,
-    next: Vec<f64>,
-    touched_cur: Vec<u32>,
-    touched_next: Vec<u32>,
+    pub(crate) dense: DenseScores,
     pub(crate) query: QueryWorkspace,
 }
 
@@ -36,14 +36,53 @@ impl SingleSourceWorkspace {
         Self::default()
     }
 
+    /// Cap the retained capacity of the growable scratch buffers (see
+    /// [`QueryWorkspace::trim_excess`]). The `O(n)` dense score arrays
+    /// are kept — they are sized by the graph, not by the largest query
+    /// seen — but the touched lists and entry buffers shrink back to the
+    /// retention threshold after a hub-sized query.
+    pub fn trim_excess(&mut self) {
+        self.query.trim_excess();
+        self.dense.trim_excess();
+    }
+}
+
+/// Upper bound on the degrees covered by the reciprocal table in
+/// [`DenseScores`]: 8 KiB of graph-independent constants.
+const INV_DEGREE_TABLE: usize = 1024;
+
+/// Dense forward-propagation state of Algorithm 6.
+///
+/// Invariant between queries: `cur`/`next` are all-zero (each query
+/// resets exactly the entries it touched), so repeated queries cost no
+/// `O(n)` clears beyond the first allocation.
+#[derive(Debug, Default)]
+pub(crate) struct DenseScores {
+    pub(crate) cur: Vec<f64>,
+    pub(crate) next: Vec<f64>,
+    touched_cur: Vec<u32>,
+    touched_next: Vec<u32>,
+    /// `inv_deg[d] = 1/d` for small `d` — graph-independent, so it can
+    /// never go stale across graphs. Turns the per-edge division of the
+    /// propagation inner loop into a multiply-accumulate.
+    inv_deg: Vec<f64>,
+}
+
+impl DenseScores {
     pub(crate) fn ensure(&mut self, n: usize) {
         if self.cur.len() < n {
             self.cur.resize(n, 0.0);
             self.next.resize(n, 0.0);
         }
+        if self.inv_deg.is_empty() {
+            self.inv_deg = (0..INV_DEGREE_TABLE)
+                .map(|d| if d == 0 { 0.0 } else { 1.0 / d as f64 })
+                .collect();
+        }
     }
 
     /// Add `val` to the step-0 temporary score of node index `k`.
+    #[inline]
     pub(crate) fn seed(&mut self, k: usize, val: f64) {
         if self.cur[k] == 0.0 {
             self.touched_cur.push(k as u32);
@@ -51,9 +90,27 @@ impl SingleSourceWorkspace {
         self.cur[k] += val;
     }
 
+    /// `1 / |I(y)|` — a table load for the small degrees that dominate
+    /// real graphs, one division otherwise. Replacing the per-edge
+    /// division shifts each contribution by at most one ulp relative to
+    /// dividing directly; every backend and every query path shares this
+    /// code, so cross-backend bit-equality is unaffected.
+    #[inline(always)]
+    fn inv_in_degree(&self, graph: &DiGraph, y: NodeId) -> f64 {
+        let deg = graph.in_degree(y);
+        if deg < self.inv_deg.len() {
+            self.inv_deg[deg]
+        } else {
+            1.0 / deg as f64
+        }
+    }
+
     /// Run `rounds` forward-propagation rounds of Algorithm 6's inner
-    /// loop: scores `≤ threshold` are pruned, survivors distribute
-    /// `√c · val / |I(y)|` to each out-neighbor `y`.
+    /// loop: scores `≤ threshold` are pruned; a survivor `x` distributes
+    /// `√c · ρ(x) / |I(y)|` to each out-neighbor `y`. The per-survivor
+    /// scale `√c · ρ(x)` is hoisted and the division is a reciprocal
+    /// multiply, so the inner loop over the contiguous CSR neighbor run
+    /// is a gather–multiply–accumulate.
     pub(crate) fn propagate(&mut self, graph: &DiGraph, sqrt_c: f64, threshold: f64, rounds: u16) {
         for _ in 0..rounds {
             for idx in 0..self.touched_cur.len() {
@@ -63,12 +120,14 @@ impl SingleSourceWorkspace {
                 if val <= threshold {
                     continue;
                 }
+                let scale = sqrt_c * val;
                 for &y in graph.out_neighbors(NodeId(x)) {
                     let yi = y.index();
+                    let inc = scale * self.inv_in_degree(graph, y);
                     if self.next[yi] == 0.0 {
                         self.touched_next.push(y.0);
                     }
-                    self.next[yi] += sqrt_c * val / graph.in_degree(y) as f64;
+                    self.next[yi] += inc;
                 }
             }
             self.touched_cur.clear();
@@ -100,11 +159,20 @@ impl SingleSourceWorkspace {
         }
         self.touched_next.clear();
     }
+
+    fn trim_excess(&mut self) {
+        for buf in [&mut self.touched_cur, &mut self.touched_next] {
+            if buf.capacity() > QueryWorkspace::TRIM_THRESHOLD_ENTRIES {
+                buf.shrink_to(QueryWorkspace::TRIM_THRESHOLD_ENTRIES);
+            }
+        }
+    }
 }
 
-/// Algorithm 6 over any storage backend: read `H*(u)` once, then run the
-/// forward propagation entirely on the in-memory graph and correction
-/// factors. Allocation-free after workspace warm-up.
+/// Algorithm 6 over any storage backend, **streaming**: `H*(u)` is read
+/// once — directly from backend-owned storage when no §5.2/§5.3 rewrite
+/// applies — then the forward propagation runs entirely on the in-memory
+/// graph and correction factors. Allocation-free after workspace warm-up.
 pub(crate) fn single_source_core<S: HpStore>(
     e: EngineRef<'_, S>,
     graph: &DiGraph,
@@ -112,37 +180,64 @@ pub(crate) fn single_source_core<S: HpStore>(
     u: NodeId,
     out: &mut Vec<f64>,
 ) -> Result<(), SlingError> {
+    single_source_with_cutoff(e, graph, ws, u, None, false, out).map(|_| ())
+}
+
+/// Algorithm 6 through the **materializing reference path**: the
+/// effective entry list is always copied into the workspace first (the
+/// pre-streaming kernel). Kept callable so benchmarks can measure the
+/// zero-copy gap and tests can assert bit-equality with the streaming
+/// kernel.
+pub(crate) fn single_source_materialized_core<S: HpStore>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    ws: &mut SingleSourceWorkspace,
+    u: NodeId,
+    out: &mut Vec<f64>,
+) -> Result<(), SlingError> {
+    single_source_with_cutoff(e, graph, ws, u, None, true, out).map(|_| ())
+}
+
+/// The shared Algorithm 6 driver: seed and propagate `H*(u)`'s step runs
+/// in ascending step order, skipping runs `ℓ ≥ cutoff` (no restriction
+/// when `cutoff` is `None`). `materialize` forces the copying reference
+/// path. Returns the residual bound `c^cutoff / (1-c)` when truncation
+/// happened, else 0.
+pub(crate) fn single_source_with_cutoff<S: HpStore>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    ws: &mut SingleSourceWorkspace,
+    u: NodeId,
+    cutoff: Option<u16>,
+    materialize: bool,
+    out: &mut Vec<f64>,
+) -> Result<f64, SlingError> {
     let n = e.num_nodes();
     out.clear();
     out.resize(n, 0.0);
-    ws.ensure(n);
-    let sqrt_c = e.config.sqrt_c();
-    let theta = e.config.theta;
-
-    // Effective H*(u), sorted by (step, node): consume per-step runs.
-    effective_entries_into(e, graph, u, &mut ws.query, Buf::A)?;
-    let entries = std::mem::take(&mut ws.query.buf_a);
-    let mut lo = 0usize;
-    while lo < entries.len() {
-        let step = entries[lo].step;
-        let mut hi = lo;
-        while hi < entries.len() && entries[hi].step == step {
-            hi += 1;
-        }
-        // Seed ρ^(0)(v_k) = h̃^(ℓ)(u, v_k) · d̃_k  (entries have
-        // distinct nodes within a step run), propagate ℓ rounds with
-        // the scaled-down pruning threshold, then accumulate ρ^(ℓ)
-        // into the result, restoring the all-zero invariant.
-        for x in &entries[lo..hi] {
-            let k = x.node.index();
-            ws.seed(k, x.value * e.d[k]);
-        }
-        let threshold = sqrt_c.powi(step as i32) * theta;
-        ws.propagate(graph, sqrt_c, threshold, step);
-        ws.drain_into(out);
-        lo = hi;
-    }
-    ws.query.buf_a = entries;
+    ws.dense.ensure(n);
+    let resolved = if materialize {
+        // Reference path: plain workspace materialization, no cache.
+        effective_entries_into(e, graph, u, &mut ws.query, Buf::A)?;
+        Some(RestoredList::Workspace)
+    } else if e.needs_restore(u) {
+        Some(resolve_restored(e, graph, u, &mut ws.query, Buf::A)?)
+    } else {
+        None
+    };
+    // Disjoint-field split: the entry run may borrow `query.buf_a`
+    // (restored lists, disk scratch) while `dense` mutates freely.
+    let SingleSourceWorkspace { dense, query } = ws;
+    let access = match &resolved {
+        None => e.store.entries_ref(u, &mut query.buf_a)?,
+        Some(RestoredList::Workspace) => EntryAccess::Slice(&query.buf_a),
+        Some(RestoredList::Shared(list)) => EntryAccess::Slice(list),
+    };
+    let truncated = with_run!(&access, |run| seed_step_runs(
+        e, graph, dense, run, cutoff, out
+    ));
+    drop(access);
+    dense.reset();
 
     for s in out.iter_mut() {
         *s = s.clamp(0.0, 1.0);
@@ -150,7 +245,50 @@ pub(crate) fn single_source_core<S: HpStore>(
     if e.config.exact_diagonal {
         out[u.index()] = 1.0;
     }
-    Ok(())
+    Ok(match cutoff {
+        Some(cut) if truncated => e.config.c.powi(cut as i32) / (1.0 - e.config.c),
+        _ => 0.0,
+    })
+}
+
+/// Consume `H*(u)` per step run: seed `ρ⁽⁰⁾(v_k) = h̃⁽ℓ⁾(u, v_k) · d̃_k`
+/// from the run's node/value columns (entries have distinct nodes within
+/// a step run), propagate ℓ rounds with the scaled-down pruning
+/// threshold, and accumulate `ρ⁽ℓ⁾` into `out`, restoring the all-zero
+/// invariant. Returns whether a cutoff truncated the run sequence.
+fn seed_step_runs<S: HpStore, R: EntryRun>(
+    e: EngineRef<'_, S>,
+    graph: &DiGraph,
+    dense: &mut DenseScores,
+    run: R,
+    cutoff: Option<u16>,
+    out: &mut [f64],
+) -> bool {
+    let sqrt_c = e.config.sqrt_c();
+    let theta = e.config.theta;
+    let len = run.len();
+    let mut lo = 0usize;
+    while lo < len {
+        let step = run.key(lo).0;
+        let mut hi = lo + 1;
+        while hi < len && run.key(hi).0 == step {
+            hi += 1;
+        }
+        if let Some(cut) = cutoff {
+            if step >= cut {
+                return true;
+            }
+        }
+        for i in lo..hi {
+            let k = run.key(i).1 as usize;
+            dense.seed(k, run.value(i) * e.d[k]);
+        }
+        let threshold = sqrt_c.powi(step as i32) * theta;
+        dense.propagate(graph, sqrt_c, threshold, step);
+        dense.drain_into(out);
+        lo = hi;
+    }
+    false
 }
 
 impl SlingIndex {
@@ -277,8 +415,8 @@ mod tests {
         let mut first = Vec::new();
         idx.single_source_with(&g, &mut ws, NodeId(0), &mut first);
         // Buffers must be zeroed after a query...
-        assert!(ws.cur.iter().all(|&x| x == 0.0));
-        assert!(ws.next.iter().all(|&x| x == 0.0));
+        assert!(ws.dense.cur.iter().all(|&x| x == 0.0));
+        assert!(ws.dense.next.iter().all(|&x| x == 0.0));
         // ...so the same query repeated gives identical results.
         let mut second = Vec::new();
         idx.single_source_with(&g, &mut ws, NodeId(0), &mut second);

@@ -105,7 +105,263 @@ pub trait HpStore {
     /// depends on it — and a no-op for memory-resident backends. Server
     /// workers call this for a query's endpoints before querying.
     fn prefetch(&self, _v: NodeId) {}
+
+    /// Borrow `H(v)` from the backend **without copying** when the
+    /// backend already holds the run in a directly consumable layout.
+    ///
+    /// `scratch` is a caller-owned buffer the backend *may* materialize
+    /// into (positioned disk reads, runs straddling block boundaries);
+    /// backends with resident or mapped storage return a borrowed (or
+    /// refcount-shared) [`EntryAccess`] and leave `scratch` untouched.
+    /// Every returned view is fully validated (node bounds, value
+    /// range), exactly like [`HpStore::entries_into`] — the streaming
+    /// query kernels index the correction factors with the decoded node
+    /// ids, so a corrupt file must surface here as [`SlingError`], never
+    /// as a panic downstream.
+    ///
+    /// The default materializes through [`HpStore::entries_into`].
+    fn entries_ref<'s>(
+        &'s self,
+        v: NodeId,
+        scratch: &'s mut Vec<HpEntry>,
+    ) -> Result<EntryAccess<'s>, SlingError> {
+        self.entries_into(v, scratch)?;
+        Ok(EntryAccess::Slice(scratch))
+    }
 }
+
+/// Zero-copy view of one node's stored entry run `H(v)`, borrowed from
+/// an [`HpStore`] backend via [`HpStore::entries_ref`].
+///
+/// The variants mirror how each backend physically holds its entries, so
+/// the query kernels consume backend-owned data in place instead of
+/// copying every list into [`crate::QueryWorkspace`] buffers first:
+///
+/// * [`EntryAccess::Columns`] — structure-of-arrays column slices (the
+///   in-memory [`HpArena`]); the seed/merge loops read the contiguous
+///   `steps`/`nodes`/`values` columns directly.
+/// * [`EntryAccess::RawLe`] — raw little-endian section bytes straight
+///   out of an `SLNGIDX1` mapping ([`MmapHpArena`]); entries are decoded
+///   on the fly with unaligned loads, after one cheap validation sweep.
+/// * [`EntryAccess::Block`] — one decoded `SLNGIDX2` block covering the
+///   whole run ([`CompressedMmapArena`], v2 [`crate::out_of_core::DiskHpStore`]):
+///   shared by refcount out of the block scratch cache, no per-entry copy.
+/// * [`EntryAccess::Slice`] — entries the backend materialized into the
+///   caller's scratch buffer (positioned v1 disk reads, buffer-pool
+///   copies, multi-block runs, and the §5.2/§5.3 restored lists).
+///
+/// All variants are sorted by `(step, node)` and pre-validated, so
+/// consumers may index the correction-factor array with the node ids.
+pub enum EntryAccess<'a> {
+    /// Borrowed structure-of-arrays columns, all the same length.
+    Columns {
+        /// Walk steps, ascending.
+        steps: &'a [u16],
+        /// Hit node ids, ascending within a step.
+        nodes: &'a [u32],
+        /// Hitting probabilities.
+        values: &'a [f64],
+    },
+    /// Raw little-endian `SLNGIDX1` section bytes (`2 | 4 | 8` bytes per
+    /// entry respectively); pre-validated.
+    RawLe {
+        /// `u16` steps, little-endian.
+        steps: &'a [u8],
+        /// `u32` node ids, little-endian.
+        nodes: &'a [u8],
+        /// `f64` values, little-endian bit patterns.
+        values: &'a [u8],
+    },
+    /// Sub-range `lo..hi` of one decoded (and validated) payload block.
+    Block {
+        /// The decoded block, shared with the backend's scratch cache.
+        block: Arc<DecodedBlock>,
+        /// First entry of the run within the block.
+        lo: usize,
+        /// One past the last entry of the run within the block.
+        hi: usize,
+    },
+    /// Entries materialized into a buffer (typically the caller's
+    /// scratch).
+    Slice(&'a [HpEntry]),
+}
+
+impl EntryAccess<'_> {
+    /// Number of entries in the run.
+    pub fn len(&self) -> usize {
+        match self {
+            EntryAccess::Columns { steps, .. } => steps.len(),
+            EntryAccess::RawLe { steps, .. } => steps.len() / 2,
+            EntryAccess::Block { lo, hi, .. } => hi - lo,
+            EntryAccess::Slice(s) => s.len(),
+        }
+    }
+
+    /// Whether the run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decode entry `i` (for tests and diagnostics; the kernels use the
+    /// monomorphized [`EntryRun`] views instead).
+    pub fn get(&self, i: usize) -> HpEntry {
+        match self {
+            EntryAccess::Columns {
+                steps,
+                nodes,
+                values,
+            } => HpEntry::new(steps[i], NodeId(nodes[i]), values[i]),
+            EntryAccess::RawLe {
+                steps,
+                nodes,
+                values,
+            } => HpEntry::new(
+                u16::from_le_bytes([steps[i * 2], steps[i * 2 + 1]]),
+                NodeId(u32::from_le_bytes(
+                    nodes[i * 4..i * 4 + 4].try_into().unwrap(),
+                )),
+                f64::from_le_bytes(values[i * 8..i * 8 + 8].try_into().unwrap()),
+            ),
+            EntryAccess::Block { block, lo, .. } => HpEntry::new(
+                block.steps[lo + i],
+                NodeId(block.nodes[lo + i]),
+                block.values[lo + i],
+            ),
+            EntryAccess::Slice(s) => s[i],
+        }
+    }
+}
+
+/// Uniform random access to a sorted entry run — the monomorphization
+/// surface of the streaming kernels. Three concrete shapes exist
+/// (columns, raw little-endian bytes, `&[HpEntry]`); [`with_run!`]
+/// dispatches an [`EntryAccess`] to a shape-specific instantiation so
+/// the merge/seed inner loops carry no per-entry branching.
+pub(crate) trait EntryRun: Copy {
+    /// Entries in the run.
+    fn len(&self) -> usize;
+    /// `(step, node)` sort key of entry `i`.
+    fn key(&self, i: usize) -> (u16, u32);
+    /// Value of entry `i`.
+    fn value(&self, i: usize) -> f64;
+}
+
+/// Structure-of-arrays column view (arena and decoded blocks).
+#[derive(Clone, Copy)]
+pub(crate) struct ColumnsRun<'a> {
+    pub steps: &'a [u16],
+    pub nodes: &'a [u32],
+    pub values: &'a [f64],
+}
+
+impl EntryRun for ColumnsRun<'_> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    #[inline(always)]
+    fn key(&self, i: usize) -> (u16, u32) {
+        (self.steps[i], self.nodes[i])
+    }
+
+    #[inline(always)]
+    fn value(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+}
+
+/// Raw little-endian `SLNGIDX1` section view (zero-copy mmap); decodes
+/// one fixed-width field per accessor call with unaligned loads.
+#[derive(Clone, Copy)]
+pub(crate) struct RawLeRun<'a> {
+    pub steps: &'a [u8],
+    pub nodes: &'a [u8],
+    pub values: &'a [u8],
+}
+
+impl EntryRun for RawLeRun<'_> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.steps.len() / 2
+    }
+
+    #[inline(always)]
+    fn key(&self, i: usize) -> (u16, u32) {
+        let step = u16::from_le_bytes([self.steps[i * 2], self.steps[i * 2 + 1]]);
+        let node = u32::from_le_bytes(self.nodes[i * 4..i * 4 + 4].try_into().unwrap());
+        (step, node)
+    }
+
+    #[inline(always)]
+    fn value(&self, i: usize) -> f64 {
+        f64::from_le_bytes(self.values[i * 8..i * 8 + 8].try_into().unwrap())
+    }
+}
+
+impl EntryRun for &[HpEntry] {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    #[inline(always)]
+    fn key(&self, i: usize) -> (u16, u32) {
+        (self[i].step, self[i].node.0)
+    }
+
+    #[inline(always)]
+    fn value(&self, i: usize) -> f64 {
+        self[i].value
+    }
+}
+
+/// Dispatch an `&EntryAccess` to a concrete [`EntryRun`] shape and run
+/// `$body` with `$run` bound to it — the variant match happens once per
+/// run, never per entry.
+macro_rules! with_run {
+    ($access:expr, |$run:ident| $body:expr) => {
+        match $access {
+            $crate::store::EntryAccess::Columns {
+                steps,
+                nodes,
+                values,
+            } => {
+                let $run = $crate::store::ColumnsRun {
+                    steps: *steps,
+                    nodes: *nodes,
+                    values: *values,
+                };
+                $body
+            }
+            $crate::store::EntryAccess::RawLe {
+                steps,
+                nodes,
+                values,
+            } => {
+                let $run = $crate::store::RawLeRun {
+                    steps: *steps,
+                    nodes: *nodes,
+                    values: *values,
+                };
+                $body
+            }
+            $crate::store::EntryAccess::Block { block, lo, hi } => {
+                let $run = $crate::store::ColumnsRun {
+                    steps: &block.steps[*lo..*hi],
+                    nodes: &block.nodes[*lo..*hi],
+                    values: &block.values[*lo..*hi],
+                };
+                $body
+            }
+            $crate::store::EntryAccess::Slice(s) => {
+                let $run: &[$crate::hp::HpEntry] = s;
+                $body
+            }
+        }
+    };
+}
+pub(crate) use with_run;
 
 /// `range(v)` with the structural sanity the untrusted backends need
 /// before trusting it: well-ordered and inside the entry array. A store
@@ -161,6 +417,21 @@ impl HpStore for HpArena {
     fn resident_bytes(&self) -> usize {
         HpArena::resident_bytes(self)
     }
+
+    /// True zero-copy: the arena *is* the structure-of-arrays layout the
+    /// kernels consume, so borrowing `H(v)` is three slice operations.
+    fn entries_ref<'s>(
+        &'s self,
+        v: NodeId,
+        _scratch: &'s mut Vec<HpEntry>,
+    ) -> Result<EntryAccess<'s>, SlingError> {
+        let r = HpArena::range(self, v);
+        Ok(EntryAccess::Columns {
+            steps: &self.steps[r.clone()],
+            nodes: &self.nodes[r.clone()],
+            values: &self.values[r],
+        })
+    }
 }
 
 /// Reject payload values that cannot be hitting probabilities. The
@@ -209,6 +480,14 @@ impl<S: HpStore + ?Sized> HpStore for &S {
     fn prefetch(&self, v: NodeId) {
         (**self).prefetch(v)
     }
+
+    fn entries_ref<'s>(
+        &'s self,
+        v: NodeId,
+        scratch: &'s mut Vec<HpEntry>,
+    ) -> Result<EntryAccess<'s>, SlingError> {
+        (**self).entries_ref(v, scratch)
+    }
 }
 
 /// Borrowed view of everything a query needs: the store plus the
@@ -221,6 +500,9 @@ pub(crate) struct EngineRef<'a, S: HpStore> {
     pub d: &'a [f64],
     pub reduced: &'a [bool],
     pub marks: &'a MarkArena,
+    /// Engine-owned memo of restored effective lists (`None` for the
+    /// bare [`SlingIndex`] convenience API).
+    pub restore_cache: Option<&'a RestoreCache>,
 }
 
 impl<S: HpStore> Clone for EngineRef<'_, S> {
@@ -245,6 +527,22 @@ impl<S: HpStore> EngineRef<'_, S> {
             });
         }
         Ok(())
+    }
+
+    /// Whether queries on `v` must materialize and *rewrite* its entry
+    /// list — the §5.2 two-hop restore (steps 1–2 spliced back in) or a
+    /// §5.3 mark expansion. Both facts were decided at build time (the
+    /// reduction bitmap and the mark offsets are index artifacts), so
+    /// this is two O(1) loads; when it returns `false` — the common case
+    /// on large graphs — the streaming kernels consume the backend's
+    /// entries in place and skip the [`crate::QueryWorkspace`] copy
+    /// entirely.
+    #[inline]
+    pub fn needs_restore(&self, v: NodeId) -> bool {
+        self.reduced[v.index()]
+            || (self.config.enhance_accuracy
+                && !self.marks.is_empty()
+                && !self.marks.marks_of(v).is_empty())
     }
 }
 
@@ -429,6 +727,72 @@ impl HpStore for MmapHpArena {
     fn prefetch(&self, v: NodeId) {
         self.prefetch_entries(v);
     }
+
+    /// Zero-copy borrow straight out of the mapping: the three section
+    /// slices holding `H(v)` plus one branch-light validation sweep
+    /// (node bounds, value range) — no per-entry decode-and-push, no
+    /// buffer write. The sweep keeps the corrupt-file contract of
+    /// [`MmapHpArena::decode_entry`]: a file mutilated after open
+    /// surfaces as [`SlingError::CorruptIndex`], never a panic or an
+    /// out-of-bounds correction-factor read in the kernels.
+    fn entries_ref<'s>(
+        &'s self,
+        v: NodeId,
+        _scratch: &'s mut Vec<HpEntry>,
+    ) -> Result<EntryAccess<'s>, SlingError> {
+        let range = checked_range(self, v)?;
+        // In bounds: decode_meta validated every section against the
+        // mapping for `entries` entries, and range.end <= entries.
+        let steps = &self.map[self.steps_base + range.start * 2..self.steps_base + range.end * 2];
+        let nodes = &self.map[self.nodes_base + range.start * 4..self.nodes_base + range.end * 4];
+        let values =
+            &self.map[self.values_base + range.start * 8..self.values_base + range.end * 8];
+        validate_raw_le(nodes, values, range.start, self.num_nodes)?;
+        Ok(EntryAccess::RawLe {
+            steps,
+            nodes,
+            values,
+        })
+    }
+}
+
+/// Validate the raw little-endian node/value sections of one entry run:
+/// every node id below `n`, every value a finite probability. The hot
+/// sweep is two branchless folds over the contiguous sections; only a
+/// failing run pays a second pass to name the offending entry (matching
+/// the per-entry decode errors).
+pub(crate) fn validate_raw_le(
+    nodes: &[u8],
+    values: &[u8],
+    base: usize,
+    n: usize,
+) -> Result<(), SlingError> {
+    let mut max_node = 0u32;
+    for c in nodes.chunks_exact(4) {
+        max_node = max_node.max(u32::from_le_bytes(c.try_into().unwrap()));
+    }
+    if max_node as usize >= n {
+        for (i, c) in nodes.chunks_exact(4).enumerate() {
+            let node = u32::from_le_bytes(c.try_into().unwrap());
+            if node as usize >= n {
+                return Err(SlingError::CorruptIndex(format!(
+                    "mmap entry {} references node {node} past n = {n}",
+                    base + i
+                )));
+            }
+        }
+    }
+    let mut all_ok = true;
+    for c in values.chunks_exact(8) {
+        let value = f64::from_le_bytes(c.try_into().unwrap());
+        all_ok &= value.is_finite() && (0.0..=1.0 + 1e-9).contains(&value);
+    }
+    if !all_ok {
+        for (i, c) in values.chunks_exact(8).enumerate() {
+            check_value(base + i, f64::from_le_bytes(c.try_into().unwrap()))?;
+        }
+    }
+    Ok(())
 }
 
 /// Decoded-block scratch cache of a compressed backend.
@@ -494,6 +858,82 @@ impl BlockScratchCache {
     pub(crate) fn resident_bytes(&self, block_entries: usize) -> usize {
         let cached: usize = self.shards.iter().map(|s| s.lock().len()).sum();
         cached * (block_entries * 14 + std::mem::size_of::<DecodedBlock>())
+    }
+}
+
+/// Cache of **restored effective entry lists** for §5.2-reduced and
+/// §5.3-marked nodes.
+///
+/// A reduced node's effective list is rebuilt on every query — the exact
+/// two-hop recomputation costs up to `γ/θ` edge operations, which
+/// dominates hub queries on power-law graphs (the hub's restored list is
+/// orders of magnitude bigger than its stored run). But the restored
+/// list is **immutable** for a given index + graph, so the engines
+/// memoize it: a sharded, entry-budgeted LRU of `Arc`-shared lists, the
+/// same lock-per-shard pattern as [`BlockScratchCache`]. A hit turns a
+/// hub restore into a refcount bump, and the streaming kernels then
+/// borrow the cached list exactly like a backend-owned run. Misses
+/// compute outside the lock; results are bit-identical by construction
+/// (the cached list *is* the computed list).
+pub struct RestoreCache {
+    shards: Box<[Mutex<RestoreShard>]>,
+    per_shard_entries: usize,
+}
+
+#[derive(Default)]
+struct RestoreShard {
+    lists: LruList<u32, Arc<Vec<HpEntry>>>,
+    entries: usize,
+}
+
+impl RestoreCache {
+    /// Shard count (power of two).
+    const SHARDS: usize = 8;
+
+    /// Default total entry budget: ~64K entries ≈ 1.5 MiB of restored
+    /// lists per engine — enough for the hot hubs of a skewed workload,
+    /// bounded for long-lived servers.
+    pub const DEFAULT_TOTAL_ENTRIES: usize = 1 << 16;
+
+    pub(crate) fn new() -> Self {
+        RestoreCache {
+            shards: (0..Self::SHARDS).map(|_| Mutex::default()).collect(),
+            per_shard_entries: (Self::DEFAULT_TOTAL_ENTRIES / Self::SHARDS).max(1),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, v: NodeId) -> &Mutex<RestoreShard> {
+        &self.shards[(v.0 as usize) & (Self::SHARDS - 1)]
+    }
+
+    /// Cached restored list of `v`, if resident.
+    pub(crate) fn get(&self, v: NodeId) -> Option<Arc<Vec<HpEntry>>> {
+        self.shard(v).lock().lists.get(&v.0).map(Arc::clone)
+    }
+
+    /// Admit a freshly restored list, evicting LRU lists until it fits
+    /// the shard's entry budget (an oversized list is admitted alone —
+    /// reuse is node-driven, exactly like the disk buffer pool).
+    pub(crate) fn insert(&self, v: NodeId, list: Arc<Vec<HpEntry>>) {
+        let mut shard = self.shard(v).lock();
+        if shard.lists.get(&v.0).is_some() {
+            return; // a racing worker restored it first; keep theirs
+        }
+        while shard.entries + list.len() > self.per_shard_entries {
+            let Some((_, old)) = shard.lists.pop_lru() else {
+                break;
+            };
+            shard.entries -= old.len();
+        }
+        shard.entries += list.len();
+        shard.lists.insert(v.0, list);
+    }
+
+    /// Estimated heap bytes of the cached lists.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        let entries: usize = self.shards.iter().map(|s| s.lock().entries).sum();
+        entries * std::mem::size_of::<HpEntry>()
     }
 }
 
@@ -768,6 +1208,36 @@ impl HpStore for CompressedMmapArena {
     fn prefetch(&self, v: NodeId) {
         self.prefetch_entries(v);
     }
+
+    /// Runs covered by a single block — the overwhelmingly common case,
+    /// since `O(1/ε)` runs are far shorter than a block — are served as a
+    /// refcounted sub-range of the cached decoded block, skipping the
+    /// per-entry gather copy. Runs straddling block boundaries fall back
+    /// to materializing into `scratch`.
+    fn entries_ref<'s>(
+        &'s self,
+        v: NodeId,
+        scratch: &'s mut Vec<HpEntry>,
+    ) -> Result<EntryAccess<'s>, SlingError> {
+        let range = checked_range(self, v)?;
+        if range.is_empty() {
+            return Ok(EntryAccess::Slice(&[]));
+        }
+        let be = self.block_entries;
+        let (b0, b1) = (range.start / be, (range.end - 1) / be);
+        if b0 == b1 {
+            let block = self.block(b0)?;
+            let (lo, hi) = (range.start - b0 * be, range.end - b0 * be);
+            // decode_block_validated pinned the block's entry count to
+            // the directory, so the run range always fits; guard anyway
+            // so a logic slip cannot become a slice panic.
+            if hi <= block.steps.len() {
+                return Ok(EntryAccess::Block { block, lo, hi });
+            }
+        }
+        self.entries_into(v, scratch)?;
+        Ok(EntryAccess::Slice(scratch))
+    }
 }
 
 /// Query front-end generic over the storage backend.
@@ -784,6 +1254,7 @@ pub struct QueryEngine<'a, S: HpStore> {
     reduced: Cow<'a, [bool]>,
     marks: Cow<'a, MarkArena>,
     stats: BuildStats,
+    restore: RestoreCache,
 }
 
 impl<'a, S: HpStore> QueryEngine<'a, S> {
@@ -803,6 +1274,7 @@ impl<'a, S: HpStore> QueryEngine<'a, S> {
             reduced,
             marks,
             stats,
+            restore: RestoreCache::new(),
         }
     }
 
@@ -813,6 +1285,7 @@ impl<'a, S: HpStore> QueryEngine<'a, S> {
             d: &self.d,
             reduced: &self.reduced,
             marks: &self.marks,
+            restore_cache: Some(&self.restore),
         }
     }
 
@@ -831,6 +1304,10 @@ impl<'a, S: HpStore> QueryEngine<'a, S> {
             reduced: Cow::Borrowed(&self.reduced),
             marks: Cow::Borrowed(&self.marks),
             stats: self.stats,
+            // The erased view gets its own memo: the cache is not
+            // `Clone`, and an erased engine is typically the long-lived
+            // handle anyway.
+            restore: RestoreCache::new(),
         }
     }
 
@@ -857,6 +1334,7 @@ impl<'a, S: HpStore> QueryEngine<'a, S> {
             + self.d.len() * 8
             + self.reduced.len()
             + self.marks.resident_bytes()
+            + self.restore.resident_bytes()
     }
 
     fn check_pair(&self, u: NodeId, v: NodeId) -> Result<(), SlingError> {
@@ -883,6 +1361,23 @@ impl<'a, S: HpStore> QueryEngine<'a, S> {
         single_pair_core(self.engine_ref(), graph, ws, u, v)
     }
 
+    /// Single-pair query through the **materializing reference path**:
+    /// both effective entry lists copied into the workspace, linear
+    /// merge — the pre-streaming kernel. Bit-identical to
+    /// [`QueryEngine::single_pair_with`] on every backend; kept public so
+    /// benchmarks can measure the zero-copy/galloping gap and the
+    /// equivalence suite can assert it.
+    pub fn single_pair_materialized_with(
+        &self,
+        graph: &DiGraph,
+        ws: &mut QueryWorkspace,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<f64, SlingError> {
+        self.check_pair(u, v)?;
+        crate::single_pair::single_pair_materialized_core(self.engine_ref(), graph, ws, u, v)
+    }
+
     /// Single-source query from `u` (Algorithm 6).
     pub fn single_source(&self, graph: &DiGraph, u: NodeId) -> Result<Vec<f64>, SlingError> {
         let mut ws = SingleSourceWorkspace::new();
@@ -902,6 +1397,19 @@ impl<'a, S: HpStore> QueryEngine<'a, S> {
     ) -> Result<(), SlingError> {
         self.engine_ref().check_node(u)?;
         single_source_core(self.engine_ref(), graph, ws, u, out)
+    }
+
+    /// Single-source query through the **materializing reference path**
+    /// (see [`QueryEngine::single_pair_materialized_with`]).
+    pub fn single_source_materialized_with(
+        &self,
+        graph: &DiGraph,
+        ws: &mut SingleSourceWorkspace,
+        u: NodeId,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SlingError> {
+        self.engine_ref().check_node(u)?;
+        crate::single_source::single_source_materialized_core(self.engine_ref(), graph, ws, u, out)
     }
 
     /// Algorithm 6 with early termination (see
@@ -1062,6 +1570,7 @@ pub struct SharedEngine<S: HpStore> {
     reduced: Vec<bool>,
     marks: MarkArena,
     stats: BuildStats,
+    restore: RestoreCache,
 }
 
 impl SharedEngine<MmapHpArena> {
@@ -1087,6 +1596,7 @@ impl SharedEngine<MmapHpArena> {
             reduced: meta.reduced,
             marks: meta.marks,
             stats: meta.stats,
+            restore: RestoreCache::new(),
         })
     }
 }
@@ -1116,6 +1626,7 @@ impl SharedEngine<CompressedMmapArena> {
             reduced: meta.reduced,
             marks: meta.marks,
             stats: meta.stats,
+            restore: RestoreCache::new(),
         })
     }
 }
@@ -1130,6 +1641,7 @@ impl From<SlingIndex> for SharedEngine<HpArena> {
             reduced: index.reduced,
             marks: index.marks,
             stats: index.stats,
+            restore: RestoreCache::new(),
         }
     }
 }
@@ -1151,6 +1663,7 @@ impl<S: HpStore> SharedEngine<S> {
             reduced,
             marks,
             stats,
+            restore: RestoreCache::new(),
         }
     }
 
@@ -1161,6 +1674,7 @@ impl<S: HpStore> SharedEngine<S> {
             d: &self.d,
             reduced: &self.reduced,
             marks: &self.marks,
+            restore_cache: Some(&self.restore),
         }
     }
 
@@ -1203,6 +1717,7 @@ impl<S: HpStore> SharedEngine<S> {
             + self.d.len() * 8
             + self.reduced.len()
             + self.marks.resident_bytes()
+            + self.restore.resident_bytes()
     }
 
     fn check_pair(&self, u: NodeId, v: NodeId) -> Result<(), SlingError> {
@@ -1661,6 +2176,145 @@ mod tests {
         engine.store().prefetch(NodeId(3));
         engine.store().prefetch(NodeId(99_999));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn entries_ref_is_zero_copy_per_backend() {
+        let g = barabasi_albert(160, 3, 9).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let v1 = tmp("zc_v1");
+        let v2 = tmp("zc_v2");
+        idx.save(&v1).unwrap();
+        // Blocks sized so typical runs fit inside one block while some
+        // still straddle a boundary — both access shapes get exercised.
+        idx.save_v2(
+            &v2,
+            &crate::codec::CompressOptions {
+                block_entries: 512,
+                quantize_values: false,
+            },
+        )
+        .unwrap();
+        let mmap = MmapHpArena::open(&v1).unwrap();
+        let compressed = CompressedMmapArena::open(&v2).unwrap();
+        let mut scratch = Vec::new();
+        let mut expect = Vec::new();
+        let (mut saw_block, mut saw_straddle) = (false, false);
+        for v in g.nodes() {
+            idx.hp.entries_into(v, &mut expect).unwrap();
+            // Arena: structure-of-arrays columns, no scratch write.
+            let access = idx.hp.entries_ref(v, &mut scratch).unwrap();
+            assert!(matches!(access, EntryAccess::Columns { .. }));
+            assert_eq!(access.len(), expect.len());
+            for (i, want) in expect.iter().enumerate() {
+                assert_eq!(&access.get(i), want);
+            }
+            drop(access);
+            // Mmap: raw little-endian section bytes, no scratch write.
+            scratch.clear();
+            let access = mmap.entries_ref(v, &mut scratch).unwrap();
+            assert!(matches!(access, EntryAccess::RawLe { .. }));
+            for (i, want) in expect.iter().enumerate() {
+                assert_eq!(&access.get(i), want);
+            }
+            drop(access);
+            assert!(scratch.is_empty(), "mmap entries_ref wrote scratch");
+            // Compressed: refcounted block for intra-block runs,
+            // materialized slice for straddling ones — same entries.
+            let access = compressed.entries_ref(v, &mut scratch).unwrap();
+            match &access {
+                EntryAccess::Block { .. } => saw_block = true,
+                EntryAccess::Slice(_) => saw_straddle = true,
+                other => panic!("unexpected access shape {}", other.len()),
+            }
+            for (i, want) in expect.iter().enumerate() {
+                assert_eq!(&access.get(i), want);
+            }
+        }
+        assert!(saw_block, "no run was served from a single block");
+        assert!(saw_straddle, "no run straddled a block boundary");
+        std::fs::remove_file(&v1).ok();
+        std::fs::remove_file(&v2).ok();
+    }
+
+    #[test]
+    fn mmap_entries_ref_validates_the_run() {
+        let g = barabasi_albert(80, 3, 3).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let path = tmp("zc_corrupt");
+        let mut bytes = idx.to_bytes();
+        // Poison the last HP value with a NaN: the zero-copy borrow of
+        // the owning node's run must fail its validation sweep.
+        let len = bytes.len();
+        bytes[len - 8..].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mmap = MmapHpArena::open(&path).unwrap();
+        let mut scratch = Vec::new();
+        let mut rejected = 0;
+        for v in g.nodes() {
+            if mmap.entries_ref(v, &mut scratch).is_err() {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 1, "exactly the poisoned run must be rejected");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_cache_serves_hot_nodes_bit_identically() {
+        let g = barabasi_albert(150, 3, 31).unwrap();
+        let config = cfg(); // enhancement on; space reduction on
+        let idx = SlingIndex::build(&g, &config).unwrap();
+        assert!(idx.stats().reduced_nodes > 0, "fixture must reduce nodes");
+        let engine = SharedEngine::from(idx.clone());
+        let mut ws = QueryWorkspace::new();
+        // Repeated hub-style queries: the second round must hit the
+        // restore cache (non-zero residency) and stay bit-identical to
+        // the cache-less SlingIndex path.
+        for _round in 0..2 {
+            for v in 1..40u32 {
+                let want = idx.single_pair(&g, NodeId(0), NodeId(v));
+                let got = engine
+                    .single_pair_with(&g, &mut ws, NodeId(0), NodeId(v))
+                    .unwrap();
+                assert_eq!(want.to_bits(), got.to_bits(), "pair (0,{v})");
+            }
+        }
+        assert!(
+            engine.restore.resident_bytes() > 0,
+            "restored lists were never cached"
+        );
+        // Single-source through the same cache agrees too.
+        for u in [NodeId(0), NodeId(75)] {
+            assert_eq!(
+                engine.single_source(&g, u).unwrap(),
+                idx.single_source(&g, u)
+            );
+        }
+    }
+
+    #[test]
+    fn restore_cache_eviction_respects_the_budget() {
+        let cache = RestoreCache::new();
+        let per_shard = cache.per_shard_entries;
+        // Insert many same-shard lists, each 1/4 of the shard budget:
+        // residency must never exceed the budget.
+        let list_len = (per_shard / 4).max(1);
+        for i in 0..32u32 {
+            let node = NodeId(i * RestoreCache::SHARDS as u32); // same shard
+            let list = Arc::new(vec![HpEntry::new(0, NodeId(0), 1.0); list_len]);
+            cache.insert(node, list);
+            let resident = cache.shards[0].lock().entries;
+            assert!(resident <= per_shard, "{resident} > {per_shard}");
+        }
+        // The most recent insert is still resident.
+        assert!(cache
+            .get(NodeId(31 * RestoreCache::SHARDS as u32))
+            .is_some());
+        // An oversized list is admitted alone.
+        let huge = Arc::new(vec![HpEntry::new(0, NodeId(0), 1.0); per_shard * 2]);
+        cache.insert(NodeId(8), Arc::clone(&huge));
+        assert!(cache.get(NodeId(8)).is_some());
     }
 
     #[test]

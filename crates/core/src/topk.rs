@@ -21,8 +21,8 @@ use std::collections::BinaryHeap;
 use sling_graph::{DiGraph, NodeId};
 
 use crate::error::SlingError;
-use crate::index::{effective_entries_into, Buf, SlingIndex};
-use crate::single_source::SingleSourceWorkspace;
+use crate::index::SlingIndex;
+use crate::single_source::{single_source_with_cutoff, SingleSourceWorkspace};
 use crate::store::{EngineRef, HpStore};
 
 /// A `(score, node)` pair ordered by descending score with ascending
@@ -52,12 +52,10 @@ impl PartialOrd for Ranked {
 }
 
 /// Select the `k` best `(node, score)` pairs from a dense score vector,
-/// excluding `exclude` and zero scores, in `O(n log k)`.
-pub(crate) fn select_top_k(
-    scores: &[f64],
-    exclude: Option<NodeId>,
-    k: usize,
-) -> Vec<(NodeId, f64)> {
+/// excluding `exclude` and zero scores, in `O(n log k)`. Public so
+/// external harnesses (the CLI's `bench-query`, the criterion benches)
+/// can compose it with the buffer-reusing single-source APIs.
+pub fn select_top_k(scores: &[f64], exclude: Option<NodeId>, k: usize) -> Vec<(NodeId, f64)> {
     if k == 0 {
         return Vec::new();
     }
@@ -146,7 +144,9 @@ impl SlingIndex {
 }
 
 /// Early-terminating Algorithm 6 over any storage backend (see
-/// [`SlingIndex::single_source_truncated`]).
+/// [`SlingIndex::single_source_truncated`]): maps `slack` to a step
+/// cutoff, then runs the shared streaming driver
+/// ([`single_source_with_cutoff`]).
 pub(crate) fn single_source_truncated_core<S: HpStore>(
     e: EngineRef<'_, S>,
     graph: &DiGraph,
@@ -169,65 +169,7 @@ pub(crate) fn single_source_truncated_core<S: HpStore>(
             Some(bound.ceil() as u16)
         }
     };
-    single_source_with_cutoff(e, graph, ws, u, cutoff, out)
-}
-
-/// Algorithm 6 restricted to step runs `ℓ < cutoff` (no restriction when
-/// `cutoff` is `None`). Returns the residual bound `c^cutoff / (1-c)`
-/// when truncation happened, else 0.
-fn single_source_with_cutoff<S: HpStore>(
-    e: EngineRef<'_, S>,
-    graph: &DiGraph,
-    ws: &mut SingleSourceWorkspace,
-    u: NodeId,
-    cutoff: Option<u16>,
-    out: &mut Vec<f64>,
-) -> Result<f64, SlingError> {
-    let n = e.num_nodes();
-    out.clear();
-    out.resize(n, 0.0);
-    ws.ensure(n);
-    let sqrt_c = e.config.sqrt_c();
-    let theta = e.config.theta;
-    let mut truncated = false;
-
-    effective_entries_into(e, graph, u, &mut ws.query, Buf::A)?;
-    let entries = std::mem::take(&mut ws.query.buf_a);
-    let mut lo = 0usize;
-    while lo < entries.len() {
-        let step = entries[lo].step;
-        let mut hi = lo;
-        while hi < entries.len() && entries[hi].step == step {
-            hi += 1;
-        }
-        if let Some(cut) = cutoff {
-            if step >= cut {
-                truncated = true;
-                break;
-            }
-        }
-        for x in &entries[lo..hi] {
-            let k = x.node.index();
-            ws.seed(k, x.value * e.d[k]);
-        }
-        let threshold = sqrt_c.powi(step as i32) * theta;
-        ws.propagate(graph, sqrt_c, threshold, step);
-        ws.drain_into(out);
-        lo = hi;
-    }
-    ws.query.buf_a = entries;
-    ws.reset();
-
-    for s in out.iter_mut() {
-        *s = s.clamp(0.0, 1.0);
-    }
-    if e.config.exact_diagonal {
-        out[u.index()] = 1.0;
-    }
-    Ok(match cutoff {
-        Some(cut) if truncated => e.config.c.powi(cut as i32) / (1.0 - e.config.c),
-        _ => 0.0,
-    })
+    single_source_with_cutoff(e, graph, ws, u, cutoff, false, out)
 }
 
 #[cfg(test)]

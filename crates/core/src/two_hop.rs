@@ -20,6 +20,19 @@ pub struct TwoHopScratch {
     step2: FxHashMap<u32, f64>,
 }
 
+impl TwoHopScratch {
+    /// Drop the accumulator map if a past restore grew its *capacity*
+    /// past `threshold` buckets (hub-sized two-hop neighborhoods).
+    /// Capacity, not population: [`two_hop_into`] clears the map at the
+    /// start of every call, so after a small query the map may hold few
+    /// entries while still pinning a hub-sized table.
+    pub(crate) fn trim_excess(&mut self, threshold: usize) {
+        if self.step2.capacity() > threshold {
+            self.step2 = FxHashMap::default();
+        }
+    }
+}
+
 /// Compute the exact step-1 and step-2 HPs from `v`, appending them to
 /// `out` in `(step, node)` order.
 pub fn two_hop_into(

@@ -47,7 +47,7 @@
 //! | `SOURCE <u>` | `OK <n> <s0> .. <s_{n-1}>` — full single-source vector (Algorithm 6) |
 //! | `TOPK <u> <k>` | `OK <m> <node>:<score> ..` — top-k most similar to `u`, excluding `u` |
 //! | `BATCH <u1>,<v1> <u2>,<v2> ..` | `OK <m> <s1> .. <sm>` — positionally aligned single-pair scores |
-//! | `STATS` | `OK key=value ..` — workers, per-worker served counts, cache hits/misses/evictions/hit-rate |
+//! | `STATS` | `OK key=value ..` — workers, per-worker served counts, cache hits/misses/evictions/hit-rate, and query-latency percentiles (`latency_count`, `latency_p50_us`, `latency_p99_us`, `latency_p999_us`, from per-worker log-bucketed histograms: ~12% resolution, lock-free on the hot path) |
 //! | `PING` | `OK pong` |
 //! | `QUIT` | `OK bye`, then the server closes this connection |
 //! | `SHUTDOWN` | `OK shutting-down`, then the whole server drains and exits |
@@ -67,10 +67,12 @@
 //! ```
 
 pub mod client;
+pub mod latency;
 pub mod protocol;
 pub mod server;
 
 pub use client::Client;
+pub use latency::LatencyReport;
 pub use protocol::Request;
 pub use server::{serve, Listener, ServerConfig, ServerHandle, ServerReport};
 

@@ -31,6 +31,7 @@ use sling_core::{
 };
 use sling_graph::{DiGraph, NodeId};
 
+use crate::latency::{merge_report, LatencyHistogram, LatencyReport};
 use crate::protocol::{write_scores, Request, MAX_LINE_BYTES};
 use crate::BoxConn;
 
@@ -165,6 +166,9 @@ struct Control {
     available: Condvar,
     shutdown: AtomicBool,
     served: Box<[AtomicU64]>,
+    /// Per-worker query-latency histograms (merged on `STATS`), so
+    /// recording a latency is one relaxed add on worker-private state.
+    latency: Box<[LatencyHistogram]>,
     cache: Option<ShardedResultCache>,
 }
 
@@ -219,6 +223,8 @@ pub struct ServerReport {
     pub served_per_worker: Vec<u64>,
     /// Result-cache counters, when a cache was configured.
     pub cache: Option<CacheStats>,
+    /// Server-side query-latency percentiles (merged across workers).
+    pub latency: LatencyReport,
 }
 
 impl ServerReport {
@@ -257,6 +263,7 @@ impl ServerHandle {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             cache: self.control.cache.as_ref().map(|c| c.stats()),
+            latency: merge_report(&self.control.latency),
         }
     }
 
@@ -304,6 +311,7 @@ where
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
         served: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        latency: (0..workers).map(|_| LatencyHistogram::new()).collect(),
         cache,
     });
     let addr = listener.local_addr();
@@ -429,6 +437,12 @@ fn worker_loop<S: HpStore>(
             // client; the worker returns to the queue for the next one.
             SessionOutcome::Closed => {}
         }
+        // Release hub-sized scratch the session's queries may have
+        // pinned: a long-lived worker must not retain the largest entry
+        // list it ever materialized, per core, forever. Capacity checks
+        // only — free when nothing outgrew the retention threshold.
+        ctx.ws.trim_excess();
+        ctx.ss.trim_excess();
     }
 }
 
@@ -653,6 +667,13 @@ fn handle_request<S: HpStore>(
                 control.served.len(),
                 control.total_served()
             );
+            let lat = merge_report(&control.latency);
+            let _ = write!(
+                out,
+                " latency_count={} latency_p50_us={:.1} latency_p99_us={:.1} \
+                 latency_p999_us={:.1}",
+                lat.count, lat.p50_us, lat.p99_us, lat.p999_us
+            );
             out.push_str(" per_worker=");
             for (i, c) in control.served.iter().enumerate() {
                 if i > 0 {
@@ -682,8 +703,10 @@ fn handle_request<S: HpStore>(
         }
         Request::Pair { u, v } => {
             control.served[worker].fetch_add(1, Ordering::Relaxed);
+            let t0 = std::time::Instant::now();
             match score_pair(engine, graph, control, &mut ctx.ws, u, v) {
                 Ok(s) => {
+                    control.latency[worker].record(t0.elapsed());
                     let _ = write!(out, "OK {s}");
                 }
                 Err(e) => write_query_error(out, e),
@@ -692,8 +715,10 @@ fn handle_request<S: HpStore>(
         Request::Source { u } => {
             control.served[worker].fetch_add(1, Ordering::Relaxed);
             engine.store().prefetch(NodeId(u));
+            let t0 = std::time::Instant::now();
             match engine.single_source_with(graph, &mut ctx.ss, NodeId(u), &mut ctx.scores) {
                 Ok(()) => {
+                    control.latency[worker].record(t0.elapsed());
                     out.push_str("OK ");
                     write_scores(out, &ctx.scores);
                 }
@@ -703,8 +728,10 @@ fn handle_request<S: HpStore>(
         Request::TopK { u, k } => {
             control.served[worker].fetch_add(1, Ordering::Relaxed);
             engine.store().prefetch(NodeId(u));
+            let t0 = std::time::Instant::now();
             match engine.top_k_with(graph, &mut ctx.ss, &mut ctx.scores, NodeId(u), k) {
                 Ok(top) => {
+                    control.latency[worker].record(t0.elapsed());
                     let _ = write!(out, "OK {}", top.len());
                     for (node, score) in top {
                         let _ = write!(out, " {}:{score}", node.0);
@@ -717,8 +744,12 @@ fn handle_request<S: HpStore>(
             control.served[worker].fetch_add(pairs.len() as u64, Ordering::Relaxed);
             ctx.batch.clear();
             for &(u, v) in &pairs {
+                let t0 = std::time::Instant::now();
                 match score_pair(engine, graph, control, &mut ctx.ws, u, v) {
-                    Ok(s) => ctx.batch.push(s),
+                    Ok(s) => {
+                        control.latency[worker].record(t0.elapsed());
+                        ctx.batch.push(s);
+                    }
                     Err(e) => {
                         write_query_error(out, e);
                         return Action::Continue;

@@ -13,8 +13,12 @@ use sling_simrank::core::codec::CompressOptions;
 use sling_simrank::core::disk_query::BufferedDiskStore;
 use sling_simrank::core::join::JoinStrategy;
 use sling_simrank::core::out_of_core::DiskHpStore;
-use sling_simrank::core::{QueryEngine, SlingConfig, SlingError, SlingIndex};
-use sling_simrank::graph::generators::{barabasi_albert, erdos_renyi_directed};
+use sling_simrank::core::single_source::SingleSourceWorkspace;
+use sling_simrank::core::topk::select_top_k;
+use sling_simrank::core::{
+    HpStore, QueryEngine, QueryWorkspace, SlingConfig, SlingError, SlingIndex,
+};
+use sling_simrank::graph::generators::{barabasi_albert, erdos_renyi_directed, star_graph};
 use sling_simrank::graph::{DiGraph, NodeId};
 
 const C: f64 = 0.6;
@@ -28,6 +32,67 @@ fn tmpfile(tag: &str) -> PathBuf {
         "{tag}_{}.slng",
         FILE_COUNTER.fetch_add(1, Ordering::Relaxed)
     ))
+}
+
+/// Assert the streaming kernels (borrow-from-backend entry access,
+/// galloping merge, restore-cache memoization) answer **bit-identically**
+/// to the materializing reference path on one backend, for every query
+/// type. Two rounds, so the second runs against a warm restore cache.
+fn assert_streaming_matches_materialized<S: HpStore + Sync>(
+    label: &str,
+    engine: &QueryEngine<'_, S>,
+    g: &DiGraph,
+    pairs: &[(NodeId, NodeId)],
+    sources: &[NodeId],
+) {
+    let mut ws = QueryWorkspace::new();
+    let mut ws_ref = QueryWorkspace::new();
+    let mut ssw = SingleSourceWorkspace::new();
+    let mut ssw_ref = SingleSourceWorkspace::new();
+    let (mut scores, mut scores_ref) = (Vec::new(), Vec::new());
+    for round in 0..2 {
+        for &(u, v) in pairs {
+            let streamed = engine.single_pair_with(g, &mut ws, u, v).unwrap();
+            let reference = engine
+                .single_pair_materialized_with(g, &mut ws_ref, u, v)
+                .unwrap();
+            assert_eq!(
+                streamed.to_bits(),
+                reference.to_bits(),
+                "{label} round {round}: single_pair({u:?},{v:?}) {streamed} vs {reference}"
+            );
+        }
+        for &u in sources {
+            engine
+                .single_source_with(g, &mut ssw, u, &mut scores)
+                .unwrap();
+            engine
+                .single_source_materialized_with(g, &mut ssw_ref, u, &mut scores_ref)
+                .unwrap();
+            assert_eq!(
+                &scores, &scores_ref,
+                "{label} round {round}: single_source({u:?})"
+            );
+            // Top-k and the zero-slack truncated variant build on the
+            // same streamed vector.
+            let top = engine.top_k(g, u, 5).unwrap();
+            assert_eq!(&top, &select_top_k(&scores_ref, Some(u), 5));
+            let mut truncated = Vec::new();
+            let residual = engine
+                .single_source_truncated(g, &mut ssw, u, 0.0, &mut truncated)
+                .unwrap();
+            assert_eq!(residual, 0.0);
+            assert_eq!(&truncated, &scores_ref);
+        }
+    }
+    // Batches route through the same streaming cores.
+    let batch = engine.batch_single_pair(g, pairs, 3).unwrap();
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        let reference = engine
+            .single_pair_materialized_with(g, &mut ws_ref, u, v)
+            .unwrap();
+        assert_eq!(batch[i].to_bits(), reference.to_bits());
+    }
 }
 
 /// Strategy: random graphs from the two generator families the paper's
@@ -146,9 +211,85 @@ proptest! {
         prop_assert_eq!(&want, &disk_v2_engine.batch_single_pair(&g, &pairs, 3).unwrap());
         prop_assert_eq!(&want, &buffered_engine.batch_single_pair(&g, &pairs, 3).unwrap());
 
+        // Streaming kernels vs the materializing reference path, per
+        // backend × query type, across the same §5.2/§5.3 feature
+        // matrix — with hub-skewed pairs appended so the galloping merge
+        // branch is exercised too.
+        let hub = g.nodes().max_by_key(|&v| g.in_degree(v)).unwrap();
+        let mut skewed = pairs.clone();
+        skewed.extend((0..8u32).map(|i| (hub, NodeId((i * 5 + 1) % n))));
+        let sources = [NodeId(0), NodeId(n / 2), NodeId(n - 1)];
+        assert_streaming_matches_materialized("mem", &mem, &g, &skewed, &sources);
+        assert_streaming_matches_materialized("mmap", &mmap, &g, &skewed, &sources);
+        assert_streaming_matches_materialized("mmap-compressed", &compressed, &g, &skewed, &sources);
+        assert_streaming_matches_materialized("disk", &disk_engine, &g, &skewed, &sources);
+        assert_streaming_matches_materialized("disk-v2", &disk_v2_engine, &g, &skewed, &sources);
+        assert_streaming_matches_materialized("buffered", &buffered_engine, &g, &skewed, &sources);
+
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&v2_path).ok();
     }
+}
+
+/// Hub-versus-leaf pairs on a graph with no §5.2 reduction: the hub's
+/// *stored* run dwarfs the leaves', so the streaming kernels take the
+/// zero-copy borrow path and the merge takes the galloping branch — and
+/// both must still be bit-identical to the materializing linear-merge
+/// reference on every backend.
+#[test]
+fn skewed_stored_lists_stream_and_gallop_bit_identically() {
+    // Directed star (spokes → center): the center's stored run holds an
+    // entry per spoke while each spoke stores only its step-0 self
+    // entry — maximal length skew, with §5.2 reduction off so the
+    // streaming kernels take the zero-copy borrow path on the long run.
+    let g = star_graph(400);
+    let config = SlingConfig::from_epsilon(C, 0.05)
+        .with_seed(23)
+        .with_space_reduction(false);
+    let idx = SlingIndex::build(&g, &config).unwrap();
+    let hub = NodeId(0);
+    let hub_len = idx.stored_entries(hub).count();
+    let leaf = NodeId(7);
+    let leaf_len = idx.stored_entries(leaf).count();
+    assert!(
+        hub_len >= 8 * leaf_len.max(1),
+        "fixture not skewed enough for galloping: hub {hub_len} vs leaf {leaf_len}"
+    );
+    let path = tmpfile("skew");
+    idx.save(&path).unwrap();
+    let v2_path = tmpfile("skew_v2");
+    idx.save_v2(&v2_path, &CompressOptions::default()).unwrap();
+
+    let pairs: Vec<(NodeId, NodeId)> = g
+        .nodes()
+        .skip(1)
+        .take(64)
+        .flat_map(|v| [(hub, v), (v, hub)])
+        .collect();
+    let sources = [hub, leaf];
+    let mem = idx.query_engine();
+    assert_streaming_matches_materialized("mem", &mem, &g, &pairs, &sources);
+    let mmap = QueryEngine::open_mmap(&g, &path).unwrap();
+    assert_streaming_matches_materialized("mmap", &mmap, &g, &pairs, &sources);
+    let compressed = QueryEngine::open_mmap_compressed(&g, &v2_path).unwrap();
+    assert_streaming_matches_materialized("compressed", &compressed, &g, &pairs, &sources);
+    let disk = DiskHpStore::open(&g, &path).unwrap();
+    assert_streaming_matches_materialized("disk", &disk.query_engine(), &g, &pairs, &sources);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&v2_path).ok();
+}
+
+/// Directed star: the center's entry run against a spoke's is the most
+/// extreme length skew a graph can produce; the dispatch must stay
+/// bit-identical there too.
+#[test]
+fn star_graph_extreme_skew_is_bit_identical() {
+    let g = star_graph(400);
+    let config = SlingConfig::from_epsilon(C, 0.05).with_seed(3);
+    let idx = SlingIndex::build(&g, &config).unwrap();
+    let pairs: Vec<(NodeId, NodeId)> = (1..40u32).map(|i| (NodeId(0), NodeId(i))).collect();
+    let mem = idx.query_engine();
+    assert_streaming_matches_materialized("star-mem", &mem, &g, &pairs, &[NodeId(0), NodeId(7)]);
 }
 
 /// Shared corpus for the mutation property: one valid persisted index.
