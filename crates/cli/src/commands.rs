@@ -5,19 +5,24 @@
 //! without spawning processes.
 
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::Arc;
 
 use sling_core::disk_query::BufferedDiskStore;
+use sling_core::lifecycle::{GenId, GenerationStore};
 use sling_core::out_of_core::DiskHpStore;
 use sling_core::{
-    HpStore, QueryEngine, QueryWorkspace, ShardedResultCache, SharedEngine, SlingConfig, SlingIndex,
+    HpStore, QueryEngine, QueryWorkspace, ShardedResultCache, SharedEngine, SlingConfig,
+    SlingError, SlingIndex,
 };
 use sling_graph::traversal::double_sweep_diameter;
 use sling_graph::{
     binfmt, components, datasets, edgelist, generators, DegreeDistribution, DegreeKind, DiGraph,
     GraphStats, NodeId,
 };
-use sling_server::{serve, Client, Listener, ServerConfig, ServerReport};
+use sling_server::{
+    serve, serve_reloadable, Client, Listener, ReloadableEngine, ServerConfig, ServerReport,
+};
 
 use crate::args::{Args, Spec};
 
@@ -58,9 +63,22 @@ COMMANDS:
         [--cache CAP] [--shards S] [--index-backend B]
                                           long-lived thread-per-core query server
                                           (wire protocol: see sling-server docs)
+  serve --index-root DIR [GRAPH] [--watch] [--watch-ms N] [..]
+                                          serve the promoted generation of an
+                                          index root and hot-swap (zero dropped
+                                          requests) when a new one is promoted;
+                                          GRAPH is the fallback for generations
+                                          without a co-located graph snapshot
+  generations ROOT [--gc KEEP]            list/inspect the generations of an
+                                          index root; --gc removes retired ones
+                                          (keeping KEEP rollback candidates)
+  promote ROOT [--gen N | --index FILE [--graph FILE]]
+                                          verify + atomically promote a
+                                          generation to CURRENT; --index first
+                                          publishes the file as a new generation
   client MODE [..] --connect HOST:PORT | --unix PATH
                                           pair U V | source U | topk U K |
-                                          stats | ping | shutdown
+                                          stats | reload | ping | shutdown
   bench-serve GRAPH INDEX [--threads T] [--requests N] [--hot F]
         [--hot-keys K] [--workers W] [--cache CAP] [--index-backend B]
                                           drive an in-process server with
@@ -418,6 +436,24 @@ fn format_server_report(prefix: &str, report: &ServerReport) -> String {
             .collect::<Vec<_>>()
             .join(","),
     );
+    let gen = &report.generation;
+    let _ = write!(
+        out,
+        "\nindex generation: {} (epoch {}, {} swaps{}{})",
+        gen.generation,
+        gen.epoch,
+        gen.swaps,
+        if gen.reload_failures > 0 {
+            format!(", {} failed reloads", gen.reload_failures)
+        } else {
+            String::new()
+        },
+        if gen.last_swap_unix_ms > 0 {
+            format!(", last swap at unix_ms {}", gen.last_swap_unix_ms)
+        } else {
+            String::new()
+        },
+    );
     if report.latency.count > 0 {
         let _ = write!(
             out,
@@ -552,23 +588,90 @@ fn bind_listener(args: &Args, default_addr: &str) -> Result<Listener, String> {
 }
 
 fn server_config(args: &Args) -> Result<ServerConfig, String> {
+    let watch_default = if args.switch("watch") { 1000 } else { 0 };
     Ok(ServerConfig {
         workers: args.flag_parse("workers", 0usize)?,
         cache_capacity: args.flag_parse("cache", 1usize << 18)?,
         cache_shards: args.flag_parse("shards", 0usize)?,
+        watch_interval_ms: args.flag_parse("watch-ms", watch_default)?,
     })
 }
 
 /// `sling serve` — the long-lived concurrent query server: one shared
 /// engine, thread-per-core workers, sharded result cache. Blocks until a
 /// client sends `SHUTDOWN`.
+///
+/// Two engine sources: `serve GRAPH INDEX` pins one index file for the
+/// server's lifetime, while `serve --index-root DIR [GRAPH]` serves the
+/// promoted generation of a [`GenerationStore`] and hot-swaps whenever a
+/// new generation is promoted (on `RELOAD`, or automatically with
+/// `--watch` / `--watch-ms`). The optional `GRAPH` positional is the
+/// fallback for generations without a co-located graph snapshot.
 pub fn cmd_serve(args: &Args) -> Result<String, String> {
-    let graph_path = args.positional(0, "graph")?;
-    let index_path = args.positional(1, "index")?;
     let backend = parse_backend(args)?;
     let config = server_config(args)?;
-    let g = load_graph(graph_path)?;
     let listener = bind_listener(args, "127.0.0.1:7462")?;
+    if let Some(root) = args.flag("index-root") {
+        // With --index-root the only positional is the optional fallback
+        // graph; a leftover INDEX argument means the operator bolted
+        // --index-root onto a pinned `serve GRAPH INDEX` invocation and
+        // would otherwise have it silently dropped.
+        if args.positional(1, "index").is_ok() {
+            return Err(
+                "--index-root serves the store's promoted generation; drop the INDEX \
+                 positional (only an optional fallback GRAPH is accepted)"
+                    .to_string(),
+            );
+        }
+        let store = GenerationStore::open(root).map_err(|e| format!("{root}: {e}"))?;
+        let fallback = match args.positional(0, "graph") {
+            Ok(path) => Some(Arc::new(load_graph(path)?)),
+            Err(_) => None,
+        };
+        return match backend {
+            IndexBackend::Mem => serve_root(
+                store,
+                fallback,
+                |g, p| SlingIndex::load(g, p).map(SlingIndex::into_shared_engine),
+                listener,
+                config,
+            ),
+            IndexBackend::Mmap => serve_root(
+                store,
+                fallback,
+                |g, p| SharedEngine::open_mmap(g, p),
+                listener,
+                config,
+            ),
+            IndexBackend::MmapCompressed => serve_root(
+                store,
+                fallback,
+                |g, p| SharedEngine::open_mmap_compressed(g, p),
+                listener,
+                config,
+            ),
+            IndexBackend::Disk => serve_root(
+                store,
+                fallback,
+                |g, p| DiskHpStore::open(g, p).map(DiskHpStore::into_shared_engine),
+                listener,
+                config,
+            ),
+        };
+    }
+    // Pinned single-index serving: there is nothing to watch, so a
+    // watch flag here means the operator expected hot reload and must
+    // hear that it will not happen.
+    if args.switch("watch") || args.flag("watch-ms").is_some() {
+        return Err(
+            "--watch/--watch-ms only apply with --index-root DIR (a pinned GRAPH INDEX \
+             server has no generation store to watch)"
+                .to_string(),
+        );
+    }
+    let graph_path = args.positional(0, "graph")?;
+    let index_path = args.positional(1, "index")?;
+    let g = load_graph(graph_path)?;
     match backend {
         IndexBackend::Mem => {
             let index = load_index(&g, index_path)?;
@@ -590,6 +693,45 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
             serve_and_join(store.into_shared_engine(), g, listener, config)
         }
     }
+}
+
+/// Serve the promoted generation of a store, hot-swapping on promotion.
+fn serve_root<S, F>(
+    store: GenerationStore,
+    fallback_graph: Option<Arc<DiGraph>>,
+    open: F,
+    listener: Listener,
+    config: ServerConfig,
+) -> Result<String, String>
+where
+    S: HpStore + Send + Sync + 'static,
+    F: Fn(&DiGraph, &Path) -> Result<SharedEngine<S>, SlingError> + Send + Sync + 'static,
+{
+    let root = store.root().display().to_string();
+    let reloadable = ReloadableEngine::watching_store(store, fallback_graph, open)
+        .map_err(|e| format!("{root}: {e}"))?;
+    let info = reloadable.info();
+    let handle = serve_reloadable(Arc::new(reloadable), listener, config)
+        .map_err(|e| format!("failed to start server: {e}"))?;
+    let watch = if config.watch_interval_ms > 0 {
+        format!(", watching CURRENT every {} ms", config.watch_interval_ms)
+    } else {
+        ", hot reload on RELOAD".to_string()
+    };
+    match handle.local_addr() {
+        Some(addr) => println!(
+            "sling-server listening on {addr}, serving {} from {root}{watch} \
+             (send SHUTDOWN to stop)",
+            info.generation
+        ),
+        None => println!(
+            "sling-server listening on unix socket, serving {} from {root}{watch} \
+             (send SHUTDOWN to stop)",
+            info.generation
+        ),
+    }
+    let report = handle.join();
+    Ok(format_server_report("server shut down", &report))
 }
 
 fn serve_and_join<S: HpStore + Send + Sync + 'static>(
@@ -677,6 +819,14 @@ pub fn cmd_client(args: &Args) -> Result<String, String> {
             Ok(out)
         }
         "stats" => client.stats_line().map_err(err),
+        "reload" => {
+            let (generation, swapped) = client.reload().map_err(err)?;
+            Ok(if swapped {
+                format!("swapped to {generation}")
+            } else {
+                format!("already serving {generation} (no newer promotion)")
+            })
+        }
         "ping" => {
             client.ping().map_err(err)?;
             Ok("pong".to_string())
@@ -686,7 +836,7 @@ pub fn cmd_client(args: &Args) -> Result<String, String> {
             Ok("server shutting down".to_string())
         }
         other => Err(format!(
-            "unknown client mode {other:?} (pair|source|topk|stats|ping|shutdown)"
+            "unknown client mode {other:?} (pair|source|topk|stats|reload|ping|shutdown)"
         )),
     }
 }
@@ -960,7 +1110,23 @@ pub fn run(argv: &[String]) -> Result<String, String> {
                     "cache",
                     "shards",
                     "index-backend",
+                    "index-root",
+                    "watch-ms",
                 ],
+                switches: &["watch"],
+            },
+        )?),
+        "generations" => cmd_generations(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["gc"],
+                switches: &[],
+            },
+        )?),
+        "promote" => cmd_promote(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["gen", "index", "graph"],
                 switches: &[],
             },
         )?),
@@ -1153,6 +1319,131 @@ pub fn cmd_inspect(args: &Args) -> Result<String, String> {
     let path = args.positional(0, "index")?;
     let info = sling_core::inspect_file(path).map_err(|e| format!("{path}: {e}"))?;
     Ok(format_index_info(path, &info))
+}
+
+/// Parse a generation argument: `gen-0007`, `0007`, or `7`.
+fn parse_gen(raw: &str) -> Result<GenId, String> {
+    GenId::parse(raw)
+        .or_else(|| raw.parse().ok().map(GenId))
+        .ok_or_else(|| format!("cannot parse generation {raw:?} (expected gen-NNNN or NNNN)"))
+}
+
+/// `sling generations` — list and inspect the generations of an index
+/// root, optionally garbage-collecting retired ones.
+pub fn cmd_generations(args: &Args) -> Result<String, String> {
+    let root = args.positional(0, "root")?;
+    let store = GenerationStore::open(root).map_err(|e| format!("{root}: {e}"))?;
+    let mut out = String::new();
+    if let Some(keep) = args.flag("gc") {
+        let keep: usize = keep
+            .parse()
+            .map_err(|_| format!("--gc: cannot parse {keep:?}"))?;
+        let removed = store.gc(keep).map_err(|e| format!("{root}: {e}"))?;
+        match removed.len() {
+            0 => writeln!(
+                out,
+                "gc: nothing to retire (keeping {keep} rollback candidates)"
+            )
+            .unwrap(),
+            n => writeln!(
+                out,
+                "gc: removed {n} retired generation(s): {}",
+                removed
+                    .iter()
+                    .map(|g| g.dir_name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+            .unwrap(),
+        }
+    }
+    let generations = store.list().map_err(|e| format!("{root}: {e}"))?;
+    let current = store.current().map_err(|e| format!("{root}: {e}"))?;
+    writeln!(
+        out,
+        "{root}: {} generation(s), current {}",
+        generations.len(),
+        current.map_or("none".to_string(), |g| g.dir_name())
+    )
+    .unwrap();
+    for gen in generations {
+        let marker = if Some(gen) == current { '*' } else { ' ' };
+        let state = match current {
+            Some(c) if gen == c => "current",
+            Some(c) if gen < c => "retired",
+            Some(_) => "pending",
+            None => "pending",
+        };
+        match store.manifest(gen) {
+            Ok(m) => {
+                let graph = match &m.graph {
+                    Some(g) => format!(", graph {} bytes", g.bytes),
+                    None => String::new(),
+                };
+                writeln!(
+                    out,
+                    "{marker} {}  {}  n={} m={} eps={} c={} seed={}  index {} bytes{graph}  [{state}]",
+                    gen.dir_name(),
+                    m.format,
+                    m.num_nodes,
+                    m.num_edges,
+                    m.epsilon,
+                    m.c,
+                    m.seed,
+                    m.index.bytes,
+                )
+                .unwrap();
+            }
+            Err(e) => writeln!(out, "{marker} {}  INVALID: {e}", gen.dir_name()).unwrap(),
+        }
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// `sling promote` — atomically promote a generation to `CURRENT`
+/// (write-temp + fsync + rename; full payload verification first).
+/// With `--index FILE` the file (and optionally `--graph FILE`) is first
+/// *published* as a new generation, then promoted — the one-command path
+/// from `sling build` output to a live server swap.
+pub fn cmd_promote(args: &Args) -> Result<String, String> {
+    let root = args.positional(0, "root")?;
+    let store = GenerationStore::open(root).map_err(|e| format!("{root}: {e}"))?;
+    if args.flag("gen").is_some() && args.flag("index").is_some() {
+        return Err(
+            "--gen and --index are mutually exclusive: --gen promotes an existing \
+             generation, --index publishes a new one and promotes it"
+                .to_string(),
+        );
+    }
+    let (gen, published) = if let Some(index_path) = args.flag("index") {
+        let index_bytes = std::fs::read(index_path).map_err(|e| format!("{index_path}: {e}"))?;
+        let graph_bytes = match args.flag("graph") {
+            Some(path) => Some(std::fs::read(path).map_err(|e| format!("{path}: {e}"))?),
+            None => None,
+        };
+        let gen = store
+            .publish_bytes(&index_bytes, graph_bytes.as_deref())
+            .map_err(|e| format!("{index_path}: {e}"))?;
+        (gen, true)
+    } else if let Some(raw) = args.flag("gen") {
+        (parse_gen(raw)?, false)
+    } else {
+        let latest = store
+            .list()
+            .map_err(|e| format!("{root}: {e}"))?
+            .last()
+            .copied()
+            .ok_or_else(|| format!("{root}: no generations to promote (use --index FILE)"))?;
+        (latest, false)
+    };
+    store
+        .promote(gen)
+        .map_err(|e| format!("{}: {e}", gen.dir_name()))?;
+    Ok(format!(
+        "{}{} is now CURRENT in {root} (verified, atomically promoted)",
+        if published { "published " } else { "" },
+        gen.dir_name()
+    ))
 }
 
 /// `sling compact` — convert an index file to the block-compressed

@@ -236,6 +236,15 @@ impl<K: Copy + Eq + Hash, V: Default> LruList<K, V> {
         self.map.insert(key, idx);
     }
 
+    /// Remove one key (used to drop entries invalidated by an epoch
+    /// bump); its slot is recycled through the free list.
+    pub(crate) fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        self.free.push(idx);
+        Some(std::mem::take(&mut self.slots[idx as usize].value))
+    }
+
     /// Evict and return the least-recently-used entry.
     pub(crate) fn pop_lru(&mut self) -> Option<(K, V)> {
         let victim = self.tail;
@@ -280,6 +289,21 @@ pub enum CachedVerdict {
     /// The pair references a node id `≥ n`: the query errors without
     /// touching the store, and so do all its repeats.
     OutOfRange,
+}
+
+/// One cached entry: the value plus the **generation epoch** it was
+/// computed under. A serving layer that hot-swaps index generations
+/// advances the cache's epoch at the swap ([`ShardedResultCache::set_epoch`]);
+/// entries tagged with a retired epoch read as misses (and are dropped
+/// on touch), so a hit computed against a retired index can never be
+/// served. Inserts are tagged by the *caller* with the epoch of the
+/// engine that actually computed the value — capturing the tag before
+/// the computation closes the race where a swap lands mid-query and a
+/// stale score would otherwise be admitted as fresh.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct EpochSlot {
+    epoch: u64,
+    value: f64,
 }
 
 /// A single-pair query front-end that memoizes results in an LRU cache.
@@ -409,9 +433,13 @@ impl<'i, S: HpStore> CachedQueries<'i, S> {
 /// the same key writes the same bits; the first insert wins and later
 /// ones are dropped.
 pub struct ShardedResultCache {
-    shards: Box<[Mutex<LruList<(u32, u32), f64>>]>,
+    shards: Box<[Mutex<LruList<(u32, u32), EpochSlot>>]>,
     shard_capacity: usize,
     stats: AtomicCacheStats,
+    /// Current generation epoch; entries tagged with any other epoch
+    /// are invalid (see [`EpochSlot`]). Static deployments never touch
+    /// it and stay at 0.
+    epoch: AtomicU64,
 }
 
 impl ShardedResultCache {
@@ -429,6 +457,7 @@ impl ShardedResultCache {
             shards: (0..shards).map(|_| Mutex::new(LruList::new())).collect(),
             shard_capacity,
             stats: AtomicCacheStats::new(),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -456,12 +485,62 @@ impl ShardedResultCache {
         ((h >> 32) as usize) & (self.shards.len() - 1)
     }
 
+    /// The current generation epoch. Entries are only served while their
+    /// tag matches it; new deployments start (and static ones stay) at 0.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Set the generation epoch, lazily invalidating every entry tagged
+    /// with a different one. A serving layer calls this when it swaps
+    /// index generations (monotone values keep the tags unambiguous).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Bump the generation epoch by one, invalidating all resident
+    /// entries; returns the new epoch.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
     /// Cached verdict of the (canonicalized) pair, recording a hit or
     /// miss. Negative verdicts count as hits: the whole point of caching
     /// them is that the repeat costs a shard probe instead of a query.
+    /// An entry from a retired generation epoch reads as a miss and is
+    /// dropped on touch.
     pub fn lookup(&self, u: NodeId, v: NodeId) -> Option<CachedVerdict> {
+        self.lookup_tagged(u, v, self.epoch())
+    }
+
+    /// [`ShardedResultCache::lookup`] against an explicit generation
+    /// epoch: only entries computed under exactly that epoch are served.
+    /// A hot-swapping server passes the epoch of the generation the
+    /// *request* is being answered on, so a request that started on the
+    /// retired generation cannot be handed a score computed on the new
+    /// one mid-flight (one `BATCH` response never mixes indexes), and
+    /// vice versa. Entries from epochs that are neither the requested
+    /// nor the current one are dropped on touch; an entry from the
+    /// current epoch observed by an older-generation request is left in
+    /// place for the requests that can use it.
+    pub fn lookup_tagged(&self, u: NodeId, v: NodeId, epoch: u64) -> Option<CachedVerdict> {
         let key = pair_key(u, v);
-        let hit = self.shards[self.shard_index(key)].lock().get(&key).copied();
+        let current = self.epoch();
+        let hit = {
+            let mut shard = self.shards[self.shard_index(key)].lock();
+            match shard.get(&key).copied() {
+                Some(slot) if slot.epoch == epoch => Some(slot.value),
+                Some(slot) => {
+                    if slot.epoch != current {
+                        // Computed against a retired index: free the
+                        // slot so the live generation can refill it.
+                        shard.remove(&key);
+                    }
+                    None
+                }
+                None => None,
+            }
+        };
         match hit {
             Some(_) => self.stats.record_hit(),
             None => self.stats.record_miss(),
@@ -485,35 +564,68 @@ impl ShardedResultCache {
         }
     }
 
-    /// Insert a computed score, evicting the shard's LRU entry at
-    /// capacity. A key another thread already inserted is left untouched
-    /// (deterministic queries make the values identical). Non-finite
-    /// values are rejected — no backend can legitimately produce one, and
-    /// admitting a NaN could forge the negative sentinel.
+    /// Insert a computed score tagged with the **current** epoch,
+    /// evicting the shard's LRU entry at capacity. A key another thread
+    /// already inserted is left untouched (deterministic queries make
+    /// the values identical). Non-finite values are rejected — no
+    /// backend can legitimately produce one, and admitting a NaN could
+    /// forge the negative sentinel. Callers racing a generation swap
+    /// should use [`ShardedResultCache::insert_tagged`] with an epoch
+    /// captured *before* computing.
     pub fn insert(&self, u: NodeId, v: NodeId, value: f64) {
+        self.insert_tagged(u, v, value, self.epoch());
+    }
+
+    /// Insert a score computed under generation `epoch`. If the epoch is
+    /// no longer current (a swap landed while the value was being
+    /// computed) the insert is dropped — a score from a retired index
+    /// must never be admitted as fresh.
+    pub fn insert_tagged(&self, u: NodeId, v: NodeId, value: f64, epoch: u64) {
         if !value.is_finite() {
             return;
         }
-        self.insert_raw(pair_key(u, v), value);
+        self.insert_raw(pair_key(u, v), EpochSlot { epoch, value });
     }
 
     /// Remember that this (canonicalized) pair references an out-of-range
     /// node id, so repeats are answered from the cache. Negative entries
     /// share the LRU space and eviction policy with scores.
     pub fn insert_negative(&self, u: NodeId, v: NodeId) {
-        self.insert_raw(pair_key(u, v), f64::from_bits(NEGATIVE_BITS));
+        self.insert_negative_tagged(u, v, self.epoch());
     }
 
-    fn insert_raw(&self, key: (u32, u32), value: f64) {
+    /// Epoch-tagged variant of [`ShardedResultCache::insert_negative`]
+    /// (out-of-range verdicts survive swaps only if `n` is unchanged, so
+    /// they obey the same epoch rules as scores).
+    pub fn insert_negative_tagged(&self, u: NodeId, v: NodeId, epoch: u64) {
+        self.insert_raw(
+            pair_key(u, v),
+            EpochSlot {
+                epoch,
+                value: f64::from_bits(NEGATIVE_BITS),
+            },
+        );
+    }
+
+    fn insert_raw(&self, key: (u32, u32), slot: EpochSlot) {
+        if slot.epoch != self.epoch() {
+            return; // computed against a retired generation
+        }
         let mut shard = self.shards[self.shard_index(key)].lock();
-        if shard.get(&key).is_some() {
-            return;
+        match shard.get(&key) {
+            // First insert wins while the entry is live...
+            Some(live) if live.epoch == slot.epoch => return,
+            // ...but a retired-epoch entry is dead weight: replace it.
+            Some(_) => {
+                shard.remove(&key);
+            }
+            None => {}
         }
         if shard.len() >= self.shard_capacity {
             shard.pop_lru();
             self.stats.record_evictions(1);
         }
-        shard.insert(key, value);
+        shard.insert(key, slot);
     }
 
     /// Counter snapshot (exact even while other threads query).
@@ -562,6 +674,28 @@ impl<S: HpStore> SharedEngine<S> {
         u: NodeId,
         v: NodeId,
     ) -> Result<f64, SlingError> {
+        self.single_pair_cached_tagged(graph, ws, cache, u, v, cache.epoch())
+    }
+
+    /// [`SharedEngine::single_pair_cached`] with an explicit generation
+    /// epoch tag for both the lookup and the insert. A hot-swapping
+    /// server passes the epoch of the engine generation it is querying —
+    /// captured *before* the computation — which gives two guarantees: a
+    /// swap landing mid-query can never get a score computed on the
+    /// retired generation admitted as fresh (the tagged insert is simply
+    /// dropped), and a request answering on one generation can never be
+    /// served a hit computed on another (the tagged lookup only matches
+    /// its own epoch, so e.g. one `BATCH` response never mixes indexes).
+    /// Static callers pass `cache.epoch()`.
+    pub fn single_pair_cached_tagged(
+        &self,
+        graph: &DiGraph,
+        ws: &mut QueryWorkspace,
+        cache: &ShardedResultCache,
+        u: NodeId,
+        v: NodeId,
+        epoch: u64,
+    ) -> Result<f64, SlingError> {
         // Under `exact_diagonal` an in-range identity pair is a literal
         // constant — cheaper to answer than to probe a shard lock, and
         // caching it would evict scores that are actually expensive.
@@ -571,7 +705,7 @@ impl<S: HpStore> SharedEngine<S> {
             return self.single_pair_with(graph, ws, u, v);
         }
         let (a, b) = if u.0 <= v.0 { (u, v) } else { (v, u) };
-        match cache.lookup(a, b) {
+        match cache.lookup_tagged(a, b, epoch) {
             Some(CachedVerdict::Score(hit)) => return Ok(hit),
             Some(CachedVerdict::OutOfRange) => {
                 // Re-derive the structured error from the O(1) range
@@ -590,11 +724,11 @@ impl<S: HpStore> SharedEngine<S> {
         self.store().prefetch(b);
         match self.single_pair_with(graph, ws, a, b) {
             Ok(value) => {
-                cache.insert(a, b, value);
+                cache.insert_tagged(a, b, value, epoch);
                 Ok(value)
             }
             Err(err @ SlingError::NodeOutOfRange { .. }) => {
-                cache.insert_negative(a, b);
+                cache.insert_negative_tagged(a, b, epoch);
                 Err(err)
             }
             Err(err) => Err(err),
@@ -861,6 +995,94 @@ mod tests {
         // In particular, a forged sentinel cannot enter through insert.
         cache.insert(NodeId(0), NodeId(1), f64::from_bits(super::NEGATIVE_BITS));
         assert_eq!(cache.lookup(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_resident_entries() {
+        let cache = ShardedResultCache::new(8, 1);
+        cache.insert(NodeId(0), NodeId(1), 0.25);
+        cache.insert_negative(NodeId(0), NodeId(99));
+        assert_eq!(cache.get(NodeId(0), NodeId(1)), Some(0.25));
+        assert_eq!(
+            cache.lookup(NodeId(0), NodeId(99)),
+            Some(CachedVerdict::OutOfRange)
+        );
+        // A generation swap advances the epoch: both entries must now
+        // read as misses (and be dropped on touch), score and negative
+        // verdict alike.
+        assert_eq!(cache.advance_epoch(), 1);
+        assert_eq!(cache.epoch(), 1);
+        assert_eq!(cache.lookup(NodeId(0), NodeId(1)), None);
+        assert_eq!(cache.lookup(NodeId(0), NodeId(99)), None);
+        assert!(cache.is_empty(), "stale entries must be dropped on touch");
+        // The new generation refills the same keys.
+        cache.insert(NodeId(0), NodeId(1), 0.5);
+        assert_eq!(cache.get(NodeId(0), NodeId(1)), Some(0.5));
+    }
+
+    #[test]
+    fn tagged_lookup_never_crosses_generations() {
+        let cache = ShardedResultCache::new(8, 1);
+        cache.set_epoch(2);
+        cache.insert_tagged(NodeId(0), NodeId(1), 0.5, 2);
+        // A request still answering on the previous generation (epoch 1)
+        // must not be served the new generation's entry — one response
+        // never mixes indexes...
+        assert_eq!(cache.lookup_tagged(NodeId(0), NodeId(1), 1), None);
+        // ...and probing it must not evict the current generation's
+        // entry, which stays served to current-epoch requests.
+        assert_eq!(
+            cache.lookup_tagged(NodeId(0), NodeId(1), 2),
+            Some(CachedVerdict::Score(0.5))
+        );
+        assert_eq!(cache.len(), 1);
+        // An entry from neither the requested nor the current epoch is
+        // dead weight and is dropped on touch.
+        cache.set_epoch(3);
+        assert_eq!(cache.lookup_tagged(NodeId(0), NodeId(1), 1), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stale_tagged_inserts_are_dropped() {
+        let cache = ShardedResultCache::new(8, 1);
+        // A worker captures the epoch, computes... and a swap lands
+        // before it inserts: the stale score must not be admitted.
+        let before = cache.epoch();
+        cache.set_epoch(7);
+        cache.insert_tagged(NodeId(0), NodeId(1), 0.25, before);
+        assert!(cache.is_empty());
+        // A stale-epoch entry already resident is *replaced* by a live
+        // insert rather than blocking it.
+        cache.insert_tagged(NodeId(0), NodeId(2), 0.1, 7);
+        cache.set_epoch(8);
+        cache.insert_tagged(NodeId(0), NodeId(2), 0.9, 8);
+        assert_eq!(cache.get(NodeId(0), NodeId(2)), Some(0.9));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn tagged_engine_queries_respect_a_mid_query_swap() {
+        let (g, idx) = setup();
+        let want = idx.single_pair(&g, NodeId(0), NodeId(1));
+        let engine: SharedEngine<HpArena> = idx.into();
+        let cache = ShardedResultCache::with_capacity(16);
+        let mut ws = QueryWorkspace::new();
+        // Simulate: epoch captured at 0, swap to 1 mid-compute. The
+        // answer is still returned (computed on the engine the caller
+        // held), but it is never cached.
+        cache.set_epoch(1);
+        let got = engine
+            .single_pair_cached_tagged(&g, &mut ws, &cache, NodeId(0), NodeId(1), 0)
+            .unwrap();
+        assert_eq!(got, want);
+        assert!(cache.is_empty(), "stale-epoch result was cached");
+        // The untagged path tags with the current epoch and caches.
+        let got = engine
+            .single_pair_cached(&g, &mut ws, &cache, NodeId(0), NodeId(1))
+            .unwrap();
+        assert_eq!(got, want);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

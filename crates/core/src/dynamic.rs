@@ -273,6 +273,29 @@ impl DynamicSling {
         Ok(())
     }
 
+    /// Rebuild from the current graph and **publish the result into a
+    /// generation store** instead of only replacing the engine in place:
+    /// the fresh index plus a snapshot of the graph it was built from
+    /// become a new `gen-NNNN` directory, which is then verified and
+    /// atomically promoted to `CURRENT`. A serving process watching the
+    /// store (`sling serve --index-root <root> --watch`, or the `RELOAD`
+    /// verb) hot-swaps onto it without dropping a request — the
+    /// zero-downtime path for dynamic workloads, where this wrapper owns
+    /// the mutations and the server owns the traffic.
+    ///
+    /// The local index is rebuilt too (this wrapper keeps answering its
+    /// own queries), and all staleness is cleared exactly as in
+    /// [`DynamicSling::rebuild`]. Returns the promoted generation id.
+    pub fn rebuild_into(
+        &mut self,
+        store: &crate::lifecycle::GenerationStore,
+    ) -> Result<crate::lifecycle::GenId, SlingError> {
+        self.rebuild()?;
+        let gen = store.publish_index(&self.index, Some(&self.snapshot))?;
+        store.promote(gen)?;
+        Ok(gen)
+    }
+
     /// Compute (and cache) the taint bitmap: nodes within `horizon`
     /// out-hops of any dirty node on the current graph, plus nodes the
     /// snapshot has never seen.
@@ -531,6 +554,38 @@ mod tests {
         let ss = d.single_source(new).unwrap();
         assert_eq!(ss.len(), 5);
         assert_eq!(ss[4], 1.0);
+    }
+
+    #[test]
+    fn rebuild_into_publishes_and_promotes_a_generation() {
+        let g = barabasi_albert(60, 2, 9).unwrap();
+        let mut c = cfg(0.1);
+        c.rebuild_fraction = f64::INFINITY;
+        let mut d = DynamicSling::new(&g, c).unwrap();
+        let root = std::env::temp_dir().join(format!("sling_dynamic_gen_{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let store = crate::lifecycle::GenerationStore::open(&root).unwrap();
+
+        d.insert_edge(NodeId(0), NodeId(50)).unwrap();
+        let gen = d.rebuild_into(&store).unwrap();
+        assert_eq!(store.current().unwrap(), Some(gen));
+        assert_eq!(d.pending_updates(), 0, "rebuild cleared the log");
+
+        // The promoted generation is self-contained: its graph snapshot
+        // plus index answer bit-identically to the wrapper.
+        let snap = store.load_graph(gen).unwrap().expect("graph co-located");
+        let served = SlingIndex::load(&snap, store.index_path(gen)).unwrap();
+        assert_eq!(
+            served.single_pair(&snap, NodeId(0), NodeId(50)),
+            d.single_pair(NodeId(0), NodeId(50)).unwrap()
+        );
+
+        // A second churn cycle publishes the next generation.
+        d.insert_edge(NodeId(1), NodeId(40)).unwrap();
+        let gen2 = d.rebuild_into(&store).unwrap();
+        assert!(gen2 > gen);
+        assert_eq!(store.current().unwrap(), Some(gen2));
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -150,6 +150,31 @@
 //! time, keep the algorithms — and now, keep them warm behind a server,
 //! at a fraction of the mapped footprint.
 //!
+//! ### Index lifecycle: generations, promotion, warm restart
+//!
+//! Because the index is immutable and file-backed, *reindexing* is a
+//! data-release problem, not a mutation problem. The [`lifecycle`]
+//! subsystem turns that into an operational layer: a
+//! [`lifecycle::GenerationStore`] holds versioned `gen-NNNN` directories
+//! (each an index file, an optional graph snapshot, and a checksummed
+//! `MANIFEST` recording format version, build config, and the
+//! source-graph fingerprint), a `CURRENT` pointer is swapped by
+//! write-temp + fsync + rename after full payload verification (crash
+//! safe: at every instant `CURRENT` names a valid generation), retired
+//! generations are GC'd on a retention policy, and
+//! [`lifecycle::warm_engine`] primes a freshly opened generation
+//! (prefetch + hot-key-log replay) before it takes traffic. Both result
+//! caches are **epoch-tagged** ([`ShardedResultCache`] and the
+//! [`store::RestoreCache`]) so a generation swap invalidates them in
+//! O(1) — a hit computed against a retired index is never served — and
+//! `sling-server` holds its engine in an epoch-tagged reloadable slot
+//! that hot-swaps generations under live traffic (`RELOAD`, or
+//! `serve --index-root <dir> --watch`). [`dynamic::DynamicSling`]
+//! rebuilds can publish-and-promote into the store
+//! ([`dynamic::DynamicSling::rebuild_into`]) instead of replacing the
+//! engine in place, closing the loop from graph churn to zero-downtime
+//! swap.
+//!
 //! ## Extension features beyond the paper's evaluation
 //!
 //! * top-k single-source queries with heap selection and an
@@ -178,6 +203,7 @@ pub mod format;
 pub mod hp;
 pub mod index;
 pub mod join;
+pub mod lifecycle;
 pub mod local_update;
 pub mod out_of_core;
 pub mod parallel;
@@ -198,6 +224,7 @@ pub use error::SlingError;
 pub use format::{inspect_bytes, inspect_file, FormatVersion, IndexFileInfo};
 pub use hp::HpEntry;
 pub use index::{QueryWorkspace, SlingIndex};
+pub use lifecycle::{GenId, GenerationStore, Manifest};
 pub use store::{
     CompressedMmapArena, EntryAccess, HpStore, MmapHpArena, QueryEngine, RestoreCache, SharedEngine,
 };

@@ -878,11 +878,18 @@ impl BlockScratchCache {
 pub struct RestoreCache {
     shards: Box<[Mutex<RestoreShard>]>,
     per_shard_entries: usize,
+    /// Generation epoch the cached lists were restored under. Lists
+    /// tagged with any other epoch read as misses (and are dropped on
+    /// touch), so a serving layer that rebuilds the graph/index behind a
+    /// live engine can invalidate every memoized restore in O(1) —
+    /// without it, nothing would invalidate a restored hub list when the
+    /// engine underneath the cache changes.
+    epoch: std::sync::atomic::AtomicU64,
 }
 
 #[derive(Default)]
 struct RestoreShard {
-    lists: LruList<u32, Arc<Vec<HpEntry>>>,
+    lists: LruList<u32, (u64, Arc<Vec<HpEntry>>)>,
     entries: usize,
 }
 
@@ -899,6 +906,7 @@ impl RestoreCache {
         RestoreCache {
             shards: (0..Self::SHARDS).map(|_| Mutex::default()).collect(),
             per_shard_entries: (Self::DEFAULT_TOTAL_ENTRIES / Self::SHARDS).max(1),
+            epoch: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -907,31 +915,75 @@ impl RestoreCache {
         &self.shards[(v.0 as usize) & (Self::SHARDS - 1)]
     }
 
-    /// Cached restored list of `v`, if resident.
-    pub(crate) fn get(&self, v: NodeId) -> Option<Arc<Vec<HpEntry>>> {
-        self.shard(v).lock().lists.get(&v.0).map(Arc::clone)
+    /// The current generation epoch (see [`RestoreCache::advance_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::Acquire)
     }
 
-    /// Admit a freshly restored list, evicting LRU lists until it fits
-    /// the shard's entry budget (an oversized list is admitted alone —
-    /// reuse is node-driven, exactly like the disk buffer pool).
-    pub(crate) fn insert(&self, v: NodeId, list: Arc<Vec<HpEntry>>) {
+    /// Bump the generation epoch, lazily invalidating every cached list;
+    /// returns the new epoch. O(1) — stale lists are dropped on touch.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel) + 1
+    }
+
+    /// Drop every cached list immediately (the eager sibling of
+    /// [`RestoreCache::advance_epoch`]; counters and budget are kept).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            shard.lists.clear();
+            shard.entries = 0;
+        }
+    }
+
+    /// Cached restored list of `v`, if resident and from the current
+    /// epoch; a stale list is dropped on touch.
+    pub(crate) fn get(&self, v: NodeId) -> Option<Arc<Vec<HpEntry>>> {
+        let current = self.epoch();
         let mut shard = self.shard(v).lock();
-        if shard.lists.get(&v.0).is_some() {
-            return; // a racing worker restored it first; keep theirs
+        match shard.lists.get(&v.0) {
+            Some((epoch, list)) if *epoch == current => Some(Arc::clone(list)),
+            Some(_) => {
+                let (_, stale) = shard.lists.remove(&v.0).expect("entry just observed");
+                shard.entries -= stale.len();
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Admit a list restored under generation `epoch`, evicting LRU
+    /// lists until it fits the shard's entry budget (an oversized list
+    /// is admitted alone — reuse is node-driven, exactly like the disk
+    /// buffer pool). A stale `epoch` — the engine was invalidated while
+    /// the restore ran — drops the insert instead of admitting a list
+    /// computed against retired state.
+    pub(crate) fn insert_tagged(&self, v: NodeId, list: Arc<Vec<HpEntry>>, epoch: u64) {
+        if epoch != self.epoch() {
+            return;
+        }
+        let mut shard = self.shard(v).lock();
+        match shard.lists.get(&v.0) {
+            // A racing worker restored it first this epoch; keep theirs.
+            Some((live, _)) if *live == epoch => return,
+            Some(_) => {
+                let (_, stale) = shard.lists.remove(&v.0).expect("entry just observed");
+                shard.entries -= stale.len();
+            }
+            None => {}
         }
         while shard.entries + list.len() > self.per_shard_entries {
-            let Some((_, old)) = shard.lists.pop_lru() else {
+            let Some((_, (_, old))) = shard.lists.pop_lru() else {
                 break;
             };
             shard.entries -= old.len();
         }
         shard.entries += list.len();
-        shard.lists.insert(v.0, list);
+        shard.lists.insert(v.0, (epoch, list));
     }
 
     /// Estimated heap bytes of the cached lists.
-    pub(crate) fn resident_bytes(&self) -> usize {
+    pub fn resident_bytes(&self) -> usize {
         let entries: usize = self.shards.iter().map(|s| s.lock().entries).sum();
         entries * std::mem::size_of::<HpEntry>()
     }
@@ -1696,6 +1748,18 @@ impl<S: HpStore> SharedEngine<S> {
         &self.store
     }
 
+    /// The engine's memo of restored §5.2/§5.3 effective lists. Exposed
+    /// so lifecycle layers can inspect residency and invalidate it
+    /// ([`RestoreCache::advance_epoch`] / [`RestoreCache::clear`]) when
+    /// the graph or index behind a live engine changes — the in-place
+    /// rebuild scenario. (The shipped generation-swap path replaces the
+    /// whole engine, restore cache included, so it never needs these
+    /// hooks; they exist for embedders that mutate state *behind* a
+    /// long-lived engine instead of republishing one.)
+    pub fn restore_cache(&self) -> &RestoreCache {
+        &self.restore
+    }
+
     /// The configuration the index was built with.
     pub fn config(&self) -> &SlingConfig {
         &self.config
@@ -2303,7 +2367,7 @@ mod tests {
         for i in 0..32u32 {
             let node = NodeId(i * RestoreCache::SHARDS as u32); // same shard
             let list = Arc::new(vec![HpEntry::new(0, NodeId(0), 1.0); list_len]);
-            cache.insert(node, list);
+            cache.insert_tagged(node, list, cache.epoch());
             let resident = cache.shards[0].lock().entries;
             assert!(resident <= per_shard, "{resident} > {per_shard}");
         }
@@ -2313,8 +2377,67 @@ mod tests {
             .is_some());
         // An oversized list is admitted alone.
         let huge = Arc::new(vec![HpEntry::new(0, NodeId(0), 1.0); per_shard * 2]);
-        cache.insert(NodeId(8), Arc::clone(&huge));
+        cache.insert_tagged(NodeId(8), Arc::clone(&huge), cache.epoch());
         assert!(cache.get(NodeId(8)).is_some());
+    }
+
+    #[test]
+    fn restore_cache_epoch_and_clear_invalidate_lists() {
+        let cache = RestoreCache::new();
+        let list = Arc::new(vec![HpEntry::new(0, NodeId(0), 1.0); 4]);
+        cache.insert_tagged(NodeId(3), Arc::clone(&list), cache.epoch());
+        assert!(cache.get(NodeId(3)).is_some());
+        // Epoch bump: the stale list reads as a miss, is dropped on
+        // touch, and its entries leave the budget accounting.
+        assert_eq!(cache.advance_epoch(), 1);
+        assert!(cache.get(NodeId(3)).is_none());
+        assert_eq!(cache.resident_bytes(), 0);
+        // A stale-tagged insert (restore raced the invalidation) is
+        // dropped.
+        cache.insert_tagged(NodeId(3), Arc::clone(&list), 0);
+        assert!(cache.get(NodeId(3)).is_none());
+        // Fresh inserts under the new epoch work; clear() empties
+        // eagerly.
+        cache.insert_tagged(NodeId(3), Arc::clone(&list), 1);
+        assert!(cache.get(NodeId(3)).is_some());
+        cache.clear();
+        assert!(cache.get(NodeId(3)).is_none());
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn shared_engine_restore_cache_invalidation_recomputes_bit_identically() {
+        let g = barabasi_albert(150, 3, 31).unwrap();
+        let config = cfg();
+        let idx = SlingIndex::build(&g, &config).unwrap();
+        assert!(idx.stats().reduced_nodes > 0, "fixture must reduce nodes");
+        let engine = SharedEngine::from(idx.clone());
+        let mut ws = QueryWorkspace::new();
+        let want = idx.single_pair(&g, NodeId(0), NodeId(1));
+        assert_eq!(
+            engine
+                .single_pair_with(&g, &mut ws, NodeId(0), NodeId(1))
+                .unwrap(),
+            want
+        );
+        assert!(engine.restore_cache().resident_bytes() > 0);
+        // Lifecycle-style invalidation on a live engine: queries keep
+        // answering bit-identically, through a repopulated cache.
+        engine.restore_cache().advance_epoch();
+        assert_eq!(
+            engine
+                .single_pair_with(&g, &mut ws, NodeId(0), NodeId(1))
+                .unwrap(),
+            want
+        );
+        engine.restore_cache().clear();
+        assert_eq!(engine.restore_cache().resident_bytes(), 0);
+        assert_eq!(
+            engine
+                .single_pair_with(&g, &mut ws, NodeId(0), NodeId(1))
+                .unwrap(),
+            want
+        );
     }
 
     #[test]

@@ -10,25 +10,52 @@
 //! only allows when `η(v) ≤ γ/θ = O(1/ε)`, preserving the `O(1/ε)` query
 //! bound.
 
-use sling_graph::{DiGraph, FxHashMap, NodeId};
+use sling_graph::{DiGraph, NodeId};
 
 use crate::hp::HpEntry;
 
 /// Reusable scratch for [`two_hop_into`]; avoids per-query allocation.
+///
+/// The step-2 accumulator is a **dense scratch**: an `n`-sized value
+/// array plus the list of touched node ids. Profiling the §5.2 restore
+/// (the dominant cost of the first, uncached hub query — see
+/// `BENCH_query.json`) showed the old per-contribution `FxHashMap`
+/// insert paying a hash + probe on every two-hop edge; the dense pass
+/// is one indexed add per edge, and only the touched slots are sorted
+/// and zeroed afterwards, so the per-query cost stays `O(η(v) +
+/// |touched| log |touched|)` regardless of `n`.
 #[derive(Debug, Default)]
 pub struct TwoHopScratch {
-    step2: FxHashMap<u32, f64>,
+    /// Per-node step-2 accumulator, zero outside `touched` between
+    /// calls. Contributions are strictly positive, so `0.0` doubles as
+    /// the "untouched" sentinel.
+    dense: Vec<f64>,
+    /// Node ids with a nonzero accumulation this call.
+    touched: Vec<u32>,
 }
 
 impl TwoHopScratch {
-    /// Drop the accumulator map if a past restore grew its *capacity*
-    /// past `threshold` buckets (hub-sized two-hop neighborhoods).
-    /// Capacity, not population: [`two_hop_into`] clears the map at the
-    /// start of every call, so after a small query the map may hold few
-    /// entries while still pinning a hub-sized table.
+    /// Retention ceiling of the dense accumulator: 2²¹ slots = 16 MiB
+    /// per workspace. Deliberately much larger than the entry-buffer
+    /// trim threshold — the array is `n`-sized *by design* (not
+    /// hub-outlier growth), so trimming it at the entry threshold would
+    /// free and re-zero it after every server session on any graph with
+    /// more than a few thousand nodes, turning the warm scratch into an
+    /// `O(n)` memset per session. Only graphs too big to pin 16 MiB per
+    /// worker pay the re-zero on their next uncached restore.
+    const DENSE_TRIM_SLOTS: usize = 1 << 21;
+
+    /// Drop the touched list if a past restore grew its *capacity* past
+    /// `threshold` entries (it tracks the two-hop neighborhood, so it
+    /// obeys the same hub-outlier rule as the workspace entry buffers),
+    /// and the dense accumulator only past
+    /// [`TwoHopScratch::DENSE_TRIM_SLOTS`].
     pub(crate) fn trim_excess(&mut self, threshold: usize) {
-        if self.step2.capacity() > threshold {
-            self.step2 = FxHashMap::default();
+        if self.dense.capacity() > Self::DENSE_TRIM_SLOTS {
+            self.dense = Vec::new();
+        }
+        if self.touched.capacity() > threshold {
+            self.touched = Vec::new();
         }
     }
 }
@@ -51,26 +78,34 @@ pub fn two_hop_into(
     for &x in inn {
         out.push(HpEntry::new(1, x, h1));
     }
-    // Step 2: accumulate over two-hop in-paths.
-    scratch.step2.clear();
+    // Step 2: flat gather over the two-hop in-paths into the dense
+    // scratch. Per-target contributions accumulate in visit order —
+    // exactly the order the map-based accumulator added them — so the
+    // sums are bit-identical to the previous kernel.
+    if scratch.dense.len() < graph.num_nodes() {
+        scratch.dense.resize(graph.num_nodes(), 0.0);
+    }
+    scratch.touched.clear();
     for &x in inn {
         let inn2 = graph.in_neighbors(x);
         if inn2.is_empty() {
             continue;
         }
         let contrib = sqrt_c * h1 / inn2.len() as f64;
+        debug_assert!(contrib > 0.0, "step-2 contributions are positive");
         for &y in inn2 {
-            *scratch.step2.entry(y.0).or_insert(0.0) += contrib;
+            let slot = &mut scratch.dense[y.index()];
+            if *slot == 0.0 {
+                scratch.touched.push(y.0);
+            }
+            *slot += contrib;
         }
     }
-    let start = out.len();
-    out.extend(
-        scratch
-            .step2
-            .iter()
-            .map(|(&node, &value)| HpEntry::new(2, NodeId(node), value)),
-    );
-    out[start..].sort_unstable_by_key(|e| e.node);
+    scratch.touched.sort_unstable();
+    for &node in &scratch.touched {
+        out.push(HpEntry::new(2, NodeId(node), scratch.dense[node as usize]));
+        scratch.dense[node as usize] = 0.0;
+    }
 }
 
 /// Allocating convenience wrapper around [`two_hop_into`].

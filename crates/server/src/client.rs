@@ -118,6 +118,26 @@ impl Client {
         self.roundtrip(&Request::Stats.encode())
     }
 
+    /// Ask the server to check for (and hot-swap to) a newer promoted
+    /// index generation. Returns the generation now being served and
+    /// whether this call swapped it in.
+    pub fn reload(&mut self) -> io::Result<(String, bool)> {
+        let payload = self.roundtrip(&Request::Reload.encode())?;
+        let mut generation = None;
+        let mut swapped = None;
+        for kv in payload.split_ascii_whitespace() {
+            if let Some(v) = kv.strip_prefix("generation=") {
+                generation = Some(v.to_string());
+            } else if let Some(v) = kv.strip_prefix("swapped=") {
+                swapped = v.parse().ok();
+            }
+        }
+        match (generation, swapped) {
+            (Some(g), Some(s)) => Ok((g, s)),
+            _ => Err(invalid("malformed reload response")),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> io::Result<()> {
         let payload = self.roundtrip(&Request::Ping.encode())?;

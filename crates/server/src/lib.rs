@@ -23,6 +23,17 @@
 //!   [`sling_core::HpStore::prefetch`] for its endpoints — on the mmap
 //!   backend that issues `madvise(WILLNEED)` for the entry byte ranges,
 //!   so cold out-of-core queries fault their pages in one batch.
+//! * **Hot generation reload.** The engine lives in an epoch-tagged
+//!   [`ReloadableEngine`] slot wired (optionally) to a
+//!   [`sling_core::lifecycle::GenerationStore`]: promoting a new index
+//!   generation (`sling promote`) and issuing `RELOAD` — or running the
+//!   server with a watch interval — hot-swaps engines under live
+//!   traffic. In-flight requests finish on the generation they started
+//!   on, the next request per worker picks up the new one (one atomic
+//!   compare on the hot path), and the result cache's epoch advances
+//!   with the swap so a hit computed against a retired index is never
+//!   served. Freshly opened generations are warmed from the store's
+//!   hot-key log before taking traffic.
 //! * **Sessions, not requests, are scheduled.** The acceptor thread
 //!   queues each incoming connection; a worker serves that connection's
 //!   requests until it closes or goes quiet while others wait, in which
@@ -47,7 +58,8 @@
 //! | `SOURCE <u>` | `OK <n> <s0> .. <s_{n-1}>` — full single-source vector (Algorithm 6) |
 //! | `TOPK <u> <k>` | `OK <m> <node>:<score> ..` — top-k most similar to `u`, excluding `u` |
 //! | `BATCH <u1>,<v1> <u2>,<v2> ..` | `OK <m> <s1> .. <sm>` — positionally aligned single-pair scores |
-//! | `STATS` | `OK key=value ..` — workers, per-worker served counts, cache hits/misses/evictions/hit-rate, and query-latency percentiles (`latency_count`, `latency_p50_us`, `latency_p99_us`, `latency_p999_us`, from per-worker log-bucketed histograms: ~12% resolution, lock-free on the hot path) |
+//! | `STATS` | `OK key=value ..` — workers, per-worker served counts, the serving index generation (`index_generation`, `index_epoch`, `swaps`, `last_swap_unix_ms`), cache hits/misses/evictions/hit-rate, and query-latency percentiles (`latency_count`, `latency_p50_us`, `latency_p99_us`, `latency_p999_us`, from per-worker log-bucketed histograms: ~12% resolution, lock-free on the hot path) |
+//! | `RELOAD` | `OK generation=<name> epoch=<e> swapped=<bool>` — check the generation store's `CURRENT` pointer and hot-swap to a newer promoted generation (`swapped=false` on pinned servers or when already current) |
 //! | `PING` | `OK pong` |
 //! | `QUIT` | `OK bye`, then the server closes this connection |
 //! | `SHUTDOWN` | `OK shutting-down`, then the whole server drains and exits |
@@ -74,7 +86,10 @@ pub mod server;
 pub use client::Client;
 pub use latency::LatencyReport;
 pub use protocol::Request;
-pub use server::{serve, Listener, ServerConfig, ServerHandle, ServerReport};
+pub use server::{
+    serve, serve_reloadable, EngineGeneration, GenerationInfo, Listener, ReloadableEngine,
+    ServerConfig, ServerHandle, ServerReport,
+};
 
 /// Type-erased bidirectional connection (TCP or Unix stream), shared by
 /// the server's session queue and the client. Carries the read-timeout

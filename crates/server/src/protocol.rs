@@ -26,6 +26,9 @@ pub enum Request {
     Batch { pairs: Vec<(u32, u32)> },
     /// `STATS` — server and cache counters.
     Stats,
+    /// `RELOAD` — check the generation store's `CURRENT` pointer and
+    /// hot-swap to a newer promoted generation if one exists.
+    Reload,
     /// `PING` — liveness probe.
     Ping,
     /// `QUIT` — close this connection.
@@ -69,6 +72,7 @@ impl Request {
                 Request::Batch { pairs }
             }
             "STATS" => Request::Stats,
+            "RELOAD" => Request::Reload,
             "PING" => Request::Ping,
             "QUIT" => Request::Quit,
             "SHUTDOWN" => Request::Shutdown,
@@ -94,6 +98,7 @@ impl Request {
                 out
             }
             Request::Stats => "STATS".to_string(),
+            Request::Reload => "RELOAD".to_string(),
             Request::Ping => "PING".to_string(),
             Request::Quit => "QUIT".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
@@ -140,6 +145,7 @@ mod tests {
             }
         );
         assert_eq!(Request::parse("STATS").unwrap(), Request::Stats);
+        assert_eq!(Request::parse("RELOAD").unwrap(), Request::Reload);
         assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
         assert_eq!(Request::parse("QUIT").unwrap(), Request::Quit);
         assert_eq!(Request::parse("SHUTDOWN").unwrap(), Request::Shutdown);
@@ -158,6 +164,7 @@ mod tests {
                 pairs: vec![(9, 8), (7, 6), (5, 5)],
             },
             Request::Stats,
+            Request::Reload,
             Request::Ping,
             Request::Quit,
             Request::Shutdown,

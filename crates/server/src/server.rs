@@ -1,5 +1,5 @@
-//! The server runtime: acceptor, thread-per-core worker pool, graceful
-//! shutdown, and per-worker statistics.
+//! The server runtime: acceptor, thread-per-core worker pool, hot
+//! generation reload, graceful shutdown, and per-worker statistics.
 //!
 //! Sessions — not individual requests — are the scheduling unit: the
 //! acceptor queues each accepted socket, and the next free worker serves
@@ -13,6 +13,22 @@
 //! pipelining session yields after at most `YIELD_AFTER` requests — so
 //! neither idle nor busy clients can pin workers and starve waiting
 //! connections (or `SHUTDOWN`).
+//!
+//! ## Hot reload
+//!
+//! The engine lives in a [`ReloadableEngine`] — an epoch-tagged swap
+//! slot holding one [`EngineGeneration`] (engine + graph + generation
+//! name). Requests in flight keep the `Arc` of the generation they
+//! started on; the next request a worker picks up observes the bumped
+//! epoch with one atomic load and refetches. A swap also advances the
+//! shared result cache's epoch *in the same critical section*, and every
+//! insert is tagged with the epoch of the generation that computed it,
+//! so a hit computed against a retired index can never be served (see
+//! [`ShardedResultCache`]). Swaps are driven by the `RELOAD` protocol
+//! verb or the periodic `CURRENT`-staleness watcher
+//! ([`ServerConfig::watch_interval_ms`]), both of which consult the
+//! [`ReloadableEngine`]'s generation opener (typically wired to a
+//! [`sling_core::lifecycle::GenerationStore`]).
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -21,10 +37,11 @@ use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::os::unix::net::UnixListener;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use sling_core::lifecycle::{warm_engine, GenerationStore};
 use sling_core::single_source::SingleSourceWorkspace;
 use sling_core::{
     CacheStats, HpStore, QueryWorkspace, ShardedResultCache, SharedEngine, SlingError,
@@ -67,7 +84,7 @@ const MAX_ACCEPT_ERRORS: u32 = 512;
 /// instead, independent of this constant).
 const YIELD_AFTER: u32 = 64;
 
-/// Tuning knobs for [`serve`].
+/// Tuning knobs for [`serve`] / [`serve_reloadable`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
     /// Worker threads; `0` means one per available core
@@ -79,6 +96,11 @@ pub struct ServerConfig {
     /// Cache shard count (rounded up to a power of two); `0` picks
     /// [`ShardedResultCache::DEFAULT_SHARDS`].
     pub cache_shards: usize,
+    /// Period of the `CURRENT`-staleness watcher in milliseconds; `0`
+    /// disables it. Only meaningful for [`serve_reloadable`] with a
+    /// generation opener — swaps can still be driven explicitly with the
+    /// `RELOAD` verb either way.
+    pub watch_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +109,7 @@ impl Default for ServerConfig {
             workers: 0,
             cache_capacity: 1 << 18,
             cache_shards: 0,
+            watch_interval_ms: 0,
         }
     }
 }
@@ -138,6 +161,303 @@ impl Listener {
             Listener::Unix(..) => None,
         }
     }
+}
+
+/// One live index generation: the engine, the graph it serves, and the
+/// generation's name (`gen-NNNN`, or `static` for pinned deployments).
+/// Immutable once published into a [`ReloadableEngine`]; requests hold
+/// an `Arc` to the generation they started on, so a swap never tears a
+/// response.
+pub struct EngineGeneration<S: HpStore> {
+    engine: Arc<SharedEngine<S>>,
+    graph: Arc<DiGraph>,
+    name: String,
+    /// Swap epoch assigned when this generation is published into the
+    /// slot (0 for the initial generation); also the tag its computed
+    /// scores carry in the shared result cache.
+    epoch: u64,
+}
+
+impl<S: HpStore> EngineGeneration<S> {
+    /// Package an engine + graph as a generation named `name`.
+    pub fn new(engine: Arc<SharedEngine<S>>, graph: Arc<DiGraph>, name: impl Into<String>) -> Self {
+        EngineGeneration {
+            engine,
+            graph,
+            name: name.into(),
+            epoch: 0,
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &SharedEngine<S> {
+        &self.engine
+    }
+
+    /// The graph this generation was built from.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Generation name (`gen-NNNN` or `static`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Swap epoch of this generation (see [`ReloadableEngine`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// Produces the next generation when the promoted one changes: given the
+/// name of the generation currently being served, return `Ok(Some(..))`
+/// with a fully opened (and warmed) successor, `Ok(None)` when nothing
+/// newer is promoted. Runs on watcher or `RELOAD`-handling threads, so
+/// it may block on IO.
+pub type GenerationOpener<S> =
+    Box<dyn Fn(&str) -> io::Result<Option<EngineGeneration<S>>> + Send + Sync>;
+
+/// Epoch-tagged hot-swap slot for the serving engine.
+///
+/// Readers ([`ReloadableEngine::current`]) take an uncontended
+/// `RwLock` read just long enough to clone the generation `Arc`; the
+/// worker hot path avoids even that by caching the `Arc` and comparing
+/// one relaxed-cost atomic epoch load per request. Swapping
+/// ([`ReloadableEngine::try_reload`]) verifies-and-opens the new
+/// generation *outside* any lock, then publishes it and advances the
+/// shared result cache's epoch inside the write critical section — the
+/// ordering that makes "a swap can never serve a hit computed against a
+/// retired index" hold (see [`ShardedResultCache`]).
+pub struct ReloadableEngine<S: HpStore> {
+    slot: RwLock<Arc<EngineGeneration<S>>>,
+    /// Epoch of the generation currently in `slot` (bumped on swap).
+    epoch: AtomicU64,
+    swaps: AtomicU64,
+    last_swap_unix_ms: AtomicU64,
+    /// Reload attempts whose opener failed (the old generation kept
+    /// serving). Surfaced through `STATS` so a permanently failing
+    /// promotion is diagnosable even under `--watch`.
+    reload_failures: AtomicU64,
+    opener: Option<GenerationOpener<S>>,
+    /// Serializes [`ReloadableEngine::try_reload`] so concurrent callers
+    /// (watcher + `RELOAD`) cannot double-open one generation.
+    reload_lock: Mutex<()>,
+}
+
+/// Snapshot of a [`ReloadableEngine`]'s swap state, surfaced through
+/// `STATS` and [`ServerReport`].
+#[derive(Clone, Debug)]
+pub struct GenerationInfo {
+    /// Name of the generation being served.
+    pub generation: String,
+    /// Current swap epoch (0 until the first swap).
+    pub epoch: u64,
+    /// Completed generation swaps.
+    pub swaps: u64,
+    /// Reload attempts that failed (old generation kept serving).
+    pub reload_failures: u64,
+    /// Unix timestamp (ms) of the last swap; 0 when none happened.
+    pub last_swap_unix_ms: u64,
+}
+
+fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl<S: HpStore> ReloadableEngine<S> {
+    /// A slot pinned to one generation forever — what [`serve`] wraps a
+    /// plain engine in. `RELOAD` reports `swapped=false` and the watcher
+    /// never starts.
+    pub fn pinned(engine: Arc<SharedEngine<S>>, graph: Arc<DiGraph>) -> Self {
+        Self::with_opener(EngineGeneration::new(engine, graph, "static"), None)
+    }
+
+    /// A slot starting at `initial` whose successors come from `opener`.
+    pub fn new(initial: EngineGeneration<S>, opener: GenerationOpener<S>) -> Self {
+        Self::with_opener(initial, Some(opener))
+    }
+
+    fn with_opener(initial: EngineGeneration<S>, opener: Option<GenerationOpener<S>>) -> Self {
+        ReloadableEngine {
+            epoch: AtomicU64::new(initial.epoch),
+            slot: RwLock::new(Arc::new(initial)),
+            swaps: AtomicU64::new(0),
+            last_swap_unix_ms: AtomicU64::new(0),
+            reload_failures: AtomicU64::new(0),
+            opener,
+            reload_lock: Mutex::new(()),
+        }
+    }
+
+    /// Watch a [`GenerationStore`]: open its promoted generation now
+    /// (erroring when nothing is promoted) and reload whenever `CURRENT`
+    /// moves. `open` maps a graph + index path to an engine — one line
+    /// per storage backend. Each generation's graph comes from its
+    /// co-located snapshot when present, else from `fallback_graph`
+    /// (fingerprint-checked against the manifest either way), and each
+    /// freshly opened engine is warmed from the store's hot-key log
+    /// before it starts serving.
+    pub fn watching_store<F>(
+        store: GenerationStore,
+        fallback_graph: Option<Arc<DiGraph>>,
+        open: F,
+    ) -> io::Result<ReloadableEngine<S>>
+    where
+        F: Fn(&DiGraph, &Path) -> Result<SharedEngine<S>, SlingError> + Send + Sync + 'static,
+        S: 'static,
+    {
+        let current = store.current().map_err(io::Error::other)?.ok_or_else(|| {
+            io::Error::other(format!(
+                "{}: no promoted generation (run `sling promote` first)",
+                store.root().display()
+            ))
+        })?;
+        let initial = open_store_generation(&store, &fallback_graph, &open, current)?;
+        let opener: GenerationOpener<S> = Box::new(move |serving: &str| {
+            let Some(promoted) = store.current().map_err(io::Error::other)? else {
+                return Ok(None); // pointer vanished: keep serving
+            };
+            if promoted.dir_name() == serving {
+                return Ok(None);
+            }
+            open_store_generation(&store, &fallback_graph, &open, promoted).map(Some)
+        });
+        Ok(Self::new(initial, opener))
+    }
+
+    /// The generation currently being served.
+    pub fn current(&self) -> Arc<EngineGeneration<S>> {
+        Arc::clone(&self.slot.read().unwrap())
+    }
+
+    /// Epoch of the serving generation — one atomic load, so callers can
+    /// cheaply detect a swap and refetch [`ReloadableEngine::current`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Swap-state snapshot for reporting.
+    pub fn info(&self) -> GenerationInfo {
+        GenerationInfo {
+            generation: self.current().name.clone(),
+            epoch: self.epoch(),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            reload_failures: self.reload_failures.load(Ordering::Relaxed),
+            last_swap_unix_ms: self.last_swap_unix_ms.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Publish `next` as the serving generation: bump the epoch, retag
+    /// the shared result cache (when one is given) in the same critical
+    /// section, and record swap accounting. In-flight requests finish on
+    /// the generation `Arc` they hold; the old generation is dropped
+    /// when its last request completes.
+    pub fn swap(&self, next: EngineGeneration<S>, cache: Option<&ShardedResultCache>) {
+        let mut slot = self.slot.write().unwrap();
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        let mut next = next;
+        next.epoch = epoch;
+        *slot = Arc::new(next);
+        // Cache first, then the epoch the workers poll: a worker that
+        // observes the new epoch must also observe the retagged cache.
+        if let Some(cache) = cache {
+            cache.set_epoch(epoch);
+        }
+        self.epoch.store(epoch, Ordering::Release);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.last_swap_unix_ms
+            .store(unix_ms_now(), Ordering::Relaxed);
+    }
+
+    /// Consult the generation opener and swap if a newer generation is
+    /// promoted. Returns whether a swap happened; `Ok(false)` for pinned
+    /// slots. Serialized internally — concurrent callers (watcher +
+    /// `RELOAD`) cannot double-open one generation.
+    ///
+    /// **Synchronous by design**: the open, verification, and warm-up
+    /// run on the calling thread, so a `RELOAD` verb answers with the
+    /// definitive outcome — at the cost of occupying that worker for
+    /// the load duration. On small worker pools serving a large index,
+    /// prefer the watcher ([`ServerConfig::watch_interval_ms`]), which
+    /// performs the same load on its own thread while every worker
+    /// keeps serving; workers then pick the new generation up with one
+    /// atomic compare.
+    pub fn try_reload(&self, cache: Option<&ShardedResultCache>) -> io::Result<bool> {
+        let Some(opener) = &self.opener else {
+            return Ok(false);
+        };
+        // The slot read is brief; the open runs outside the slot lock. A
+        // racing second reload would re-open the same generation and
+        // swap it in twice — harmless but wasteful, so serialize opens.
+        let _serialized = self.reload_lock.lock().unwrap();
+        let serving = self.current().name.clone();
+        match opener(&serving) {
+            Ok(Some(next)) => {
+                self.swap(next, cache);
+                Ok(true)
+            }
+            Ok(None) => Ok(false),
+            Err(e) => {
+                self.reload_failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Open, fingerprint-check, and warm one generation from a store.
+fn open_store_generation<S, F>(
+    store: &GenerationStore,
+    fallback_graph: &Option<Arc<DiGraph>>,
+    open: &F,
+    gen: sling_core::lifecycle::GenId,
+) -> io::Result<EngineGeneration<S>>
+where
+    S: HpStore,
+    F: Fn(&DiGraph, &Path) -> Result<SharedEngine<S>, SlingError>,
+{
+    let manifest = store.manifest(gen).map_err(io::Error::other)?;
+    let graph: Arc<DiGraph> = match store
+        .load_graph_with(gen, &manifest)
+        .map_err(io::Error::other)?
+    {
+        Some(snapshot) => Arc::new(snapshot),
+        None => {
+            let fallback = fallback_graph.clone().ok_or_else(|| {
+                io::Error::other(format!(
+                    "{gen} has no graph snapshot and no fallback graph was provided"
+                ))
+            })?;
+            if fallback.num_nodes() != manifest.num_nodes
+                || fallback.num_edges() != manifest.num_edges
+            {
+                return Err(io::Error::other(format!(
+                    "{gen} was built for a graph with {} nodes / {} edges; the fallback \
+                     graph has {} / {}",
+                    manifest.num_nodes,
+                    manifest.num_edges,
+                    fallback.num_nodes(),
+                    fallback.num_edges()
+                )));
+            }
+            fallback
+        }
+    };
+    let engine = open(&graph, &store.index_path(gen)).map_err(io::Error::other)?;
+    // Prime the caches from the replayable hot-key log before the
+    // generation takes traffic; warm-up failures must never block a
+    // promotion, so the key list being empty or stale is fine.
+    let hot = store.read_hot_keys();
+    warm_engine(&engine, &graph, &hot);
+    Ok(EngineGeneration::new(
+        Arc::new(engine),
+        graph,
+        gen.dir_name(),
+    ))
 }
 
 /// A client session: the buffered connection plus any partially-read
@@ -225,6 +545,9 @@ pub struct ServerReport {
     pub cache: Option<CacheStats>,
     /// Server-side query-latency percentiles (merged across workers).
     pub latency: LatencyReport,
+    /// Index generation being served at exit, swap count, and the
+    /// last-swap timestamp.
+    pub generation: GenerationInfo,
 }
 
 impl ServerReport {
@@ -240,6 +563,9 @@ pub struct ServerHandle {
     addr: Option<SocketAddr>,
     control: Arc<Control>,
     threads: Vec<JoinHandle<()>>,
+    /// Type-erased view of the reloadable slot's swap state (the slot
+    /// itself is generic over the backend; the handle is not).
+    generation_info: Arc<dyn Fn() -> GenerationInfo + Send + Sync>,
 }
 
 impl ServerHandle {
@@ -247,6 +573,12 @@ impl ServerHandle {
     /// of a `127.0.0.1:0` test server connect to.
     pub fn local_addr(&self) -> Option<SocketAddr> {
         self.addr
+    }
+
+    /// Swap-state snapshot of the serving generation (live; callable
+    /// while the server runs).
+    pub fn generation_info(&self) -> GenerationInfo {
+        (self.generation_info)()
     }
 
     /// Block until the server exits (a client sends `SHUTDOWN`), then
@@ -264,6 +596,7 @@ impl ServerHandle {
                 .collect(),
             cache: self.control.cache.as_ref().map(|c| c.stats()),
             latency: merge_report(&self.control.latency),
+            generation: (self.generation_info)(),
         }
     }
 
@@ -275,16 +608,37 @@ impl ServerHandle {
     }
 }
 
-/// Start serving `engine` over `listener`.
-///
-/// Spawns `config.workers` worker threads (thread-per-core by default),
-/// each owning its query workspaces, plus one acceptor thread. The
-/// engine and graph are shared immutably; the only shared mutable state
-/// is the connection queue and the sharded result cache. Returns
-/// immediately with a [`ServerHandle`].
+/// Start serving a pinned `engine` over `listener` (no hot reload; the
+/// `RELOAD` verb reports `swapped=false`). See [`serve_reloadable`].
 pub fn serve<S>(
     engine: Arc<SharedEngine<S>>,
     graph: Arc<DiGraph>,
+    listener: Listener,
+    config: ServerConfig,
+) -> io::Result<ServerHandle>
+where
+    S: HpStore + Send + Sync + 'static,
+{
+    serve_reloadable(
+        Arc::new(ReloadableEngine::pinned(engine, graph)),
+        listener,
+        config,
+    )
+}
+
+/// Start serving the generation held by `reloadable` over `listener`.
+///
+/// Spawns `config.workers` worker threads (thread-per-core by default),
+/// each owning its query workspaces, plus one acceptor thread — and,
+/// when the slot has a generation opener and
+/// [`ServerConfig::watch_interval_ms`] is nonzero, a watcher thread that
+/// periodically checks for a newer promoted generation and hot-swaps it
+/// under live traffic. The engine and graph are shared immutably; the
+/// only shared mutable state is the connection queue, the sharded result
+/// cache, and the swap slot. Returns immediately with a
+/// [`ServerHandle`].
+pub fn serve_reloadable<S>(
+    reloadable: Arc<ReloadableEngine<S>>,
     listener: Listener,
     config: ServerConfig,
 ) -> io::Result<ServerHandle>
@@ -315,15 +669,14 @@ where
         cache,
     });
     let addr = listener.local_addr();
-    let mut threads = Vec::with_capacity(workers + 1);
+    let mut threads = Vec::with_capacity(workers + 2);
     for id in 0..workers {
         let control = Arc::clone(&control);
-        let engine = Arc::clone(&engine);
-        let graph = Arc::clone(&graph);
+        let reloadable = Arc::clone(&reloadable);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("sling-worker-{id}"))
-                .spawn(move || worker_loop(&engine, &graph, &control, id))?,
+                .spawn(move || worker_loop(&reloadable, &control, id))?,
         );
     }
     let acceptor_control = Arc::clone(&control);
@@ -332,11 +685,56 @@ where
             .name("sling-acceptor".to_string())
             .spawn(move || accept_loop(listener, &acceptor_control))?,
     );
+    if config.watch_interval_ms > 0 && reloadable.opener.is_some() {
+        let control = Arc::clone(&control);
+        let watched = Arc::clone(&reloadable);
+        let interval = Duration::from_millis(config.watch_interval_ms);
+        threads.push(
+            std::thread::Builder::new()
+                .name("sling-watcher".to_string())
+                .spawn(move || watch_loop(&watched, &control, interval))?,
+        );
+    }
+    let info_source = Arc::clone(&reloadable);
     Ok(ServerHandle {
         addr,
         control,
         threads,
+        generation_info: Arc::new(move || info_source.info()),
     })
+}
+
+/// Periodically re-check the promoted generation and hot-swap on change.
+/// Sleeps in `READ_POLL` slices so `SHUTDOWN` is observed promptly; a
+/// failing reload (a promotion racing its own publish, transient IO) is
+/// retried at the next tick rather than taking the server down — the
+/// old generation keeps serving, which is the whole point.
+fn watch_loop<S: HpStore>(reloadable: &ReloadableEngine<S>, control: &Control, interval: Duration) {
+    let mut since_check = Duration::ZERO;
+    let mut failing = false;
+    loop {
+        if control.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let slice = READ_POLL.min(interval);
+        std::thread::sleep(slice);
+        since_check += slice;
+        if since_check >= interval {
+            since_check = Duration::ZERO;
+            match reloadable.try_reload(control.cache.as_ref()) {
+                Ok(_) => failing = false,
+                Err(e) => {
+                    // One stderr line per failure streak (not per tick):
+                    // a corrupt promotion under --watch must be visible
+                    // somewhere, and STATS carries the running count.
+                    if !failing {
+                        eprintln!("sling-server: generation reload failed: {e}");
+                    }
+                    failing = true;
+                }
+            }
+        }
+    }
 }
 
 /// Accept connections until shutdown; non-blocking with a short poll so
@@ -406,30 +804,58 @@ fn accept_loop(listener: Listener, control: &Control) {
 }
 
 /// Per-worker reusable buffers: workspaces warm up once, then the hot
-/// path is allocation-free for pair queries.
-struct WorkerCtx {
+/// path is allocation-free for pair queries. The worker also caches the
+/// generation `Arc` it is serving, refreshed with one atomic epoch
+/// compare per request ([`WorkerCtx::generation`]).
+struct WorkerCtx<S: HpStore> {
     ws: QueryWorkspace,
     ss: SingleSourceWorkspace,
     scores: Vec<f64>,
     batch: Vec<f64>,
     response: String,
+    /// The generation currently being served, held only while the
+    /// worker is actively serving (`None` while parked on the queue, so
+    /// an idle worker never pins a retired generation's engine in
+    /// memory across a swap).
+    gen: Option<Arc<EngineGeneration<S>>>,
 }
 
-fn worker_loop<S: HpStore>(
-    engine: &SharedEngine<S>,
-    graph: &DiGraph,
-    control: &Control,
-    worker: usize,
-) {
+impl<S: HpStore> WorkerCtx<S> {
+    /// The serving generation, refetched from the swap slot only when
+    /// the epoch moved — one `Acquire` load on the hot path. In-flight
+    /// requests keep whatever generation they started with; this is
+    /// where the *next* request picks up a promoted one.
+    fn generation(&mut self, reloadable: &ReloadableEngine<S>) -> Arc<EngineGeneration<S>> {
+        let epoch = reloadable.epoch();
+        match &self.gen {
+            Some(gen) if gen.epoch == epoch => Arc::clone(gen),
+            _ => {
+                let gen = reloadable.current();
+                self.gen = Some(Arc::clone(&gen));
+                gen
+            }
+        }
+    }
+}
+
+fn worker_loop<S: HpStore>(reloadable: &ReloadableEngine<S>, control: &Control, worker: usize) {
     let mut ctx = WorkerCtx {
         ws: QueryWorkspace::new(),
         ss: SingleSourceWorkspace::new(),
         scores: Vec::new(),
         batch: Vec::new(),
         response: String::new(),
+        gen: None,
     };
-    while let Some(mut session) = control.pop() {
-        match serve_session(engine, graph, control, worker, &mut session, &mut ctx) {
+    loop {
+        // Release the generation before parking: a worker blocked on an
+        // empty queue across a swap must not keep the retired engine
+        // (potentially the whole previous index) alive.
+        ctx.gen = None;
+        let Some(mut session) = control.pop() else {
+            break;
+        };
+        match serve_session(reloadable, control, worker, &mut session, &mut ctx) {
             // Quiet session parked while others wait: back of the queue,
             // partial read state intact.
             SessionOutcome::Parked => control.push(session),
@@ -534,12 +960,11 @@ fn read_request_line(
 /// waiting connections — on a READ_POLL timeout while idle, or after
 /// YIELD_AFTER back-to-back requests while busy.
 fn serve_session<S: HpStore>(
-    engine: &SharedEngine<S>,
-    graph: &DiGraph,
+    reloadable: &ReloadableEngine<S>,
     control: &Control,
     worker: usize,
     session: &mut Session,
-    ctx: &mut WorkerCtx,
+    ctx: &mut WorkerCtx<S>,
 ) -> SessionOutcome {
     let mut served_since_park = 0u32;
     // Ready-work preemption: nothing buffered on this session while
@@ -572,7 +997,7 @@ fn serve_session<S: HpStore>(
                 let _ = write!(ctx.response, "ERR {msg}");
                 Action::Continue
             }
-            Ok(req) => handle_request(engine, graph, control, worker, req, ctx),
+            Ok(req) => handle_request(reloadable, control, worker, req, ctx),
         };
         session.line.clear();
         if matches!(action, Action::Shutdown) {
@@ -615,10 +1040,12 @@ fn serve_session<S: HpStore>(
 /// when one is configured (the cached path prefetches internally, on
 /// misses only — a hit never touches the store, so advising it would
 /// waste syscalls on the hottest path). Both the `PAIR` and `BATCH`
-/// handlers route here so the two cannot diverge.
+/// handlers route here so the two cannot diverge. Cache inserts are
+/// tagged with the generation's epoch (captured before computing), so a
+/// swap landing mid-query can never get a retired-generation score
+/// admitted as fresh.
 fn score_pair<S: HpStore>(
-    engine: &SharedEngine<S>,
-    graph: &DiGraph,
+    gen: &EngineGeneration<S>,
     control: &Control,
     ws: &mut QueryWorkspace,
     u: u32,
@@ -626,13 +1053,15 @@ fn score_pair<S: HpStore>(
 ) -> Result<f64, SlingError> {
     let (a, b) = (NodeId(u.min(v)), NodeId(u.max(v)));
     match &control.cache {
-        Some(cache) => engine.single_pair_cached(graph, ws, cache, a, b),
+        Some(cache) => gen
+            .engine
+            .single_pair_cached_tagged(&gen.graph, ws, cache, a, b, gen.epoch),
         None => {
-            engine.store().prefetch(a);
+            gen.engine.store().prefetch(a);
             if a != b {
-                engine.store().prefetch(b);
+                gen.engine.store().prefetch(b);
             }
-            engine.single_pair_with(graph, ws, a, b)
+            gen.engine.single_pair_with(&gen.graph, ws, a, b)
         }
     }
 }
@@ -642,13 +1071,16 @@ fn write_query_error(out: &mut String, err: SlingError) {
 }
 
 fn handle_request<S: HpStore>(
-    engine: &SharedEngine<S>,
-    graph: &DiGraph,
+    reloadable: &ReloadableEngine<S>,
     control: &Control,
     worker: usize,
     req: Request,
-    ctx: &mut WorkerCtx,
+    ctx: &mut WorkerCtx<S>,
 ) -> Action {
+    // Refresh the cached generation if a swap landed (one atomic
+    // compare); the Arc clone keeps this request on one consistent
+    // generation even if another swap lands mid-request.
+    let gen = ctx.generation(reloadable);
     let out = &mut ctx.response;
     match req {
         Request::Ping => out.push_str("OK pong"),
@@ -660,12 +1092,36 @@ fn handle_request<S: HpStore>(
             out.push_str("OK shutting-down");
             return Action::Shutdown;
         }
+        Request::Reload => match reloadable.try_reload(control.cache.as_ref()) {
+            Ok(swapped) => {
+                let info = reloadable.info();
+                let _ = write!(
+                    out,
+                    "OK generation={} epoch={} swapped={swapped}",
+                    info.generation, info.epoch
+                );
+            }
+            Err(e) => {
+                let _ = write!(out, "ERR reload failed: {e}");
+            }
+        },
         Request::Stats => {
             let _ = write!(
                 out,
                 "OK workers={} served={}",
                 control.served.len(),
                 control.total_served()
+            );
+            let info = reloadable.info();
+            let _ = write!(
+                out,
+                " index_generation={} index_epoch={} swaps={} reload_failures={} \
+                 last_swap_unix_ms={}",
+                info.generation,
+                info.epoch,
+                info.swaps,
+                info.reload_failures,
+                info.last_swap_unix_ms
             );
             let lat = merge_report(&control.latency);
             let _ = write!(
@@ -699,12 +1155,12 @@ fn handle_request<S: HpStore>(
                     );
                 }
             }
-            let _ = write!(out, " resident_bytes={}", engine.resident_bytes());
+            let _ = write!(out, " resident_bytes={}", gen.engine.resident_bytes());
         }
         Request::Pair { u, v } => {
             control.served[worker].fetch_add(1, Ordering::Relaxed);
             let t0 = std::time::Instant::now();
-            match score_pair(engine, graph, control, &mut ctx.ws, u, v) {
+            match score_pair(&gen, control, &mut ctx.ws, u, v) {
                 Ok(s) => {
                     control.latency[worker].record(t0.elapsed());
                     let _ = write!(out, "OK {s}");
@@ -714,9 +1170,12 @@ fn handle_request<S: HpStore>(
         }
         Request::Source { u } => {
             control.served[worker].fetch_add(1, Ordering::Relaxed);
-            engine.store().prefetch(NodeId(u));
+            gen.engine.store().prefetch(NodeId(u));
             let t0 = std::time::Instant::now();
-            match engine.single_source_with(graph, &mut ctx.ss, NodeId(u), &mut ctx.scores) {
+            match gen
+                .engine
+                .single_source_with(&gen.graph, &mut ctx.ss, NodeId(u), &mut ctx.scores)
+            {
                 Ok(()) => {
                     control.latency[worker].record(t0.elapsed());
                     out.push_str("OK ");
@@ -727,9 +1186,12 @@ fn handle_request<S: HpStore>(
         }
         Request::TopK { u, k } => {
             control.served[worker].fetch_add(1, Ordering::Relaxed);
-            engine.store().prefetch(NodeId(u));
+            gen.engine.store().prefetch(NodeId(u));
             let t0 = std::time::Instant::now();
-            match engine.top_k_with(graph, &mut ctx.ss, &mut ctx.scores, NodeId(u), k) {
+            match gen
+                .engine
+                .top_k_with(&gen.graph, &mut ctx.ss, &mut ctx.scores, NodeId(u), k)
+            {
                 Ok(top) => {
                     control.latency[worker].record(t0.elapsed());
                     let _ = write!(out, "OK {}", top.len());
@@ -745,7 +1207,7 @@ fn handle_request<S: HpStore>(
             ctx.batch.clear();
             for &(u, v) in &pairs {
                 let t0 = std::time::Instant::now();
-                match score_pair(engine, graph, control, &mut ctx.ws, u, v) {
+                match score_pair(&gen, control, &mut ctx.ws, u, v) {
                     Ok(s) => {
                         control.latency[worker].record(t0.elapsed());
                         ctx.batch.push(s);

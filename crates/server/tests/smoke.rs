@@ -62,6 +62,7 @@ fn concurrent_mixed_traffic_is_bit_identical_to_serial() {
             workers: 4,
             cache_capacity: 512,
             cache_shards: 8,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -155,6 +156,7 @@ fn unix_socket_serving_and_cacheless_mode() {
             workers: 2,
             cache_capacity: 0, // cacheless: direct engine path
             cache_shards: 0,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -190,6 +192,7 @@ fn mmap_backend_serves_identically_with_prefetch() {
             workers: 2,
             cache_capacity: 256,
             cache_shards: 4,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -217,6 +220,7 @@ fn shutdown_drains_despite_idle_connections() {
             workers: 2,
             cache_capacity: 16,
             cache_shards: 1,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -256,6 +260,7 @@ fn idle_connection_cannot_starve_a_single_worker() {
             workers: 1,
             cache_capacity: 16,
             cache_shards: 1,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -288,6 +293,7 @@ fn busy_pipelining_client_cannot_starve_others() {
             workers: 1,
             cache_capacity: 16,
             cache_shards: 1,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -336,6 +342,7 @@ fn malformed_requests_get_err_lines() {
             workers: 1,
             cache_capacity: 16,
             cache_shards: 1,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
