@@ -44,17 +44,18 @@ COMMANDS:
   query and join accept --index-backend {mem,mmap,mmap-compressed,disk}:
     mem              decode the whole index into memory (default)
     mmap             zero-copy memory-mapped reads from a SLNGIDX1 file
-    mmap-compressed  block-decoded memory-mapped reads from a SLNGIDX2
+    mmap-compressed  block-decoded memory-mapped reads from a SLNGIDX2/3
                      file (see compact), with a decoded-block cache
-    disk             positioned reads (either format) with an LRU buffer
+    disk             positioned reads (any format) with an LRU buffer
                      pool (--buffer-entries N)
   All backends return identical scores (bit-identical for lossless files).
-  compact INDEX --out FILE [--quantize] [--block-entries N]
-                                          convert to the block-compressed
-                                          SLNGIDX2 format with a before/after
-                                          byte report (lossless by default)
-  inspect INDEX                           header version, section/block byte
-                                          sizes, and compression ratio
+  compact INDEX --out FILE [--quantize] [--block-entries N] [--format v2|v3]
+                                          convert to a block-compressed format
+                                          (SLNGIDX3 by default) with a
+                                          before/after byte report (lossless by
+                                          default)
+  inspect INDEX                           header version, per-section byte
+                                          breakdown, and compression ratio
   batch GRAPH INDEX --random N | --pairs FILE
         [--threads T] [--cache CAP] [--seed S] [--index-backend B]
                                           bulk single-pair scoring through the
@@ -1184,7 +1185,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "compact" => cmd_compact(&Args::parse(
             rest.iter().cloned(),
             Spec {
-                value_flags: &["out", "block-entries"],
+                value_flags: &["out", "block-entries", "format"],
                 switches: &["quantize"],
             },
         )?),
@@ -1295,11 +1296,15 @@ fn format_index_info(path: &str, info: &sling_core::IndexFileInfo) -> String {
         info.total_bytes - info.payload_bytes,
     )
     .unwrap();
-    if info.version == sling_core::FormatVersion::V2 {
+    if info.num_blocks > 0 {
         writeln!(
             out,
-            "  blocks={} block_entries={} values_exact={}",
-            info.num_blocks, info.block_entries, info.values_exact
+            "  blocks={} block_entries={} values_exact={} directory_bytes={} global_dict_bytes={}",
+            info.num_blocks,
+            info.block_entries,
+            info.values_exact,
+            info.directory_bytes,
+            info.global_dict_bytes
         )
         .unwrap();
     }
@@ -1313,12 +1318,49 @@ fn format_index_info(path: &str, info: &sling_core::IndexFileInfo) -> String {
     out
 }
 
-/// `sling inspect` — header version, section/block byte sizes, and the
-/// compression ratio of a persisted index (either format generation).
+/// Human name of a value-section codec tag (see
+/// `sling_core::codec::value`).
+fn value_codec_name(tag: u8) -> &'static str {
+    match tag {
+        0 => "raw_f64",
+        1 => "dict_f64",
+        2 => "fixed_u32",
+        3 => "global_dict",
+        _ => "unknown",
+    }
+}
+
+/// Per-section byte attribution lines appended by `sling inspect` — the
+/// report that makes a compression win attributable to a column or
+/// codec. The `payload_bytes=` line above stays sed-parseable.
+fn format_breakdown(bd: &sling_core::PayloadBreakdown) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "  sections: steps_runs={} nodes={} values={} directory={} global_dict={}",
+        bd.step_bytes, bd.node_bytes, bd.value_bytes, bd.directory_bytes, bd.global_dict_bytes
+    )
+    .unwrap();
+    if !bd.value_codecs.is_empty() {
+        let per_codec: Vec<String> = bd
+            .value_codecs
+            .iter()
+            .map(|(tag, blocks, bytes)| format!("{}={bytes}B/{blocks}blk", value_codec_name(*tag)))
+            .collect();
+        writeln!(out, "  value_codecs: {}", per_codec.join(" ")).unwrap();
+    }
+    out
+}
+
+/// `sling inspect` — header version, per-section byte breakdown, and the
+/// compression ratio of a persisted index (any format generation).
 pub fn cmd_inspect(args: &Args) -> Result<String, String> {
     let path = args.positional(0, "index")?;
     let info = sling_core::inspect_file(path).map_err(|e| format!("{path}: {e}"))?;
-    Ok(format_index_info(path, &info))
+    let breakdown = sling_core::payload_breakdown_file(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = format_index_info(path, &info);
+    out.push_str(&format_breakdown(&breakdown));
+    Ok(out)
 }
 
 /// Parse a generation argument: `gen-0007`, `0007`, or `7`.
@@ -1446,12 +1488,12 @@ pub fn cmd_promote(args: &Args) -> Result<String, String> {
     ))
 }
 
-/// `sling compact` — convert an index file to the block-compressed
-/// `SLNGIDX2` format, reporting before/after byte sizes. Lossless by
-/// default (bit-identical answers from every backend); `--quantize`
-/// stores 4-byte fixed-point values (≤ 2⁻³³ error, flagged in the
-/// header). No graph is needed: the header fingerprint travels with the
-/// payload.
+/// `sling compact` — convert an index file to a block-compressed format
+/// (`SLNGIDX3` by default, `--format v2` for the previous generation),
+/// reporting before/after byte sizes. Lossless by default (bit-identical
+/// answers from every backend); `--quantize` stores 4-byte fixed-point
+/// values (≤ 2⁻³³ error, flagged in the header). No graph is needed: the
+/// header fingerprint travels with the payload.
 pub fn cmd_compact(args: &Args) -> Result<String, String> {
     let in_path = args.positional(0, "index")?;
     let out_path: String = args.flag_required("out")?;
@@ -1460,6 +1502,10 @@ pub fn cmd_compact(args: &Args) -> Result<String, String> {
     if block_entries == 0 {
         return Err("--block-entries must be at least 1".to_string());
     }
+    let format = args.flag("format").unwrap_or("v3");
+    if !matches!(format, "v2" | "v3") {
+        return Err(format!("unknown --format {format:?} (v2|v3)"));
+    }
     let opts = sling_core::CompressOptions {
         block_entries,
         quantize_values: args.switch("quantize"),
@@ -1467,7 +1513,10 @@ pub fn cmd_compact(args: &Args) -> Result<String, String> {
     let bytes = std::fs::read(in_path).map_err(|e| format!("{in_path}: {e}"))?;
     let before = sling_core::inspect_bytes(&bytes).map_err(|e| format!("{in_path}: {e}"))?;
     let index = SlingIndex::decode(&bytes).map_err(|e| format!("{in_path}: {e}"))?;
-    let out_bytes = index.to_bytes_v2(&opts);
+    let out_bytes = match format {
+        "v2" => index.to_bytes_v2(&opts),
+        _ => index.to_bytes_v3(&opts),
+    };
     std::fs::write(&out_path, &out_bytes).map_err(|e| format!("{out_path}: {e}"))?;
     let after = sling_core::inspect_bytes(&out_bytes).map_err(|e| e.to_string())?;
     let mut out = String::new();
@@ -1748,14 +1797,16 @@ pub fn cmd_bench_query(args: &Args) -> Result<String, String> {
     std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
     let run_all = || -> Result<Vec<BenchRecord>, String> {
         let v1 = dir.join("bench.slng");
-        let v2 = dir.join("bench.slng2");
-        let v2q = dir.join("bench.q.slng2");
+        let v2 = dir.join("bench.slng3");
+        let v2q = dir.join("bench.q.slng3");
         index.save(&v1).map_err(|e| e.to_string())?;
+        // Compressed backends serve the current best compressed format
+        // (SLNGIDX3); v2 files go through the identical blocked readers.
         index
-            .save_v2(&v2, &sling_core::CompressOptions::default())
+            .save_v3(&v2, &sling_core::CompressOptions::default())
             .map_err(|e| e.to_string())?;
         index
-            .save_v2(
+            .save_v3(
                 &v2q,
                 &sling_core::CompressOptions {
                     quantize_values: true,
@@ -2116,12 +2167,14 @@ mod tests {
         assert!(v1_info.contains("SLNGIDX1 index"), "{v1_info}");
         assert!(v1_info.contains("payload_ratio=1.0000"), "{v1_info}");
 
-        // Lossless compact shrinks the payload.
+        // Lossless compact shrinks the payload; the default target is the
+        // newest generation (SLNGIDX3, with the global value dictionary).
         let report = run_str(&format!("compact {} --out {}", v1.display(), v2.display())).unwrap();
         assert!(report.contains("[lossless]"), "{report}");
-        assert!(report.contains("SLNGIDX2 index"), "{report}");
+        assert!(report.contains("SLNGIDX3 index"), "{report}");
         let v2_info = run_str(&format!("inspect {}", v2.display())).unwrap();
         assert!(v2_info.contains("values_exact=true"), "{v2_info}");
+        assert!(v2_info.contains("global_dict_bytes="), "{v2_info}");
         let ratio: f64 = v2_info
             .lines()
             .find_map(|l| l.trim().strip_prefix("payload_ratio="))
@@ -2199,6 +2252,24 @@ mod tests {
             q_ratio < ratio,
             "quantized {q_ratio} not below lossless {ratio}"
         );
+
+        // The previous generation stays writable via --format v2 and
+        // serves the same bits.
+        let v2_old = dir.join("idx.v2.slng2");
+        let report = run_str(&format!(
+            "compact {} --out {} --format v2",
+            v1.display(),
+            v2_old.display()
+        ))
+        .unwrap();
+        assert!(report.contains("SLNGIDX2 index"), "{report}");
+        let got = run_str(&format!(
+            "query {} {} pair 3 77 --index-backend mmap-compressed",
+            g.display(),
+            v2_old.display()
+        ))
+        .unwrap();
+        assert_eq!(score_of(&mem), score_of(&got), "v2 backend diverged");
 
         // Bad invocations.
         assert!(run_str(&format!("compact {}", v1.display()))

@@ -32,7 +32,10 @@
 //! block's bytes are consumed exactly. Any violation is
 //! [`SlingError::CorruptIndex`]; no input may panic.
 
-use crate::codec::value::{codec_for_tag, encode_values_lossless, encode_values_quantized};
+use crate::codec::value::{
+    codec_for_tag, decode_values_global, encode_values_lossless, encode_values_quantized,
+    encode_values_v3, GlobalDict, TAG_GLOBAL_DICT,
+};
 use crate::codec::varint;
 use crate::error::SlingError;
 
@@ -47,6 +50,61 @@ pub const MAX_BLOCK_ENTRIES: usize = 1 << 20;
 
 fn corrupt(what: impl Into<String>) -> SlingError {
     SlingError::CorruptIndex(what.into())
+}
+
+/// Lane width of the chunked validation sweeps ([`max_node`],
+/// [`values_all_probabilities`] and the raw-section sweep in
+/// `crate::store::validate_raw_le`): the folds process this many
+/// independent accumulators per stripe so the compiler can keep them in
+/// vector registers, with a scalar tail for the remainder.
+pub(crate) const SWEEP_LANES: usize = 8;
+
+/// Upper probability bound the validators accept: the exact tolerance of
+/// `crate::store::check_value`, shared so the wide sweeps and the
+/// per-entry rescans can never disagree on what passes.
+pub(crate) const MAX_PROBABILITY: f64 = 1.0 + 1e-9;
+
+/// Maximum node id in a decoded node column — a lane-parallel max fold.
+/// Callers compare the result against `n` once and only a failing column
+/// pays a per-entry rescan to name the offending entry.
+pub(crate) fn max_node(nodes: &[u32]) -> u32 {
+    let mut lanes = [0u32; SWEEP_LANES];
+    let mut chunks = nodes.chunks_exact(SWEEP_LANES);
+    for stripe in &mut chunks {
+        for (m, &v) in lanes.iter_mut().zip(stripe) {
+            *m = (*m).max(v);
+        }
+    }
+    let mut max = lanes.into_iter().max().unwrap_or(0);
+    for &v in chunks.remainder() {
+        max = max.max(v);
+    }
+    max
+}
+
+/// Whether every value is a finite probability in
+/// `0.0..=`[`MAX_PROBABILITY`] — a lane-parallel boolean fold.
+///
+/// The per-lane predicate `(v >= 0.0) & (v <= MAX_PROBABILITY)` is
+/// exactly `v.is_finite() && (0.0..=MAX_PROBABILITY).contains(&v)`:
+/// NaN fails both comparisons and ±∞ fails one, so the explicit
+/// finiteness test is redundant and the fold stays two branchless
+/// compares per lane.
+// The two non-short-circuit compares are the point; `contains` is `&&`.
+#[allow(clippy::manual_range_contains)]
+pub(crate) fn values_all_probabilities(values: &[f64]) -> bool {
+    let mut lanes = [true; SWEEP_LANES];
+    let mut chunks = values.chunks_exact(SWEEP_LANES);
+    for stripe in &mut chunks {
+        for (ok, &v) in lanes.iter_mut().zip(stripe) {
+            *ok &= (v >= 0.0) & (v <= MAX_PROBABILITY);
+        }
+    }
+    let mut all = lanes.into_iter().all(|ok| ok);
+    for &v in chunks.remainder() {
+        all &= (v >= 0.0) & (v <= MAX_PROBABILITY);
+    }
+    all
 }
 
 /// One decoded block: the three entry columns, parallel and
@@ -77,18 +135,50 @@ impl DecodedBlock {
     }
 }
 
+/// Value-section encoding mode of [`encode_block_with`].
+#[derive(Clone, Copy)]
+pub enum ValueMode<'a> {
+    /// v2 lossless: the smaller of raw/per-block-dictionary.
+    Lossless,
+    /// Lossy fixed-point `u32` (flagged file-wide).
+    Quantized,
+    /// v3 lossless: cross-block [`GlobalDict`] with split-plane escapes,
+    /// falling back to raw/per-block-dictionary per block by exact cost.
+    Global(&'a GlobalDict),
+}
+
 /// Encode one block. `run_starts` lists the local indices (ascending,
 /// starting with 0) where a new `(owner, step)` run begins; the columns
 /// must be equally long and non-empty.
 ///
 /// `quantize_values` selects the lossy fixed-point value codec; the
 /// default lossless path picks the smaller of raw/dictionary per block.
+/// (The v3 encoder calls [`encode_block_with`] directly.)
 pub fn encode_block(
     steps: &[u16],
     nodes: &[u32],
     values: &[f64],
     run_starts: &[usize],
     quantize_values: bool,
+    out: &mut Vec<u8>,
+) {
+    let mode = if quantize_values {
+        ValueMode::Quantized
+    } else {
+        ValueMode::Lossless
+    };
+    encode_block_with(steps, nodes, values, run_starts, mode, out)
+}
+
+/// Encode one block with an explicit value-section mode (see
+/// [`ValueMode`]); the step/node column encodings are identical across
+/// modes and format generations.
+pub fn encode_block_with(
+    steps: &[u16],
+    nodes: &[u32],
+    values: &[f64],
+    run_starts: &[usize],
+    mode: ValueMode<'_>,
     out: &mut Vec<u8>,
 ) {
     let count = steps.len();
@@ -119,18 +209,40 @@ pub fn encode_block(
     }
 
     // Value column, behind its codec tag.
-    if quantize_values {
-        encode_values_quantized(values, out);
-    } else {
-        encode_values_lossless(values, out);
+    match mode {
+        ValueMode::Quantized => encode_values_quantized(values, out),
+        ValueMode::Lossless => encode_values_lossless(values, out),
+        ValueMode::Global(dict) => encode_values_v3(values, dict, out),
     }
 }
 
 /// Decode one block into `out` (cleared first), validating it holds
 /// exactly `expected_entries` entries and consumes `bytes` exactly.
+/// v1/v2 context: a [`TAG_GLOBAL_DICT`] value section is rejected.
 pub fn decode_block(
     bytes: &[u8],
     expected_entries: usize,
+    out: &mut DecodedBlock,
+) -> Result<(), SlingError> {
+    decode_block_ctx(bytes, expected_entries, None, out)
+}
+
+/// Decode one block of an `SLNGIDX3` payload: like [`decode_block`],
+/// additionally resolving [`TAG_GLOBAL_DICT`] value sections against the
+/// file's resident global dictionary.
+pub fn decode_block_with_dict(
+    bytes: &[u8],
+    expected_entries: usize,
+    global_dict: &[f64],
+    out: &mut DecodedBlock,
+) -> Result<(), SlingError> {
+    decode_block_ctx(bytes, expected_entries, Some(global_dict), out)
+}
+
+fn decode_block_ctx(
+    bytes: &[u8],
+    expected_entries: usize,
+    global_dict: Option<&[f64]>,
     out: &mut DecodedBlock,
 ) -> Result<(), SlingError> {
     out.clear();
@@ -198,8 +310,17 @@ pub fn decode_block(
     }
     let tag = buf[0];
     buf = &buf[1..];
-    let codec = codec_for_tag(tag)?;
-    codec.decode(&mut buf, count, &mut out.values)?;
+    match (tag, global_dict) {
+        (TAG_GLOBAL_DICT, Some(dict)) => {
+            decode_values_global(&mut buf, count, dict, &mut out.values)?
+        }
+        (TAG_GLOBAL_DICT, None) => {
+            return Err(corrupt(
+                "global-dictionary value section outside an SLNGIDX3 payload",
+            ));
+        }
+        _ => codec_for_tag(tag)?.decode(&mut buf, count, &mut out.values)?,
+    }
 
     if !buf.is_empty() {
         return Err(corrupt(format!(
@@ -208,6 +329,86 @@ pub fn decode_block(
         )));
     }
     Ok(())
+}
+
+/// Per-section byte sizes of one encoded block, as reported by
+/// [`block_section_sizes`] for `sling inspect` attribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BlockSections {
+    /// Entry/run counts plus the run directory.
+    pub header_bytes: usize,
+    /// Delta-coded node column.
+    pub node_bytes: usize,
+    /// Codec tag of the value section (see `crate::codec::value`).
+    pub value_tag: u8,
+    /// Value section, including its tag byte.
+    pub value_bytes: usize,
+}
+
+/// Measure where a block's bytes go, section by section, without
+/// materializing its columns. Framing (counts, run shapes, varint
+/// truncation) is validated; node-id ranges and value payloads are not —
+/// callers wanting full validation decode the block instead.
+pub fn block_section_sizes(
+    bytes: &[u8],
+    expected_entries: usize,
+) -> Result<BlockSections, SlingError> {
+    if expected_entries == 0 || expected_entries > MAX_BLOCK_ENTRIES {
+        return Err(corrupt(format!(
+            "block directory expects {expected_entries} entries (valid: 1..={MAX_BLOCK_ENTRIES})"
+        )));
+    }
+    let mut buf = bytes;
+    let count = varint::read_u32(&mut buf)? as usize;
+    if count != expected_entries {
+        return Err(corrupt(format!(
+            "block holds {count} entries, directory says {expected_entries}"
+        )));
+    }
+    let num_runs = varint::read_u32(&mut buf)? as usize;
+    if num_runs == 0 || num_runs > count {
+        return Err(corrupt(format!(
+            "block of {count} entries claims {num_runs} runs"
+        )));
+    }
+    let mut run_lens = Vec::with_capacity(num_runs);
+    let mut total = 0usize;
+    for _ in 0..num_runs {
+        let _step = varint::read_u16(&mut buf)?;
+        let len = varint::read_u32(&mut buf)? as usize;
+        if len == 0 {
+            return Err(corrupt("zero-length run"));
+        }
+        total += len;
+        if total > count {
+            return Err(corrupt("run lengths exceed the block entry count"));
+        }
+        run_lens.push(len);
+    }
+    if total != count {
+        return Err(corrupt(format!(
+            "run lengths cover {total} of {count} entries"
+        )));
+    }
+    let header_bytes = bytes.len() - buf.len();
+
+    // Node column: per run one absolute id plus len − 1 deltas.
+    for &len in &run_lens {
+        for _ in 0..len {
+            varint::read_u64(&mut buf)?;
+        }
+    }
+    let node_bytes = bytes.len() - buf.len() - header_bytes;
+
+    if buf.is_empty() {
+        return Err(corrupt("block truncated before the value section"));
+    }
+    Ok(BlockSections {
+        header_bytes,
+        node_bytes,
+        value_tag: buf[0],
+        value_bytes: buf.len(),
+    })
 }
 
 /// Compute the local run-start indices for a block slice, given the

@@ -33,8 +33,11 @@ pub mod block;
 pub mod value;
 pub mod varint;
 
-pub use block::{decode_block, encode_block, DecodedBlock, DEFAULT_BLOCK_ENTRIES};
-pub use value::SectionCodec;
+pub use block::{
+    decode_block, decode_block_with_dict, encode_block, DecodedBlock, ValueMode,
+    DEFAULT_BLOCK_ENTRIES,
+};
+pub use value::{GlobalDict, SectionCodec};
 
 use crate::error::SlingError;
 
@@ -75,6 +78,20 @@ pub struct EncodedPayload {
     pub bytes: Vec<u8>,
 }
 
+/// `SLNGIDX3` payload: concatenated blocks, their byte directory, and
+/// the cross-block value dictionary every [`block::decode_block_with_dict`]
+/// call resolves against (empty under quantization).
+pub struct EncodedPayloadV3 {
+    /// Entries per block used by the encoder.
+    pub block_entries: usize,
+    /// `num_blocks + 1` byte offsets into `bytes`, monotone from 0.
+    pub block_offsets: Vec<u64>,
+    /// The file-wide value dictionary, most frequent first.
+    pub global_dict: Vec<f64>,
+    /// The concatenated encoded blocks.
+    pub bytes: Vec<u8>,
+}
+
 /// Encode the three entry columns into blocks. `owner_offsets` is the
 /// `(n + 1)`-entry per-node offset table (the run structure every block
 /// encoder needs to know where owners change).
@@ -85,8 +102,67 @@ pub fn encode_payload(
     owner_offsets: &[u64],
     opts: &CompressOptions,
 ) -> EncodedPayload {
+    let mode = if opts.quantize_values {
+        ValueMode::Quantized
+    } else {
+        ValueMode::Lossless
+    };
+    encode_payload_with(
+        steps,
+        nodes,
+        values,
+        owner_offsets,
+        opts.effective_block_entries(),
+        mode,
+    )
+}
+
+/// Encode the three entry columns into an `SLNGIDX3` payload: lossless
+/// blocks share one cross-block value dictionary (built here from the
+/// whole value column); quantized mode keeps the v2 fixed-point codec
+/// and an empty dictionary.
+pub fn encode_payload_v3(
+    steps: &[u16],
+    nodes: &[u32],
+    values: &[f64],
+    owner_offsets: &[u64],
+    opts: &CompressOptions,
+) -> EncodedPayloadV3 {
+    let dict = if opts.quantize_values {
+        GlobalDict::empty()
+    } else {
+        GlobalDict::build(values)
+    };
+    let mode = if opts.quantize_values {
+        ValueMode::Quantized
+    } else {
+        ValueMode::Global(&dict)
+    };
+    let enc = encode_payload_with(
+        steps,
+        nodes,
+        values,
+        owner_offsets,
+        opts.effective_block_entries(),
+        mode,
+    );
+    EncodedPayloadV3 {
+        block_entries: enc.block_entries,
+        block_offsets: enc.block_offsets,
+        global_dict: dict.values().to_vec(),
+        bytes: enc.bytes,
+    }
+}
+
+fn encode_payload_with(
+    steps: &[u16],
+    nodes: &[u32],
+    values: &[f64],
+    owner_offsets: &[u64],
+    be: usize,
+    mode: ValueMode<'_>,
+) -> EncodedPayload {
     let entries = steps.len();
-    let be = opts.effective_block_entries();
     let num_blocks = entries.div_ceil(be);
     let mut bytes = Vec::new();
     let mut block_offsets = Vec::with_capacity(num_blocks + 1);
@@ -107,12 +183,12 @@ pub fn encode_payload(
             owners_buf.push(owner as u32);
         }
         let starts = block::run_starts(&owners_buf, &steps[lo..hi]);
-        encode_block(
+        block::encode_block_with(
             &steps[lo..hi],
             &nodes[lo..hi],
             &values[lo..hi],
             &starts,
-            opts.quantize_values,
+            mode,
             &mut bytes,
         );
         block_offsets.push(bytes.len() as u64);
@@ -133,6 +209,34 @@ pub fn decode_payload(
     block_entries: usize,
     entries: usize,
 ) -> Result<(Vec<u16>, Vec<u32>, Vec<f64>), SlingError> {
+    decode_payload_ctx(payload, block_offsets, block_entries, entries, None)
+}
+
+/// Decode a whole `SLNGIDX3` payload back into the three entry columns,
+/// resolving global-dictionary value sections against `global_dict`.
+pub fn decode_payload_v3(
+    payload: &[u8],
+    block_offsets: &[u64],
+    block_entries: usize,
+    entries: usize,
+    global_dict: &[f64],
+) -> Result<(Vec<u16>, Vec<u32>, Vec<f64>), SlingError> {
+    decode_payload_ctx(
+        payload,
+        block_offsets,
+        block_entries,
+        entries,
+        Some(global_dict),
+    )
+}
+
+fn decode_payload_ctx(
+    payload: &[u8],
+    block_offsets: &[u64],
+    block_entries: usize,
+    entries: usize,
+    global_dict: Option<&[f64]>,
+) -> Result<(Vec<u16>, Vec<u32>, Vec<f64>), SlingError> {
     let num_blocks = block_offsets.len().saturating_sub(1);
     let mut steps = Vec::with_capacity(entries);
     let mut nodes = Vec::with_capacity(entries);
@@ -147,7 +251,10 @@ pub fn decode_payload(
             )));
         }
         let expected = expected_block_len(b, num_blocks, block_entries, entries)?;
-        decode_block(&payload[lo..hi], expected, &mut block)?;
+        match global_dict {
+            Some(dict) => decode_block_with_dict(&payload[lo..hi], expected, dict, &mut block)?,
+            None => decode_block(&payload[lo..hi], expected, &mut block)?,
+        }
         steps.extend_from_slice(&block.steps);
         nodes.extend_from_slice(&block.nodes);
         values.extend_from_slice(&block.values);
@@ -279,6 +386,71 @@ mod tests {
             "compressed {} vs raw {raw}",
             enc.bytes.len()
         );
+    }
+
+    #[test]
+    fn v3_payload_round_trips_bit_exactly_and_is_no_larger_than_v2() {
+        let (steps, nodes, values, offsets) = sample_columns();
+        let opts = CompressOptions {
+            block_entries: 16,
+            quantize_values: false,
+        };
+        let v2 = encode_payload(&steps, &nodes, &values, &offsets, &opts);
+        let v3 = encode_payload_v3(&steps, &nodes, &values, &offsets, &opts);
+        assert!(
+            v3.bytes.len() <= v2.bytes.len(),
+            "v3 {} vs v2 {}",
+            v3.bytes.len(),
+            v2.bytes.len()
+        );
+        assert!(!v3.global_dict.is_empty());
+        let (s, n, v) = decode_payload_v3(
+            &v3.bytes,
+            &v3.block_offsets,
+            v3.block_entries,
+            steps.len(),
+            &v3.global_dict,
+        )
+        .unwrap();
+        assert_eq!(s, steps);
+        assert_eq!(n, nodes);
+        assert_eq!(
+            v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            values.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        // At least one block leans on the shared dictionary, and a v2
+        // decoder (no dictionary in scope) refuses that block.
+        let num_blocks = v3.block_offsets.len() - 1;
+        let mut saw_global = false;
+        for b in 0..num_blocks {
+            let (lo, hi) = (
+                v3.block_offsets[b] as usize,
+                v3.block_offsets[b + 1] as usize,
+            );
+            let expected =
+                expected_block_len(b, num_blocks, v3.block_entries, steps.len()).unwrap();
+            let sections = block::block_section_sizes(&v3.bytes[lo..hi], expected).unwrap();
+            if sections.value_tag == value::TAG_GLOBAL_DICT {
+                saw_global = true;
+                let mut block = DecodedBlock::default();
+                let err = decode_block(&v3.bytes[lo..hi], expected, &mut block).unwrap_err();
+                assert!(err.to_string().contains("SLNGIDX3"), "{err}");
+            }
+        }
+        assert!(saw_global, "no block chose the global dictionary");
+    }
+
+    #[test]
+    fn quantized_v3_payload_matches_v2_block_bytes() {
+        let (steps, nodes, values, offsets) = sample_columns();
+        let opts = CompressOptions {
+            block_entries: 16,
+            quantize_values: true,
+        };
+        let v2 = encode_payload(&steps, &nodes, &values, &offsets, &opts);
+        let v3 = encode_payload_v3(&steps, &nodes, &values, &offsets, &opts);
+        assert_eq!(v3.bytes, v2.bytes);
+        assert!(v3.global_dict.is_empty());
     }
 
     #[test]

@@ -22,6 +22,19 @@
 //! The lossless encoder picks the smaller of raw/dict **per block**, so
 //! a pathological block (all-distinct values) costs at most one tag byte
 //! over the raw layout.
+//!
+//! The `SLNGIDX3` payload adds a fourth, **cross-block** scheme:
+//! a file-wide [`GlobalDict`] of the hot bit patterns (every step-0
+//! value is exactly `1.0`, step-1 values are `√c/|I(v)|` — one distinct
+//! value per in-degree — and step-2 values repeat across shared
+//! in-neighborhoods, so the same few thousand patterns recur in every
+//! block), referenced by [`TAG_GLOBAL_DICT`] sections via a varint code
+//! per value. Values outside the dictionary escape as **split planes**:
+//! the high 16 bits of the `f64` (sign + exponent + 4 mantissa bits —
+//! probabilities share a handful of exponents) behind a per-section
+//! `u16` dictionary, plus the raw low 48 mantissa bits. Bit-exact, and
+//! the v3 encoder still falls back to raw/per-block-dict per block, so
+//! no block can regress past one tag byte.
 
 use crate::codec::varint;
 use crate::error::SlingError;
@@ -55,6 +68,9 @@ pub const TAG_RAW_F64: u8 = 0;
 pub const TAG_DICT_F64: u8 = 1;
 /// Tag of [`FixedPointCodec`].
 pub const TAG_FIXED_U32: u8 = 2;
+/// Tag of the `SLNGIDX3` cross-block global-dictionary section (only
+/// valid inside a v3 payload, which carries the [`GlobalDict`]).
+pub const TAG_GLOBAL_DICT: u8 = 3;
 
 /// Resolve a block's value codec from its on-disk tag.
 pub fn codec_for_tag(tag: u8) -> Result<&'static dyn SectionCodec, SlingError> {
@@ -253,6 +269,253 @@ impl SectionCodec for FixedPointCodec {
     }
 }
 
+/// Cross-block value dictionary of an `SLNGIDX3` payload: the bit
+/// patterns worth storing **once per file** instead of once per block.
+///
+/// Built from the full value column: every pattern occurring at least
+/// twice enters, most-frequent first (ties broken by ascending bits, so
+/// the order — and therefore the encoded file — is deterministic), which
+/// hands the hottest values one-byte codes. Stored resident by the
+/// compressed backends, so global-dictionary hits decode with one array
+/// load and zero per-block dictionary bytes.
+pub struct GlobalDict {
+    values: Vec<f64>,
+    index: sling_graph::FxHashMap<u64, u32>,
+}
+
+impl GlobalDict {
+    /// Hard ceiling on dictionary entries: bounds the resident footprint
+    /// and keeps every code a ≤ 3-byte varint.
+    pub const MAX_ENTRIES: usize = 1 << 20;
+
+    /// An empty dictionary (every value escapes — used by quantized v3
+    /// payloads, whose blocks use the fixed-point codec instead).
+    pub fn empty() -> GlobalDict {
+        GlobalDict {
+            values: Vec::new(),
+            index: sling_graph::FxHashMap::default(),
+        }
+    }
+
+    /// Build the dictionary from the full value column.
+    pub fn build(values: &[f64]) -> GlobalDict {
+        let mut counts: sling_graph::FxHashMap<u64, u64> = sling_graph::FxHashMap::default();
+        for v in values {
+            *counts.entry(v.to_bits()).or_insert(0) += 1;
+        }
+        let mut freq: Vec<(u64, u64)> = counts
+            .into_iter()
+            .filter(|&(_, count)| count >= 2)
+            .collect();
+        // Most frequent first; ascending bits on ties for determinism.
+        freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        freq.truncate(Self::MAX_ENTRIES);
+        let mut dict = GlobalDict {
+            values: Vec::with_capacity(freq.len()),
+            index: sling_graph::FxHashMap::default(),
+        };
+        for (i, (bits, _)) in freq.into_iter().enumerate() {
+            dict.values.push(f64::from_bits(bits));
+            dict.index.insert(bits, i as u32);
+        }
+        dict
+    }
+
+    /// Dictionary entries in code order (what the file stores).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    #[inline]
+    fn lookup(&self, bits: u64) -> Option<u32> {
+        self.index.get(&bits).copied()
+    }
+}
+
+/// Pick the smallest lossless `SLNGIDX3` encoding for one block's value
+/// section and append it (tag byte included) to `out`: global dictionary
+/// with split-plane escapes, per-block dictionary, or raw — by exact
+/// byte cost, ties to the global scheme (its dictionary bytes are
+/// already paid file-wide).
+pub fn encode_values_v3(values: &[f64], dict: &GlobalDict, out: &mut Vec<u8>) {
+    let raw = values.len() * 8;
+    let per_block = dict_cost(values);
+    let global = global_cost(values, dict);
+    if global <= per_block && global < raw {
+        out.push(TAG_GLOBAL_DICT);
+        encode_values_global(values, dict, out);
+    } else if per_block < raw {
+        out.push(TAG_DICT_F64);
+        DictF64Codec.encode(values, out);
+    } else {
+        out.push(TAG_RAW_F64);
+        RawF64Codec.encode(values, out);
+    }
+}
+
+/// Exact byte cost of the [`TAG_GLOBAL_DICT`] encoding of `values`
+/// (without encoding), used to choose against raw/per-block-dict.
+fn global_cost(values: &[f64], dict: &GlobalDict) -> usize {
+    let mut bytes = 0usize;
+    let mut hi_seen: sling_graph::FxHashMap<u16, u32> = sling_graph::FxHashMap::default();
+    for v in values {
+        let bits = v.to_bits();
+        match dict.lookup(bits) {
+            Some(idx) => bytes += varint::len_u64(idx as u64 + 1),
+            None => {
+                let hi = (bits >> 48) as u16;
+                let next = hi_seen.len() as u32;
+                let hi_idx = *hi_seen.entry(hi).or_insert(next);
+                // escape code 0 + hi-plane index + 6 low bytes.
+                bytes += 1 + varint::len_u64(hi_idx as u64) + 6;
+            }
+        }
+    }
+    bytes + varint::len_u64(hi_seen.len() as u64) + hi_seen.len() * 2
+}
+
+/// Encode one [`TAG_GLOBAL_DICT`] value section (tag byte **not**
+/// included).
+///
+/// Layout:
+///
+/// ```text
+/// count × varint code            (0 = escape, else global index + 1)
+/// hi_dict_len varint
+/// hi_dict_len × u16 LE           (distinct high-16-bit planes of the
+///                                 escaped values, first-occurrence order)
+/// n_escapes × varint hi_idx      (per escape, into the hi dictionary)
+/// n_escapes × 6 bytes LE         (low 48 mantissa bits, raw)
+/// ```
+///
+/// `n_escapes` is implied by the zero codes. Splitting the escaped `f64`s
+/// into a sign/exponent plane (the high 16 bits, drawn from a handful of
+/// distinct patterns since HP values are probabilities) and a raw
+/// mantissa plane keeps an escape at ~8 bytes while dictionary hits cost
+/// 1–2 — and unlike [`DictF64Codec`], no per-block dictionary bytes are
+/// paid for values the whole file shares.
+pub(crate) fn encode_values_global(values: &[f64], dict: &GlobalDict, out: &mut Vec<u8>) {
+    let mut escaped: Vec<u64> = Vec::new();
+    for v in values {
+        let bits = v.to_bits();
+        match dict.lookup(bits) {
+            Some(idx) => varint::write_u64(out, idx as u64 + 1),
+            None => {
+                varint::write_u64(out, 0);
+                escaped.push(bits);
+            }
+        }
+    }
+    let mut hi_map: sling_graph::FxHashMap<u16, u32> = sling_graph::FxHashMap::default();
+    let mut hi_order: Vec<u16> = Vec::new();
+    let mut hi_indices: Vec<u32> = Vec::with_capacity(escaped.len());
+    for &bits in &escaped {
+        let hi = (bits >> 48) as u16;
+        let next = hi_order.len() as u32;
+        let idx = *hi_map.entry(hi).or_insert_with(|| {
+            hi_order.push(hi);
+            next
+        });
+        hi_indices.push(idx);
+    }
+    varint::write_u64(out, hi_order.len() as u64);
+    for hi in &hi_order {
+        out.extend_from_slice(&hi.to_le_bytes());
+    }
+    for idx in hi_indices {
+        varint::write_u64(out, idx as u64);
+    }
+    for &bits in &escaped {
+        out.extend_from_slice(&bits.to_le_bytes()[..6]);
+    }
+}
+
+/// Decode one [`TAG_GLOBAL_DICT`] value section (tag byte already
+/// consumed) against the file's resident global dictionary. Hardened
+/// like every decoder here: out-of-range codes, oversized or empty hi
+/// dictionaries, and truncation all surface as
+/// [`SlingError::CorruptIndex`].
+pub(crate) fn decode_values_global(
+    buf: &mut &[u8],
+    count: usize,
+    dict: &[f64],
+    out: &mut Vec<f64>,
+) -> Result<(), SlingError> {
+    let base = out.len();
+    out.reserve(count);
+    let mut escape_slots: Vec<usize> = Vec::new();
+    for i in 0..count {
+        let code = varint::read_u32(buf)? as usize;
+        if code == 0 {
+            escape_slots.push(base + i);
+            out.push(0.0); // placeholder, patched from the planes below
+        } else {
+            let v = dict.get(code - 1).ok_or_else(|| {
+                corrupt(format!(
+                    "global dictionary code {code} past {} entries",
+                    dict.len()
+                ))
+            })?;
+            out.push(*v);
+        }
+    }
+    let n_escapes = escape_slots.len();
+    let hi_dict_len = varint::read_u32(buf)? as usize;
+    if hi_dict_len > n_escapes {
+        return Err(corrupt(format!(
+            "hi-plane dictionary of {hi_dict_len} entries for {n_escapes} escapes"
+        )));
+    }
+    if n_escapes > 0 && hi_dict_len == 0 {
+        return Err(corrupt("empty hi-plane dictionary with escaped values"));
+    }
+    let need = hi_dict_len * 2;
+    if buf.len() < need {
+        return Err(corrupt("truncated hi-plane dictionary"));
+    }
+    let mut hi_dict = Vec::with_capacity(hi_dict_len);
+    for chunk in buf[..need].chunks_exact(2) {
+        hi_dict.push(u16::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    *buf = &buf[need..];
+    let mut highs = Vec::with_capacity(n_escapes);
+    for _ in 0..n_escapes {
+        let idx = varint::read_u32(buf)? as usize;
+        let hi = hi_dict.get(idx).ok_or_else(|| {
+            corrupt(format!(
+                "hi-plane index {idx} past dictionary ({hi_dict_len})"
+            ))
+        })?;
+        highs.push(*hi);
+    }
+    let need = n_escapes * 6;
+    if buf.len() < need {
+        return Err(corrupt("truncated mantissa plane"));
+    }
+    for ((&slot, chunk), hi) in escape_slots
+        .iter()
+        .zip(buf[..need].chunks_exact(6))
+        .zip(highs)
+    {
+        let mut low = [0u8; 8];
+        low[..6].copy_from_slice(chunk);
+        let bits = u64::from_le_bytes(low) | ((hi as u64) << 48);
+        out[slot] = f64::from_bits(bits);
+    }
+    *buf = &buf[need..];
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +577,112 @@ mod tests {
         // Values outside the unit range clamp instead of wrapping.
         assert_eq!(quantize(1.0 + 1e-9), u32::MAX);
         assert_eq!(quantize(-0.5), 0);
+    }
+
+    fn global_round_trip(values: &[f64], dict: &GlobalDict) -> Vec<f64> {
+        let mut bytes = Vec::new();
+        encode_values_global(values, dict, &mut bytes);
+        let mut buf = bytes.as_slice();
+        let mut out = Vec::new();
+        decode_values_global(&mut buf, values.len(), dict.values(), &mut out).unwrap();
+        assert!(buf.is_empty(), "global decoder left bytes behind");
+        out
+    }
+
+    #[test]
+    fn global_dict_is_bit_exact_with_and_without_escapes() {
+        // Hot values (repeated — enter the dict) mixed with singletons
+        // (escape through the split planes).
+        let mut values = Vec::new();
+        for i in 0..64 {
+            values.push([1.0, 0.5, 1.0 / 3.0][i % 3]);
+            values.push(1.0 / (i as f64 + 3.0)); // distinct: escapes
+        }
+        let dict = GlobalDict::build(&values);
+        assert!(dict.len() >= 3);
+        let back = global_round_trip(&values, &dict);
+        assert_eq!(
+            values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // All-hit and all-miss sections round-trip too.
+        let hits = [1.0, 0.5, 0.5, 1.0 / 3.0];
+        assert_eq!(global_round_trip(&hits, &dict), hits);
+        let misses = [0.123_456_789, 0.987_654_321e-3];
+        assert_eq!(global_round_trip(&misses, &dict), misses);
+        // And against an empty dictionary everything escapes.
+        assert_eq!(global_round_trip(&misses, &GlobalDict::empty()), misses);
+    }
+
+    #[test]
+    fn global_dict_orders_by_frequency_deterministically() {
+        let mut values = vec![0.25; 10];
+        values.extend(std::iter::repeat_n(0.5, 20));
+        values.push(0.75); // singleton: excluded
+        let dict = GlobalDict::build(&values);
+        assert_eq!(dict.values(), &[0.5, 0.25]);
+    }
+
+    #[test]
+    fn v3_chooser_prefers_global_on_shared_values_raw_on_distinct() {
+        let shared: Vec<f64> = (0..256).map(|i| [0.5, 0.25, 0.125][i % 3]).collect();
+        let dict = GlobalDict::build(&shared);
+        let mut out = Vec::new();
+        encode_values_v3(&shared, &dict, &mut out);
+        assert_eq!(out[0], TAG_GLOBAL_DICT);
+        // ~1 byte per value + the tiny hi-plane header: far below the
+        // per-block dict cost (3 × 8 dict bytes + indices).
+        assert!(out.len() < shared.len() + 16, "{}", out.len());
+
+        let distinct: Vec<f64> = (0..256).map(|i| 1.0 / (i as f64 + 3.0)).collect();
+        let mut out = Vec::new();
+        encode_values_v3(&distinct, &GlobalDict::build(&distinct), &mut out);
+        // All singletons: empty global dict; escapes cost ≥ raw, so the
+        // chooser must fall back to raw.
+        assert_eq!(out[0], TAG_RAW_F64);
+        assert_eq!(out.len(), 1 + distinct.len() * 8);
+    }
+
+    #[test]
+    fn global_decoder_rejects_malformed_input() {
+        let dict = vec![0.5, 0.25];
+        // Code past the dictionary.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 3); // index 2 into a 2-entry dict
+        let mut buf = bytes.as_slice();
+        assert!(decode_values_global(&mut buf, 1, &dict, &mut Vec::new()).is_err());
+        // Truncated mid-codes.
+        let mut buf: &[u8] = &[];
+        assert!(decode_values_global(&mut buf, 1, &dict, &mut Vec::new()).is_err());
+        // Escape with an empty hi-plane dictionary.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 0); // escape
+        varint::write_u64(&mut bytes, 0); // hi_dict_len = 0
+        let mut buf = bytes.as_slice();
+        assert!(decode_values_global(&mut buf, 1, &dict, &mut Vec::new()).is_err());
+        // Hi-plane dictionary bigger than the escape count.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 0); // escape
+        varint::write_u64(&mut bytes, 5); // hi_dict_len = 5 > 1 escape
+        let mut buf = bytes.as_slice();
+        assert!(decode_values_global(&mut buf, 1, &dict, &mut Vec::new()).is_err());
+        // Hi-plane index past its dictionary.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 0); // escape
+        varint::write_u64(&mut bytes, 1); // hi_dict_len = 1
+        bytes.extend_from_slice(&0x3fe0u16.to_le_bytes());
+        varint::write_u64(&mut bytes, 9); // hi index 9 past the 1-entry dict
+        let mut buf = bytes.as_slice();
+        assert!(decode_values_global(&mut buf, 1, &dict, &mut Vec::new()).is_err());
+        // Truncated mantissa plane.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 0);
+        varint::write_u64(&mut bytes, 1);
+        bytes.extend_from_slice(&0x3fe0u16.to_le_bytes());
+        varint::write_u64(&mut bytes, 0);
+        bytes.extend_from_slice(&[0u8; 3]); // needs 6
+        let mut buf = bytes.as_slice();
+        assert!(decode_values_global(&mut buf, 1, &dict, &mut Vec::new()).is_err());
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Binary persistence of a [`SlingIndex`] — the `SLNGIDX1` and
-//! `SLNGIDX2` formats.
+//! Binary persistence of a [`SlingIndex`] — the `SLNGIDX1`, `SLNGIDX2`
+//! and `SLNGIDX3` formats.
 //!
 //! A small hand-rolled format (magic + version + little-endian sections)
 //! rather than a serde backend: the index is dominated by four large
@@ -8,13 +8,14 @@
 //! caller passes the graph and the header's `(n, m)` fingerprint is
 //! verified against it.
 //!
-//! Two payload layouts share one metadata prefix; the magic doubles as
-//! the version tag and **v1 stays readable forever**:
+//! Three payload layouts share one metadata prefix; the magic doubles as
+//! the version tag and **every shipped generation stays readable
+//! forever**:
 //!
-//! ## Shared metadata prefix (both versions)
+//! ## Shared metadata prefix (all versions)
 //!
 //! ```text
-//! magic "SLNGIDX1" | "SLNGIDX2" | n u64 | m u64
+//! magic "SLNGIDX1" | "SLNGIDX2" | "SLNGIDX3" | n u64 | m u64
 //! config: c, epsilon, eps_d, theta, delta f64 | seed u64 | gamma f64 | flags u8
 //! stats: 5 × u64
 //! d:        n × f64
@@ -52,13 +53,40 @@
 //!                the exactness flag is clear)
 //! ```
 //!
-//! Each block is independently decodable, so the compressed mmap and
-//! disk backends ([`crate::store::CompressedMmapArena`],
+//! ## `SLNGIDX3` payload: compressed blocks + cross-block value dictionary
+//!
+//! ```text
+//! flags          u8     (bit 0: values are bit-exact / lossless)
+//! block_entries  u64    (entries per block; the last block may be short)
+//! num_blocks     u64    (== ceil(entries / block_entries))
+//! global_dict:   len varint, then len × f64 LE — the file-wide value
+//!                dictionary, most frequent value first (empty when
+//!                quantized)
+//! directory:     num_blocks × varint byte *lengths*, one per block
+//!                (each ≥ 1); prefix sums reconstruct the v2-style
+//!                monotone offset table
+//! blocks:        same [`crate::codec::block`] encodings as v2, plus
+//!                one extra value codec: tag 3 codes each value as a
+//!                varint index into `global_dict` (offset by one), with
+//!                index 0 escaping to split-plane residual storage — a
+//!                shared table of the escapes' upper 16 bits
+//!                (sign + exponent + mantissa head) followed by each
+//!                escape's low 48 mantissa bits, bit-exact
+//! ```
+//!
+//! The v3 encoder picks the cheapest of raw / per-block dictionary /
+//! global dictionary per block by exact byte cost, so a v3 file is never
+//! larger than its v2 equivalent; quantized v3 blocks are byte-identical
+//! to v2's.
+//!
+//! Each block is independently decodable (given the resident global
+//! dictionary for v3), so the compressed mmap and disk backends
+//! ([`crate::store::CompressedMmapArena`],
 //! [`crate::out_of_core::DiskHpStore`]) decode only the blocks a query's
 //! entry range touches. [`decode_meta`] validates everything **up to**
-//! the entry payload — including the v2 block directory — and reports
-//! the payload geometry, which is all the zero-copy backends need;
-//! neither ever decodes the full payload at open.
+//! the entry payload — including the block directory and the v3 global
+//! dictionary — and reports the payload geometry, which is all the
+//! zero-copy backends need; none ever decodes the full payload at open.
 //!
 //! Every malformed input — truncation, bad magic, non-monotone offsets,
 //! out-of-range ids, overflowing section sizes, inconsistent block
@@ -73,7 +101,9 @@ use bytes::{Buf, BufMut};
 use sling_graph::DiGraph;
 
 use crate::codec::block::MAX_BLOCK_ENTRIES;
-use crate::codec::{decode_payload, encode_payload, CompressOptions};
+use crate::codec::{
+    decode_payload, decode_payload_v3, encode_payload, encode_payload_v3, varint, CompressOptions,
+};
 use crate::config::SlingConfig;
 use crate::enhance::MarkArena;
 use crate::error::SlingError;
@@ -82,6 +112,7 @@ use crate::index::{BuildStats, SlingIndex};
 
 const MAGIC_V1: &[u8; 8] = b"SLNGIDX1";
 const MAGIC_V2: &[u8; 8] = b"SLNGIDX2";
+const MAGIC_V3: &[u8; 8] = b"SLNGIDX3";
 
 /// Bit 0 of the v2 payload flags: values decode bit-identical to the
 /// encoded index.
@@ -94,6 +125,9 @@ pub enum FormatVersion {
     V1,
     /// `SLNGIDX2`: block-compressed payload.
     V2,
+    /// `SLNGIDX3`: block-compressed payload with a cross-block value
+    /// dictionary and a varint-delta block directory.
+    V3,
 }
 
 impl std::fmt::Display for FormatVersion {
@@ -101,6 +135,7 @@ impl std::fmt::Display for FormatVersion {
         match self {
             FormatVersion::V1 => write!(f, "SLNGIDX1"),
             FormatVersion::V2 => write!(f, "SLNGIDX2"),
+            FormatVersion::V3 => write!(f, "SLNGIDX3"),
         }
     }
 }
@@ -113,6 +148,7 @@ pub fn detect_version(bytes: &[u8]) -> Result<FormatVersion, SlingError> {
     match &bytes[..8] {
         m if m == MAGIC_V1 => Ok(FormatVersion::V1),
         m if m == MAGIC_V2 => Ok(FormatVersion::V2),
+        m if m == MAGIC_V3 => Ok(FormatVersion::V3),
         _ => Err(corrupt("bad magic")),
     }
 }
@@ -133,11 +169,12 @@ pub(crate) enum PayloadGeometry {
         nodes_base: usize,
         values_base: usize,
     },
-    /// `SLNGIDX2`: a validated block directory.
+    /// `SLNGIDX2` / `SLNGIDX3`: a validated block directory.
     Blocked(BlockedGeometry),
 }
 
-/// Validated v2 payload geometry (see the module docs for the layout).
+/// Validated v2/v3 payload geometry (see the module docs for the
+/// layouts).
 pub(crate) struct BlockedGeometry {
     /// Entries per block (the last block may be short).
     pub block_entries: usize,
@@ -145,9 +182,19 @@ pub(crate) struct BlockedGeometry {
     pub blocks_base: usize,
     /// `num_blocks + 1` byte offsets relative to `blocks_base`,
     /// validated monotone; the last equals the payload byte length.
+    /// (For v3 these are reconstructed from the varint length
+    /// directory.)
     pub block_offsets: Vec<u64>,
     /// Whether value decoding is bit-exact (lossless codecs only).
     pub values_exact: bool,
+    /// The file-wide value dictionary: `Some` exactly for `SLNGIDX3`
+    /// images (possibly empty under quantization). `None` marks a v2
+    /// context, where a global-dictionary value section is corrupt.
+    pub global_dict: Option<Vec<f64>>,
+    /// Bytes the directory (and, for v3, the global dictionary) occupy
+    /// between the payload flags and the first block — the container
+    /// overhead charged to the compressed payload by `inspect`.
+    pub aux_bytes: usize,
 }
 
 impl BlockedGeometry {
@@ -333,7 +380,7 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<DecodedMeta, SlingError> {
                 total_len,
             )
         }
-        FormatVersion::V2 => {
+        FormatVersion::V2 | FormatVersion::V3 => {
             need(buf, 1 + 16, "block header")?;
             let payload_flags = buf.get_u8();
             let block_entries = buf.get_u64_le() as usize;
@@ -356,20 +403,60 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<DecodedMeta, SlingError> {
                     "block count {num_blocks} exceeds file size"
                 )));
             }
-            need(buf, (num_blocks + 1) * 8, "block directory")?;
-            let mut block_offsets = Vec::with_capacity(num_blocks + 1);
-            for _ in 0..=num_blocks {
-                block_offsets.push(buf.get_u64_le());
-            }
-            if block_offsets.first() != Some(&0) {
-                return Err(corrupt("block directory does not start at 0"));
-            }
-            // Strictly monotone: every block holds at least one entry,
-            // so it encodes to at least one byte.
-            if block_offsets.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(corrupt("block directory not strictly monotone"));
-            }
+            let aux_base = bytes.len() - buf.remaining();
+            let (block_offsets, global_dict) = match version {
+                FormatVersion::V2 => {
+                    need(buf, (num_blocks + 1) * 8, "block directory")?;
+                    let mut block_offsets = Vec::with_capacity(num_blocks + 1);
+                    for _ in 0..=num_blocks {
+                        block_offsets.push(buf.get_u64_le());
+                    }
+                    if block_offsets.first() != Some(&0) {
+                        return Err(corrupt("block directory does not start at 0"));
+                    }
+                    // Strictly monotone: every block holds at least one
+                    // entry, so it encodes to at least one byte.
+                    if block_offsets.windows(2).any(|w| w[0] >= w[1]) {
+                        return Err(corrupt("block directory not strictly monotone"));
+                    }
+                    (block_offsets, None)
+                }
+                FormatVersion::V3 => {
+                    // Global value dictionary.
+                    let dict_len = varint::read_u64(&mut buf)? as usize;
+                    if dict_len > buf.remaining() / 8 {
+                        return Err(corrupt("truncated while reading the global dictionary"));
+                    }
+                    let mut dict = Vec::with_capacity(dict_len);
+                    for _ in 0..dict_len {
+                        dict.push(buf.get_f64_le());
+                    }
+                    if values_corrupt(&dict) {
+                        return Err(corrupt("non-probability value in the global dictionary"));
+                    }
+                    // Varint-delta directory: per-block byte lengths,
+                    // prefix-summed into the monotone offset table every
+                    // blocked reader consumes. Length ≥ 1 per block
+                    // keeps the reconstruction strictly monotone.
+                    let mut block_offsets = Vec::with_capacity(num_blocks + 1);
+                    block_offsets.push(0u64);
+                    let mut total = 0u64;
+                    for b in 0..num_blocks {
+                        let len = varint::read_u64(&mut buf)?;
+                        if len == 0 {
+                            return Err(corrupt(format!("block {b} claims zero bytes")));
+                        }
+                        total = total
+                            .checked_add(len)
+                            .ok_or_else(|| corrupt("block directory lengths overflow"))?;
+                        block_offsets.push(total);
+                    }
+                    (block_offsets, Some(dict))
+                }
+                FormatVersion::V1 => unreachable!(),
+            };
             let blocks_base = bytes.len() - buf.remaining();
+            let aux_bytes = blocks_base - aux_base;
             let payload_len = *block_offsets.last().unwrap() as usize;
             // Bound the entry count by the payload bytes (every encoded
             // entry costs at least one node-column byte) — the v2
@@ -393,6 +480,8 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<DecodedMeta, SlingError> {
                     blocks_base,
                     block_offsets,
                     values_exact: payload_flags & FLAG_VALUES_EXACT != 0,
+                    global_dict,
+                    aux_bytes,
                 }),
                 total_len,
             )
@@ -433,8 +522,17 @@ pub struct IndexFileInfo {
     pub entries: usize,
     /// Total file bytes (header through payload).
     pub total_bytes: usize,
-    /// Bytes of the entry payload sections.
+    /// Bytes of the entry payload sections. For `SLNGIDX3` this
+    /// includes the global dictionary and the varint directory (the
+    /// container bytes its compression depends on), so the reported
+    /// ratio is honest about where the payload's information lives.
     pub payload_bytes: usize,
+    /// Bytes of the block byte directory (0 for v1; counted inside
+    /// `payload_bytes` for v3 only).
+    pub directory_bytes: usize,
+    /// Bytes of the v3 global value dictionary (0 for v1/v2; counted
+    /// inside `payload_bytes`).
+    pub global_dict_bytes: usize,
     /// Bytes the same entries occupy in the raw v1 layout (14/entry) —
     /// the denominator of the compression ratio.
     pub raw_payload_bytes: usize,
@@ -462,14 +560,38 @@ impl IndexFileInfo {
 /// Validates the metadata prefix but never decodes the payload.
 pub fn inspect_bytes(bytes: &[u8]) -> Result<IndexFileInfo, SlingError> {
     let meta = decode_meta(bytes)?;
-    let (payload_bytes, num_blocks, block_entries, values_exact) = match &meta.payload {
-        PayloadGeometry::Raw { steps_base, .. } => (meta.total_len - steps_base, 0, 0, true),
-        PayloadGeometry::Blocked(geo) => (
-            geo.payload_len(),
-            geo.num_blocks(),
-            geo.block_entries,
-            geo.values_exact,
-        ),
+    let (
+        payload_bytes,
+        directory_bytes,
+        global_dict_bytes,
+        num_blocks,
+        block_entries,
+        values_exact,
+    ) = match &meta.payload {
+        PayloadGeometry::Raw { steps_base, .. } => (meta.total_len - steps_base, 0, 0, 0, 0, true),
+        PayloadGeometry::Blocked(geo) => {
+            let dict_bytes = geo
+                .global_dict
+                .as_ref()
+                .map_or(0, |d| varint::len_u64(d.len() as u64) + d.len() * 8);
+            let dir_bytes = geo.aux_bytes - dict_bytes;
+            // v2's fixed-width directory predates the per-section
+            // accounting and stays outside payload_bytes for
+            // continuity; v3's aux bytes are part of the payload's
+            // information and are charged to it.
+            let payload = match geo.global_dict {
+                Some(_) => geo.payload_len() + geo.aux_bytes,
+                None => geo.payload_len(),
+            };
+            (
+                payload,
+                dir_bytes,
+                dict_bytes,
+                geo.num_blocks(),
+                geo.block_entries,
+                geo.values_exact,
+            )
+        }
     };
     Ok(IndexFileInfo {
         version: meta.version,
@@ -478,6 +600,8 @@ pub fn inspect_bytes(bytes: &[u8]) -> Result<IndexFileInfo, SlingError> {
         entries: meta.entries,
         total_bytes: meta.total_len,
         payload_bytes,
+        directory_bytes,
+        global_dict_bytes,
         raw_payload_bytes: meta.entries * 14,
         num_blocks,
         block_entries,
@@ -490,6 +614,85 @@ pub fn inspect_file(path: impl AsRef<Path>) -> Result<IndexFileInfo, SlingError>
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     inspect_bytes(&bytes)
+}
+
+/// Where a payload's bytes go, section by section — the attribution
+/// report behind `sling inspect`. For blocked formats the per-block
+/// numbers come from [`crate::codec::block::block_section_sizes`]
+/// (framing-validated scans, no column materialization).
+#[derive(Clone, Debug, Default)]
+pub struct PayloadBreakdown {
+    /// v1: the raw step section. v2/v3: block headers — entry/run
+    /// counts plus the run-length-coded step directory.
+    pub step_bytes: usize,
+    /// Node id column (raw `u32`s for v1, per-run delta varints after).
+    pub node_bytes: usize,
+    /// Value sections, including their codec tag bytes.
+    pub value_bytes: usize,
+    /// Block byte directory (fixed `u64`s for v2, varint deltas for v3;
+    /// 0 for v1).
+    pub directory_bytes: usize,
+    /// v3 global value dictionary (0 otherwise).
+    pub global_dict_bytes: usize,
+    /// Value bytes grouped by codec tag: `(tag, blocks, bytes)`,
+    /// ascending by tag. Empty for v1 (no tags).
+    pub value_codecs: Vec<(u8, usize, usize)>,
+}
+
+/// Compute the per-section byte attribution of an index image's payload.
+pub fn payload_breakdown(bytes: &[u8]) -> Result<PayloadBreakdown, SlingError> {
+    use crate::codec::block::block_section_sizes;
+    use crate::codec::expected_block_len;
+
+    let meta = decode_meta(bytes)?;
+    match &meta.payload {
+        PayloadGeometry::Raw { .. } => Ok(PayloadBreakdown {
+            step_bytes: meta.entries * 2,
+            node_bytes: meta.entries * 4,
+            value_bytes: meta.entries * 8,
+            ..PayloadBreakdown::default()
+        }),
+        PayloadGeometry::Blocked(geo) => {
+            let dict_bytes = geo
+                .global_dict
+                .as_ref()
+                .map_or(0, |d| varint::len_u64(d.len() as u64) + d.len() * 8);
+            let mut out = PayloadBreakdown {
+                directory_bytes: geo.aux_bytes - dict_bytes,
+                global_dict_bytes: dict_bytes,
+                ..PayloadBreakdown::default()
+            };
+            let num_blocks = geo.num_blocks();
+            let mut by_tag: std::collections::BTreeMap<u8, (usize, usize)> =
+                std::collections::BTreeMap::new();
+            for b in 0..num_blocks {
+                let (lo, hi) = (
+                    geo.blocks_base + geo.block_offsets[b] as usize,
+                    geo.blocks_base + geo.block_offsets[b + 1] as usize,
+                );
+                let expected = expected_block_len(b, num_blocks, geo.block_entries, meta.entries)?;
+                let s = block_section_sizes(&bytes[lo..hi], expected)?;
+                out.step_bytes += s.header_bytes;
+                out.node_bytes += s.node_bytes;
+                out.value_bytes += s.value_bytes;
+                let slot = by_tag.entry(s.value_tag).or_default();
+                slot.0 += 1;
+                slot.1 += s.value_bytes;
+            }
+            out.value_codecs = by_tag
+                .into_iter()
+                .map(|(tag, (blocks, bytes))| (tag, blocks, bytes))
+                .collect();
+            Ok(out)
+        }
+    }
+}
+
+/// Compute the per-section byte attribution of a persisted index file.
+pub fn payload_breakdown_file(path: impl AsRef<Path>) -> Result<PayloadBreakdown, SlingError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    payload_breakdown(&bytes)
 }
 
 impl SlingIndex {
@@ -595,7 +798,41 @@ impl SlingIndex {
         out
     }
 
-    /// Decode a persisted index image of either format generation
+    /// Serialize into the `SLNGIDX3` layout: v2's blocks plus a
+    /// cross-block value dictionary and a varint-delta block directory.
+    /// Lossless by default (bit-identical round trip and never larger
+    /// than v2); [`CompressOptions::quantize_values`] behaves as in
+    /// [`SlingIndex::to_bytes_v2`].
+    pub fn to_bytes_v3(&self, opts: &CompressOptions) -> Vec<u8> {
+        let n = self.num_nodes;
+        let mut out = Vec::with_capacity(64 + n * 9 + self.marks.local.len() * 4);
+        self.write_prefix(MAGIC_V3, &mut out);
+        let payload = encode_payload_v3(
+            &self.hp.steps,
+            &self.hp.nodes,
+            &self.hp.values,
+            &self.hp.offsets,
+            opts,
+        );
+        out.put_u8(if opts.quantize_values {
+            0
+        } else {
+            FLAG_VALUES_EXACT
+        });
+        out.put_u64_le(payload.block_entries as u64);
+        out.put_u64_le((payload.block_offsets.len() - 1) as u64);
+        varint::write_u64(&mut out, payload.global_dict.len() as u64);
+        for &v in &payload.global_dict {
+            out.put_f64_le(v);
+        }
+        for w in payload.block_offsets.windows(2) {
+            varint::write_u64(&mut out, w[1] - w[0]);
+        }
+        out.extend_from_slice(&payload.bytes);
+        out
+    }
+
+    /// Decode a persisted index image of any format generation
     /// **without** a graph fingerprint check (the header's `(n, m)` are
     /// retained). Used by format-conversion tools; queries should go
     /// through [`SlingIndex::from_bytes`], which verifies the graph.
@@ -627,12 +864,21 @@ impl SlingIndex {
                 }
                 (steps, nodes, values)
             }
-            PayloadGeometry::Blocked(geo) => decode_payload(
-                &bytes[geo.blocks_base..meta.total_len],
-                &geo.block_offsets,
-                geo.block_entries,
-                entries,
-            )?,
+            PayloadGeometry::Blocked(geo) => match &geo.global_dict {
+                Some(dict) => decode_payload_v3(
+                    &bytes[geo.blocks_base..meta.total_len],
+                    &geo.block_offsets,
+                    geo.block_entries,
+                    entries,
+                    dict,
+                )?,
+                None => decode_payload(
+                    &bytes[geo.blocks_base..meta.total_len],
+                    &geo.block_offsets,
+                    geo.block_entries,
+                    entries,
+                )?,
+            },
         };
 
         let hp = HpArena {
@@ -696,7 +942,18 @@ impl SlingIndex {
         Ok(())
     }
 
-    /// Load from a file (either format generation), verifying against
+    /// Persist to a file in the `SLNGIDX3` layout.
+    pub fn save_v3(
+        &self,
+        path: impl AsRef<Path>,
+        opts: &CompressOptions,
+    ) -> Result<(), SlingError> {
+        let mut f = File::create(path)?;
+        f.write_all(&self.to_bytes_v3(opts))?;
+        Ok(())
+    }
+
+    /// Load from a file (any format generation), verifying against
     /// `graph`.
     pub fn load(graph: &DiGraph, path: impl AsRef<Path>) -> Result<Self, SlingError> {
         let mut bytes = Vec::new();
@@ -772,6 +1029,88 @@ mod tests {
     }
 
     #[test]
+    fn v3_byte_round_trip_is_bit_identical_and_no_larger_than_v2() {
+        let g = barabasi_albert(150, 3, 8).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let v2 = idx.to_bytes_v2(&CompressOptions::default());
+        let v3 = idx.to_bytes_v3(&CompressOptions::default());
+        assert!(v3.len() <= v2.len(), "v3 {} vs v2 {}", v3.len(), v2.len());
+        assert_eq!(detect_version(&v3).unwrap(), FormatVersion::V3);
+        let back = SlingIndex::from_bytes(&g, &v3).unwrap();
+        assert_eq!(idx.d, back.d);
+        assert_eq!(idx.hp, back.hp, "lossless v3 must be bit-identical");
+        assert_eq!(idx.reduced, back.reduced);
+        assert_eq!(idx.marks, back.marks);
+        assert_eq!(idx.config, back.config);
+    }
+
+    #[test]
+    fn v3_quantized_round_trip_is_close_and_flagged() {
+        let g = two_cliques_bridge(5);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let opts = CompressOptions {
+            quantize_values: true,
+            ..CompressOptions::default()
+        };
+        let v3 = idx.to_bytes_v3(&opts);
+        let info = inspect_bytes(&v3).unwrap();
+        assert!(!info.values_exact);
+        assert_eq!(info.global_dict_bytes, varint::len_u64(0));
+        let back = SlingIndex::from_bytes(&g, &v3).unwrap();
+        assert_eq!(idx.hp.steps, back.hp.steps);
+        assert_eq!(idx.hp.nodes, back.hp.nodes);
+        for (a, b) in idx.hp.values.iter().zip(&back.hp.values) {
+            assert!((a - b).abs() <= 0.5 / (u32::MAX as f64), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn v3_extreme_block_sizes_round_trip() {
+        let g = two_cliques_bridge(4);
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        for block_entries in [1usize, 7, 1 << 20] {
+            let opts = CompressOptions {
+                block_entries,
+                quantize_values: false,
+            };
+            let back = SlingIndex::from_bytes(&g, &idx.to_bytes_v3(&opts)).unwrap();
+            assert_eq!(idx.hp, back.hp, "block_entries = {block_entries}");
+        }
+    }
+
+    #[test]
+    fn v3_meta_reports_dictionary_and_compact_directory() {
+        let g = barabasi_albert(120, 3, 9).unwrap();
+        let idx = SlingIndex::build(&g, &cfg()).unwrap();
+        let opts = CompressOptions {
+            block_entries: 64,
+            quantize_values: false,
+        };
+        let bytes = idx.to_bytes_v3(&opts);
+        let meta = decode_meta(&bytes).unwrap();
+        assert_eq!(meta.version, FormatVersion::V3);
+        assert_eq!(meta.total_len, bytes.len());
+        let PayloadGeometry::Blocked(geo) = meta.payload else {
+            panic!("v3 image decoded to a raw geometry");
+        };
+        assert_eq!(geo.block_entries, 64);
+        assert_eq!(geo.num_blocks(), meta.entries.div_ceil(64));
+        assert!(geo.values_exact);
+        assert!(geo.global_dict.as_ref().is_some_and(|d| !d.is_empty()));
+        assert_eq!(geo.blocks_base + geo.payload_len(), bytes.len());
+        // The varint directory beats v2's fixed (num_blocks + 1) × u64.
+        let dict_bytes = geo
+            .global_dict
+            .as_ref()
+            .map(|d| varint::len_u64(d.len() as u64) + d.len() * 8)
+            .unwrap();
+        assert!(geo.aux_bytes - dict_bytes < (geo.num_blocks() + 1) * 8);
+        // Reconstructed offsets are strictly monotone from 0.
+        assert_eq!(geo.block_offsets.first(), Some(&0));
+        assert!(geo.block_offsets.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
     fn v2_extreme_block_sizes_round_trip() {
         let g = two_cliques_bridge(4);
         let idx = SlingIndex::build(&g, &cfg()).unwrap();
@@ -816,7 +1155,11 @@ mod tests {
     fn rejects_truncation_and_corruption() {
         let g = two_cliques_bridge(4);
         let idx = SlingIndex::build(&g, &cfg()).unwrap();
-        for bytes in [idx.to_bytes(), idx.to_bytes_v2(&CompressOptions::default())] {
+        for bytes in [
+            idx.to_bytes(),
+            idx.to_bytes_v2(&CompressOptions::default()),
+            idx.to_bytes_v3(&CompressOptions::default()),
+        ] {
             // Truncations at various prefixes must all error, never panic.
             for cut in [0, 4, 8, 20, 60, bytes.len() / 2, bytes.len() - 1] {
                 assert!(
@@ -944,5 +1287,17 @@ mod tests {
         assert!(v2.values_exact);
         assert!(v2.num_blocks > 0);
         assert_eq!(v2.block_entries, crate::codec::DEFAULT_BLOCK_ENTRIES);
+        assert_eq!(v2.directory_bytes, (v2.num_blocks + 1) * 8);
+        assert_eq!(v2.global_dict_bytes, 0);
+
+        let v3 = inspect_bytes(&idx.to_bytes_v3(&CompressOptions::default())).unwrap();
+        assert_eq!(v3.version, FormatVersion::V3);
+        assert_eq!(v3.entries, v1.entries);
+        // v3 payload_bytes charges the dictionary + directory and still
+        // beats v2's block bytes alone.
+        assert!(v3.payload_bytes < v2.payload_bytes);
+        assert!(v3.global_dict_bytes > 0);
+        assert!(v3.directory_bytes > 0);
+        assert!(v3.values_exact);
     }
 }

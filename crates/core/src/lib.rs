@@ -69,21 +69,27 @@
 //!
 //! | backend | residency | open cost | format |
 //! |---|---|---|---|
-//! | [`hp::HpArena`] | full decode in RAM | `O(n/ε)` decode | v1 + v2 |
+//! | [`hp::HpArena`] | full decode in RAM | `O(n/ε)` decode | v1 + v2 + v3 |
 //! | [`store::MmapHpArena`] | page cache, zero-copy | header + offsets only | v1 |
-//! | [`store::CompressedMmapArena`] | page cache + decoded-block cache | header + offsets + directory | v2 |
-//! | [`out_of_core::DiskHpStore`] (+ [`disk_query::BufferedDiskStore`] LRU pool) | `O(n)` metadata | header + offsets only | v1 + v2 |
+//! | [`store::CompressedMmapArena`] | page cache + decoded-block cache | header + offsets + directory | v2 + v3 |
+//! | [`out_of_core::DiskHpStore`] (+ [`disk_query::BufferedDiskStore`] LRU pool) | `O(n)` metadata | header + offsets only | v1 + v2 + v3 |
 //!
 //! Persistence is versioned ([`format`]): `SLNGIDX1` stores the entry
 //! payload as raw fixed-width sections (14 bytes/entry, decode-free);
 //! `SLNGIDX2` stores it as independently decodable compressed blocks
 //! (the [`codec`] subsystem — delta-varint node ids per `(owner, step)`
 //! run, run-length-coded steps, dictionary or fixed-point values behind
-//! the [`codec::value::SectionCodec`] trait). Lossless compression (the
-//! default) keeps every backend bit-identical at ~⅔ of the raw payload;
-//! quantized mode reaches ~40% with ≤ 2⁻³³ value error, flagged in the
-//! header. v1 stays readable forever; `sling compact` converts between
-//! generations and `sling inspect` reports the geometry.
+//! the [`codec::value::SectionCodec`] trait). `SLNGIDX3` extends the
+//! block format with cross-block value compression: a file-global hub
+//! dictionary for the values repeated across many owners, split
+//! sign/exponent/mantissa planes for the residual f64s, and a
+//! varint-delta block directory. Lossless compression (the default)
+//! keeps every backend bit-identical — ~⅔ of the raw payload as v2,
+//! ≤ 60% as v3 — while quantized v3 reaches ~40% with ≤ 2⁻³³ value
+//! error, flagged in the header. Older generations stay readable
+//! forever; `sling compact` converts between generations (`--format`
+//! selects one; v3 is the default) and `sling inspect` reports the
+//! geometry, including the per-section payload breakdown.
 //!
 //! Above the trait, every query algorithm is written **once**, generic
 //! over `S: HpStore` — the §5.2/§5.3 effective-entry materialization
@@ -105,11 +111,16 @@
 //! place. An entry list is materialized into a [`QueryWorkspace`]
 //! buffer only when a backend must (positioned v1 disk reads,
 //! block-straddling runs) or when the §5.2/§5.3 restore actually
-//! rewrites it; whether a node needs restoration is two O(1) loads on
-//! build-time artifacts (the reduction bitmap and mark offsets). For
-//! restore-heavy nodes the engines additionally memoize the restored
-//! list in a sharded [`store::RestoreCache`], so a hot hub's exact
-//! two-hop recomputation happens once, not per query. The single-pair
+//! rewrites it; the engine's `restore_kind` classification
+//! ([`store::RestoreKind`]) costs two O(1) loads on build-time
+//! artifacts (the reduction bitmap and mark offsets). §5.2-reduced
+//! nodes on cache-less paths stream a **two-segment** view: the
+//! recomputed steps ≤ 2 head over the borrowed steps ≥ 3 tail, so the
+//! bulk of a hub's list
+//! is never copied. Engines carry a sharded [`store::RestoreCache`]
+//! and resolve restoring nodes to memoized full lists instead — a warm
+//! hub is one lookup and a contiguous merge with zero backend traffic.
+//! The single-pair
 //! merge dispatches on list-length skew: ≥ 8× apart (hub-versus-leaf
 //! pairs, the dominant shape on power-law graphs) switches the linear
 //! pass to a galloping merge over the longer run — bit-identical by
@@ -221,7 +232,10 @@ pub use cache::{AtomicCacheStats, CacheStats, CachedVerdict, ShardedResultCache}
 pub use codec::CompressOptions;
 pub use config::SlingConfig;
 pub use error::SlingError;
-pub use format::{inspect_bytes, inspect_file, FormatVersion, IndexFileInfo};
+pub use format::{
+    inspect_bytes, inspect_file, payload_breakdown, payload_breakdown_file, FormatVersion,
+    IndexFileInfo, PayloadBreakdown,
+};
 pub use hp::HpEntry;
 pub use index::{QueryWorkspace, SlingIndex};
 pub use lifecycle::{GenId, GenerationStore, Manifest};

@@ -196,12 +196,15 @@ enum DiskPayload {
         nodes_base: u64,
         values_base: u64,
     },
-    /// `SLNGIDX2`: a resident block directory; whole blocks are read
-    /// with one `pread` each, decoded, and kept in a scratch cache.
+    /// `SLNGIDX2`/`SLNGIDX3`: a resident block directory; whole blocks
+    /// are read with one `pread` each, decoded, and kept in a scratch
+    /// cache. `global_dict` is the resident v3 value dictionary (`None`
+    /// for v2).
     Blocked {
         block_entries: usize,
         blocks_base: u64,
         block_offsets: Vec<u64>,
+        global_dict: Option<Vec<f64>>,
         cache: BlockScratchCache,
     },
 }
@@ -226,6 +229,20 @@ impl DiskHpStore {
     ) -> Result<Self, SlingError> {
         let path = path.as_ref();
         index.save_v2(path, opts)?;
+        Self::open_file(path)
+    }
+
+    /// Persist `index` to `path` in the `SLNGIDX3` format (cross-block
+    /// value dictionary, varint block directory) and return a store
+    /// reading v3 blocks from it. With default (lossless) options
+    /// queries answer bit-identically to [`DiskHpStore::create`].
+    pub fn create_compressed_v3(
+        index: &SlingIndex,
+        path: impl AsRef<Path>,
+        opts: &CompressOptions,
+    ) -> Result<Self, SlingError> {
+        let path = path.as_ref();
+        index.save_v3(path, opts)?;
         Self::open_file(path)
     }
 
@@ -268,6 +285,7 @@ impl DiskHpStore {
                 block_entries: geo.block_entries,
                 blocks_base: geo.blocks_base as u64,
                 block_offsets: geo.block_offsets,
+                global_dict: geo.global_dict,
                 cache: BlockScratchCache::new(),
             },
         };
@@ -304,9 +322,14 @@ impl DiskHpStore {
             DiskPayload::Blocked {
                 block_entries,
                 block_offsets,
+                global_dict,
                 cache,
                 ..
-            } => block_offsets.len() * 8 + cache.resident_bytes(*block_entries),
+            } => {
+                block_offsets.len() * 8
+                    + global_dict.as_ref().map_or(0, |d| d.len() * 8)
+                    + cache.resident_bytes(*block_entries)
+            }
         };
         self.offsets.len() * 8
             + self.d.len() * 8
@@ -350,6 +373,7 @@ impl DiskHpStore {
             block_entries,
             blocks_base,
             block_offsets,
+            global_dict,
             cache,
         } = &self.payload
         else {
@@ -367,6 +391,7 @@ impl DiskHpStore {
                 *block_entries,
                 self.entries,
                 self.num_nodes,
+                global_dict.as_deref(),
             )
         })
     }

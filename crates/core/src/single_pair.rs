@@ -23,11 +23,15 @@
 //!
 //! The streaming entry point ([`single_pair_core`]) consumes both lists
 //! directly from the storage backend via [`crate::store::EntryAccess`] —
-//! zero-copy for the arena and mmap backends — and only materializes a
-//! list into the [`QueryWorkspace`] when the §5.2/§5.3 restore actually
-//! rewrites it ([`EngineRef::needs_restore`]). The materializing
-//! reference path is kept as [`single_pair_materialized_core`] for
-//! benchmarks and equivalence tests.
+//! zero-copy for the arena and mmap backends. What a list needs is
+//! classified by [`EngineRef::restore_kind`]: §5.3-marked nodes
+//! materialize the full rewritten list into the [`QueryWorkspace`];
+//! §5.2-reduced (unmarked) nodes copy only a recomputed steps ≤ 2 head
+//! and stream their stored steps ≥ 3 tail in place
+//! ([`crate::store::TwoSegRun`]); everything else streams whole. The
+//! materializing reference path is kept as
+//! [`single_pair_materialized_core`] for benchmarks and equivalence
+//! tests.
 
 use sling_graph::{DiGraph, NodeId};
 
@@ -35,9 +39,12 @@ use crate::error::SlingError;
 #[cfg(test)]
 use crate::hp::HpEntry;
 use crate::index::{
-    effective_entries_into, resolve_restored, Buf, QueryWorkspace, RestoredList, SlingIndex,
+    effective_entries_into, resolve_restored, resolve_stream_source, Buf, QueryWorkspace,
+    RestoredList, SlingIndex,
 };
-use crate::store::{with_run, EngineRef, EntryAccess, EntryRun, HpStore};
+use crate::store::{
+    with_source, EngineRef, EntryAccess, EntryRun, HpStore, RestoreKind, RunSource,
+};
 
 /// Length skew at which the merge switches from the linear pass to
 /// galloping over the longer list.
@@ -164,32 +171,51 @@ pub(crate) fn single_pair_core<S: HpStore>(
         // Otherwise fall through: estimate s(v,v) from the index like any
         // pair.
     }
-    let ra = if e.needs_restore(u) {
-        Some(resolve_restored(e, graph, u, ws, Buf::A)?)
-    } else {
-        None
+    let (ku, kv) = (e.restore_kind(u), e.restore_kind(v));
+    // §5.3-marked endpoints materialize the whole effective list up
+    // front (mark expansion may rewrite any step), and §5.2-reduced
+    // endpoints do too when a [`RestoreCache`] is attached: a warm hub
+    // is then one cache lookup and a contiguous-slice merge with zero
+    // backend traffic, which beats re-walking the stored tail through
+    // the block cache on every query. Both need the whole workspace, so
+    // they run before the split-borrow below. Reduced endpoints on
+    // cache-less engines stay `None` and stream two-segment instead —
+    // there the full restore would copy the tail for a single use.
+    let cached = e.restore_cache.is_some();
+    let ra = match ku {
+        RestoreKind::None => None,
+        RestoreKind::TwoHopOnly if !cached => None,
+        _ => Some(resolve_restored(e, graph, u, ws, Buf::A)?),
     };
-    let rb = if e.needs_restore(v) {
-        Some(resolve_restored(e, graph, v, ws, Buf::B)?)
-    } else {
-        None
+    let rb = match kv {
+        RestoreKind::None => None,
+        RestoreKind::TwoHopOnly if !cached => None,
+        _ => Some(resolve_restored(e, graph, v, ws, Buf::B)?),
     };
-    // Split-borrow the two entry buffers so each side can either borrow
-    // its materialized list or hand its buffer to the backend as scratch.
-    let QueryWorkspace { buf_a, buf_b, .. } = ws;
-    let a = match &ra {
-        None => e.store.entries_ref(u, buf_a)?,
-        Some(RestoredList::Workspace) => EntryAccess::Slice(buf_a),
-        Some(RestoredList::Shared(list)) => EntryAccess::Slice(list),
+    // Split-borrow the workspace: side A owns (buf_a, stored), side B
+    // owns (buf_b, extras) — head buffer + tail scratch each — and the
+    // two-hop scratch is reused sequentially.
+    let QueryWorkspace {
+        buf_a,
+        buf_b,
+        stored,
+        extras,
+        two_hop,
+        ..
+    } = ws;
+    let sa = match ra {
+        Some(RestoredList::Workspace) => RunSource::Whole(EntryAccess::Slice(buf_a)),
+        Some(RestoredList::Shared(list)) => RunSource::Shared(list),
+        None => resolve_stream_source(e, graph, u, ku, buf_a, stored, two_hop)?,
     };
-    let b = match &rb {
-        None => e.store.entries_ref(v, buf_b)?,
-        Some(RestoredList::Workspace) => EntryAccess::Slice(buf_b),
-        Some(RestoredList::Shared(list)) => EntryAccess::Slice(list),
+    let sb = match rb {
+        Some(RestoredList::Workspace) => RunSource::Whole(EntryAccess::Slice(buf_b)),
+        Some(RestoredList::Shared(list)) => RunSource::Shared(list),
+        None => resolve_stream_source(e, graph, v, kv, buf_b, extras, two_hop)?,
     };
-    let s = with_run!(&a, |run_a| with_run!(&b, |run_b| merge_intersect_runs(
-        run_a, run_b, e.d
-    )));
+    let s = with_source!(&sa, |run_a| with_source!(&sb, |run_b| {
+        merge_intersect_runs(run_a, run_b, e.d)
+    }));
     Ok(s.clamp(0.0, 1.0))
 }
 
@@ -447,6 +473,57 @@ mod tests {
                     materialized.to_bits(),
                     "({a},{b}): {streamed} vs {materialized}"
                 );
+            }
+        }
+    }
+
+    /// Both restore policies must be bit-identical to the materializing
+    /// reference kernel across the full §5.2 × §5.3 configuration
+    /// matrix, on repeated queries: the bare-index path (no
+    /// RestoreCache) streams two-segment §5.2 views, the engine path
+    /// resolves cached full lists (second pass hits the cache).
+    #[test]
+    fn two_segment_streaming_matches_materialized_across_restore_matrix() {
+        let g = sling_graph::generators::barabasi_albert(300, 3, 11).unwrap();
+        for (sr, enh) in [(false, false), (true, false), (false, true), (true, true)] {
+            let config = SlingConfig::from_epsilon(C, 0.1)
+                .with_seed(9)
+                .with_space_reduction(sr)
+                .with_enhancement(enh);
+            let idx = SlingIndex::build(&g, &config).unwrap();
+            if sr {
+                assert!(
+                    idx.stats.reduced_nodes > 0,
+                    "matrix row (sr={sr}, enh={enh}) exercises no reduced nodes"
+                );
+            }
+            let engine = idx.query_engine();
+            let mut ws = QueryWorkspace::new();
+            let mut ws2 = QueryWorkspace::new();
+            for _pass in 0..2 {
+                for v in [1u32, 13, 144, 299] {
+                    for (a, b) in [(0, v), (v, 0), (v, (v + 7) % 300)] {
+                        let streamed = engine
+                            .single_pair_with(&g, &mut ws, NodeId(a), NodeId(b))
+                            .unwrap();
+                        let materialized = engine
+                            .single_pair_materialized_with(&g, &mut ws2, NodeId(a), NodeId(b))
+                            .unwrap();
+                        assert_eq!(
+                            streamed.to_bits(),
+                            materialized.to_bits(),
+                            "sr={sr} enh={enh} ({a},{b}): {streamed} vs {materialized}"
+                        );
+                        // Bare index: no RestoreCache, so reduced
+                        // endpoints take the two-segment streaming path.
+                        let bare = idx.single_pair(&g, NodeId(a), NodeId(b));
+                        assert_eq!(
+                            bare.to_bits(),
+                            materialized.to_bits(),
+                            "sr={sr} enh={enh} two-segment ({a},{b}): {bare} vs {materialized}"
+                        );
+                    }
+                }
             }
         }
     }

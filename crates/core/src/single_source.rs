@@ -14,9 +14,12 @@ use sling_graph::{DiGraph, NodeId};
 
 use crate::error::SlingError;
 use crate::index::{
-    effective_entries_into, resolve_restored, Buf, QueryWorkspace, RestoredList, SlingIndex,
+    effective_entries_into, resolve_restored, resolve_stream_source, Buf, QueryWorkspace,
+    RestoredList, SlingIndex,
 };
-use crate::store::{with_run, EngineRef, EntryAccess, EntryRun, HpStore};
+use crate::store::{
+    with_source, EngineRef, EntryAccess, EntryRun, HpStore, RestoreKind, RunSource,
+};
 
 /// Reusable buffers for Algorithm 6. One per querying thread.
 ///
@@ -38,9 +41,9 @@ impl SingleSourceWorkspace {
 
     /// Cap the retained capacity of the growable scratch buffers (see
     /// [`QueryWorkspace::trim_excess`]). The `O(n)` dense score arrays
-    /// are kept — they are sized by the graph, not by the largest query
-    /// seen — but the touched lists and entry buffers shrink back to the
-    /// retention threshold after a hub-sized query.
+    /// and frontier bitsets are kept — they are sized by the graph, not
+    /// by the largest query seen — but the entry buffers shrink back to
+    /// the retention threshold after a hub-sized query.
     pub fn trim_excess(&mut self) {
         self.query.trim_excess();
         self.dense.trim_excess();
@@ -51,17 +54,93 @@ impl SingleSourceWorkspace {
 /// [`DenseScores`]: 8 KiB of graph-independent constants.
 const INV_DEGREE_TABLE: usize = 1024;
 
+/// Frontier membership for one dense score array: a bitset with a
+/// touched-word watermark range. Marking is branchless (`or` + two
+/// predictable range updates) — no per-edge compare-and-push — and
+/// iteration recovers members in **ascending node order** by scanning
+/// `bits[lo..=hi]` and peeling set bits, so the frontier walk is
+/// deterministic regardless of the order contributions arrived in.
+#[derive(Debug)]
+struct Frontier {
+    bits: Vec<u64>,
+    /// First/last word index holding a set bit; `lo > hi` means empty.
+    lo: usize,
+    hi: usize,
+}
+
+impl Default for Frontier {
+    fn default() -> Self {
+        Self {
+            bits: Vec::new(),
+            lo: usize::MAX,
+            hi: 0,
+        }
+    }
+}
+
+impl Frontier {
+    fn ensure(&mut self, words: usize) {
+        if self.bits.len() < words {
+            self.bits.resize(words, 0);
+        }
+    }
+
+    /// Mark node index `i` as touched. Idempotent, so callers scatter
+    /// unconditionally instead of testing the score slot first.
+    #[inline(always)]
+    fn set(&mut self, i: usize) {
+        let w = i >> 6;
+        self.bits[w] |= 1u64 << (i & 63);
+        if w < self.lo {
+            self.lo = w;
+        }
+        if w > self.hi {
+            self.hi = w;
+        }
+    }
+
+    #[inline]
+    fn clear_marks(&mut self) {
+        self.lo = usize::MAX;
+        self.hi = 0;
+    }
+
+    /// Zero every tracked slot of `vals` and empty the frontier.
+    fn clear_tracked(&mut self, vals: &mut [f64]) {
+        if self.lo <= self.hi {
+            for wi in self.lo..=self.hi {
+                let mut w = self.bits[wi];
+                if w == 0 {
+                    continue;
+                }
+                self.bits[wi] = 0;
+                while w != 0 {
+                    let x = (wi << 6) | w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    vals[x] = 0.0;
+                }
+            }
+        }
+        self.clear_marks();
+    }
+}
+
 /// Dense forward-propagation state of Algorithm 6.
 ///
-/// Invariant between queries: `cur`/`next` are all-zero (each query
-/// resets exactly the entries it touched), so repeated queries cost no
-/// `O(n)` clears beyond the first allocation.
+/// Invariant between queries: `cur`/`next` are all-zero and the
+/// [`Frontier`] bitsets empty (each query resets exactly the entries it
+/// touched), so repeated queries cost no `O(n)` clears beyond the first
+/// allocation.
 #[derive(Debug, Default)]
 pub(crate) struct DenseScores {
     pub(crate) cur: Vec<f64>,
     pub(crate) next: Vec<f64>,
-    touched_cur: Vec<u32>,
-    touched_next: Vec<u32>,
+    front_cur: Frontier,
+    front_next: Frontier,
+    /// Staging buffer of `(destination, increment)` pairs for the tiled
+    /// propagation rounds (see [`DenseScores::propagate`]); capacity is
+    /// bounded by [`DenseScores::PROPAGATE_TILE`].
+    staged: Vec<(u32, f64)>,
     /// `inv_deg[d] = 1/d` for small `d` — graph-independent, so it can
     /// never go stale across graphs. Turns the per-edge division of the
     /// propagation inner loop into a multiply-accumulate.
@@ -74,6 +153,9 @@ impl DenseScores {
             self.cur.resize(n, 0.0);
             self.next.resize(n, 0.0);
         }
+        let words = n.div_ceil(64);
+        self.front_cur.ensure(words);
+        self.front_next.ensure(words);
         if self.inv_deg.is_empty() {
             self.inv_deg = (0..INV_DEGREE_TABLE)
                 .map(|d| if d == 0 { 0.0 } else { 1.0 / d as f64 })
@@ -84,10 +166,8 @@ impl DenseScores {
     /// Add `val` to the step-0 temporary score of node index `k`.
     #[inline]
     pub(crate) fn seed(&mut self, k: usize, val: f64) {
-        if self.cur[k] == 0.0 {
-            self.touched_cur.push(k as u32);
-        }
         self.cur[k] += val;
+        self.front_cur.set(k);
     }
 
     /// `1 / |I(y)|` — a table load for the small degrees that dominate
@@ -105,67 +185,164 @@ impl DenseScores {
         }
     }
 
+    /// Contributions staged per flush of the tiled propagation: a ~24 KiB
+    /// tile of `(destination, increment)` pairs, small enough to stay in
+    /// L1/L2 while the scatter into `next` walks it.
+    const PROPAGATE_TILE: usize = 2048;
+
+    /// Below this node count the dense `cur`/`next` arrays (≤ 1 MiB
+    /// combined) are cache-resident, so the scatter misses tiling exists
+    /// to hide never happen and the staging detour is pure overhead; the
+    /// round then runs the direct loop. Both sweeps are bit-identical
+    /// (pinned by `tiled_propagation_matches_direct_bitwise`), so the
+    /// dispatch is purely a performance choice.
+    const PROPAGATE_TILING_MIN_NODES: usize = 1 << 16;
+
     /// Run `rounds` forward-propagation rounds of Algorithm 6's inner
     /// loop: scores `≤ threshold` are pruned; a survivor `x` distributes
     /// `√c · ρ(x) / |I(y)|` to each out-neighbor `y`. The per-survivor
     /// scale `√c · ρ(x)` is hoisted and the division is a reciprocal
-    /// multiply, so the inner loop over the contiguous CSR neighbor run
-    /// is a gather–multiply–accumulate.
+    /// multiply; the frontier walks in ascending node order via the
+    /// [`Frontier`] bitsets. Dispatches between the direct and the tiled
+    /// sweep on dense-array size
+    /// ([`DenseScores::PROPAGATE_TILING_MIN_NODES`]); the two produce
+    /// bit-identical scores and frontiers.
     pub(crate) fn propagate(&mut self, graph: &DiGraph, sqrt_c: f64, threshold: f64, rounds: u16) {
+        if self.cur.len() < Self::PROPAGATE_TILING_MIN_NODES {
+            self.propagate_direct(graph, sqrt_c, threshold, rounds);
+        } else {
+            self.propagate_tiled(graph, sqrt_c, threshold, rounds);
+        }
+    }
+
+    /// The untiled sweep: each contribution is scattered into `next` as
+    /// soon as it is generated. Fastest when `next` stays cache-resident.
+    fn propagate_direct(&mut self, graph: &DiGraph, sqrt_c: f64, threshold: f64, rounds: u16) {
         for _ in 0..rounds {
-            for idx in 0..self.touched_cur.len() {
-                let x = self.touched_cur[idx];
-                let val = self.cur[x as usize];
-                self.cur[x as usize] = 0.0;
-                if val <= threshold {
+            let (lo, hi) = (self.front_cur.lo, self.front_cur.hi);
+            if lo > hi {
+                break; // empty frontier: remaining rounds are no-ops
+            }
+            self.front_cur.clear_marks();
+            for wi in lo..=hi {
+                let mut w = self.front_cur.bits[wi];
+                if w == 0 {
                     continue;
                 }
-                let scale = sqrt_c * val;
-                for &y in graph.out_neighbors(NodeId(x)) {
-                    let yi = y.index();
-                    let inc = scale * self.inv_in_degree(graph, y);
-                    if self.next[yi] == 0.0 {
-                        self.touched_next.push(y.0);
+                self.front_cur.bits[wi] = 0;
+                while w != 0 {
+                    let x = (wi << 6) | w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let val = self.cur[x];
+                    self.cur[x] = 0.0;
+                    if val <= threshold {
+                        continue;
                     }
-                    self.next[yi] += inc;
+                    let scale = sqrt_c * val;
+                    for &y in graph.out_neighbors(NodeId(x as u32)) {
+                        let inc = scale * self.inv_in_degree(graph, y);
+                        self.next[y.index()] += inc;
+                        self.front_next.set(y.index());
+                    }
                 }
             }
-            self.touched_cur.clear();
             std::mem::swap(&mut self.cur, &mut self.next);
-            std::mem::swap(&mut self.touched_cur, &mut self.touched_next);
+            std::mem::swap(&mut self.front_cur, &mut self.front_next);
         }
+    }
+
+    /// The **tiled** sweep: contributions are first *gathered* into the
+    /// staging buffer — a tight loop over the contiguous CSR neighbor run
+    /// touching only `graph` and the reciprocal table — and the random
+    /// *scatter* into the dense `next` array runs over one cache-resident
+    /// tile at a time ([`DenseScores::PROPAGATE_TILE`] pairs), so the
+    /// frontier sweep stops interleaving sequential neighbor reads with
+    /// dense-array misses. Staging order equals generation order and the
+    /// flush applies pairs in staging order, so the per-slot FP
+    /// accumulation order is exactly the direct loop's, and frontier
+    /// marking is order-free — the tiling is bit-invisible (pinned by
+    /// `tiled_propagation_matches_direct_bitwise`).
+    fn propagate_tiled(&mut self, graph: &DiGraph, sqrt_c: f64, threshold: f64, rounds: u16) {
+        for _ in 0..rounds {
+            debug_assert!(self.staged.is_empty());
+            let (lo, hi) = (self.front_cur.lo, self.front_cur.hi);
+            if lo > hi {
+                break; // empty frontier: remaining rounds are no-ops
+            }
+            self.front_cur.clear_marks();
+            for wi in lo..=hi {
+                let mut w = self.front_cur.bits[wi];
+                if w == 0 {
+                    continue;
+                }
+                self.front_cur.bits[wi] = 0;
+                while w != 0 {
+                    let x = (wi << 6) | w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let val = self.cur[x];
+                    self.cur[x] = 0.0;
+                    if val <= threshold {
+                        continue;
+                    }
+                    let scale = sqrt_c * val;
+                    for &y in graph.out_neighbors(NodeId(x as u32)) {
+                        let inc = scale * self.inv_in_degree(graph, y);
+                        self.staged.push((y.0, inc));
+                        if self.staged.len() == Self::PROPAGATE_TILE {
+                            self.flush_staged();
+                        }
+                    }
+                }
+            }
+            self.flush_staged();
+            std::mem::swap(&mut self.cur, &mut self.next);
+            std::mem::swap(&mut self.front_cur, &mut self.front_next);
+        }
+    }
+
+    /// Scatter the staged `(destination, increment)` tile into `next`,
+    /// in staging order (bit-identical accumulation — see
+    /// [`DenseScores::propagate`]).
+    #[inline]
+    fn flush_staged(&mut self) {
+        for &(y, inc) in &self.staged {
+            self.next[y as usize] += inc;
+            self.front_next.set(y as usize);
+        }
+        self.staged.clear();
     }
 
     /// Accumulate the surviving temporary scores into `out` and restore
     /// the all-zero buffer invariant.
     pub(crate) fn drain_into(&mut self, out: &mut [f64]) {
-        for idx in 0..self.touched_cur.len() {
-            let x = self.touched_cur[idx] as usize;
-            out[x] += self.cur[x];
-            self.cur[x] = 0.0;
+        if self.front_cur.lo <= self.front_cur.hi {
+            for wi in self.front_cur.lo..=self.front_cur.hi {
+                let mut w = self.front_cur.bits[wi];
+                if w == 0 {
+                    continue;
+                }
+                self.front_cur.bits[wi] = 0;
+                while w != 0 {
+                    let x = (wi << 6) | w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    out[x] += self.cur[x];
+                    self.cur[x] = 0.0;
+                }
+            }
         }
-        self.touched_cur.clear();
+        self.front_cur.clear_marks();
     }
 
     /// Zero any leftover touched entries (used by early-terminating
     /// queries that abandon un-drained state).
     pub(crate) fn reset(&mut self) {
-        for &x in &self.touched_cur {
-            self.cur[x as usize] = 0.0;
-        }
-        self.touched_cur.clear();
-        for &x in &self.touched_next {
-            self.next[x as usize] = 0.0;
-        }
-        self.touched_next.clear();
+        self.front_cur.clear_tracked(&mut self.cur);
+        self.front_next.clear_tracked(&mut self.next);
     }
 
     fn trim_excess(&mut self) {
-        for buf in [&mut self.touched_cur, &mut self.touched_next] {
-            if buf.capacity() > QueryWorkspace::TRIM_THRESHOLD_ENTRIES {
-                buf.shrink_to(QueryWorkspace::TRIM_THRESHOLD_ENTRIES);
-            }
-        }
+        // The frontier bitsets are graph-sized (`n/64` words), like the
+        // dense arrays they track — nothing query-sized to shrink.
     }
 }
 
@@ -216,27 +393,40 @@ pub(crate) fn single_source_with_cutoff<S: HpStore>(
     out.clear();
     out.resize(n, 0.0);
     ws.dense.ensure(n);
+    let kind = e.restore_kind(u);
     let resolved = if materialize {
         // Reference path: plain workspace materialization, no cache.
         effective_entries_into(e, graph, u, &mut ws.query, Buf::A)?;
         Some(RestoredList::Workspace)
-    } else if e.needs_restore(u) {
+    } else if kind == RestoreKind::Full
+        || (kind == RestoreKind::TwoHopOnly && e.restore_cache.is_some())
+    {
+        // Same policy as the pair kernel: with a RestoreCache attached,
+        // reduced sources serve the cached full list (warm = zero
+        // backend traffic); only cache-less engines stream two-segment.
         Some(resolve_restored(e, graph, u, &mut ws.query, Buf::A)?)
     } else {
         None
     };
     // Disjoint-field split: the entry run may borrow `query.buf_a`
-    // (restored lists, disk scratch) while `dense` mutates freely.
+    // (restored heads/lists, disk scratch) and `query.stored` (tail
+    // scratch) while `dense` mutates freely.
     let SingleSourceWorkspace { dense, query } = ws;
-    let access = match &resolved {
-        None => e.store.entries_ref(u, &mut query.buf_a)?,
-        Some(RestoredList::Workspace) => EntryAccess::Slice(&query.buf_a),
-        Some(RestoredList::Shared(list)) => EntryAccess::Slice(list),
+    let QueryWorkspace {
+        buf_a,
+        stored,
+        two_hop,
+        ..
+    } = query;
+    let source = match resolved {
+        Some(RestoredList::Workspace) => RunSource::Whole(EntryAccess::Slice(buf_a)),
+        Some(RestoredList::Shared(list)) => RunSource::Shared(list),
+        None => resolve_stream_source(e, graph, u, kind, buf_a, stored, two_hop)?,
     };
-    let truncated = with_run!(&access, |run| seed_step_runs(
+    let truncated = with_source!(&source, |run| seed_step_runs(
         e, graph, dense, run, cutoff, out
     ));
-    drop(access);
+    drop(source);
     dense.reset();
 
     for s in out.iter_mut() {
@@ -434,6 +624,56 @@ mod tests {
         assert_eq!(direct, reused);
     }
 
+    /// Algorithm 6's streaming seed path must be bit-identical to the
+    /// materializing reference kernel across the §5.2 × §5.3 matrix
+    /// under both restore policies: the bare-index path (no
+    /// RestoreCache) seeds from a two-segment §5.2 view, the engine
+    /// path from cached full lists (second pass hits the cache).
+    #[test]
+    fn two_segment_single_source_matches_materialized_across_restore_matrix() {
+        use sling_graph::generators::barabasi_albert;
+        let g = barabasi_albert(300, 3, 11).unwrap();
+        for (sr, enh) in [(true, false), (true, true)] {
+            let config = SlingConfig::from_epsilon(C, 0.1)
+                .with_seed(9)
+                .with_space_reduction(sr)
+                .with_enhancement(enh);
+            let idx = SlingIndex::build(&g, &config).unwrap();
+            assert!(idx.stats.reduced_nodes > 0);
+            let engine = idx.query_engine();
+            let mut ws = SingleSourceWorkspace::new();
+            let mut ws2 = SingleSourceWorkspace::new();
+            let (mut streamed, mut materialized) = (Vec::new(), Vec::new());
+            for _pass in 0..2 {
+                for u in [0u32, 1, 13, 144, 299] {
+                    engine
+                        .single_source_with(&g, &mut ws, NodeId(u), &mut streamed)
+                        .unwrap();
+                    engine
+                        .single_source_materialized_with(&g, &mut ws2, NodeId(u), &mut materialized)
+                        .unwrap();
+                    for v in 0..streamed.len() {
+                        assert_eq!(
+                            streamed[v].to_bits(),
+                            materialized[v].to_bits(),
+                            "sr={sr} enh={enh} s({u},{v})"
+                        );
+                    }
+                    // Bare index: no RestoreCache, so a reduced source
+                    // seeds from the two-segment streaming view.
+                    let bare = idx.single_source(&g, NodeId(u));
+                    for v in 0..bare.len() {
+                        assert_eq!(
+                            bare[v].to_bits(),
+                            materialized[v].to_bits(),
+                            "sr={sr} enh={enh} two-segment s({u},{v})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn diagonal_and_range_handling() {
         let g = star_graph(5);
@@ -457,6 +697,47 @@ mod tests {
         }
         // Scores descending.
         assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    /// The dispatch between the direct and the tiled sweep must be
+    /// unobservable: identical frontier bitsets and bit-identical dense
+    /// scores, so `propagate`'s size gate is purely a performance choice.
+    #[test]
+    fn tiled_propagation_matches_direct_bitwise() {
+        use sling_graph::generators::barabasi_albert;
+        // Big enough that one round stages more than PROPAGATE_TILE
+        // contributions, forcing at least one mid-frontier flush.
+        let g = barabasi_albert(900, 4, 17).unwrap();
+        let n = g.num_nodes();
+        let sqrt_c = C.sqrt();
+        for (threshold, rounds) in [(0.0, 1u16), (1e-4, 3), (1e-2, 5)] {
+            let mut tiled = DenseScores::default();
+            let mut direct = DenseScores::default();
+            tiled.ensure(n);
+            direct.ensure(n);
+            // Seed a spread of nodes with assorted magnitudes, including
+            // some the threshold prunes.
+            for k in 0..n {
+                if k % 3 == 0 {
+                    tiled.seed(k, 1.0 / (k as f64 + 2.0));
+                    direct.seed(k, 1.0 / (k as f64 + 2.0));
+                }
+            }
+            // Call the sweeps directly: the fixture sits below the size
+            // gate, so `propagate` itself would run both operands
+            // through the direct path and the pin would be vacuous.
+            tiled.propagate_tiled(&g, sqrt_c, threshold, rounds);
+            direct.propagate_direct(&g, sqrt_c, threshold, rounds);
+            // Identical frontier (it feeds the next round's iteration)
+            // and bit-identical dense scores.
+            assert_eq!(
+                tiled.front_cur.bits, direct.front_cur.bits,
+                "threshold {threshold}"
+            );
+            let tiled_bits: Vec<u64> = tiled.cur.iter().map(|v| v.to_bits()).collect();
+            let direct_bits: Vec<u64> = direct.cur.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(tiled_bits, direct_bits, "threshold {threshold}");
+        }
     }
 
     #[test]

@@ -38,8 +38,10 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::cache::LruList;
-use crate::codec::block::DecodedBlock;
-use crate::codec::{decode_block, expected_block_len};
+use crate::codec::block::{
+    max_node, values_all_probabilities, DecodedBlock, MAX_PROBABILITY, SWEEP_LANES,
+};
+use crate::codec::{decode_block, decode_block_with_dict, expected_block_len};
 use crate::config::SlingConfig;
 use crate::enhance::MarkArena;
 use crate::error::SlingError;
@@ -316,6 +318,53 @@ impl EntryRun for &[HpEntry] {
     }
 }
 
+/// Two-segment view of a §5.2-restored effective list: a copied `steps
+/// ≤ 2` head (the stored step-0 prefix plus the exact Algorithm-5
+/// steps 1–2) logically concatenated with the `steps ≥ 3` tail of the
+/// node's stored run, consumed **in place** from backend storage.
+///
+/// A reduced node stores no step-1/2 entries, so its stored run is the
+/// step-0 prefix (`..split`) followed immediately by the steps ≥ 3 tail
+/// (`split..`) — and because the head covers exactly steps ≤ 2, the
+/// concatenation stays sorted by `(step, node)`. The view therefore
+/// enumerates precisely the entries the materializing restore would
+/// build, in the same order, without ever copying the tail.
+#[derive(Clone, Copy)]
+pub(crate) struct TwoSegRun<'a, R: EntryRun> {
+    /// Copied steps ≤ 2 head: stored step-0 entries + exact steps 1–2.
+    pub head: &'a [HpEntry],
+    /// The node's full stored run, borrowed from the backend.
+    pub stored: R,
+    /// First stored index past the step-0 prefix (start of the tail).
+    pub split: usize,
+}
+
+impl<R: EntryRun> EntryRun for TwoSegRun<'_, R> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.head.len() + (self.stored.len() - self.split)
+    }
+
+    #[inline(always)]
+    fn key(&self, i: usize) -> (u16, u32) {
+        if i < self.head.len() {
+            let e = &self.head[i];
+            (e.step, e.node.0)
+        } else {
+            self.stored.key(i - self.head.len() + self.split)
+        }
+    }
+
+    #[inline(always)]
+    fn value(&self, i: usize) -> f64 {
+        if i < self.head.len() {
+            self.head[i].value
+        } else {
+            self.stored.value(i - self.head.len() + self.split)
+        }
+    }
+}
+
 /// Dispatch an `&EntryAccess` to a concrete [`EntryRun`] shape and run
 /// `$body` with `$run` bound to it — the variant match happens once per
 /// run, never per entry.
@@ -362,6 +411,61 @@ macro_rules! with_run {
     };
 }
 pub(crate) use with_run;
+
+/// A resolved per-node entry source for the streaming kernels: either
+/// the backend's run consumed in place, a two-segment §5.2 view (copied
+/// head + in-place tail), or a fully materialized list. Produced by
+/// [`crate::index::resolve_stream_source`] / the §5.3 restore and
+/// dispatched by [`with_source!`] — the query-time generalization of
+/// [`EntryAccess`] that folds the restore decision into the type.
+pub(crate) enum RunSource<'s> {
+    /// The backend access *is* the effective list (no restore needed, or
+    /// a list already materialized into a caller-owned buffer).
+    Whole(EntryAccess<'s>),
+    /// Two-segment view: `head` (steps ≤ 2, built into a caller buffer)
+    /// over `stored`'s steps ≥ 3 tail starting at `split`.
+    Seg {
+        head: &'s [HpEntry],
+        stored: EntryAccess<'s>,
+        split: usize,
+    },
+    /// Fully materialized list shared from the [`RestoreCache`].
+    Shared(Arc<Vec<HpEntry>>),
+}
+
+/// Dispatch an `&RunSource` to a concrete [`EntryRun`] and run `$body`
+/// with `$run` bound to it. `Whole`/`Shared` degenerate to the plain
+/// [`with_run!`] shapes; `Seg` wraps the stored run in a [`TwoSegRun`],
+/// so the head/tail branch is the only per-entry cost the two-segment
+/// restore adds.
+macro_rules! with_source {
+    ($source:expr, |$run:ident| $body:expr) => {
+        match $source {
+            $crate::store::RunSource::Whole(access) => {
+                $crate::store::with_run!(access, |$run| $body)
+            }
+            $crate::store::RunSource::Shared(list) => {
+                let $run: &[$crate::hp::HpEntry] = &list[..];
+                $body
+            }
+            $crate::store::RunSource::Seg {
+                head,
+                stored,
+                split,
+            } => {
+                $crate::store::with_run!(stored, |seg_tail| {
+                    let $run = $crate::store::TwoSegRun {
+                        head: *head,
+                        stored: seg_tail,
+                        split: *split,
+                    };
+                    $body
+                })
+            }
+        }
+    };
+}
+pub(crate) use with_source;
 
 /// `range(v)` with the structural sanity the untrusted backends need
 /// before trusting it: well-ordered and inside the entry array. A store
@@ -440,7 +544,7 @@ impl HpStore for HpArena {
 /// score sorts (which rightly assume finite scores) with a panic instead
 /// of an error.
 pub(crate) fn check_value(i: usize, value: f64) -> Result<(), SlingError> {
-    if !value.is_finite() || !(0.0..=1.0 + 1e-9).contains(&value) {
+    if !value.is_finite() || !(0.0..=MAX_PROBABILITY).contains(&value) {
         return Err(SlingError::CorruptIndex(format!(
             "entry {i} holds a non-probability HP value {value}"
         )));
@@ -529,21 +633,53 @@ impl<S: HpStore> EngineRef<'_, S> {
         Ok(())
     }
 
-    /// Whether queries on `v` must materialize and *rewrite* its entry
-    /// list — the §5.2 two-hop restore (steps 1–2 spliced back in) or a
-    /// §5.3 mark expansion. Both facts were decided at build time (the
-    /// reduction bitmap and the mark offsets are index artifacts), so
-    /// this is two O(1) loads; when it returns `false` — the common case
-    /// on large graphs — the streaming kernels consume the backend's
-    /// entries in place and skip the [`crate::QueryWorkspace`] copy
-    /// entirely.
+    /// Classify how much of `v`'s entry list a query must rewrite.
+    /// Decided entirely at build time (the reduction bitmap and the mark
+    /// offsets are index artifacts), so this is two O(1) loads; for
+    /// [`RestoreKind::None`] — the common case on large graphs — the
+    /// streaming kernels consume the backend's entries in place and skip
+    /// the [`crate::QueryWorkspace`] copy entirely.
+    ///
+    /// The
+    /// distinction is what the §5.3 mark expansion can touch: a marked
+    /// entry at step ℓ spawns corrections at step ℓ+1, i.e. *anywhere*
+    /// in the list, so marked nodes need the full materializing restore
+    /// ([`RestoreKind::Full`]). The §5.2 reduction only *removes* steps
+    /// 1–2 at build time, so an unmarked reduced node needs nothing but
+    /// a recomputed steps ≤ 2 head spliced in front of its untouched
+    /// steps ≥ 3 tail ([`RestoreKind::TwoHopOnly`]) — the two-segment
+    /// streaming view, used on cache-less engines. Engines with a
+    /// [`RestoreCache`] resolve both restoring kinds to full lists
+    /// instead (every cache entry is a full effective list): a warm hub
+    /// is then one lookup and a contiguous merge with zero backend
+    /// traffic, which beats re-walking the stored tail per query.
     #[inline]
-    pub fn needs_restore(&self, v: NodeId) -> bool {
-        self.reduced[v.index()]
-            || (self.config.enhance_accuracy
-                && !self.marks.is_empty()
-                && !self.marks.marks_of(v).is_empty())
+    pub fn restore_kind(&self, v: NodeId) -> RestoreKind {
+        if self.config.enhance_accuracy
+            && !self.marks.is_empty()
+            && !self.marks.marks_of(v).is_empty()
+        {
+            RestoreKind::Full
+        } else if self.reduced[v.index()] {
+            RestoreKind::TwoHopOnly
+        } else {
+            RestoreKind::None
+        }
     }
+}
+
+/// How much of a node's stored entry list a query must rewrite before
+/// consuming it. See [`EngineRef::restore_kind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestoreKind {
+    /// The stored run is the effective list — stream it in place.
+    None,
+    /// §5.2-reduced, unmarked: recompute the steps ≤ 2 head exactly and
+    /// stream the stored steps ≥ 3 tail in place (two-segment view).
+    TwoHopOnly,
+    /// §5.3-marked: mark expansion may rewrite arbitrary steps, so the
+    /// whole effective list is materialized.
+    Full,
 }
 
 /// Zero-copy memory-mapped view of a persisted `SLNGIDX1` index file.
@@ -758,17 +894,31 @@ impl HpStore for MmapHpArena {
 
 /// Validate the raw little-endian node/value sections of one entry run:
 /// every node id below `n`, every value a finite probability. The hot
-/// sweep is two branchless folds over the contiguous sections; only a
-/// failing run pays a second pass to name the offending entry (matching
-/// the per-entry decode errors).
+/// sweep is two branchless *lane-striped* folds over the contiguous
+/// sections — [`SWEEP_LANES`] independent accumulators per stripe so the
+/// compiler can vectorize the u32 max and the f64 range compares, plus a
+/// scalar tail. Only a failing run pays a second pass to name the
+/// offending entry (matching the per-entry decode errors).
+// `(v >= 0.0) & (v <= MAX)` is two non-short-circuit lane compares on
+// purpose; `RangeInclusive::contains` would reintroduce `&&`.
+#[allow(clippy::manual_range_contains)]
 pub(crate) fn validate_raw_le(
     nodes: &[u8],
     values: &[u8],
     base: usize,
     n: usize,
 ) -> Result<(), SlingError> {
-    let mut max_node = 0u32;
-    for c in nodes.chunks_exact(4) {
+    // Node sweep: lane-parallel max over the u32 column, one bound
+    // compare at the end.
+    let mut node_lanes = [0u32; SWEEP_LANES];
+    let mut node_chunks = nodes.chunks_exact(4 * SWEEP_LANES);
+    for stripe in &mut node_chunks {
+        for (m, c) in node_lanes.iter_mut().zip(stripe.chunks_exact(4)) {
+            *m = (*m).max(u32::from_le_bytes(c.try_into().unwrap()));
+        }
+    }
+    let mut max_node = node_lanes.into_iter().max().unwrap_or(0);
+    for c in node_chunks.remainder().chunks_exact(4) {
         max_node = max_node.max(u32::from_le_bytes(c.try_into().unwrap()));
     }
     if max_node as usize >= n {
@@ -782,10 +932,21 @@ pub(crate) fn validate_raw_le(
             }
         }
     }
-    let mut all_ok = true;
-    for c in values.chunks_exact(8) {
+    // Value sweep: lane-parallel range fold. The two compares are
+    // equivalent to `check_value`'s predicate — NaN fails both, ±∞ fails
+    // one — see `codec::block::values_all_probabilities`.
+    let mut ok_lanes = [true; SWEEP_LANES];
+    let mut value_chunks = values.chunks_exact(8 * SWEEP_LANES);
+    for stripe in &mut value_chunks {
+        for (ok, c) in ok_lanes.iter_mut().zip(stripe.chunks_exact(8)) {
+            let value = f64::from_le_bytes(c.try_into().unwrap());
+            *ok &= (value >= 0.0) & (value <= MAX_PROBABILITY);
+        }
+    }
+    let mut all_ok = ok_lanes.into_iter().all(|ok| ok);
+    for c in value_chunks.remainder().chunks_exact(8) {
         let value = f64::from_le_bytes(c.try_into().unwrap());
-        all_ok &= value.is_finite() && (0.0..=1.0 + 1e-9).contains(&value);
+        all_ok &= (value >= 0.0) & (value <= MAX_PROBABILITY);
     }
     if !all_ok {
         for (i, c) in values.chunks_exact(8).enumerate() {
@@ -817,8 +978,12 @@ impl BlockScratchCache {
     /// pools the server runs.
     const SHARDS: usize = 8;
 
-    /// Decoded blocks kept per shard.
-    const PER_SHARD: usize = 4;
+    /// Decoded blocks kept per shard — 64 blocks total, which at the
+    /// default 1024-entry geometry keeps a ~64K-entry working set
+    /// (≈ 1 MiB of columns) decoded. That covers every block of a
+    /// mid-size index outright, so uniformly random pair workloads stop
+    /// thrashing the cache instead of paying a decode per query.
+    const PER_SHARD: usize = 8;
 
     pub(crate) fn new() -> Self {
         BlockScratchCache {
@@ -1001,23 +1166,32 @@ pub(crate) fn decode_block_validated(
     block_entries: usize,
     total_entries: usize,
     num_nodes: usize,
+    global_dict: Option<&[f64]>,
 ) -> Result<DecodedBlock, SlingError> {
     let expected = expected_block_len(b, num_blocks, block_entries, total_entries)?;
     let mut block = DecodedBlock::default();
-    decode_block(raw, expected, &mut block)?;
+    match global_dict {
+        Some(dict) => decode_block_with_dict(raw, expected, dict, &mut block)?,
+        None => decode_block(raw, expected, &mut block)?,
+    }
     // Bound-check ids and value ranges once per decode; cache hits skip
-    // this entirely.
+    // this entirely. The hot path is two lane-striped column folds; only
+    // a failing block pays the per-entry rescan that names the entry.
     let base = b * block_entries;
-    for (i, &node) in block.nodes.iter().enumerate() {
-        if node as usize >= num_nodes {
-            return Err(SlingError::CorruptIndex(format!(
-                "block entry {} references node {node} past n = {num_nodes}",
-                base + i,
-            )));
+    if max_node(&block.nodes) as usize >= num_nodes {
+        for (i, &node) in block.nodes.iter().enumerate() {
+            if node as usize >= num_nodes {
+                return Err(SlingError::CorruptIndex(format!(
+                    "block entry {} references node {node} past n = {num_nodes}",
+                    base + i,
+                )));
+            }
         }
     }
-    for (i, &value) in block.values.iter().enumerate() {
-        check_value(base + i, value)?;
+    if !values_all_probabilities(&block.values) {
+        for (i, &value) in block.values.iter().enumerate() {
+            check_value(base + i, value)?;
+        }
     }
     Ok(block)
 }
@@ -1074,6 +1248,8 @@ pub struct CompressedMmapArena {
     /// under us after open).
     block_offsets: Vec<u64>,
     values_exact: bool,
+    /// The resident v3 global value dictionary (`None` for v2 files).
+    global_dict: Option<Vec<f64>>,
     cache: BlockScratchCache,
 }
 
@@ -1097,6 +1273,8 @@ impl CompressedMmapArena {
                 blocks_base: geo.blocks_base,
                 block_offsets: std::mem::take(&mut geo.block_offsets),
                 values_exact: geo.values_exact,
+                global_dict: std::mem::take(&mut geo.global_dict),
+                aux_bytes: geo.aux_bytes,
             },
             PayloadGeometry::Raw { .. } => {
                 return Err(SlingError::CorruptIndex(
@@ -1114,6 +1292,7 @@ impl CompressedMmapArena {
             blocks_base: geo.blocks_base,
             block_offsets: geo.block_offsets,
             values_exact: geo.values_exact,
+            global_dict: geo.global_dict,
             cache: BlockScratchCache::new(),
             map,
         };
@@ -1167,6 +1346,7 @@ impl CompressedMmapArena {
             self.block_entries,
             self.entries,
             self.num_nodes,
+            self.global_dict.as_deref(),
         )
     }
 

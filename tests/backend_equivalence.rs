@@ -115,9 +115,11 @@ proptest! {
 
     /// Single-pair, single-source, top-k, join, and batch answers agree
     /// across mem / mmap / disk / buffered-disk — plus the lossless
-    /// compressed-mmap and compressed-disk backends serving a `SLNGIDX2`
-    /// conversion of the same index — to 1e-12 (in fact: bit for bit) on
-    /// random graphs, across the §5.2/§5.3 feature matrix.
+    /// compressed-mmap and compressed-disk backends serving `SLNGIDX2`
+    /// and `SLNGIDX3` conversions of the same index — to 1e-12 (in
+    /// fact: bit for bit) on random graphs, across the §5.2/§5.3
+    /// feature matrix (which also pins the two-segment streaming
+    /// restore against the materializing reference, warm and cold).
     #[test]
     fn all_query_apis_agree_across_backends(
         g in arb_graph(),
@@ -136,14 +138,19 @@ proptest! {
         // Tiny blocks so entry runs straddle block boundaries.
         let opts = CompressOptions { block_entries: 32, quantize_values: false };
         idx.save_v2(&v2_path, &opts).unwrap();
+        let v3_path = tmpfile("eq_v3");
+        idx.save_v3(&v3_path, &opts).unwrap();
 
         let mem = idx.query_engine();
         let mmap = QueryEngine::open_mmap(&g, &path).unwrap();
         let compressed = QueryEngine::open_mmap_compressed(&g, &v2_path).unwrap();
+        let compressed_v3 = QueryEngine::open_mmap_compressed(&g, &v3_path).unwrap();
         let disk = DiskHpStore::open(&g, &path).unwrap();
         let disk_engine = disk.query_engine();
         let disk_v2 = DiskHpStore::open(&g, &v2_path).unwrap();
         let disk_v2_engine = disk_v2.query_engine();
+        let disk_v3 = DiskHpStore::open(&g, &v3_path).unwrap();
+        let disk_v3_engine = disk_v3.query_engine();
         // A 64-entry budget forces constant eviction on these graphs.
         let buffered = BufferedDiskStore::new(&disk, 64);
         let buffered_engine = buffered.query_engine();
@@ -158,8 +165,10 @@ proptest! {
             for (label, got) in [
                 ("mmap", mmap.single_pair(&g, u, v).unwrap()),
                 ("mmap-compressed", compressed.single_pair(&g, u, v).unwrap()),
+                ("mmap-compressed-v3", compressed_v3.single_pair(&g, u, v).unwrap()),
                 ("disk", disk_engine.single_pair(&g, u, v).unwrap()),
                 ("disk-v2", disk_v2_engine.single_pair(&g, u, v).unwrap()),
+                ("disk-v3", disk_v3_engine.single_pair(&g, u, v).unwrap()),
                 ("buffered", buffered_engine.single_pair(&g, u, v).unwrap()),
             ] {
                 prop_assert!(
@@ -174,15 +183,19 @@ proptest! {
             let want = mem.single_source(&g, u).unwrap();
             prop_assert_eq!(&want, &mmap.single_source(&g, u).unwrap());
             prop_assert_eq!(&want, &compressed.single_source(&g, u).unwrap());
+            prop_assert_eq!(&want, &compressed_v3.single_source(&g, u).unwrap());
             prop_assert_eq!(&want, &disk_engine.single_source(&g, u).unwrap());
             prop_assert_eq!(&want, &disk_v2_engine.single_source(&g, u).unwrap());
+            prop_assert_eq!(&want, &disk_v3_engine.single_source(&g, u).unwrap());
             prop_assert_eq!(&want, &buffered_engine.single_source(&g, u).unwrap());
 
             let want_top = mem.top_k(&g, u, 5).unwrap();
             prop_assert_eq!(&want_top, &mmap.top_k(&g, u, 5).unwrap());
             prop_assert_eq!(&want_top, &compressed.top_k(&g, u, 5).unwrap());
+            prop_assert_eq!(&want_top, &compressed_v3.top_k(&g, u, 5).unwrap());
             prop_assert_eq!(&want_top, &disk_engine.top_k(&g, u, 5).unwrap());
             prop_assert_eq!(&want_top, &disk_v2_engine.top_k(&g, u, 5).unwrap());
+            prop_assert_eq!(&want_top, &disk_v3_engine.top_k(&g, u, 5).unwrap());
             prop_assert_eq!(&want_top, &buffered_engine.top_k(&g, u, 5).unwrap());
         }
 
@@ -208,7 +221,9 @@ proptest! {
         let want = mem.batch_single_pair(&g, &pairs, 3).unwrap();
         prop_assert_eq!(&want, &mmap.batch_single_pair(&g, &pairs, 3).unwrap());
         prop_assert_eq!(&want, &compressed.batch_single_pair(&g, &pairs, 3).unwrap());
+        prop_assert_eq!(&want, &compressed_v3.batch_single_pair(&g, &pairs, 3).unwrap());
         prop_assert_eq!(&want, &disk_v2_engine.batch_single_pair(&g, &pairs, 3).unwrap());
+        prop_assert_eq!(&want, &disk_v3_engine.batch_single_pair(&g, &pairs, 3).unwrap());
         prop_assert_eq!(&want, &buffered_engine.batch_single_pair(&g, &pairs, 3).unwrap());
 
         // Streaming kernels vs the materializing reference path, per
@@ -222,12 +237,21 @@ proptest! {
         assert_streaming_matches_materialized("mem", &mem, &g, &skewed, &sources);
         assert_streaming_matches_materialized("mmap", &mmap, &g, &skewed, &sources);
         assert_streaming_matches_materialized("mmap-compressed", &compressed, &g, &skewed, &sources);
+        assert_streaming_matches_materialized(
+            "mmap-compressed-v3",
+            &compressed_v3,
+            &g,
+            &skewed,
+            &sources,
+        );
         assert_streaming_matches_materialized("disk", &disk_engine, &g, &skewed, &sources);
         assert_streaming_matches_materialized("disk-v2", &disk_v2_engine, &g, &skewed, &sources);
+        assert_streaming_matches_materialized("disk-v3", &disk_v3_engine, &g, &skewed, &sources);
         assert_streaming_matches_materialized("buffered", &buffered_engine, &g, &skewed, &sources);
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&v2_path).ok();
+        std::fs::remove_file(&v3_path).ok();
     }
 }
 

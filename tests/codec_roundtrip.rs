@@ -176,6 +176,41 @@ proptest! {
         prop_assert_eq!(info.entries, idx.stats().entries_stored);
         prop_assert!(info.values_exact);
     }
+
+    /// v1 → v3 → v1 reproduces the index bit-for-bit across the same
+    /// feature/block-size matrix — the `SLNGIDX3` mirror of the v2
+    /// property, exercising the global value dictionary and the varint
+    /// block directory.
+    #[test]
+    fn v1_v3_conversion_is_lossless(
+        g in arb_graph(),
+        seed in 0u64..500,
+        space_reduction in proptest::bool::ANY,
+        enhance in proptest::bool::ANY,
+        block_entries in 1usize..200,
+    ) {
+        let config = SlingConfig::from_epsilon(C, 0.1)
+            .with_seed(seed)
+            .with_space_reduction(space_reduction)
+            .with_enhancement(enhance);
+        let idx = SlingIndex::build(&g, &config).unwrap();
+        let opts = CompressOptions { block_entries, quantize_values: false };
+
+        let v1 = idx.to_bytes();
+        let from_v1 = SlingIndex::decode(&v1).unwrap();
+        let v3 = from_v1.to_bytes_v3(&opts);
+        let from_v3 = SlingIndex::from_bytes(&g, &v3).unwrap();
+        prop_assert_eq!(&v1, &from_v3.to_bytes(), "v1 -> v3 -> v1 changed bytes");
+
+        let info = inspect_bytes(&v3).unwrap();
+        prop_assert_eq!(info.version, FormatVersion::V3);
+        prop_assert_eq!(info.total_bytes, v3.len());
+        prop_assert_eq!(info.entries, idx.stats().entries_stored);
+        prop_assert!(info.values_exact);
+        // v3 counts its aux sections (global dict + varint directory)
+        // inside the payload, honestly.
+        prop_assert!(info.payload_bytes >= info.directory_bytes + info.global_dict_bytes);
+    }
 }
 
 /// Shared corpus for the v2 mutation properties: one valid compressed
@@ -189,6 +224,25 @@ fn mutation_corpus() -> &'static (DiGraph, Vec<u8>) {
             .with_enhancement(true);
         let idx = SlingIndex::build(&g, &config).unwrap();
         let bytes = idx.to_bytes_v2(&CompressOptions {
+            block_entries: 32,
+            quantize_values: false,
+        });
+        (g, bytes)
+    })
+}
+
+/// v3 mirror of [`mutation_corpus`]: small blocks make the varint byte
+/// directory, the global value dictionary, and the per-block value
+/// planes all non-trivial targets for single-byte corruption.
+fn mutation_corpus_v3() -> &'static (DiGraph, Vec<u8>) {
+    static CORPUS: OnceLock<(DiGraph, Vec<u8>)> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let g = barabasi_albert(40, 2, 9).unwrap();
+        let config = SlingConfig::from_epsilon(C, 0.1)
+            .with_seed(4)
+            .with_enhancement(true);
+        let idx = SlingIndex::build(&g, &config).unwrap();
+        let bytes = idx.to_bytes_v3(&CompressOptions {
             block_entries: 32,
             quantize_values: false,
         });
@@ -262,6 +316,65 @@ proptest! {
         prop_assert!(SlingIndex::from_bytes(g, &bytes[..cut]).is_err());
         std::fs::remove_file(&path).ok();
     }
+
+    /// Bit-flip any byte of a `SLNGIDX3` image — value planes, the
+    /// shared global dictionary, and the varint offset directory
+    /// included: open errors or the engine keeps answering finite
+    /// probabilities; nothing panics.
+    #[test]
+    fn v3_mutation_errors_or_stays_sane(flip in 0usize..1 << 20, bit in 0u8..8) {
+        let (g, bytes) = mutation_corpus_v3();
+        let mut corrupt = bytes.clone();
+        let pos = flip % corrupt.len();
+        corrupt[pos] ^= 1 << bit;
+        let path = tmpfile("mut3");
+        std::fs::write(&path, &corrupt).unwrap();
+
+        match SharedEngine::open_mmap_compressed(g, &path) {
+            Err(e) => {
+                let _ = e.to_string();
+            }
+            Ok(engine) => {
+                for u in [NodeId(0), NodeId(17), NodeId(39)] {
+                    match engine.single_source(g, u) {
+                        Ok(scores) => {
+                            prop_assert!(
+                                scores.iter().all(|s| s.is_finite() && (0.0..=1.0).contains(s)),
+                                "non-probability score after byte {pos} bit {bit}"
+                            );
+                        }
+                        Err(e) => {
+                            let _ = e.to_string();
+                        }
+                    }
+                    let _ = engine.top_k(g, u, 4);
+                    let _ = engine.single_pair(g, u, NodeId(1));
+                }
+            }
+        }
+        match SlingIndex::from_bytes(g, &corrupt) {
+            Ok(idx) => prop_assert!(idx.stats().entries_stored < 1 << 30),
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Any truncation of a v3 file is rejected at open.
+    #[test]
+    fn v3_truncation_always_rejected(cut_seed in 0usize..1 << 20) {
+        let (g, bytes) = mutation_corpus_v3();
+        let cut = cut_seed % bytes.len();
+        let path = tmpfile("trunc3");
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        prop_assert!(
+            SharedEngine::open_mmap_compressed(g, &path).is_err(),
+            "cut at {cut} accepted"
+        );
+        prop_assert!(SlingIndex::from_bytes(g, &bytes[..cut]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
 }
 
 /// Empty runs cannot be encoded (the encoder breaks runs so every run
@@ -294,9 +407,12 @@ fn empty_entry_sets_round_trip() {
     }
 }
 
-/// The compression claim the ROADMAP makes, pinned: on a preferential-
-/// attachment fixture the lossless payload shrinks meaningfully and the
-/// quantized payload reaches the ≤ 60% CI gate.
+/// The compression claims the ROADMAP makes, pinned: on a preferential-
+/// attachment fixture the v2 lossless payload shrinks meaningfully, the
+/// v3 lossless payload (global value dictionary) shrinks below it, and
+/// quantization shrinks further still. (The ≤ 60% lossless CI gate runs
+/// on the larger BA(2000, 4) fixture, where value repetition is higher;
+/// this 600-node fixture lands a few points above it.)
 #[test]
 fn fixture_compression_ratios_hold() {
     let g = barabasi_albert(600, 4, 7).unwrap();
@@ -312,12 +428,35 @@ fn fixture_compression_ratios_hold() {
     assert_eq!(raw.payload_bytes, raw.raw_payload_bytes);
     assert!(
         (lossless.compression_ratio()) <= 0.75,
-        "lossless ratio regressed: {}",
+        "v2 lossless ratio regressed: {}",
         lossless.compression_ratio()
     );
     assert!(
         (quantized.compression_ratio()) <= 0.60,
         "quantized ratio above the CI gate: {}",
         quantized.compression_ratio()
+    );
+    let v3_lossless = inspect_bytes(&idx.to_bytes_v3(&CompressOptions::default())).unwrap();
+    let v3_quantized = inspect_bytes(&idx.to_bytes_v3(&CompressOptions {
+        quantize_values: true,
+        ..CompressOptions::default()
+    }))
+    .unwrap();
+    assert!(
+        (v3_lossless.compression_ratio()) <= 0.65,
+        "v3 lossless ratio regressed: {}",
+        v3_lossless.compression_ratio()
+    );
+    assert!(
+        v3_lossless.compression_ratio() < lossless.compression_ratio(),
+        "v3 lossless did not beat v2: {} vs {}",
+        v3_lossless.compression_ratio(),
+        lossless.compression_ratio()
+    );
+    assert!(
+        v3_quantized.compression_ratio() < v3_lossless.compression_ratio(),
+        "v3 quantized {} not below lossless {}",
+        v3_quantized.compression_ratio(),
+        v3_lossless.compression_ratio()
     );
 }
