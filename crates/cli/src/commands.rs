@@ -61,8 +61,8 @@ COMMANDS:
                                           bulk single-pair scoring through the
                                           shared engine + sharded result cache
   serve GRAPH INDEX [--listen ADDR] [--unix PATH] [--workers N]
-        [--cache CAP] [--shards S] [--index-backend B]
-                                          long-lived thread-per-core query server
+        [--cache CAP] [--shards S] [--max-connections N] [--index-backend B]
+                                          long-lived epoll-based query server
                                           (wire protocol: see sling-server docs)
   serve --index-root DIR [GRAPH] [--watch] [--watch-ms N] [..]
                                           serve the promoted generation of an
@@ -81,11 +81,16 @@ COMMANDS:
                                           pair U V | source U | topk U K |
                                           stats | reload | ping | shutdown
   bench-serve GRAPH INDEX [--threads T] [--requests N] [--hot F]
-        [--hot-keys K] [--workers W] [--cache CAP] [--index-backend B]
+        [--hot-keys K] [--connections C] [--workers W] [--cache CAP]
+        [--max-connections N] [--index-backend B] [--quick] [--out FILE]
                                           drive an in-process server with
                                           concurrent skewed client traffic;
-                                          reports throughput, hit rate, and
-                                          client-side p50/p99/p999 latency
+                                          --connections holds a mostly-idle
+                                          fleet open during the run; --out runs
+                                          the worker/connection-scaling sweep
+                                          (TCP + Unix, ≥1k idle connections)
+                                          and writes the machine-readable
+                                          BENCH_serve.json perf baseline
   bench-query GRAPH INDEX [--quick] [--out FILE] [--pairs N]
         [--sources N] [--threads T] [--seed S]
                                           pinned single-pair / single-source /
@@ -465,6 +470,34 @@ fn format_server_report(prefix: &str, report: &ServerReport) -> String {
             report.latency.p999_us,
         );
     }
+    if !report.evloop_wakeups_per_worker.is_empty() {
+        let join = |counters: &[u64]| {
+            counters
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = write!(
+            out,
+            "\nevent loops: wakeups per worker: {}; turns per worker: {}{}{}",
+            join(&report.evloop_wakeups_per_worker),
+            join(&report.evloop_turns_per_worker),
+            if report.open_connections > 0 {
+                format!("; {} connections still open", report.open_connections)
+            } else {
+                String::new()
+            },
+            if report.rejected_connections > 0 {
+                format!(
+                    "; {} connections rejected (busy)",
+                    report.rejected_connections
+                )
+            } else {
+                String::new()
+            },
+        );
+    }
     if let Some(stats) = report.cache {
         let _ = write!(out, "\n{}", format_cache_stats(stats));
     }
@@ -595,6 +628,7 @@ fn server_config(args: &Args) -> Result<ServerConfig, String> {
         cache_capacity: args.flag_parse("cache", 1usize << 18)?,
         cache_shards: args.flag_parse("shards", 0usize)?,
         watch_interval_ms: args.flag_parse("watch-ms", watch_default)?,
+        max_connections: args.flag_parse("max-connections", 0usize)?,
     })
 }
 
@@ -845,71 +879,326 @@ pub fn cmd_client(args: &Args) -> Result<String, String> {
 /// `sling bench-serve` — start an in-process server and drive it with
 /// concurrent, hot-key-skewed client traffic; reports throughput and the
 /// cache hit rate, after spot-checking served scores against the local
-/// engine bit-for-bit.
+/// engine bit-for-bit. `--connections N` additionally holds a
+/// mostly-idle fleet of `N - threads - 1` silent sockets open across
+/// the timed window, so the measurement includes the event-loop cost of
+/// parked connections.
+///
+/// With `--out FILE` it instead runs the fixed connection-scaling sweep
+/// (TCP workers=1, TCP workers=4, TCP workers=4 + 1000 idle
+/// connections, Unix workers=4 + 1000 idle connections) and writes the
+/// machine-readable `BENCH_serve.json`:
+///
+/// ```json
+/// {
+///   "bench": "serve",
+///   "schema_version": 1,
+///   "fixture": {"nodes": .., "edges": .., "threads": .., "requests_per_run": .., "hot": .., "hot_keys": .., "quick": ..},
+///   "results": [
+///     {"transport": "tcp", "workers": 4, "connections": 1000, "requests": ..,
+///      "elapsed_s": .., "qps": .., "p50_us": .., "p99_us": .., "p999_us": ..,
+///      "open_connections": .., "idle_connections": ..,
+///      "evloop_wakeups": .., "evloop_turns": ..}
+///   ],
+///   "idle_scaling": {"qps_tcp_w1": .., "qps_tcp_w4_idle": .., "ratio": ..}
+/// }
+/// ```
+///
+/// Each result is one line with a fixed key order so CI can extract
+/// fields with `sed` (see `ci/bench_serve_floor.json` for the gated
+/// floors); latencies are client-side microseconds, and the connection
+/// gauges are sampled from `STATS` while the idle fleet is still open.
 pub fn cmd_bench_serve(args: &Args) -> Result<String, String> {
     let graph_path = args.positional(0, "graph")?;
     let index_path = args.positional(1, "index")?;
     let backend = parse_backend(args)?;
-    let threads: usize = args.flag_parse("threads", 8usize)?;
-    let requests: usize = args.flag_parse("requests", 4000usize)?;
-    let hot: f64 = args.flag_parse("hot", 0.9f64)?;
-    let hot_keys: usize = args.flag_parse("hot-keys", 64usize)?;
-    let config = server_config(args)?;
-    if !(0.0..=1.0).contains(&hot) {
-        return Err(format!("--hot must lie in [0,1], got {hot}"));
+    let quick = args.switch("quick");
+    let opts = ServeBenchOpts {
+        threads: args.flag_parse("threads", 8usize)?,
+        requests: args.flag_parse("requests", if quick { 1500usize } else { 4000usize })?,
+        hot: args.flag_parse("hot", 0.9f64)?,
+        hot_keys: args.flag_parse("hot-keys", 64usize)?,
+        connections: args.flag_parse("connections", 0usize)?,
+        out: args.flag("out").map(str::to_string),
+        quick,
+        config: server_config(args)?,
+    };
+    if !(0.0..=1.0).contains(&opts.hot) {
+        return Err(format!("--hot must lie in [0,1], got {}", opts.hot));
     }
     let g = load_graph(graph_path)?;
     match backend {
         IndexBackend::Mem => {
             let index = load_index(&g, index_path)?;
-            bench_serve_run(
-                Arc::new(index.into_shared_engine()),
-                Arc::new(g),
-                threads,
-                requests,
-                hot,
-                hot_keys,
-                config,
-            )
+            bench_serve_entry(Arc::new(index.into_shared_engine()), Arc::new(g), &opts)
         }
         IndexBackend::Mmap => {
             let engine = SharedEngine::open_mmap(&g, index_path)
                 .map_err(|e| format!("{index_path}: {e}"))?;
-            bench_serve_run(
-                Arc::new(engine),
-                Arc::new(g),
-                threads,
-                requests,
-                hot,
-                hot_keys,
-                config,
-            )
+            bench_serve_entry(Arc::new(engine), Arc::new(g), &opts)
         }
         IndexBackend::MmapCompressed => {
             let engine = SharedEngine::open_mmap_compressed(&g, index_path)
                 .map_err(|e| format!("{index_path}: {e}"))?;
-            bench_serve_run(
-                Arc::new(engine),
-                Arc::new(g),
-                threads,
-                requests,
-                hot,
-                hot_keys,
-                config,
-            )
+            bench_serve_entry(Arc::new(engine), Arc::new(g), &opts)
         }
         IndexBackend::Disk => {
             let store =
                 DiskHpStore::open(&g, index_path).map_err(|e| format!("{index_path}: {e}"))?;
-            bench_serve_run(
-                Arc::new(store.into_shared_engine()),
-                Arc::new(g),
-                threads,
-                requests,
-                hot,
-                hot_keys,
-                config,
-            )
+            bench_serve_entry(Arc::new(store.into_shared_engine()), Arc::new(g), &opts)
+        }
+    }
+}
+
+/// Parsed `bench-serve` options shared by the single-run and sweep paths.
+struct ServeBenchOpts {
+    threads: usize,
+    requests: usize,
+    hot: f64,
+    hot_keys: usize,
+    /// Total connections to hold open during the run (driver clients plus
+    /// a mostly-idle fleet); `0` means just the driver clients.
+    connections: usize,
+    /// When set, run the fixed transport/worker/connection sweep and
+    /// write the machine-readable `BENCH_serve.json` to this path.
+    out: Option<String>,
+    quick: bool,
+    config: ServerConfig,
+}
+
+/// Where `bench-serve` binds its in-process server.
+enum ServeTransport {
+    Tcp,
+    Unix(std::path::PathBuf),
+}
+
+/// An open-but-silent client socket, held for the duration of a run to
+/// measure the cost of mostly-idle connections on the event loops.
+#[allow(dead_code)] // sockets are held only for their Drop side effect
+enum IdleSock {
+    Tcp(std::net::TcpStream),
+    Unix(std::os::unix::net::UnixStream),
+}
+
+/// One bench-serve measurement. Serialized as a single fixed-key-order
+/// JSON line in `BENCH_serve.json` so CI can extract fields with `sed`.
+struct ServeBenchRecord {
+    transport: &'static str,
+    workers: usize,
+    /// Requested total connection count for the run (`0` = drivers only).
+    connections: usize,
+    /// Requests actually issued (threads x per-thread share).
+    requests: usize,
+    elapsed_s: f64,
+    latency: sling_bench::LatencySummary,
+    /// `open_connections` gauge sampled from `STATS` at the end of the
+    /// timed window, while the idle fleet is still connected.
+    open_connections: u64,
+    idle_connections: u64,
+    /// Event-loop wakeups / readiness turns summed across workers.
+    evloop_wakeups: u64,
+    evloop_turns: u64,
+}
+
+impl ServeBenchRecord {
+    fn qps(&self) -> f64 {
+        self.requests as f64 / self.elapsed_s.max(1e-9)
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"transport\": \"{}\", \"workers\": {}, \"connections\": {}, \
+             \"requests\": {}, \"elapsed_s\": {:.3}, \"qps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \
+             \"open_connections\": {}, \"idle_connections\": {}, \
+             \"evloop_wakeups\": {}, \"evloop_turns\": {}}}",
+            self.transport,
+            self.workers,
+            self.connections,
+            self.requests,
+            self.elapsed_s,
+            self.qps(),
+            self.latency.p50_us,
+            self.latency.p99_us,
+            self.latency.p999_us,
+            self.open_connections,
+            self.idle_connections,
+            self.evloop_wakeups,
+            self.evloop_turns,
+        )
+    }
+}
+
+/// Pull a `key=value` integer out of a `STATS` response line.
+fn stats_value(stats: &str, key: &str) -> u64 {
+    stats
+        .split_ascii_whitespace()
+        .find_map(|kv| kv.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn bench_serve_entry<S: HpStore + Send + Sync + 'static>(
+    engine: Arc<SharedEngine<S>>,
+    graph: Arc<DiGraph>,
+    opts: &ServeBenchOpts,
+) -> Result<String, String> {
+    match &opts.out {
+        None => bench_serve_run(
+            engine,
+            graph,
+            ServeTransport::Tcp,
+            opts.connections,
+            opts.threads,
+            opts.requests,
+            opts.hot,
+            opts.hot_keys,
+            opts.config,
+        )
+        .map(|(human, _)| human),
+        Some(path) => bench_serve_sweep(engine, graph, opts, path),
+    }
+}
+
+/// The committed-baseline sweep behind `bench-serve --out`: worker
+/// scaling over TCP, then the ≥1k mostly-idle-connection runs the epoll
+/// rewrite exists for, on both transports.
+fn bench_serve_sweep<S: HpStore + Send + Sync + 'static>(
+    engine: Arc<SharedEngine<S>>,
+    graph: Arc<DiGraph>,
+    opts: &ServeBenchOpts,
+    out_path: &str,
+) -> Result<String, String> {
+    let fleet = if opts.connections > 0 {
+        opts.connections
+    } else {
+        1000
+    };
+    let sock = std::env::temp_dir().join(format!("sling-bench-serve-{}.sock", std::process::id()));
+    let plan: [(&str, usize, usize); 4] = [
+        ("tcp", 1, 0),
+        ("tcp", 4, 0),
+        ("tcp", 4, fleet),
+        ("unix", 4, fleet),
+    ];
+    let mut records: Vec<ServeBenchRecord> = Vec::with_capacity(plan.len());
+    let mut human = String::from("bench-serve sweep:\n");
+    for &(transport, workers, conns) in &plan {
+        let mut config = opts.config;
+        config.workers = workers;
+        let target = if transport == "tcp" {
+            ServeTransport::Tcp
+        } else {
+            let _ = std::fs::remove_file(&sock);
+            ServeTransport::Unix(sock.clone())
+        };
+        let (_, rec) = bench_serve_run(
+            Arc::clone(&engine),
+            Arc::clone(&graph),
+            target,
+            conns,
+            opts.threads,
+            opts.requests,
+            opts.hot,
+            opts.hot_keys,
+            config,
+        )?;
+        let _ = writeln!(
+            human,
+            "  {} workers={} connections={} -> {:.0} qps, p50={:.1}us p99={:.1}us p999={:.1}us \
+             (open={} idle={}, evloop wakeups={} turns={})",
+            rec.transport,
+            rec.workers,
+            rec.connections,
+            rec.qps(),
+            rec.latency.p50_us,
+            rec.latency.p99_us,
+            rec.latency.p999_us,
+            rec.open_connections,
+            rec.idle_connections,
+            rec.evloop_wakeups,
+            rec.evloop_turns,
+        );
+        records.push(rec);
+    }
+    let _ = std::fs::remove_file(&sock);
+
+    let qps_of = |t: &str, w: usize, c: usize| {
+        records
+            .iter()
+            .find(|r| r.transport == t && r.workers == w && r.connections == c)
+            .map(|r| r.qps())
+            .unwrap_or(0.0)
+    };
+    let base_w1 = qps_of("tcp", 1, 0);
+    let idle_w4 = qps_of("tcp", 4, fleet);
+    let ratio = idle_w4 / base_w1.max(1e-9);
+
+    let mut json = String::from("{\n  \"bench\": \"serve\",\n  \"schema_version\": 1,\n");
+    let _ = writeln!(
+        json,
+        "  \"fixture\": {{\"nodes\": {}, \"edges\": {}, \"threads\": {}, \
+         \"requests_per_run\": {}, \"hot\": {}, \"hot_keys\": {}, \"quick\": {}}},",
+        graph.num_nodes(),
+        graph.num_edges(),
+        opts.threads,
+        opts.requests,
+        opts.hot,
+        opts.hot_keys,
+        opts.quick,
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&r.to_json_line());
+        if i + 1 < records.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"idle_scaling\": {{\"qps_tcp_w1\": {base_w1:.1}, \
+         \"qps_tcp_w4_idle\": {idle_w4:.1}, \"ratio\": {ratio:.3}}}"
+    );
+    json.push_str("}\n");
+    std::fs::write(out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+
+    let _ = writeln!(
+        human,
+        "idle scaling: tcp workers=4 with {fleet} mostly-idle connections runs at \
+         {ratio:.2}x the workers=1 no-fleet baseline"
+    );
+    let _ = write!(human, "wrote {out_path}");
+    Ok(human)
+}
+
+/// Open one silent client socket, retrying briefly: with a ≥1k fleet the
+/// listener backlog can fill faster than the acceptor drains it.
+fn open_idle_sock(
+    transport: &ServeTransport,
+    addr: Option<std::net::SocketAddr>,
+) -> Result<IdleSock, String> {
+    let mut attempt = 0usize;
+    loop {
+        let result = match transport {
+            ServeTransport::Tcp => {
+                std::net::TcpStream::connect(addr.expect("tcp server has an address"))
+                    .map(IdleSock::Tcp)
+            }
+            ServeTransport::Unix(path) => {
+                std::os::unix::net::UnixStream::connect(path).map(IdleSock::Unix)
+            }
+        };
+        match result {
+            Ok(sock) => return Ok(sock),
+            Err(e) if attempt < 500 => {
+                attempt += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                let _ = e;
+            }
+            Err(e) => return Err(format!("idle connection failed: {e}")),
         }
     }
 }
@@ -917,25 +1206,34 @@ pub fn cmd_bench_serve(args: &Args) -> Result<String, String> {
 fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
     engine: Arc<SharedEngine<S>>,
     graph: Arc<DiGraph>,
+    transport: ServeTransport,
+    connections: usize,
     threads: usize,
     requests: usize,
     hot: f64,
     hot_keys: usize,
     config: ServerConfig,
-) -> Result<String, String> {
+) -> Result<(String, ServeBenchRecord), String> {
     let n = graph.num_nodes() as u32;
     if n < 2 {
         return Err("bench-serve needs a graph with at least 2 nodes".to_string());
     }
     let threads = threads.max(1);
-    let handle = serve(
-        Arc::clone(&engine),
-        Arc::clone(&graph),
-        Listener::bind_tcp("127.0.0.1:0").map_err(|e| e.to_string())?,
-        config,
-    )
-    .map_err(|e| format!("failed to start server: {e}"))?;
-    let addr = handle.local_addr().expect("tcp server has an address");
+    let listener = match &transport {
+        ServeTransport::Tcp => Listener::bind_tcp("127.0.0.1:0"),
+        ServeTransport::Unix(path) => Listener::bind_unix(path),
+    }
+    .map_err(|e| e.to_string())?;
+    let handle = serve(Arc::clone(&engine), Arc::clone(&graph), listener, config)
+        .map_err(|e| format!("failed to start server: {e}"))?;
+    let addr = handle.local_addr();
+    let connect = |transport: &ServeTransport| -> Result<Client, String> {
+        match transport {
+            ServeTransport::Tcp => Client::connect_tcp(addr.expect("tcp server has an address")),
+            ServeTransport::Unix(path) => Client::connect_unix(path),
+        }
+        .map_err(|e| e.to_string())
+    };
 
     // Skewed hot key set shared by every client thread.
     let hot_pairs: Vec<(u32, u32)> = {
@@ -951,7 +1249,7 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
     // instead of leaking it into the host process.
     let bench = || -> Result<(std::time::Duration, Vec<f64>, String), String> {
         // Spot-check served scores against the local engine before timing.
-        let mut control = Client::connect_tcp(addr).map_err(|e| e.to_string())?;
+        let mut control = connect(&transport)?;
         let mut ws = QueryWorkspace::new();
         for &(u, v) in hot_pairs.iter().take(5) {
             let got = control.pair(u, v).map_err(|e| e.to_string())?;
@@ -966,13 +1264,24 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
             }
         }
 
+        // Open the mostly-idle fleet before timing starts: these sockets
+        // send nothing, but each occupies an epoll registration on a
+        // worker for the whole measured window.
+        let idle_goal = connections.saturating_sub(threads + 1);
+        let mut idle_socks: Vec<IdleSock> = Vec::with_capacity(idle_goal);
+        for _ in 0..idle_goal {
+            idle_socks.push(open_idle_sock(&transport, addr)?);
+        }
+
         let start = std::time::Instant::now();
         let results: Vec<Result<Vec<f64>, String>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let hot_pairs = &hot_pairs;
+                    let connect = &connect;
+                    let transport = &transport;
                     s.spawn(move || -> Result<Vec<f64>, String> {
-                        let mut client = Client::connect_tcp(addr).map_err(|e| e.to_string())?;
+                        let mut client = connect(transport)?;
                         let mut state = (t as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407) | 1;
                         let mut lat_us = Vec::with_capacity(per_thread);
                         for i in 0..per_thread {
@@ -1017,26 +1326,52 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
         }
     };
     let report = handle.join();
-    let total = (per_thread * threads) as f64;
+    let total = per_thread * threads;
     let lat = sling_bench::LatencySummary::from_latencies_us(lat_us);
-    Ok(format!(
+    let record = ServeBenchRecord {
+        transport: match &transport {
+            ServeTransport::Tcp => "tcp",
+            ServeTransport::Unix(_) => "unix",
+        },
+        workers: report.served_per_worker.len(),
+        connections,
+        requests: total,
+        elapsed_s: elapsed.as_secs_f64(),
+        latency: lat,
+        open_connections: stats_value(&stats_line, "open_connections"),
+        idle_connections: stats_value(&stats_line, "idle_connections"),
+        evloop_wakeups: report.evloop_wakeups_per_worker.iter().sum(),
+        evloop_turns: report.evloop_turns_per_worker.iter().sum(),
+    };
+    let mut human = format!(
         "{} client threads x {} requests in {:.2?} -> {:.0} req/s \
          (hot fraction {:.2}, {} hot keys)\n\
-         client latency ({} samples): p50={:.1}us p99={:.1}us p999={:.1}us\n\
-         {}\nserver stats: {}",
+         client latency ({} samples): p50={:.1}us p99={:.1}us p999={:.1}us\n",
         threads,
         per_thread,
         elapsed,
-        total / elapsed.as_secs_f64().max(1e-9),
+        record.qps(),
         hot,
         hot_pairs.len(),
         lat.count,
         lat.p50_us,
         lat.p99_us,
         lat.p999_us,
+    );
+    if connections > 0 {
+        let _ = writeln!(
+            human,
+            "connection fleet: {} total requested, server saw open={} idle={} at stats time",
+            connections, record.open_connections, record.idle_connections,
+        );
+    }
+    let _ = write!(
+        human,
+        "{}\nserver stats: {}",
         format_server_report("final", &report),
         stats_line,
-    ))
+    );
+    Ok((human, record))
 }
 
 /// Dispatch a full command line (without the binary name).
@@ -1110,6 +1445,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
                     "workers",
                     "cache",
                     "shards",
+                    "max-connections",
                     "index-backend",
                     "index-root",
                     "watch-ms",
@@ -1153,12 +1489,15 @@ pub fn run(argv: &[String]) -> Result<String, String> {
                     "requests",
                     "hot",
                     "hot-keys",
+                    "connections",
+                    "out",
                     "workers",
                     "cache",
                     "shards",
+                    "max-connections",
                     "index-backend",
                 ],
-                switches: &[],
+                switches: &["quick"],
             },
         )?),
         "transform" => cmd_transform(&Args::parse(

@@ -7,11 +7,13 @@
 //!
 //! ## Architecture
 //!
-//! * **One engine, many workers.** The server holds an
+//! * **One engine, many event loops.** The server holds an
 //!   `Arc<SharedEngine<S>>` — typically over
 //!   [`sling_core::MmapHpArena`], so the entry payload lives in the page
 //!   cache — and spawns a *thread-per-core* worker pool. Each worker owns
-//!   its [`sling_core::QueryWorkspace`] /
+//!   one epoll instance (via the vendored `polling` stub: oneshot
+//!   `epoll_ctl` interest plus a level-triggered eventfd waker) and its
+//!   [`sling_core::QueryWorkspace`] /
 //!   [`sling_core::single_source::SingleSourceWorkspace`], so the hot
 //!   path shares only immutable state plus the sharded cache.
 //! * **Sharded result cache.** Single-pair answers are memoized in a
@@ -34,15 +36,23 @@
 //!   with the swap so a hit computed against a retired index is never
 //!   served. Freshly opened generations are warmed from the store's
 //!   hot-key log before taking traffic.
-//! * **Sessions, not requests, are scheduled.** The acceptor thread
-//!   queues each incoming connection; a worker serves that connection's
-//!   requests until it closes or goes quiet while others wait, in which
-//!   case the session is parked back on the queue (partial read state
-//!   intact) — idle clients cannot pin workers. Graceful shutdown:
-//!   `SHUTDOWN` stops the acceptor, lets workers drain queued and
-//!   in-flight sessions (idle readers wake on a poll-interval timeout),
-//!   and [`ServerHandle::join`] returns a [`ServerReport`] with
-//!   per-worker and cache statistics.
+//! * **Nonblocking readiness loops, not blocking sessions.** The
+//!   acceptor distributes incoming connections round-robin across the
+//!   worker event loops (past [`ServerConfig::max_connections`] it
+//!   answers `ERR busy` and closes instead). Each connection is a small
+//!   state machine: requests are framed incrementally from whatever
+//!   fragments arrive, all responses of one readiness turn are
+//!   coalesced into a single `write`, and partial writes re-arm the
+//!   connection for write readiness (with a pending-byte high-water
+//!   mark for backpressure). Idle connections cost one epoll
+//!   registration — no thread — so tens of thousands of mostly-idle
+//!   clients are fine; busy pipeliners yield to the ready queue every
+//!   64 requests, so they cannot starve others. Graceful shutdown:
+//!   `SHUTDOWN` stores a flag and wakes every worker through its
+//!   eventfd (lost-wakeup-safe), connections still owing work are
+//!   drained for a grace period, idle ones are dropped, and
+//!   [`ServerHandle::join`] returns a [`ServerReport`] with per-worker,
+//!   connection, event-loop, and cache statistics.
 //!
 //! ## Wire protocol
 //!
@@ -58,7 +68,7 @@
 //! | `SOURCE <u>` | `OK <n> <s0> .. <s_{n-1}>` — full single-source vector (Algorithm 6) |
 //! | `TOPK <u> <k>` | `OK <m> <node>:<score> ..` — top-k most similar to `u`, excluding `u` |
 //! | `BATCH <u1>,<v1> <u2>,<v2> ..` | `OK <m> <s1> .. <sm>` — positionally aligned single-pair scores |
-//! | `STATS` | `OK key=value ..` — workers, per-worker served counts, the serving index generation (`index_generation`, `index_epoch`, `swaps`, `last_swap_unix_ms`), cache hits/misses/evictions/hit-rate, and query-latency percentiles (`latency_count`, `latency_p50_us`, `latency_p99_us`, `latency_p999_us`, from per-worker log-bucketed histograms: ~12% resolution, lock-free on the hot path) |
+//! | `STATS` | `OK key=value ..` — workers, per-worker served counts, the serving index generation (`index_generation`, `index_epoch`, `swaps`, `last_swap_unix_ms`), connection gauges (`open_connections`, `idle_connections`, `rejected_connections`), per-worker event-loop counters (`evloop_wakeups`, `evloop_turns`, comma-separated like `per_worker`), cache hits/misses/evictions/hit-rate, and query-latency percentiles (`latency_count`, `latency_p50_us`, `latency_p99_us`, `latency_p999_us`, from per-worker log-bucketed histograms: ~12% resolution, lock-free on the hot path) |
 //! | `RELOAD` | `OK generation=<name> epoch=<e> swapped=<bool>` — check the generation store's `CURRENT` pointer and hot-swap to a newer promoted generation (`swapped=false` on pinned servers or when already current) |
 //! | `PING` | `OK pong` |
 //! | `QUIT` | `OK bye`, then the server closes this connection |
@@ -67,7 +77,10 @@
 //! Malformed requests and failed queries (node out of range, corrupt
 //! index read) answer `ERR <message>` on the same connection — one bad
 //! request never tears down the session, and IO errors only drop the
-//! offending connection, never the server.
+//! offending connection, never the server. An over-long request line
+//! (> 1 MiB) answers `ERR request line too long` and is discarded up to
+//! its terminating newline, so framing resyncs on the next request
+//! instead of desyncing the stream.
 //!
 //! ```text
 //! > PAIR 3 77
@@ -91,24 +104,13 @@ pub use server::{
     ServerConfig, ServerHandle, ServerReport,
 };
 
-/// Type-erased bidirectional connection (TCP or Unix stream), shared by
-/// the server's session queue and the client. Carries the read-timeout
-/// setter so workers can shorten the poll when probing a possibly-idle
-/// session while other connections wait.
-pub(crate) trait Conn: std::io::Read + std::io::Write + Send {
-    fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()>;
-}
+/// Type-erased bidirectional connection (TCP or Unix stream) used by
+/// the blocking [`Client`]. (The server side no longer boxes
+/// connections: its readiness loop owns nonblocking sockets directly.)
+pub(crate) trait Conn: std::io::Read + std::io::Write + Send {}
 
-impl Conn for std::net::TcpStream {
-    fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
-        std::net::TcpStream::set_read_timeout(self, timeout)
-    }
-}
+impl Conn for std::net::TcpStream {}
 
-impl Conn for std::os::unix::net::UnixStream {
-    fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
-        std::os::unix::net::UnixStream::set_read_timeout(self, timeout)
-    }
-}
+impl Conn for std::os::unix::net::UnixStream {}
 
 pub(crate) type BoxConn = Box<dyn Conn>;

@@ -1,18 +1,28 @@
-//! The server runtime: acceptor, thread-per-core worker pool, hot
+//! The server runtime: acceptor, per-worker epoll readiness loops, hot
 //! generation reload, graceful shutdown, and per-worker statistics.
 //!
-//! Sessions — not individual requests — are the scheduling unit: the
-//! acceptor queues each accepted socket, and the next free worker serves
-//! requests on it until the client closes (or sends `QUIT`). That keeps
-//! one warm [`QueryWorkspace`] per worker on the hot path with zero
-//! locking, which is exactly the regime skewed production traffic wants:
-//! long-lived clients, hot keys answered from the shared
-//! [`ShardedResultCache`]. Workers schedule cooperatively: a session
-//! that goes *quiet* while other connections wait is parked back on the
-//! queue within `READ_POLL` (read state intact), and a continuously
-//! pipelining session yields after at most `YIELD_AFTER` requests — so
-//! neither idle nor busy clients can pin workers and starve waiting
-//! connections (or `SHUTDOWN`).
+//! Each worker owns one epoll instance (a [`polling::Poller`]) and a set
+//! of nonblocking connections, handed to it round-robin by the acceptor.
+//! A connection is a small state machine ([`Conn`]): bytes accumulate in
+//! an incremental read buffer until a full newline-terminated request is
+//! framed, every response produced in one readiness *turn* is coalesced
+//! into a pending-write buffer and flushed with a single `write`, and a
+//! partial write re-arms the connection for write readiness instead of
+//! blocking the worker. Idle connections therefore cost one registration
+//! each — no thread, no timeout probing — which is the regime skewed,
+//! mostly-idle production traffic (SkyServer-shaped: bursty, hot-key
+//! dominated, bot-heavy) actually presents.
+//!
+//! Scheduling is cooperative and fair: readiness events feed a
+//! round-robin ready queue, a continuously pipelining connection yields
+//! back to that queue after [`YIELD_AFTER`] requests, and a connection
+//! owing more than [`OUT_HIGH_WATER`] pending response bytes stops being
+//! read until the peer drains it (backpressure). Each worker keeps one
+//! warm [`QueryWorkspace`] — the query hot path stays allocation-free
+//! and lock-free. Shutdown is lost-wakeup-safe by construction: the
+//! flag store is followed by an eventfd notify per worker, and the
+//! eventfd stays readable until the worker drains it, so a worker
+//! between its flag check and `epoll_wait` still wakes.
 //!
 //! ## Hot reload
 //!
@@ -32,14 +42,17 @@
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
-use std::os::unix::net::UnixListener;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use polling::{Event, Events, Poller};
 
 use sling_core::lifecycle::{warm_engine, GenerationStore};
 use sling_core::single_source::SingleSourceWorkspace;
@@ -50,39 +63,50 @@ use sling_graph::{DiGraph, NodeId};
 
 use crate::latency::{merge_report, LatencyHistogram, LatencyReport};
 use crate::protocol::{write_scores, Request, MAX_LINE_BYTES};
-use crate::BoxConn;
 
 /// How often the non-blocking acceptor re-checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
-/// Socket read timeout: the interval at which a worker parked on an idle
-/// connection re-checks the shutdown flag, so `SHUTDOWN` drains even
-/// while clients hold connections open without sending.
-const READ_POLL: Duration = Duration::from_millis(100);
-
-/// Shortened first-read timeout used when a worker picks up a session
-/// with nothing buffered while other connections wait: probe briefly and
-/// park instead of committing to a full `READ_POLL` block on a
-/// possibly-idle client while ready work queues behind it.
-const PROBE_POLL: Duration = Duration::from_millis(2);
-
-/// Socket write timeout: bounds how long a stuck client (not draining
-/// its receive buffer) can pin a worker before the connection is
-/// dropped.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Upper bound on an *idle* worker's `epoll_wait`, and the watcher's
+/// sleep slice: even if a shutdown notify were somehow missed, every
+/// thread re-checks the flag at least this often. The eventfd waker
+/// makes the normal shutdown path immediate; this is the belt to that
+/// suspender.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
 
 /// Consecutive unexpected `accept(2)` failures (e.g. fd exhaustion)
 /// tolerated — with a poll-interval sleep between retries — before the
 /// acceptor gives up and shuts the server down rather than zombifying.
 const MAX_ACCEPT_ERRORS: u32 = 512;
 
-/// Requests a busy (continuously pipelining) session may run before its
-/// worker considers parking it in favor of queued connections. Amortizes
-/// the queue check — parking every request costs ~40% throughput on an
-/// oversubscribed box — while still bounding how long a busy client can
-/// monopolize a worker (idle sessions park on the READ_POLL timeout
-/// instead, independent of this constant).
+/// Requests one connection may run in a single readiness turn before it
+/// is re-queued behind the other ready connections. Amortizes dispatch
+/// overhead for pipelining clients while bounding how long one busy
+/// connection can monopolize a worker.
 const YIELD_AFTER: u32 = 64;
+
+/// Read-chunk size for draining a readable socket into a connection's
+/// frame buffer.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Most bytes one turn will read from a single connection before
+/// yielding — bounds per-turn latency under a firehose client without
+/// stalling large (up to [`MAX_LINE_BYTES`]) requests, which resume on
+/// the next readiness event.
+const TURN_READ_CAP: usize = 256 * 1024;
+
+/// Pending-write high-water mark: a connection owing more than this many
+/// unflushed response bytes stops being *read* (backpressure) and is
+/// armed for write readiness only, so a client that never drains its
+/// receive buffer cannot balloon server memory.
+const OUT_HIGH_WATER: usize = 1 << 20;
+
+/// How long shutdown keeps serving connections that still owe work
+/// (buffered requests or unflushed responses) before force-closing.
+const DRAIN_GRACE: Duration = Duration::from_millis(250);
+
+/// Pause between drain passes during shutdown.
+const DRAIN_POLL: Duration = Duration::from_millis(10);
 
 /// Tuning knobs for [`serve`] / [`serve_reloadable`].
 #[derive(Clone, Copy, Debug)]
@@ -101,6 +125,10 @@ pub struct ServerConfig {
     /// generation opener — swaps can still be driven explicitly with the
     /// `RELOAD` verb either way.
     pub watch_interval_ms: u64,
+    /// Maximum simultaneously open client connections; past the cap the
+    /// acceptor answers `ERR busy` and closes the socket instead of
+    /// queueing unboundedly. `0` means unlimited.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -110,6 +138,7 @@ impl Default for ServerConfig {
             cache_capacity: 1 << 18,
             cache_shards: 0,
             watch_interval_ms: 0,
+            max_connections: 0,
         }
     }
 }
@@ -460,73 +489,158 @@ where
     ))
 }
 
-/// A client session: the buffered connection plus any partially-read
-/// request line. Sessions — not raw sockets — are the queue's unit, so a
-/// worker can *park* a quiet session (putting it back on the queue,
-/// partial line intact) and serve a waiting connection instead of
-/// letting one idle client pin a worker while others starve.
-struct Session {
-    reader: BufReader<BoxConn>,
-    line: String,
+/// An accepted client socket, TCP or Unix-domain, in nonblocking mode.
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
 }
 
-impl Session {
-    fn new(conn: BoxConn) -> Self {
-        Session {
-            reader: BufReader::new(conn),
-            line: String::new(),
+impl Stream {
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
         }
     }
 }
 
-/// Shared, non-generic server state: the session queue and the
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl AsRawFd for Stream {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+/// Per-connection state machine: a nonblocking socket, the incremental
+/// frame buffer requests accumulate in, and the pending-write buffer
+/// responses coalesce into. One readiness turn ([`serve_turn`]) flushes
+/// what the last turn left behind, drains the socket, serves every
+/// complete line it framed (up to [`YIELD_AFTER`]), and flushes all of
+/// those responses with a single `write`.
+struct Conn {
+    stream: Stream,
+    /// Bytes received but not yet consumed; a request line may arrive in
+    /// arbitrarily many fragments across turns.
+    inbuf: Vec<u8>,
+    /// Coalesced responses not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    /// Prefix of `outbuf` already written (partial-write resume point).
+    outpos: usize,
+    /// An over-long line is being skipped: bytes are dropped until its
+    /// terminating newline, then parsing resyncs on the next request
+    /// (the `ERR request line too long` answer was already queued).
+    discarding: bool,
+    /// `QUIT`/`SHUTDOWN` answered: close once `outbuf` drains.
+    close_after_flush: bool,
+    /// The peer half-closed its write side (read returned 0).
+    eof: bool,
+    /// Already queued on the worker's ready list (dedupe flag).
+    in_ready: bool,
+}
+
+impl Conn {
+    fn new(stream: Stream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            discarding: false,
+            close_after_flush: false,
+            eof: false,
+            in_ready: false,
+        }
+    }
+
+    /// Unflushed response bytes this connection still owes its peer.
+    fn pending_out(&self) -> usize {
+        self.outbuf.len() - self.outpos
+    }
+
+    /// The epoll interest to re-arm with when this connection parks:
+    /// readable unless closing or backpressured, writable while
+    /// responses are pending.
+    fn interest(&self, key: usize) -> Event {
+        let pending = self.pending_out();
+        Event {
+            key,
+            readable: !self.eof && !self.close_after_flush && pending < OUT_HIGH_WATER,
+            writable: pending > 0,
+        }
+    }
+}
+
+/// One worker's shared face: its epoll instance (also the acceptor's
+/// hand-off and shutdown waker) plus event-loop counters for `STATS`.
+struct WorkerShared {
+    poller: Poller,
+    /// Connections accepted but not yet adopted by the worker; pushed by
+    /// the acceptor (round-robin), drained after every `epoll_wait`.
+    inbox: Mutex<Vec<Stream>>,
+    /// Connections on this worker's ready list as of its last dispatch —
+    /// the "not idle" gauge.
+    active: AtomicU64,
+    /// `epoll_wait` returns (including idle ticks and notifies).
+    wakeups: AtomicU64,
+    /// Readiness turns dispatched to connections.
+    turns: AtomicU64,
+}
+
+/// Shared, non-generic server state: the per-worker event loops and the
 /// counters the `STATS` command reports.
 struct Control {
-    queue: Mutex<VecDeque<Session>>,
-    available: Condvar,
     shutdown: AtomicBool,
     served: Box<[AtomicU64]>,
     /// Per-worker query-latency histograms (merged on `STATS`), so
     /// recording a latency is one relaxed add on worker-private state.
     latency: Box<[LatencyHistogram]>,
     cache: Option<ShardedResultCache>,
+    /// [`ServerConfig::max_connections`] (0 = unlimited).
+    max_connections: usize,
+    /// Currently open client connections (accepted and not yet closed).
+    open_connections: AtomicU64,
+    /// Connections refused with `ERR busy` by the cap.
+    rejected_connections: AtomicU64,
+    workers: Box<[WorkerShared]>,
 }
 
 impl Control {
-    fn push(&self, session: Session) {
-        self.queue.lock().unwrap().push_back(session);
-        self.available.notify_one();
-    }
-
-    /// Next queued session; drains the queue during shutdown and
-    /// returns `None` only once it is empty and the flag is set.
-    fn pop(&self) -> Option<Session> {
-        let mut queue = self.queue.lock().unwrap();
-        loop {
-            if let Some(session) = queue.pop_front() {
-                return Some(session);
-            }
-            if self.shutdown.load(Ordering::SeqCst) {
-                return None;
-            }
-            queue = self.available.wait(queue).unwrap();
-        }
-    }
-
-    /// Whether sessions are waiting for a worker (checked by workers on
-    /// read timeouts to decide whether to park the current session).
-    fn has_waiting(&self) -> bool {
-        !self.queue.lock().unwrap().is_empty()
-    }
-
     fn initiate_shutdown(&self) {
-        // Flag and notify under the queue lock: without it, a worker
-        // that has observed `shutdown == false` inside `pop` but not yet
-        // parked on the condvar would miss this notification and sleep
-        // forever (the classic lost wakeup), hanging ServerHandle::join.
-        let _guard = self.queue.lock().unwrap();
+        // Store the flag, then wake every worker. The eventfd behind
+        // `notify` stays readable until the worker drains it inside
+        // `wait`, so a worker between its flag check and `epoll_wait`
+        // still observes the wakeup — no lost-wakeup window.
         self.shutdown.store(true, Ordering::SeqCst);
-        self.available.notify_all();
+        for worker in self.workers.iter() {
+            let _ = worker.poller.notify();
+        }
     }
 
     fn total_served(&self) -> u64 {
@@ -548,6 +662,16 @@ pub struct ServerReport {
     /// Index generation being served at exit, swap count, and the
     /// last-swap timestamp.
     pub generation: GenerationInfo,
+    /// Client connections still open at exit (0 after a full drain).
+    pub open_connections: u64,
+    /// Connections refused with `ERR busy` by
+    /// [`ServerConfig::max_connections`].
+    pub rejected_connections: u64,
+    /// Per-worker event-loop wakeups (`epoll_wait` returns, including
+    /// idle ticks).
+    pub evloop_wakeups_per_worker: Vec<u64>,
+    /// Per-worker readiness turns dispatched to connections.
+    pub evloop_turns_per_worker: Vec<u64>,
 }
 
 impl ServerReport {
@@ -597,6 +721,20 @@ impl ServerHandle {
             cache: self.control.cache.as_ref().map(|c| c.stats()),
             latency: merge_report(&self.control.latency),
             generation: (self.generation_info)(),
+            open_connections: self.control.open_connections.load(Ordering::Relaxed),
+            rejected_connections: self.control.rejected_connections.load(Ordering::Relaxed),
+            evloop_wakeups_per_worker: self
+                .control
+                .workers
+                .iter()
+                .map(|w| w.wakeups.load(Ordering::Relaxed))
+                .collect(),
+            evloop_turns_per_worker: self
+                .control
+                .workers
+                .iter()
+                .map(|w| w.turns.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
@@ -660,13 +798,26 @@ where
         };
         ShardedResultCache::new(config.cache_capacity, shards)
     });
+    let worker_shared = (0..workers)
+        .map(|_| {
+            Ok(WorkerShared {
+                poller: Poller::new()?,
+                inbox: Mutex::new(Vec::new()),
+                active: AtomicU64::new(0),
+                wakeups: AtomicU64::new(0),
+                turns: AtomicU64::new(0),
+            })
+        })
+        .collect::<io::Result<Box<[WorkerShared]>>>()?;
     let control = Arc::new(Control {
-        queue: Mutex::new(VecDeque::new()),
-        available: Condvar::new(),
         shutdown: AtomicBool::new(false),
         served: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         latency: (0..workers).map(|_| LatencyHistogram::new()).collect(),
         cache,
+        max_connections: config.max_connections,
+        open_connections: AtomicU64::new(0),
+        rejected_connections: AtomicU64::new(0),
+        workers: worker_shared,
     });
     let addr = listener.local_addr();
     let mut threads = Vec::with_capacity(workers + 2);
@@ -705,7 +856,7 @@ where
 }
 
 /// Periodically re-check the promoted generation and hot-swap on change.
-/// Sleeps in `READ_POLL` slices so `SHUTDOWN` is observed promptly; a
+/// Sleeps in `SHUTDOWN_POLL` slices so `SHUTDOWN` is observed promptly; a
 /// failing reload (a promotion racing its own publish, transient IO) is
 /// retried at the next tick rather than taking the server down — the
 /// old generation keeps serving, which is the whole point.
@@ -716,7 +867,7 @@ fn watch_loop<S: HpStore>(reloadable: &ReloadableEngine<S>, control: &Control, i
         if control.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let slice = READ_POLL.min(interval);
+        let slice = SHUTDOWN_POLL.min(interval);
         std::thread::sleep(slice);
         since_check += slice;
         if since_check >= interval {
@@ -741,6 +892,13 @@ fn watch_loop<S: HpStore>(reloadable: &ReloadableEngine<S>, control: &Control, i
 /// the flag is observed promptly, since `accept(2)` has no portable
 /// cancellation.
 ///
+/// Accepted sockets are switched to nonblocking mode and distributed
+/// round-robin across the worker inboxes; each hand-off is followed by a
+/// `notify` so the target worker adopts the connection on its next
+/// wakeup. Past [`ServerConfig::max_connections`] the acceptor answers
+/// `ERR busy` and closes instead (the acceptor is the only incrementer
+/// of the open-connection gauge, so the cap cannot be raced past).
+///
 /// Error policy: per-connection failures (aborted handshakes, resets)
 /// are skipped; resource-exhaustion errors (e.g. `EMFILE`) are retried
 /// with a poll-interval backoff. If the listener stays broken for
@@ -753,29 +911,40 @@ fn accept_loop(listener: Listener, control: &Control) {
         Listener::Unix(l, _) => l.set_nonblocking(true),
     };
     let mut consecutive_errors = 0u32;
+    let mut next_worker = 0usize;
     loop {
         if control.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let accepted: io::Result<BoxConn> = match &listener {
+        let accepted: io::Result<Stream> = match &listener {
             Listener::Tcp(l) => l.accept().map(|(stream, _)| {
-                let _ = stream.set_nonblocking(false);
                 let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(READ_POLL));
-                let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-                Box::new(stream) as BoxConn
+                Stream::Tcp(stream)
             }),
-            Listener::Unix(l, _) => l.accept().map(|(stream, _)| {
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_read_timeout(Some(READ_POLL));
-                let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-                Box::new(stream) as BoxConn
-            }),
+            Listener::Unix(l, _) => l.accept().map(|(stream, _)| Stream::Unix(stream)),
         };
         match accepted {
-            Ok(conn) => {
+            Ok(mut stream) => {
                 consecutive_errors = 0;
-                control.push(Session::new(conn));
+                if control.max_connections > 0
+                    && control.open_connections.load(Ordering::Relaxed)
+                        >= control.max_connections as u64
+                {
+                    // Over the cap: say why, then close. The socket is
+                    // still blocking and its send buffer empty, so this
+                    // cannot stall the acceptor.
+                    control.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.write_all(b"ERR busy\n");
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                control.open_connections.fetch_add(1, Ordering::Relaxed);
+                let shared = &control.workers[next_worker];
+                next_worker = (next_worker + 1) % control.workers.len();
+                shared.inbox.lock().unwrap().push(stream);
+                let _ = shared.poller.notify();
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 consecutive_errors = 0;
@@ -838,7 +1007,19 @@ impl<S: HpStore> WorkerCtx<S> {
     }
 }
 
+/// The readiness loop: one epoll instance, a slab of connections, and a
+/// round-robin ready queue.
+///
+/// Each pass waits for events (blocking up to [`SHUTDOWN_POLL`] when
+/// idle, non-blocking while the ready queue holds work), adopts newly
+/// accepted connections from the inbox, marks event keys ready, and
+/// dispatches one [`serve_turn`] to every ready connection. A
+/// connection with more framed requests after its turn goes to the back
+/// of the queue ([`YIELD_AFTER`] fairness); one that consumed its
+/// readiness re-arms its oneshot epoll interest and parks costing
+/// nothing until the next event.
 fn worker_loop<S: HpStore>(reloadable: &ReloadableEngine<S>, control: &Control, worker: usize) {
+    let shared = &control.workers[worker];
     let mut ctx = WorkerCtx {
         ws: QueryWorkspace::new(),
         ss: SingleSourceWorkspace::new(),
@@ -847,193 +1028,377 @@ fn worker_loop<S: HpStore>(reloadable: &ReloadableEngine<S>, control: &Control, 
         response: String::new(),
         gen: None,
     };
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut ready: VecDeque<usize> = VecDeque::new();
+    let mut events = Events::new();
     loop {
-        // Release the generation before parking: a worker blocked on an
-        // empty queue across a swap must not keep the retired engine
-        // (potentially the whole previous index) alive.
-        ctx.gen = None;
-        let Some(mut session) = control.pop() else {
+        if control.shutdown.load(Ordering::SeqCst) {
             break;
-        };
-        match serve_session(reloadable, control, worker, &mut session, &mut ctx) {
-            // Quiet session parked while others wait: back of the queue,
-            // partial read state intact.
-            SessionOutcome::Parked => control.push(session),
-            // Closed or broken: dropping a session only drops that
-            // client; the worker returns to the queue for the next one.
-            SessionOutcome::Closed => {}
         }
-        // Release hub-sized scratch the session's queries may have
-        // pinned: a long-lived worker must not retain the largest entry
-        // list it ever materialized, per core, forever. Capacity checks
-        // only — free when nothing outgrew the retention threshold.
-        ctx.ws.trim_excess();
-        ctx.ss.trim_excess();
+        if ready.is_empty() {
+            // Going idle: release the generation (a parked worker must
+            // not keep a retired engine — potentially the whole previous
+            // index — alive across a swap) and hub-sized query scratch.
+            // Capacity checks only, so idle ticks stay cheap.
+            ctx.gen = None;
+            ctx.ws.trim_excess();
+            ctx.ss.trim_excess();
+        }
+        let timeout = if ready.is_empty() {
+            SHUTDOWN_POLL
+        } else {
+            Duration::ZERO
+        };
+        if shared.poller.wait(&mut events, Some(timeout)).is_err() {
+            // epoll_wait failing (beyond EINTR, which the stub absorbs)
+            // means a programming error; pace the retry so a persistent
+            // failure cannot busy-spin the core.
+            std::thread::sleep(ACCEPT_POLL);
+            continue;
+        }
+        shared.wakeups.fetch_add(1, Ordering::Relaxed);
+        adopt_inbox(control, shared, &mut conns, &mut free);
+        for ev in events.iter() {
+            if let Some(Some(conn)) = conns.get_mut(ev.key) {
+                if !conn.in_ready {
+                    conn.in_ready = true;
+                    ready.push_back(ev.key);
+                }
+            }
+        }
+        shared.active.store(ready.len() as u64, Ordering::Relaxed);
+        // One dispatch round over the queue as it stands now; re-queued
+        // connections run again only after the next event poll, keeping
+        // accept hand-offs and fresh events interleaved with busy
+        // pipeliners.
+        for _ in 0..ready.len() {
+            let Some(key) = ready.pop_front() else {
+                break;
+            };
+            let Some(mut conn) = conns[key].take() else {
+                continue;
+            };
+            conn.in_ready = false;
+            shared.turns.fetch_add(1, Ordering::Relaxed);
+            match serve_turn(reloadable, control, worker, &mut conn, &mut ctx) {
+                Turn::Close => {
+                    close_conn(control, shared, conn);
+                    free.push(key);
+                }
+                Turn::MoreWork => {
+                    conn.in_ready = true;
+                    conns[key] = Some(conn);
+                    ready.push_back(key);
+                }
+                Turn::Wait => {
+                    let interest = conn.interest(key);
+                    if shared.poller.modify(&conn.stream, interest).is_err() {
+                        close_conn(control, shared, conn);
+                        free.push(key);
+                    } else {
+                        conns[key] = Some(conn);
+                    }
+                }
+            }
+            if control.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        shared.active.store(ready.len() as u64, Ordering::Relaxed);
+    }
+    drain_worker(reloadable, control, shared, worker, &mut conns, &mut ctx);
+    shared.active.store(0, Ordering::Relaxed);
+}
+
+/// Adopt connections the acceptor handed over: register each with this
+/// worker's poller under a slab key, armed for read readiness.
+fn adopt_inbox(
+    control: &Control,
+    shared: &WorkerShared,
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+) {
+    for stream in std::mem::take(&mut *shared.inbox.lock().unwrap()) {
+        let key = free.pop().unwrap_or_else(|| {
+            conns.push(None);
+            conns.len() - 1
+        });
+        let conn = Conn::new(stream);
+        match shared.poller.add(&conn.stream, Event::readable(key)) {
+            Ok(()) => conns[key] = Some(conn),
+            Err(_) => {
+                // Registration failed (fd pressure): drop the socket.
+                free.push(key);
+                control.open_connections.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
-/// What the connection loop does after writing a response.
+/// Deregister (before the fd closes, so a recycled fd cannot deliver a
+/// stale key), account, and drop one connection.
+fn close_conn(control: &Control, shared: &WorkerShared, conn: Conn) {
+    let _ = shared.poller.delete(&conn.stream);
+    control.open_connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Shutdown drain: keep serving connections that still owe work —
+/// buffered requests or unflushed responses — and close the rest, for at
+/// most [`DRAIN_GRACE`]. Mirrors the old blocking loop's semantics:
+/// in-flight requests are answered, idle connections are dropped.
+fn drain_worker<S: HpStore>(
+    reloadable: &ReloadableEngine<S>,
+    control: &Control,
+    shared: &WorkerShared,
+    worker: usize,
+    conns: &mut [Option<Conn>],
+    ctx: &mut WorkerCtx<S>,
+) {
+    let deadline = Instant::now() + DRAIN_GRACE;
+    let mut events = Events::new();
+    loop {
+        // Hand-offs that raced the shutdown flag: never served, just
+        // un-account and drop them.
+        for stream in std::mem::take(&mut *shared.inbox.lock().unwrap()) {
+            drop(stream);
+            control.open_connections.fetch_sub(1, Ordering::Relaxed);
+        }
+        let mut live = 0usize;
+        for slot in conns.iter_mut() {
+            let Some(mut conn) = slot.take() else {
+                continue;
+            };
+            match serve_turn(reloadable, control, worker, &mut conn, ctx) {
+                Turn::Close => close_conn(control, shared, conn),
+                Turn::MoreWork => {
+                    live += 1;
+                    *slot = Some(conn);
+                }
+                Turn::Wait => {
+                    if conn.pending_out() == 0 {
+                        // Nothing owed: an idle (or mid-line) connection
+                        // is dropped during drain.
+                        close_conn(control, shared, conn);
+                    } else {
+                        live += 1;
+                        *slot = Some(conn);
+                    }
+                }
+            }
+        }
+        if live == 0 || Instant::now() >= deadline {
+            break;
+        }
+        let _ = shared.poller.wait(&mut events, Some(DRAIN_POLL));
+    }
+    for slot in conns.iter_mut() {
+        if let Some(conn) = slot.take() {
+            close_conn(control, shared, conn);
+        }
+    }
+    for stream in std::mem::take(&mut *shared.inbox.lock().unwrap()) {
+        drop(stream);
+        control.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// What the request dispatcher asks the connection loop to do after a
+/// response.
 enum Action {
     Continue,
     Close,
     Shutdown,
 }
 
-/// Why `serve_session` returned.
-enum SessionOutcome {
-    /// Connection finished (client EOF/QUIT, IO error, or shutdown).
-    Closed,
-    /// Session went quiet while other connections wait: requeue it.
-    Parked,
+/// Outcome of one readiness turn on a connection.
+enum Turn {
+    /// Close and drop the connection (EOF drained, QUIT/SHUTDOWN
+    /// flushed, or broken socket).
+    Close,
+    /// More complete requests are already framed: go to the back of the
+    /// ready queue, no epoll round-trip needed.
+    MoreWork,
+    /// Readiness consumed: re-arm interest and park until the next
+    /// event.
+    Wait,
 }
 
-/// One attempt to complete the request line in `session.line`.
-enum ReadOutcome {
-    /// A full newline-terminated request is in `session.line`.
-    Request,
-    /// Client closed (EOF) or the server is draining.
-    Closed,
-    /// Read timed out while other sessions wait for a worker.
-    Park,
+/// Position of the first newline, scanning only the unparsed suffix.
+fn find_newline(buf: &[u8]) -> Option<usize> {
+    buf.iter().position(|&b| b == b'\n')
 }
 
-/// Read one request line, waking on the socket read timeout (READ_POLL,
-/// or PROBE_POLL while `probing`) so a worker parked on an idle
-/// connection still observes `SHUTDOWN` and yields to waiting
-/// connections instead of pinning the worker. Partial lines survive
-/// both timeouts and parking: `read_line` appends whatever bytes it
-/// consumed even when it returns an error, and the accumulator lives in
-/// the session, not the worker.
-fn read_request_line(
-    session: &mut Session,
-    control: &Control,
-    probing: &mut bool,
-) -> io::Result<ReadOutcome> {
-    loop {
-        match session
-            .reader
-            .by_ref()
-            .take(MAX_LINE_BYTES as u64)
-            .read_line(&mut session.line)
-        {
-            Ok(0) => return Ok(ReadOutcome::Closed), // EOF (a dangling partial line is moot)
-            Ok(_) => {
-                if session.line.ends_with('\n') {
-                    return Ok(ReadOutcome::Request);
-                }
-                if session.line.len() >= MAX_LINE_BYTES {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "request line too long",
-                    ));
-                }
-                // Partial line without a newline yet: keep reading (the
-                // next pass returns Ok(0) if this was EOF mid-line).
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if control.shutdown.load(Ordering::SeqCst) {
-                    return Ok(ReadOutcome::Closed); // drop the idle connection during drain
-                }
-                if control.has_waiting() {
-                    return Ok(ReadOutcome::Park); // yield the worker to a waiting session
-                }
-                if *probing {
-                    // The queue drained while we probed: nobody is
-                    // waiting, so fall back to the idle poll rate
-                    // rather than waking every PROBE_POLL.
-                    let _ = session.reader.get_ref().set_read_timeout(Some(READ_POLL));
-                    *probing = false;
-                }
-            }
+/// Write as much pending response data as the socket accepts; only a
+/// genuinely broken socket is an error (`WouldBlock` leaves the rest
+/// for the next write-readiness event).
+fn flush_pending(conn: &mut Conn) -> io::Result<()> {
+    while conn.outpos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.outpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
+    if conn.outpos == conn.outbuf.len() {
+        conn.outbuf.clear();
+        conn.outpos = 0;
+        // A burst (large BATCH fan-out, backpressured peer) must not pin
+        // its high-water allocation on a long-lived connection forever.
+        if conn.outbuf.capacity() > 2 * OUT_HIGH_WATER {
+            conn.outbuf.shrink_to(READ_CHUNK);
+        }
+    } else if conn.outpos >= READ_CHUNK {
+        // Partially flushed: drop the sent prefix so repeated partial
+        // writes cannot creep the buffer.
+        conn.outbuf.drain(..conn.outpos);
+        conn.outpos = 0;
+    }
+    Ok(())
 }
 
-/// Serve requests on one session until it closes, breaks, or yields to
-/// waiting connections — on a READ_POLL timeout while idle, or after
-/// YIELD_AFTER back-to-back requests while busy.
-fn serve_session<S: HpStore>(
+/// One readiness turn on one connection: flush what the last turn left
+/// behind, drain the socket into the frame buffer, serve every complete
+/// request line framed so far (up to [`YIELD_AFTER`]), and flush all of
+/// those responses with a single coalesced `write`.
+///
+/// Framing is byte-exact regardless of fragmentation: a request
+/// delivered byte-at-a-time accumulates across turns and parses
+/// identically to one delivered whole. An over-long line (>
+/// [`MAX_LINE_BYTES`]) answers `ERR request line too long` once and
+/// switches to discard mode until its terminating newline, so the
+/// *next* request on the connection parses cleanly — one bad line never
+/// desyncs the stream or tears down the session.
+fn serve_turn<S: HpStore>(
     reloadable: &ReloadableEngine<S>,
     control: &Control,
     worker: usize,
-    session: &mut Session,
+    conn: &mut Conn,
     ctx: &mut WorkerCtx<S>,
-) -> SessionOutcome {
-    let mut served_since_park = 0u32;
-    // Ready-work preemption: nothing buffered on this session while
-    // other connections wait — probe with a short timeout so an idle
-    // client costs PROBE_POLL, not READ_POLL, before we park it. (The
-    // timeout alone still paces the worker, so parking cycles through
-    // all-idle sessions cannot busy-spin.) Set explicitly either way: a
-    // previously parked session may carry the other rate.
-    let mut probing = session.reader.buffer().is_empty() && control.has_waiting();
-    let _ = session.reader.get_ref().set_read_timeout(Some(if probing {
-        PROBE_POLL
-    } else {
-        READ_POLL
-    }));
-    loop {
-        match read_request_line(session, control, &mut probing) {
-            Ok(ReadOutcome::Request) => {
-                if probing {
-                    // The session proved active: back to the idle poll.
-                    let _ = session.reader.get_ref().set_read_timeout(Some(READ_POLL));
-                    probing = false;
+) -> Turn {
+    if flush_pending(conn).is_err() {
+        return Turn::Close;
+    }
+    // Read first — unless backpressured: a peer that owes us a drain
+    // gets no more requests buffered on its behalf.
+    if conn.pending_out() < OUT_HIGH_WATER && !conn.eof {
+        let mut turn_read = 0usize;
+        let mut chunk = [0u8; READ_CHUNK];
+        while turn_read < TURN_READ_CAP {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
                 }
-            }
-            Ok(ReadOutcome::Park) => return SessionOutcome::Parked,
-            Ok(ReadOutcome::Closed) | Err(_) => return SessionOutcome::Closed,
-        }
-        ctx.response.clear();
-        let action = match Request::parse(session.line.trim_end_matches(['\n', '\r'])) {
-            Err(msg) => {
-                let _ = write!(ctx.response, "ERR {msg}");
-                Action::Continue
-            }
-            Ok(req) => handle_request(reloadable, control, worker, req, ctx),
-        };
-        session.line.clear();
-        if matches!(action, Action::Shutdown) {
-            control.initiate_shutdown();
-        }
-        let stream = session.reader.get_mut();
-        if stream
-            .write_all(ctx.response.as_bytes())
-            .and_then(|()| stream.write_all(b"\n"))
-            .and_then(|()| stream.flush())
-            .is_err()
-        {
-            return SessionOutcome::Closed;
-        }
-        match action {
-            Action::Continue => {
-                // Re-check between requests too: a client pipelining
-                // back-to-back requests never hits the read-timeout
-                // branch, so without this a busy session would pin its
-                // worker and starve queued connections (and SHUTDOWN).
-                // Amortized to every YIELD_AFTER requests so the check
-                // stays off the hot path.
-                served_since_park += 1;
-                if served_since_park >= YIELD_AFTER {
-                    served_since_park = 0;
-                    if control.shutdown.load(Ordering::SeqCst) {
-                        return SessionOutcome::Closed;
-                    }
-                    if control.has_waiting() {
-                        return SessionOutcome::Parked;
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&chunk[..n]);
+                    turn_read += n;
+                    if n < chunk.len() {
+                        break; // drained the socket
                     }
                 }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Turn::Close,
             }
-            Action::Close | Action::Shutdown => return SessionOutcome::Closed,
         }
     }
+    // Serve the complete lines framed so far.
+    let mut consumed = 0usize;
+    let mut served_this_turn = 0u32;
+    let mut shutdown_now = false;
+    loop {
+        if conn.discarding {
+            // Skip the tail of an over-long line; its error response was
+            // queued when discard mode started.
+            match find_newline(&conn.inbuf[consumed..]) {
+                Some(nl) => {
+                    consumed += nl + 1;
+                    conn.discarding = false;
+                }
+                None => {
+                    consumed = conn.inbuf.len();
+                    break;
+                }
+            }
+            continue;
+        }
+        if served_this_turn >= YIELD_AFTER
+            || conn.close_after_flush
+            || conn.pending_out() >= OUT_HIGH_WATER
+        {
+            break;
+        }
+        let rest_len = conn.inbuf.len() - consumed;
+        let Some(nl) = find_newline(&conn.inbuf[consumed..]) else {
+            if rest_len > MAX_LINE_BYTES {
+                // The line already exceeds the cap with no newline in
+                // sight: answer once, then discard until it ends.
+                conn.outbuf
+                    .extend_from_slice(b"ERR request line too long\n");
+                conn.discarding = true;
+                consumed = conn.inbuf.len();
+            }
+            break;
+        };
+        ctx.response.clear();
+        let action = if nl > MAX_LINE_BYTES {
+            ctx.response.push_str("ERR request line too long");
+            Action::Continue
+        } else {
+            let line = &conn.inbuf[consumed..consumed + nl];
+            match std::str::from_utf8(line) {
+                Err(_) => {
+                    ctx.response.push_str("ERR request is not valid UTF-8");
+                    Action::Continue
+                }
+                Ok(text) => match Request::parse(text.trim_end_matches(['\n', '\r'])) {
+                    Err(msg) => {
+                        let _ = write!(ctx.response, "ERR {msg}");
+                        Action::Continue
+                    }
+                    Ok(req) => handle_request(reloadable, control, worker, req, ctx),
+                },
+            }
+        };
+        consumed += nl + 1;
+        served_this_turn += 1;
+        // Coalesce: every response of this turn accumulates here and is
+        // flushed below with one write.
+        conn.outbuf.extend_from_slice(ctx.response.as_bytes());
+        conn.outbuf.push(b'\n');
+        match action {
+            Action::Continue => {}
+            Action::Close => conn.close_after_flush = true,
+            Action::Shutdown => {
+                conn.close_after_flush = true;
+                shutdown_now = true;
+            }
+        }
+    }
+    if consumed > 0 {
+        conn.inbuf.drain(..consumed);
+    }
+    if conn.inbuf.is_empty() && conn.inbuf.capacity() > TURN_READ_CAP {
+        conn.inbuf.shrink_to(READ_CHUNK);
+    }
+    if shutdown_now {
+        control.initiate_shutdown();
+    }
+    if flush_pending(conn).is_err() {
+        return Turn::Close;
+    }
+    let pending = conn.pending_out();
+    if pending == 0 && (conn.close_after_flush || conn.eof) {
+        return Turn::Close;
+    }
+    let has_line = !conn.discarding && find_newline(&conn.inbuf).is_some();
+    if has_line && !conn.close_after_flush && pending < OUT_HIGH_WATER {
+        return Turn::MoreWork;
+    }
+    Turn::Wait
 }
 
 /// Canonicalize and score one symmetric pair, through the shared cache
@@ -1136,6 +1501,33 @@ fn handle_request<S: HpStore>(
                     out.push(',');
                 }
                 let _ = write!(out, "{}", c.load(Ordering::Relaxed));
+            }
+            let open = control.open_connections.load(Ordering::Relaxed);
+            let active: u64 = control
+                .workers
+                .iter()
+                .map(|w| w.active.load(Ordering::Relaxed))
+                .sum();
+            let _ = write!(
+                out,
+                " open_connections={} idle_connections={} rejected_connections={}",
+                open,
+                open.saturating_sub(active),
+                control.rejected_connections.load(Ordering::Relaxed)
+            );
+            out.push_str(" evloop_wakeups=");
+            for (i, w) in control.workers.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", w.wakeups.load(Ordering::Relaxed));
+            }
+            out.push_str(" evloop_turns=");
+            for (i, w) in control.workers.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", w.turns.load(Ordering::Relaxed));
             }
             match &control.cache {
                 None => out.push_str(" cache=off"),

@@ -225,6 +225,7 @@ fn watcher_swaps_without_an_explicit_reload() {
             cache_capacity: 256,
             cache_shards: 4,
             watch_interval_ms: 20,
+            ..ServerConfig::default()
         },
     );
     let mut client = Client::connect_tcp(addr).unwrap();

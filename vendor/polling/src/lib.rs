@@ -1,0 +1,489 @@
+//! Offline stand-in for the `polling` crate (epoll subset).
+//!
+//! A [`Poller`] wraps one `epoll(7)` instance plus an `eventfd(2)` waker,
+//! calling the `epoll_create1` / `epoll_ctl` / `epoll_wait` / `eventfd`
+//! from the C runtime Rust's std already links on Linux, so no external
+//! crate is needed. Only what this workspace uses is provided: register
+//! a socket under a `usize` key with read/write interest, wait for
+//! readiness events with an optional timeout, and wake a parked waiter
+//! from another thread with [`Poller::notify`].
+//!
+//! Semantics match upstream `polling`'s default mode:
+//!
+//! * **Oneshot interest.** A registered source is disarmed after it
+//!   delivers one event; re-arm it with [`Poller::modify`] once the
+//!   readiness has been consumed. This is what makes a readiness loop
+//!   storm-proof by construction — a connection the loop has already
+//!   been told about cannot keep firing while it waits its turn.
+//! * **Reserved notify key.** Wakeups via [`Poller::notify`] are
+//!   delivered internally and never surface as events; the key
+//!   [`NOTIFY_KEY`] cannot be used for sources.
+//! * **Error/hangup folding.** `EPOLLERR`/`EPOLLHUP`/`EPOLLRDHUP`
+//!   surface as both readable and writable, so a waiter parked on either
+//!   interest observes the failure and lets the subsequent `read`/`write`
+//!   report the actual error.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::raw::{c_int, c_void};
+use std::time::Duration;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLONESHOT: u32 = 1 << 30;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// Key reserved for the internal [`Poller::notify`] waker; sources must
+/// not be registered under it.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// The kernel ABI struct. Packed on x86-64 (where the kernel declares it
+/// `__attribute__((packed))`); naturally aligned elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// Interest in (or readiness of) a registered source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier reported back with readiness.
+    pub key: usize,
+    /// Interested in / ready for reading.
+    pub readable: bool,
+    /// Interested in / ready for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest: keeps the registration (and its key) alive but
+    /// disarmed — how a oneshot loop parks a connection it is not ready
+    /// to serve (e.g. under write backpressure).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+
+    fn mask(self) -> u32 {
+        let mut m = EPOLLONESHOT;
+        if self.readable {
+            m |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// Reusable buffer of readiness events filled by [`Poller::wait`].
+pub struct Events {
+    raw: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// An event buffer with the default capacity (1024).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Events {
+        Events::with_capacity(1024)
+    }
+
+    /// An event buffer able to receive `cap` events per wait.
+    pub fn with_capacity(cap: usize) -> Events {
+        let cap = cap.clamp(1, 4096);
+        Events {
+            raw: vec![EpollEvent { events: 0, data: 0 }; cap],
+            len: 0,
+        }
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the last wait returned no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate the events of the last wait.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|raw| {
+            let bits = raw.events;
+            let broken = bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+            Event {
+                key: raw.data as usize,
+                readable: bits & EPOLLIN != 0 || broken,
+                writable: bits & EPOLLOUT != 0 || broken,
+            }
+        })
+    }
+}
+
+/// One epoll instance plus its eventfd waker.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+    event_fd: RawFd,
+}
+
+// The fds are plain kernel handles; epoll_ctl/epoll_wait/write are
+// thread-safe on one instance.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+impl Poller {
+    /// Create an epoll instance with its notify eventfd registered.
+    pub fn new() -> io::Result<Poller> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        let event_fd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+            Ok(fd) => fd,
+            Err(e) => {
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+        };
+        // The waker is level-triggered (no ONESHOT): the counter stays
+        // readable until drained inside `wait`, so a notify can never be
+        // lost between a flag store and a parked epoll_wait.
+        let mut ev = EpollEvent {
+            events: EPOLLIN,
+            data: NOTIFY_KEY as u64,
+        };
+        if let Err(e) = cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, event_fd, &mut ev) }) {
+            unsafe {
+                close(event_fd);
+                close(epfd);
+            }
+            return Err(e);
+        }
+        Ok(Poller { epfd, event_fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: Option<Event>) -> io::Result<()> {
+        if let Some(ev) = interest {
+            if ev.key == NOTIFY_KEY {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "key usize::MAX is reserved for notify",
+                ));
+            }
+        }
+        let mut raw = interest
+            .map(|ev| EpollEvent {
+                events: ev.mask(),
+                data: ev.key as u64,
+            })
+            .unwrap_or(EpollEvent { events: 0, data: 0 });
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut raw) }).map(|_| ())
+    }
+
+    /// Register `source` with oneshot `interest`; it delivers at most one
+    /// event, then stays registered but disarmed until [`Poller::modify`].
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Re-arm (or change) the interest of a registered source.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Deregister a source. Must be called before the fd is closed, or a
+    /// closed-and-reused fd could deliver a stale key.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Wait for readiness events, filling `events` (cleared first).
+    ///
+    /// `None` blocks until an event or a notify; `Some(d)` wakes after at
+    /// most `d` (sub-millisecond durations round up to 1 ms — epoll has
+    /// millisecond resolution, and rounding down would busy-spin;
+    /// `Some(ZERO)` is a non-blocking poll). Returns the number of events
+    /// delivered; notify wakeups are drained internally and return with
+    /// zero events (indistinguishable from a timeout by design — waiters
+    /// re-check their shared state on every wakeup either way).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) if d.is_zero() => 0,
+            Some(d) => d.as_millis().max(1).min(c_int::MAX as u128 / 2) as c_int,
+        };
+        let ret = unsafe {
+            epoll_wait(
+                self.epfd,
+                events.raw.as_mut_ptr(),
+                events.raw.len() as c_int,
+                timeout_ms,
+            )
+        };
+        let n = match cvt(ret) {
+            Ok(n) => n as usize,
+            // A signal landing mid-wait is a spurious wakeup, not an
+            // error; report it as "no events" so the caller re-checks
+            // its state rather than aborting the loop.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        // Drain the waker and filter it out of the caller-visible batch.
+        let mut kept = 0;
+        for i in 0..n {
+            let raw = events.raw[i];
+            if raw.data as usize == NOTIFY_KEY {
+                let mut counter = 0u64;
+                unsafe {
+                    read(
+                        self.event_fd,
+                        (&mut counter as *mut u64).cast::<c_void>(),
+                        8,
+                    )
+                };
+                continue;
+            }
+            events.raw[kept] = raw;
+            kept += 1;
+        }
+        events.len = kept;
+        Ok(kept)
+    }
+
+    /// Wake one parked [`Poller::wait`] from any thread. Wakeups do not
+    /// queue as events: a waiter that is not parked observes the next
+    /// wait return immediately instead.
+    pub fn notify(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let ret = unsafe { write(self.event_fd, (&one as *const u64).cast::<c_void>(), 8) };
+        // EAGAIN means the counter is already saturated: the wakeup is
+        // pending, which is all notify promises.
+        if ret == 8 || io::Error::last_os_error().kind() == io::ErrorKind::WouldBlock {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.event_fd);
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_event_fires_once_until_rearmed() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(7)).unwrap();
+        let mut events = Events::new();
+
+        // Nothing to read yet: a short wait times out with no events.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        a.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let evs: Vec<Event> = events.iter().collect();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].key, 7);
+        assert!(evs[0].readable);
+
+        // Oneshot: without a modify, the still-readable socket stays
+        // silent.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // Re-armed, it fires again (level-triggered data is still there).
+        poller.modify(&b, Event::readable(7)).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+
+        let mut buf = [0u8; 8];
+        let mut bb = &b;
+        assert_eq!(bb.read(&mut buf).unwrap(), 1);
+        poller.delete(&b).unwrap();
+    }
+
+    #[test]
+    fn writable_interest_and_none_disarms() {
+        let (_a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        // A fresh socket's send buffer is writable immediately.
+        poller.add(&b, Event::writable(3)).unwrap();
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let evs: Vec<Event> = events.iter().collect();
+        assert_eq!(evs.len(), 1);
+        assert!(evs[0].writable);
+        // Parked with no interest: stays silent even though writable.
+        poller.modify(&b, Event::none(3)).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn notify_wakes_a_parked_waiter_and_does_not_queue() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let start = std::time::Instant::now();
+        // Parked "forever": only the notify can end this wait.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(10));
+        assert!(events.is_empty(), "notify must not surface as an event");
+        t.join().unwrap();
+        // Drained: the next wait times out instead of spinning.
+        let start = std::time::Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn notify_before_wait_is_not_lost() {
+        let poller = Poller::new().unwrap();
+        poller.notify().unwrap();
+        poller.notify().unwrap(); // coalesces, never blocks
+        let mut events = Events::new();
+        let start = std::time::Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "pre-wait notify was lost"
+        );
+    }
+
+    #[test]
+    fn peer_close_fires_as_readable() {
+        let (a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(1)).unwrap();
+        drop(a);
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let evs: Vec<Event> = events.iter().collect();
+        assert_eq!(evs.len(), 1);
+        assert!(evs[0].readable, "hangup must surface as readable");
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        let (_a, b) = pair();
+        let poller = Poller::new().unwrap();
+        assert!(poller.add(&b, Event::readable(NOTIFY_KEY)).is_err());
+    }
+}
