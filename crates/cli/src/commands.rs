@@ -7,9 +7,11 @@
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 use sling_core::disk_query::BufferedDiskStore;
 use sling_core::lifecycle::{GenId, GenerationStore};
+use sling_core::obs::{MetricsRegistry, StageNanos};
 use sling_core::out_of_core::DiskHpStore;
 use sling_core::{
     HpStore, QueryEngine, QueryWorkspace, ShardedResultCache, SharedEngine, SlingConfig,
@@ -62,8 +64,14 @@ COMMANDS:
                                           shared engine + sharded result cache
   serve GRAPH INDEX [--listen ADDR] [--unix PATH] [--workers N]
         [--cache CAP] [--shards S] [--max-connections N] [--index-backend B]
+        [--slow-query-us U] [--metrics-snapshot FILE [--metrics-snapshot-ms N]]
                                           long-lived epoll-based query server
-                                          (wire protocol: see sling-server docs)
+                                          (wire protocol: see sling-server docs);
+                                          queries at or above U microseconds land
+                                          in the SLOWLOG ring (default 10000,
+                                          0 disables); --metrics-snapshot dumps
+                                          the metrics registry to FILE as JSON
+                                          every N ms (default 1000)
   serve --index-root DIR [GRAPH] [--watch] [--watch-ms N] [..]
                                           serve the promoted generation of an
                                           index root and hot-swap (zero dropped
@@ -79,10 +87,17 @@ COMMANDS:
                                           publishes the file as a new generation
   client MODE [..] --connect HOST:PORT | --unix PATH
                                           pair U V | source U | topk U K |
-                                          stats | reload | ping | shutdown
+                                          stats | metrics | slowlog | reload |
+                                          ping | shutdown
+  metrics --connect HOST:PORT | --unix PATH [--slow]
+                                          scrape a running server's Prometheus
+                                          text exposition (METRICS verb);
+                                          --slow prints the slow-query ring
+                                          instead
   bench-serve GRAPH INDEX [--threads T] [--requests N] [--hot F]
         [--hot-keys K] [--connections C] [--workers W] [--cache CAP]
-        [--max-connections N] [--index-backend B] [--quick] [--out FILE]
+        [--max-connections N] [--index-backend B] [--quick] [--trace]
+        [--out FILE]
                                           drive an in-process server with
                                           concurrent skewed client traffic;
                                           --connections holds a mostly-idle
@@ -92,12 +107,14 @@ COMMANDS:
                                           and writes the machine-readable
                                           BENCH_serve.json perf baseline
   bench-query GRAPH INDEX [--quick] [--out FILE] [--pairs N]
-        [--sources N] [--threads T] [--seed S]
+        [--sources N] [--threads T] [--seed S] [--trace]
                                           pinned single-pair / single-source /
                                           top-k / batch workloads across all
                                           seven storage backends; writes the
                                           machine-readable BENCH_query.json
-                                          perf baseline (default --out)
+                                          perf baseline (default --out);
+                                          --trace appends the per-stage
+                                          kernel-time breakdown table
   transform GRAPH PASS --out FILE [--k K] largest-wcc | transpose | k-core | peel-dangling
   ppr GRAPH SOURCE [--alpha A] [--top K]  personalized PageRank ranking
   audit GRAPH INDEX [--pairs N] [--mc M] [--exact]
@@ -629,7 +646,43 @@ fn server_config(args: &Args) -> Result<ServerConfig, String> {
         cache_shards: args.flag_parse("shards", 0usize)?,
         watch_interval_ms: args.flag_parse("watch-ms", watch_default)?,
         max_connections: args.flag_parse("max-connections", 0usize)?,
+        slow_query_us: args.flag_parse("slow-query-us", 10_000u64)?,
     })
+}
+
+/// Parsed `--metrics-snapshot` options: dump the registry's JSON
+/// snapshot to this path every interval.
+#[derive(Clone)]
+struct SnapshotOpts {
+    path: std::path::PathBuf,
+    interval: Duration,
+}
+
+fn snapshot_opts(args: &Args) -> Result<Option<SnapshotOpts>, String> {
+    let Some(path) = args.flag("metrics-snapshot") else {
+        return Ok(None);
+    };
+    Ok(Some(SnapshotOpts {
+        path: std::path::PathBuf::from(path),
+        interval: Duration::from_millis(args.flag_parse("metrics-snapshot-ms", 1000u64)?.max(10)),
+    }))
+}
+
+/// Detached exporter thread behind `serve --metrics-snapshot`: renders
+/// the registry as JSON every interval and atomically replaces the
+/// target file (tmp + rename), so scrapers and post-mortem tooling never
+/// read a torn snapshot. The first write happens immediately; the
+/// thread dies with the process.
+fn spawn_metrics_snapshot(registry: Arc<MetricsRegistry>, opts: SnapshotOpts) {
+    let _ = std::thread::Builder::new()
+        .name("metrics-snapshot".into())
+        .spawn(move || loop {
+            let tmp = opts.path.with_extension("tmp");
+            if std::fs::write(&tmp, registry.render_json()).is_ok() {
+                let _ = std::fs::rename(&tmp, &opts.path);
+            }
+            std::thread::sleep(opts.interval);
+        });
 }
 
 /// `sling serve` — the long-lived concurrent query server: one shared
@@ -645,6 +698,7 @@ fn server_config(args: &Args) -> Result<ServerConfig, String> {
 pub fn cmd_serve(args: &Args) -> Result<String, String> {
     let backend = parse_backend(args)?;
     let config = server_config(args)?;
+    let snapshot = snapshot_opts(args)?;
     let listener = bind_listener(args, "127.0.0.1:7462")?;
     if let Some(root) = args.flag("index-root") {
         // With --index-root the only positional is the optional fallback
@@ -670,6 +724,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
                 |g, p| SlingIndex::load(g, p).map(SlingIndex::into_shared_engine),
                 listener,
                 config,
+                snapshot,
             ),
             IndexBackend::Mmap => serve_root(
                 store,
@@ -677,6 +732,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
                 |g, p| SharedEngine::open_mmap(g, p),
                 listener,
                 config,
+                snapshot,
             ),
             IndexBackend::MmapCompressed => serve_root(
                 store,
@@ -684,6 +740,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
                 |g, p| SharedEngine::open_mmap_compressed(g, p),
                 listener,
                 config,
+                snapshot,
             ),
             IndexBackend::Disk => serve_root(
                 store,
@@ -691,6 +748,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
                 |g, p| DiskHpStore::open(g, p).map(DiskHpStore::into_shared_engine),
                 listener,
                 config,
+                snapshot,
             ),
         };
     }
@@ -710,22 +768,22 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     match backend {
         IndexBackend::Mem => {
             let index = load_index(&g, index_path)?;
-            serve_and_join(index.into_shared_engine(), g, listener, config)
+            serve_and_join(index.into_shared_engine(), g, listener, config, snapshot)
         }
         IndexBackend::Mmap => {
             let engine = SharedEngine::open_mmap(&g, index_path)
                 .map_err(|e| format!("{index_path}: {e}"))?;
-            serve_and_join(engine, g, listener, config)
+            serve_and_join(engine, g, listener, config, snapshot)
         }
         IndexBackend::MmapCompressed => {
             let engine = SharedEngine::open_mmap_compressed(&g, index_path)
                 .map_err(|e| format!("{index_path}: {e}"))?;
-            serve_and_join(engine, g, listener, config)
+            serve_and_join(engine, g, listener, config, snapshot)
         }
         IndexBackend::Disk => {
             let store =
                 DiskHpStore::open(&g, index_path).map_err(|e| format!("{index_path}: {e}"))?;
-            serve_and_join(store.into_shared_engine(), g, listener, config)
+            serve_and_join(store.into_shared_engine(), g, listener, config, snapshot)
         }
     }
 }
@@ -737,6 +795,7 @@ fn serve_root<S, F>(
     open: F,
     listener: Listener,
     config: ServerConfig,
+    snapshot: Option<SnapshotOpts>,
 ) -> Result<String, String>
 where
     S: HpStore + Send + Sync + 'static,
@@ -748,6 +807,9 @@ where
     let info = reloadable.info();
     let handle = serve_reloadable(Arc::new(reloadable), listener, config)
         .map_err(|e| format!("failed to start server: {e}"))?;
+    if let Some(opts) = snapshot {
+        spawn_metrics_snapshot(handle.metrics_registry(), opts);
+    }
     let watch = if config.watch_interval_ms > 0 {
         format!(", watching CURRENT every {} ms", config.watch_interval_ms)
     } else {
@@ -774,9 +836,13 @@ fn serve_and_join<S: HpStore + Send + Sync + 'static>(
     graph: DiGraph,
     listener: Listener,
     config: ServerConfig,
+    snapshot: Option<SnapshotOpts>,
 ) -> Result<String, String> {
     let handle = serve(Arc::new(engine), Arc::new(graph), listener, config)
         .map_err(|e| format!("failed to start server: {e}"))?;
+    if let Some(opts) = snapshot {
+        spawn_metrics_snapshot(handle.metrics_registry(), opts);
+    }
     match handle.local_addr() {
         Some(addr) => println!("sling-server listening on {addr} (send SHUTDOWN to stop)"),
         None => println!("sling-server listening on unix socket (send SHUTDOWN to stop)"),
@@ -854,6 +920,15 @@ pub fn cmd_client(args: &Args) -> Result<String, String> {
             Ok(out)
         }
         "stats" => client.stats_line().map_err(err),
+        "metrics" => client.metrics().map_err(err),
+        "slowlog" => {
+            let log = client.slow_queries().map_err(err)?;
+            Ok(if log.is_empty() {
+                "(no slow queries recorded)".to_string()
+            } else {
+                log
+            })
+        }
         "reload" => {
             let (generation, swapped) = client.reload().map_err(err)?;
             Ok(if swapped {
@@ -871,8 +946,26 @@ pub fn cmd_client(args: &Args) -> Result<String, String> {
             Ok("server shutting down".to_string())
         }
         other => Err(format!(
-            "unknown client mode {other:?} (pair|source|topk|stats|reload|ping|shutdown)"
+            "unknown client mode {other:?} \
+             (pair|source|topk|stats|metrics|slowlog|reload|ping|shutdown)"
         )),
+    }
+}
+
+/// `sling metrics` — scrape a running server's full Prometheus text
+/// exposition (the `METRICS` verb); `--slow` prints the slow-query ring
+/// instead, one structured record per line, oldest first.
+pub fn cmd_metrics(args: &Args) -> Result<String, String> {
+    let mut client = connect_client(args)?;
+    if args.switch("slow") {
+        let log = client.slow_queries().map_err(|e| e.to_string())?;
+        Ok(if log.is_empty() {
+            "(no slow queries recorded)".to_string()
+        } else {
+            log
+        })
+    } else {
+        client.metrics().map_err(|e| e.to_string())
     }
 }
 
@@ -921,6 +1014,7 @@ pub fn cmd_bench_serve(args: &Args) -> Result<String, String> {
         connections: args.flag_parse("connections", 0usize)?,
         out: args.flag("out").map(str::to_string),
         quick,
+        trace: args.switch("trace"),
         config: server_config(args)?,
     };
     if !(0.0..=1.0).contains(&opts.hot) {
@@ -963,6 +1057,9 @@ struct ServeBenchOpts {
     /// write the machine-readable `BENCH_serve.json` to this path.
     out: Option<String>,
     quick: bool,
+    /// Append the server-side kernel-stage latency breakdown (read from
+    /// the metrics registry's `sling_query_stage_*_ns` histograms).
+    trace: bool,
     config: ServerConfig,
 }
 
@@ -1053,6 +1150,7 @@ fn bench_serve_entry<S: HpStore + Send + Sync + 'static>(
             opts.requests,
             opts.hot,
             opts.hot_keys,
+            opts.trace,
             opts.config,
         )
         .map(|(human, _)| human),
@@ -1101,6 +1199,7 @@ fn bench_serve_sweep<S: HpStore + Send + Sync + 'static>(
             opts.requests,
             opts.hot,
             opts.hot_keys,
+            opts.trace,
             config,
         )?;
         let _ = writeln!(
@@ -1212,6 +1311,7 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
     requests: usize,
     hot: f64,
     hot_keys: usize,
+    trace: bool,
     config: ServerConfig,
 ) -> Result<(String, ServeBenchRecord), String> {
     let n = graph.num_nodes() as u32;
@@ -1226,6 +1326,9 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
     .map_err(|e| e.to_string())?;
     let handle = serve(Arc::clone(&engine), Arc::clone(&graph), listener, config)
         .map_err(|e| format!("failed to start server: {e}"))?;
+    // The registry Arc outlives `handle.join()`, so `--trace` can read
+    // the stage histograms after the server has fully shut down.
+    let registry = handle.metrics_registry();
     let addr = handle.local_addr();
     let connect = |transport: &ServeTransport| -> Result<Client, String> {
         match transport {
@@ -1371,7 +1474,40 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
         format_server_report("final", &report),
         stats_line,
     );
+    if trace {
+        let _ = write!(human, "\n{}", format_stage_breakdown(&registry));
+    }
     Ok((human, record))
+}
+
+/// Render the server-side kernel-stage breakdown behind `bench-serve
+/// --trace`: per-stage query counts and percentiles from the registry's
+/// `sling_query_stage_*_ns` histograms. A stage's count is the number of
+/// queries that exercised it — cache hits record no stages, so the gap
+/// between `requests` and these counts is the cache doing its job.
+fn format_stage_breakdown(registry: &MetricsRegistry) -> String {
+    let mut out = String::from("kernel stage breakdown (server-side, traced queries only):\n");
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "queries", "p50", "p99", "p999"
+    );
+    for stage in ["entry_fetch", "restore", "merge", "propagate"] {
+        let Some(report) = registry.histogram_report(&format!("sling_query_stage_{stage}_ns"))
+        else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>10} {:>10} {:>10} {:>10}",
+            stage,
+            report.count,
+            sling_bench::fmt_secs(report.p50_us / 1e6),
+            sling_bench::fmt_secs(report.p99_us / 1e6),
+            sling_bench::fmt_secs(report.p999_us / 1e6),
+        );
+    }
+    out
 }
 
 /// Dispatch a full command line (without the binary name).
@@ -1449,6 +1585,9 @@ pub fn run(argv: &[String]) -> Result<String, String> {
                     "index-backend",
                     "index-root",
                     "watch-ms",
+                    "slow-query-us",
+                    "metrics-snapshot",
+                    "metrics-snapshot-ms",
                 ],
                 switches: &["watch"],
             },
@@ -1474,11 +1613,18 @@ pub fn run(argv: &[String]) -> Result<String, String> {
                 switches: &[],
             },
         )?),
+        "metrics" => cmd_metrics(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &["connect", "unix"],
+                switches: &["slow"],
+            },
+        )?),
         "bench-query" => cmd_bench_query(&Args::parse(
             rest.iter().cloned(),
             Spec {
                 value_flags: &["out", "pairs", "sources", "threads", "seed"],
-                switches: &["quick"],
+                switches: &["quick", "trace"],
             },
         )?),
         "bench-serve" => cmd_bench_serve(&Args::parse(
@@ -1496,8 +1642,9 @@ pub fn run(argv: &[String]) -> Result<String, String> {
                     "shards",
                     "max-connections",
                     "index-backend",
+                    "slow-query-us",
                 ],
-                switches: &["quick"],
+                switches: &["quick", "trace"],
             },
         )?),
         "transform" => cmd_transform(&Args::parse(
@@ -1923,6 +2070,18 @@ struct BenchWorkloads {
     /// Repetitions of the whole-batch workload.
     batch_rounds: usize,
     threads: usize,
+    /// Enable per-stage query tracing on the bench workspaces (the
+    /// `--trace` flag). Off by default so the headline numbers measure
+    /// the untraced kernel.
+    trace: bool,
+}
+
+/// One `--trace` row: kernel-stage time accumulated across a whole
+/// workload run on one backend.
+struct TraceRow {
+    backend: &'static str,
+    workload: &'static str,
+    stages: StageNanos,
 }
 
 /// Time `queries` invocations of `f`, returning the total plus
@@ -1966,9 +2125,23 @@ fn bench_one_backend<S: HpStore + Sync>(
     w: &BenchWorkloads,
     spot: &mut Vec<f64>,
     results: &mut Vec<BenchRecord>,
+    traces: &mut Vec<TraceRow>,
 ) -> Result<(), String> {
     let err = |e: sling_core::SlingError| format!("{backend}: {e}");
     let mut ws = QueryWorkspace::new();
+    ws.set_trace_enabled(w.trace);
+    // Drain the workspace trace between workloads so each pushed row
+    // covers exactly one timed loop (the spot-check above the first
+    // loop, and the untraced materialized loop, are discarded).
+    let trace_row = |traces: &mut Vec<TraceRow>, workload, stages: StageNanos| {
+        if w.trace {
+            traces.push(TraceRow {
+                backend,
+                workload,
+                stages,
+            });
+        }
+    };
     for (i, &(u, v)) in w.hub_pairs.iter().take(8).enumerate() {
         let s = engine.single_pair_with(g, &mut ws, u, v).map_err(err)?;
         if spot.len() <= i {
@@ -1982,12 +2155,14 @@ fn bench_one_backend<S: HpStore + Sync>(
     }
 
     let mut acc = 0.0f64;
+    let _ = ws.take_trace();
     let (total, lat) = time_each(w.mixed_pairs.len(), |i| {
         let (u, v) = w.mixed_pairs[i];
         acc += engine
             .single_pair_with(g, &mut ws, u, v)
             .unwrap_or(f64::NAN);
     });
+    trace_row(traces, "single_pair", ws.take_trace());
     results.push(record(
         backend,
         "single_pair",
@@ -2002,6 +2177,7 @@ fn bench_one_backend<S: HpStore + Sync>(
             .single_pair_with(g, &mut ws, u, v)
             .unwrap_or(f64::NAN);
     });
+    trace_row(traces, "single_pair_hub", ws.take_trace());
     results.push(record(
         backend,
         "single_pair_hub",
@@ -2019,6 +2195,7 @@ fn bench_one_backend<S: HpStore + Sync>(
             .single_pair_materialized_with(g, &mut ws, u, v)
             .unwrap_or(f64::NAN);
     });
+    let _ = ws.take_trace();
     results.push(record(
         backend,
         "single_pair_materialized",
@@ -2028,6 +2205,7 @@ fn bench_one_backend<S: HpStore + Sync>(
     ));
 
     let mut ss = sling_core::single_source::SingleSourceWorkspace::new();
+    ss.set_trace_enabled(w.trace);
     let mut out = Vec::new();
     let (total, lat) = time_each(w.sources.len(), |i| {
         engine
@@ -2035,6 +2213,7 @@ fn bench_one_backend<S: HpStore + Sync>(
             .unwrap_or_default();
         acc += out.first().copied().unwrap_or(0.0);
     });
+    trace_row(traces, "single_source", ss.take_trace());
     results.push(record(
         backend,
         "single_source",
@@ -2051,6 +2230,7 @@ fn bench_one_backend<S: HpStore + Sync>(
         let top = sling_core::topk::select_top_k(&scores, Some(w.sources[i]), 10);
         acc += top.first().map(|&(_, s)| s).unwrap_or(0.0);
     });
+    trace_row(traces, "top_k", ss.take_trace());
     results.push(record(backend, "top_k", w.sources.len(), total, lat));
 
     let (total, lat) = time_each(w.batch_rounds, |_| {
@@ -2084,6 +2264,7 @@ pub fn cmd_bench_query(args: &Args) -> Result<String, String> {
     let graph_path = args.positional(0, "graph")?;
     let index_path = args.positional(1, "index")?;
     let quick = args.switch("quick");
+    let trace = args.switch("trace");
     let out_path: String = args.flag("out").unwrap_or("BENCH_query.json").to_string();
     let pairs_n: usize = args.flag_parse("pairs", if quick { 1000 } else { 4000 })?;
     let sources_n: usize = args.flag_parse("sources", if quick { 30 } else { 120 })?;
@@ -2127,6 +2308,7 @@ pub fn cmd_bench_query(args: &Args) -> Result<String, String> {
         sources,
         batch_rounds: if quick { 2 } else { 4 },
         threads: threads.max(1),
+        trace,
     };
 
     // Persist every format generation the seven backends serve, under a
@@ -2134,7 +2316,7 @@ pub fn cmd_bench_query(args: &Args) -> Result<String, String> {
     // must not leak index-sized files per invocation).
     let dir = std::env::temp_dir().join(format!("sling_bench_query_{}", std::process::id()));
     std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
-    let run_all = || -> Result<Vec<BenchRecord>, String> {
+    let run_all = || -> Result<(Vec<BenchRecord>, Vec<TraceRow>), String> {
         let v1 = dir.join("bench.slng");
         let v2 = dir.join("bench.slng3");
         let v2q = dir.join("bench.q.slng3");
@@ -2154,14 +2336,31 @@ pub fn cmd_bench_query(args: &Args) -> Result<String, String> {
             )
             .map_err(|e| e.to_string())?;
         let mut results: Vec<BenchRecord> = Vec::new();
+        let mut traces: Vec<TraceRow> = Vec::new();
         let mut spot: Vec<f64> = Vec::new();
         {
             let engine = index.query_engine();
-            bench_one_backend("mem", &engine, &g, &workloads, &mut spot, &mut results)?;
+            bench_one_backend(
+                "mem",
+                &engine,
+                &g,
+                &workloads,
+                &mut spot,
+                &mut results,
+                &mut traces,
+            )?;
         }
         {
             let engine = QueryEngine::open_mmap(&g, &v1).map_err(|e| e.to_string())?;
-            bench_one_backend("mmap", &engine, &g, &workloads, &mut spot, &mut results)?;
+            bench_one_backend(
+                "mmap",
+                &engine,
+                &g,
+                &workloads,
+                &mut spot,
+                &mut results,
+                &mut traces,
+            )?;
         }
         {
             let engine = QueryEngine::open_mmap_compressed(&g, &v2).map_err(|e| e.to_string())?;
@@ -2172,6 +2371,7 @@ pub fn cmd_bench_query(args: &Args) -> Result<String, String> {
                 &workloads,
                 &mut spot,
                 &mut results,
+                &mut traces,
             )?;
         }
         {
@@ -2186,12 +2386,21 @@ pub fn cmd_bench_query(args: &Args) -> Result<String, String> {
                 &workloads,
                 &mut q_spot,
                 &mut results,
+                &mut traces,
             )?;
         }
         {
             let store = DiskHpStore::open(&g, &v1).map_err(|e| e.to_string())?;
             let engine = store.query_engine();
-            bench_one_backend("disk", &engine, &g, &workloads, &mut spot, &mut results)?;
+            bench_one_backend(
+                "disk",
+                &engine,
+                &g,
+                &workloads,
+                &mut spot,
+                &mut results,
+                &mut traces,
+            )?;
         }
         {
             let store = DiskHpStore::open(&g, &v2).map_err(|e| e.to_string())?;
@@ -2203,6 +2412,7 @@ pub fn cmd_bench_query(args: &Args) -> Result<String, String> {
                 &workloads,
                 &mut spot,
                 &mut results,
+                &mut traces,
             )?;
         }
         {
@@ -2216,13 +2426,14 @@ pub fn cmd_bench_query(args: &Args) -> Result<String, String> {
                 &workloads,
                 &mut spot,
                 &mut results,
+                &mut traces,
             )?;
         }
-        Ok(results)
+        Ok((results, traces))
     };
     let results = run_all();
     std::fs::remove_dir_all(&dir).ok();
-    let results = results?;
+    let (results, trace_rows) = results?;
 
     // Streaming-vs-materializing speedup per backend (hub workload).
     let qps_of = |backend: &str, workload: &str| {
@@ -2313,6 +2524,30 @@ pub fn cmd_bench_query(args: &Args) -> Result<String, String> {
     }
     for (b, s) in &speedups {
         let _ = writeln!(out, "streaming speedup ({b}, hub pairs): {s:.2}x");
+    }
+    if !trace_rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "kernel stage-time breakdown (--trace; total ms per workload):"
+        );
+        let _ = writeln!(
+            out,
+            "{:<26} {:<16} {:>11} {:>9} {:>9} {:>10}",
+            "backend", "workload", "entry_fetch", "restore", "merge", "propagate"
+        );
+        let ms = |ns: u64| ns as f64 / 1e6;
+        for row in &trace_rows {
+            let _ = writeln!(
+                out,
+                "{:<26} {:<16} {:>11.2} {:>9.2} {:>9.2} {:>10.2}",
+                row.backend,
+                row.workload,
+                ms(row.stages.entry_fetch),
+                ms(row.stages.restore),
+                ms(row.stages.merge),
+                ms(row.stages.propagate),
+            );
+        }
     }
     let _ = writeln!(out, "wrote {out_path}");
     Ok(out)
@@ -2793,11 +3028,14 @@ mod tests {
         ))
         .unwrap();
         let sock = dir.join("sling.sock");
+        let snapshot = dir.join("metrics.json");
         let serve_cmd = format!(
-            "serve {} {} --unix {} --workers 2 --cache 256 --index-backend mmap",
+            "serve {} {} --unix {} --workers 2 --cache 256 --index-backend mmap \
+             --slow-query-us 1 --metrics-snapshot {} --metrics-snapshot-ms 20",
             g.display(),
             idx.display(),
-            sock.display()
+            sock.display(),
+            snapshot.display()
         );
         let server = std::thread::spawn(move || run_str(&serve_cmd));
         // Wait for the socket to come up.
@@ -2818,6 +3056,31 @@ mod tests {
         assert!(topk.contains("top 3 similar to node 0"), "{topk}");
         let stats = client("stats").unwrap();
         assert!(stats.contains("cache_hit_rate="), "{stats}");
+        // Observability surface: the Prometheus exposition through both
+        // the client mode and the dedicated `metrics` command, the
+        // slow-query ring (threshold 1 µs admits everything), and the
+        // periodic JSON snapshot file.
+        let prom = client("metrics").unwrap();
+        assert!(
+            prom.contains("# TYPE sling_server_requests_total counter"),
+            "{prom}"
+        );
+        assert!(prom.contains("sling_query_stage_merge_ns_count"), "{prom}");
+        // A second scrape through the dedicated command (counters move
+        // between scrapes, so compare families, not bytes).
+        let prom2 = run_str(&format!("metrics --unix {}", sock.display())).unwrap();
+        assert!(prom2.contains("sling_cache_hits_total"), "{prom2}");
+        assert!(prom2.contains("sling_index_epoch"), "{prom2}");
+        let slow = run_str(&format!("metrics --slow --unix {}", sock.display())).unwrap();
+        assert!(slow.lines().all(|l| l.starts_with("slow verb=")), "{slow}");
+        assert!(slow.contains("total_us="), "{slow}");
+        assert_eq!(client("slowlog").unwrap(), slow);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !snapshot.exists() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let snap = std::fs::read_to_string(&snapshot).unwrap();
+        assert!(snap.contains("\"sling_server_requests_total\""), "{snap}");
         assert_eq!(client("shutdown").unwrap(), "server shutting down");
         let report = server.join().unwrap().unwrap();
         assert!(report.contains("server shut down"), "{report}");
@@ -2843,12 +3106,16 @@ mod tests {
         .unwrap();
         let out = run_str(&format!(
             "bench-serve {} {} --threads 8 --requests 160 --workers 2 \
-             --hot 0.9 --hot-keys 8 --index-backend mmap",
+             --hot 0.9 --hot-keys 8 --index-backend mmap --trace",
             g.display(),
             idx.display()
         ))
         .unwrap();
         assert!(out.contains("req/s"), "{out}");
+        // --trace appends the server-side stage breakdown read back from
+        // the metrics registry after shutdown.
+        assert!(out.contains("kernel stage breakdown"), "{out}");
+        assert!(out.contains("propagate"), "{out}");
         assert!(out.contains("cache_hit_rate="), "{out}");
         assert!(out.contains("per-worker"), "{out}");
         // Client-side exact percentiles and the server's histogram-based
@@ -2883,12 +3150,16 @@ mod tests {
         ))
         .unwrap();
         let out = run_str(&format!(
-            "bench-query {} {} --quick --pairs 60 --sources 4 --out {}",
+            "bench-query {} {} --quick --pairs 60 --sources 4 --trace --out {}",
             g.display(),
             idx.display(),
             json_path.display()
         ))
         .unwrap();
+        // --trace appends the per-workload stage-time table (4 traced
+        // workloads x 7 backends).
+        assert!(out.contains("kernel stage-time breakdown"), "{out}");
+        assert_eq!(out.matches("single_source").count(), 7 + 7, "{out}");
         // All seven backends report, and the streaming-vs-materializing
         // comparison is part of the summary.
         for backend in [

@@ -26,9 +26,10 @@
 use parking_lot::Mutex;
 use sling_graph::{DiGraph, NodeId};
 
-use crate::cache::LruList;
+use crate::cache::{AtomicCacheStats, CacheStats, LruList};
 use crate::error::SlingError;
 use crate::hp::HpEntry;
+use crate::obs::{self, KernelCounters};
 use crate::out_of_core::DiskHpStore;
 use crate::single_source::SingleSourceWorkspace;
 use crate::store::{HpStore, QueryEngine};
@@ -56,16 +57,13 @@ impl DiskHpStore {
     }
 }
 
-/// Buffer-pool statistics of a [`BufferedDiskStore`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct BufferStats {
-    /// Entry lists served from the buffer.
-    pub hits: u64,
-    /// Entry lists read from disk.
-    pub misses: u64,
-    /// Lists evicted to stay within the entry budget.
-    pub evictions: u64,
-}
+/// Buffer-pool statistics of a [`BufferedDiskStore`] — the same
+/// [`CacheStats`] shape every other cache in the tree reports, counted
+/// by the shared [`AtomicCacheStats`] (exact under concurrent batch
+/// workers) instead of plain u64 fields, and mirrored into the
+/// process-wide [`obs::KERNEL`] counters so buffered-disk hit rates
+/// show up in `STATS`/`METRICS` like every other cache.
+pub type BufferStats = CacheStats;
 
 /// Mutable buffer state, behind a mutex so the store can be shared by
 /// the generic (`&self`) query core and across batch-query threads.
@@ -75,7 +73,6 @@ pub struct BufferStats {
 struct BufferState {
     cached_entries: usize,
     lists: LruList<u32, Vec<HpEntry>>,
-    stats: BufferStats,
 }
 
 /// LRU buffer of decoded `H(v)` lists in front of a [`DiskHpStore`].
@@ -89,6 +86,9 @@ struct BufferState {
 pub struct BufferedDiskStore<'s> {
     store: &'s DiskHpStore,
     budget_entries: usize,
+    /// Lock-free counters, shared shape with every other cache (see
+    /// [`BufferStats`]); bumped outside the state lock.
+    stats: AtomicCacheStats,
     state: Mutex<BufferState>,
 }
 
@@ -98,17 +98,17 @@ impl<'s> BufferedDiskStore<'s> {
         BufferedDiskStore {
             store,
             budget_entries: budget_entries.max(1),
+            stats: AtomicCacheStats::new(),
             state: Mutex::new(BufferState {
                 cached_entries: 0,
                 lists: LruList::new(),
-                stats: BufferStats::default(),
             }),
         }
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> BufferStats {
-        self.state.lock().stats
+        self.stats.snapshot()
     }
 
     /// Decoded entries currently buffered.
@@ -140,11 +140,14 @@ impl<'s> BufferedDiskStore<'s> {
             if let Some(list) = state.lists.get(&v.0) {
                 out.clear();
                 out.extend_from_slice(list);
-                state.stats.hits += 1;
+                drop(state);
+                self.stats.record_hit();
+                KernelCounters::bump(&obs::KERNEL.buffered_disk_hits);
                 return Ok(());
             }
-            state.stats.misses += 1;
         }
+        self.stats.record_miss();
+        KernelCounters::bump(&obs::KERNEL.buffered_disk_misses);
         self.store.read_entries(v, out)?;
         // Clone for admission *before* taking the lock: the allocation +
         // memcpy of a hub-sized list must not serialize other workers
@@ -157,15 +160,19 @@ impl<'s> BufferedDiskStore<'s> {
             return Ok(());
         }
         // Evict least-recently-used lists until the new one fits.
+        let mut evicted = 0u64;
         while state.cached_entries + out.len() > self.budget_entries {
             let Some((_, old)) = state.lists.pop_lru() else {
                 break;
             };
             state.cached_entries -= old.len();
-            state.stats.evictions += 1;
+            evicted += 1;
         }
         state.cached_entries += list.len();
         state.lists.insert(v.0, list);
+        drop(state);
+        self.stats.record_evictions(evicted);
+        KernelCounters::bump_by(&obs::KERNEL.buffered_disk_evictions, evicted);
         Ok(())
     }
 

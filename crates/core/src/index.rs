@@ -9,6 +9,7 @@ use crate::enhance::{expand_marked, MarkArena};
 use crate::error::SlingError;
 use crate::hp::{HpArena, HpEntry};
 use crate::local_update::{reverse_hp_all, HpTriple};
+use crate::obs::{QueryTrace, StageNanos};
 use crate::store::{EngineRef, EntryAccess, HpStore, RestoreKind, RunSource};
 use crate::two_hop::{two_hop_into, TwoHopScratch};
 use crate::walk::{task_rng, WalkEngine};
@@ -386,6 +387,8 @@ pub struct QueryWorkspace {
     pub(crate) stored: Vec<HpEntry>,
     pub(crate) extras: Vec<HpEntry>,
     pub(crate) merged: Vec<HpEntry>,
+    /// Per-stage tracer (disabled by default; see [`crate::obs::trace`]).
+    pub(crate) trace: QueryTrace,
 }
 
 impl QueryWorkspace {
@@ -425,6 +428,24 @@ impl QueryWorkspace {
             }
         }
         self.two_hop.trim_excess(Self::TRIM_THRESHOLD_ENTRIES);
+    }
+
+    /// Enable or disable per-stage query tracing on this workspace.
+    /// Disabled (the default) every trace hook in the kernels is one
+    /// predictable branch — no clock reads; see [`crate::obs::trace`].
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+    }
+
+    /// Whether per-stage tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Drain the stage breakdown accumulated since the last call (all
+    /// zeros unless tracing is enabled).
+    pub fn take_trace(&mut self) -> StageNanos {
+        self.trace.take()
     }
 }
 

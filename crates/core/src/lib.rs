@@ -186,6 +186,22 @@
 //! engine in place, closing the loop from graph churn to zero-downtime
 //! swap.
 //!
+//! ### Observability: metrics registry and query tracing
+//!
+//! The [`obs`] layer is the single telemetry surface for all of the
+//! above: a lock-free [`obs::MetricsRegistry`] of named counters,
+//! gauges, and log-bucketed histograms (per-worker shards merged on
+//! snapshot; stable Prometheus-text and fixed-key-order JSON
+//! renderers), process-wide kernel counters ([`obs::KERNEL`]:
+//! RestoreCache hit/miss, block decodes, backend bytes read,
+//! gallop-vs-linear merge dispatch, frontier words swept) and
+//! lifecycle counters ([`obs::LIFECYCLE`]: publishes, promotions, GC,
+//! warm-ups), and a zero-cost-when-disabled [`obs::QueryTrace`] inside
+//! every [`QueryWorkspace`] that charges wall time to the four kernel
+//! stages (entry fetch, §5.2 restore, merge, Algorithm-6 propagation).
+//! `sling-server` builds its `STATS`/`METRICS` exposition and its
+//! ring-buffered [`obs::SlowQueryLog`] on exactly these pieces.
+//!
 //! ## Extension features beyond the paper's evaluation
 //!
 //! * top-k single-source queries with heap selection and an
@@ -216,6 +232,7 @@ pub mod index;
 pub mod join;
 pub mod lifecycle;
 pub mod local_update;
+pub mod obs;
 pub mod out_of_core;
 pub mod parallel;
 pub mod ppr;
@@ -239,6 +256,7 @@ pub use format::{
 pub use hp::HpEntry;
 pub use index::{QueryWorkspace, SlingIndex};
 pub use lifecycle::{GenId, GenerationStore, Manifest};
+pub use obs::{MetricsRegistry, QueryTrace, SlowQueryLog, SlowQueryRecord, StageNanos};
 pub use store::{
     CompressedMmapArena, EntryAccess, HpStore, MmapHpArena, QueryEngine, RestoreCache, SharedEngine,
 };

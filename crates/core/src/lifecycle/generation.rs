@@ -12,6 +12,7 @@ use crate::error::SlingError;
 use crate::format::decode_meta;
 use crate::index::{QueryWorkspace, SlingIndex};
 use crate::lifecycle::manifest::{FileDigest, Manifest, MANIFEST_FILE};
+use crate::obs::{self, KernelCounters};
 use crate::store::{HpStore, SharedEngine};
 
 /// Name of the promotion pointer file in the store root.
@@ -313,6 +314,7 @@ impl GenerationStore {
         let final_dir = self.generation_dir(id);
         fs::rename(&staging, &final_dir)?;
         sync_dir(&self.root);
+        KernelCounters::bump(&obs::LIFECYCLE.publishes);
         Ok(id)
     }
 
@@ -343,6 +345,7 @@ impl GenerationStore {
         write_synced(&tmp, format!("{}\n", gen.dir_name()).as_bytes())?;
         fs::rename(&tmp, self.root.join(CURRENT_FILE))?;
         sync_dir(&self.root);
+        KernelCounters::bump(&obs::LIFECYCLE.promotions);
         Ok(())
     }
 
@@ -385,6 +388,7 @@ impl GenerationStore {
         if !retired.is_empty() {
             sync_dir(&self.root);
         }
+        KernelCounters::bump_by(&obs::LIFECYCLE.gc_removed, retired.len() as u64);
         Ok(retired)
     }
 
@@ -509,5 +513,7 @@ pub fn warm_engine<S: HpStore>(
             primed += 1;
         }
     }
+    KernelCounters::bump(&obs::LIFECYCLE.warmups);
+    KernelCounters::bump_by(&obs::LIFECYCLE.warmup_keys, primed as u64);
     primed
 }

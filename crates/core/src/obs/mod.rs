@@ -1,0 +1,205 @@
+//! # obs — unified observability
+//!
+//! One subsystem for everything the stack can tell an operator:
+//!
+//! * [`registry`] — the [`MetricsRegistry`] of named counters, gauges,
+//!   and histograms, with a stable Prometheus text renderer and a
+//!   fixed-key-order JSON snapshot;
+//! * [`histogram`] — the lock-free log-bucketed [`Histogram`] (shared
+//!   with the server's latency reporting; one implementation in tree);
+//! * [`trace`] — the zero-cost-when-disabled per-query [`QueryTrace`]
+//!   stage breakdown and the ring-buffered [`SlowQueryLog`].
+//!
+//! ## Kernel and lifecycle counters
+//!
+//! The query kernels and lifecycle sit *below* any server, and their
+//! hot paths must not thread a registry reference through every
+//! backend call. They instead increment the process-wide relaxed
+//! atomics in [`KERNEL`] / [`LIFECYCLE`] — one `fetch_add` per event,
+//! loop-local accumulation where an event would land inside an inner
+//! loop — and [`register_process_metrics`] surfaces them in a registry
+//! as closure-backed counters. The counters are monotone and
+//! process-global: rates and deltas, not per-engine gauges.
+
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::{merge_report, Histogram, LatencyReport};
+pub use registry::{Counter, MetricsRegistry};
+pub use trace::{QueryTrace, SlowQueryLog, SlowQueryRecord, StageNanos};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide kernel event counters (see module docs).
+#[derive(Debug)]
+pub struct KernelCounters {
+    /// `RestoreCache` lookups that returned a memoized full list.
+    pub restore_cache_hits: AtomicU64,
+    /// `RestoreCache` lookups that fell through to recomputation.
+    pub restore_cache_misses: AtomicU64,
+    /// Compressed blocks decoded (v2/v3 mmap + disk backends).
+    pub block_decodes: AtomicU64,
+    /// Bytes fetched from backend storage (block payloads, positioned
+    /// disk reads) on behalf of queries.
+    pub backend_bytes_read: AtomicU64,
+    /// Intersect-merges dispatched to the galloping kernel (≥8× skew).
+    pub merge_gallop: AtomicU64,
+    /// Intersect-merges dispatched to the linear kernel.
+    pub merge_linear: AtomicU64,
+    /// Frontier bitset words swept by Algorithm-6 propagation.
+    pub frontier_words: AtomicU64,
+    /// `BufferedDiskStore` pool hits.
+    pub buffered_disk_hits: AtomicU64,
+    /// `BufferedDiskStore` pool misses (positioned read + admit).
+    pub buffered_disk_misses: AtomicU64,
+    /// `BufferedDiskStore` entries evicted to respect the budget.
+    pub buffered_disk_evictions: AtomicU64,
+}
+
+impl KernelCounters {
+    const fn new() -> Self {
+        KernelCounters {
+            restore_cache_hits: AtomicU64::new(0),
+            restore_cache_misses: AtomicU64::new(0),
+            block_decodes: AtomicU64::new(0),
+            backend_bytes_read: AtomicU64::new(0),
+            merge_gallop: AtomicU64::new(0),
+            merge_linear: AtomicU64::new(0),
+            frontier_words: AtomicU64::new(0),
+            buffered_disk_hits: AtomicU64::new(0),
+            buffered_disk_misses: AtomicU64::new(0),
+            buffered_disk_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// One relaxed increment; the kernels call this, never `fetch_add`
+    /// directly, so every hook site reads the same way.
+    #[inline]
+    pub fn bump(cell: &AtomicU64) {
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One relaxed bulk add (for loop-local accumulations).
+    #[inline]
+    pub fn bump_by(cell: &AtomicU64, n: u64) {
+        if n > 0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The kernel counters. Static so `HpStore` impls and kernels can
+/// increment without carrying a registry handle.
+pub static KERNEL: KernelCounters = KernelCounters::new();
+
+/// Process-wide index-lifecycle event counters.
+#[derive(Debug)]
+pub struct LifecycleCounters {
+    /// Generations published into a `GenerationStore`.
+    pub publishes: AtomicU64,
+    /// `CURRENT` promotions (including rollbacks).
+    pub promotions: AtomicU64,
+    /// Retired generations removed by GC.
+    pub gc_removed: AtomicU64,
+    /// Warm-up priming passes run against a fresh engine.
+    pub warmups: AtomicU64,
+    /// Hot keys primed across all warm-up passes.
+    pub warmup_keys: AtomicU64,
+}
+
+impl LifecycleCounters {
+    const fn new() -> Self {
+        LifecycleCounters {
+            publishes: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            gc_removed: AtomicU64::new(0),
+            warmups: AtomicU64::new(0),
+            warmup_keys: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The lifecycle counters (see [`KERNEL`] for the pattern).
+pub static LIFECYCLE: LifecycleCounters = LifecycleCounters::new();
+
+macro_rules! register_static_counters {
+    ($reg:expr, $src:expr, { $($name:literal => $field:ident: $help:literal,)+ }) => {
+        $($reg.counter_fn($name, $help, || $src.$field.load(Ordering::Relaxed));)+
+    };
+}
+
+/// Register the process-wide kernel and lifecycle counters into `reg`
+/// under the `sling_kernel_*` / `sling_lifecycle_*` families.
+pub fn register_process_metrics(reg: &MetricsRegistry) {
+    register_static_counters!(reg, KERNEL, {
+        "sling_kernel_restore_cache_hits_total" => restore_cache_hits:
+            "RestoreCache lookups resolved to a memoized full list",
+        "sling_kernel_restore_cache_misses_total" => restore_cache_misses:
+            "RestoreCache lookups that recomputed the restore",
+        "sling_kernel_block_decodes_total" => block_decodes:
+            "compressed index blocks decoded",
+        "sling_kernel_backend_bytes_read_total" => backend_bytes_read:
+            "bytes fetched from backend storage for queries",
+        "sling_kernel_merge_gallop_total" => merge_gallop:
+            "intersect-merges dispatched to the galloping kernel",
+        "sling_kernel_merge_linear_total" => merge_linear:
+            "intersect-merges dispatched to the linear kernel",
+        "sling_kernel_frontier_words_total" => frontier_words:
+            "frontier bitset words swept by Algorithm-6 propagation",
+        "sling_buffered_disk_hits_total" => buffered_disk_hits:
+            "BufferedDiskStore pool hits",
+        "sling_buffered_disk_misses_total" => buffered_disk_misses:
+            "BufferedDiskStore pool misses",
+        "sling_buffered_disk_evictions_total" => buffered_disk_evictions:
+            "BufferedDiskStore pool evictions",
+    });
+    register_static_counters!(reg, LIFECYCLE, {
+        "sling_lifecycle_publishes_total" => publishes:
+            "index generations published",
+        "sling_lifecycle_promotions_total" => promotions:
+            "CURRENT promotions (including rollbacks)",
+        "sling_lifecycle_gc_removed_total" => gc_removed:
+            "retired generations removed by GC",
+        "sling_lifecycle_warmups_total" => warmups:
+            "warm-up priming passes",
+        "sling_lifecycle_warmup_keys_total" => warmup_keys:
+            "hot keys primed during warm-up",
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_metrics_register_and_read() {
+        let reg = MetricsRegistry::new();
+        register_process_metrics(&reg);
+        // Statics are process-global, so only assert presence and
+        // monotonicity — other tests may be incrementing concurrently.
+        let before = reg
+            .counter_value("sling_kernel_merge_linear_total")
+            .expect("kernel counter registered");
+        KernelCounters::bump(&KERNEL.merge_linear);
+        let after = reg
+            .counter_value("sling_kernel_merge_linear_total")
+            .unwrap();
+        assert!(after > before);
+        assert!(reg
+            .counter_value("sling_lifecycle_promotions_total")
+            .is_some());
+        let text = reg.render_prometheus();
+        assert!(text.contains("sling_kernel_frontier_words_total"));
+        assert!(text.contains("sling_buffered_disk_hits_total"));
+    }
+
+    #[test]
+    fn bump_by_zero_is_a_no_op() {
+        let cell = AtomicU64::new(5);
+        KernelCounters::bump_by(&cell, 0);
+        assert_eq!(cell.load(Ordering::Relaxed), 5);
+        KernelCounters::bump_by(&cell, 3);
+        assert_eq!(cell.load(Ordering::Relaxed), 8);
+    }
+}

@@ -33,6 +33,7 @@ use crate::format::PayloadGeometry;
 use crate::hp::{HpArena, HpEntry};
 use crate::index::{BuildStats, SlingIndex};
 use crate::local_update::reverse_hp_all;
+use crate::obs::{self, KernelCounters};
 use crate::store::{
     decode_block_validated, push_block_range, BlockScratchCache, HpStore, QueryEngine,
 };
@@ -422,6 +423,7 @@ impl DiskHpStore {
                 values_base,
             } => (*steps_base, *nodes_base, *values_base),
         };
+        KernelCounters::bump_by(&obs::KERNEL.backend_bytes_read, 14);
         let mut step_raw = [0u8; 2];
         self.file
             .read_exact_at(&mut step_raw, steps_base + i as u64 * 2)?;
@@ -473,6 +475,7 @@ impl DiskHpStore {
                 values_base,
             } => (*steps_base, *nodes_base, *values_base),
         };
+        KernelCounters::bump_by(&obs::KERNEL.backend_bytes_read, count as u64 * 14);
         let mut steps_raw = vec![0u8; count * 2];
         self.file
             .read_exact_at(&mut steps_raw, steps_base + lo as u64 * 2)?;

@@ -42,6 +42,7 @@ use crate::index::{
     effective_entries_into, resolve_restored, resolve_stream_source, Buf, QueryWorkspace,
     RestoredList, SlingIndex,
 };
+use crate::obs::{self, KernelCounters};
 use crate::store::{
     with_source, EngineRef, EntryAccess, EntryRun, HpStore, RestoreKind, RunSource,
 };
@@ -62,10 +63,13 @@ pub(crate) fn merge_intersect(a: &[HpEntry], b: &[HpEntry], d: &[f64]) -> f64 {
 pub(crate) fn merge_intersect_runs<A: EntryRun, B: EntryRun>(a: A, b: B, d: &[f64]) -> f64 {
     let (an, bn) = (a.len(), b.len());
     if an.saturating_mul(GALLOP_RATIO) <= bn {
+        KernelCounters::bump(&obs::KERNEL.merge_gallop);
         merge_gallop(a, b, d, true)
     } else if bn.saturating_mul(GALLOP_RATIO) <= an {
+        KernelCounters::bump(&obs::KERNEL.merge_gallop);
         merge_gallop(b, a, d, false)
     } else {
+        KernelCounters::bump(&obs::KERNEL.merge_linear);
         merge_linear(a, b, d)
     }
 }
@@ -182,6 +186,7 @@ pub(crate) fn single_pair_core<S: HpStore>(
     // cache-less engines stay `None` and stream two-segment instead —
     // there the full restore would copy the tail for a single use.
     let cached = e.restore_cache.is_some();
+    let t_restore = ws.trace.timer();
     let ra = match ku {
         RestoreKind::None => None,
         RestoreKind::TwoHopOnly if !cached => None,
@@ -192,6 +197,7 @@ pub(crate) fn single_pair_core<S: HpStore>(
         RestoreKind::TwoHopOnly if !cached => None,
         _ => Some(resolve_restored(e, graph, v, ws, Buf::B)?),
     };
+    ws.trace.add_restore(t_restore);
     // Split-borrow the workspace: side A owns (buf_a, stored), side B
     // owns (buf_b, extras) — head buffer + tail scratch each — and the
     // two-hop scratch is reused sequentially.
@@ -203,6 +209,7 @@ pub(crate) fn single_pair_core<S: HpStore>(
         two_hop,
         ..
     } = ws;
+    let t_fetch = ws.trace.timer();
     let sa = match ra {
         Some(RestoredList::Workspace) => RunSource::Whole(EntryAccess::Slice(buf_a)),
         Some(RestoredList::Shared(list)) => RunSource::Shared(list),
@@ -213,9 +220,12 @@ pub(crate) fn single_pair_core<S: HpStore>(
         Some(RestoredList::Shared(list)) => RunSource::Shared(list),
         None => resolve_stream_source(e, graph, v, kv, buf_b, extras, two_hop)?,
     };
+    ws.trace.add_entry_fetch(t_fetch);
+    let t_merge = ws.trace.timer();
     let s = with_source!(&sa, |run_a| with_source!(&sb, |run_b| {
         merge_intersect_runs(run_a, run_b, e.d)
     }));
+    ws.trace.add_merge(t_merge);
     Ok(s.clamp(0.0, 1.0))
 }
 

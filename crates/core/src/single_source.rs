@@ -17,6 +17,7 @@ use crate::index::{
     effective_entries_into, resolve_restored, resolve_stream_source, Buf, QueryWorkspace,
     RestoredList, SlingIndex,
 };
+use crate::obs::{self, KernelCounters};
 use crate::store::{
     with_source, EngineRef, EntryAccess, EntryRun, HpStore, RestoreKind, RunSource,
 };
@@ -47,6 +48,22 @@ impl SingleSourceWorkspace {
     pub fn trim_excess(&mut self) {
         self.query.trim_excess();
         self.dense.trim_excess();
+    }
+
+    /// Enable or disable per-stage query tracing (see
+    /// [`QueryWorkspace::set_trace_enabled`]).
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.query.set_trace_enabled(enabled);
+    }
+
+    /// Whether per-stage tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.query.trace_enabled()
+    }
+
+    /// Drain the stage breakdown accumulated since the last call.
+    pub fn take_trace(&mut self) -> crate::obs::StageNanos {
+        self.query.take_trace()
     }
 }
 
@@ -218,11 +235,13 @@ impl DenseScores {
     /// The untiled sweep: each contribution is scattered into `next` as
     /// soon as it is generated. Fastest when `next` stays cache-resident.
     fn propagate_direct(&mut self, graph: &DiGraph, sqrt_c: f64, threshold: f64, rounds: u16) {
+        let mut swept = 0u64;
         for _ in 0..rounds {
             let (lo, hi) = (self.front_cur.lo, self.front_cur.hi);
             if lo > hi {
                 break; // empty frontier: remaining rounds are no-ops
             }
+            swept += (hi - lo + 1) as u64;
             self.front_cur.clear_marks();
             for wi in lo..=hi {
                 let mut w = self.front_cur.bits[wi];
@@ -249,6 +268,7 @@ impl DenseScores {
             std::mem::swap(&mut self.cur, &mut self.next);
             std::mem::swap(&mut self.front_cur, &mut self.front_next);
         }
+        KernelCounters::bump_by(&obs::KERNEL.frontier_words, swept);
     }
 
     /// The **tiled** sweep: contributions are first *gathered* into the
@@ -263,12 +283,14 @@ impl DenseScores {
     /// marking is order-free — the tiling is bit-invisible (pinned by
     /// `tiled_propagation_matches_direct_bitwise`).
     fn propagate_tiled(&mut self, graph: &DiGraph, sqrt_c: f64, threshold: f64, rounds: u16) {
+        let mut swept = 0u64;
         for _ in 0..rounds {
             debug_assert!(self.staged.is_empty());
             let (lo, hi) = (self.front_cur.lo, self.front_cur.hi);
             if lo > hi {
                 break; // empty frontier: remaining rounds are no-ops
             }
+            swept += (hi - lo + 1) as u64;
             self.front_cur.clear_marks();
             for wi in lo..=hi {
                 let mut w = self.front_cur.bits[wi];
@@ -298,6 +320,7 @@ impl DenseScores {
             std::mem::swap(&mut self.cur, &mut self.next);
             std::mem::swap(&mut self.front_cur, &mut self.front_next);
         }
+        KernelCounters::bump_by(&obs::KERNEL.frontier_words, swept);
     }
 
     /// Scatter the staged `(destination, increment)` tile into `next`,
@@ -394,6 +417,7 @@ pub(crate) fn single_source_with_cutoff<S: HpStore>(
     out.resize(n, 0.0);
     ws.dense.ensure(n);
     let kind = e.restore_kind(u);
+    let t_restore = ws.query.trace.timer();
     let resolved = if materialize {
         // Reference path: plain workspace materialization, no cache.
         effective_entries_into(e, graph, u, &mut ws.query, Buf::A)?;
@@ -408,6 +432,7 @@ pub(crate) fn single_source_with_cutoff<S: HpStore>(
     } else {
         None
     };
+    ws.query.trace.add_restore(t_restore);
     // Disjoint-field split: the entry run may borrow `query.buf_a`
     // (restored heads/lists, disk scratch) and `query.stored` (tail
     // scratch) while `dense` mutates freely.
@@ -418,15 +443,19 @@ pub(crate) fn single_source_with_cutoff<S: HpStore>(
         two_hop,
         ..
     } = query;
+    let t_fetch = query.trace.timer();
     let source = match resolved {
         Some(RestoredList::Workspace) => RunSource::Whole(EntryAccess::Slice(buf_a)),
         Some(RestoredList::Shared(list)) => RunSource::Shared(list),
         None => resolve_stream_source(e, graph, u, kind, buf_a, stored, two_hop)?,
     };
+    query.trace.add_entry_fetch(t_fetch);
+    let t_propagate = query.trace.timer();
     let truncated = with_source!(&source, |run| seed_step_runs(
         e, graph, dense, run, cutoff, out
     ));
     drop(source);
+    query.trace.add_propagate(t_propagate);
     dense.reset();
 
     for s in out.iter_mut() {

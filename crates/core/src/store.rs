@@ -49,6 +49,7 @@ use crate::format::{decode_meta, BlockedGeometry, PayloadGeometry};
 use crate::hp::{HpArena, HpEntry};
 use crate::index::{BuildStats, QueryWorkspace, SlingIndex};
 use crate::join::{threshold_join_core, JoinPair, JoinStrategy};
+use crate::obs::{self, KernelCounters};
 use crate::single_pair::single_pair_core;
 use crate::single_source::{single_source_core, SingleSourceWorkspace};
 use crate::topk::{select_top_k, single_source_truncated_core};
@@ -1106,7 +1107,7 @@ impl RestoreCache {
     pub(crate) fn get(&self, v: NodeId) -> Option<Arc<Vec<HpEntry>>> {
         let current = self.epoch();
         let mut shard = self.shard(v).lock();
-        match shard.lists.get(&v.0) {
+        let hit = match shard.lists.get(&v.0) {
             Some((epoch, list)) if *epoch == current => Some(Arc::clone(list)),
             Some(_) => {
                 let (_, stale) = shard.lists.remove(&v.0).expect("entry just observed");
@@ -1114,7 +1115,13 @@ impl RestoreCache {
                 None
             }
             None => None,
+        };
+        drop(shard);
+        match hit.is_some() {
+            true => KernelCounters::bump(&obs::KERNEL.restore_cache_hits),
+            false => KernelCounters::bump(&obs::KERNEL.restore_cache_misses),
         }
+        hit
     }
 
     /// Admit a list restored under generation `epoch`, evicting LRU
@@ -1169,6 +1176,8 @@ pub(crate) fn decode_block_validated(
     global_dict: Option<&[f64]>,
 ) -> Result<DecodedBlock, SlingError> {
     let expected = expected_block_len(b, num_blocks, block_entries, total_entries)?;
+    KernelCounters::bump(&obs::KERNEL.block_decodes);
+    KernelCounters::bump_by(&obs::KERNEL.backend_bytes_read, raw.len() as u64);
     let mut block = DecodedBlock::default();
     match global_dict {
         Some(dict) => decode_block_with_dict(raw, expected, dict, &mut block)?,

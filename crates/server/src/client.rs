@@ -5,7 +5,7 @@
 //! `ERR <message>` responses surface as [`std::io::ErrorKind::InvalidData`]
 //! errors carrying the server's message; the connection stays usable.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
@@ -116,6 +116,52 @@ impl Client {
     /// Raw `key=value ..` statistics payload.
     pub fn stats_line(&mut self) -> io::Result<String> {
         self.roundtrip(&Request::Stats.encode())
+    }
+
+    /// Full Prometheus text exposition (the `METRICS` verb).
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.framed(&Request::Metrics.encode())
+    }
+
+    /// Recent slow-query records, one line each, oldest first (the
+    /// `SLOWLOG` verb). An empty string means no queries crossed the
+    /// threshold (or the log is disabled).
+    pub fn slow_queries(&mut self) -> io::Result<String> {
+        let payload = self.framed(&Request::Slowlog.encode())?;
+        Ok(payload.trim_end_matches('\n').to_string())
+    }
+
+    /// Send one request whose response is length-framed: an `OK <bytes>`
+    /// header line, then exactly that many payload bytes. This is how
+    /// multi-line payloads travel over the one-line protocol.
+    fn framed(&mut self, request: &str) -> io::Result<String> {
+        let stream = self.reader.get_mut();
+        stream.write_all(request.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let header = self.line.trim_end_matches(['\n', '\r']);
+        let len: usize = if let Some(rest) = header.strip_prefix("OK") {
+            rest.trim()
+                .parse()
+                .map_err(|_| invalid(&format!("malformed length header {header:?}")))?
+        } else if let Some(message) = header.strip_prefix("ERR") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server error: {}", message.trim_start()),
+            ));
+        } else {
+            return Err(invalid(&format!("malformed response {header:?}")));
+        };
+        let mut payload = vec![0u8; len];
+        self.reader.read_exact(&mut payload)?;
+        String::from_utf8(payload).map_err(|_| invalid("payload is not valid UTF-8"))
     }
 
     /// Ask the server to check for (and hot-swap to) a newer promoted

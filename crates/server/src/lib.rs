@@ -69,6 +69,8 @@
 //! | `TOPK <u> <k>` | `OK <m> <node>:<score> ..` — top-k most similar to `u`, excluding `u` |
 //! | `BATCH <u1>,<v1> <u2>,<v2> ..` | `OK <m> <s1> .. <sm>` — positionally aligned single-pair scores |
 //! | `STATS` | `OK key=value ..` — workers, per-worker served counts, the serving index generation (`index_generation`, `index_epoch`, `swaps`, `last_swap_unix_ms`), connection gauges (`open_connections`, `idle_connections`, `rejected_connections`), per-worker event-loop counters (`evloop_wakeups`, `evloop_turns`, comma-separated like `per_worker`), cache hits/misses/evictions/hit-rate, and query-latency percentiles (`latency_count`, `latency_p50_us`, `latency_p99_us`, `latency_p999_us`, from per-worker log-bucketed histograms: ~12% resolution, lock-free on the hot path) |
+//! | `METRICS` | `OK <bytes>` then exactly `<bytes>` payload bytes — the full Prometheus text exposition (see *Observability* below) |
+//! | `SLOWLOG` | `OK <bytes>` then exactly `<bytes>` payload bytes — recent slow-query records, one per line, oldest first |
 //! | `RELOAD` | `OK generation=<name> epoch=<e> swapped=<bool>` — check the generation store's `CURRENT` pointer and hot-swap to a newer promoted generation (`swapped=false` on pinned servers or when already current) |
 //! | `PING` | `OK pong` |
 //! | `QUIT` | `OK bye`, then the server closes this connection |
@@ -90,6 +92,42 @@
 //! > STATS
 //! OK workers=8 served=1042 per_worker=130,131,... cache=on cache_hits=512 ...
 //! ```
+//!
+//! ## Observability
+//!
+//! Every server owns a [`sling_core::obs::MetricsRegistry`] holding the
+//! counters, gauges, and log-bucketed latency histograms of all layers:
+//!
+//! * **Server** — `sling_server_requests_total` (per-worker sharded),
+//!   `sling_server_request_ns` (histogram), connection gauges
+//!   (`sling_server_open_connections`, `sling_server_active_connections`,
+//!   `sling_server_rejected_connections_total`), event-loop counters
+//!   (`sling_evloop_wakeups_total`, `sling_evloop_turns_total`), and
+//!   `sling_slow_queries_total`.
+//! * **Cache** — `sling_cache_{hits,misses,evictions}_total` plus the
+//!   `sling_cache_entries` / `sling_cache_capacity` gauges.
+//! * **Kernel stages** — per-query breakdowns recorded by the traced
+//!   worker workspaces into `sling_query_stage_{entry_fetch,restore,
+//!   merge,propagate}_ns` histograms, alongside the process-wide kernel
+//!   counters (`sling_kernel_*_total`, `sling_buffered_disk_*_total`)
+//!   from [`sling_core::obs::KERNEL`].
+//! * **Lifecycle** — `sling_lifecycle_*_total` (publish / promote / GC /
+//!   warm-up) and the swap-slot family (`sling_index_epoch`,
+//!   `sling_index_swaps_total`, `sling_index_reload_failures_total`), so
+//!   a hot reload is visible in the same scrape as the latency shift it
+//!   caused.
+//!
+//! Names follow `sling_<subsystem>_<what>[_total|_ns]`: `_total` marks
+//! monotone counters, `_ns` marks nanosecond histograms rendered on an
+//! exact power-of-two `le` ladder (1 µs … ~17 s). The `METRICS` and
+//! `SLOWLOG` responses are **length-framed** because their payloads are
+//! multi-line: the response is `OK <bytes>\n` followed by exactly
+//! `<bytes>` payload bytes (always newline-terminated); everything else
+//! on the connection stays newline-delimited. Queries at or above
+//! [`ServerConfig::slow_query_us`] are admitted to a fixed-capacity ring
+//! ([`sling_core::obs::SlowQueryLog`]) as structured one-line records:
+//! `slow verb=.. key=.. generation=.. epoch=.. total_us=..
+//! entry_fetch_us=.. restore_us=.. merge_us=.. propagate_us=..`.
 
 pub mod client;
 pub mod latency;

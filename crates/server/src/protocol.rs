@@ -26,6 +26,12 @@ pub enum Request {
     Batch { pairs: Vec<(u32, u32)> },
     /// `STATS` — server and cache counters.
     Stats,
+    /// `METRICS` — full Prometheus text exposition, length-framed as
+    /// `OK <bytes>` followed by exactly that many payload bytes.
+    Metrics,
+    /// `SLOWLOG` — recent slow-query records, length-framed like
+    /// `METRICS` (one record per line, oldest first).
+    Slowlog,
     /// `RELOAD` — check the generation store's `CURRENT` pointer and
     /// hot-swap to a newer promoted generation if one exists.
     Reload,
@@ -72,6 +78,8 @@ impl Request {
                 Request::Batch { pairs }
             }
             "STATS" => Request::Stats,
+            "METRICS" => Request::Metrics,
+            "SLOWLOG" => Request::Slowlog,
             "RELOAD" => Request::Reload,
             "PING" => Request::Ping,
             "QUIT" => Request::Quit,
@@ -98,6 +106,8 @@ impl Request {
                 out
             }
             Request::Stats => "STATS".to_string(),
+            Request::Metrics => "METRICS".to_string(),
+            Request::Slowlog => "SLOWLOG".to_string(),
             Request::Reload => "RELOAD".to_string(),
             Request::Ping => "PING".to_string(),
             Request::Quit => "QUIT".to_string(),
@@ -145,6 +155,8 @@ mod tests {
             }
         );
         assert_eq!(Request::parse("STATS").unwrap(), Request::Stats);
+        assert_eq!(Request::parse("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(Request::parse("SLOWLOG").unwrap(), Request::Slowlog);
         assert_eq!(Request::parse("RELOAD").unwrap(), Request::Reload);
         assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
         assert_eq!(Request::parse("QUIT").unwrap(), Request::Quit);
@@ -164,6 +176,8 @@ mod tests {
                 pairs: vec![(9, 8), (7, 6), (5, 5)],
             },
             Request::Stats,
+            Request::Metrics,
+            Request::Slowlog,
             Request::Reload,
             Request::Ping,
             Request::Quit,
@@ -189,6 +203,8 @@ mod tests {
             "BATCH 1,",
             "FROBNICATE 1",
             "STATS now",
+            "METRICS json",
+            "SLOWLOG 5",
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
         }

@@ -55,13 +55,17 @@ use std::time::{Duration, Instant};
 use polling::{Event, Events, Poller};
 
 use sling_core::lifecycle::{warm_engine, GenerationStore};
+use sling_core::obs::{
+    register_process_metrics, Counter, Histogram, MetricsRegistry, SlowQueryLog, SlowQueryRecord,
+    StageNanos,
+};
 use sling_core::single_source::SingleSourceWorkspace;
 use sling_core::{
     CacheStats, HpStore, QueryWorkspace, ShardedResultCache, SharedEngine, SlingError,
 };
 use sling_graph::{DiGraph, NodeId};
 
-use crate::latency::{merge_report, LatencyHistogram, LatencyReport};
+use crate::latency::{merge_report, LatencyReport};
 use crate::protocol::{write_scores, Request, MAX_LINE_BYTES};
 
 /// How often the non-blocking acceptor re-checks the shutdown flag.
@@ -108,6 +112,10 @@ const DRAIN_GRACE: Duration = Duration::from_millis(250);
 /// Pause between drain passes during shutdown.
 const DRAIN_POLL: Duration = Duration::from_millis(10);
 
+/// Slow-query ring capacity: enough recent offenders to characterize a
+/// latency regression without unbounded retention.
+const SLOW_LOG_CAPACITY: usize = 128;
+
 /// Tuning knobs for [`serve`] / [`serve_reloadable`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
@@ -129,6 +137,10 @@ pub struct ServerConfig {
     /// acceptor answers `ERR busy` and closes the socket instead of
     /// queueing unboundedly. `0` means unlimited.
     pub max_connections: usize,
+    /// Slow-query threshold in microseconds: requests at or above it are
+    /// admitted to the ring-buffered slow-query log (`SLOWLOG` verb).
+    /// `0` disables the log.
+    pub slow_query_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -139,6 +151,7 @@ impl Default for ServerConfig {
             cache_shards: 0,
             watch_interval_ms: 0,
             max_connections: 0,
+            slow_query_us: 10_000,
         }
     }
 }
@@ -613,14 +626,33 @@ struct WorkerShared {
     turns: AtomicU64,
 }
 
+/// Per-worker shards of the four kernel-stage histograms — one set per
+/// worker so recording a stage breakdown touches only worker-private
+/// cache lines; the registry merges shards on scrape.
+struct StageShards {
+    entry_fetch: Arc<Histogram>,
+    restore: Arc<Histogram>,
+    merge: Arc<Histogram>,
+    propagate: Arc<Histogram>,
+}
+
 /// Shared, non-generic server state: the per-worker event loops and the
 /// counters the `STATS` command reports.
 struct Control {
     shutdown: AtomicBool,
-    served: Box<[AtomicU64]>,
+    /// The server's metrics registry (also carrying the process-wide
+    /// kernel/lifecycle counters); rendered by the `METRICS` verb.
+    metrics: Arc<MetricsRegistry>,
+    /// Ring-buffered slow-query log, served by the `SLOWLOG` verb.
+    slowlog: Arc<SlowQueryLog>,
+    /// Per-worker shards of `sling_server_requests_total`; `STATS`
+    /// reads the same handles, so the two expositions cannot diverge.
+    served: Box<[Counter]>,
     /// Per-worker query-latency histograms (merged on `STATS`), so
     /// recording a latency is one relaxed add on worker-private state.
-    latency: Box<[LatencyHistogram]>,
+    latency: Box<[Arc<Histogram>]>,
+    /// Per-worker kernel-stage histogram shards.
+    stages: Box<[StageShards]>,
     cache: Option<ShardedResultCache>,
     /// [`ServerConfig::max_connections`] (0 = unlimited).
     max_connections: usize,
@@ -644,8 +676,135 @@ impl Control {
     }
 
     fn total_served(&self) -> u64 {
-        self.served.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.served.iter().map(|c| c.get()).sum()
     }
+
+    /// Merged server-side latency report across worker shards.
+    fn latency_report(&self) -> LatencyReport {
+        merge_report(self.latency.iter().map(|h| h.as_ref()))
+    }
+}
+
+/// Register the gauges and derived counters that read `Control`'s own
+/// atomics (connection gauges, event-loop counters, cache stats). The
+/// closures hold a `Weak` so the registry living inside `Control` does
+/// not keep it alive in a reference cycle.
+fn register_control_metrics(metrics: &MetricsRegistry, control: &Arc<Control>) {
+    let c = Arc::downgrade(control);
+    metrics.gauge_fn(
+        "sling_server_open_connections",
+        "client connections currently open",
+        move || {
+            c.upgrade()
+                .map(|c| c.open_connections.load(Ordering::Relaxed) as f64)
+                .unwrap_or(0.0)
+        },
+    );
+    let c = Arc::downgrade(control);
+    metrics.gauge_fn(
+        "sling_server_active_connections",
+        "connections on worker ready queues (not idle)",
+        move || {
+            c.upgrade()
+                .map(|c| {
+                    c.workers
+                        .iter()
+                        .map(|w| w.active.load(Ordering::Relaxed))
+                        .sum::<u64>() as f64
+                })
+                .unwrap_or(0.0)
+        },
+    );
+    let c = Arc::downgrade(control);
+    metrics.counter_fn(
+        "sling_server_rejected_connections_total",
+        "connections refused with ERR busy by the connection cap",
+        move || {
+            c.upgrade()
+                .map(|c| c.rejected_connections.load(Ordering::Relaxed))
+                .unwrap_or(0)
+        },
+    );
+    let c = Arc::downgrade(control);
+    metrics.counter_fn(
+        "sling_evloop_wakeups_total",
+        "epoll_wait returns across workers (including idle ticks)",
+        move || {
+            c.upgrade()
+                .map(|c| {
+                    c.workers
+                        .iter()
+                        .map(|w| w.wakeups.load(Ordering::Relaxed))
+                        .sum()
+                })
+                .unwrap_or(0)
+        },
+    );
+    let c = Arc::downgrade(control);
+    metrics.counter_fn(
+        "sling_evloop_turns_total",
+        "readiness turns dispatched to connections across workers",
+        move || {
+            c.upgrade()
+                .map(|c| {
+                    c.workers
+                        .iter()
+                        .map(|w| w.turns.load(Ordering::Relaxed))
+                        .sum()
+                })
+                .unwrap_or(0)
+        },
+    );
+    let c = Arc::downgrade(control);
+    metrics.counter_fn(
+        "sling_cache_hits_total",
+        "shared result-cache hits",
+        move || {
+            c.upgrade()
+                .and_then(|c| c.cache.as_ref().map(|cache| cache.stats().hits))
+                .unwrap_or(0)
+        },
+    );
+    let c = Arc::downgrade(control);
+    metrics.counter_fn(
+        "sling_cache_misses_total",
+        "shared result-cache misses",
+        move || {
+            c.upgrade()
+                .and_then(|c| c.cache.as_ref().map(|cache| cache.stats().misses))
+                .unwrap_or(0)
+        },
+    );
+    let c = Arc::downgrade(control);
+    metrics.counter_fn(
+        "sling_cache_evictions_total",
+        "shared result-cache evictions",
+        move || {
+            c.upgrade()
+                .and_then(|c| c.cache.as_ref().map(|cache| cache.stats().evictions))
+                .unwrap_or(0)
+        },
+    );
+    let c = Arc::downgrade(control);
+    metrics.gauge_fn(
+        "sling_cache_entries",
+        "entries resident in the shared result cache",
+        move || {
+            c.upgrade()
+                .and_then(|c| c.cache.as_ref().map(|cache| cache.len() as f64))
+                .unwrap_or(0.0)
+        },
+    );
+    let c = Arc::downgrade(control);
+    metrics.gauge_fn(
+        "sling_cache_capacity",
+        "configured capacity of the shared result cache",
+        move || {
+            c.upgrade()
+                .and_then(|c| c.cache.as_ref().map(|cache| cache.capacity() as f64))
+                .unwrap_or(0.0)
+        },
+    );
 }
 
 /// Final accounting returned by [`ServerHandle::join`] /
@@ -705,6 +864,13 @@ impl ServerHandle {
         (self.generation_info)()
     }
 
+    /// The server's metrics registry — render Prometheus text or JSON
+    /// snapshots from another thread while the server runs (what the
+    /// CLI's `--metrics-snapshot` exporter does).
+    pub fn metrics_registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.control.metrics)
+    }
+
     /// Block until the server exits (a client sends `SHUTDOWN`), then
     /// report final statistics.
     pub fn join(mut self) -> ServerReport {
@@ -712,14 +878,9 @@ impl ServerHandle {
             let _ = t.join();
         }
         ServerReport {
-            served_per_worker: self
-                .control
-                .served
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
+            served_per_worker: self.control.served.iter().map(|c| c.get()).collect(),
             cache: self.control.cache.as_ref().map(|c| c.stats()),
-            latency: merge_report(&self.control.latency),
+            latency: self.control.latency_report(),
             generation: (self.generation_info)(),
             open_connections: self.control.open_connections.load(Ordering::Relaxed),
             rejected_connections: self.control.rejected_connections.load(Ordering::Relaxed),
@@ -809,16 +970,98 @@ where
             })
         })
         .collect::<io::Result<Box<[WorkerShared]>>>()?;
+    let metrics = Arc::new(MetricsRegistry::new());
+    register_process_metrics(&metrics);
+    let slowlog = Arc::new(SlowQueryLog::new(
+        Duration::from_micros(config.slow_query_us),
+        SLOW_LOG_CAPACITY,
+    ));
+    {
+        let sl = Arc::clone(&slowlog);
+        metrics.counter_fn(
+            "sling_slow_queries_total",
+            "queries at or above the slow-query threshold",
+            move || sl.admitted(),
+        );
+    }
+    let served = (0..workers)
+        .map(|_| {
+            metrics.counter(
+                "sling_server_requests_total",
+                "queries served (batch pairs counted individually)",
+            )
+        })
+        .collect();
+    let latency = (0..workers)
+        .map(|_| {
+            metrics.histogram(
+                "sling_server_request_ns",
+                "server-side request handling latency",
+            )
+        })
+        .collect();
+    let stages = (0..workers)
+        .map(|_| StageShards {
+            entry_fetch: metrics.histogram(
+                "sling_query_stage_entry_fetch_ns",
+                "per-query backend entry-run resolution time",
+            ),
+            restore: metrics.histogram(
+                "sling_query_stage_restore_ns",
+                "per-query restore (space-reduction recomputation) time",
+            ),
+            merge: metrics.histogram(
+                "sling_query_stage_merge_ns",
+                "per-query intersect-merge time",
+            ),
+            propagate: metrics.histogram(
+                "sling_query_stage_propagate_ns",
+                "per-query frontier propagation time",
+            ),
+        })
+        .collect();
     let control = Arc::new(Control {
         shutdown: AtomicBool::new(false),
-        served: (0..workers).map(|_| AtomicU64::new(0)).collect(),
-        latency: (0..workers).map(|_| LatencyHistogram::new()).collect(),
+        metrics: Arc::clone(&metrics),
+        slowlog,
+        served,
+        latency,
+        stages,
         cache,
         max_connections: config.max_connections,
         open_connections: AtomicU64::new(0),
         rejected_connections: AtomicU64::new(0),
         workers: worker_shared,
     });
+    register_control_metrics(&metrics, &control);
+    {
+        let r = Arc::downgrade(&reloadable);
+        metrics.gauge_fn(
+            "sling_index_epoch",
+            "swap epoch of the serving generation",
+            move || r.upgrade().map(|r| r.epoch() as f64).unwrap_or(0.0),
+        );
+        let r = Arc::downgrade(&reloadable);
+        metrics.counter_fn(
+            "sling_index_swaps_total",
+            "completed generation swaps",
+            move || {
+                r.upgrade()
+                    .map(|r| r.swaps.load(Ordering::Relaxed))
+                    .unwrap_or(0)
+            },
+        );
+        let r = Arc::downgrade(&reloadable);
+        metrics.counter_fn(
+            "sling_index_reload_failures_total",
+            "reload attempts whose opener failed",
+            move || {
+                r.upgrade()
+                    .map(|r| r.reload_failures.load(Ordering::Relaxed))
+                    .unwrap_or(0)
+            },
+        );
+    }
     let addr = listener.local_addr();
     let mut threads = Vec::with_capacity(workers + 2);
     for id in 0..workers {
@@ -1028,6 +1271,11 @@ fn worker_loop<S: HpStore>(reloadable: &ReloadableEngine<S>, control: &Control, 
         response: String::new(),
         gen: None,
     };
+    // Serving always traces: the stage histograms and slow-query log
+    // need per-request breakdowns, and the cost is a handful of clock
+    // reads per query.
+    ctx.ws.set_trace_enabled(true);
+    ctx.ss.set_trace_enabled(true);
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut free: Vec<usize> = Vec::new();
     let mut ready: VecDeque<usize> = VecDeque::new();
@@ -1435,6 +1683,58 @@ fn write_query_error(out: &mut String, err: SlingError) {
     let _ = write!(out, "ERR {err}");
 }
 
+/// Record one served query everywhere it is observed: the merged
+/// latency histogram, the per-stage kernel histograms (zero stages are
+/// skipped, so each stage family's `_count` counts the queries that
+/// actually exercised it), and — at or above the threshold — the
+/// slow-query log. The key is built lazily so the fast path never
+/// allocates.
+fn observe_query<S: HpStore>(
+    control: &Control,
+    worker: usize,
+    gen: &EngineGeneration<S>,
+    verb: &'static str,
+    elapsed: Duration,
+    stages: StageNanos,
+    key: impl FnOnce() -> String,
+) {
+    control.latency[worker].record(elapsed);
+    let shard = &control.stages[worker];
+    for (hist, ns) in [
+        (&shard.entry_fetch, stages.entry_fetch),
+        (&shard.restore, stages.restore),
+        (&shard.merge, stages.merge),
+        (&shard.propagate, stages.propagate),
+    ] {
+        if ns > 0 {
+            hist.record_ns(ns);
+        }
+    }
+    let threshold = control.slowlog.threshold();
+    if !threshold.is_zero() && elapsed >= threshold {
+        control.slowlog.record(SlowQueryRecord {
+            verb,
+            key: key(),
+            generation: gen.name.clone(),
+            epoch: gen.epoch,
+            total: elapsed,
+            stages,
+        });
+    }
+}
+
+/// Frame a multi-line payload for the one-line protocol: `OK <bytes>`
+/// followed by exactly that many payload bytes. The connection loop
+/// appends the response's final `\n`, so the payload's trailing newline
+/// is emitted by it — `<bytes>` always counts a newline-terminated
+/// payload.
+fn write_framed(out: &mut String, payload: &str) {
+    let body = payload.strip_suffix('\n').unwrap_or(payload);
+    let _ = write!(out, "OK {}", body.len() + 1);
+    out.push('\n');
+    out.push_str(body);
+}
+
 fn handle_request<S: HpStore>(
     reloadable: &ReloadableEngine<S>,
     control: &Control,
@@ -1488,7 +1788,7 @@ fn handle_request<S: HpStore>(
                 info.reload_failures,
                 info.last_swap_unix_ms
             );
-            let lat = merge_report(&control.latency);
+            let lat = control.latency_report();
             let _ = write!(
                 out,
                 " latency_count={} latency_p50_us={:.1} latency_p99_us={:.1} \
@@ -1500,7 +1800,7 @@ fn handle_request<S: HpStore>(
                 if i > 0 {
                     out.push(',');
                 }
-                let _ = write!(out, "{}", c.load(Ordering::Relaxed));
+                let _ = write!(out, "{}", c.get());
             }
             let open = control.open_connections.load(Ordering::Relaxed);
             let active: u64 = control
@@ -1549,19 +1849,32 @@ fn handle_request<S: HpStore>(
             }
             let _ = write!(out, " resident_bytes={}", gen.engine.resident_bytes());
         }
+        Request::Metrics => {
+            write_framed(out, &control.metrics.render_prometheus());
+        }
+        Request::Slowlog => {
+            let mut payload = String::new();
+            for rec in control.slowlog.snapshot() {
+                let _ = writeln!(payload, "{rec}");
+            }
+            write_framed(out, &payload);
+        }
         Request::Pair { u, v } => {
-            control.served[worker].fetch_add(1, Ordering::Relaxed);
+            control.served[worker].inc();
             let t0 = std::time::Instant::now();
             match score_pair(&gen, control, &mut ctx.ws, u, v) {
                 Ok(s) => {
-                    control.latency[worker].record(t0.elapsed());
+                    let stages = ctx.ws.take_trace();
+                    observe_query(control, worker, &gen, "PAIR", t0.elapsed(), stages, || {
+                        format!("{u},{v}")
+                    });
                     let _ = write!(out, "OK {s}");
                 }
                 Err(e) => write_query_error(out, e),
             }
         }
         Request::Source { u } => {
-            control.served[worker].fetch_add(1, Ordering::Relaxed);
+            control.served[worker].inc();
             gen.engine.store().prefetch(NodeId(u));
             let t0 = std::time::Instant::now();
             match gen
@@ -1569,7 +1882,16 @@ fn handle_request<S: HpStore>(
                 .single_source_with(&gen.graph, &mut ctx.ss, NodeId(u), &mut ctx.scores)
             {
                 Ok(()) => {
-                    control.latency[worker].record(t0.elapsed());
+                    let stages = ctx.ss.take_trace();
+                    observe_query(
+                        control,
+                        worker,
+                        &gen,
+                        "SOURCE",
+                        t0.elapsed(),
+                        stages,
+                        || u.to_string(),
+                    );
                     out.push_str("OK ");
                     write_scores(out, &ctx.scores);
                 }
@@ -1577,7 +1899,7 @@ fn handle_request<S: HpStore>(
             }
         }
         Request::TopK { u, k } => {
-            control.served[worker].fetch_add(1, Ordering::Relaxed);
+            control.served[worker].inc();
             gen.engine.store().prefetch(NodeId(u));
             let t0 = std::time::Instant::now();
             match gen
@@ -1585,7 +1907,10 @@ fn handle_request<S: HpStore>(
                 .top_k_with(&gen.graph, &mut ctx.ss, &mut ctx.scores, NodeId(u), k)
             {
                 Ok(top) => {
-                    control.latency[worker].record(t0.elapsed());
+                    let stages = ctx.ss.take_trace();
+                    observe_query(control, worker, &gen, "TOPK", t0.elapsed(), stages, || {
+                        format!("{u}:{k}")
+                    });
                     let _ = write!(out, "OK {}", top.len());
                     for (node, score) in top {
                         let _ = write!(out, " {}:{score}", node.0);
@@ -1595,13 +1920,16 @@ fn handle_request<S: HpStore>(
             }
         }
         Request::Batch { pairs } => {
-            control.served[worker].fetch_add(pairs.len() as u64, Ordering::Relaxed);
+            control.served[worker].add(pairs.len() as u64);
             ctx.batch.clear();
             for &(u, v) in &pairs {
                 let t0 = std::time::Instant::now();
                 match score_pair(&gen, control, &mut ctx.ws, u, v) {
                     Ok(s) => {
-                        control.latency[worker].record(t0.elapsed());
+                        let stages = ctx.ws.take_trace();
+                        observe_query(control, worker, &gen, "BATCH", t0.elapsed(), stages, || {
+                            format!("{u},{v}")
+                        });
                         ctx.batch.push(s);
                     }
                     Err(e) => {

@@ -368,3 +368,142 @@ fn malformed_requests_get_err_lines() {
     client.shutdown().unwrap();
     handle.join();
 }
+
+#[test]
+fn metrics_exposition_round_trips_with_live_families() {
+    let (g, idx) = setup();
+    let engine = Arc::new(SharedEngine::from(idx));
+    let handle = serve(
+        engine,
+        Arc::new(g.clone()),
+        Listener::bind_tcp("127.0.0.1:0").unwrap(),
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 256,
+            cache_shards: 2,
+            // Everything is "slow": the slow-query log must fill.
+            slow_query_us: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr().unwrap();
+    let n = g.num_nodes() as u32;
+
+    let mut client = Client::connect_tcp(addr).unwrap();
+    for i in 0..32u32 {
+        // Repeat a hot pair so the shared result cache records hits.
+        let (u, v) = if i % 2 == 0 {
+            (3, 77 % n)
+        } else {
+            (i % n, (i * 7 + 1) % n)
+        };
+        client.pair(u, v).unwrap();
+    }
+    client.single_source(5).unwrap();
+    client.top_k(3, 4).unwrap();
+
+    let text = client.metrics().unwrap();
+    assert!(text.ends_with('\n'), "payload must be newline-terminated");
+    // Prometheus text shape: every family has HELP and TYPE lines, and
+    // every non-comment line is `name[{labels}] value`.
+    let mut families = 0usize;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            families += 1;
+            let mut parts = rest.split_ascii_whitespace();
+            let name = parts.next().unwrap();
+            assert!(
+                text.contains(&format!("# HELP {name} ")),
+                "no HELP for {name}"
+            );
+            assert!(
+                matches!(parts.next(), Some("counter" | "gauge" | "histogram")),
+                "bad TYPE line {line:?}"
+            );
+        } else if !line.starts_with('#') {
+            let mut parts = line.split_ascii_whitespace();
+            let (name, value) = (parts.next().unwrap(), parts.next().unwrap());
+            assert!(parts.next().is_none(), "trailing tokens in {line:?}");
+            assert!(!name.is_empty());
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad value in {line:?}"));
+        }
+    }
+    assert!(families >= 20, "only {families} families in:\n{text}");
+
+    let metric = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.split_ascii_whitespace().next() == Some(name))
+            .unwrap_or_else(|| panic!("{name} missing from exposition"))
+            .split_ascii_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse::<f64>()
+            .unwrap() as u64
+    };
+    // Server family: 32 pairs + 1 source + 1 topk.
+    assert_eq!(metric("sling_server_requests_total"), 34);
+    assert_eq!(metric("sling_server_request_ns_count"), 34);
+    // Cache family: the repeated hot pair must have hit.
+    assert!(
+        metric("sling_cache_hits_total") > 0,
+        "no cache hits:\n{text}"
+    );
+    // Kernel-stage histograms: pair traffic exercises fetch+merge, the
+    // source query exercises propagation.
+    assert!(metric("sling_query_stage_entry_fetch_ns_count") > 0);
+    assert!(metric("sling_query_stage_merge_ns_count") > 0);
+    assert!(metric("sling_query_stage_propagate_ns_count") > 0);
+    // Process-wide kernel + lifecycle families are registered.
+    assert!(text.contains("sling_kernel_merge_linear_total"));
+    assert!(text.contains("sling_lifecycle_promotions_total"));
+    assert!(text.contains("sling_index_epoch"));
+
+    // Slow-query log: threshold 1 µs admits essentially everything, the
+    // ring is bounded, and records are structured one-liners.
+    assert!(metric("sling_slow_queries_total") > 0);
+    let slow = client.slow_queries().unwrap();
+    assert!(!slow.is_empty(), "slow log empty despite 1 µs threshold");
+    for line in slow.lines() {
+        assert!(line.starts_with("slow verb="), "bad record {line:?}");
+        assert!(line.contains(" total_us="), "bad record {line:?}");
+        assert!(line.contains(" generation=static "), "bad record {line:?}");
+    }
+
+    // STATS must agree with the registry on the served count (same
+    // underlying handles).
+    let stats = client.stats_line().unwrap();
+    assert!(stats.contains("served=34"), "{stats}");
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn slow_query_log_disabled_at_zero_threshold() {
+    let (g, idx) = setup();
+    let engine = Arc::new(SharedEngine::from(idx));
+    let handle = serve(
+        engine,
+        Arc::new(g),
+        Listener::bind_tcp("127.0.0.1:0").unwrap(),
+        ServerConfig {
+            workers: 1,
+            cache_capacity: 16,
+            cache_shards: 1,
+            slow_query_us: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr().unwrap();
+    let mut client = Client::connect_tcp(addr).unwrap();
+    for i in 0..8u32 {
+        client.pair(i % 4, (i * 3 + 1) % 7).unwrap();
+    }
+    assert_eq!(client.slow_queries().unwrap(), "");
+    client.shutdown().unwrap();
+    handle.join();
+}
