@@ -64,20 +64,36 @@ COMMANDS:
                                           shared engine + sharded result cache
   serve GRAPH INDEX [--listen ADDR] [--unix PATH] [--workers N]
         [--cache CAP] [--shards S] [--max-connections N] [--index-backend B]
-        [--slow-query-us U] [--metrics-snapshot FILE [--metrics-snapshot-ms N]]
+        [--slow-query-us U] [--deadline-us D] [--shed-queue-depth Q]
+        [--shed-pending-bytes P] [--faults SPEC]
+        [--metrics-snapshot FILE [--metrics-snapshot-ms N]]
                                           long-lived epoll-based query server
                                           (wire protocol: see sling-server docs);
                                           queries at or above U microseconds land
                                           in the SLOWLOG ring (default 10000,
-                                          0 disables); --metrics-snapshot dumps
-                                          the metrics registry to FILE as JSON
-                                          every N ms (default 1000)
-  serve --index-root DIR [GRAPH] [--watch] [--watch-ms N] [..]
+                                          0 disables); queries buffered longer
+                                          than D microseconds answer ERR
+                                          deadline, and past Q queued requests
+                                          or P pending bytes answer ERR
+                                          overloaded (0 = off); --faults
+                                          installs a deterministic fault
+                                          schedule (see sling-core faults docs;
+                                          also read from SLING_FAULTS);
+                                          --metrics-snapshot dumps the metrics
+                                          registry to FILE as JSON every N ms
+                                          (default 1000)
+  serve --index-root DIR [GRAPH] [--watch] [--watch-ms N]
+        [--rollback-errors E] [..]
                                           serve the promoted generation of an
                                           index root and hot-swap (zero dropped
                                           requests) when a new one is promoted;
                                           GRAPH is the fallback for generations
-                                          without a co-located graph snapshot
+                                          without a co-located graph snapshot;
+                                          after E runtime corruption/IO errors
+                                          (default 8, 0 = off) the serving
+                                          generation is quarantined and the
+                                          server rolls back to the newest
+                                          verified prior generation
   generations ROOT [--gc KEEP]            list/inspect the generations of an
                                           index root; --gc removes retired ones
                                           (keeping KEEP rollback candidates)
@@ -87,8 +103,9 @@ COMMANDS:
                                           publishes the file as a new generation
   client MODE [..] --connect HOST:PORT | --unix PATH
                                           pair U V | source U | topk U K |
-                                          stats | metrics | slowlog | reload |
-                                          ping | shutdown
+                                          stats | metrics | slowlog |
+                                          reload [--force] | ping | shutdown
+                                          (--force lifts a rollback quarantine)
   metrics --connect HOST:PORT | --unix PATH [--slow]
                                           scrape a running server's Prometheus
                                           text exposition (METRICS verb);
@@ -647,7 +664,25 @@ fn server_config(args: &Args) -> Result<ServerConfig, String> {
         watch_interval_ms: args.flag_parse("watch-ms", watch_default)?,
         max_connections: args.flag_parse("max-connections", 0usize)?,
         slow_query_us: args.flag_parse("slow-query-us", 10_000u64)?,
+        deadline_us: args.flag_parse("deadline-us", 0u64)?,
+        shed_queue_depth: args.flag_parse("shed-queue-depth", 0usize)?,
+        shed_pending_bytes: args.flag_parse("shed-pending-bytes", 0usize)?,
+        rollback_error_threshold: args.flag_parse("rollback-errors", 8u64)?,
     })
+}
+
+/// Install the deterministic fault schedule from `--faults SPEC` (or,
+/// absent the flag, the `SLING_FAULTS` environment variable). Serving
+/// commands call this before binding so injected faults cover the whole
+/// lifetime of the process.
+fn install_faults(args: &Args) -> Result<(), String> {
+    match args.flag("faults") {
+        Some(spec) => sling_core::faults::install_from_spec(spec)
+            .map_err(|e| format!("--faults {spec:?}: {e}")),
+        None => sling_core::faults::install_from_env()
+            .map(|_| ())
+            .map_err(|e| format!("SLING_FAULTS: {e}")),
+    }
 }
 
 /// Parsed `--metrics-snapshot` options: dump the registry's JSON
@@ -696,6 +731,7 @@ fn spawn_metrics_snapshot(registry: Arc<MetricsRegistry>, opts: SnapshotOpts) {
 /// `--watch` / `--watch-ms`). The optional `GRAPH` positional is the
 /// fallback for generations without a co-located graph snapshot.
 pub fn cmd_serve(args: &Args) -> Result<String, String> {
+    install_faults(args)?;
     let backend = parse_backend(args)?;
     let config = server_config(args)?;
     let snapshot = snapshot_opts(args)?;
@@ -930,11 +966,17 @@ pub fn cmd_client(args: &Args) -> Result<String, String> {
             })
         }
         "reload" => {
-            let (generation, swapped) = client.reload().map_err(err)?;
+            let force = args.switch("force");
+            let (generation, swapped) = client.reload_with(force).map_err(err)?;
             Ok(if swapped {
                 format!("swapped to {generation}")
+            } else if force {
+                format!("already serving {generation}")
             } else {
-                format!("already serving {generation} (no newer promotion)")
+                format!(
+                    "already serving {generation} \
+                     (no newer promotion, or the newer one is quarantined; see --force)"
+                )
             })
         }
         "ping" => {
@@ -1586,6 +1628,11 @@ pub fn run(argv: &[String]) -> Result<String, String> {
                     "index-root",
                     "watch-ms",
                     "slow-query-us",
+                    "deadline-us",
+                    "shed-queue-depth",
+                    "shed-pending-bytes",
+                    "rollback-errors",
+                    "faults",
                     "metrics-snapshot",
                     "metrics-snapshot-ms",
                 ],
@@ -1610,7 +1657,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
             rest.iter().cloned(),
             Spec {
                 value_flags: &["connect", "unix"],
-                switches: &[],
+                switches: &["force"],
             },
         )?),
         "metrics" => cmd_metrics(&Args::parse(

@@ -226,6 +226,7 @@ pub mod dynamic;
 pub mod enhance;
 pub mod error;
 pub mod external_sort;
+pub mod faults;
 pub mod format;
 pub mod hp;
 pub mod index;

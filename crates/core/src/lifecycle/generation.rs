@@ -312,6 +312,11 @@ impl GenerationStore {
         write_synced(&staging.join(MANIFEST_FILE), manifest.encode().as_bytes())?;
         sync_dir(&staging);
         let final_dir = self.generation_dir(id);
+        // Fault point: fail *before* the rename, so an injected publish
+        // crash exercises the debris-tolerant recovery path (staging
+        // dirs ignored by list, removed by gc) — exactly the state a
+        // real mid-publish crash leaves.
+        crate::faults::check_io(crate::faults::point::LIFECYCLE_PUBLISH)?;
         fs::rename(&staging, &final_dir)?;
         sync_dir(&self.root);
         KernelCounters::bump(&obs::LIFECYCLE.publishes);
@@ -341,6 +346,10 @@ impl GenerationStore {
     /// removed by GC).
     pub fn promote(&self, gen: GenId) -> Result<(), SlingError> {
         self.verify(gen)?;
+        // Fault point: fail after verification but before the CURRENT
+        // swap — the window where a crash must leave the old pointer
+        // fully intact.
+        crate::faults::check_io(crate::faults::point::LIFECYCLE_PROMOTE)?;
         let tmp = self.root.join(CURRENT_TMP);
         write_synced(&tmp, format!("{}\n", gen.dir_name()).as_bytes())?;
         fs::rename(&tmp, self.root.join(CURRENT_FILE))?;

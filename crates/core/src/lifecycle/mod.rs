@@ -92,6 +92,10 @@
 //! closes the loop: its rebuilds can publish into a [`GenerationStore`]
 //! (and promote) instead of replacing the engine in place.
 
+// Lifecycle code runs under live traffic; a panic here takes the whole
+// serving process down, so fallible paths must return errors instead.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod generation;
 pub mod manifest;
 

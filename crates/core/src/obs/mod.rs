@@ -123,6 +123,34 @@ impl LifecycleCounters {
 /// The lifecycle counters (see [`KERNEL`] for the pattern).
 pub static LIFECYCLE: LifecycleCounters = LifecycleCounters::new();
 
+/// Process-wide client-resilience counters. `RetryingClient` lives in
+/// `sling-server`, but the counters sit here so in-process clients
+/// (benches, chaos tests) surface through the same registry the server
+/// exports — `sling_retries_total` shows up in the server's own
+/// `METRICS` when the harness shares the process.
+#[derive(Debug)]
+pub struct ClientCounters {
+    /// Requests re-sent after a retryable failure.
+    pub retries: AtomicU64,
+    /// Connections re-established after an IO failure.
+    pub reconnects: AtomicU64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub giveups: AtomicU64,
+}
+
+impl ClientCounters {
+    const fn new() -> Self {
+        ClientCounters {
+            retries: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            giveups: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The client-resilience counters (see [`KERNEL`] for the pattern).
+pub static CLIENT: ClientCounters = ClientCounters::new();
+
 macro_rules! register_static_counters {
     ($reg:expr, $src:expr, { $($name:literal => $field:ident: $help:literal,)+ }) => {
         $($reg.counter_fn($name, $help, || $src.$field.load(Ordering::Relaxed));)+
@@ -166,6 +194,19 @@ pub fn register_process_metrics(reg: &MetricsRegistry) {
         "sling_lifecycle_warmup_keys_total" => warmup_keys:
             "hot keys primed during warm-up",
     });
+    register_static_counters!(reg, CLIENT, {
+        "sling_retries_total" => retries:
+            "client requests re-sent after a retryable failure",
+        "sling_client_reconnects_total" => reconnects:
+            "client connections re-established after an IO failure",
+        "sling_client_giveups_total" => giveups:
+            "client requests abandoned after exhausting retries",
+    });
+    reg.counter_fn(
+        "sling_faults_injected_total",
+        "faults injected by the deterministic fault registry",
+        crate::faults::injected_total,
+    );
 }
 
 #[cfg(test)]

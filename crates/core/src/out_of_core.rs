@@ -384,7 +384,11 @@ impl DiskHpStore {
         cache.get_or_decode(b, || {
             let (lo, hi) = (block_offsets[b], block_offsets[b + 1]);
             let mut raw = vec![0u8; (hi - lo) as usize];
+            let fault = crate::faults::check_io(crate::faults::point::DISK_READ)?;
             self.file.read_exact_at(&mut raw, blocks_base + lo)?;
+            if fault == Some(crate::faults::FaultAction::Corrupt) {
+                crate::faults::corrupt_buffer(&mut raw);
+            }
             decode_block_validated(
                 &raw,
                 b,
@@ -424,6 +428,7 @@ impl DiskHpStore {
             } => (*steps_base, *nodes_base, *values_base),
         };
         KernelCounters::bump_by(&obs::KERNEL.backend_bytes_read, 14);
+        let fault = crate::faults::check_io(crate::faults::point::DISK_READ)?;
         let mut step_raw = [0u8; 2];
         self.file
             .read_exact_at(&mut step_raw, steps_base + i as u64 * 2)?;
@@ -433,6 +438,9 @@ impl DiskHpStore {
         let mut value_raw = [0u8; 8];
         self.file
             .read_exact_at(&mut value_raw, values_base + i as u64 * 8)?;
+        if fault == Some(crate::faults::FaultAction::Corrupt) {
+            crate::faults::corrupt_buffer(&mut value_raw);
+        }
         let node = u32::from_le_bytes(node_raw);
         if node as usize >= self.num_nodes {
             return Err(SlingError::CorruptIndex(format!(
@@ -476,6 +484,7 @@ impl DiskHpStore {
             } => (*steps_base, *nodes_base, *values_base),
         };
         KernelCounters::bump_by(&obs::KERNEL.backend_bytes_read, count as u64 * 14);
+        let fault = crate::faults::check_io(crate::faults::point::DISK_READ)?;
         let mut steps_raw = vec![0u8; count * 2];
         self.file
             .read_exact_at(&mut steps_raw, steps_base + lo as u64 * 2)?;
@@ -485,6 +494,9 @@ impl DiskHpStore {
         let mut values_raw = vec![0u8; count * 8];
         self.file
             .read_exact_at(&mut values_raw, values_base + lo as u64 * 8)?;
+        if fault == Some(crate::faults::FaultAction::Corrupt) {
+            crate::faults::corrupt_buffer(&mut values_raw);
+        }
         let (mut s, mut nn, mut vv) = (
             steps_raw.as_slice(),
             nodes_raw.as_slice(),

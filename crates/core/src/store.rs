@@ -844,6 +844,25 @@ impl HpStore for MmapHpArena {
     fn entries_into(&self, v: NodeId, out: &mut Vec<HpEntry>) -> Result<(), SlingError> {
         out.clear();
         let range = checked_range(self, v)?;
+        // Same fault point as `entries_ref`: both are "read and validate
+        // one run from the mapping" sites, so a chaos schedule covers a
+        // query regardless of which accessor its restore path takes.
+        match crate::faults::check(crate::faults::point::MMAP_VALIDATE) {
+            None => {}
+            Some(crate::faults::FaultAction::Error) => {
+                return Err(SlingError::Io(crate::faults::injected_error(
+                    crate::faults::point::MMAP_VALIDATE,
+                )))
+            }
+            Some(crate::faults::FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(_) => {
+                return Err(SlingError::CorruptIndex(format!(
+                    "injected corruption at {} (node {})",
+                    crate::faults::point::MMAP_VALIDATE,
+                    v.index()
+                )))
+            }
+        }
         out.reserve(range.len());
         for i in range {
             out.push(self.decode_entry(i)?);
@@ -884,6 +903,26 @@ impl HpStore for MmapHpArena {
         let nodes = &self.map[self.nodes_base + range.start * 4..self.nodes_base + range.end * 4];
         let values =
             &self.map[self.values_base + range.start * 8..self.values_base + range.end * 8];
+        // Fault point: the mapping itself is immutable and shared, so
+        // `Corrupt`/`ShortRead` here synthesize the CorruptIndex the
+        // sweep would raise on a mutilated file, instead of flipping
+        // bytes in place.
+        match crate::faults::check(crate::faults::point::MMAP_VALIDATE) {
+            None => {}
+            Some(crate::faults::FaultAction::Error) => {
+                return Err(SlingError::Io(crate::faults::injected_error(
+                    crate::faults::point::MMAP_VALIDATE,
+                )))
+            }
+            Some(crate::faults::FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(_) => {
+                return Err(SlingError::CorruptIndex(format!(
+                    "injected corruption at {} (node {})",
+                    crate::faults::point::MMAP_VALIDATE,
+                    v.index()
+                )))
+            }
+        }
         validate_raw_le(nodes, values, range.start, self.num_nodes)?;
         Ok(EntryAccess::RawLe {
             steps,

@@ -4,14 +4,61 @@
 //! One request, one response line (see the crate docs for the grammar).
 //! `ERR <message>` responses surface as [`std::io::ErrorKind::InvalidData`]
 //! errors carrying the server's message; the connection stays usable.
+//!
+//! [`RetryingClient`] wraps [`Client`] with the fault-tolerant policy
+//! the crate docs' *error taxonomy* section defines: socket timeouts,
+//! automatic reconnect, and bounded exponential backoff with jitter,
+//! retrying **idempotent query verbs only** and only on retryable
+//! errors (`ERR overloaded` / `ERR deadline` / `ERR busy` and
+//! connection-level IO failures). Permanent errors — any other `ERR`,
+//! malformed responses — surface immediately.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use sling_core::obs::CLIENT;
 
 use crate::protocol::Request;
 use crate::BoxConn;
+
+/// Timeouts and retry policy for [`RetryingClient`] (and the `*_with`
+/// constructors on [`Client`]).
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout (`None` = OS default). Unix-domain connects
+    /// are local and complete immediately; the field is ignored there.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout (`None` = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout (`None` = block forever).
+    pub write_timeout: Option<Duration>,
+    /// Retries *after* the first attempt (0 = fail on first error).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Ceiling on one backoff delay (before jitter halves it at most).
+    pub backoff_max: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_retries: 4,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            jitter_seed: 0x5157_F00D,
+        }
+    }
+}
 
 /// A connected protocol client.
 pub struct Client {
@@ -27,9 +74,46 @@ impl Client {
         Ok(Self::from_conn(Box::new(stream)))
     }
 
+    /// Connect over TCP with the config's connect/read/write timeouts.
+    pub fn connect_tcp_with(addr: impl ToSocketAddrs, config: &ClientConfig) -> io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        Self::connect_addrs(&addrs, config)
+    }
+
+    fn connect_addrs(addrs: &[SocketAddr], config: &ClientConfig) -> io::Result<Client> {
+        let mut last = None;
+        for addr in addrs {
+            let attempt = match config.connect_timeout {
+                Some(limit) => TcpStream::connect_timeout(addr, limit),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    stream.set_read_timeout(config.read_timeout)?;
+                    stream.set_write_timeout(config.write_timeout)?;
+                    return Ok(Self::from_conn(Box::new(stream)));
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no address to connect to")
+        }))
+    }
+
     /// Connect over a Unix-domain socket.
     pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Client> {
         Ok(Self::from_conn(Box::new(UnixStream::connect(path)?)))
+    }
+
+    /// Connect over a Unix-domain socket with the config's read/write
+    /// timeouts.
+    pub fn connect_unix_with(path: impl AsRef<Path>, config: &ClientConfig) -> io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
+        Ok(Self::from_conn(Box::new(stream)))
     }
 
     fn from_conn(conn: BoxConn) -> Client {
@@ -160,7 +244,23 @@ impl Client {
             return Err(invalid(&format!("malformed response {header:?}")));
         };
         let mut payload = vec![0u8; len];
-        self.reader.read_exact(&mut payload)?;
+        let mut filled = 0;
+        while filled < len {
+            match self.reader.read(&mut payload[filled..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!(
+                            "framed payload truncated: header promised {len} bytes, \
+                             connection closed after {filled}"
+                        ),
+                    ))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
         String::from_utf8(payload).map_err(|_| invalid("payload is not valid UTF-8"))
     }
 
@@ -168,7 +268,14 @@ impl Client {
     /// index generation. Returns the generation now being served and
     /// whether this call swapped it in.
     pub fn reload(&mut self) -> io::Result<(String, bool)> {
-        let payload = self.roundtrip(&Request::Reload.encode())?;
+        self.reload_with(false)
+    }
+
+    /// [`Client::reload`] with an optional `FORCE`: lifting a corrupt
+    /// generation's quarantine before swapping (see the crate docs on
+    /// rollback).
+    pub fn reload_with(&mut self, force: bool) -> io::Result<(String, bool)> {
+        let payload = self.roundtrip(&Request::Reload { force }.encode())?;
         let mut generation = None;
         let mut swapped = None;
         for kv in payload.split_ascii_whitespace() {
@@ -205,6 +312,200 @@ impl Client {
     }
 }
 
+/// Where a [`RetryingClient`] reconnects to.
+enum Target {
+    Tcp(Vec<SocketAddr>),
+    Unix(PathBuf),
+}
+
+/// Classification of a failed request: does the error taxonomy (crate
+/// docs) permit retrying it, and must the connection be rebuilt first?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Disposition {
+    /// Soft server rejection (`ERR overloaded` / `ERR deadline`): the
+    /// connection is still healthy, retry on it after backing off.
+    RetrySameConn,
+    /// Connection-level failure (reset, timeout, EOF, `ERR busy`):
+    /// drop the socket, reconnect, then retry.
+    RetryReconnect,
+    /// Permanent: surface to the caller immediately.
+    Permanent,
+}
+
+/// Apply the crate-level error taxonomy to one failed request.
+fn classify(err: &io::Error) -> Disposition {
+    match err.kind() {
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionRefused
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::NotConnected
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::UnexpectedEof
+        | io::ErrorKind::TimedOut
+        | io::ErrorKind::WouldBlock
+        | io::ErrorKind::Interrupted => return Disposition::RetryReconnect,
+        io::ErrorKind::InvalidData => {}
+        _ => return Disposition::Permanent,
+    }
+    // `Client` surfaces `ERR <msg>` as InvalidData "server error: <msg>".
+    let Some(message) = err
+        .to_string()
+        .strip_prefix("server error: ")
+        .map(str::to_string)
+    else {
+        return Disposition::Permanent;
+    };
+    let first = message.split_ascii_whitespace().next().unwrap_or("");
+    match first {
+        // Soft rejections: the server kept the connection open.
+        "overloaded" | "deadline" => Disposition::RetrySameConn,
+        // The acceptor answers `ERR busy` and closes; reconnect.
+        "busy" => Disposition::RetryReconnect,
+        _ => Disposition::Permanent,
+    }
+}
+
+/// A [`Client`] wrapper implementing the retry contract from the crate
+/// docs: idempotent query verbs (`PAIR`, `SOURCE`, `TOPK`, `BATCH`,
+/// `PING`) are retried on retryable errors with bounded exponential
+/// backoff plus deterministic jitter, reconnecting as needed. Retries
+/// and reconnects are counted into [`sling_core::obs::CLIENT`], so an
+/// in-process client shows up in the same `METRICS` exposition as the
+/// server it talks to.
+pub struct RetryingClient {
+    target: Target,
+    config: ClientConfig,
+    client: Option<Client>,
+    rng: u64,
+}
+
+impl RetryingClient {
+    /// Connect over TCP (resolving `addr` once, up front).
+    pub fn connect_tcp(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let mut this = Self::new(Target::Tcp(addrs), config);
+        this.ensure_connected()?;
+        Ok(this)
+    }
+
+    /// Connect over a Unix-domain socket.
+    pub fn connect_unix(path: impl AsRef<Path>, config: ClientConfig) -> io::Result<Self> {
+        let mut this = Self::new(Target::Unix(path.as_ref().to_path_buf()), config);
+        this.ensure_connected()?;
+        Ok(this)
+    }
+
+    fn new(target: Target, config: ClientConfig) -> Self {
+        let rng = config.jitter_seed | 1;
+        RetryingClient {
+            target,
+            config,
+            client: None,
+            rng,
+        }
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<&mut Client> {
+        if self.client.is_none() {
+            let fresh = match &self.target {
+                Target::Tcp(addrs) => Client::connect_addrs(addrs, &self.config)?,
+                Target::Unix(path) => Client::connect_unix_with(path, &self.config)?,
+            };
+            self.client = Some(fresh);
+        }
+        match self.client.as_mut() {
+            Some(client) => Ok(client),
+            // Unreachable: the slot was filled just above.
+            None => Err(io::Error::other("connection slot empty")),
+        }
+    }
+
+    /// Next backoff delay: exponential in the retry ordinal, capped at
+    /// `backoff_max`, uniformly jittered into `[delay/2, delay]`.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(16));
+        let capped = exp.min(self.config.backoff_max).as_micros() as u64;
+        // xorshift64 step for the jitter draw.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        let jittered = capped / 2 + x % (capped / 2).max(1);
+        Duration::from_micros(jittered)
+    }
+
+    /// Run one idempotent request under the retry policy.
+    fn with_retry<T>(&mut self, mut op: impl FnMut(&mut Client) -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            let result = match self.ensure_connected() {
+                Ok(client) => op(client),
+                Err(e) => Err(e),
+            };
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let disposition = classify(&err);
+            if disposition == Disposition::Permanent || attempt >= self.config.max_retries {
+                if disposition != Disposition::Permanent {
+                    CLIENT.giveups.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(err);
+            }
+            if disposition == Disposition::RetryReconnect {
+                self.client = None;
+                CLIENT.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            CLIENT.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.backoff(attempt));
+            attempt += 1;
+        }
+    }
+
+    /// [`Client::pair`], retried per the policy.
+    pub fn pair(&mut self, u: u32, v: u32) -> io::Result<f64> {
+        self.with_retry(|c| c.pair(u, v))
+    }
+
+    /// [`Client::single_source`], retried per the policy.
+    pub fn single_source(&mut self, u: u32) -> io::Result<Vec<f64>> {
+        self.with_retry(|c| c.single_source(u))
+    }
+
+    /// [`Client::top_k`], retried per the policy.
+    pub fn top_k(&mut self, u: u32, k: usize) -> io::Result<Vec<(u32, f64)>> {
+        self.with_retry(|c| c.top_k(u, k))
+    }
+
+    /// [`Client::batch`], retried per the policy.
+    pub fn batch(&mut self, pairs: &[(u32, u32)]) -> io::Result<Vec<f64>> {
+        self.with_retry(|c| c.batch(pairs))
+    }
+
+    /// [`Client::ping`], retried per the policy.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.with_retry(|c| c.ping())
+    }
+
+    /// The underlying connection, for non-idempotent verbs (`RELOAD`,
+    /// `SHUTDOWN`, ..) that must **not** be retried blindly. Reconnects
+    /// first if the previous request tore the connection down.
+    pub fn raw(&mut self) -> io::Result<&mut Client> {
+        self.ensure_connected()
+    }
+}
+
 fn invalid(message: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.to_string())
 }
@@ -235,4 +536,79 @@ fn parse_counted_scores(payload: &str) -> io::Result<Vec<f64>> {
         return Err(invalid("trailing tokens after scores"));
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server_err(msg: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, format!("server error: {msg}"))
+    }
+
+    #[test]
+    fn taxonomy_classifies_soft_rejections_as_retryable() {
+        assert_eq!(
+            classify(&server_err("overloaded")),
+            Disposition::RetrySameConn
+        );
+        assert_eq!(
+            classify(&server_err("deadline budget exhausted")),
+            Disposition::RetrySameConn
+        );
+        assert_eq!(classify(&server_err("busy")), Disposition::RetryReconnect);
+    }
+
+    #[test]
+    fn taxonomy_classifies_other_server_errors_as_permanent() {
+        assert_eq!(
+            classify(&server_err("node 99 out of range")),
+            Disposition::Permanent
+        );
+        assert_eq!(
+            classify(&server_err("unknown request")),
+            Disposition::Permanent
+        );
+        // Malformed responses are InvalidData without the prefix.
+        assert_eq!(
+            classify(&invalid("malformed response \"?\"")),
+            Disposition::Permanent
+        );
+    }
+
+    #[test]
+    fn taxonomy_classifies_connection_failures_as_reconnect() {
+        for kind in [
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::WouldBlock,
+        ] {
+            assert_eq!(
+                classify(&io::Error::new(kind, "boom")),
+                Disposition::RetryReconnect,
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_grows() {
+        let config = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(100),
+            jitter_seed: 7,
+            ..ClientConfig::default()
+        };
+        let mut client = RetryingClient::new(Target::Unix(PathBuf::from("/nonexistent")), config);
+        let early = client.backoff(0);
+        assert!(early >= Duration::from_millis(5) && early <= Duration::from_millis(10));
+        for attempt in 0..40 {
+            let d = client.backoff(attempt);
+            assert!(d >= Duration::from_millis(5), "attempt {attempt}: {d:?}");
+            assert!(d <= Duration::from_millis(100), "attempt {attempt}: {d:?}");
+        }
+    }
 }

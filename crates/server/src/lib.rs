@@ -128,13 +128,72 @@
 //! ([`sling_core::obs::SlowQueryLog`]) as structured one-line records:
 //! `slow verb=.. key=.. generation=.. epoch=.. total_us=..
 //! entry_fetch_us=.. restore_us=.. merge_us=.. propagate_us=..`.
+//!
+//! ## Error taxonomy and the client retry contract
+//!
+//! Every failure a client can observe falls into exactly one of two
+//! classes, and the `ERR` message's **first token** is the contract:
+//!
+//! * **Retryable** — the request was refused *before* any query work
+//!   ran, so retrying cannot double-apply anything and the answer,
+//!   once admitted, is bit-identical to an unrefused run:
+//!   * `ERR overloaded` — admission control shed the request because
+//!     the worker's ready queue crossed
+//!     [`ServerConfig::shed_queue_depth`] or the connection's pending
+//!     bytes crossed [`ServerConfig::shed_pending_bytes`]. The
+//!     connection stays open; back off and retry on it.
+//!   * `ERR deadline` — the request sat in server buffers longer than
+//!     [`ServerConfig::deadline_us`] before dispatch; the server
+//!     answers instead of burning index time on a reply the caller has
+//!     likely abandoned. Connection stays open.
+//!   * `ERR busy` — the acceptor is at
+//!     [`ServerConfig::max_connections`]; the server closes this
+//!     connection, so reconnect before retrying.
+//!   * Connection-level IO errors (reset / refused / aborted / broken
+//!     pipe / unexpected EOF / timeout) — the request outcome is
+//!     unknown, but every query verb is a pure read, so reconnect and
+//!     retry is always safe.
+//! * **Permanent** — any other `ERR <message>` (unknown verb, parse
+//!   failure, node out of range, over-long line, corrupt index read).
+//!   Retrying the same request yields the same refusal; surface it.
+//!
+//! [`client::RetryingClient`] implements the client half of this
+//! contract: **idempotent query verbs only** (`PAIR`, `SOURCE`,
+//! `TOPK`, `BATCH`, `PING`) are retried, up to
+//! [`client::ClientConfig::max_retries`] times with exponential
+//! backoff and deterministic jitter, reconnecting when the taxonomy
+//! calls for it. Mutating admin verbs (`RELOAD`, `SHUTDOWN`) are never
+//! auto-retried — use [`client::RetryingClient::raw`] and decide at
+//! the call site. Shed and deadline refusals are counted in
+//! `sling_requests_shed_total` / `sling_requests_deadline_total`;
+//! client-side retries, reconnects, and give-ups land in
+//! `sling_retries_total`, `sling_client_reconnects_total`, and
+//! `sling_client_giveups_total`.
+//!
+//! ## Fault injection
+//!
+//! The server's IO edges (`server.accept`, `server.read`,
+//! `server.write`) are instrumented with
+//! [`sling_core::faults`] checkpoints, alongside the storage-layer
+//! points (`disk.read`, `mmap.validate`, `lifecycle.publish`,
+//! `lifecycle.promote`). A deterministic fault schedule (`SLING_FAULTS`
+//! or `sling serve --faults`) drives the chaos suite in
+//! `tests/chaos.rs`; with no schedule installed every checkpoint is a
+//! single relaxed atomic load. Runtime `CorruptIndex` / IO errors
+//! observed while serving count against the live generation; at
+//! [`ServerConfig::rollback_error_threshold`] the generation is
+//! quarantined and the server rolls back to the newest verified prior
+//! generation (`sling_rollbacks_total`), refusing to re-promote the
+//! quarantined one until `RELOAD FORCE`.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
 pub mod latency;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig, RetryingClient};
 pub use latency::LatencyReport;
 pub use protocol::Request;
 pub use server::{

@@ -33,8 +33,13 @@ pub enum Request {
     /// `METRICS` (one record per line, oldest first).
     Slowlog,
     /// `RELOAD` — check the generation store's `CURRENT` pointer and
-    /// hot-swap to a newer promoted generation if one exists.
-    Reload,
+    /// hot-swap to a newer promoted generation if one exists. `RELOAD
+    /// FORCE` additionally lifts a quarantine (see the crate docs on
+    /// corrupt-generation rollback) before swapping.
+    Reload {
+        /// Lift the target generation's quarantine before swapping.
+        force: bool,
+    },
     /// `PING` — liveness probe.
     Ping,
     /// `QUIT` — close this connection.
@@ -80,7 +85,13 @@ impl Request {
             "STATS" => Request::Stats,
             "METRICS" => Request::Metrics,
             "SLOWLOG" => Request::Slowlog,
-            "RELOAD" => Request::Reload,
+            "RELOAD" => match tokens.next() {
+                None => Request::Reload { force: false },
+                Some("FORCE") => Request::Reload { force: true },
+                Some(other) => {
+                    return Err(format!("RELOAD takes no argument or FORCE, got {other:?}"))
+                }
+            },
             "PING" => Request::Ping,
             "QUIT" => Request::Quit,
             "SHUTDOWN" => Request::Shutdown,
@@ -108,7 +119,8 @@ impl Request {
             Request::Stats => "STATS".to_string(),
             Request::Metrics => "METRICS".to_string(),
             Request::Slowlog => "SLOWLOG".to_string(),
-            Request::Reload => "RELOAD".to_string(),
+            Request::Reload { force: false } => "RELOAD".to_string(),
+            Request::Reload { force: true } => "RELOAD FORCE".to_string(),
             Request::Ping => "PING".to_string(),
             Request::Quit => "QUIT".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
@@ -157,7 +169,14 @@ mod tests {
         assert_eq!(Request::parse("STATS").unwrap(), Request::Stats);
         assert_eq!(Request::parse("METRICS").unwrap(), Request::Metrics);
         assert_eq!(Request::parse("SLOWLOG").unwrap(), Request::Slowlog);
-        assert_eq!(Request::parse("RELOAD").unwrap(), Request::Reload);
+        assert_eq!(
+            Request::parse("RELOAD").unwrap(),
+            Request::Reload { force: false }
+        );
+        assert_eq!(
+            Request::parse("RELOAD FORCE").unwrap(),
+            Request::Reload { force: true }
+        );
         assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
         assert_eq!(Request::parse("QUIT").unwrap(), Request::Quit);
         assert_eq!(Request::parse("SHUTDOWN").unwrap(), Request::Shutdown);
@@ -178,7 +197,8 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Slowlog,
-            Request::Reload,
+            Request::Reload { force: false },
+            Request::Reload { force: true },
             Request::Ping,
             Request::Quit,
             Request::Shutdown,
@@ -205,6 +225,8 @@ mod tests {
             "STATS now",
             "METRICS json",
             "SLOWLOG 5",
+            "RELOAD now",
+            "RELOAD FORCE now",
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
         }

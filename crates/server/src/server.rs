@@ -40,7 +40,7 @@
 //! [`ReloadableEngine`]'s generation opener (typically wired to a
 //! [`sling_core::lifecycle::GenerationStore`]).
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -54,7 +54,8 @@ use std::time::{Duration, Instant};
 
 use polling::{Event, Events, Poller};
 
-use sling_core::lifecycle::{warm_engine, GenerationStore};
+use sling_core::faults::{self, FaultAction};
+use sling_core::lifecycle::{warm_engine, GenId, GenerationStore};
 use sling_core::obs::{
     register_process_metrics, Counter, Histogram, MetricsRegistry, SlowQueryLog, SlowQueryRecord,
     StageNanos,
@@ -141,6 +142,25 @@ pub struct ServerConfig {
     /// admitted to the ring-buffered slow-query log (`SLOWLOG` verb).
     /// `0` disables the log.
     pub slow_query_us: u64,
+    /// Per-request deadline budget in microseconds, measured from when
+    /// a request's first bytes reached the server. A query verb
+    /// dispatched past its budget answers `ERR deadline` instead of
+    /// computing a score nobody is waiting for. `0` disables deadlines.
+    pub deadline_us: u64,
+    /// Overload shedding by ready-queue depth: when this many
+    /// connections are already waiting on the worker's ready queue, new
+    /// query verbs answer `ERR overloaded` (fast-fail) instead of
+    /// queueing behind them. `0` disables the depth trigger.
+    pub shed_queue_depth: usize,
+    /// Overload shedding by per-connection pending bytes: a query verb
+    /// arriving while the connection already owes this many unserved
+    /// input + unflushed output bytes answers `ERR overloaded`. `0`
+    /// disables the byte trigger.
+    pub shed_pending_bytes: usize,
+    /// Runtime `CorruptIndex`/IO errors tolerated per generation before
+    /// the [`ReloadableEngine`] quarantines it and auto-rolls back to
+    /// the newest verified prior generation. `0` disables rollback.
+    pub rollback_error_threshold: u64,
 }
 
 impl Default for ServerConfig {
@@ -152,6 +172,10 @@ impl Default for ServerConfig {
             watch_interval_ms: 0,
             max_connections: 0,
             slow_query_us: 10_000,
+            deadline_us: 0,
+            shed_queue_depth: 0,
+            shed_pending_bytes: 0,
+            rollback_error_threshold: 8,
         }
     }
 }
@@ -218,6 +242,9 @@ pub struct EngineGeneration<S: HpStore> {
     /// slot (0 for the initial generation); also the tag its computed
     /// scores carry in the shared result cache.
     epoch: u64,
+    /// Runtime `CorruptIndex`/IO errors observed while serving this
+    /// generation — the signal corrupt-generation rollback triggers on.
+    runtime_errors: AtomicU64,
 }
 
 impl<S: HpStore> EngineGeneration<S> {
@@ -228,6 +255,7 @@ impl<S: HpStore> EngineGeneration<S> {
             graph,
             name: name.into(),
             epoch: 0,
+            runtime_errors: AtomicU64::new(0),
         }
     }
 
@@ -250,6 +278,12 @@ impl<S: HpStore> EngineGeneration<S> {
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
+
+    /// Runtime `CorruptIndex`/IO errors observed while serving this
+    /// generation.
+    pub fn runtime_errors(&self) -> u64 {
+        self.runtime_errors.load(Ordering::Relaxed)
+    }
 }
 
 /// Produces the next generation when the promoted one changes: given the
@@ -259,6 +293,14 @@ impl<S: HpStore> EngineGeneration<S> {
 /// it may block on IO.
 pub type GenerationOpener<S> =
     Box<dyn Fn(&str) -> io::Result<Option<EngineGeneration<S>>> + Send + Sync>;
+
+/// Produces the rollback target when a serving generation is
+/// quarantined: given the quarantined generation's name and the full
+/// quarantine set, open the newest verified *prior* generation that is
+/// not itself quarantined. `Ok(None)` means there is nowhere to roll
+/// back to (the old generation keeps serving, errors and all).
+type RollbackOpener<S> =
+    Box<dyn Fn(&str, &HashSet<String>) -> io::Result<Option<EngineGeneration<S>>> + Send + Sync>;
 
 /// Epoch-tagged hot-swap slot for the serving engine.
 ///
@@ -282,6 +324,16 @@ pub struct ReloadableEngine<S: HpStore> {
     /// promotion is diagnosable even under `--watch`.
     reload_failures: AtomicU64,
     opener: Option<GenerationOpener<S>>,
+    /// Opens the newest verified prior generation on rollback (set by
+    /// [`ReloadableEngine::watching_store`]; `None` for pinned slots,
+    /// which have nowhere to roll back to).
+    rollback_opener: Option<RollbackOpener<S>>,
+    /// Generations quarantined after crossing the runtime-error
+    /// threshold. A quarantined generation is refused by
+    /// [`ReloadableEngine::try_reload`] until `RELOAD FORCE` lifts it.
+    quarantined: Mutex<HashSet<String>>,
+    /// Completed corrupt-generation rollbacks.
+    rollbacks: AtomicU64,
     /// Serializes [`ReloadableEngine::try_reload`] so concurrent callers
     /// (watcher + `RELOAD`) cannot double-open one generation.
     reload_lock: Mutex<()>,
@@ -301,6 +353,13 @@ pub struct GenerationInfo {
     pub reload_failures: u64,
     /// Unix timestamp (ms) of the last swap; 0 when none happened.
     pub last_swap_unix_ms: u64,
+    /// Completed corrupt-generation rollbacks.
+    pub rollbacks: u64,
+    /// Generations currently quarantined (refused until `RELOAD FORCE`).
+    pub quarantined: usize,
+    /// Runtime `CorruptIndex`/IO errors charged to the serving
+    /// generation.
+    pub runtime_errors: u64,
 }
 
 fn unix_ms_now() -> u64 {
@@ -331,6 +390,9 @@ impl<S: HpStore> ReloadableEngine<S> {
             last_swap_unix_ms: AtomicU64::new(0),
             reload_failures: AtomicU64::new(0),
             opener,
+            rollback_opener: None,
+            quarantined: Mutex::new(HashSet::new()),
+            rollbacks: AtomicU64::new(0),
             reload_lock: Mutex::new(()),
         }
     }
@@ -359,21 +421,56 @@ impl<S: HpStore> ReloadableEngine<S> {
             ))
         })?;
         let initial = open_store_generation(&store, &fallback_graph, &open, current)?;
-        let opener: GenerationOpener<S> = Box::new(move |serving: &str| {
-            let Some(promoted) = store.current().map_err(io::Error::other)? else {
-                return Ok(None); // pointer vanished: keep serving
-            };
-            if promoted.dir_name() == serving {
-                return Ok(None);
-            }
-            open_store_generation(&store, &fallback_graph, &open, promoted).map(Some)
-        });
-        Ok(Self::new(initial, opener))
+        // The store and the open closure feed both the forward opener
+        // (promotion watching) and the rollback opener, so share them.
+        let store = Arc::new(store);
+        let fallback_graph = Arc::new(fallback_graph);
+        let open = Arc::new(open);
+        let opener: GenerationOpener<S> = {
+            let (store, fallback_graph, open) = (
+                Arc::clone(&store),
+                Arc::clone(&fallback_graph),
+                Arc::clone(&open),
+            );
+            Box::new(move |serving: &str| {
+                let Some(promoted) = store.current().map_err(io::Error::other)? else {
+                    return Ok(None); // pointer vanished: keep serving
+                };
+                if promoted.dir_name() == serving {
+                    return Ok(None);
+                }
+                open_store_generation(&store, &fallback_graph, open.as_ref(), promoted).map(Some)
+            })
+        };
+        // Rollback target: the newest generation strictly older than the
+        // quarantined one that is not itself quarantined and passes full
+        // payload verification — never trade one corrupt index for
+        // another.
+        let rollback: RollbackOpener<S> =
+            Box::new(move |bad: &str, quarantined: &HashSet<String>| {
+                let bad_id = GenId::parse(bad);
+                let mut gens = store.list().map_err(io::Error::other)?;
+                gens.sort_unstable();
+                for gen in gens.into_iter().rev() {
+                    if bad_id.is_some_and(|b| gen >= b) || quarantined.contains(&gen.dir_name()) {
+                        continue;
+                    }
+                    if store.verify(gen).is_err() {
+                        continue;
+                    }
+                    return open_store_generation(&store, &fallback_graph, open.as_ref(), gen)
+                        .map(Some);
+                }
+                Ok(None)
+            });
+        let mut slot = Self::new(initial, opener);
+        slot.rollback_opener = Some(rollback);
+        Ok(slot)
     }
 
     /// The generation currently being served.
     pub fn current(&self) -> Arc<EngineGeneration<S>> {
-        Arc::clone(&self.slot.read().unwrap())
+        Arc::clone(&self.slot.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Epoch of the serving generation — one atomic load, so callers can
@@ -384,12 +481,20 @@ impl<S: HpStore> ReloadableEngine<S> {
 
     /// Swap-state snapshot for reporting.
     pub fn info(&self) -> GenerationInfo {
+        let current = self.current();
         GenerationInfo {
-            generation: self.current().name.clone(),
+            generation: current.name.clone(),
             epoch: self.epoch(),
             swaps: self.swaps.load(Ordering::Relaxed),
             reload_failures: self.reload_failures.load(Ordering::Relaxed),
             last_swap_unix_ms: self.last_swap_unix_ms.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            quarantined: self
+                .quarantined
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len(),
+            runtime_errors: current.runtime_errors(),
         }
     }
 
@@ -399,7 +504,7 @@ impl<S: HpStore> ReloadableEngine<S> {
     /// the generation `Arc` they hold; the old generation is dropped
     /// when its last request completes.
     pub fn swap(&self, next: EngineGeneration<S>, cache: Option<&ShardedResultCache>) {
-        let mut slot = self.slot.write().unwrap();
+        let mut slot = self.slot.write().unwrap_or_else(|e| e.into_inner());
         let epoch = self.epoch.load(Ordering::Acquire) + 1;
         let mut next = next;
         next.epoch = epoch;
@@ -429,16 +534,38 @@ impl<S: HpStore> ReloadableEngine<S> {
     /// keeps serving; workers then pick the new generation up with one
     /// atomic compare.
     pub fn try_reload(&self, cache: Option<&ShardedResultCache>) -> io::Result<bool> {
+        self.try_reload_with(cache, false)
+    }
+
+    /// [`ReloadableEngine::try_reload`], optionally lifting the opened
+    /// generation's quarantine first (`RELOAD FORCE`). Without `force`,
+    /// a promoted-but-quarantined generation is refused — `Ok(false)`,
+    /// the rolled-back-to generation keeps serving — so the watcher
+    /// cannot re-promote an index that was quarantined at runtime.
+    pub fn try_reload_with(
+        &self,
+        cache: Option<&ShardedResultCache>,
+        force: bool,
+    ) -> io::Result<bool> {
         let Some(opener) = &self.opener else {
             return Ok(false);
         };
         // The slot read is brief; the open runs outside the slot lock. A
         // racing second reload would re-open the same generation and
         // swap it in twice — harmless but wasteful, so serialize opens.
-        let _serialized = self.reload_lock.lock().unwrap();
+        let _serialized = self.reload_lock.lock().unwrap_or_else(|e| e.into_inner());
         let serving = self.current().name.clone();
         match opener(&serving) {
             Ok(Some(next)) => {
+                {
+                    let mut quarantined =
+                        self.quarantined.lock().unwrap_or_else(|e| e.into_inner());
+                    if force {
+                        quarantined.remove(next.name());
+                    } else if quarantined.contains(next.name()) {
+                        return Ok(false);
+                    }
+                }
                 self.swap(next, cache);
                 Ok(true)
             }
@@ -447,6 +574,75 @@ impl<S: HpStore> ReloadableEngine<S> {
                 self.reload_failures.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
+        }
+    }
+
+    /// Charge one runtime `CorruptIndex`/IO error to `gen`. Crossing
+    /// `threshold` (exactly once per generation — the thread whose
+    /// increment lands on the threshold wins) quarantines the
+    /// generation and rolls back to the newest verified prior
+    /// generation. Returns `true` when this call performed a rollback.
+    pub fn note_runtime_error(
+        &self,
+        gen: &EngineGeneration<S>,
+        threshold: u64,
+        cache: Option<&ShardedResultCache>,
+    ) -> bool {
+        let count = gen.runtime_errors.fetch_add(1, Ordering::Relaxed) + 1;
+        if threshold == 0 || count != threshold {
+            return false;
+        }
+        match self.quarantine_and_rollback(&gen.name, cache) {
+            Ok(rolled) => rolled,
+            Err(e) => {
+                eprintln!("sling-server: rollback from {} failed: {e}", gen.name);
+                self.reload_failures.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Quarantine generation `bad` and, when it is still the one being
+    /// served and a verified prior generation exists, swap that prior
+    /// generation in. Runs synchronously on the calling worker (like
+    /// `RELOAD`); the quarantine is deliberately serving-side only —
+    /// the on-disk `CURRENT` pointer is left untouched, and
+    /// [`ReloadableEngine::try_reload`] refuses the quarantined name
+    /// until `RELOAD FORCE`.
+    fn quarantine_and_rollback(
+        &self,
+        bad: &str,
+        cache: Option<&ShardedResultCache>,
+    ) -> io::Result<bool> {
+        let _serialized = self.reload_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let quarantine_snapshot = {
+            let mut quarantined = self.quarantined.lock().unwrap_or_else(|e| e.into_inner());
+            quarantined.insert(bad.to_string());
+            quarantined.clone()
+        };
+        if self.current().name != bad {
+            // A swap already replaced the bad generation (watcher race);
+            // the quarantine above still blocks its re-promotion.
+            return Ok(false);
+        }
+        let Some(rollback) = &self.rollback_opener else {
+            return Err(io::Error::other(format!(
+                "{bad} quarantined but this slot has no rollback opener"
+            )));
+        };
+        match rollback(bad, &quarantine_snapshot)? {
+            Some(prior) => {
+                eprintln!(
+                    "sling-server: quarantined {bad} after runtime errors; rolling back to {}",
+                    prior.name
+                );
+                self.swap(prior, cache);
+                self.rollbacks.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            None => Err(io::Error::other(format!(
+                "{bad} quarantined but no verified prior generation exists"
+            ))),
         }
     }
 }
@@ -576,6 +772,10 @@ struct Conn {
     eof: bool,
     /// Already queued on the worker's ready list (dedupe flag).
     in_ready: bool,
+    /// When the oldest unserved bytes in `inbuf` arrived — the start of
+    /// the per-request deadline budget. `None` while the buffer is
+    /// empty; pipelined requests framed from one read share the stamp.
+    read_at: Option<Instant>,
 }
 
 impl Conn {
@@ -589,6 +789,7 @@ impl Conn {
             close_after_flush: false,
             eof: false,
             in_ready: false,
+            read_at: None,
         }
     }
 
@@ -660,6 +861,20 @@ struct Control {
     open_connections: AtomicU64,
     /// Connections refused with `ERR busy` by the cap.
     rejected_connections: AtomicU64,
+    /// [`ServerConfig::deadline_us`] as a duration (zero = off).
+    deadline: Duration,
+    /// [`ServerConfig::shed_queue_depth`] (0 = off).
+    shed_queue_depth: usize,
+    /// [`ServerConfig::shed_pending_bytes`] (0 = off).
+    shed_pending_bytes: usize,
+    /// [`ServerConfig::rollback_error_threshold`] (0 = off).
+    rollback_error_threshold: u64,
+    /// Query verbs answered `ERR overloaded` by the shed triggers.
+    requests_shed: Counter,
+    /// Query verbs answered `ERR deadline` past their budget.
+    requests_deadline: Counter,
+    /// Acceptor errors (transient skips and unexpected failures alike).
+    accept_errors: AtomicU64,
     workers: Box<[WorkerShared]>,
 }
 
@@ -722,6 +937,16 @@ fn register_control_metrics(metrics: &MetricsRegistry, control: &Arc<Control>) {
         move || {
             c.upgrade()
                 .map(|c| c.rejected_connections.load(Ordering::Relaxed))
+                .unwrap_or(0)
+        },
+    );
+    let c = Arc::downgrade(control);
+    metrics.counter_fn(
+        "sling_accept_errors_total",
+        "acceptor errors (transient and unexpected accept failures)",
+        move || {
+            c.upgrade()
+                .map(|c| c.accept_errors.load(Ordering::Relaxed))
                 .unwrap_or(0)
         },
     );
@@ -1020,6 +1245,14 @@ where
             ),
         })
         .collect();
+    let requests_shed = metrics.counter(
+        "sling_requests_shed_total",
+        "query verbs answered ERR overloaded by the shed triggers",
+    );
+    let requests_deadline = metrics.counter(
+        "sling_requests_deadline_total",
+        "query verbs answered ERR deadline past their budget",
+    );
     let control = Arc::new(Control {
         shutdown: AtomicBool::new(false),
         metrics: Arc::clone(&metrics),
@@ -1031,6 +1264,13 @@ where
         max_connections: config.max_connections,
         open_connections: AtomicU64::new(0),
         rejected_connections: AtomicU64::new(0),
+        deadline: Duration::from_micros(config.deadline_us),
+        shed_queue_depth: config.shed_queue_depth,
+        shed_pending_bytes: config.shed_pending_bytes,
+        rollback_error_threshold: config.rollback_error_threshold,
+        requests_shed,
+        requests_deadline,
+        accept_errors: AtomicU64::new(0),
         workers: worker_shared,
     });
     register_control_metrics(&metrics, &control);
@@ -1058,6 +1298,16 @@ where
             move || {
                 r.upgrade()
                     .map(|r| r.reload_failures.load(Ordering::Relaxed))
+                    .unwrap_or(0)
+            },
+        );
+        let r = Arc::downgrade(&reloadable);
+        metrics.counter_fn(
+            "sling_rollbacks_total",
+            "corrupt-generation rollbacks completed",
+            move || {
+                r.upgrade()
+                    .map(|r| r.rollbacks.load(Ordering::Relaxed))
                     .unwrap_or(0)
             },
         );
@@ -1142,12 +1392,18 @@ fn watch_loop<S: HpStore>(reloadable: &ReloadableEngine<S>, control: &Control, i
 /// `ERR busy` and closes instead (the acceptor is the only incrementer
 /// of the open-connection gauge, so the cap cannot be raced past).
 ///
-/// Error policy: per-connection failures (aborted handshakes, resets)
-/// are skipped; resource-exhaustion errors (e.g. `EMFILE`) are retried
-/// with a poll-interval backoff. If the listener stays broken for
-/// [`MAX_ACCEPT_ERRORS`] consecutive attempts, the acceptor initiates a
-/// full shutdown — a server nobody can connect to must terminate, not
-/// linger as a zombie that `SHUTDOWN` can no longer reach.
+/// Error policy: every accept failure — transient per-connection skips
+/// (aborted handshakes, resets) and unexpected errors alike — counts
+/// into `sling_accept_errors_total`, so a reset storm or fd exhaustion
+/// is visible on a dashboard instead of silently eaten. Unexpected
+/// errors (e.g. `EMFILE`) are retried under a jittered exponential
+/// backoff — doubling from [`ACCEPT_POLL`] up to ~128× with a
+/// deterministic xorshift jitter, so a fleet of servers hitting the
+/// same fault does not retry in lockstep. If the listener stays broken
+/// for [`MAX_ACCEPT_ERRORS`] consecutive attempts, the acceptor
+/// initiates a full shutdown — a server nobody can connect to must
+/// terminate, not linger as a zombie that `SHUTDOWN` can no longer
+/// reach.
 fn accept_loop(listener: Listener, control: &Control) {
     let _ = match &listener {
         Listener::Tcp(l) => l.set_nonblocking(true),
@@ -1155,16 +1411,31 @@ fn accept_loop(listener: Listener, control: &Control) {
     };
     let mut consecutive_errors = 0u32;
     let mut next_worker = 0usize;
+    // Deterministic jitter stream for the error backoff (seeded from
+    // the listener fd so two servers in one process still diverge).
+    let mut jitter_rng: u64 = 0x9e37_79b9 ^ {
+        let fd = match &listener {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l, _) => l.as_raw_fd(),
+        };
+        fd as u64
+    };
     loop {
         if control.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let accepted: io::Result<Stream> = match &listener {
-            Listener::Tcp(l) => l.accept().map(|(stream, _)| {
-                let _ = stream.set_nodelay(true);
-                Stream::Tcp(stream)
-            }),
-            Listener::Unix(l, _) => l.accept().map(|(stream, _)| Stream::Unix(stream)),
+        let accepted: io::Result<Stream> = match faults::check_io(faults::point::SERVER_ACCEPT) {
+            // An injected accept fault leaves the pending connection in
+            // the backlog — a later retry accepts it, like a real
+            // transient failure.
+            Err(e) => Err(e),
+            Ok(_) => match &listener {
+                Listener::Tcp(l) => l.accept().map(|(stream, _)| {
+                    let _ = stream.set_nodelay(true);
+                    Stream::Tcp(stream)
+                }),
+                Listener::Unix(l, _) => l.accept().map(|(stream, _)| Stream::Unix(stream)),
+            },
         };
         match accepted {
             Ok(mut stream) => {
@@ -1186,7 +1457,11 @@ fn accept_loop(listener: Listener, control: &Control) {
                 control.open_connections.fetch_add(1, Ordering::Relaxed);
                 let shared = &control.workers[next_worker];
                 next_worker = (next_worker + 1) % control.workers.len();
-                shared.inbox.lock().unwrap().push(stream);
+                shared
+                    .inbox
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(stream);
                 let _ = shared.poller.notify();
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -1199,20 +1474,42 @@ fn accept_loop(listener: Listener, control: &Control) {
                     io::ErrorKind::Interrupted
                         | io::ErrorKind::ConnectionAborted
                         | io::ErrorKind::ConnectionReset
-                ) => {}
+                ) =>
+            {
+                // Transient per-connection failure: skip the connection
+                // but make the event observable.
+                control.accept_errors.fetch_add(1, Ordering::Relaxed);
+            }
             Err(_) => {
+                control.accept_errors.fetch_add(1, Ordering::Relaxed);
                 consecutive_errors += 1;
                 if consecutive_errors >= MAX_ACCEPT_ERRORS {
                     control.initiate_shutdown();
                     break;
                 }
-                std::thread::sleep(ACCEPT_POLL);
+                std::thread::sleep(accept_backoff(consecutive_errors, &mut jitter_rng));
             }
         }
     }
     if let Listener::Unix(_, path) = &listener {
         let _ = std::fs::remove_file(path);
     }
+}
+
+/// Jittered exponential backoff for acceptor errors: [`ACCEPT_POLL`]
+/// doubled per consecutive error (capped at 128×, ~256ms), multiplied
+/// by a uniform factor in [0.5, 1.5) from the xorshift stream.
+fn accept_backoff(consecutive_errors: u32, rng: &mut u64) -> Duration {
+    let mut x = *rng | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *rng = x;
+    let scale = 1u32 << consecutive_errors.min(7);
+    let base_us = ACCEPT_POLL.as_micros() as u64 * scale as u64;
+    // Uniform jitter in [0.5, 1.5): half to one-and-a-half times base.
+    let jittered = base_us / 2 + (x % base_us.max(1));
+    Duration::from_micros(jittered)
 }
 
 /// Per-worker reusable buffers: workspaces warm up once, then the hot
@@ -1367,7 +1664,7 @@ fn adopt_inbox(
     conns: &mut Vec<Option<Conn>>,
     free: &mut Vec<usize>,
 ) {
-    for stream in std::mem::take(&mut *shared.inbox.lock().unwrap()) {
+    for stream in std::mem::take(&mut *shared.inbox.lock().unwrap_or_else(|e| e.into_inner())) {
         let key = free.pop().unwrap_or_else(|| {
             conns.push(None);
             conns.len() - 1
@@ -1408,7 +1705,7 @@ fn drain_worker<S: HpStore>(
     loop {
         // Hand-offs that raced the shutdown flag: never served, just
         // un-account and drop them.
-        for stream in std::mem::take(&mut *shared.inbox.lock().unwrap()) {
+        for stream in std::mem::take(&mut *shared.inbox.lock().unwrap_or_else(|e| e.into_inner())) {
             drop(stream);
             control.open_connections.fetch_sub(1, Ordering::Relaxed);
         }
@@ -1445,7 +1742,7 @@ fn drain_worker<S: HpStore>(
             close_conn(control, shared, conn);
         }
     }
-    for stream in std::mem::take(&mut *shared.inbox.lock().unwrap()) {
+    for stream in std::mem::take(&mut *shared.inbox.lock().unwrap_or_else(|e| e.into_inner())) {
         drop(stream);
         control.open_connections.fetch_sub(1, Ordering::Relaxed);
     }
@@ -1481,10 +1778,38 @@ fn find_newline(buf: &[u8]) -> Option<usize> {
 /// genuinely broken socket is an error (`WouldBlock` leaves the rest
 /// for the next write-readiness event).
 fn flush_pending(conn: &mut Conn) -> io::Result<()> {
+    // Fault point: one check per flush pass that has bytes to write.
+    // `Error` breaks the socket (connection closes, client reconnects);
+    // `Delay` models a write stall; `ShortRead` caps this pass to one
+    // byte, exercising the partial-write resume path.
+    let write_fault = if conn.pending_out() == 0 {
+        None
+    } else {
+        match faults::check(faults::point::SERVER_WRITE) {
+            Some(FaultAction::Error) => {
+                return Err(faults::injected_error(faults::point::SERVER_WRITE))
+            }
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                None
+            }
+            other => other,
+        }
+    };
     while conn.outpos < conn.outbuf.len() {
-        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+        let limit = if write_fault == Some(FaultAction::ShortRead) {
+            (conn.outpos + 1).min(conn.outbuf.len())
+        } else {
+            conn.outbuf.len()
+        };
+        match conn.stream.write(&conn.outbuf[conn.outpos..limit]) {
             Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-            Ok(n) => conn.outpos += n,
+            Ok(n) => {
+                conn.outpos += n;
+                if write_fault == Some(FaultAction::ShortRead) {
+                    break; // leave the rest for the next readiness turn
+                }
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
@@ -1532,18 +1857,38 @@ fn serve_turn<S: HpStore>(
     // Read first — unless backpressured: a peer that owes us a drain
     // gets no more requests buffered on its behalf.
     if conn.pending_out() < OUT_HIGH_WATER && !conn.eof {
+        // Fault point: one check per turn. `Error` breaks the socket
+        // (the client sees a reset and reconnects), `Delay` models a
+        // stalled read, `ShortRead` truncates this turn's first read to
+        // one byte (framing must resume byte-exactly).
+        let read_fault = match faults::check(faults::point::SERVER_READ) {
+            Some(FaultAction::Error) => return Turn::Close,
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                None
+            }
+            other => other,
+        };
         let mut turn_read = 0usize;
         let mut chunk = [0u8; READ_CHUNK];
         while turn_read < TURN_READ_CAP {
-            match conn.stream.read(&mut chunk) {
+            let window = if read_fault == Some(FaultAction::ShortRead) && turn_read == 0 {
+                1
+            } else {
+                READ_CHUNK
+            };
+            match conn.stream.read(&mut chunk[..window]) {
                 Ok(0) => {
                     conn.eof = true;
                     break;
                 }
                 Ok(n) => {
+                    if conn.read_at.is_none() {
+                        conn.read_at = Some(Instant::now());
+                    }
                     conn.inbuf.extend_from_slice(&chunk[..n]);
                     turn_read += n;
-                    if n < chunk.len() {
+                    if n < window {
                         break; // drained the socket
                     }
                 }
@@ -1607,7 +1952,13 @@ fn serve_turn<S: HpStore>(
                         let _ = write!(ctx.response, "ERR {msg}");
                         Action::Continue
                     }
-                    Ok(req) => handle_request(reloadable, control, worker, req, ctx),
+                    Ok(req) => match admission_error(control, worker, conn, &req) {
+                        Some(msg) => {
+                            ctx.response.push_str(msg);
+                            Action::Continue
+                        }
+                        None => handle_request(reloadable, control, worker, req, ctx),
+                    },
                 },
             }
         };
@@ -1629,8 +1980,13 @@ fn serve_turn<S: HpStore>(
     if consumed > 0 {
         conn.inbuf.drain(..consumed);
     }
-    if conn.inbuf.is_empty() && conn.inbuf.capacity() > TURN_READ_CAP {
-        conn.inbuf.shrink_to(READ_CHUNK);
+    if conn.inbuf.is_empty() {
+        // Buffer fully consumed: the next bytes to arrive start a fresh
+        // deadline budget.
+        conn.read_at = None;
+        if conn.inbuf.capacity() > TURN_READ_CAP {
+            conn.inbuf.shrink_to(READ_CHUNK);
+        }
     }
     if shutdown_now {
         control.initiate_shutdown();
@@ -1679,7 +2035,75 @@ fn score_pair<S: HpStore>(
     }
 }
 
-fn write_query_error(out: &mut String, err: SlingError) {
+/// `true` for the verbs the deadline/shed admission gate applies to.
+/// Admin verbs (PING/STATS/METRICS/SLOWLOG/RELOAD/QUIT/SHUTDOWN) always
+/// pass: an operator must be able to inspect — and stop — an overloaded
+/// server.
+fn is_query_verb(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Pair { .. }
+            | Request::Source { .. }
+            | Request::TopK { .. }
+            | Request::Batch { .. }
+    )
+}
+
+/// Fast-fail admission control, checked before a query verb touches the
+/// engine. Shedding (`ERR overloaded`) fires when the worker's ready
+/// queue or this connection's pending bytes cross their high-water
+/// marks; the deadline (`ERR deadline`) fires when the request's bytes
+/// have already waited longer than the budget. Both answers are
+/// retryable by contract (see the crate-level error taxonomy) — the
+/// client backs off and re-sends, which is cheaper for everyone than
+/// queue collapse.
+fn admission_error(
+    control: &Control,
+    worker: usize,
+    conn: &Conn,
+    req: &Request,
+) -> Option<&'static str> {
+    if !is_query_verb(req) {
+        return None;
+    }
+    let depth = control.workers[worker].active.load(Ordering::Relaxed) as usize;
+    let pending = conn.pending_out() + conn.inbuf.len();
+    if (control.shed_queue_depth > 0 && depth >= control.shed_queue_depth)
+        || (control.shed_pending_bytes > 0 && pending >= control.shed_pending_bytes)
+    {
+        control.requests_shed.inc();
+        return Some("ERR overloaded");
+    }
+    if !control.deadline.is_zero() {
+        if let Some(at) = conn.read_at {
+            if at.elapsed() > control.deadline {
+                control.requests_deadline.inc();
+                return Some("ERR deadline");
+            }
+        }
+    }
+    None
+}
+
+/// Answer a failed query and charge storage-layer errors
+/// (`CorruptIndex`/IO — the signatures of an index rotting *after*
+/// promotion) to the generation that produced them; crossing the
+/// configured threshold quarantines the generation and rolls back (see
+/// [`ReloadableEngine::note_runtime_error`]).
+fn write_query_error<S: HpStore>(
+    reloadable: &ReloadableEngine<S>,
+    control: &Control,
+    gen: &EngineGeneration<S>,
+    out: &mut String,
+    err: SlingError,
+) {
+    if matches!(err, SlingError::CorruptIndex(_) | SlingError::Io(_)) {
+        reloadable.note_runtime_error(
+            gen,
+            control.rollback_error_threshold,
+            control.cache.as_ref(),
+        );
+    }
     let _ = write!(out, "ERR {err}");
 }
 
@@ -1757,19 +2181,21 @@ fn handle_request<S: HpStore>(
             out.push_str("OK shutting-down");
             return Action::Shutdown;
         }
-        Request::Reload => match reloadable.try_reload(control.cache.as_ref()) {
-            Ok(swapped) => {
-                let info = reloadable.info();
-                let _ = write!(
-                    out,
-                    "OK generation={} epoch={} swapped={swapped}",
-                    info.generation, info.epoch
-                );
+        Request::Reload { force } => {
+            match reloadable.try_reload_with(control.cache.as_ref(), force) {
+                Ok(swapped) => {
+                    let info = reloadable.info();
+                    let _ = write!(
+                        out,
+                        "OK generation={} epoch={} swapped={swapped}",
+                        info.generation, info.epoch
+                    );
+                }
+                Err(e) => {
+                    let _ = write!(out, "ERR reload failed: {e}");
+                }
             }
-            Err(e) => {
-                let _ = write!(out, "ERR reload failed: {e}");
-            }
-        },
+        }
         Request::Stats => {
             let _ = write!(
                 out,
@@ -1781,12 +2207,21 @@ fn handle_request<S: HpStore>(
             let _ = write!(
                 out,
                 " index_generation={} index_epoch={} swaps={} reload_failures={} \
-                 last_swap_unix_ms={}",
+                 last_swap_unix_ms={} rollbacks={} quarantined={} runtime_errors={}",
                 info.generation,
                 info.epoch,
                 info.swaps,
                 info.reload_failures,
-                info.last_swap_unix_ms
+                info.last_swap_unix_ms,
+                info.rollbacks,
+                info.quarantined,
+                info.runtime_errors
+            );
+            let _ = write!(
+                out,
+                " shed={} deadline_exceeded={}",
+                control.requests_shed.get(),
+                control.requests_deadline.get()
             );
             let lat = control.latency_report();
             let _ = write!(
@@ -1870,7 +2305,7 @@ fn handle_request<S: HpStore>(
                     });
                     let _ = write!(out, "OK {s}");
                 }
-                Err(e) => write_query_error(out, e),
+                Err(e) => write_query_error(reloadable, control, &gen, out, e),
             }
         }
         Request::Source { u } => {
@@ -1895,7 +2330,7 @@ fn handle_request<S: HpStore>(
                     out.push_str("OK ");
                     write_scores(out, &ctx.scores);
                 }
-                Err(e) => write_query_error(out, e),
+                Err(e) => write_query_error(reloadable, control, &gen, out, e),
             }
         }
         Request::TopK { u, k } => {
@@ -1916,7 +2351,7 @@ fn handle_request<S: HpStore>(
                         let _ = write!(out, " {}:{score}", node.0);
                     }
                 }
-                Err(e) => write_query_error(out, e),
+                Err(e) => write_query_error(reloadable, control, &gen, out, e),
             }
         }
         Request::Batch { pairs } => {
@@ -1933,7 +2368,7 @@ fn handle_request<S: HpStore>(
                         ctx.batch.push(s);
                     }
                     Err(e) => {
-                        write_query_error(out, e);
+                        write_query_error(reloadable, control, &gen, out, e);
                         return Action::Continue;
                     }
                 }
