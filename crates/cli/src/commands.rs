@@ -13,8 +13,12 @@ use sling_core::disk_query::BufferedDiskStore;
 use sling_core::lifecycle::{GenId, GenerationStore};
 use sling_core::obs::{MetricsRegistry, StageNanos};
 use sling_core::out_of_core::DiskHpStore;
+use sling_core::workload::{
+    adversarial_cold_scan, characterize, diurnal_burst, read_trace_file, read_trace_tolerant,
+    zipf_sweep, SynthOpts, Trace, TraceKey, TraceRecord, TraceVerb, TraceWriter,
+};
 use sling_core::{
-    HpStore, QueryEngine, QueryWorkspace, ShardedResultCache, SharedEngine, SlingConfig,
+    Admission, HpStore, QueryEngine, QueryWorkspace, ShardedResultCache, SharedEngine, SlingConfig,
     SlingError, SlingIndex,
 };
 use sling_graph::traversal::double_sweep_diameter;
@@ -67,6 +71,7 @@ COMMANDS:
         [--slow-query-us U] [--deadline-us D] [--shed-queue-depth Q]
         [--shed-pending-bytes P] [--faults SPEC]
         [--metrics-snapshot FILE [--metrics-snapshot-ms N]]
+        [--record FILE [--record-sample N]] [--cache-admission lru|tinylfu]
                                           long-lived epoll-based query server
                                           (wire protocol: see sling-server docs);
                                           queries at or above U microseconds land
@@ -81,7 +86,14 @@ COMMANDS:
                                           also read from SLING_FAULTS);
                                           --metrics-snapshot dumps the metrics
                                           registry to FILE as JSON every N ms
-                                          (default 1000)
+                                          (default 1000); --record streams a
+                                          SLNGTRACE traffic trace to FILE
+                                          (every Nth query with
+                                          --record-sample, default 1) without
+                                          ever blocking the event loop;
+                                          --cache-admission picks the result
+                                          cache's admission policy (default
+                                          lru; tinylfu is frequency-aware)
   serve --index-root DIR [GRAPH] [--watch] [--watch-ms N]
         [--rollback-errors E] [..]
                                           serve the promoted generation of an
@@ -111,10 +123,35 @@ COMMANDS:
                                           text exposition (METRICS verb);
                                           --slow prints the slow-query ring
                                           instead
+  record --connect HOST:PORT | --unix PATH --out FILE
+        [--duration-ms D] [--poll-ms P] [--max-records N]
+                                          capture a SLNGTRACE traffic trace
+                                          from a server running with --record
+                                          (pull-based over the TRACE verb;
+                                          written to FILE.tmp, renamed when
+                                          complete)
+  replay GRAPH INDEX TRACE | --synth zipf|diurnal|scan
+        [--records N] [--nodes N] [--seed S] [--speed X]
+        [--cache CAP] [--cache-admission lru|tinylfu] [--spot-check N]
+                                          replay a captured or synthesized
+                                          trace through the local engine at X×
+                                          recorded pacing (0 = flat out);
+                                          every Nth pair answer is recomputed
+                                          uncached and must be bit-identical
+  replay GRAPH INDEX --suite [--out FILE]
+                                          pinned admission-policy comparison
+                                          (three synthetic scenarios; the
+                                          adversarial scan under both lru and
+                                          tinylfu); --out writes the
+                                          machine-readable BENCH_replay.json
+  traffic-report TRACE                    SkyServer-style characterization of
+                                          a trace: verb mix, key-popularity
+                                          skew, burstiness, and hit-rate-vs-
+                                          cache-size curves per policy
   bench-serve GRAPH INDEX [--threads T] [--requests N] [--hot F]
         [--hot-keys K] [--connections C] [--workers W] [--cache CAP]
         [--max-connections N] [--index-backend B] [--quick] [--trace]
-        [--out FILE]
+        [--out FILE] [--seed S]
                                           drive an in-process server with
                                           concurrent skewed client traffic;
                                           --connections holds a mostly-idle
@@ -668,7 +705,19 @@ fn server_config(args: &Args) -> Result<ServerConfig, String> {
         shed_queue_depth: args.flag_parse("shed-queue-depth", 0usize)?,
         shed_pending_bytes: args.flag_parse("shed-pending-bytes", 0usize)?,
         rollback_error_threshold: args.flag_parse("rollback-errors", 8u64)?,
+        record_path: args.flag("record").map(std::path::PathBuf::from),
+        record_sample: args.flag_parse("record-sample", 1u64)?,
+        cache_admission: parse_admission(args)?,
     })
+}
+
+/// Parse `--cache-admission {lru,tinylfu}` (default `lru`).
+fn parse_admission(args: &Args) -> Result<Admission, String> {
+    match args.flag("cache-admission") {
+        None => Ok(Admission::Lru),
+        Some(tok) => Admission::parse(tok)
+            .ok_or_else(|| format!("unknown cache admission policy {tok:?} (lru|tinylfu)")),
+    }
 }
 
 /// Install the deterministic fault schedule from `--faults SPEC` (or,
@@ -841,13 +890,14 @@ where
     let reloadable = ReloadableEngine::watching_store(store, fallback_graph, open)
         .map_err(|e| format!("{root}: {e}"))?;
     let info = reloadable.info();
+    let watch_interval_ms = config.watch_interval_ms;
     let handle = serve_reloadable(Arc::new(reloadable), listener, config)
         .map_err(|e| format!("failed to start server: {e}"))?;
     if let Some(opts) = snapshot {
         spawn_metrics_snapshot(handle.metrics_registry(), opts);
     }
-    let watch = if config.watch_interval_ms > 0 {
-        format!(", watching CURRENT every {} ms", config.watch_interval_ms)
+    let watch = if watch_interval_ms > 0 {
+        format!(", watching CURRENT every {watch_interval_ms} ms")
     } else {
         ", hot reload on RELOAD".to_string()
     };
@@ -1011,6 +1061,479 @@ pub fn cmd_metrics(args: &Args) -> Result<String, String> {
     }
 }
 
+/// `sling record` — capture a traffic trace from a running server into a
+/// `SLNGTRACE v1` file.
+///
+/// Polls the server's `TRACE` verb with a running cursor, so capture is
+/// pull-based: the server's ring buffer never blocks the event loop, and
+/// a slow recorder client loses old records (counted below) instead of
+/// slowing queries down. The file is written to `OUT.tmp` and renamed
+/// into place at the end, so a crashed capture never leaves a
+/// half-written file under the final name. The server must be running
+/// with `serve --record FILE` (the ring exists only then); this command
+/// is a second, independent consumer of the same ring.
+///
+/// Accounting in the final report:
+/// * `captured` — records written to OUT;
+/// * `server dropped` — records the server itself lost to ring
+///   contention or sampling (its cumulative counter);
+/// * `overwritten` — records that aged out of the ring between our
+///   polls (visible as sequence gaps).
+pub fn cmd_record(args: &Args) -> Result<String, String> {
+    let out_path: String = args.flag_required("out")?;
+    let duration_ms: u64 = args.flag_parse("duration-ms", 2000u64)?;
+    let poll_ms: u64 = args.flag_parse("poll-ms", 50u64)?;
+    let max_records: u64 = args.flag_parse("max-records", 0u64)?; // 0 = unlimited
+    let mut client = connect_client(args)?;
+    let err = |e: std::io::Error| e.to_string();
+
+    let tmp = format!("{out_path}.tmp");
+    let deadline = std::time::Instant::now() + Duration::from_millis(duration_ms);
+    let mut writer: Option<TraceWriter<std::io::BufWriter<std::fs::File>>> = None;
+    let mut cursor = 0u64;
+    let mut captured = 0u64;
+    let mut overwritten = 0u64;
+    let mut server_dropped;
+    let mut started = false;
+    loop {
+        let seg = client.trace_from(cursor, 4096).map_err(err)?;
+        server_dropped = seg.dropped;
+        if writer.is_none() {
+            let file = std::fs::File::create(&tmp).map_err(|e| format!("{tmp}: {e}"))?;
+            let w = TraceWriter::new(std::io::BufWriter::new(file), seg.base_us)
+                .map_err(|e| format!("{tmp}: {e}"))?;
+            writer = Some(w);
+        }
+        let w = writer.as_mut().expect("writer was just created");
+        if let Some(&(first_seq, _)) = seg.records.first() {
+            // A gap between where we left off and the oldest record the
+            // ring still holds means records aged out between polls. The
+            // very first poll starts wherever the ring starts, by design.
+            if started {
+                overwritten += first_seq.saturating_sub(cursor);
+            }
+            started = true;
+        }
+        let full_batch = seg.records.len() >= 4096;
+        for (_, rec) in &seg.records {
+            w.write(rec).map_err(|e| format!("{tmp}: {e}"))?;
+        }
+        captured += seg.records.len() as u64;
+        cursor = cursor.max(seg.next_seq);
+        if max_records > 0 && captured >= max_records {
+            break;
+        }
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            break;
+        }
+        if !full_batch {
+            // Ring drained: wait for fresh traffic, but never past the
+            // deadline.
+            let remaining = deadline - now;
+            std::thread::sleep(remaining.min(Duration::from_millis(poll_ms.max(1))));
+        }
+    }
+    let w = writer.expect("first poll always creates the writer");
+    let records = w.records_written();
+    let bytes = w.bytes_written();
+    let inner = w.into_inner().map_err(|e| format!("{tmp}: {e}"))?;
+    inner
+        .get_ref()
+        .sync_data()
+        .map_err(|e| format!("{tmp}: {e}"))?;
+    drop(inner);
+    std::fs::rename(&tmp, &out_path).map_err(|e| format!("{tmp} -> {out_path}: {e}"))?;
+    Ok(format!(
+        "captured {records} records ({bytes} bytes) to {out_path}\n\
+         server dropped {server_dropped} (sampling/contention), \
+         {overwritten} overwritten between polls"
+    ))
+}
+
+/// `sling traffic-report` — the SkyServer-style characterization of a
+/// captured (or synthesized) trace file: verb mix, key-popularity skew,
+/// burstiness, and hit-rate-vs-cache-size curves under both admission
+/// policies. Uses the tolerant reader, so a torn tail from an in-flight
+/// recorder degrades to fewer records (reported), never to an error.
+pub fn cmd_traffic_report(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "trace")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let (trace, dropped) = read_trace_tolerant(std::io::BufReader::new(file));
+    let Some(trace) = trace else {
+        return Err(format!("{path}: not a readable SLNGTRACE v1 file"));
+    };
+    let mut out = format!("traffic report for {path}\n\n");
+    out.push_str(&characterize(&trace).to_string());
+    if dropped > 0 {
+        let _ = write!(
+            out,
+            "\nnote: {dropped} damaged or torn line(s) dropped by the tolerant reader"
+        );
+    }
+    Ok(out)
+}
+
+/// Counters from one [`replay_records`] pass over a trace.
+#[derive(Clone, Copy, Debug, Default)]
+struct ReplayRun {
+    replayed: u64,
+    skipped: u64,
+    pair: u64,
+    source: u64,
+    topk: u64,
+    spot_checks: u64,
+    hits: u64,
+    misses: u64,
+    rejects: u64,
+    elapsed_s: f64,
+}
+
+impl ReplayRun {
+    fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Drive every record of a trace through the local engine, optionally
+/// through a result cache, at `speed`× recorded pacing (0 = as fast as
+/// possible). Every `spot_every`-th pair answer is recomputed uncached
+/// and must be bit-identical — the replay-correctness check.
+fn replay_records<S: HpStore + Sync>(
+    engine: &SharedEngine<S>,
+    g: &DiGraph,
+    records: &[TraceRecord],
+    cache: Option<&ShardedResultCache>,
+    speed: f64,
+    spot_every: u64,
+) -> Result<ReplayRun, String> {
+    let n = g.num_nodes() as u32;
+    let mut run = ReplayRun::default();
+    let mut ws = QueryWorkspace::new();
+    let mut ss = sling_core::single_source::SingleSourceWorkspace::new();
+    let mut scores: Vec<f64> = Vec::new();
+    let t0 = records.first().map(|r| r.t_us).unwrap_or(0);
+    let start = std::time::Instant::now();
+    for rec in records {
+        if speed > 0.0 {
+            let offset = Duration::from_micros((rec.t_us.saturating_sub(t0) as f64 / speed) as u64);
+            let now = start.elapsed();
+            if offset > now {
+                std::thread::sleep(offset - now);
+            }
+        }
+        match (rec.verb, rec.key) {
+            (TraceVerb::Pair | TraceVerb::Batch, TraceKey::Pair(u, v)) => {
+                if u >= n || v >= n {
+                    run.skipped += 1;
+                    continue;
+                }
+                // Canonicalize exactly as the server does, so cached and
+                // uncached answers share one merge orientation.
+                let (a, b) = (NodeId(u.min(v)), NodeId(u.max(v)));
+                let got = match cache {
+                    Some(c) => engine
+                        .single_pair_cached_tagged(g, &mut ws, c, a, b, 0)
+                        .map_err(|e| e.to_string())?,
+                    None => engine
+                        .single_pair_with(g, &mut ws, a, b)
+                        .map_err(|e| e.to_string())?,
+                };
+                run.pair += 1;
+                if spot_every > 0 && run.pair % spot_every == 0 {
+                    let want = engine
+                        .single_pair_with(g, &mut ws, a, b)
+                        .map_err(|e| e.to_string())?;
+                    if got.to_bits() != want.to_bits() {
+                        return Err(format!(
+                            "replay spot-check failed: s({}, {}) = {got} via cache \
+                             but {want} uncached (not bit-identical)",
+                            a.0, b.0
+                        ));
+                    }
+                    run.spot_checks += 1;
+                }
+            }
+            (TraceVerb::Source, TraceKey::Node(u)) => {
+                if u >= n {
+                    run.skipped += 1;
+                    continue;
+                }
+                engine
+                    .single_source_with(g, &mut ss, NodeId(u), &mut scores)
+                    .map_err(|e| e.to_string())?;
+                run.source += 1;
+            }
+            (TraceVerb::TopK, TraceKey::NodeK(u, k)) => {
+                if u >= n {
+                    run.skipped += 1;
+                    continue;
+                }
+                engine
+                    .top_k_with(g, &mut ss, &mut scores, NodeId(u), k.max(1) as usize)
+                    .map_err(|e| e.to_string())?;
+                run.topk += 1;
+            }
+            // A verb/key mismatch can only come from a hand-edited
+            // trace; replay it as a no-op rather than failing the run.
+            _ => {
+                run.skipped += 1;
+                continue;
+            }
+        }
+        run.replayed += 1;
+    }
+    run.elapsed_s = start.elapsed().as_secs_f64();
+    if let Some(c) = cache {
+        let s = c.stats();
+        run.hits = s.hits;
+        run.misses = s.misses;
+        run.rejects = c.admission_rejects();
+    }
+    Ok(run)
+}
+
+fn synth_trace(kind: &str, opts: SynthOpts) -> Result<Trace, String> {
+    match kind {
+        "zipf" | "zipf_sweep" => Ok(zipf_sweep(opts)),
+        "diurnal" | "diurnal_burst" => Ok(diurnal_burst(opts)),
+        "scan" | "adversarial_cold_scan" => Ok(adversarial_cold_scan(opts)),
+        other => Err(format!(
+            "unknown --synth scenario {other:?} (zipf|diurnal|scan)"
+        )),
+    }
+}
+
+/// `sling replay` — drive a captured or synthesized trace through the
+/// local engine at recorded (or scaled) pacing.
+///
+/// `replay GRAPH INDEX TRACE` replays a `SLNGTRACE v1` file (strict
+/// reader — replay wants exactness); `replay GRAPH INDEX --synth
+/// zipf|diurnal|scan` synthesizes one of the three scenario families
+/// instead. `--cache CAP` routes pair queries through a result cache
+/// under `--cache-admission lru|tinylfu`; `--spot-check N` recomputes
+/// every Nth pair uncached and fails unless answers are bit-identical.
+/// `--speed X` paces records at X× recorded speed (0, the default,
+/// replays as fast as possible).
+///
+/// `--suite [--out FILE]` ignores TRACE/--synth and runs the pinned
+/// admission-policy comparison (the three synthetic scenarios, with the
+/// adversarial cold scan replayed under both LRU and TinyLFU at the same
+/// capacity), writing the machine-readable `BENCH_replay.json`:
+///
+/// ```json
+/// {
+///   "bench": "replay",
+///   "schema_version": 1,
+///   "fixture": {"graph_nodes": .., "graph_edges": .., "trace_nodes": ..,
+///               "records_per_trace": .., "seed": .., "cache_capacity": ..},
+///   "results": [
+///     {"scenario": "adversarial_cold_scan", "policy": "tinylfu", "replayed": ..,
+///      "skipped": .., "hits": .., "misses": .., "admission_rejects": ..,
+///      "hit_rate": .., "spot_checks": .., "elapsed_s": .., "qps": ..}
+///   ],
+///   "scan_admission": {"capacity": .., "hit_rate_lru": ..,
+///                      "hit_rate_tinylfu": .., "advantage": ..}
+/// }
+/// ```
+///
+/// Each result is one line with a fixed key order so CI can extract
+/// fields with `sed` (see `ci/bench_replay_floor.json` for the gated
+/// floors). `advantage` is `hit_rate_tinylfu - hit_rate_lru` on the
+/// adversarial scan — the number the frequency-aware admission policy
+/// exists to keep positive.
+pub fn cmd_replay(args: &Args) -> Result<String, String> {
+    let graph_path = args.positional(0, "graph")?;
+    let index_path = args.positional(1, "index")?;
+    let g = load_graph(graph_path)?;
+    let n = g.num_nodes() as u32;
+    if n < 2 {
+        return Err("replay needs a graph with at least 2 nodes".to_string());
+    }
+    let index = load_index(&g, index_path)?;
+    let engine = index.into_shared_engine();
+
+    if args.switch("suite") {
+        return replay_suite(args, &engine, &g);
+    }
+
+    let trace: Trace = if let Some(kind) = args.flag("synth") {
+        let opts = SynthOpts {
+            nodes: args.flag_parse("nodes", n)?.min(n),
+            records: args.flag_parse("records", 10_000usize)?,
+            seed: args.flag_parse("seed", 41u64)?,
+        };
+        synth_trace(kind, opts)?
+    } else {
+        let path = args.positional(2, "trace (or pass --synth zipf|diurnal|scan)")?;
+        read_trace_file(path).map_err(|e| format!("{path}: {e}"))?
+    };
+
+    let speed: f64 = args.flag_parse("speed", 0.0f64)?;
+    let spot: u64 = args.flag_parse("spot-check", 0u64)?;
+    let cache_cap: usize = args.flag_parse("cache", 0usize)?;
+    let cache = if cache_cap > 0 {
+        // One shard keeps admission decisions deterministic, so two
+        // replays of one trace agree exactly.
+        Some(ShardedResultCache::with_admission(
+            cache_cap,
+            1,
+            parse_admission(args)?,
+        ))
+    } else {
+        None
+    };
+    let run = replay_records(&engine, &g, &trace.records, cache.as_ref(), speed, spot)?;
+    let mut out = format!(
+        "replayed {} records in {:.2}s ({:.0} rec/s): {} pair, {} source, {} topk, {} skipped\n",
+        run.replayed,
+        run.elapsed_s,
+        run.replayed as f64 / run.elapsed_s.max(1e-9),
+        run.pair,
+        run.source,
+        run.topk,
+        run.skipped,
+    );
+    match &cache {
+        Some(c) => {
+            let _ = writeln!(
+                out,
+                "cache: capacity {} policy {} — {} hits, {} misses, hit rate {:.2}%, \
+                 {} admission rejects",
+                cache_cap,
+                c.admission().as_str(),
+                run.hits,
+                run.misses,
+                run.hit_rate() * 100.0,
+                run.rejects,
+            );
+        }
+        None => out.push_str("cache: off\n"),
+    }
+    if spot > 0 {
+        let _ = writeln!(out, "spot-checks: {} bit-identical", run.spot_checks);
+    }
+    Ok(out)
+}
+
+/// The pinned `--suite` runs for [`cmd_replay`]: (scenario, policy).
+const REPLAY_SUITE: &[(&str, Admission)] = &[
+    ("zipf_sweep", Admission::Lru),
+    ("diurnal_burst", Admission::Lru),
+    ("adversarial_cold_scan", Admission::Lru),
+    ("adversarial_cold_scan", Admission::TinyLfu),
+];
+
+fn replay_suite<S: HpStore + Sync>(
+    args: &Args,
+    engine: &SharedEngine<S>,
+    g: &DiGraph,
+) -> Result<String, String> {
+    let n = g.num_nodes() as u32;
+    // Pinned fixture: small enough to run in CI, skewed enough that the
+    // admission comparison is meaningful. Matches the sim-layer tests.
+    let opts = SynthOpts {
+        nodes: args.flag_parse("nodes", n.min(400))?.min(n),
+        records: args.flag_parse("records", 12_000usize)?,
+        seed: args.flag_parse("seed", 41u64)?,
+    };
+    let capacity: usize = args.flag_parse("cache", 192usize)?;
+    let spot: u64 = args.flag_parse("spot-check", 997u64)?;
+
+    let mut lines = Vec::new();
+    let mut human = String::from("replay suite (pinned admission comparison)\n");
+    let mut scan_rates: Vec<(Admission, f64)> = Vec::new();
+    for &(scenario, policy) in REPLAY_SUITE {
+        let trace = synth_trace(scenario, opts)?;
+        let cache = ShardedResultCache::with_admission(capacity, 1, policy);
+        let run = replay_records(engine, g, &trace.records, Some(&cache), 0.0, spot)?;
+        if scenario == "adversarial_cold_scan" {
+            scan_rates.push((policy, run.hit_rate()));
+        }
+        let _ = writeln!(
+            human,
+            "  {scenario:<22} {:<8} hit rate {:>6.2}%  ({} hits, {} misses, {} rejects, \
+             {} spot-checks ok)",
+            policy.as_str(),
+            run.hit_rate() * 100.0,
+            run.hits,
+            run.misses,
+            run.rejects,
+            run.spot_checks,
+        );
+        lines.push(format!(
+            "{{\"scenario\": \"{scenario}\", \"policy\": \"{}\", \"replayed\": {}, \
+             \"skipped\": {}, \"hits\": {}, \"misses\": {}, \"admission_rejects\": {}, \
+             \"hit_rate\": {:.4}, \"spot_checks\": {}, \"elapsed_s\": {:.3}, \"qps\": {:.1}}}",
+            policy.as_str(),
+            run.replayed,
+            run.skipped,
+            run.hits,
+            run.misses,
+            run.rejects,
+            run.hit_rate(),
+            run.spot_checks,
+            run.elapsed_s,
+            run.replayed as f64 / run.elapsed_s.max(1e-9),
+        ));
+    }
+    let rate_of = |policy: Admission| {
+        scan_rates
+            .iter()
+            .find(|(p, _)| *p == policy)
+            .map(|&(_, r)| r)
+            .unwrap_or(0.0)
+    };
+    let (lru, tiny) = (rate_of(Admission::Lru), rate_of(Admission::TinyLfu));
+    let _ = writeln!(
+        human,
+        "adversarial scan: tinylfu {:.2}% vs lru {:.2}% (advantage {:+.2} points)",
+        tiny * 100.0,
+        lru * 100.0,
+        (tiny - lru) * 100.0,
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"replay\",\n  \"schema_version\": 1,\n");
+    let _ = writeln!(
+        json,
+        "  \"fixture\": {{\"graph_nodes\": {}, \"graph_edges\": {}, \"trace_nodes\": {}, \
+         \"records_per_trace\": {}, \"seed\": {}, \"cache_capacity\": {capacity}}},",
+        g.num_nodes(),
+        g.num_edges(),
+        opts.nodes,
+        opts.records,
+        opts.seed,
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, line) in lines.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(line);
+        if i + 1 < lines.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"scan_admission\": {{\"capacity\": {capacity}, \"hit_rate_lru\": {lru:.4}, \
+         \"hit_rate_tinylfu\": {tiny:.4}, \"advantage\": {:.4}}}",
+        tiny - lru,
+    );
+    json.push_str("}\n");
+    if let Some(out_path) = args.flag("out") {
+        std::fs::write(out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+        let _ = write!(human, "wrote {out_path}");
+    } else {
+        human.push_str(&json);
+    }
+    Ok(human)
+}
+
 /// `sling bench-serve` — start an in-process server and drive it with
 /// concurrent, hot-key-skewed client traffic; reports throughput and the
 /// cache hit rate, after spot-checking served scores against the local
@@ -1055,6 +1578,7 @@ pub fn cmd_bench_serve(args: &Args) -> Result<String, String> {
         hot_keys: args.flag_parse("hot-keys", 64usize)?,
         connections: args.flag_parse("connections", 0usize)?,
         out: args.flag("out").map(str::to_string),
+        seed: args.flag_parse("seed", 0x5DEECE66Du64)?,
         quick,
         trace: args.switch("trace"),
         config: server_config(args)?,
@@ -1098,6 +1622,9 @@ struct ServeBenchOpts {
     /// When set, run the fixed transport/worker/connection sweep and
     /// write the machine-readable `BENCH_serve.json` to this path.
     out: Option<String>,
+    /// Seed of the hot-key set and per-thread request streams, so two
+    /// runs (or two policies) replay the same workload.
+    seed: u64,
     quick: bool,
     /// Append the server-side kernel-stage latency breakdown (read from
     /// the metrics registry's `sling_query_stage_*_ns` histograms).
@@ -1192,8 +1719,9 @@ fn bench_serve_entry<S: HpStore + Send + Sync + 'static>(
             opts.requests,
             opts.hot,
             opts.hot_keys,
+            opts.seed,
             opts.trace,
-            opts.config,
+            opts.config.clone(),
         )
         .map(|(human, _)| human),
         Some(path) => bench_serve_sweep(engine, graph, opts, path),
@@ -1224,7 +1752,7 @@ fn bench_serve_sweep<S: HpStore + Send + Sync + 'static>(
     let mut records: Vec<ServeBenchRecord> = Vec::with_capacity(plan.len());
     let mut human = String::from("bench-serve sweep:\n");
     for &(transport, workers, conns) in &plan {
-        let mut config = opts.config;
+        let mut config = opts.config.clone();
         config.workers = workers;
         let target = if transport == "tcp" {
             ServeTransport::Tcp
@@ -1241,6 +1769,7 @@ fn bench_serve_sweep<S: HpStore + Send + Sync + 'static>(
             opts.requests,
             opts.hot,
             opts.hot_keys,
+            opts.seed,
             opts.trace,
             config,
         )?;
@@ -1353,6 +1882,7 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
     requests: usize,
     hot: f64,
     hot_keys: usize,
+    seed: u64,
     trace: bool,
     config: ServerConfig,
 ) -> Result<(String, ServeBenchRecord), String> {
@@ -1382,7 +1912,7 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
 
     // Skewed hot key set shared by every client thread.
     let hot_pairs: Vec<(u32, u32)> = {
-        let mut state = 0x5DEECE66Du64;
+        let mut state = seed;
         (0..hot_keys.max(1))
             .map(|_| random_pair(&mut state, n))
             .collect()
@@ -1427,7 +1957,10 @@ fn bench_serve_run<S: HpStore + Send + Sync + 'static>(
                     let transport = &transport;
                     s.spawn(move || -> Result<Vec<f64>, String> {
                         let mut client = connect(transport)?;
-                        let mut state = (t as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407) | 1;
+                        let mut state = seed
+                            .wrapping_add(t as u64 + 1)
+                            .wrapping_mul(0xA24B_AED4_963E_E407)
+                            | 1;
                         let mut lat_us = Vec::with_capacity(per_thread);
                         for i in 0..per_thread {
                             let t0 = std::time::Instant::now();
@@ -1635,6 +2168,9 @@ pub fn run(argv: &[String]) -> Result<String, String> {
                     "faults",
                     "metrics-snapshot",
                     "metrics-snapshot-ms",
+                    "record",
+                    "record-sample",
+                    "cache-admission",
                 ],
                 switches: &["watch"],
             },
@@ -1690,8 +2226,48 @@ pub fn run(argv: &[String]) -> Result<String, String> {
                     "max-connections",
                     "index-backend",
                     "slow-query-us",
+                    "seed",
+                    "cache-admission",
                 ],
                 switches: &["quick", "trace"],
+            },
+        )?),
+        "record" => cmd_record(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &[
+                    "connect",
+                    "unix",
+                    "out",
+                    "duration-ms",
+                    "poll-ms",
+                    "max-records",
+                ],
+                switches: &[],
+            },
+        )?),
+        "replay" => cmd_replay(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &[
+                    "synth",
+                    "records",
+                    "nodes",
+                    "seed",
+                    "speed",
+                    "cache",
+                    "cache-admission",
+                    "spot-check",
+                    "out",
+                ],
+                switches: &["suite"],
+            },
+        )?),
+        "traffic-report" => cmd_traffic_report(&Args::parse(
+            rest.iter().cloned(),
+            Spec {
+                value_flags: &[],
+                switches: &[],
             },
         )?),
         "transform" => cmd_transform(&Args::parse(
@@ -3239,6 +3815,214 @@ mod tests {
         let err = run_str("frobnicate").unwrap_err();
         assert!(err.contains("USAGE"));
         assert!(run_str("help").unwrap().contains("USAGE"));
+    }
+
+    /// One graph + index fixture shared by the workload tests below.
+    fn workload_fixture(tag: &str) -> (PathBuf, PathBuf, PathBuf) {
+        let dir = tmpdir(tag);
+        let g = dir.join("g.bin");
+        let idx = dir.join("idx.slng");
+        run_str(&format!(
+            "generate --ba 120,3 --seed 6 --out {}",
+            g.display()
+        ))
+        .unwrap();
+        run_str(&format!(
+            "build {} --out {} --eps 0.1 --seed 7",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        (dir, g, idx)
+    }
+
+    #[test]
+    fn replay_synthesized_trace_with_spot_checks() {
+        let (_dir, g, idx) = workload_fixture("replaysynth");
+        let out = run_str(&format!(
+            "replay {} {} --synth zipf --records 2000 --nodes 80 --seed 11 \
+             --cache 64 --cache-admission tinylfu --spot-check 25",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        assert!(out.contains("replayed 2000 records"), "{out}");
+        assert!(out.contains("policy tinylfu"), "{out}");
+        assert!(out.contains("bit-identical"), "{out}");
+        assert!(!out.contains("spot-checks: 0 bit-identical"), "{out}");
+        // Cacheless replay of the same trace still works (and says so).
+        let plain = run_str(&format!(
+            "replay {} {} --synth zipf --records 500 --nodes 80 --seed 11",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap();
+        assert!(plain.contains("cache: off"), "{plain}");
+        // Unknown scenario and missing trace are real errors.
+        assert!(run_str(&format!(
+            "replay {} {} --synth nope",
+            g.display(),
+            idx.display()
+        ))
+        .unwrap_err()
+        .contains("unknown --synth"));
+        assert!(
+            run_str(&format!("replay {} {}", g.display(), idx.display()))
+                .unwrap_err()
+                .contains("--synth")
+        );
+    }
+
+    #[test]
+    fn replay_suite_writes_the_json_baseline() {
+        let (dir, g, idx) = workload_fixture("replaysuite");
+        let json_path = dir.join("BENCH_replay.json");
+        let out = run_str(&format!(
+            "replay {} {} --suite --records 4000 --out {}",
+            g.display(),
+            idx.display(),
+            json_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("adversarial scan"), "{out}");
+        assert!(out.contains("advantage"), "{out}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"bench\": \"replay\""), "{json}");
+        assert!(json.contains("\"scenario\": \"zipf_sweep\""), "{json}");
+        assert!(json.contains("\"scenario\": \"diurnal_burst\""), "{json}");
+        // The adversarial scan appears under both policies.
+        assert_eq!(
+            json.matches("\"scenario\": \"adversarial_cold_scan\"")
+                .count(),
+            2,
+            "{json}"
+        );
+        assert!(json.contains("\"hit_rate_tinylfu\""), "{json}");
+        assert!(json.contains("\"advantage\""), "{json}");
+        // Spot-checks ran in every suite row.
+        assert!(!json.contains("\"spot_checks\": 0"), "{json}");
+    }
+
+    #[test]
+    fn traffic_report_reads_a_written_trace() {
+        let dir = tmpdir("report");
+        let path = dir.join("t.slng");
+        let trace = zipf_sweep(SynthOpts {
+            nodes: 60,
+            records: 3000,
+            seed: 5,
+        });
+        let file = std::fs::File::create(&path).unwrap();
+        let mut w = TraceWriter::new(std::io::BufWriter::new(file), trace.base_us).unwrap();
+        for rec in &trace.records {
+            w.write(rec).unwrap();
+        }
+        w.into_inner().unwrap();
+        let out = run_str(&format!("traffic-report {}", path.display())).unwrap();
+        assert!(out.contains("traffic report"), "{out}");
+        assert!(out.contains("verb mix"), "{out}");
+        assert!(out.contains("zipf exponent"), "{out}");
+        assert!(out.contains("hit rate vs cache size"), "{out}");
+        // A torn tail degrades to fewer records plus a note, not an error.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 7);
+        let torn = dir.join("torn.slng");
+        std::fs::write(&torn, &bytes).unwrap();
+        let out = run_str(&format!("traffic-report {}", torn.display())).unwrap();
+        assert!(out.contains("dropped by the tolerant reader"), "{out}");
+        // A non-trace file is an error.
+        assert!(run_str(&format!("traffic-report {}", dir.join("g.bin").display())).is_err());
+    }
+
+    #[test]
+    fn record_capture_report_replay_roundtrip_over_live_server() {
+        let (dir, g, idx) = workload_fixture("recordloop");
+        let sock = dir.join("rec.sock");
+        let server_trace = dir.join("server_side.slng");
+        let serve_cmd = format!(
+            "serve {} {} --unix {} --workers 2 --cache 64 --cache-admission tinylfu \
+             --record {}",
+            g.display(),
+            idx.display(),
+            sock.display(),
+            server_trace.display()
+        );
+        let server = std::thread::spawn(move || run_str(&serve_cmd));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !sock.exists() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let client = |mode: &str| run_str(&format!("client {mode} --unix {}", sock.display()));
+        // Mixed traffic for the recorder to see.
+        for i in 0..30u32 {
+            client(&format!("pair {} {}", i % 7, (i + 1) % 13)).unwrap();
+        }
+        client("source 1").unwrap();
+        client("topk 0 3").unwrap();
+        // The STATS surface knows recording is on and which admission
+        // policy the cache runs.
+        let stats = client("stats").unwrap();
+        assert!(stats.contains("trace=on"), "{stats}");
+        assert!(stats.contains("cache_admission=tinylfu"), "{stats}");
+        assert!(stats.contains("trace_records="), "{stats}");
+        // Pull the same ring over the wire into a client-side capture.
+        let cap = dir.join("capture.slng");
+        let rec_out = run_str(&format!(
+            "record --unix {} --out {} --duration-ms 600 --poll-ms 20",
+            sock.display(),
+            cap.display()
+        ))
+        .unwrap();
+        assert!(rec_out.contains("captured"), "{rec_out}");
+        assert!(!rec_out.contains("captured 0 records"), "{rec_out}");
+        client("shutdown").unwrap();
+        server.join().unwrap().unwrap();
+        // The captured trace characterizes (32 pair-keyed lines dominate).
+        let report = run_str(&format!("traffic-report {}", cap.display())).unwrap();
+        assert!(report.contains("PAIR"), "{report}");
+        // And replays against the local engine with every pair answer
+        // spot-checked bit-identical through the cache — the record →
+        // replay correctness loop.
+        let replay = run_str(&format!(
+            "replay {} {} {} --cache 32 --cache-admission tinylfu --spot-check 1",
+            g.display(),
+            idx.display(),
+            cap.display()
+        ))
+        .unwrap();
+        assert!(replay.contains("bit-identical"), "{replay}");
+        assert!(!replay.contains("spot-checks: 0"), "{replay}");
+        // The server-side recorder published its own complete file too
+        // (tmp+rename: the final name is always a whole, parseable trace).
+        let server_report = run_str(&format!("traffic-report {}", server_trace.display())).unwrap();
+        assert!(server_report.contains("traffic report"), "{server_report}");
+        assert!(!dir.join("server_side.slng.tmp").exists());
+    }
+
+    #[test]
+    fn record_requires_a_recording_server() {
+        let (dir, g, idx) = workload_fixture("recordoff");
+        let sock = dir.join("plain.sock");
+        let serve_cmd = format!(
+            "serve {} {} --unix {} --workers 1",
+            g.display(),
+            idx.display(),
+            sock.display()
+        );
+        let server = std::thread::spawn(move || run_str(&serve_cmd));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !sock.exists() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let err = run_str(&format!(
+            "record --unix {} --out {} --duration-ms 200",
+            sock.display(),
+            dir.join("nope.slng").display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("not enabled"), "{err}");
+        run_str(&format!("client shutdown --unix {}", sock.display())).unwrap();
+        server.join().unwrap().unwrap();
     }
 
     #[test]

@@ -259,6 +259,188 @@ impl<K: Copy + Eq + Hash, V: Default> LruList<K, V> {
         self.free.push(victim);
         Some((key, value))
     }
+
+    /// The least-recently-used entry, without evicting or touching it —
+    /// the candidate-versus-victim probe frequency-sketch admission
+    /// needs before committing to an eviction.
+    pub(crate) fn peek_lru(&self) -> Option<(&K, &V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = &self.slots[self.tail as usize];
+        Some((&slot.key, &slot.value))
+    }
+}
+
+/// Cache admission policy for the LRU-backed caches
+/// ([`ShardedResultCache`], [`crate::store::RestoreCache`], the
+/// [`crate::disk_query::BufferedDiskStore`] buffer pool — all sharing
+/// [`LruList`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Admission {
+    /// Plain LRU: every insert is admitted, evicting the tail.
+    #[default]
+    Lru,
+    /// TinyLFU-style frequency-sketch admission: at capacity, a
+    /// candidate only displaces the LRU victim when the sketch says it
+    /// is accessed at least as often. One-touch scan traffic (the
+    /// adversarial pattern in the SkyServer-style traces) stops evicting
+    /// the hot working set.
+    TinyLfu,
+}
+
+impl Admission {
+    /// Stable token for CLI flags and bench JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Admission::Lru => "lru",
+            Admission::TinyLfu => "tinylfu",
+        }
+    }
+
+    /// Parse a CLI token.
+    pub fn parse(tok: &str) -> Option<Admission> {
+        match tok {
+            "lru" => Some(Admission::Lru),
+            "tinylfu" => Some(Admission::TinyLfu),
+            _ => None,
+        }
+    }
+}
+
+/// A count-min frequency sketch with 4-bit saturating counters — the
+/// TinyLFU recency-weighted popularity estimate. Each key is charged to
+/// four counters chosen by independent mixes of its hash; the estimate
+/// is their minimum. When total additions reach the sample cap, every
+/// counter is halved ("aging"), so popularity decays and a formerly-hot
+/// key cannot squat forever.
+///
+/// The sketch is plain mutable state — callers wrap it in the same lock
+/// as the LRU list it advises, so advising admission adds no extra
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct FrequencySketch {
+    /// 16 packed 4-bit counters per word; length a power of two.
+    table: Vec<u64>,
+    /// `table.len() - 1`.
+    mask: usize,
+    /// Counter increments since the last halving.
+    additions: u64,
+    /// Halve all counters when `additions` reaches this.
+    sample_cap: u64,
+}
+
+impl FrequencySketch {
+    /// Sketch sized for a cache of `capacity` entries: ~8 counters per
+    /// entry, aged every `10 × capacity` additions (the Caffeine
+    /// defaults, which keep estimate error small at 4 bits).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let words = (capacity.max(16) / 2).next_power_of_two();
+        FrequencySketch {
+            table: vec![0; words],
+            mask: words - 1,
+            additions: 0,
+            sample_cap: capacity.max(16) as u64 * 10,
+        }
+    }
+
+    /// Whether the sketch has a table (a defaulted sketch is a no-op
+    /// placeholder used by LRU-policy shards).
+    pub(crate) fn is_enabled(&self) -> bool {
+        !self.table.is_empty()
+    }
+
+    /// The i-th derived position for `hash`: a word index and the bit
+    /// shift of a 4-bit counter inside it.
+    #[inline]
+    fn position(&self, hash: u64, i: u64) -> (usize, u32) {
+        // One multiply-mix per probe; distinct odd constants decorrelate
+        // the four probes.
+        const SEEDS: [u64; 4] = [
+            0x9E37_79B9_7F4A_7C15,
+            0xC2B2_AE3D_27D4_EB4F,
+            0x1656_67B1_9E37_79F9,
+            0xD6E8_FEB8_6659_FD93,
+        ];
+        let h = (hash ^ h_rot(hash, i)).wrapping_mul(SEEDS[i as usize]);
+        let word = ((h >> 32) as usize) & self.mask;
+        let slot = (h >> 28) as u32 & 15;
+        (word, slot * 4)
+    }
+
+    /// Charge one access to `hash` (saturating at 15), aging the table
+    /// at the sample cap.
+    pub fn increment(&mut self, hash: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut added = false;
+        for i in 0..4 {
+            let (word, shift) = self.position(hash, i);
+            let counter = (self.table[word] >> shift) & 15;
+            if counter < 15 {
+                self.table[word] += 1u64 << shift;
+                added = true;
+            }
+        }
+        if added {
+            self.additions += 1;
+            if self.additions >= self.sample_cap {
+                self.halve();
+            }
+        }
+    }
+
+    /// Estimated access frequency of `hash` (0–15).
+    pub fn estimate(&self, hash: u64) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        (0..4)
+            .map(|i| {
+                let (word, shift) = self.position(hash, i);
+                (self.table[word] >> shift) & 15
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Halve every counter (the TinyLFU aging step).
+    fn halve(&mut self) {
+        for word in self.table.iter_mut() {
+            *word = (*word >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.additions /= 2;
+    }
+
+    /// Forget everything — called on generation-epoch swaps, where
+    /// popularity measured against the retired index must not bias
+    /// admission on the new one.
+    pub fn clear(&mut self) {
+        self.table.iter_mut().for_each(|w| *w = 0);
+        self.additions = 0;
+    }
+}
+
+#[inline]
+fn h_rot(hash: u64, i: u64) -> u64 {
+    hash.rotate_left(17 + 13 * i as u32)
+}
+
+/// Hash a canonical pair key for the frequency sketch.
+#[inline]
+pub(crate) fn pair_hash(key: (u32, u32)) -> u64 {
+    let mut z = ((key.0 as u64) << 32) | key.1 as u64;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a node-id key for the frequency sketch (the node-keyed caches:
+/// restore lists, disk buffer pool).
+#[inline]
+pub(crate) fn node_hash(v: u32) -> u64 {
+    pair_hash((0, v))
 }
 
 /// Canonical symmetric pair key: SimRank is symmetric, so `{u, v}` and
@@ -433,13 +615,26 @@ impl<'i, S: HpStore> CachedQueries<'i, S> {
 /// the same key writes the same bits; the first insert wins and later
 /// ones are dropped.
 pub struct ShardedResultCache {
-    shards: Box<[Mutex<LruList<(u32, u32), EpochSlot>>]>,
+    shards: Box<[Mutex<ResultShard>]>,
     shard_capacity: usize,
+    admission: Admission,
+    /// Inserts refused by frequency-sketch admission (always 0 under
+    /// plain LRU).
+    admission_rejects: AtomicU64,
     stats: AtomicCacheStats,
     /// Current generation epoch; entries tagged with any other epoch
     /// are invalid (see [`EpochSlot`]). Static deployments never touch
     /// it and stay at 0.
     epoch: AtomicU64,
+}
+
+/// One lock's worth of cache: the LRU list plus (under TinyLFU
+/// admission) the frequency sketch advising its evictions — same lock,
+/// so admission adds no synchronization.
+#[derive(Default)]
+struct ResultShard {
+    list: LruList<(u32, u32), EpochSlot>,
+    sketch: FrequencySketch,
 }
 
 impl ShardedResultCache {
@@ -449,13 +644,30 @@ impl ShardedResultCache {
 
     /// Cache holding up to `capacity` pair results across `shards` locks
     /// (rounded up to a power of two; each shard gets an equal slice,
-    /// at least one entry).
+    /// at least one entry), with plain-LRU admission.
     pub fn new(capacity: usize, shards: usize) -> Self {
+        Self::with_admission(capacity, shards, Admission::Lru)
+    }
+
+    /// [`ShardedResultCache::new`] with an explicit admission policy.
+    pub fn with_admission(capacity: usize, shards: usize, admission: Admission) -> Self {
         let shards = shards.clamp(1, 1 << 16).next_power_of_two();
         let shard_capacity = capacity.div_ceil(shards).max(1);
         ShardedResultCache {
-            shards: (0..shards).map(|_| Mutex::new(LruList::new())).collect(),
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(ResultShard {
+                        list: LruList::new(),
+                        sketch: match admission {
+                            Admission::Lru => FrequencySketch::default(),
+                            Admission::TinyLfu => FrequencySketch::with_capacity(shard_capacity),
+                        },
+                    })
+                })
+                .collect(),
             shard_capacity,
+            admission,
+            admission_rejects: AtomicU64::new(0),
             stats: AtomicCacheStats::new(),
             epoch: AtomicU64::new(0),
         }
@@ -464,6 +676,16 @@ impl ShardedResultCache {
     /// Cache over [`ShardedResultCache::DEFAULT_SHARDS`] shards.
     pub fn with_capacity(capacity: usize) -> Self {
         Self::new(capacity, Self::DEFAULT_SHARDS)
+    }
+
+    /// The configured admission policy.
+    pub fn admission(&self) -> Admission {
+        self.admission
+    }
+
+    /// Inserts refused by frequency-sketch admission.
+    pub fn admission_rejects(&self) -> u64 {
+        self.admission_rejects.load(Ordering::Relaxed)
     }
 
     /// Number of shards (a power of two).
@@ -494,14 +716,28 @@ impl ShardedResultCache {
     /// Set the generation epoch, lazily invalidating every entry tagged
     /// with a different one. A serving layer calls this when it swaps
     /// index generations (monotone values keep the tags unambiguous).
+    /// Frequency sketches are reset eagerly: popularity measured against
+    /// the retired index must not veto admissions on the new one.
     pub fn set_epoch(&self, epoch: u64) {
         self.epoch.store(epoch, Ordering::Release);
+        self.reset_sketches();
     }
 
     /// Bump the generation epoch by one, invalidating all resident
-    /// entries; returns the new epoch.
+    /// entries (and resetting the admission sketches); returns the new
+    /// epoch.
     pub fn advance_epoch(&self) -> u64 {
-        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        self.reset_sketches();
+        epoch
+    }
+
+    fn reset_sketches(&self) {
+        if self.admission == Admission::TinyLfu {
+            for shard in self.shards.iter() {
+                shard.lock().sketch.clear();
+            }
+        }
     }
 
     /// Cached verdict of the (canonicalized) pair, recording a hit or
@@ -528,13 +764,17 @@ impl ShardedResultCache {
         let current = self.epoch();
         let hit = {
             let mut shard = self.shards[self.shard_index(key)].lock();
-            match shard.get(&key).copied() {
+            // Every lookup — hit or miss — is one observation of the
+            // key's popularity; the sketch is what admission consults
+            // when this key later competes for a slot.
+            shard.sketch.increment(pair_hash(key));
+            match shard.list.get(&key).copied() {
                 Some(slot) if slot.epoch == epoch => Some(slot.value),
                 Some(slot) => {
                     if slot.epoch != current {
                         // Computed against a retired index: free the
                         // slot so the live generation can refill it.
-                        shard.remove(&key);
+                        shard.list.remove(&key);
                     }
                     None
                 }
@@ -612,20 +852,40 @@ impl ShardedResultCache {
             return; // computed against a retired generation
         }
         let mut shard = self.shards[self.shard_index(key)].lock();
-        match shard.get(&key) {
+        match shard.list.get(&key) {
             // First insert wins while the entry is live...
             Some(live) if live.epoch == slot.epoch => return,
             // ...but a retired-epoch entry is dead weight: replace it.
             Some(_) => {
-                shard.remove(&key);
+                shard.list.remove(&key);
             }
             None => {}
         }
-        if shard.len() >= self.shard_capacity {
-            shard.pop_lru();
+        if shard.list.len() >= self.shard_capacity {
+            // TinyLFU admission: the candidate must out-earn the LRU
+            // victim in sketched frequency, or the insert is refused
+            // and the resident entry survives. This is what keeps a
+            // one-touch cold scan from churning the hot working set.
+            if self.admission == Admission::TinyLfu {
+                if let Some((&victim, victim_slot)) = shard.list.peek_lru() {
+                    // Strictly greater, as in Caffeine: ties reject, so
+                    // one-touch keys cannot churn each other either. A
+                    // retired-epoch victim is dead weight and is never
+                    // protected.
+                    if victim_slot.epoch == slot.epoch
+                        && shard.sketch.estimate(pair_hash(key))
+                            <= shard.sketch.estimate(pair_hash(victim))
+                    {
+                        drop(shard);
+                        self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+            shard.list.pop_lru();
             self.stats.record_evictions(1);
         }
-        shard.insert(key, slot);
+        shard.list.insert(key, slot);
     }
 
     /// Counter snapshot (exact even while other threads query).
@@ -635,18 +895,18 @@ impl ShardedResultCache {
 
     /// Entries currently resident across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().list.len()).sum()
     }
 
     /// Whether no shard holds an entry.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
+        self.shards.iter().all(|s| s.lock().list.is_empty())
     }
 
-    /// Drop all cached entries (counters are kept).
+    /// Drop all cached entries (counters and sketches are kept).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.lock().clear();
+            shard.lock().list.clear();
         }
     }
 }
@@ -1171,5 +1431,127 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 8 * 4 * 30);
         assert!(s.hits > 0);
+    }
+
+    #[test]
+    fn sketch_counts_and_ages() {
+        let mut sketch = FrequencySketch::with_capacity(64);
+        let hot = pair_hash((3, 77));
+        let cold = pair_hash((5, 99));
+        for _ in 0..10 {
+            sketch.increment(hot);
+        }
+        sketch.increment(cold);
+        assert!(sketch.estimate(hot) >= 8, "{}", sketch.estimate(hot));
+        assert!(sketch.estimate(cold) <= 2);
+        assert_eq!(sketch.estimate(pair_hash((1, 2))), 0, "untouched key");
+        // Saturation: 100 more increments cap at 15, never wrap.
+        for _ in 0..100 {
+            sketch.increment(hot);
+        }
+        assert!(sketch.estimate(hot) <= 15);
+        // Aging halves, clear forgets.
+        sketch.halve();
+        assert!(sketch.estimate(hot) <= 7);
+        sketch.clear();
+        assert_eq!(sketch.estimate(hot), 0);
+    }
+
+    #[test]
+    fn default_sketch_is_a_noop() {
+        let mut sketch = FrequencySketch::default();
+        sketch.increment(pair_hash((1, 2)));
+        assert_eq!(sketch.estimate(pair_hash((1, 2))), 0);
+    }
+
+    /// The adversarial pattern from the workload traces: a hot working
+    /// set that fits the cache, interleaved 1:2 with a one-touch cold
+    /// scan much bigger than it. Under plain LRU each hot key is
+    /// evicted by ~70 fresher scan keys before its next touch; under
+    /// TinyLFU admission the scan keys lose the frequency contest and
+    /// the hot set stays resident.
+    #[test]
+    fn tinylfu_resists_cold_scan_where_lru_thrashes() {
+        let hot: Vec<(u32, u32)> = (0..24).map(|i| (i, i + 1000)).collect();
+        let run = |cache: &ShardedResultCache| {
+            for &(u, v) in &hot {
+                cache.get(NodeId(u), NodeId(v));
+                cache.insert(NodeId(u), NodeId(v), 0.25);
+            }
+            let mut hot_hits = 0usize;
+            let mut cold = 0u32;
+            for i in 0..6000usize {
+                if i % 3 == 0 {
+                    let (u, v) = hot[(i / 3) % hot.len()];
+                    match cache.get(NodeId(u), NodeId(v)) {
+                        Some(_) => hot_hits += 1,
+                        None => cache.insert(NodeId(u), NodeId(v), 0.25),
+                    }
+                } else {
+                    cold += 1;
+                    let (u, v) = (NodeId(100_000 + cold), NodeId(200_000 + cold));
+                    assert!(cache.get(u, v).is_none(), "cold keys are one-touch");
+                    cache.insert(u, v, 0.5);
+                }
+            }
+            hot_hits
+        };
+        let lru = ShardedResultCache::new(32, 1);
+        let tiny = ShardedResultCache::with_admission(32, 1, Admission::TinyLfu);
+        let lru_hits = run(&lru);
+        let tiny_hits = run(&tiny);
+        // 2000 hot accesses each. LRU thrashes (hot keys rarely survive
+        // the 48 interleaved cold inserts between their touches);
+        // TinyLFU serves nearly all of them.
+        assert!(
+            lru_hits < 500,
+            "LRU unexpectedly scan-resistant: {lru_hits}"
+        );
+        assert!(tiny_hits > 1500, "TinyLFU thrashes: {tiny_hits}");
+        assert!(tiny_hits > lru_hits * 3);
+        assert!(tiny.admission_rejects() > 1000);
+        assert_eq!(lru.admission_rejects(), 0);
+    }
+
+    /// An epoch swap must reset sketched popularity: the new
+    /// generation's traffic starts from a clean slate instead of being
+    /// vetoed by the retired index's hot set.
+    #[test]
+    fn tinylfu_sketch_resets_on_epoch_swap() {
+        let cache = ShardedResultCache::with_admission(16, 1, Admission::TinyLfu);
+        // Make 16 old-generation keys very popular and resident.
+        for _ in 0..10 {
+            for i in 0..16u32 {
+                if cache.get(NodeId(i), NodeId(i + 100)).is_none() {
+                    cache.insert(NodeId(i), NodeId(i + 100), 0.5);
+                }
+            }
+        }
+        // A fresh key is refused: zero sketched frequency vs a popular
+        // victim.
+        cache.insert(NodeId(777), NodeId(888), 0.25);
+        assert!(cache.get(NodeId(777), NodeId(888)).is_none());
+        assert!(cache.admission_rejects() > 0);
+        let rejects_before = cache.admission_rejects();
+        // Swap generations: resident entries invalidate lazily, the
+        // sketch resets eagerly, and new traffic is admitted freely
+        // (candidate 0 >= victim 0).
+        cache.advance_epoch();
+        for i in 0..16u32 {
+            cache.insert(NodeId(500 + i), NodeId(600 + i), 0.75);
+        }
+        for i in 0..16u32 {
+            assert_eq!(cache.get(NodeId(500 + i), NodeId(600 + i)), Some(0.75));
+        }
+        assert_eq!(cache.admission_rejects(), rejects_before);
+    }
+
+    #[test]
+    fn admission_parses_and_prints() {
+        assert_eq!(Admission::parse("lru"), Some(Admission::Lru));
+        assert_eq!(Admission::parse("tinylfu"), Some(Admission::TinyLfu));
+        assert_eq!(Admission::parse("arc"), None);
+        assert_eq!(Admission::TinyLfu.as_str(), "tinylfu");
+        assert_eq!(Admission::default(), Admission::Lru);
     }
 }

@@ -26,7 +26,7 @@
 use parking_lot::Mutex;
 use sling_graph::{DiGraph, NodeId};
 
-use crate::cache::{AtomicCacheStats, CacheStats, LruList};
+use crate::cache::{node_hash, Admission, AtomicCacheStats, CacheStats, FrequencySketch, LruList};
 use crate::error::SlingError;
 use crate::hp::HpEntry;
 use crate::obs::{self, KernelCounters};
@@ -73,6 +73,10 @@ pub type BufferStats = CacheStats;
 struct BufferState {
     cached_entries: usize,
     lists: LruList<u32, Vec<HpEntry>>,
+    /// Node-keyed frequency sketch advising eviction under
+    /// [`Admission::TinyLfu`]; a defaulted sketch (the LRU policy) is a
+    /// no-op. Lives under the same lock as the lists.
+    sketch: FrequencySketch,
 }
 
 /// LRU buffer of decoded `H(v)` lists in front of a [`DiskHpStore`].
@@ -93,15 +97,36 @@ pub struct BufferedDiskStore<'s> {
 }
 
 impl<'s> BufferedDiskStore<'s> {
-    /// Buffer at most `budget_entries` decoded entries (≥ 1).
+    /// Buffer at most `budget_entries` decoded entries (≥ 1) under
+    /// plain LRU eviction.
     pub fn new(store: &'s DiskHpStore, budget_entries: usize) -> Self {
+        Self::with_admission(store, budget_entries, Admission::Lru)
+    }
+
+    /// [`BufferedDiskStore::new`] with an explicit [`Admission`]
+    /// policy. [`Admission::TinyLfu`] keeps one-touch scans (cold batch
+    /// sweeps) from churning the buffered hub lists.
+    pub fn with_admission(
+        store: &'s DiskHpStore,
+        budget_entries: usize,
+        admission: Admission,
+    ) -> Self {
+        let budget_entries = budget_entries.max(1);
         BufferedDiskStore {
             store,
-            budget_entries: budget_entries.max(1),
+            budget_entries,
             stats: AtomicCacheStats::new(),
             state: Mutex::new(BufferState {
                 cached_entries: 0,
                 lists: LruList::new(),
+                sketch: match admission {
+                    Admission::Lru => FrequencySketch::default(),
+                    // Budget is in entries; lists average tens of
+                    // entries, so track ~1/16th as many distinct nodes.
+                    Admission::TinyLfu => {
+                        FrequencySketch::with_capacity((budget_entries / 16).max(16))
+                    }
+                },
             }),
         }
     }
@@ -137,6 +162,7 @@ impl<'s> BufferedDiskStore<'s> {
     fn load_into(&self, v: NodeId, out: &mut Vec<HpEntry>) -> Result<(), SlingError> {
         {
             let mut state = self.state.lock();
+            state.sketch.increment(node_hash(v.0));
             if let Some(list) = state.lists.get(&v.0) {
                 out.clear();
                 out.extend_from_slice(list);
@@ -160,8 +186,26 @@ impl<'s> BufferedDiskStore<'s> {
             return Ok(());
         }
         // Evict least-recently-used lists until the new one fits.
+        // Under TinyLFU admission the candidate node must strictly
+        // out-earn the LRU victim in sketched frequency, or the insert
+        // is refused and the resident lists survive.
         let mut evicted = 0u64;
         while state.cached_entries + out.len() > self.budget_entries {
+            if state.sketch.is_enabled() {
+                if let Some((&victim, _)) = state.lists.peek_lru() {
+                    if state.sketch.estimate(node_hash(v.0))
+                        <= state.sketch.estimate(node_hash(victim))
+                    {
+                        // `out` already holds the answer; any victims
+                        // evicted before this one pushed back still
+                        // count.
+                        drop(state);
+                        self.stats.record_evictions(evicted);
+                        KernelCounters::bump_by(&obs::KERNEL.buffered_disk_evictions, evicted);
+                        return Ok(());
+                    }
+                }
+            }
             let Some((_, old)) = state.lists.pop_lru() else {
                 break;
             };
@@ -348,6 +392,33 @@ mod tests {
             let again = store.single_pair(&g, NodeId(u), NodeId(v)).unwrap();
             assert_eq!(again, want, "({u},{v})");
         }
+    }
+
+    #[test]
+    fn tinylfu_buffer_keeps_hot_node_through_cold_scan() {
+        let (_g, _idx, store) = setup("tinylfu");
+        let hot = NodeId(0);
+        let mut out = Vec::new();
+        store.read_entries(hot, &mut out).unwrap();
+        // Budget fits the hot hub plus a little churn room.
+        let budget = out.len() * 2;
+        let run = |buf: &BufferedDiskStore| {
+            let mut out = Vec::new();
+            for _ in 0..10 {
+                buf.load_into(hot, &mut out).unwrap();
+            }
+            // One-touch cold scan over every other node.
+            for v in 1..150u32 {
+                buf.load_into(NodeId(v), &mut out).unwrap();
+            }
+            let before = buf.stats().hits;
+            buf.load_into(hot, &mut out).unwrap();
+            buf.stats().hits > before // was the hub still resident?
+        };
+        let lru = BufferedDiskStore::new(&store, budget);
+        let tiny = BufferedDiskStore::with_admission(&store, budget, Admission::TinyLfu);
+        assert!(!run(&lru), "LRU should have evicted the hub in the scan");
+        assert!(run(&tiny), "TinyLFU evicted the frequently-used hub");
     }
 
     #[test]

@@ -202,6 +202,18 @@
 //! `sling-server` builds its `STATS`/`METRICS` exposition and its
 //! ring-buffered [`obs::SlowQueryLog`] on exactly these pieces.
 //!
+//! Where `obs` reports what the server is doing, [`workload`] records
+//! what the *traffic* looked like: the versioned, checksummed
+//! `SLNGTRACE` traffic-trace format with streaming writer/readers
+//! ([`workload::trace`]), deterministic SkyServer-shaped scenario
+//! generators ([`workload::synth`]), offline cache simulation over a
+//! trace ([`workload::sim`]), and the traffic-report characterization —
+//! verb mix, popularity skew, burstiness, hit-rate-vs-size
+//! ([`workload::report`]). The loop closes in [`cache`]: the
+//! [`cache::Admission`] policy adds TinyLFU frequency-sketch admission
+//! (epoch-tagged, reset on generation swap) to the LRU caches, tuned
+//! and proven against exactly those traces.
+//!
 //! ## Extension features beyond the paper's evaluation
 //!
 //! * top-k single-source queries with heap selection and an
@@ -245,8 +257,9 @@ pub mod topk;
 pub mod two_hop;
 pub mod verify;
 pub mod walk;
+pub mod workload;
 
-pub use cache::{AtomicCacheStats, CacheStats, CachedVerdict, ShardedResultCache};
+pub use cache::{Admission, AtomicCacheStats, CacheStats, CachedVerdict, ShardedResultCache};
 pub use codec::CompressOptions;
 pub use config::SlingConfig;
 pub use error::SlingError;

@@ -14,6 +14,9 @@ use crate::index::{QueryWorkspace, SlingIndex};
 use crate::lifecycle::manifest::{FileDigest, Manifest, MANIFEST_FILE};
 use crate::obs::{self, KernelCounters};
 use crate::store::{HpStore, SharedEngine};
+use crate::workload::trace::{
+    encode_record, parse_record, TraceKey, TraceOutcome, TraceRecord, TraceVerb,
+};
 
 /// Name of the promotion pointer file in the store root.
 pub const CURRENT_FILE: &str = "CURRENT";
@@ -28,8 +31,10 @@ pub const INDEX_FILE: &str = "index.slng";
 /// Optional graph snapshot inside a generation directory.
 pub const GRAPH_FILE: &str = "graph.bin";
 
-/// Replayable hot-key log in the store root (`<u> <v>` per line), used
-/// to prime a freshly opened generation's caches before it goes live.
+/// Replayable hot-key log in the store root, used to prime a freshly
+/// opened generation's caches before it goes live. New writes are
+/// checksummed `SLNGTRACE` record lines (see [`crate::workload`]);
+/// legacy bare `<u> <v>` lines still parse.
 pub const HOT_KEY_LOG: &str = "hotkeys.log";
 
 /// Hot keys replayed per warm-up, however long the log has grown.
@@ -401,21 +406,47 @@ impl GenerationStore {
         Ok(retired)
     }
 
-    /// Append canonicalized pairs to the replayable hot-key log
-    /// (`<u> <v>` per line), so the *next* generation can be primed
-    /// before going live. The log is **operator- or pipeline-fed**: the
-    /// serving stack only *reads* it (nothing automatic writes it) —
-    /// populate it from query logs, from [`DynamicSling`]-side
-    /// knowledge of hot entities, or by hand (it is plain text, so
-    /// `echo "3 77" >> <root>/hotkeys.log` works too). An absent or
-    /// stale log only means a colder first request after a swap.
+    /// Append canonicalized pairs to the replayable hot-key log, so the
+    /// *next* generation can be primed before going live. The log is
+    /// **operator- or pipeline-fed**: the serving stack only *reads* it
+    /// (nothing automatic writes it) — populate it from a traffic
+    /// capture ([`GenerationStore::append_hot_trace`]), from
+    /// [`DynamicSling`]-side knowledge of hot entities, or by hand (it
+    /// is plain text, and legacy `echo "3 77" >> <root>/hotkeys.log`
+    /// lines still parse). New writes use checksummed `SLNGTRACE`
+    /// record lines, so the log carries real traffic *frequency*, not
+    /// just distinct pairs. An absent or stale log only means a colder
+    /// first request after a swap.
     ///
     /// [`DynamicSling`]: crate::dynamic::DynamicSling
     pub fn append_hot_keys(&self, pairs: &[(u32, u32)]) -> Result<(), SlingError> {
-        use std::fmt::Write as _;
-        let mut text = String::with_capacity(pairs.len() * 12);
-        for &(u, v) in pairs {
-            let _ = writeln!(text, "{} {}", u.min(v), u.max(v));
+        let records: Vec<TraceRecord> = pairs
+            .iter()
+            .map(|&(u, v)| TraceRecord {
+                t_us: 0,
+                verb: TraceVerb::Pair,
+                key: TraceKey::Pair(u.min(v), u.max(v)),
+                outcome: TraceOutcome::Ok,
+                latency_us: 0,
+                epoch: 0,
+            })
+            .collect();
+        self.append_hot_trace(&records)
+    }
+
+    /// Append captured traffic records to the hot-key log — the
+    /// workload-capture path: feed it (a slice of) a `SLNGTRACE`
+    /// capture and the next warm-up replays the traffic's own key
+    /// frequencies. Records are appended as bare checksummed record
+    /// lines (no header — the log is an append-forever mixed file, and
+    /// [`GenerationStore::read_hot_keys`] parses each line on its own).
+    pub fn append_hot_trace(&self, records: &[TraceRecord]) -> Result<(), SlingError> {
+        let mut text = String::with_capacity(records.len() * 32);
+        for rec in records {
+            // Per-line delta base 0: the log aggregates keys, so
+            // per-record absolute time is not reconstructed.
+            let flat = TraceRecord { t_us: 0, ..*rec };
+            encode_record(&flat, 0, &mut text);
         }
         let mut f = fs::OpenOptions::new()
             .create(true)
@@ -425,35 +456,48 @@ impl GenerationStore {
         Ok(())
     }
 
-    /// Read the most recent hot keys from the log (deduplicated,
-    /// newest-first wins, capped so warm-up stays bounded however long
-    /// the log grows). Malformed lines, non-UTF-8 bytes from a torn
-    /// append, and even a failing read all degrade to fewer keys — the
-    /// log is an optimization, never a correctness input, so nothing
-    /// about it may block opening a generation.
+    /// Read the hot keys from the log, ranked by how warm-up should
+    /// replay them: by observed frequency (descending), ties broken
+    /// newest-first, capped so warm-up stays bounded however long the
+    /// log grows. Both line dialects count — checksummed `SLNGTRACE`
+    /// records (any verb; node-addressed keys degrade to their identity
+    /// pair) and legacy bare `<u> <v>` lines. Malformed or
+    /// checksum-failing lines, non-UTF-8 bytes from a torn append, and
+    /// even a failing read all degrade to fewer keys — the log is an
+    /// optimization, never a correctness input, so nothing about it may
+    /// block opening a generation.
     pub fn read_hot_keys(&self) -> Vec<(u32, u32)> {
         let bytes = match fs::read(self.root.join(HOT_KEY_LOG)) {
             Ok(bytes) => bytes,
             Err(_) => return Vec::new(),
         };
         let text = String::from_utf8_lossy(&bytes);
-        let mut seen = std::collections::HashSet::new();
-        let mut out = Vec::new();
-        for line in text.lines().rev() {
-            let Some((u, v)) = line.trim().split_once(' ') else {
-                continue;
-            };
-            let (Ok(u), Ok(v)) = (u.parse::<u32>(), v.parse::<u32>()) else {
-                continue;
-            };
-            if seen.insert((u, v)) {
-                out.push((u, v));
-                if out.len() >= WARMUP_KEY_CAP {
-                    break;
+        // pair -> (count, most recent line index)
+        let mut tally: std::collections::HashMap<(u32, u32), (u64, usize)> =
+            std::collections::HashMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            let pair = if line.starts_with('+') {
+                match parse_record(line, 0) {
+                    Ok(rec) => rec.key.warm_pair(),
+                    Err(_) => continue,
                 }
-            }
+            } else if let Some((u, v)) = line.split_once(' ') {
+                match (u.parse::<u32>(), v.parse::<u32>()) {
+                    (Ok(u), Ok(v)) => (u.min(v), u.max(v)),
+                    _ => continue, // skips headers and malformed lines
+                }
+            } else {
+                continue;
+            };
+            let slot = tally.entry(pair).or_insert((0, idx));
+            slot.0 += 1;
+            slot.1 = idx;
         }
-        out
+        let mut ranked: Vec<((u32, u32), (u64, usize))> = tally.into_iter().collect();
+        ranked.sort_unstable_by_key(|r| std::cmp::Reverse(r.1));
+        ranked.truncate(WARMUP_KEY_CAP);
+        ranked.into_iter().map(|(pair, _)| pair).collect()
     }
 
     /// Load a generation's co-located graph snapshot, verifying it

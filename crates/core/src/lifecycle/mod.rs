@@ -20,7 +20,8 @@
 //! <root>/
 //!   CURRENT            one line, "gen-NNNN\n" — the promoted generation
 //!   CURRENT.tmp        transient; promotion staging (crash debris if seen)
-//!   hotkeys.log        replayable "<u> <v>" lines for cache warm-up
+//!   hotkeys.log        replayable traffic lines for cache warm-up
+//!                      (SLNGTRACE records; legacy "<u> <v>" still parses)
 //!   gen-0001/
 //!     index.slng       the index payload (SLNGIDX1 or SLNGIDX2)
 //!     graph.bin        optional SLNGGRF1 graph snapshot
@@ -74,11 +75,16 @@
 //! §5.2 [`crate::store::RestoreCache`] and the compressed backends'
 //! block caches are primed — the first post-swap requests hit warm
 //! caches instead of paying cold-start latency under production
-//! traffic. The log itself is operator- or pipeline-fed (plain
-//! `<u> <v>` text; see
-//! [`GenerationStore::append_hot_keys`][generation::GenerationStore::append_hot_keys]):
+//! traffic. The log itself is operator- or pipeline-fed (checksummed
+//! `SLNGTRACE` record lines, with legacy bare `<u> <v>` lines still
+//! accepted; see
+//! [`GenerationStore::append_hot_keys`][generation::GenerationStore::append_hot_keys]
+//! and
+//! [`GenerationStore::append_hot_trace`][generation::GenerationStore::append_hot_trace]):
 //! the serving stack reads it but never writes it, and an absent log
-//! simply skips warm-up.
+//! simply skips warm-up. Keys replay in observed-frequency order, so a
+//! capture fed through `append_hot_trace` warms the hottest traffic
+//! first.
 //!
 //! ## Serving integration
 //!
@@ -288,8 +294,9 @@ mod tests {
         store.append_hot_keys(&[(5, 0), (0, 1), (0, 2)]).unwrap();
         store.append_hot_keys(&[(0, 1), (9999, 3)]).unwrap();
         let keys = store.read_hot_keys();
-        // Newest-first, deduplicated, canonicalized.
-        assert_eq!(keys, vec![(3, 9999), (0, 1), (0, 2), (0, 5)]);
+        // Frequency-ranked ((0,1) appears twice), ties newest-first,
+        // deduplicated, canonicalized.
+        assert_eq!(keys, vec![(0, 1), (3, 9999), (0, 2), (0, 5)]);
 
         let engine = crate::store::SharedEngine::from(idx.clone());
         let primed = warm_engine(&engine, &g, &keys);
@@ -301,6 +308,51 @@ mod tests {
             engine.single_pair(&g, NodeId(0), NodeId(1)).unwrap(),
             idx.single_pair(&g, NodeId(0), NodeId(1))
         );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn hot_key_log_mixes_trace_and_legacy_lines() {
+        use crate::workload::trace::{TraceKey, TraceOutcome, TraceRecord, TraceVerb};
+        let root = tmp_root("hotkeys_mixed");
+        let store = GenerationStore::open(&root).unwrap();
+        let log = root.join("hotkeys.log");
+        // Operator-fed legacy dialect plus junk that must be ignored.
+        std::fs::write(&log, "7 3\nnot a pair\n").unwrap();
+        // Captured traffic: node-addressed verbs degrade to identity
+        // pairs, repeated pairs accumulate frequency.
+        use std::io::Write as _;
+        let rec = |verb, key| TraceRecord {
+            t_us: 0,
+            verb,
+            key,
+            outcome: TraceOutcome::Ok,
+            latency_us: 5,
+            epoch: 3,
+        };
+        store
+            .append_hot_trace(&[
+                rec(TraceVerb::Pair, TraceKey::Pair(2, 1)),
+                rec(TraceVerb::Source, TraceKey::Node(9)),
+                rec(TraceVerb::Pair, TraceKey::Pair(1, 2)),
+            ])
+            .unwrap();
+        // A bit-flipped trace line fails its checksum and is skipped.
+        let mut damaged = String::new();
+        crate::workload::trace::encode_record(
+            &rec(TraceVerb::Pair, TraceKey::Pair(4, 5)),
+            0,
+            &mut damaged,
+        );
+        let damaged = damaged.replacen("4,5", "4,6", 1);
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&log)
+            .unwrap()
+            .write_all(damaged.as_bytes())
+            .unwrap();
+        // Frequency first, then recency; both dialects canonicalized.
+        assert_eq!(store.read_hot_keys(), vec![(1, 2), (9, 9), (3, 7)]);
         std::fs::remove_dir_all(&root).ok();
     }
 

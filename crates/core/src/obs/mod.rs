@@ -151,6 +151,34 @@ impl ClientCounters {
 /// The client-resilience counters (see [`KERNEL`] for the pattern).
 pub static CLIENT: ClientCounters = ClientCounters::new();
 
+/// Process-wide traffic-trace recorder counters (the
+/// [`crate::workload`] capture pipeline in `sling-server`): bumped by
+/// whoever writes trace records, surfaced as `sling_trace_*` and in the
+/// server's `STATS` line.
+#[derive(Debug, Default)]
+pub struct WorkloadCounters {
+    /// Trace records captured (written to the recorder ring).
+    pub trace_records: AtomicU64,
+    /// Trace records dropped (ring overwritten before draining, or
+    /// recorder contention).
+    pub trace_dropped: AtomicU64,
+    /// Trace bytes written to the capture file.
+    pub trace_bytes: AtomicU64,
+}
+
+impl WorkloadCounters {
+    const fn new() -> Self {
+        WorkloadCounters {
+            trace_records: AtomicU64::new(0),
+            trace_dropped: AtomicU64::new(0),
+            trace_bytes: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The workload-capture counters (see [`KERNEL`] for the pattern).
+pub static WORKLOAD: WorkloadCounters = WorkloadCounters::new();
+
 macro_rules! register_static_counters {
     ($reg:expr, $src:expr, { $($name:literal => $field:ident: $help:literal,)+ }) => {
         $($reg.counter_fn($name, $help, || $src.$field.load(Ordering::Relaxed));)+
@@ -201,6 +229,14 @@ pub fn register_process_metrics(reg: &MetricsRegistry) {
             "client connections re-established after an IO failure",
         "sling_client_giveups_total" => giveups:
             "client requests abandoned after exhausting retries",
+    });
+    register_static_counters!(reg, WORKLOAD, {
+        "sling_trace_records_total" => trace_records:
+            "traffic-trace records captured",
+        "sling_trace_records_dropped_total" => trace_dropped:
+            "traffic-trace records dropped by the recorder",
+        "sling_trace_bytes_total" => trace_bytes:
+            "traffic-trace bytes written",
     });
     reg.counter_fn(
         "sling_faults_injected_total",

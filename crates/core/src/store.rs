@@ -37,7 +37,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::cache::LruList;
+use crate::cache::{node_hash, Admission, FrequencySketch, LruList};
 use crate::codec::block::{
     max_node, values_all_probabilities, DecodedBlock, MAX_PROBABILITY, SWEEP_LANES,
 };
@@ -1090,12 +1090,20 @@ pub struct RestoreCache {
     /// without it, nothing would invalidate a restored hub list when the
     /// engine underneath the cache changes.
     epoch: std::sync::atomic::AtomicU64,
+    /// Inserts refused by frequency-sketch admission (always 0 under
+    /// the default LRU policy).
+    admission_rejects: std::sync::atomic::AtomicU64,
 }
 
 #[derive(Default)]
 struct RestoreShard {
     lists: LruList<u32, (u64, Arc<Vec<HpEntry>>)>,
     entries: usize,
+    /// Node-keyed frequency sketch advising eviction under
+    /// [`Admission::TinyLfu`]; a defaulted sketch (the LRU policy) is a
+    /// no-op. Same lock as the lists, so admission adds no
+    /// synchronization.
+    sketch: FrequencySketch,
 }
 
 impl RestoreCache {
@@ -1112,7 +1120,32 @@ impl RestoreCache {
             shards: (0..Self::SHARDS).map(|_| Mutex::default()).collect(),
             per_shard_entries: (Self::DEFAULT_TOTAL_ENTRIES / Self::SHARDS).max(1),
             epoch: std::sync::atomic::AtomicU64::new(0),
+            admission_rejects: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Switch the admission policy. [`Admission::TinyLfu`] installs a
+    /// node-keyed frequency sketch per shard (sized for the shard's
+    /// entry budget at typical hub list lengths); [`Admission::Lru`]
+    /// removes it. Resident lists are kept either way.
+    pub fn set_admission(&self, admission: Admission) {
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            shard.sketch = match admission {
+                Admission::Lru => FrequencySketch::default(),
+                Admission::TinyLfu => FrequencySketch::with_capacity(
+                    // Budget is in entries; lists average tens of
+                    // entries, so track ~1/16th as many distinct nodes.
+                    (self.per_shard_entries / 16).max(16),
+                ),
+            };
+        }
+    }
+
+    /// Inserts refused by frequency-sketch admission.
+    pub fn admission_rejects(&self) -> u64 {
+        self.admission_rejects
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     #[inline]
@@ -1125,19 +1158,28 @@ impl RestoreCache {
         self.epoch.load(std::sync::atomic::Ordering::Acquire)
     }
 
-    /// Bump the generation epoch, lazily invalidating every cached list;
-    /// returns the new epoch. O(1) — stale lists are dropped on touch.
+    /// Bump the generation epoch, lazily invalidating every cached
+    /// list; returns the new epoch. Stale lists are dropped on touch;
+    /// sketched popularity is reset eagerly — frequency measured
+    /// against the retired index must not bias admission on the new
+    /// one.
     pub fn advance_epoch(&self) -> u64 {
-        self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel) + 1
+        let epoch = self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel) + 1;
+        for shard in self.shards.iter() {
+            shard.lock().sketch.clear();
+        }
+        epoch
     }
 
     /// Drop every cached list immediately (the eager sibling of
-    /// [`RestoreCache::advance_epoch`]; counters and budget are kept).
+    /// [`RestoreCache::advance_epoch`]; counters and budget are kept,
+    /// sketched popularity is forgotten).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
             let mut shard = shard.lock();
             shard.lists.clear();
             shard.entries = 0;
+            shard.sketch.clear();
         }
     }
 
@@ -1146,6 +1188,7 @@ impl RestoreCache {
     pub(crate) fn get(&self, v: NodeId) -> Option<Arc<Vec<HpEntry>>> {
         let current = self.epoch();
         let mut shard = self.shard(v).lock();
+        shard.sketch.increment(node_hash(v.0));
         let hit = match shard.lists.get(&v.0) {
             Some((epoch, list)) if *epoch == current => Some(Arc::clone(list)),
             Some(_) => {
@@ -1184,6 +1227,23 @@ impl RestoreCache {
             None => {}
         }
         while shard.entries + list.len() > self.per_shard_entries {
+            // TinyLFU admission: refuse the insert unless the candidate
+            // node strictly out-earns the live LRU victim in sketched
+            // frequency (retired-epoch victims are dead weight and are
+            // never protected).
+            if shard.sketch.is_enabled() {
+                if let Some((&victim, victim_value)) = shard.lists.peek_lru() {
+                    if victim_value.0 == epoch
+                        && shard.sketch.estimate(node_hash(v.0))
+                            <= shard.sketch.estimate(node_hash(victim))
+                    {
+                        drop(shard);
+                        self.admission_rejects
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
             let Some((_, (_, old))) = shard.lists.pop_lru() else {
                 break;
             };
@@ -2607,6 +2667,48 @@ mod tests {
         let huge = Arc::new(vec![HpEntry::new(0, NodeId(0), 1.0); per_shard * 2]);
         cache.insert_tagged(NodeId(8), Arc::clone(&huge), cache.epoch());
         assert!(cache.get(NodeId(8)).is_some());
+    }
+
+    #[test]
+    fn restore_cache_tinylfu_protects_hot_lists() {
+        let cache = RestoreCache::new();
+        cache.set_admission(crate::cache::Admission::TinyLfu);
+        let per_shard = cache.per_shard_entries;
+        let list_len = (per_shard / 2).max(1);
+        let shard_stride = RestoreCache::SHARDS as u32;
+        // Two hot hubs fill the shard; repeated gets build their
+        // sketched frequency.
+        let hot = [NodeId(0), NodeId(shard_stride)];
+        for &v in &hot {
+            let list = Arc::new(vec![HpEntry::new(0, NodeId(0), 1.0); list_len]);
+            cache.insert_tagged(v, list, cache.epoch());
+        }
+        for _ in 0..10 {
+            for &v in &hot {
+                assert!(cache.get(v).is_some());
+            }
+        }
+        // A one-touch cold sweep cannot displace them...
+        for i in 2..40u32 {
+            let v = NodeId(i * shard_stride);
+            assert!(cache.get(v).is_none());
+            let list = Arc::new(vec![HpEntry::new(0, NodeId(0), 1.0); list_len]);
+            cache.insert_tagged(v, list, cache.epoch());
+        }
+        for &v in &hot {
+            assert!(cache.get(v).is_some(), "{v:?} evicted by cold scan");
+        }
+        assert!(cache.admission_rejects() > 30);
+        // ...but after a generation swap the sketch resets and the
+        // stale residents are dead weight: new lists admit freely.
+        let epoch = cache.advance_epoch();
+        let v = NodeId(50 * shard_stride);
+        cache.insert_tagged(
+            v,
+            Arc::new(vec![HpEntry::new(0, NodeId(0), 1.0); list_len]),
+            epoch,
+        );
+        assert!(cache.get(v).is_some());
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! # workload — traffic traces, synthesis, simulation, characterization
+//!
+//! The observability layer for *workloads*: where [`crate::obs`] tells
+//! an operator what the server is doing right now, this module captures
+//! **what the traffic looked like** — so cache sizing, admission policy,
+//! and warm-up decisions are made from recorded evidence instead of
+//! uniform bench mixes. The SkyServer traffic reports showed public
+//! query traffic to be heavily skewed, bursty, and bot-dominated;
+//! everything here exists to measure those three properties on our own
+//! traffic and act on them.
+//!
+//! Four pieces:
+//!
+//! * [`trace`] — the versioned, checksummed traffic-trace format with a
+//!   streaming [`TraceWriter`]/[`TraceReader`] pair (format grammar
+//!   below);
+//! * [`synth`] — deterministic trace generators for the three scenario
+//!   families the benches replay (Zipf sweep, diurnal burst, adversarial
+//!   cold scan);
+//! * [`sim`] — offline cache simulation over a trace: hit rate as a
+//!   function of capacity and admission policy, the input to
+//!   hit-rate-vs-size curves;
+//! * [`report`] — the SkyServer-style characterization (verb mix,
+//!   key-popularity CDF and fitted skew exponent, burstiness,
+//!   hit-rate-vs-size) rendered by `sling traffic-report`.
+//!
+//! The server-side recorder lives in `sling-server` (it needs the event
+//! loop); `sling record` / `sling replay` / `sling traffic-report` live
+//! in the CLI. Both build exclusively on the types here.
+//!
+//! ## Trace format grammar (`SLNGTRACE v1`)
+//!
+//! A trace is a line-oriented text file: one header line, then one line
+//! per record. Text keeps traces greppable, diffable, and serveable
+//! over the line-based wire protocol; per-line checksums give the same
+//! torn/bit-rot detection the index `MANIFEST` has.
+//!
+//! ```text
+//! trace   := header record*
+//! header  := "SLNGTRACE v1 base_us=" <u64> "\n"
+//! record  := "+" <dt_us> " " <verb> " " <key> " " <outcome> " "
+//!            <latency_us> " e" <epoch> " #" <crc> "\n"
+//! verb    := "PAIR" | "SOURCE" | "TOPK" | "BATCH"
+//! key     := <u> "," <v>      (PAIR, BATCH — canonicalized u <= v not required)
+//!          | <u>              (SOURCE)
+//!          | <u> ":" <k>      (TOPK)
+//! outcome := "ok" | "err" | "shed" | "deadline"
+//! crc     := 8 lowercase hex digits — the low 32 bits of the FNV-1a64
+//!            hash of every byte of the line before the " #" separator
+//! ```
+//!
+//! * `base_us` is the capture's wall-clock origin (unix microseconds);
+//!   every record timestamp is relative to it.
+//! * `dt_us` is the µs delta from the **previous** record (from the
+//!   header for the first record), so steady traffic costs 2–3 bytes of
+//!   timestamp per line and a reader reconstructs absolute
+//!   [`TraceRecord::t_us`] by running addition.
+//! * `latency_us` is the served latency; `epoch` is the engine
+//!   generation epoch the request ran against, so a trace spanning a
+//!   hot reload records the swap point.
+//! * A `BATCH` request is recorded as one line per pair (the replayable
+//!   unit), sharing the batch's timestamp.
+//!
+//! Readers come in two strictnesses: [`read_trace`] fails on the first
+//! malformed or checksum-failing line (replay wants exactness), while
+//! [`read_trace_tolerant`] returns every record up to the first damage
+//! and the count of lines it dropped — the contract warm-up and
+//! `traffic-report` want, where a torn tail from an in-flight recorder
+//! must degrade to *fewer records*, never to an error. The header is
+//! versioned: a `v2` file is rejected by both readers rather than
+//! misread.
+
+pub mod report;
+pub mod sim;
+pub mod synth;
+pub mod trace;
+
+pub use report::{characterize, TrafficReport};
+pub use sim::{simulate_pair_cache, SimResult};
+pub use synth::{adversarial_cold_scan, diurnal_burst, zipf_sweep, SynthOpts};
+pub use trace::{
+    encode_record, parse_record, read_trace, read_trace_file, read_trace_tolerant, Trace, TraceKey,
+    TraceOutcome, TraceReader, TraceRecord, TraceVerb, TraceWriter,
+};

@@ -1,0 +1,271 @@
+//! Deterministic synthetic trace generators — the three scenario
+//! families the replay bench drives when no capture is at hand, shaped
+//! by what the SkyServer traffic reports say real public query traffic
+//! looks like: heavily Zipf-skewed key popularity, strong diurnal
+//! intensity with bot bursts, and occasional crawler-style cold scans
+//! that touch every key once.
+//!
+//! Everything is seeded and allocation-light: the same
+//! `(opts, generator)` always yields byte-identical traces, so a
+//! committed `BENCH_replay.json` is reproducible run-to-run.
+
+use super::trace::{Trace, TraceKey, TraceOutcome, TraceRecord, TraceVerb};
+
+/// Parameters shared by every generator.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthOpts {
+    /// Node-id space: keys are drawn from `0..nodes`.
+    pub nodes: u32,
+    /// Records to generate.
+    pub records: usize,
+    /// RNG seed; equal seeds yield identical traces.
+    pub seed: u64,
+}
+
+/// splitmix64 — the one-liner generator the benches standardize on.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draw a rank from a Zipf(`exponent`) distribution over `ranks` via a
+/// precomputed CDF table and binary search.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(ranks: usize, exponent: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(ranks.max(1));
+        let mut total = 0.0;
+        for r in 1..=ranks.max(1) {
+            total += 1.0 / (r as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for w in cdf.iter_mut() {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn draw(&self, state: &mut u64) -> usize {
+        let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A seeded pseudo-random permutation of the node space, so Zipf rank 0
+/// is not literally node 0 (popularity decoupled from id order).
+fn rank_to_node(rank: usize, nodes: u32, seed: u64) -> u32 {
+    let mut s = seed ^ (rank as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+    (splitmix64(&mut s) % nodes.max(1) as u64) as u32
+}
+
+fn record(t_us: u64, verb: TraceVerb, key: TraceKey) -> TraceRecord {
+    TraceRecord {
+        t_us,
+        verb,
+        key,
+        outcome: TraceOutcome::Ok,
+        latency_us: 0,
+        epoch: 0,
+    }
+}
+
+/// Pick a verb for mixed-traffic scenarios: ~90% `PAIR`, ~5% `SOURCE`,
+/// ~5% `TOPK` — pair traffic dominates real serving and is the unit the
+/// result cache admits.
+fn mixed_verb_record(t_us: u64, u: u32, v: u32, roll: u64) -> TraceRecord {
+    match roll % 20 {
+        0 => record(t_us, TraceVerb::Source, TraceKey::Node(u)),
+        1 => record(t_us, TraceVerb::TopK, TraceKey::NodeK(u, 10)),
+        _ => record(t_us, TraceVerb::Pair, TraceKey::Pair(u, v)),
+    }
+}
+
+/// **Zipf sweep**: key popularity sweeps through three skew regimes —
+/// exponent 0.6 (mild), 0.9 (SkyServer-like), 1.2 (hot-spot) — one
+/// third of the records each, at a steady 1 ms inter-arrival. Exercises
+/// how hit rates respond as skew deepens.
+pub fn zipf_sweep(opts: SynthOpts) -> Trace {
+    let mut state = opts.seed | 1;
+    let ranks = (opts.nodes as usize).max(2);
+    let regimes = [
+        Zipf::new(ranks, 0.6),
+        Zipf::new(ranks, 0.9),
+        Zipf::new(ranks, 1.2),
+    ];
+    let mut records = Vec::with_capacity(opts.records);
+    for i in 0..opts.records {
+        let regime = &regimes[(i * regimes.len()) / opts.records.max(1)];
+        let u = rank_to_node(regime.draw(&mut state), opts.nodes, opts.seed);
+        let v = rank_to_node(regime.draw(&mut state), opts.nodes, opts.seed ^ 0x5EED);
+        records.push(mixed_verb_record(
+            i as u64 * 1_000,
+            u,
+            v,
+            splitmix64(&mut state),
+        ));
+    }
+    Trace {
+        base_us: 0,
+        records,
+    }
+}
+
+/// **Diurnal burst**: arrival intensity follows a sinusoidal "day"
+/// (peak rate 8× the trough) overlaid with bot bursts — every ~500
+/// records, a burst of 32 back-to-back repeats of one key at zero
+/// inter-arrival, the way crawler traffic hammers one object. Keys are
+/// Zipf(0.9). Exercises burstiness measurement and shed behavior.
+pub fn diurnal_burst(opts: SynthOpts) -> Trace {
+    let mut state = opts.seed | 1;
+    let zipf = Zipf::new((opts.nodes as usize).max(2), 0.9);
+    let mut records = Vec::with_capacity(opts.records);
+    let mut t_us = 0u64;
+    let mut i = 0usize;
+    while i < opts.records {
+        if i % 500 == 499 {
+            // Bot burst: one key, back-to-back.
+            let u = rank_to_node(zipf.draw(&mut state), opts.nodes, opts.seed);
+            let v = rank_to_node(zipf.draw(&mut state), opts.nodes, opts.seed ^ 0x5EED);
+            for _ in 0..32.min(opts.records - i) {
+                records.push(record(t_us, TraceVerb::Pair, TraceKey::Pair(u, v)));
+                i += 1;
+            }
+            continue;
+        }
+        // Sinusoidal intensity: inter-arrival sweeps 250 µs (peak)
+        // to 2000 µs (trough) over a 10k-record "day".
+        let phase = (i % 10_000) as f64 / 10_000.0 * std::f64::consts::TAU;
+        let dt = (1_125.0 - 875.0 * phase.sin()) as u64;
+        t_us += dt;
+        let u = rank_to_node(zipf.draw(&mut state), opts.nodes, opts.seed);
+        let v = rank_to_node(zipf.draw(&mut state), opts.nodes, opts.seed ^ 0x5EED);
+        records.push(mixed_verb_record(t_us, u, v, splitmix64(&mut state)));
+        i += 1;
+    }
+    Trace {
+        base_us: 0,
+        records,
+    }
+}
+
+/// **Adversarial cold scan**: a small hot working set (128 pairs,
+/// Zipf(1.1)) interleaved 1:2 with a sequential one-touch scan over the
+/// whole pair space — the access pattern that thrashes plain LRU (every
+/// scanned key evicts a hot key it will never out-earn) and that
+/// frequency-sketch admission is built to shrug off.
+pub fn adversarial_cold_scan(opts: SynthOpts) -> Trace {
+    let mut state = opts.seed | 1;
+    let hot_pairs: Vec<(u32, u32)> = (0..128u64)
+        .map(|i| {
+            let mut s = opts.seed ^ i.wrapping_mul(0xD134_2543_DE82_EF95);
+            let u = (splitmix64(&mut s) % opts.nodes.max(1) as u64) as u32;
+            let v = (splitmix64(&mut s) % opts.nodes.max(1) as u64) as u32;
+            (u, v)
+        })
+        .collect();
+    let hot = Zipf::new(hot_pairs.len(), 1.1);
+    let mut scan_cursor = 0u64;
+    let mut records = Vec::with_capacity(opts.records);
+    for i in 0..opts.records {
+        let key = if i % 3 == 0 {
+            let (u, v) = hot_pairs[hot.draw(&mut state)];
+            TraceKey::Pair(u, v)
+        } else {
+            // Sequential pair scan: every key distinct until the whole
+            // (u, v) grid wraps — one-touch traffic by construction.
+            let n = opts.nodes.max(2) as u64;
+            let u = (scan_cursor / n) % n;
+            let v = scan_cursor % n;
+            scan_cursor += 1;
+            TraceKey::Pair(u as u32, v as u32)
+        };
+        records.push(record(i as u64 * 500, TraceVerb::Pair, key));
+    }
+    Trace {
+        base_us: 0,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    const OPTS: SynthOpts = SynthOpts {
+        nodes: 500,
+        records: 3_000,
+        seed: 7,
+    };
+
+    fn key_counts(trace: &Trace) -> HashMap<TraceKey, u64> {
+        let mut counts = HashMap::new();
+        for rec in &trace.records {
+            *counts.entry(rec.key).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for generator in [zipf_sweep, diurnal_burst, adversarial_cold_scan] {
+            let a = generator(OPTS);
+            let b = generator(OPTS);
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.records.len(), OPTS.records);
+            let c = generator(SynthOpts { seed: 8, ..OPTS });
+            assert_ne!(a.records, c.records, "seed must matter");
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        for generator in [zipf_sweep, diurnal_burst, adversarial_cold_scan] {
+            let trace = generator(OPTS);
+            for pair in trace.records.windows(2) {
+                assert!(pair[0].t_us <= pair[1].t_us);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_sweep_is_skewed() {
+        let trace = zipf_sweep(OPTS);
+        let counts = key_counts(&trace);
+        let max = *counts.values().max().unwrap();
+        // A uniform draw over 500² pair keys would put ~1 hit on each;
+        // Zipf must concentrate far harder than that.
+        assert!(max >= 20, "hottest key only {max} hits");
+    }
+
+    #[test]
+    fn cold_scan_mixes_one_touch_and_hot_keys() {
+        let trace = adversarial_cold_scan(OPTS);
+        let counts = key_counts(&trace);
+        let singles = counts.values().filter(|&&c| c == 1).count();
+        let repeated = counts.values().filter(|&&c| c >= 5).count();
+        // Two thirds scan traffic: the bulk of keys are one-touch, but
+        // the hot set keeps collecting hits.
+        assert!(singles as f64 >= counts.len() as f64 * 0.5);
+        assert!(repeated >= 32, "hot working set too cold: {repeated}");
+    }
+
+    #[test]
+    fn diurnal_burst_has_bursts() {
+        let trace = diurnal_burst(OPTS);
+        let mut zero_dt = 0usize;
+        for pair in trace.records.windows(2) {
+            if pair[0].t_us == pair[1].t_us {
+                zero_dt += 1;
+            }
+        }
+        assert!(zero_dt >= 100, "expected bot bursts, saw {zero_dt} zero-dt");
+    }
+}

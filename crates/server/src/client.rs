@@ -21,9 +21,28 @@ use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use sling_core::obs::CLIENT;
+use sling_core::workload::trace::{parse_record, TraceRecord};
 
 use crate::protocol::Request;
 use crate::BoxConn;
+
+/// One response to the `TRACE` wire verb (see [`Client::trace_from`]):
+/// a window of the server's traffic-trace ring.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSegment {
+    /// Wall-clock capture origin (unix microseconds); record
+    /// timestamps are relative to it.
+    pub base_us: u64,
+    /// The sequence number the server will assign next — resume
+    /// polling here.
+    pub next_seq: u64,
+    /// Cumulative records the server has dropped (ring contention and
+    /// overwrites).
+    pub dropped: u64,
+    /// `(sequence, record)` pairs in sequence order; record timestamps
+    /// are absolute microseconds since `base_us`.
+    pub records: Vec<(u64, TraceRecord)>,
+}
 
 /// Timeouts and retry policy for [`RetryingClient`] (and the `*_with`
 /// constructors on [`Client`]).
@@ -213,6 +232,45 @@ impl Client {
     pub fn slow_queries(&mut self) -> io::Result<String> {
         let payload = self.framed(&Request::Slowlog.encode())?;
         Ok(payload.trim_end_matches('\n').to_string())
+    }
+
+    /// Poll the server's traffic-trace ring (the `TRACE` verb): up to
+    /// `max` retained records with sequence number `>= from`, in
+    /// sequence order. Resume the next poll at
+    /// [`TraceSegment::next_seq`] of the previous one; gaps in the
+    /// returned sequence numbers are records the ring already
+    /// overwrote. Errors with `server error: trace recording is not
+    /// enabled ..` unless the server was started with recording on.
+    pub fn trace_from(&mut self, from: u64, max: usize) -> io::Result<TraceSegment> {
+        let payload = self.framed(&Request::Trace { from, max }.encode())?;
+        let mut lines = payload.lines();
+        let header = lines.next().ok_or_else(|| invalid("empty TRACE payload"))?;
+        let mut seg = TraceSegment {
+            base_us: 0,
+            next_seq: 0,
+            dropped: 0,
+            records: Vec::new(),
+        };
+        for kv in header.split_ascii_whitespace() {
+            if let Some(v) = kv.strip_prefix("base_us=") {
+                seg.base_us = v.parse().map_err(|_| invalid("malformed base_us"))?;
+            } else if let Some(v) = kv.strip_prefix("next_seq=") {
+                seg.next_seq = v.parse().map_err(|_| invalid("malformed next_seq"))?;
+            } else if let Some(v) = kv.strip_prefix("dropped=") {
+                seg.dropped = v.parse().map_err(|_| invalid("malformed dropped"))?;
+            }
+        }
+        for line in lines {
+            let (seq, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| invalid("malformed TRACE line"))?;
+            let seq: u64 = seq.parse().map_err(|_| invalid("malformed TRACE seq"))?;
+            // Wire lines carry absolute timestamps (delta from 0).
+            let rec = parse_record(rest, 0)
+                .map_err(|e| invalid(&format!("corrupt TRACE record: {e}")))?;
+            seg.records.push((seq, rec));
+        }
+        Ok(seg)
     }
 
     /// Send one request whose response is length-framed: an `OK <bytes>`

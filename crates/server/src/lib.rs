@@ -191,9 +191,10 @@
 pub mod client;
 pub mod latency;
 pub mod protocol;
+mod recorder;
 pub mod server;
 
-pub use client::{Client, ClientConfig, RetryingClient};
+pub use client::{Client, ClientConfig, RetryingClient, TraceSegment};
 pub use latency::LatencyReport;
 pub use protocol::Request;
 pub use server::{

@@ -32,6 +32,19 @@ pub enum Request {
     /// `SLOWLOG` — recent slow-query records, length-framed like
     /// `METRICS` (one record per line, oldest first).
     Slowlog,
+    /// `TRACE <from> <max>` — up to `max` retained traffic-trace
+    /// records with sequence number `>= from`, length-framed like
+    /// `METRICS`. The payload's first line is
+    /// `base_us=<u64> next_seq=<u64> dropped=<u64>`; each further line
+    /// is `<seq> <record>` where `<record>` is a `SLNGTRACE` record
+    /// line with its timestamp encoded absolute (delta from 0). Only
+    /// answered by servers started with recording enabled.
+    Trace {
+        /// First sequence number wanted (poll cursor; start at 0).
+        from: u64,
+        /// Maximum records in the response (server clamps further).
+        max: usize,
+    },
     /// `RELOAD` — check the generation store's `CURRENT` pointer and
     /// hot-swap to a newer promoted generation if one exists. `RELOAD
     /// FORCE` additionally lifts a quarantine (see the crate docs on
@@ -85,6 +98,18 @@ impl Request {
             "STATS" => Request::Stats,
             "METRICS" => Request::Metrics,
             "SLOWLOG" => Request::Slowlog,
+            "TRACE" => Request::Trace {
+                from: tokens
+                    .next()
+                    .ok_or("TRACE expects <from> <max>")?
+                    .parse()
+                    .map_err(|_| "TRACE: cannot parse <from>".to_string())?,
+                max: tokens
+                    .next()
+                    .ok_or("TRACE expects <from> <max>")?
+                    .parse()
+                    .map_err(|_| "TRACE: cannot parse <max>".to_string())?,
+            },
             "RELOAD" => match tokens.next() {
                 None => Request::Reload { force: false },
                 Some("FORCE") => Request::Reload { force: true },
@@ -119,6 +144,7 @@ impl Request {
             Request::Stats => "STATS".to_string(),
             Request::Metrics => "METRICS".to_string(),
             Request::Slowlog => "SLOWLOG".to_string(),
+            Request::Trace { from, max } => format!("TRACE {from} {max}"),
             Request::Reload { force: false } => "RELOAD".to_string(),
             Request::Reload { force: true } => "RELOAD FORCE".to_string(),
             Request::Ping => "PING".to_string(),
@@ -170,6 +196,13 @@ mod tests {
         assert_eq!(Request::parse("METRICS").unwrap(), Request::Metrics);
         assert_eq!(Request::parse("SLOWLOG").unwrap(), Request::Slowlog);
         assert_eq!(
+            Request::parse("TRACE 17 4096").unwrap(),
+            Request::Trace {
+                from: 17,
+                max: 4096
+            }
+        );
+        assert_eq!(
             Request::parse("RELOAD").unwrap(),
             Request::Reload { force: false }
         );
@@ -197,6 +230,7 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Slowlog,
+            Request::Trace { from: 0, max: 256 },
             Request::Reload { force: false },
             Request::Reload { force: true },
             Request::Ping,
@@ -225,6 +259,11 @@ mod tests {
             "STATS now",
             "METRICS json",
             "SLOWLOG 5",
+            "TRACE",
+            "TRACE 1",
+            "TRACE x 5",
+            "TRACE 1 y",
+            "TRACE 1 2 3",
             "RELOAD now",
             "RELOAD FORCE now",
         ] {

@@ -61,13 +61,15 @@ use sling_core::obs::{
     StageNanos,
 };
 use sling_core::single_source::SingleSourceWorkspace;
+use sling_core::workload::trace::{encode_record, TraceKey, TraceOutcome, TraceVerb};
 use sling_core::{
-    CacheStats, HpStore, QueryWorkspace, ShardedResultCache, SharedEngine, SlingError,
+    Admission, CacheStats, HpStore, QueryWorkspace, ShardedResultCache, SharedEngine, SlingError,
 };
 use sling_graph::{DiGraph, NodeId};
 
 use crate::latency::{merge_report, LatencyReport};
 use crate::protocol::{write_scores, Request, MAX_LINE_BYTES};
+use crate::recorder::{writer_loop, TraceRecorder, MAX_TRACE_BATCH};
 
 /// How often the non-blocking acceptor re-checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
@@ -118,7 +120,7 @@ const DRAIN_POLL: Duration = Duration::from_millis(10);
 const SLOW_LOG_CAPACITY: usize = 128;
 
 /// Tuning knobs for [`serve`] / [`serve_reloadable`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker threads; `0` means one per available core
     /// (thread-per-core).
@@ -161,6 +163,18 @@ pub struct ServerConfig {
     /// the [`ReloadableEngine`] quarantines it and auto-rolls back to
     /// the newest verified prior generation. `0` disables rollback.
     pub rollback_error_threshold: u64,
+    /// Capture served traffic to this `SLNGTRACE` file (the CLI's
+    /// `serve --record FILE`). Enables the recorder ring, the writer
+    /// thread, and the `TRACE` wire verb; `None` disables all three.
+    pub record_path: Option<PathBuf>,
+    /// Keep every Nth request outcome in the capture (`0`/`1` = keep
+    /// all) — head-room for servers too hot to trace in full.
+    pub record_sample: u64,
+    /// Admission policy of the shared result cache (and, via
+    /// [`serve_reloadable`], anything keyed off it): plain LRU, or
+    /// TinyLFU frequency-sketch admission that rejects one-touch
+    /// inserts which would evict a hotter resident.
+    pub cache_admission: Admission,
 }
 
 impl Default for ServerConfig {
@@ -176,6 +190,9 @@ impl Default for ServerConfig {
             shed_queue_depth: 0,
             shed_pending_bytes: 0,
             rollback_error_threshold: 8,
+            record_path: None,
+            record_sample: 1,
+            cache_admission: Admission::Lru,
         }
     }
 }
@@ -875,6 +892,9 @@ struct Control {
     requests_deadline: Counter,
     /// Acceptor errors (transient skips and unexpected failures alike).
     accept_errors: AtomicU64,
+    /// Traffic-trace recorder ([`ServerConfig::record_path`]); feeds
+    /// the capture file and the `TRACE` wire verb.
+    recorder: Option<Arc<TraceRecorder>>,
     workers: Box<[WorkerShared]>,
 }
 
@@ -1030,6 +1050,16 @@ fn register_control_metrics(metrics: &MetricsRegistry, control: &Arc<Control>) {
                 .unwrap_or(0.0)
         },
     );
+    let c = Arc::downgrade(control);
+    metrics.counter_fn(
+        "sling_cache_admission_rejects_total",
+        "result-cache inserts rejected by TinyLFU admission",
+        move || {
+            c.upgrade()
+                .and_then(|c| c.cache.as_ref().map(|cache| cache.admission_rejects()))
+                .unwrap_or(0)
+        },
+    );
 }
 
 /// Final accounting returned by [`ServerHandle::join`] /
@@ -1182,7 +1212,7 @@ where
         } else {
             config.cache_shards
         };
-        ShardedResultCache::new(config.cache_capacity, shards)
+        ShardedResultCache::with_admission(config.cache_capacity, shards, config.cache_admission)
     });
     let worker_shared = (0..workers)
         .map(|_| {
@@ -1253,6 +1283,12 @@ where
         "sling_requests_deadline_total",
         "query verbs answered ERR deadline past their budget",
     );
+    let recorder = config.record_path.as_ref().map(|_| {
+        Arc::new(TraceRecorder::new(
+            unix_ms_now() * 1000,
+            config.record_sample,
+        ))
+    });
     let control = Arc::new(Control {
         shutdown: AtomicBool::new(false),
         metrics: Arc::clone(&metrics),
@@ -1271,6 +1307,7 @@ where
         requests_shed,
         requests_deadline,
         accept_errors: AtomicU64::new(0),
+        recorder: recorder.clone(),
         workers: worker_shared,
     });
     register_control_metrics(&metrics, &control);
@@ -1329,6 +1366,16 @@ where
             .name("sling-acceptor".to_string())
             .spawn(move || accept_loop(listener, &acceptor_control))?,
     );
+    if let (Some(rec), Some(path)) = (recorder, config.record_path.clone()) {
+        let c = Arc::clone(&control);
+        threads.push(
+            std::thread::Builder::new()
+                .name("sling-recorder".to_string())
+                .spawn(move || {
+                    writer_loop(&rec, &path, || c.shutdown.load(Ordering::SeqCst));
+                })?,
+        );
+    }
     if config.watch_interval_ms > 0 && reloadable.opener.is_some() {
         let control = Arc::clone(&control);
         let watched = Arc::clone(&reloadable);
@@ -1954,6 +2001,7 @@ fn serve_turn<S: HpStore>(
                     }
                     Ok(req) => match admission_error(control, worker, conn, &req) {
                         Some(msg) => {
+                            record_admission_outcome(reloadable, control, &req, msg);
                             ctx.response.push_str(msg);
                             Action::Continue
                         }
@@ -2085,17 +2133,87 @@ fn admission_error(
     None
 }
 
+/// The trace verb for the `&'static str` labels `observe_query` and the
+/// slow-query log already carry.
+fn trace_verb(verb: &'static str) -> TraceVerb {
+    match verb {
+        "SOURCE" => TraceVerb::Source,
+        "TOPK" => TraceVerb::TopK,
+        "BATCH" => TraceVerb::Batch,
+        _ => TraceVerb::Pair,
+    }
+}
+
+/// Record requests rejected by the admission gate into the traffic
+/// trace (a batch records one line per pair, mirroring served batches),
+/// so a capture shows *offered* load, not just served load — the whole
+/// point of replaying an overload incident.
+fn record_admission_outcome<S: HpStore>(
+    reloadable: &ReloadableEngine<S>,
+    control: &Control,
+    req: &Request,
+    answer: &str,
+) {
+    let Some(rec) = &control.recorder else { return };
+    let outcome = if answer == "ERR deadline" {
+        TraceOutcome::Deadline
+    } else {
+        TraceOutcome::Shed
+    };
+    let epoch = reloadable.epoch();
+    match req {
+        Request::Pair { u, v } => rec.push(
+            TraceVerb::Pair,
+            TraceKey::Pair(*u, *v),
+            outcome,
+            Duration::ZERO,
+            epoch,
+        ),
+        Request::Source { u } => rec.push(
+            TraceVerb::Source,
+            TraceKey::Node(*u),
+            outcome,
+            Duration::ZERO,
+            epoch,
+        ),
+        Request::TopK { u, k } => rec.push(
+            TraceVerb::TopK,
+            TraceKey::NodeK(*u, (*k).min(u32::MAX as usize) as u32),
+            outcome,
+            Duration::ZERO,
+            epoch,
+        ),
+        Request::Batch { pairs } => {
+            for &(u, v) in pairs {
+                rec.push(
+                    TraceVerb::Batch,
+                    TraceKey::Pair(u, v),
+                    outcome,
+                    Duration::ZERO,
+                    epoch,
+                );
+            }
+        }
+        _ => {}
+    }
+}
+
 /// Answer a failed query and charge storage-layer errors
 /// (`CorruptIndex`/IO — the signatures of an index rotting *after*
 /// promotion) to the generation that produced them; crossing the
 /// configured threshold quarantines the generation and rolls back (see
-/// [`ReloadableEngine::note_runtime_error`]).
+/// [`ReloadableEngine::note_runtime_error`]). The failure is also
+/// recorded into the traffic trace with outcome `err`.
+#[allow(clippy::too_many_arguments)]
 fn write_query_error<S: HpStore>(
     reloadable: &ReloadableEngine<S>,
     control: &Control,
     gen: &EngineGeneration<S>,
     out: &mut String,
     err: SlingError,
+    verb: &'static str,
+    tkey: TraceKey,
+    elapsed: Duration,
 ) {
     if matches!(err, SlingError::CorruptIndex(_) | SlingError::Io(_)) {
         reloadable.note_runtime_error(
@@ -2104,24 +2222,37 @@ fn write_query_error<S: HpStore>(
             control.cache.as_ref(),
         );
     }
+    if let Some(rec) = &control.recorder {
+        rec.push(
+            trace_verb(verb),
+            tkey,
+            TraceOutcome::Err,
+            elapsed,
+            gen.epoch,
+        );
+    }
     let _ = write!(out, "ERR {err}");
 }
 
 /// Record one served query everywhere it is observed: the merged
 /// latency histogram, the per-stage kernel histograms (zero stages are
 /// skipped, so each stage family's `_count` counts the queries that
-/// actually exercised it), and — at or above the threshold — the
-/// slow-query log. The key is built lazily so the fast path never
-/// allocates.
+/// actually exercised it), the traffic-trace recorder when one is
+/// running, and — at or above the threshold — the slow-query log. The
+/// slowlog key is built lazily so the fast path never allocates.
 fn observe_query<S: HpStore>(
     control: &Control,
     worker: usize,
     gen: &EngineGeneration<S>,
     verb: &'static str,
+    tkey: TraceKey,
     elapsed: Duration,
     stages: StageNanos,
     key: impl FnOnce() -> String,
 ) {
+    if let Some(rec) = &control.recorder {
+        rec.push(trace_verb(verb), tkey, TraceOutcome::Ok, elapsed, gen.epoch);
+    }
     control.latency[worker].record(elapsed);
     let shard = &control.stages[worker];
     for (hist, ns) in [
@@ -2223,6 +2354,17 @@ fn handle_request<S: HpStore>(
                 control.requests_shed.get(),
                 control.requests_deadline.get()
             );
+            match &control.recorder {
+                None => out.push_str(" trace=off"),
+                Some(rec) => {
+                    let (records, dropped, bytes) = rec.counters();
+                    let _ = write!(
+                        out,
+                        " trace=on trace_records={records} trace_dropped={dropped} \
+                         trace_bytes={bytes}"
+                    );
+                }
+            }
             let lat = control.latency_report();
             let _ = write!(
                 out,
@@ -2271,14 +2413,17 @@ fn handle_request<S: HpStore>(
                     let _ = write!(
                         out,
                         " cache=on cache_entries={} cache_capacity={} cache_shards={} \
-                         cache_hits={} cache_misses={} cache_evictions={} cache_hit_rate={:.4}",
+                         cache_hits={} cache_misses={} cache_evictions={} cache_hit_rate={:.4} \
+                         cache_admission={} cache_admission_rejects={}",
                         cache.len(),
                         cache.capacity(),
                         cache.num_shards(),
                         s.hits,
                         s.misses,
                         s.evictions,
-                        s.hit_rate()
+                        s.hit_rate(),
+                        cache.admission().as_str(),
+                        cache.admission_rejects()
                     );
                 }
             }
@@ -2294,18 +2439,52 @@ fn handle_request<S: HpStore>(
             }
             write_framed(out, &payload);
         }
+        Request::Trace { from, max } => match &control.recorder {
+            None => out.push_str("ERR trace recording is not enabled (serve --record)"),
+            Some(rec) => {
+                let chunk = rec.read_from(from, max.min(MAX_TRACE_BATCH));
+                let mut payload = format!(
+                    "base_us={} next_seq={} dropped={}\n",
+                    chunk.base_us, chunk.next_seq, chunk.dropped
+                );
+                for (seq, r) in &chunk.records {
+                    let _ = write!(payload, "{seq} ");
+                    // Absolute timestamps (delta from 0): wire lines are
+                    // independently parseable, so a poller can dedup by
+                    // sequence without threading a running clock.
+                    encode_record(r, 0, &mut payload);
+                }
+                write_framed(out, &payload);
+            }
+        },
         Request::Pair { u, v } => {
             control.served[worker].inc();
             let t0 = std::time::Instant::now();
             match score_pair(&gen, control, &mut ctx.ws, u, v) {
                 Ok(s) => {
                     let stages = ctx.ws.take_trace();
-                    observe_query(control, worker, &gen, "PAIR", t0.elapsed(), stages, || {
-                        format!("{u},{v}")
-                    });
+                    observe_query(
+                        control,
+                        worker,
+                        &gen,
+                        "PAIR",
+                        TraceKey::Pair(u, v),
+                        t0.elapsed(),
+                        stages,
+                        || format!("{u},{v}"),
+                    );
                     let _ = write!(out, "OK {s}");
                 }
-                Err(e) => write_query_error(reloadable, control, &gen, out, e),
+                Err(e) => write_query_error(
+                    reloadable,
+                    control,
+                    &gen,
+                    out,
+                    e,
+                    "PAIR",
+                    TraceKey::Pair(u, v),
+                    t0.elapsed(),
+                ),
             }
         }
         Request::Source { u } => {
@@ -2323,6 +2502,7 @@ fn handle_request<S: HpStore>(
                         worker,
                         &gen,
                         "SOURCE",
+                        TraceKey::Node(u),
                         t0.elapsed(),
                         stages,
                         || u.to_string(),
@@ -2330,7 +2510,16 @@ fn handle_request<S: HpStore>(
                     out.push_str("OK ");
                     write_scores(out, &ctx.scores);
                 }
-                Err(e) => write_query_error(reloadable, control, &gen, out, e),
+                Err(e) => write_query_error(
+                    reloadable,
+                    control,
+                    &gen,
+                    out,
+                    e,
+                    "SOURCE",
+                    TraceKey::Node(u),
+                    t0.elapsed(),
+                ),
             }
         }
         Request::TopK { u, k } => {
@@ -2343,15 +2532,31 @@ fn handle_request<S: HpStore>(
             {
                 Ok(top) => {
                     let stages = ctx.ss.take_trace();
-                    observe_query(control, worker, &gen, "TOPK", t0.elapsed(), stages, || {
-                        format!("{u}:{k}")
-                    });
+                    observe_query(
+                        control,
+                        worker,
+                        &gen,
+                        "TOPK",
+                        TraceKey::NodeK(u, k.min(u32::MAX as usize) as u32),
+                        t0.elapsed(),
+                        stages,
+                        || format!("{u}:{k}"),
+                    );
                     let _ = write!(out, "OK {}", top.len());
                     for (node, score) in top {
                         let _ = write!(out, " {}:{score}", node.0);
                     }
                 }
-                Err(e) => write_query_error(reloadable, control, &gen, out, e),
+                Err(e) => write_query_error(
+                    reloadable,
+                    control,
+                    &gen,
+                    out,
+                    e,
+                    "TOPK",
+                    TraceKey::NodeK(u, k.min(u32::MAX as usize) as u32),
+                    t0.elapsed(),
+                ),
             }
         }
         Request::Batch { pairs } => {
@@ -2362,13 +2567,29 @@ fn handle_request<S: HpStore>(
                 match score_pair(&gen, control, &mut ctx.ws, u, v) {
                     Ok(s) => {
                         let stages = ctx.ws.take_trace();
-                        observe_query(control, worker, &gen, "BATCH", t0.elapsed(), stages, || {
-                            format!("{u},{v}")
-                        });
+                        observe_query(
+                            control,
+                            worker,
+                            &gen,
+                            "BATCH",
+                            TraceKey::Pair(u, v),
+                            t0.elapsed(),
+                            stages,
+                            || format!("{u},{v}"),
+                        );
                         ctx.batch.push(s);
                     }
                     Err(e) => {
-                        write_query_error(reloadable, control, &gen, out, e);
+                        write_query_error(
+                            reloadable,
+                            control,
+                            &gen,
+                            out,
+                            e,
+                            "BATCH",
+                            TraceKey::Pair(u, v),
+                            t0.elapsed(),
+                        );
                         return Action::Continue;
                     }
                 }
